@@ -1,0 +1,71 @@
+// Fusion ablation (§6.2 attributes part of Nimble's BERT advantage to
+// "powerful operator fusion brought by the deep learning compiler"):
+// compile LSTM and BERT with the fusion passes disabled and compare.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/compiler.h"
+#include "src/models/bert.h"
+#include "src/models/lstm.h"
+#include "src/models/workloads.h"
+#include "src/vm/vm.h"
+
+using namespace nimble;  // NOLINT
+
+namespace {
+
+double RunLSTM(const models::LSTMModel& model, bool fuse, int64_t len) {
+  ir::Module mod = model.module;
+  core::CompileOptions opts;
+  opts.fuse_ops = fuse;
+  opts.fuse_lstm_cell = fuse;
+  auto compiled = core::Compile(mod, opts);
+  vm::VirtualMachine machine(compiled.executable);
+  support::Rng rng(1);
+  auto x = runtime::MakeTensor(
+      models::RandomSequence(len, model.config.input_size, rng));
+  auto n = runtime::MakeTensor(runtime::NDArray::Scalar<int64_t>(len));
+  return bench::MeasureSeconds([&] { machine.Invoke("main", {x, n}); }) * 1e3;
+}
+
+double RunBERT(const models::BERTModel& model, bool fuse, int64_t len) {
+  ir::Module mod = model.module;
+  core::CompileOptions opts;
+  opts.fuse_ops = fuse;
+  auto compiled = core::Compile(mod, opts);
+  vm::VirtualMachine machine(compiled.executable);
+  support::Rng rng(2);
+  auto ids = runtime::MakeTensor(runtime::NDArray::FromVector(
+      models::RandomTokenIds(len, model.config.vocab, rng), {len}));
+  return bench::MeasureSeconds([&] { machine.Invoke("main", {ids}); }) * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fusion ablation: latency (ms) with fusion on/off");
+
+  models::LSTMConfig lstm_config;
+  lstm_config.input_size = 300;
+  lstm_config.hidden_size = 512;
+  auto lstm = models::BuildLSTM(lstm_config);
+  double lstm_on = RunLSTM(lstm, true, 32);
+  double lstm_off = RunLSTM(lstm, false, 32);
+
+  models::BERTConfig bert_config;
+  bert_config.num_layers = 2;
+  bert_config.hidden = 256;
+  bert_config.num_heads = 4;
+  bert_config.ffn_hidden = 1024;
+  bert_config.vocab = 2000;
+  auto bert = models::BuildBERT(bert_config);
+  double bert_on = RunBERT(bert, true, 48);
+  double bert_off = RunBERT(bert, false, 48);
+
+  std::printf("%-22s %12s %12s %10s\n", "model", "fused", "unfused", "gain");
+  std::printf("%-22s %10.2fms %10.2fms %9.2fx\n", "LSTM (len 32)", lstm_on,
+              lstm_off, lstm_off / lstm_on);
+  std::printf("%-22s %10.2fms %10.2fms %9.2fx\n", "BERT (len 48)", bert_on,
+              bert_off, bert_off / bert_on);
+  return 0;
+}

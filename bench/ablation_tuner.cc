@@ -1,0 +1,50 @@
+// §4.5 tuning-mechanism ablation: does a configuration tuned at one static
+// shape transfer to other shapes of the symbolic dimension?
+//
+// Runs the paper's three-step mechanism (tune at M=64, cross-evaluate the
+// top-k configs on powers of two, pick the best average) and compares the
+// chosen configuration against the per-shape oracle.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/codegen/tuner.h"
+
+using namespace nimble;  // NOLINT
+
+int main() {
+  bench::PrintHeader(
+      "Tuning ablation (section 4.5): config transfer across shapes\n"
+      "dense op N=512 K=512, symbolic M");
+
+  const int64_t N = 512, K = 512;
+  auto result = codegen::TuneDenseSymbolic(N, K, /*top_k=*/4, /*tuning_m=*/64,
+                                           /*max_eval_m=*/128);
+  std::printf("chosen config: %s (avg %.3f ms over eval shapes)\n",
+              result.chosen.ToString().c_str(),
+              result.chosen_avg_seconds * 1e3);
+  std::printf("top of the M=64 ranking:\n");
+  for (size_t i = 0; i < 4 && i < result.tuning_shape_ranking.size(); ++i) {
+    std::printf("  #%zu %s: %.3f ms\n", i + 1,
+                result.tuning_shape_ranking[i].config.ToString().c_str(),
+                result.tuning_shape_ranking[i].seconds * 1e3);
+  }
+
+  std::printf("\n%-8s %14s %14s %10s\n", "M", "transferred", "oracle",
+              "penalty");
+  double worst_penalty = 0.0;
+  for (int64_t m : result.eval_shapes) {
+    double transferred = codegen::MeasureDenseConfig(result.chosen, m, N, K, 3);
+    auto oracle = codegen::TuneDenseStatic(m, N, K, 2);
+    double best = oracle.front().seconds;
+    double penalty = transferred / best;
+    worst_penalty = std::max(worst_penalty, penalty);
+    std::printf("%-8lld %12.3fms %12.3fms %9.2fx\n", static_cast<long long>(m),
+                transferred * 1e3, best * 1e3, penalty);
+  }
+  bench::PrintRule();
+  std::printf("worst transfer penalty %.2fx — the paper's premise is that a\n"
+              "good config for one shape performs well on others (k=100\n"
+              "covers most best configs; we use a reduced space)\n",
+              worst_penalty);
+  return 0;
+}

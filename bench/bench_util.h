@@ -1,0 +1,63 @@
+// Shared timing and table-printing helpers for the paper-reproduction
+// benchmark binaries.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace nimble {
+namespace bench {
+
+/// Minimum wall-clock seconds per call of `fn` (after warm-up). Minimum —
+/// not median — because the benchmark host is shared/virtualized and the
+/// interesting quantity is the interference-free latency of each system.
+inline double MeasureSeconds(const std::function<void()>& fn, int warmup = 1,
+                             int iters = 5) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    double t = std::chrono::duration<double>(t1 - t0).count();
+    if (i == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+/// Measures several systems round-robin: each round times every system
+/// once, and each system keeps its best round. Comparing within rounds
+/// makes ratios robust to slow drift in machine load.
+inline std::vector<double> MeasureInterleaved(
+    const std::vector<std::function<void()>>& systems, int rounds = 4) {
+  std::vector<double> best(systems.size(), 0.0);
+  for (const auto& fn : systems) fn();  // warm-up
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t i = 0; i < systems.size(); ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      systems[i]();
+      auto t1 = std::chrono::steady_clock::now();
+      double t = std::chrono::duration<double>(t1 - t0).count();
+      if (r == 0 || t < best[i]) best[i] = t;
+    }
+  }
+  return best;
+}
+
+inline void PrintRule(int width = 72) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace bench
+}  // namespace nimble

@@ -1,0 +1,161 @@
+// §6.3 memory-planning study: effect of the MemoryPlan pass (storage
+// coalescing + pooled dynamic allocation).
+//
+// Paper: 47% fewer buffer allocations; allocation latency down 75%
+// (2.0 ms -> 0.5 ms on BERT); and at most 8% extra footprint vs the static
+// compiler's pre-allocated plan.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/static_runtime.h"
+#include "src/core/compiler.h"
+#include "src/models/bert.h"
+#include "src/models/lstm.h"
+#include "src/models/workloads.h"
+#include "src/vm/vm.h"
+
+using namespace nimble;  // NOLINT
+
+namespace {
+
+/// Wraps an allocator, accumulating time spent inside Alloc.
+class TimingAllocator : public runtime::Allocator {
+ public:
+  explicit TimingAllocator(runtime::Allocator* inner) : inner_(inner) {}
+
+  std::shared_ptr<runtime::Buffer> Alloc(size_t size, size_t alignment,
+                                         runtime::Device device) override {
+    auto t0 = std::chrono::steady_clock::now();
+    auto buf = inner_->Alloc(size, alignment, device);
+    auto t1 = std::chrono::steady_clock::now();
+    nanos_ +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    calls_++;
+    return buf;
+  }
+
+  int64_t nanos() const { return nanos_; }
+  int64_t calls() const { return calls_; }
+  void Reset() { nanos_ = 0; calls_ = 0; }
+
+ private:
+  runtime::Allocator* inner_;
+  int64_t nanos_ = 0;
+  int64_t calls_ = 0;
+};
+
+struct RunResult {
+  int64_t alloc_calls;
+  double alloc_ms;
+  int64_t peak_bytes;
+};
+
+RunResult RunOnce(const models::BERTModel& model, bool plan,
+                  runtime::Allocator* base, TimingAllocator* timing,
+                  const std::vector<int64_t>& ids) {
+  ir::Module mod = model.module;
+  core::CompileOptions opts;
+  opts.memory_plan = plan;
+  auto compiled = core::Compile(mod, opts);
+  vm::VirtualMachine machine(compiled.executable, timing);
+  auto input = runtime::MakeTensor(
+      runtime::NDArray::FromVector(ids, {static_cast<int64_t>(ids.size())}));
+  machine.Invoke("main", {input});  // warm-up (fills the pool)
+  base->ResetStats();
+  timing->Reset();
+  machine.Invoke("main", {input});
+  return RunResult{timing->calls(), timing->nanos() / 1e6,
+                   base->stats().peak_bytes};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Memory planning study (paper section 6.3): BERT, host CPU\n"
+      "paper: -47% buffer allocations, -75% allocation latency, <=8% extra\n"
+      "footprint vs static pre-allocation");
+
+  models::BERTConfig config;
+  config.num_layers = 4;
+  config.hidden = 256;
+  config.num_heads = 4;
+  config.ffn_hidden = 1024;
+  config.vocab = 2000;
+  auto model = models::BuildBERT(config);
+  support::Rng rng(31);
+  auto ids = models::RandomTokenIds(48, config.vocab, rng);
+
+  // Compile-time coalescing stats. Static coalescing applies to
+  // statically-shaped intermediates — the LSTM loop body is the showcase
+  // (BERT's tensors are almost all dynamically shaped, so its savings come
+  // from the pooled dynamic allocator below instead).
+  {
+    models::LSTMConfig lstm_config;
+    lstm_config.input_size = 300;
+    lstm_config.hidden_size = 512;
+    auto lstm = models::BuildLSTM(lstm_config);
+    core::CompileOptions unfused;  // more intermediates => more to coalesce
+    unfused.fuse_ops = false;
+    unfused.fuse_lstm_cell = false;
+    auto compiled = core::Compile(lstm.module, unfused);
+    std::printf("compile-time storage coalescing (LSTM step): %d -> %d "
+                "allocations (-%.0f%%; paper: -47%%), %d kills inserted\n",
+                compiled.memory.storage_allocs_before,
+                compiled.memory.storage_allocs_after,
+                compiled.memory.ReductionPercent(),
+                compiled.memory.kills_inserted);
+  }
+  {
+    ir::Module mod = model.module;
+    auto compiled = core::Compile(mod);
+    std::printf("compile-time storage coalescing (BERT, dynamic shapes): "
+                "%d -> %d allocations, %d kills inserted\n",
+                compiled.memory.storage_allocs_before,
+                compiled.memory.storage_allocs_after,
+                compiled.memory.kills_inserted);
+  }
+
+  // Runtime allocation counts/latency: naive per-op allocation vs planned +
+  // pooled.
+  runtime::NaiveAllocator naive;
+  TimingAllocator naive_timing(&naive);
+  RunResult unplanned = RunOnce(model, /*plan=*/false, &naive, &naive_timing, ids);
+
+  runtime::PoolingAllocator pool;
+  TimingAllocator pool_timing(&pool);
+  RunResult planned = RunOnce(model, /*plan=*/true, &pool, &pool_timing, ids);
+
+  std::printf("\n%-34s %14s %14s\n", "", "no planning", "with planning");
+  std::printf("%-34s %14lld %14lld\n", "runtime buffer allocations",
+              static_cast<long long>(unplanned.alloc_calls),
+              static_cast<long long>(planned.alloc_calls));
+  std::printf("%-34s %12.3fms %12.3fms\n", "allocation latency",
+              unplanned.alloc_ms, planned.alloc_ms);
+  double alloc_reduction =
+      100.0 * (unplanned.alloc_calls - planned.alloc_calls) /
+      static_cast<double>(unplanned.alloc_calls);
+  double latency_reduction =
+      100.0 * (unplanned.alloc_ms - planned.alloc_ms) /
+      std::max(unplanned.alloc_ms, 1e-9);
+  std::printf("reduction: %.0f%% allocations (paper 47%%), %.0f%% latency "
+              "(paper 75%%)\n",
+              alloc_reduction, latency_reduction);
+
+  // Footprint vs the static runtime's pre-allocated plan.
+  {
+    runtime::GlobalNaiveAllocator()->ResetStats();
+    int64_t before = runtime::GlobalNaiveAllocator()->stats().live_bytes;
+    baselines::StaticBERTRuntime static_rt(model, 48);
+    int64_t static_bytes =
+        runtime::GlobalNaiveAllocator()->stats().live_bytes - before;
+    std::printf("\nfootprint: Nimble peak %lld bytes vs static plan %lld "
+                "bytes (%+.1f%%; paper: up to +8%%)\n",
+                static_cast<long long>(planned.peak_bytes),
+                static_cast<long long>(static_bytes),
+                100.0 * (planned.peak_bytes - static_bytes) /
+                    static_cast<double>(static_bytes));
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Table 1 reproduction: LSTM inference latency (µs/token), 1 and 2 layers.
+//
+// Paper: Nimble vs PyTorch / MXNet / TensorFlow on Intel/Nvidia/ARM.
+// Here (single host CPU, see DESIGN.md §2): Nimble's VM vs the eager
+// define-by-run baseline that models the frameworks' execution strategy,
+// plus Nimble with fusion disabled to attribute the gain. Expected shape:
+// Nimble < Nimble-w/o-fusion < Eager.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/baselines/eager.h"
+#include "src/core/compiler.h"
+#include "src/models/lstm.h"
+#include "src/models/workloads.h"
+#include "src/vm/vm.h"
+
+using namespace nimble;  // NOLINT
+
+namespace {
+
+struct Workload {
+  std::vector<runtime::NDArray> inputs;
+  std::vector<int64_t> lengths;
+  int64_t total_tokens = 0;
+};
+
+Workload MakeWorkload(int sentences, int64_t input_size) {
+  support::Rng rng(123);
+  Workload w;
+  w.lengths = models::SampleMRPCLengths(sentences, rng, 48);
+  for (int64_t len : w.lengths) {
+    w.inputs.push_back(models::RandomSequence(len, input_size, rng));
+    w.total_tokens += len;
+  }
+  return w;
+}
+
+std::function<void()> NimbleRunner(const models::LSTMModel& model,
+                                   const Workload& w, bool fuse,
+                                   std::shared_ptr<vm::VirtualMachine>* keep) {
+  ir::Module mod = model.module;  // compile a fresh copy
+  core::CompileOptions opts;
+  opts.fuse_ops = fuse;
+  opts.fuse_lstm_cell = fuse;
+  auto compiled = core::Compile(mod, opts);
+  auto machine = std::make_shared<vm::VirtualMachine>(compiled.executable);
+  *keep = machine;
+  return [machine, &w] {
+    for (size_t i = 0; i < w.inputs.size(); ++i) {
+      machine->Invoke("main",
+                      {runtime::MakeTensor(w.inputs[i]),
+                       runtime::MakeTensor(
+                           runtime::NDArray::Scalar<int64_t>(w.lengths[i]))});
+    }
+  };
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 1: LSTM inference latency (us/token), MRPC-like lengths\n"
+      "paper config: input 300, hidden 512; host-CPU substrate");
+  std::printf("%-28s %12s %12s\n", "system", "1 layer", "2 layers");
+  const int kSentences = 5;
+
+  double nimble[2], nofuse[2], eager_cpp[2], eager_py[2];
+  for (int layers = 1; layers <= 2; ++layers) {
+    models::LSTMConfig config;
+    config.input_size = 300;
+    config.hidden_size = 512;
+    config.num_layers = layers;
+    auto model = models::BuildLSTM(config);
+    Workload w = MakeWorkload(kSentences, config.input_size);
+    std::shared_ptr<vm::VirtualMachine> vm_fused, vm_unfused;
+    baselines::EagerContext ctx_cpp(2000), ctx_py(20000);
+    // Round-robin so machine-load drift hits every system equally.
+    auto times = bench::MeasureInterleaved(
+        {NimbleRunner(model, w, true, &vm_fused),
+         NimbleRunner(model, w, false, &vm_unfused),
+         [&] {
+           for (const auto& x : w.inputs) {
+             baselines::EagerLSTM(model.weights, x, ctx_cpp);
+           }
+         },
+         [&] {
+           for (const auto& x : w.inputs) {
+             baselines::EagerLSTM(model.weights, x, ctx_py);
+           }
+         }});
+    double scale = 1e6 / static_cast<double>(w.total_tokens);
+    nimble[layers - 1] = times[0] * scale;
+    nofuse[layers - 1] = times[1] * scale;
+    eager_cpp[layers - 1] = times[2] * scale;
+    eager_py[layers - 1] = times[3] * scale;
+  }
+  std::printf("%-28s %12.1f %12.1f\n", "Nimble (VM)", nimble[0], nimble[1]);
+  std::printf("%-28s %12.1f %12.1f\n", "Nimble w/o fusion", nofuse[0], nofuse[1]);
+  std::printf("%-28s %12.1f %12.1f\n", "Eager (C++ dispatch, 2us/op)",
+              eager_cpp[0], eager_cpp[1]);
+  std::printf("%-28s %12.1f %12.1f\n", "Eager (Python-driven, 20us/op)",
+              eager_py[0], eager_py[1]);
+  bench::PrintRule();
+  std::printf("speedup vs eager-C++: %.2fx / %.2fx; vs eager-Python: "
+              "%.2fx / %.2fx\n",
+              eager_cpp[0] / nimble[0], eager_cpp[1] / nimble[1],
+              eager_py[0] / nimble[0], eager_py[1] / nimble[1]);
+  std::printf("paper reports 1.2x-20.3x depending on platform/framework\n");
+  return 0;
+}

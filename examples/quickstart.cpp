@@ -1,0 +1,51 @@
+// Quickstart: compile and run a tiny dynamic program.
+//
+// Builds the paper's §4.3 running example — concatenating a
+// dynamically-sized tensor with a static one — walks it through the full
+// pipeline, prints the bytecode, and executes it on the VM with inputs of
+// different sizes.
+//
+//   fn (%x: Tensor[(?, 2)], %y: Tensor[(1, 2)]) { concat(%x, %y) }
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/compiler.h"
+#include "src/ir/printer.h"
+#include "src/op/registry.h"
+#include "src/vm/vm.h"
+
+using namespace nimble;  // NOLINT
+
+int main() {
+  // 1. Build the IR: a function over a tensor with an Any (dynamic) rows dim.
+  ir::Var x = ir::MakeVar(
+      "x", ir::TensorType({ir::Dim::Any(), ir::Dim::Static(2)}));
+  ir::Var y = ir::MakeVar("y", ir::TensorType({1, 2}));
+  ir::Expr body =
+      op::Call2("concat", x, y, ir::Attrs().Set("axis", 0));
+  ir::Module mod;
+  mod.Add("main", ir::MakeFunction({x, y}, body));
+
+  std::printf("== source IR ==\n%s\n", mod.ToString().c_str());
+
+  // 2. Compile: type inference with Any, fusion, explicit allocation,
+  //    device placement, memory planning, bytecode generation.
+  core::CompileResult compiled = core::Compile(mod);
+  std::printf("== bytecode ==\n%s\n", compiled.executable->Disassemble().c_str());
+
+  // 3. Execute with different dynamic sizes — one executable handles all.
+  vm::VirtualMachine machine(compiled.executable);
+  for (int64_t rows : {1, 3, 5}) {
+    runtime::NDArray xv =
+        runtime::NDArray::Empty({rows, 2}, runtime::DataType::Float32());
+    xv.Fill(static_cast<double>(rows));
+    runtime::NDArray yv =
+        runtime::NDArray::Empty({1, 2}, runtime::DataType::Float32());
+    yv.Fill(-1.0);
+    auto out = machine.Invoke(
+        "main", {runtime::MakeTensor(xv), runtime::MakeTensor(yv)});
+    std::printf("rows=%lld -> %s\n", static_cast<long long>(rows),
+                runtime::ObjectToString(out, 12).c_str());
+  }
+  return 0;
+}

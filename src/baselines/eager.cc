@@ -1,0 +1,181 @@
+#include "src/baselines/eager.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "src/kernels/registry.h"
+#include "src/op/registry.h"
+
+namespace nimble {
+namespace baselines {
+
+using ir::Attrs;
+using runtime::DataType;
+
+std::shared_ptr<EagerContext::GraphNode> EagerContext::Record(
+    const std::string& op, const std::vector<NDArray>& inputs) {
+  auto node = std::make_shared<GraphNode>();
+  node->op = op;
+  node->input_shapes.reserve(inputs.size());
+  for (const NDArray& in : inputs) node->input_shapes.push_back(in.shape());
+  // Wire the node to the most recent producers (autograd-graph style).
+  size_t deps = std::min<size_t>(inputs.size(), trace_.size());
+  for (size_t i = 0; i < deps; ++i) {
+    node->inputs.push_back(trace_[trace_.size() - 1 - i]);
+  }
+  trace_.push_back(node);
+  return node;
+}
+
+NDArray EagerContext::Run(const std::string& op,
+                          const std::vector<NDArray>& inputs,
+                          const Attrs& attrs) {
+  return RunMulti(op, inputs, attrs)[0];
+}
+
+std::vector<NDArray> EagerContext::RunMulti(const std::string& op,
+                                            const std::vector<NDArray>& inputs,
+                                            const Attrs& attrs) {
+  ops_executed_++;
+  Record(op, inputs);
+  if (dispatch_overhead_ns_ > 0) {
+    auto start = std::chrono::steady_clock::now();
+    while (std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start)
+               .count() < dispatch_overhead_ns_) {
+      // modeled framework dispatch cost (see header)
+    }
+  }
+  const op::OpInfo& info = op::OpRegistry::Global()->Get(op);
+  // Per-call shape inference.
+  std::vector<runtime::ShapeVec> in_shapes;
+  in_shapes.reserve(inputs.size());
+  for (const NDArray& in : inputs) in_shapes.push_back(in.shape());
+  auto out_shapes = info.shape_fn(in_shapes, inputs, attrs);
+  // Fresh allocation per output, naive allocator (no pooling, no planning).
+  std::vector<NDArray> outputs;
+  outputs.reserve(out_shapes.size());
+  DataType out_dtype = inputs.empty() ? DataType::Float32() : inputs[0].dtype();
+  if (op == "less" || op == "greater" || op == "equal") out_dtype = DataType::Bool();
+  for (const auto& shape : out_shapes) {
+    outputs.push_back(NDArray::Empty(shape, out_dtype, runtime::Device::CPU(),
+                                     runtime::GlobalNaiveAllocator()));
+  }
+  kernels::RunKernel(info.kernel_name, inputs, outputs, attrs);
+  return outputs;
+}
+
+namespace {
+
+/// Unfused eager LSTM cell: 11 operator dispatches.
+std::pair<NDArray, NDArray> EagerCell(EagerContext& ctx, const NDArray& gates,
+                                      const NDArray& c) {
+  auto parts = ctx.RunMulti("split", {gates},
+                            ir::Attrs().Set("sections", 4).Set("axis", 1));
+  NDArray i = ctx.Run("sigmoid", {parts[0]});
+  NDArray f = ctx.Run("sigmoid", {parts[1]});
+  NDArray g = ctx.Run("tanh", {parts[2]});
+  NDArray o = ctx.Run("sigmoid", {parts[3]});
+  NDArray fc = ctx.Run("multiply", {f, c});
+  NDArray ig = ctx.Run("multiply", {i, g});
+  NDArray c2 = ctx.Run("add", {fc, ig});
+  NDArray h2 = ctx.Run("multiply", {o, ctx.Run("tanh", {c2})});
+  return {h2, c2};
+}
+
+}  // namespace
+
+NDArray EagerLSTM(const models::LSTMWeights& weights, const NDArray& x,
+                  EagerContext& ctx) {
+  int64_t seq = x.shape()[0];
+  int num_layers = static_cast<int>(weights.layers.size());
+  std::vector<NDArray> h(num_layers, weights.h0), c(num_layers, weights.c0);
+  ctx.ResetTrace();
+  for (int64_t t = 0; t < seq; ++t) {
+    NDArray idx = NDArray::Scalar<int64_t>(t);
+    NDArray x_t = ctx.Run("expand_dims", {ctx.Run("take", {x, idx})},
+                          ir::Attrs().Set("axis", 0));
+    NDArray layer_in = x_t;
+    for (int l = 0; l < num_layers; ++l) {
+      const auto& w = weights.layers[l];
+      NDArray g1 = ctx.Run("nn.dense", {layer_in, w.wx});
+      NDArray g2 = ctx.Run("nn.dense", {h[l], w.wh});
+      NDArray gates =
+          ctx.Run("nn.bias_add", {ctx.Run("add", {g1, g2}), w.b});
+      auto [h2, c2] = EagerCell(ctx, gates, c[l]);
+      h[l] = h2;
+      c[l] = c2;
+      layer_in = h2;
+    }
+  }
+  return h[num_layers - 1];
+}
+
+namespace {
+
+std::pair<NDArray, NDArray> EagerTreeEval(const models::TreeLSTMWeights& w,
+                                          const models::HostTree& tree,
+                                          EagerContext& ctx) {
+  if (tree.is_leaf()) {
+    NDArray gates =
+        ctx.Run("nn.bias_add", {ctx.Run("nn.dense", {tree.leaf, w.wx}), w.b});
+    return EagerCell(ctx, gates, w.c0);
+  }
+  auto [hl, cl] = EagerTreeEval(w, *tree.left, ctx);
+  auto [hr, cr] = EagerTreeEval(w, *tree.right, ctx);
+  NDArray hs = ctx.Run("add", {hl, hr});
+  NDArray cs = ctx.Run("add", {cl, cr});
+  NDArray gates = ctx.Run("nn.bias_add", {ctx.Run("nn.dense", {hs, w.wh}), w.b});
+  return EagerCell(ctx, gates, cs);
+}
+
+}  // namespace
+
+NDArray EagerTreeLSTM(const models::TreeLSTMWeights& weights,
+                      const models::HostTree& tree, EagerContext& ctx) {
+  ctx.ResetTrace();
+  return EagerTreeEval(weights, tree, ctx).first;
+}
+
+NDArray EagerBERT(const models::BERTModel& model,
+                  const std::vector<int64_t>& ids, EagerContext& ctx) {
+  ctx.ResetTrace();
+  const auto& cfg = model.config;
+  int64_t H = cfg.hidden, A = cfg.num_heads, D = H / A;
+  int64_t L = static_cast<int64_t>(ids.size());
+  NDArray ids_arr = NDArray::FromVector(ids, {L});
+  NDArray x = ctx.Run("take", {model.weights.embedding, ids_arr});
+
+  auto dense_bias = [&](const NDArray& in, const NDArray& w, const NDArray& b) {
+    return ctx.Run("nn.bias_add", {ctx.Run("nn.dense", {in, w}), b});
+  };
+  auto to_heads = [&](const NDArray& t, std::vector<int64_t> perm) {
+    // Frameworks implement reshape as a zero-copy view; transpose dispatches.
+    NDArray r = t.Reshape({t.shape()[0], A, D});
+    return ctx.Run("transpose", {r}, ir::Attrs().Set("axes", std::move(perm)));
+  };
+
+  for (const auto& w : model.weights.layers) {
+    NDArray q = to_heads(dense_bias(x, w.wq, w.bq), {1, 0, 2});
+    NDArray k = to_heads(dense_bias(x, w.wk, w.bk), {1, 0, 2});
+    NDArray v = to_heads(dense_bias(x, w.wv, w.bv), {1, 2, 0});
+    NDArray scores = ctx.Run("nn.batch_matmul", {q, k});
+    scores = ctx.Run(
+        "multiply",
+        {scores, NDArray::Scalar<float>(1.0f / std::sqrt(static_cast<float>(D)))});
+    NDArray probs = ctx.Run("nn.softmax", {scores});
+    NDArray ctxv = ctx.Run("nn.batch_matmul", {probs, v});
+    ctxv = ctx.Run("transpose", {ctxv},
+                   ir::Attrs().Set("axes", std::vector<int64_t>{1, 0, 2}));
+    ctxv = ctxv.Reshape({L, H});
+    NDArray attn = dense_bias(ctxv, w.wo, w.bo);
+    x = ctx.Run("nn.layer_norm", {ctx.Run("add", {attn, x}), w.ln1_g, w.ln1_b});
+    NDArray ffn = ctx.Run("gelu", {dense_bias(x, w.w1, w.b1)});
+    ffn = dense_bias(ffn, w.w2, w.b2);
+    x = ctx.Run("nn.layer_norm", {ctx.Run("add", {ffn, x}), w.ln2_g, w.ln2_b});
+  }
+  return x;
+}
+
+}  // namespace baselines
+}  // namespace nimble

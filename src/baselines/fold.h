@@ -1,0 +1,35 @@
+// TensorFlow Fold-style baseline (§2.1, Table 2): per-input graph
+// construction followed by depth-wise dynamic batching.
+//
+// For every input tree it (1) "compiles": walks the structure, assigns each
+// node a schedule level (max child level + 1), and builds batched execution
+// plans — this per-input compilation is the overhead the paper measures
+// (Fold is 5.2x slower than Nimble because "it has to re-compile upon every
+// input"); then (2) executes one batched dense + batched cell per level.
+#pragma once
+
+#include "src/models/tree_lstm.h"
+#include "src/runtime/ndarray.h"
+
+namespace nimble {
+namespace baselines {
+
+struct FoldStats {
+  int64_t graphs_built = 0;
+  int64_t nodes_scheduled = 0;
+  int64_t batched_launches = 0;
+};
+
+/// Evaluates a Tree-LSTM via per-input dynamic batching; returns the root
+/// hidden state [1, H].
+/// `graph_node_overhead_ns` charges the per-node cost of building the
+/// framework graph for this input (TF Fold constructs TensorFlow graph ops
+/// from Python for every tree; ~100us/op is representative). Explicit
+/// simulation parameter, see DESIGN.md section 2.
+runtime::NDArray FoldTreeLSTM(const models::TreeLSTMWeights& weights,
+                              const models::HostTree& tree,
+                              FoldStats* stats = nullptr,
+                              int64_t graph_node_overhead_ns = 0);
+
+}  // namespace baselines
+}  // namespace nimble

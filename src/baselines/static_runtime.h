@@ -1,0 +1,50 @@
+// Static graph runtime (TVM-static style), used by the Table 4 overhead
+// study: the model is compiled for ONE fixed sequence length, every shape is
+// known, all buffers are pre-allocated once, and execution is a straight
+// loop over kernel launches — no VM dispatch, no shape functions, no dynamic
+// allocation. Comparing this against Nimble's VM on the same input isolates
+// the cost of handling dynamism.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/ir/attrs.h"
+#include "src/models/bert.h"
+#include "src/runtime/ndarray.h"
+
+namespace nimble {
+namespace baselines {
+
+class StaticBERTRuntime {
+ public:
+  /// Plans and pre-allocates for the fixed sequence length.
+  StaticBERTRuntime(const models::BERTModel& model, int64_t seq_len);
+
+  /// Runs the plan; `ids` must have exactly the planned length.
+  runtime::NDArray Run(const std::vector<int64_t>& ids);
+
+  int64_t seq_len() const { return seq_len_; }
+  size_t num_steps() const { return steps_.size(); }
+
+ private:
+  struct Step {
+    std::string kernel;
+    std::vector<runtime::NDArray> inputs;
+    std::vector<runtime::NDArray> outputs;
+    ir::Attrs attrs;
+  };
+  void AddStep(const std::string& kernel, std::vector<runtime::NDArray> inputs,
+               std::vector<runtime::NDArray> outputs, ir::Attrs attrs = {});
+  runtime::NDArray Buffer(runtime::ShapeVec shape);
+
+  const models::BERTModel& model_;
+  int64_t seq_len_;
+  runtime::NDArray ids_buffer_;
+  runtime::NDArray output_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace baselines
+}  // namespace nimble

@@ -1,0 +1,118 @@
+// Dense (fully-connected) kernel variants for symbolic codegen (§4.5).
+//
+// Convention: x is [M, K], w is [N, K] (transposed weights), out is [M, N].
+//
+// The paper's observation: after tiling a symbolic dimension by a factor T,
+// loop boundary conditions can only be eliminated if the residue r = M mod T
+// is known when the kernel is compiled. Nimble therefore emits T
+// residue-specialized copies of the kernel (replacing M with T*q + r) plus a
+// runtime dispatch on r; with fewer copies, uncovered residues fall back to
+// the generic symbolic kernel whose inner loops carry runtime bounds checks
+// and cannot be unrolled.
+//
+// We reproduce that structure with templates:
+//  - MicroRowsF32<ROWS>: compile-time row count => the row loop unrolls into
+//    ROWS independent accumulator chains (the "boundary check eliminated"
+//    code the paper's codegen produces);
+//  - DenseResidue<R>: q full tiles of kTileRows rows + a compile-time tail
+//    of R rows — the specialized kernel for residue class R;
+//  - DenseSymbolicChecked: one generic kernel where every tile re-derives
+//    `rows = min(kTileRows, M - i)` and loops with a runtime trip count —
+//    what symbolic codegen emits when it cannot specialize.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace nimble {
+namespace codegen {
+
+/// Tile factor along the (symbolic) M dimension. The paper's auto-tuner
+/// selects 8 for all three BERT dense layers (§6.3).
+inline constexpr int kTileRows = 8;
+
+/// Computes a ROWS x N block of the output. ROWS is a compile-time constant,
+/// so the per-row accumulator loop fully unrolls.
+template <int ROWS>
+inline void MicroRowsF32(const float* x, const float* w, float* out,
+                         int64_t n_cols, int64_t k_depth, int64_t out_stride) {
+  for (int64_t n = 0; n < n_cols; ++n) {
+    // 4 accumulator chains per row break the FMA latency chain; both loops
+    // have compile-time trip counts, so the whole body unrolls/vectorizes —
+    // the code shape the paper's codegen achieves once boundary checks are
+    // eliminated.
+    float acc[ROWS][4] = {};
+    const float* wrow = w + n * k_depth;
+    int64_t k = 0;
+    for (; k + 4 <= k_depth; k += 4) {
+      for (int r = 0; r < ROWS; ++r) {
+        const float* xrow = x + r * k_depth + k;
+        acc[r][0] += xrow[0] * wrow[k + 0];
+        acc[r][1] += xrow[1] * wrow[k + 1];
+        acc[r][2] += xrow[2] * wrow[k + 2];
+        acc[r][3] += xrow[3] * wrow[k + 3];
+      }
+    }
+    for (int r = 0; r < ROWS; ++r) {
+      float fin = (acc[r][0] + acc[r][1]) + (acc[r][2] + acc[r][3]);
+      for (int64_t kk = k; kk < k_depth; ++kk) {
+        fin += x[r * k_depth + kk] * wrow[kk];
+      }
+      out[r * out_stride + n] = fin;
+    }
+  }
+}
+
+/// Runtime-row-count block: the row loop has a runtime trip count nested in
+/// the hot k-loop, which blocks unrolling — the cost of unresolved boundary
+/// conditions.
+inline void MicroRowsDynF32(const float* x, const float* w, float* out,
+                            int64_t rows, int64_t n_cols, int64_t k_depth,
+                            int64_t out_stride) {
+  for (int64_t n = 0; n < n_cols; ++n) {
+    const float* wrow = w + n * k_depth;
+    for (int64_t r = 0; r < rows; ++r) {
+      float acc = 0.0f;
+      const float* xrow = x + r * k_depth;
+      for (int64_t k = 0; k < k_depth; ++k) acc += xrow[k] * wrow[k];
+      out[r * out_stride + n] = acc;
+    }
+  }
+}
+
+/// Residue-specialized dense kernel: M = kTileRows * q + R with R fixed at
+/// compile time. All loop bounds in the hot path are tile-exact.
+template <int R>
+void DenseResidue(const float* x, const float* w, float* out, int64_t m,
+                  int64_t n, int64_t k) {
+  int64_t q = m / kTileRows;
+  for (int64_t t = 0; t < q; ++t) {
+    MicroRowsF32<kTileRows>(x + t * kTileRows * k, w, out + t * kTileRows * n,
+                            n, k, n);
+  }
+  if constexpr (R > 0) {
+    MicroRowsF32<R>(x + q * kTileRows * k, w, out + q * kTileRows * n, n, k, n);
+  }
+}
+
+/// Generic symbolic kernel: every tile carries a runtime boundary check.
+void DenseSymbolicChecked(const float* x, const float* w, float* out,
+                          int64_t m, int64_t n, int64_t k);
+
+/// Fully static kernel: all three extents are compile-time constants. Used
+/// as the Figure 3 baseline ("static codegen").
+template <int64_t M, int64_t N, int64_t K>
+void DenseStatic(const float* x, const float* w, float* out) {
+  constexpr int64_t q = M / kTileRows;
+  constexpr int R = static_cast<int>(M % kTileRows);
+  for (int64_t t = 0; t < q; ++t) {
+    MicroRowsF32<kTileRows>(x + t * kTileRows * K, w, out + t * kTileRows * N,
+                            N, K, N);
+  }
+  if constexpr (R > 0) {
+    MicroRowsF32<R>(x + q * kTileRows * K, w, out + q * kTileRows * N, N, K, N);
+  }
+}
+
+}  // namespace codegen
+}  // namespace nimble

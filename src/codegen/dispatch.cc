@@ -1,0 +1,78 @@
+#include "src/codegen/dispatch.h"
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace codegen {
+
+void DenseSymbolicChecked(const float* x, const float* w, float* out,
+                          int64_t m, int64_t n, int64_t k) {
+  for (int64_t i0 = 0; i0 < m; i0 += kTileRows) {
+    int64_t rows = std::min<int64_t>(kTileRows, m - i0);  // boundary check
+    MicroRowsDynF32(x + i0 * k, w, out + i0 * n, rows, n, k, n);
+  }
+}
+
+DenseKernelFn ResidueKernel(int r) {
+  switch (r) {
+    case 0: return DenseResidue<0>;
+    case 1: return DenseResidue<1>;
+    case 2: return DenseResidue<2>;
+    case 3: return DenseResidue<3>;
+    case 4: return DenseResidue<4>;
+    case 5: return DenseResidue<5>;
+    case 6: return DenseResidue<6>;
+    case 7: return DenseResidue<7>;
+    default:
+      NIMBLE_FATAL() << "residue out of range: " << r;
+  }
+}
+
+DenseDispatchTable::DenseDispatchTable(int num_variants)
+    : num_variants_(num_variants) {
+  NIMBLE_CHECK(num_variants >= 1 && num_variants <= kTileRows &&
+               kTileRows % num_variants == 0)
+      << "num_variants must divide the tile factor " << kTileRows;
+  if (num_variants == 1) return;  // no dispatch: generic kernel only
+  int stride = kTileRows / num_variants;
+  for (int v = 0; v < num_variants; ++v) {
+    int r = v * stride;
+    table_[r] = ResidueKernel(r);
+  }
+}
+
+void DenseDispatchTable::Run(const float* x, const float* w, float* out,
+                             int64_t m, int64_t n, int64_t k) const {
+  int r = static_cast<int>(m % kTileRows);
+  stats_.per_residue[r]++;
+  if (DenseKernelFn fn = table_[r]; fn != nullptr) {
+    stats_.specialized_calls++;
+    fn(x, w, out, m, n, k);
+  } else {
+    stats_.fallback_calls++;
+    DenseSymbolicChecked(x, w, out, m, n, k);
+  }
+}
+
+void DenseDispatchTable::Run(const runtime::NDArray& x, const runtime::NDArray& w,
+                             const runtime::NDArray& out) const {
+  NIMBLE_CHECK_EQ(x.ndim(), 2);
+  NIMBLE_CHECK_EQ(w.ndim(), 2);
+  int64_t m = x.shape()[0], k = x.shape()[1], n = w.shape()[0];
+  NIMBLE_CHECK_EQ(w.shape()[1], k) << "dense: contraction mismatch";
+  NIMBLE_CHECK_EQ(out.shape()[0], m);
+  NIMBLE_CHECK_EQ(out.shape()[1], n);
+  Run(x.data<float>(), w.data<float>(), out.data<float>(), m, n, k);
+}
+
+DenseDispatchTable& DenseDispatchTable::Global() {
+  static DenseDispatchTable table(kTileRows);
+  return table;
+}
+
+void DenseDispatchTable::ConfigureGlobal(int num_variants) {
+  Global() = DenseDispatchTable(num_variants);
+}
+
+}  // namespace codegen
+}  // namespace nimble

@@ -1,0 +1,66 @@
+// Shape-based kernel dispatch (§4.5).
+//
+// A DenseDispatchTable holds up to kTileRows residue-specialized kernel
+// entries plus the generic symbolic fallback. At call time the table selects
+// by `M mod kTileRows`; a residue without a specialized entry runs the
+// checked generic kernel. `num_variants` = 8 is the paper's "full dispatch",
+// 1 is "no dispatch" (only the generic kernel).
+//
+// The table also exposes counters so benchmarks and tests can observe which
+// path executed — and can route to a "third-party library" kernel when
+// profiling has marked it faster (the paper's library-vs-compiled choice).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/codegen/dense_kernels.h"
+#include "src/runtime/ndarray.h"
+
+namespace nimble {
+namespace codegen {
+
+using DenseKernelFn = void (*)(const float* x, const float* w, float* out,
+                               int64_t m, int64_t n, int64_t k);
+
+struct DispatchStats {
+  int64_t specialized_calls = 0;
+  int64_t fallback_calls = 0;
+  std::array<int64_t, kTileRows> per_residue{};
+  void Reset() { *this = DispatchStats{}; }
+};
+
+class DenseDispatchTable {
+ public:
+  /// Builds a table with `num_variants` specialized kernels. Variants cover
+  /// residues {0, s, 2s, ...} with stride s = kTileRows / num_variants.
+  /// num_variants must divide kTileRows; 1 means no specialization.
+  explicit DenseDispatchTable(int num_variants = kTileRows);
+
+  /// Runs x[M,K] · w[N,K]^T -> out[M,N], dispatching on M mod kTileRows.
+  void Run(const runtime::NDArray& x, const runtime::NDArray& w,
+           const runtime::NDArray& out) const;
+
+  void Run(const float* x, const float* w, float* out, int64_t m, int64_t n,
+           int64_t k) const;
+
+  int num_variants() const { return num_variants_; }
+  DispatchStats& stats() const { return stats_; }
+
+  /// Process-wide table used by the "nn.dense" kernel; reconfigured by the
+  /// compiler according to CompileOptions (and by the Figure 3 benchmark).
+  static DenseDispatchTable& Global();
+  static void ConfigureGlobal(int num_variants);
+
+ private:
+  int num_variants_;
+  std::array<DenseKernelFn, kTileRows> table_{};  // nullptr => fallback
+  mutable DispatchStats stats_;
+};
+
+/// Returns the residue-specialized kernel for residue r (r in [0, 8)).
+DenseKernelFn ResidueKernel(int r);
+
+}  // namespace codegen
+}  // namespace nimble

@@ -1,0 +1,108 @@
+#include "src/codegen/tuner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+
+namespace nimble {
+namespace codegen {
+
+void DenseBlocked(const float* x, const float* w, float* out, int64_t m,
+                  int64_t n, int64_t k, const DenseConfig& config) {
+  std::memset(out, 0, static_cast<size_t>(m * n) * sizeof(float));
+  int64_t bn = config.block_n, bk = config.block_k;
+  for (int64_t k0 = 0; k0 < k; k0 += bk) {
+    int64_t k1 = std::min(k0 + bk, k);
+    for (int64_t n0 = 0; n0 < n; n0 += bn) {
+      int64_t n1 = std::min(n0 + bn, n);
+      for (int64_t i = 0; i < m; ++i) {
+        const float* xrow = x + i * k;
+        float* orow = out + i * n;
+        for (int64_t j = n0; j < n1; ++j) {
+          const float* wrow = w + j * k;
+          float acc = 0.0f;
+          for (int64_t kk = k0; kk < k1; ++kk) acc += xrow[kk] * wrow[kk];
+          orow[j] += acc;
+        }
+      }
+    }
+  }
+}
+
+std::vector<DenseConfig> DenseConfigSpace() {
+  std::vector<DenseConfig> space;
+  for (int64_t bn : {8, 16, 32, 64, 128}) {
+    for (int64_t bk : {16, 32, 64, 128, 256}) {
+      space.push_back(DenseConfig{bn, bk});
+    }
+  }
+  return space;
+}
+
+double MeasureDenseConfig(const DenseConfig& config, int64_t m, int64_t n,
+                          int64_t k, int repeats) {
+  support::Rng rng(99);
+  std::vector<float> x(m * k), w(n * k), out(m * n);
+  for (auto& v : x) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (auto& v : w) v = static_cast<float>(rng.Uniform(-1, 1));
+  DenseBlocked(x.data(), w.data(), out.data(), m, n, k, config);  // warm-up
+  std::vector<double> times;
+  for (int r = 0; r < repeats; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    DenseBlocked(x.data(), w.data(), out.data(), m, n, k, config);
+    auto t1 = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+std::vector<MeasuredConfig> TuneDenseStatic(int64_t m, int64_t n, int64_t k,
+                                            int repeats) {
+  std::vector<MeasuredConfig> measured;
+  for (const DenseConfig& config : DenseConfigSpace()) {
+    measured.push_back(
+        MeasuredConfig{config, MeasureDenseConfig(config, m, n, k, repeats)});
+  }
+  std::sort(measured.begin(), measured.end(),
+            [](const MeasuredConfig& a, const MeasuredConfig& b) {
+              return a.seconds < b.seconds;
+            });
+  return measured;
+}
+
+SymbolicTuneResult TuneDenseSymbolic(int64_t n, int64_t k, int top_k,
+                                     int64_t tuning_m, int64_t max_eval_m) {
+  SymbolicTuneResult result;
+  // Step 1: tune at the representative static shape.
+  result.tuning_shape_ranking = TuneDenseStatic(tuning_m, n, k);
+  int keep = std::min<int>(top_k, static_cast<int>(result.tuning_shape_ranking.size()));
+
+  // Step 2: cross-evaluate the top-k configs on powers of two.
+  for (int64_t m = 1; m <= max_eval_m; m *= 2) result.eval_shapes.push_back(m);
+  double best_avg = 0.0;
+  bool first = true;
+  for (int c = 0; c < keep; ++c) {
+    const DenseConfig& config = result.tuning_shape_ranking[c].config;
+    double total = 0.0;
+    for (int64_t m : result.eval_shapes) {
+      total += MeasureDenseConfig(config, m, n, k, 3);
+    }
+    double avg = total / static_cast<double>(result.eval_shapes.size());
+    // Step 3: pick the best average performer.
+    if (first || avg < best_avg) {
+      best_avg = avg;
+      result.chosen = config;
+      first = false;
+    }
+  }
+  result.chosen_avg_seconds = best_avg;
+  return result;
+}
+
+}  // namespace codegen
+}  // namespace nimble

@@ -1,0 +1,65 @@
+// Template-based kernel tuning for symbolic shapes (§4.5).
+//
+// The search space is cache-blocking factors of a blocked dense kernel. For
+// a symbolic dimension the paper's mechanism is:
+//   1. replace the symbolic dim with a large value (64) and tune normally;
+//   2. take the top-k configurations and evaluate them on a selection of
+//      other shapes (powers of two up to 256);
+//   3. pick the configuration with the best average performance.
+// TuneSymbolic implements exactly that; benchmarks compare the transferred
+// configuration against per-shape oracle tuning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nimble {
+namespace codegen {
+
+struct DenseConfig {
+  int64_t block_n = 32;
+  int64_t block_k = 64;
+  std::string ToString() const {
+    return "bn" + std::to_string(block_n) + "_bk" + std::to_string(block_k);
+  }
+  bool operator==(const DenseConfig& o) const {
+    return block_n == o.block_n && block_k == o.block_k;
+  }
+};
+
+/// Cache-blocked dense kernel: x[M,K] · w[N,K]ᵀ -> out[M,N], with the N and
+/// K loops tiled by the config's blocking factors.
+void DenseBlocked(const float* x, const float* w, float* out, int64_t m,
+                  int64_t n, int64_t k, const DenseConfig& config);
+
+/// The tuning search space (block_n × block_k grid).
+std::vector<DenseConfig> DenseConfigSpace();
+
+struct MeasuredConfig {
+  DenseConfig config;
+  double seconds = 0.0;  // per-run latency
+};
+
+/// Measures one config on a static shape (median of `repeats` runs).
+double MeasureDenseConfig(const DenseConfig& config, int64_t m, int64_t n,
+                          int64_t k, int repeats = 3);
+
+/// Exhaustive tuning at one static shape; results sorted fastest-first.
+std::vector<MeasuredConfig> TuneDenseStatic(int64_t m, int64_t n, int64_t k,
+                                            int repeats = 3);
+
+struct SymbolicTuneResult {
+  DenseConfig chosen;
+  std::vector<MeasuredConfig> tuning_shape_ranking;  // step 1 ranking
+  std::vector<int64_t> eval_shapes;                  // step 2 shapes
+  double chosen_avg_seconds = 0.0;
+};
+
+/// The paper's three-step symbolic tuning for dense with symbolic M.
+SymbolicTuneResult TuneDenseSymbolic(int64_t n, int64_t k, int top_k = 4,
+                                     int64_t tuning_m = 64,
+                                     int64_t max_eval_m = 256);
+
+}  // namespace codegen
+}  // namespace nimble

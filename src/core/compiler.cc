@@ -1,0 +1,30 @@
+#include "src/core/compiler.h"
+
+#include "src/codegen/dispatch.h"
+#include "src/pass/type_infer.h"
+#include "src/vm/compiler.h"
+
+namespace nimble {
+namespace core {
+
+CompileResult Compile(ir::Module& mod, const CompileOptions& options) {
+  CompileResult result;
+
+  pass::InferTypes(&mod);
+  if (options.fold_constants) pass::FoldConstants(&mod);
+  if (options.fuse_lstm_cell) result.lstm_cells_fused = pass::FuseLSTMCell(&mod);
+  pass::ToANF(&mod);
+  pass::InferTypes(&mod);
+  if (options.fuse_ops) result.fusion = pass::FuseOps(&mod);
+  pass::DeadCodeElim(&mod);
+  pass::ManifestAlloc(&mod);
+  result.devices = pass::DevicePlacement(&mod, options.kernel_device);
+  if (options.memory_plan) result.memory = pass::MemoryPlan(&mod);
+
+  codegen::DenseDispatchTable::ConfigureGlobal(options.dense_dispatch_variants);
+  result.executable = vm::VMCompiler().Compile(mod);
+  return result;
+}
+
+}  // namespace core
+}  // namespace nimble

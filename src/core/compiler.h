@@ -1,0 +1,52 @@
+// Public compilation entry point: the full Nimble pipeline of Figure 2.
+//
+//   ir::Module  --[TypeInfer, FoldConstants, FuseLSTMCell, ToANF,
+//                  TypeInfer, FuseOps, DCE, ManifestAlloc,
+//                  DevicePlacement, MemoryPlan]-->  vm::Executable
+//
+// Typical use:
+//
+//   ir::Module mod = models::BuildLSTM(...);
+//   core::CompileResult result = core::Compile(mod, core::CompileOptions());
+//   vm::VirtualMachine machine(result.executable);
+//   auto out = machine.Invoke("main", {...});
+#pragma once
+
+#include <memory>
+
+#include "src/ir/module.h"
+#include "src/pass/memory.h"
+#include "src/pass/transforms.h"
+#include "src/runtime/device.h"
+#include "src/vm/executable.h"
+
+namespace nimble {
+namespace core {
+
+struct CompileOptions {
+  bool fold_constants = true;
+  bool fuse_ops = true;
+  bool fuse_lstm_cell = true;
+  bool memory_plan = true;
+  /// Device kernels execute on; CPU by default, SimGPU to exercise
+  /// heterogeneous placement (§4.4).
+  runtime::Device kernel_device = runtime::Device::CPU();
+  /// Number of residue-specialized dense kernel variants to dispatch
+  /// between at runtime (§4.5); 8 = full dispatch, 1 = generic kernel only.
+  int dense_dispatch_variants = 8;
+};
+
+struct CompileResult {
+  std::shared_ptr<vm::Executable> executable;
+  pass::FusionStats fusion;
+  int lstm_cells_fused = 0;
+  pass::MemoryPlanStats memory;
+  pass::DevicePlaceStats devices;
+};
+
+/// Runs the full pipeline. The input module is mutated in place (each pass
+/// rewrites its functions); pass a copy to keep the original.
+CompileResult Compile(ir::Module& mod, const CompileOptions& options = {});
+
+}  // namespace core
+}  // namespace nimble

@@ -1,0 +1,84 @@
+// Call attributes: a small, serializable key → value map attached to
+// operator calls (axis of a softmax, units of a dense, target device of an
+// alloc_storage, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/runtime/device.h"
+#include "src/runtime/dtype.h"
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace ir {
+
+using AttrValue = std::variant<int64_t, double, std::string, std::vector<int64_t>>;
+
+class Attrs {
+ public:
+  Attrs() = default;
+
+  Attrs& Set(const std::string& key, int64_t v) { map_[key] = v; return *this; }
+  Attrs& Set(const std::string& key, int v) { map_[key] = static_cast<int64_t>(v); return *this; }
+  Attrs& Set(const std::string& key, double v) { map_[key] = v; return *this; }
+  Attrs& Set(const std::string& key, std::string v) { map_[key] = std::move(v); return *this; }
+  Attrs& Set(const std::string& key, std::vector<int64_t> v) { map_[key] = std::move(v); return *this; }
+
+  bool Has(const std::string& key) const { return map_.count(key) > 0; }
+
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return def;
+    return std::get<int64_t>(it->second);
+  }
+  int64_t GetInt(const std::string& key) const {
+    NIMBLE_CHECK(Has(key)) << "missing required int attr '" << key << "'";
+    return std::get<int64_t>(map_.at(key));
+  }
+  double GetFloat(const std::string& key, double def) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return def;
+    return std::get<double>(it->second);
+  }
+  std::string GetStr(const std::string& key, const std::string& def = "") const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return def;
+    return std::get<std::string>(it->second);
+  }
+  std::vector<int64_t> GetIntVec(const std::string& key,
+                                 std::vector<int64_t> def = {}) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return def;
+    return std::get<std::vector<int64_t>>(it->second);
+  }
+
+  runtime::Device GetDevice(const std::string& key, runtime::Device def) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return def;
+    const auto& vec = std::get<std::vector<int64_t>>(it->second);
+    NIMBLE_CHECK_EQ(vec.size(), 2u);
+    return runtime::Device{static_cast<runtime::DeviceType>(vec[0]),
+                           static_cast<int>(vec[1])};
+  }
+  Attrs& SetDevice(const std::string& key, runtime::Device dev) {
+    return Set(key, std::vector<int64_t>{static_cast<int64_t>(dev.type),
+                                         static_cast<int64_t>(dev.id)});
+  }
+
+  const std::map<std::string, AttrValue>& map() const { return map_; }
+  bool empty() const { return map_.empty(); }
+
+  bool operator==(const Attrs& o) const { return map_ == o.map_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, AttrValue> map_;
+};
+
+}  // namespace ir
+}  // namespace nimble

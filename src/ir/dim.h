@@ -1,0 +1,131 @@
+// Tensor dimensions for the dynamic type system (§4.1).
+//
+// A Dim is one of:
+//  - Static(v): extent known at compile time;
+//  - Any():     statically unknown extent (the paper's `Any` dimension);
+//  - Sym(id):   a *named* unknown. Two dims with the same id are known to be
+//               equal even though their value is unknown — the paper's
+//               "extra analysis on each Any dimension to detect if two Any
+//               dimensions point to an identically sized dimension", which
+//               enables shape-specialized codegen (§4.5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace ir {
+
+class Dim {
+ public:
+  enum class Kind : uint8_t { kStatic = 0, kAny = 1, kSym = 2 };
+
+  Dim() : kind_(Kind::kStatic), value_(0) {}
+
+  static Dim Static(int64_t v) {
+    NIMBLE_CHECK_GE(v, 0) << "static dim must be non-negative";
+    Dim d;
+    d.kind_ = Kind::kStatic;
+    d.value_ = v;
+    return d;
+  }
+  static Dim Any() {
+    Dim d;
+    d.kind_ = Kind::kAny;
+    d.value_ = -1;
+    return d;
+  }
+  static Dim Sym(int64_t id, std::string name = "") {
+    Dim d;
+    d.kind_ = Kind::kSym;
+    d.value_ = id;
+    d.name_ = std::move(name);
+    return d;
+  }
+  /// Allocates a fresh symbolic dim with a process-unique id.
+  static Dim FreshSym(const std::string& name = "");
+
+  Kind kind() const { return kind_; }
+  bool is_static() const { return kind_ == Kind::kStatic; }
+  bool is_any() const { return kind_ == Kind::kAny; }
+  bool is_sym() const { return kind_ == Kind::kSym; }
+  /// True if the extent is not known at compile time (Any or Sym).
+  bool is_dynamic() const { return !is_static(); }
+
+  int64_t value() const {
+    NIMBLE_ICHECK(is_static()) << "value() on non-static dim";
+    return value_;
+  }
+  int64_t sym_id() const {
+    NIMBLE_ICHECK(is_sym()) << "sym_id() on non-symbolic dim";
+    return value_;
+  }
+  const std::string& name() const { return name_; }
+
+  /// Structural equality: static dims by value, sym dims by id; Any never
+  /// equals Any (two unknowns are not known to be the same).
+  bool StructEqual(const Dim& o) const {
+    if (kind_ != o.kind_) return false;
+    if (is_any()) return false;
+    return value_ == o.value_;
+  }
+
+  /// Representational identity, used by printers and hashing (Any == Any).
+  bool operator==(const Dim& o) const {
+    return kind_ == o.kind_ && value_ == o.value_;
+  }
+  bool operator!=(const Dim& o) const { return !(*this == o); }
+
+  std::string ToString() const {
+    switch (kind_) {
+      case Kind::kStatic: return std::to_string(value_);
+      case Kind::kAny: return "?";
+      case Kind::kSym:
+        return name_.empty() ? "'s" + std::to_string(value_) : "'" + name_;
+    }
+    return "<bad dim>";
+  }
+
+ private:
+  Kind kind_;
+  int64_t value_;     // static extent, or symbolic id
+  std::string name_;  // optional symbolic name
+};
+
+/// A (possibly symbolic) tensor shape.
+using Shape = std::vector<Dim>;
+
+inline Shape StaticShape(const std::vector<int64_t>& dims) {
+  Shape s;
+  s.reserve(dims.size());
+  for (int64_t d : dims) s.push_back(Dim::Static(d));
+  return s;
+}
+
+inline bool IsFullyStatic(const Shape& s) {
+  for (const Dim& d : s)
+    if (!d.is_static()) return false;
+  return true;
+}
+
+inline std::vector<int64_t> AsStaticShape(const Shape& s) {
+  std::vector<int64_t> out;
+  out.reserve(s.size());
+  for (const Dim& d : s) out.push_back(d.value());
+  return out;
+}
+
+inline std::string ShapeToString(const Shape& s) {
+  std::string out = "(";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ", ";
+    out += s[i].ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace ir
+}  // namespace nimble

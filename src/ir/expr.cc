@@ -1,0 +1,134 @@
+#include "src/ir/expr.h"
+
+#include <sstream>
+
+namespace nimble {
+namespace ir {
+
+std::string Attrs::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [key, value] : map_) {
+    if (!first) os << ", ";
+    first = false;
+    os << key << "=";
+    std::visit(
+        [&os](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, std::vector<int64_t>>) {
+            os << "[";
+            for (size_t i = 0; i < v.size(); ++i) {
+              if (i) os << ",";
+              os << v[i];
+            }
+            os << "]";
+          } else {
+            os << v;
+          }
+        },
+        value);
+  }
+  os << "}";
+  return os.str();
+}
+
+Var MakeVar(std::string name, Type type) {
+  return std::make_shared<VarNode>(std::move(name), std::move(type));
+}
+
+GlobalVar MakeGlobalVar(std::string name) {
+  return std::make_shared<GlobalVarNode>(std::move(name));
+}
+
+Expr MakeConstant(runtime::NDArray data) {
+  return std::make_shared<ConstantNode>(std::move(data));
+}
+
+Expr MakeTuple(std::vector<Expr> fields) {
+  return std::make_shared<TupleNode>(std::move(fields));
+}
+
+Expr MakeTupleGetItem(Expr tuple, int index) {
+  return std::make_shared<TupleGetItemNode>(std::move(tuple), index);
+}
+
+Expr MakeCall(Expr op, std::vector<Expr> args, Attrs attrs) {
+  return std::make_shared<CallNode>(std::move(op), std::move(args), std::move(attrs));
+}
+
+Function MakeFunction(std::vector<Var> params, Expr body, Type ret_type) {
+  return std::make_shared<FunctionNode>(std::move(params), std::move(body),
+                                        std::move(ret_type));
+}
+
+Expr MakeLet(Var var, Expr value, Expr body) {
+  return std::make_shared<LetNode>(std::move(var), std::move(value), std::move(body));
+}
+
+Expr MakeIf(Expr cond, Expr then_branch, Expr else_branch) {
+  return std::make_shared<IfNode>(std::move(cond), std::move(then_branch),
+                                  std::move(else_branch));
+}
+
+Expr MakeMatch(Expr data, std::vector<MatchClause> clauses) {
+  return std::make_shared<MatchNode>(std::move(data), std::move(clauses));
+}
+
+Expr FloatConst(float value) {
+  return MakeConstant(runtime::NDArray::Scalar<float>(value));
+}
+
+Expr IntConst(int64_t value) {
+  return MakeConstant(runtime::NDArray::Scalar<int64_t>(value));
+}
+
+Expr BoolConst(bool value) {
+  auto arr = runtime::NDArray::Empty({}, runtime::DataType::Bool());
+  *static_cast<uint8_t*>(arr.raw_data()) = value ? 1 : 0;
+  return MakeConstant(std::move(arr));
+}
+
+namespace {
+template <typename NodeT>
+const NodeT* Downcast(const Expr& e, ExprKind kind, const char* what) {
+  NIMBLE_CHECK(e != nullptr) << "null expr where " << what << " expected";
+  NIMBLE_CHECK(e->kind() == kind)
+      << "expected " << what << ", got expr kind " << static_cast<int>(e->kind());
+  return static_cast<const NodeT*>(e.get());
+}
+}  // namespace
+
+const VarNode* AsVar(const Expr& e) { return Downcast<VarNode>(e, ExprKind::kVar, "Var"); }
+const GlobalVarNode* AsGlobalVar(const Expr& e) {
+  return Downcast<GlobalVarNode>(e, ExprKind::kGlobalVar, "GlobalVar");
+}
+const ConstantNode* AsConstant(const Expr& e) {
+  return Downcast<ConstantNode>(e, ExprKind::kConstant, "Constant");
+}
+const TupleNode* AsTupleExpr(const Expr& e) {
+  return Downcast<TupleNode>(e, ExprKind::kTuple, "Tuple");
+}
+const CallNode* AsCall(const Expr& e) { return Downcast<CallNode>(e, ExprKind::kCall, "Call"); }
+const FunctionNode* AsFunction(const Expr& e) {
+  return Downcast<FunctionNode>(e, ExprKind::kFunction, "Function");
+}
+const LetNode* AsLet(const Expr& e) { return Downcast<LetNode>(e, ExprKind::kLet, "Let"); }
+const IfNode* AsIf(const Expr& e) { return Downcast<IfNode>(e, ExprKind::kIf, "If"); }
+const MatchNode* AsMatch(const Expr& e) {
+  return Downcast<MatchNode>(e, ExprKind::kMatch, "Match");
+}
+const OpNode* AsOp(const Expr& e) { return Downcast<OpNode>(e, ExprKind::kOp, "Op"); }
+const ConstructorNode* AsConstructor(const Expr& e) {
+  return Downcast<ConstructorNode>(e, ExprKind::kConstructor, "Constructor");
+}
+
+bool IsCallToOp(const Expr& e, const std::string& op_name) {
+  if (e == nullptr || e->kind() != ExprKind::kCall) return false;
+  const auto* call = static_cast<const CallNode*>(e.get());
+  if (call->op == nullptr || call->op->kind() != ExprKind::kOp) return false;
+  return static_cast<const OpNode*>(call->op.get())->name == op_name;
+}
+
+}  // namespace ir
+}  // namespace nimble

@@ -1,0 +1,214 @@
+// Expressions of the Nimble IR — a Relay-style functional IR with tensors,
+// tuples, let-bindings, control flow, recursion, closures, and algebraic
+// data types (needed for dynamic data structures such as Tree-LSTM trees).
+//
+// Expression nodes are immutable after construction except for the
+// `checked_type` annotation filled in by type inference and the `device`
+// annotation filled in by device placement.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/attrs.h"
+#include "src/ir/type.h"
+#include "src/runtime/ndarray.h"
+#include "src/runtime/object.h"
+
+namespace nimble {
+namespace ir {
+
+enum class ExprKind : uint8_t {
+  kVar = 0,
+  kGlobalVar,
+  kConstant,
+  kTuple,
+  kTupleGetItem,
+  kCall,
+  kFunction,
+  kLet,
+  kIf,
+  kMatch,
+  kOp,           // reference to a registered primitive operator
+  kConstructor,  // reference to an ADT constructor
+};
+
+class ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+class ExprNode {
+ public:
+  explicit ExprNode(ExprKind kind) : kind_(kind) {}
+  virtual ~ExprNode() = default;
+  ExprKind kind() const { return kind_; }
+
+  /// Filled by the TypeInfer pass.
+  mutable Type checked_type;
+  /// Filled by the DevicePlacement pass; nullopt = unconstrained.
+  mutable std::optional<runtime::Device> device;
+
+ private:
+  ExprKind kind_;
+};
+
+class VarNode : public ExprNode {
+ public:
+  VarNode(std::string name, Type type_annotation)
+      : ExprNode(ExprKind::kVar), name(std::move(name)),
+        type_annotation(std::move(type_annotation)) {}
+  std::string name;
+  Type type_annotation;  // may be null for let-bound vars
+};
+using Var = std::shared_ptr<const VarNode>;
+
+class GlobalVarNode : public ExprNode {
+ public:
+  explicit GlobalVarNode(std::string name)
+      : ExprNode(ExprKind::kGlobalVar), name(std::move(name)) {}
+  std::string name;
+};
+using GlobalVar = std::shared_ptr<const GlobalVarNode>;
+
+class ConstantNode : public ExprNode {
+ public:
+  explicit ConstantNode(runtime::NDArray data)
+      : ExprNode(ExprKind::kConstant), data(std::move(data)) {}
+  runtime::NDArray data;
+};
+
+class TupleNode : public ExprNode {
+ public:
+  explicit TupleNode(std::vector<Expr> fields)
+      : ExprNode(ExprKind::kTuple), fields(std::move(fields)) {}
+  std::vector<Expr> fields;
+};
+
+class TupleGetItemNode : public ExprNode {
+ public:
+  TupleGetItemNode(Expr tuple, int index)
+      : ExprNode(ExprKind::kTupleGetItem), tuple(std::move(tuple)), index(index) {}
+  Expr tuple;
+  int index;
+};
+
+/// Reference to a registered primitive operator; interned by name via
+/// Op::Get in src/op/registry.h.
+class OpNode : public ExprNode {
+ public:
+  explicit OpNode(std::string name)
+      : ExprNode(ExprKind::kOp), name(std::move(name)) {}
+  std::string name;
+};
+using Op = std::shared_ptr<const OpNode>;
+
+/// Reference to an ADT constructor (e.g. Leaf / Node of Tree).
+class ConstructorNode : public ExprNode {
+ public:
+  ConstructorNode(std::string adt_name, std::string name, uint32_t tag,
+                  std::vector<Type> field_types)
+      : ExprNode(ExprKind::kConstructor), adt_name(std::move(adt_name)),
+        name(std::move(name)), tag(tag), field_types(std::move(field_types)) {}
+  std::string adt_name;
+  std::string name;
+  uint32_t tag;
+  std::vector<Type> field_types;
+};
+using Constructor = std::shared_ptr<const ConstructorNode>;
+
+class CallNode : public ExprNode {
+ public:
+  CallNode(Expr op, std::vector<Expr> args, Attrs attrs = Attrs())
+      : ExprNode(ExprKind::kCall), op(std::move(op)), args(std::move(args)),
+        attrs(std::move(attrs)) {}
+  Expr op;  // OpNode, GlobalVarNode, VarNode (closure), Constructor or Function
+  std::vector<Expr> args;
+  Attrs attrs;
+};
+
+class FunctionNode : public ExprNode {
+ public:
+  FunctionNode(std::vector<Var> params, Expr body, Type ret_type)
+      : ExprNode(ExprKind::kFunction), params(std::move(params)),
+        body(std::move(body)), ret_type(std::move(ret_type)) {}
+  std::vector<Var> params;
+  Expr body;
+  Type ret_type;  // may be null => inferred
+};
+using Function = std::shared_ptr<const FunctionNode>;
+
+class LetNode : public ExprNode {
+ public:
+  LetNode(Var var, Expr value, Expr body)
+      : ExprNode(ExprKind::kLet), var(std::move(var)), value(std::move(value)),
+        body(std::move(body)) {}
+  Var var;
+  Expr value;
+  Expr body;
+};
+
+class IfNode : public ExprNode {
+ public:
+  IfNode(Expr cond, Expr then_branch, Expr else_branch)
+      : ExprNode(ExprKind::kIf), cond(std::move(cond)),
+        then_branch(std::move(then_branch)), else_branch(std::move(else_branch)) {}
+  Expr cond;
+  Expr then_branch;
+  Expr else_branch;
+};
+
+/// One arm of a Match: matches constructor `ctor`, binding its fields to
+/// `binds` in `body`. A null ctor is the wildcard pattern.
+struct MatchClause {
+  Constructor ctor;
+  std::vector<Var> binds;
+  Expr body;
+};
+
+class MatchNode : public ExprNode {
+ public:
+  MatchNode(Expr data, std::vector<MatchClause> clauses)
+      : ExprNode(ExprKind::kMatch), data(std::move(data)),
+        clauses(std::move(clauses)) {}
+  Expr data;
+  std::vector<MatchClause> clauses;
+};
+
+// ---- constructor helpers ---------------------------------------------------
+
+Var MakeVar(std::string name, Type type = nullptr);
+GlobalVar MakeGlobalVar(std::string name);
+Expr MakeConstant(runtime::NDArray data);
+Expr MakeTuple(std::vector<Expr> fields);
+Expr MakeTupleGetItem(Expr tuple, int index);
+Expr MakeCall(Expr op, std::vector<Expr> args, Attrs attrs = Attrs());
+Function MakeFunction(std::vector<Var> params, Expr body, Type ret_type = nullptr);
+Expr MakeLet(Var var, Expr value, Expr body);
+Expr MakeIf(Expr cond, Expr then_branch, Expr else_branch);
+Expr MakeMatch(Expr data, std::vector<MatchClause> clauses);
+
+/// Scalar float32 / int64 constants, used pervasively by model builders.
+Expr FloatConst(float value);
+Expr IntConst(int64_t value);
+Expr BoolConst(bool value);
+
+// ---- checked downcasts -----------------------------------------------------
+
+const VarNode* AsVar(const Expr& e);
+const GlobalVarNode* AsGlobalVar(const Expr& e);
+const ConstantNode* AsConstant(const Expr& e);
+const TupleNode* AsTupleExpr(const Expr& e);
+const CallNode* AsCall(const Expr& e);
+const FunctionNode* AsFunction(const Expr& e);
+const LetNode* AsLet(const Expr& e);
+const IfNode* AsIf(const Expr& e);
+const MatchNode* AsMatch(const Expr& e);
+const OpNode* AsOp(const Expr& e);
+const ConstructorNode* AsConstructor(const Expr& e);
+
+/// True if `e` is a Call whose callee is the named primitive op.
+bool IsCallToOp(const Expr& e, const std::string& op_name);
+
+}  // namespace ir
+}  // namespace nimble

@@ -1,0 +1,90 @@
+#include "src/ir/module.h"
+
+#include <sstream>
+
+#include "src/ir/printer.h"
+
+namespace nimble {
+namespace ir {
+
+GlobalVar Module::Add(const std::string& name, Function fn) {
+  functions_[name] = std::move(fn);
+  return MakeGlobalVar(name);
+}
+
+Function Module::Lookup(const std::string& name) const {
+  auto it = functions_.find(name);
+  NIMBLE_CHECK(it != functions_.end()) << "no global function named '" << name << "'";
+  return it->second;
+}
+
+GlobalVar Module::GetGlobalVar(const std::string& name) const {
+  NIMBLE_CHECK(functions_.count(name) > 0)
+      << "no global function named '" << name << "'";
+  return MakeGlobalVar(name);
+}
+
+void Module::Update(const std::string& name, Function fn) {
+  NIMBLE_CHECK(functions_.count(name) > 0)
+      << "Update of unknown global '" << name << "'";
+  functions_[name] = std::move(fn);
+}
+
+const TypeData& Module::DefineADT(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::vector<Type>>>& ctors) {
+  NIMBLE_CHECK(adts_.count(name) == 0) << "ADT '" << name << "' already defined";
+  TypeData data;
+  data.name = name;
+  uint32_t tag = 0;
+  for (const auto& [ctor_name, fields] : ctors) {
+    data.constructors.push_back(std::make_shared<ConstructorNode>(
+        name, ctor_name, tag++, fields));
+  }
+  auto [it, ok] = adts_.emplace(name, std::move(data));
+  (void)ok;
+  return it->second;
+}
+
+const TypeData& Module::LookupADT(const std::string& name) const {
+  auto it = adts_.find(name);
+  NIMBLE_CHECK(it != adts_.end()) << "no ADT named '" << name << "'";
+  return it->second;
+}
+
+Constructor Module::LookupConstructor(const std::string& adt_name,
+                                      const std::string& ctor_name) const {
+  const TypeData& data = LookupADT(adt_name);
+  for (const Constructor& c : data.constructors) {
+    if (c->name == ctor_name) return c;
+  }
+  NIMBLE_FATAL() << "ADT '" << adt_name << "' has no constructor '" << ctor_name << "'";
+}
+
+std::string Module::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, data] : adts_) {
+    os << "type " << name << " = ";
+    for (size_t i = 0; i < data.constructors.size(); ++i) {
+      if (i) os << " | ";
+      const Constructor& c = data.constructors[i];
+      os << c->name;
+      if (!c->field_types.empty()) {
+        os << "(";
+        for (size_t j = 0; j < c->field_types.size(); ++j) {
+          if (j) os << ", ";
+          os << TypeToString(c->field_types[j]);
+        }
+        os << ")";
+      }
+    }
+    os << "\n";
+  }
+  for (const auto& [name, fn] : functions_) {
+    os << "def @" << name << PrintExpr(fn, /*skip_fn_keyword=*/true) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ir
+}  // namespace nimble

@@ -1,0 +1,65 @@
+// IRModule: the unit of compilation. Holds global functions (mutually
+// recursive, enabling loops via tail recursion) and algebraic data type
+// definitions (enabling dynamic data structures, §2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/expr.h"
+
+namespace nimble {
+namespace ir {
+
+/// Declaration of an algebraic data type: a name plus its constructors.
+/// Example (Tree-LSTM): Tree = Leaf(Tensor[(1,300)]) | Node(Tree, Tree).
+struct TypeData {
+  std::string name;
+  std::vector<Constructor> constructors;
+};
+
+class Module {
+ public:
+  Module() = default;
+
+  /// Adds/replaces a global function under `name` and returns its GlobalVar.
+  GlobalVar Add(const std::string& name, Function fn);
+
+  bool HasFunction(const std::string& name) const { return functions_.count(name) > 0; }
+  Function Lookup(const std::string& name) const;
+  Function Lookup(const GlobalVar& gv) const { return Lookup(gv->name); }
+  GlobalVar GetGlobalVar(const std::string& name) const;
+
+  const std::map<std::string, Function>& functions() const { return functions_; }
+
+  /// Replaces the body of an existing global (used by passes).
+  void Update(const std::string& name, Function fn);
+
+  /// Declares an ADT with the given constructor (name, field-type) list;
+  /// returns the TypeData. Constructor tags are assigned 0..n-1.
+  const TypeData& DefineADT(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::vector<Type>>>& ctors);
+
+  bool HasADT(const std::string& name) const { return adts_.count(name) > 0; }
+  const TypeData& LookupADT(const std::string& name) const;
+  Constructor LookupConstructor(const std::string& adt_name,
+                                const std::string& ctor_name) const;
+  const std::map<std::string, TypeData>& adts() const { return adts_; }
+
+  /// Name of the conventional entry function.
+  static constexpr const char* kMainName = "main";
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Function> functions_;
+  std::map<std::string, TypeData> adts_;
+};
+
+using ModulePtr = std::shared_ptr<Module>;
+
+}  // namespace ir
+}  // namespace nimble

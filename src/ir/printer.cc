@@ -1,0 +1,191 @@
+#include "src/ir/printer.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nimble {
+namespace ir {
+
+namespace {
+
+class Printer {
+ public:
+  std::string Print(const Expr& e, bool skip_fn_keyword) {
+    skip_fn_keyword_ = skip_fn_keyword;
+    std::ostringstream os;
+    PrintExprTo(e, os, 0);
+    return os.str();
+  }
+
+ private:
+  std::string NameOf(const VarNode* v) {
+    auto it = names_.find(v);
+    if (it != names_.end()) return it->second;
+    std::string base = v->name.empty() ? "v" + std::to_string(counter_++) : v->name;
+    // Disambiguate textual collisions between distinct var nodes.
+    if (used_names_.count(base)) {
+      base += "_" + std::to_string(counter_++);
+    }
+    used_names_.insert(base);
+    names_[v] = base;
+    return base;
+  }
+
+  void Indent(std::ostringstream& os, int depth) {
+    for (int i = 0; i < depth; ++i) os << "  ";
+  }
+
+  void PrintExprTo(const Expr& e, std::ostringstream& os, int depth) {
+    if (e == nullptr) {
+      os << "<null>";
+      return;
+    }
+    switch (e->kind()) {
+      case ExprKind::kVar:
+        os << "%" << NameOf(static_cast<const VarNode*>(e.get()));
+        break;
+      case ExprKind::kGlobalVar:
+        os << "@" << static_cast<const GlobalVarNode*>(e.get())->name;
+        break;
+      case ExprKind::kConstant: {
+        const auto& data = static_cast<const ConstantNode*>(e.get())->data;
+        if (data.ndim() == 0) {
+          os << "const(" << data.ToString(1) << ")";
+        } else {
+          os << "const<" << runtime::ShapeToString(data.shape()) << ", "
+             << data.dtype().ToString() << ">";
+        }
+        break;
+      }
+      case ExprKind::kOp:
+        os << static_cast<const OpNode*>(e.get())->name;
+        break;
+      case ExprKind::kConstructor:
+        os << static_cast<const ConstructorNode*>(e.get())->name;
+        break;
+      case ExprKind::kTuple: {
+        auto* t = static_cast<const TupleNode*>(e.get());
+        os << "(";
+        for (size_t i = 0; i < t->fields.size(); ++i) {
+          if (i) os << ", ";
+          PrintExprTo(t->fields[i], os, depth);
+        }
+        if (t->fields.size() == 1) os << ",";
+        os << ")";
+        break;
+      }
+      case ExprKind::kTupleGetItem: {
+        auto* t = static_cast<const TupleGetItemNode*>(e.get());
+        PrintExprTo(t->tuple, os, depth);
+        os << "." << t->index;
+        break;
+      }
+      case ExprKind::kCall: {
+        auto* c = static_cast<const CallNode*>(e.get());
+        PrintExprTo(c->op, os, depth);
+        os << "(";
+        for (size_t i = 0; i < c->args.size(); ++i) {
+          if (i) os << ", ";
+          PrintExprTo(c->args[i], os, depth);
+        }
+        os << ")";
+        if (!c->attrs.empty()) os << " /* " << c->attrs.ToString() << " */";
+        break;
+      }
+      case ExprKind::kFunction: {
+        auto* f = static_cast<const FunctionNode*>(e.get());
+        if (!skip_fn_keyword_) os << "fn";
+        skip_fn_keyword_ = false;
+        os << "(";
+        for (size_t i = 0; i < f->params.size(); ++i) {
+          if (i) os << ", ";
+          os << "%" << NameOf(f->params[i].get());
+          Type t = f->params[i]->type_annotation
+                       ? f->params[i]->type_annotation
+                       : f->params[i]->checked_type;
+          if (t) os << ": " << TypeToString(t);
+        }
+        os << ")";
+        if (f->ret_type) os << " -> " << TypeToString(f->ret_type);
+        os << " {\n";
+        Indent(os, depth + 1);
+        PrintExprTo(f->body, os, depth + 1);
+        os << "\n";
+        Indent(os, depth);
+        os << "}";
+        break;
+      }
+      case ExprKind::kLet: {
+        auto* l = static_cast<const LetNode*>(e.get());
+        os << "let %" << NameOf(l->var.get());
+        if (l->var->checked_type) os << ": " << TypeToString(l->var->checked_type);
+        os << " = ";
+        PrintExprTo(l->value, os, depth);
+        os << ";\n";
+        Indent(os, depth);
+        PrintExprTo(l->body, os, depth);
+        break;
+      }
+      case ExprKind::kIf: {
+        auto* i = static_cast<const IfNode*>(e.get());
+        os << "if (";
+        PrintExprTo(i->cond, os, depth);
+        os << ") {\n";
+        Indent(os, depth + 1);
+        PrintExprTo(i->then_branch, os, depth + 1);
+        os << "\n";
+        Indent(os, depth);
+        os << "} else {\n";
+        Indent(os, depth + 1);
+        PrintExprTo(i->else_branch, os, depth + 1);
+        os << "\n";
+        Indent(os, depth);
+        os << "}";
+        break;
+      }
+      case ExprKind::kMatch: {
+        auto* m = static_cast<const MatchNode*>(e.get());
+        os << "match (";
+        PrintExprTo(m->data, os, depth);
+        os << ") {\n";
+        for (const MatchClause& c : m->clauses) {
+          Indent(os, depth + 1);
+          if (c.ctor == nullptr) {
+            os << "_";
+          } else {
+            os << c.ctor->name;
+            if (!c.binds.empty()) {
+              os << "(";
+              for (size_t i = 0; i < c.binds.size(); ++i) {
+                if (i) os << ", ";
+                os << "%" << NameOf(c.binds[i].get());
+              }
+              os << ")";
+            }
+          }
+          os << " => ";
+          PrintExprTo(c.body, os, depth + 1);
+          os << ",\n";
+        }
+        Indent(os, depth);
+        os << "}";
+        break;
+      }
+    }
+  }
+
+  std::unordered_map<const VarNode*, std::string> names_;
+  std::unordered_set<std::string> used_names_;
+  int counter_ = 0;
+  bool skip_fn_keyword_ = false;
+};
+
+}  // namespace
+
+std::string PrintExpr(const Expr& e, bool skip_fn_keyword) {
+  return Printer().Print(e, skip_fn_keyword);
+}
+
+}  // namespace ir
+}  // namespace nimble

@@ -1,0 +1,21 @@
+// Text printer for IR expressions, in a Relay-like surface syntax:
+//
+//   fn (%x: Tensor[(?, 2), float32], %y: Tensor[(1, 2), float32]) {
+//     let %t0 = concat(%x, %y) /* axis=0 */;
+//     %t0
+//   }
+#pragma once
+
+#include <string>
+
+#include "src/ir/expr.h"
+
+namespace nimble {
+namespace ir {
+
+/// Renders `e` as text. `skip_fn_keyword` omits the leading "fn" when the
+/// caller prints its own header (Module::ToString).
+std::string PrintExpr(const Expr& e, bool skip_fn_keyword = false);
+
+}  // namespace ir
+}  // namespace nimble

@@ -1,0 +1,185 @@
+#include "src/ir/type.h"
+
+#include <atomic>
+#include <sstream>
+
+namespace nimble {
+namespace ir {
+
+Dim Dim::FreshSym(const std::string& name) {
+  static std::atomic<int64_t> next_id{1};
+  return Dim::Sym(next_id.fetch_add(1), name);
+}
+
+Type TensorType(Shape shape, DataType dtype) {
+  return std::make_shared<TensorTypeNode>(std::move(shape), dtype);
+}
+
+Type TensorType(const std::vector<int64_t>& static_shape, DataType dtype) {
+  return TensorType(StaticShape(static_shape), dtype);
+}
+
+Type ScalarType(DataType dtype) { return TensorType(Shape{}, dtype); }
+
+Type TupleType(std::vector<Type> fields) {
+  return std::make_shared<TupleTypeNode>(std::move(fields));
+}
+
+Type FuncType(std::vector<Type> params, Type ret) {
+  return std::make_shared<FuncTypeNode>(std::move(params), std::move(ret));
+}
+
+Type ADTType(std::string name) {
+  return std::make_shared<ADTTypeNode>(std::move(name));
+}
+
+const TensorTypeNode* AsTensorType(const Type& t) {
+  NIMBLE_CHECK(t != nullptr) << "null type where tensor type expected";
+  NIMBLE_CHECK(t->kind() == TypeKind::kTensor)
+      << "expected tensor type, got " << TypeToString(t);
+  return static_cast<const TensorTypeNode*>(t.get());
+}
+
+const TupleTypeNode* AsTupleType(const Type& t) {
+  NIMBLE_CHECK(t != nullptr) << "null type where tuple type expected";
+  NIMBLE_CHECK(t->kind() == TypeKind::kTuple)
+      << "expected tuple type, got " << TypeToString(t);
+  return static_cast<const TupleTypeNode*>(t.get());
+}
+
+const FuncTypeNode* AsFuncType(const Type& t) {
+  NIMBLE_CHECK(t != nullptr) << "null type where function type expected";
+  NIMBLE_CHECK(t->kind() == TypeKind::kFunc)
+      << "expected function type, got " << TypeToString(t);
+  return static_cast<const FuncTypeNode*>(t.get());
+}
+
+const ADTTypeNode* AsADTType(const Type& t) {
+  NIMBLE_CHECK(t != nullptr) << "null type where ADT type expected";
+  NIMBLE_CHECK(t->kind() == TypeKind::kADT)
+      << "expected ADT type, got " << TypeToString(t);
+  return static_cast<const ADTTypeNode*>(t.get());
+}
+
+namespace {
+
+bool DimMatches(const Dim& concrete, const Dim& expected, bool strict) {
+  if (!strict && (expected.is_any() || concrete.is_any())) return true;
+  if (!strict && expected.is_sym()) return true;  // sym accepts refinement
+  return concrete.StructEqual(expected);
+}
+
+bool TypeEqualImpl(const Type& a, const Type& b, bool strict) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case TypeKind::kTensor: {
+      auto* ta = static_cast<const TensorTypeNode*>(a.get());
+      auto* tb = static_cast<const TensorTypeNode*>(b.get());
+      if (ta->dtype != tb->dtype) return false;
+      if (ta->shape.size() != tb->shape.size()) return false;
+      for (size_t i = 0; i < ta->shape.size(); ++i) {
+        if (!DimMatches(ta->shape[i], tb->shape[i], strict)) return false;
+      }
+      return true;
+    }
+    case TypeKind::kTuple: {
+      auto* ta = static_cast<const TupleTypeNode*>(a.get());
+      auto* tb = static_cast<const TupleTypeNode*>(b.get());
+      if (ta->fields.size() != tb->fields.size()) return false;
+      for (size_t i = 0; i < ta->fields.size(); ++i) {
+        if (!TypeEqualImpl(ta->fields[i], tb->fields[i], strict)) return false;
+      }
+      return true;
+    }
+    case TypeKind::kFunc: {
+      auto* fa = static_cast<const FuncTypeNode*>(a.get());
+      auto* fb = static_cast<const FuncTypeNode*>(b.get());
+      if (fa->params.size() != fb->params.size()) return false;
+      for (size_t i = 0; i < fa->params.size(); ++i) {
+        if (!TypeEqualImpl(fa->params[i], fb->params[i], strict)) return false;
+      }
+      return TypeEqualImpl(fa->ret, fb->ret, strict);
+    }
+    case TypeKind::kADT: {
+      auto* da = static_cast<const ADTTypeNode*>(a.get());
+      auto* db = static_cast<const ADTTypeNode*>(b.get());
+      return da->name == db->name;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool TypeEqual(const Type& a, const Type& b) { return TypeEqualImpl(a, b, true); }
+
+bool TypeCompatible(const Type& concrete, const Type& expected) {
+  return TypeEqualImpl(concrete, expected, false);
+}
+
+std::string TypeToString(const Type& t) {
+  if (t == nullptr) return "<untyped>";
+  std::ostringstream os;
+  switch (t->kind()) {
+    case TypeKind::kTensor: {
+      auto* tt = static_cast<const TensorTypeNode*>(t.get());
+      os << "Tensor[" << ShapeToString(tt->shape) << ", "
+         << tt->dtype.ToString() << "]";
+      break;
+    }
+    case TypeKind::kTuple: {
+      auto* tt = static_cast<const TupleTypeNode*>(t.get());
+      os << "(";
+      for (size_t i = 0; i < tt->fields.size(); ++i) {
+        if (i) os << ", ";
+        os << TypeToString(tt->fields[i]);
+      }
+      os << ")";
+      break;
+    }
+    case TypeKind::kFunc: {
+      auto* ft = static_cast<const FuncTypeNode*>(t.get());
+      os << "fn(";
+      for (size_t i = 0; i < ft->params.size(); ++i) {
+        if (i) os << ", ";
+        os << TypeToString(ft->params[i]);
+      }
+      os << ") -> " << TypeToString(ft->ret);
+      break;
+    }
+    case TypeKind::kADT:
+      os << static_cast<const ADTTypeNode*>(t.get())->name;
+      break;
+  }
+  return os.str();
+}
+
+bool HasDynamicShape(const Type& t) {
+  if (t == nullptr) return false;
+  switch (t->kind()) {
+    case TypeKind::kTensor: {
+      auto* tt = static_cast<const TensorTypeNode*>(t.get());
+      return !tt->IsFullyStatic();
+    }
+    case TypeKind::kTuple: {
+      auto* tt = static_cast<const TupleTypeNode*>(t.get());
+      for (const Type& f : tt->fields)
+        if (HasDynamicShape(f)) return true;
+      return false;
+    }
+    case TypeKind::kFunc: {
+      auto* ft = static_cast<const FuncTypeNode*>(t.get());
+      for (const Type& p : ft->params)
+        if (HasDynamicShape(p)) return true;
+      return HasDynamicShape(ft->ret);
+    }
+    case TypeKind::kADT:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace ir
+}  // namespace nimble

@@ -1,0 +1,93 @@
+// Types of the Nimble IR (§4.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/dim.h"
+#include "src/runtime/dtype.h"
+
+namespace nimble {
+namespace ir {
+
+using runtime::DataType;
+
+enum class TypeKind : uint8_t { kTensor = 0, kTuple = 1, kFunc = 2, kADT = 3 };
+
+class TypeNode {
+ public:
+  explicit TypeNode(TypeKind kind) : kind_(kind) {}
+  virtual ~TypeNode() = default;
+  TypeKind kind() const { return kind_; }
+
+ private:
+  TypeKind kind_;
+};
+
+using Type = std::shared_ptr<const TypeNode>;
+
+/// Tensor[(d0, d1, ...), dtype] where each di may be static, Any or symbolic.
+class TensorTypeNode : public TypeNode {
+ public:
+  TensorTypeNode(Shape shape, DataType dtype)
+      : TypeNode(TypeKind::kTensor), shape(std::move(shape)), dtype(dtype) {}
+  Shape shape;
+  DataType dtype;
+
+  bool IsFullyStatic() const { return ir::IsFullyStatic(shape); }
+};
+
+class TupleTypeNode : public TypeNode {
+ public:
+  explicit TupleTypeNode(std::vector<Type> fields)
+      : TypeNode(TypeKind::kTuple), fields(std::move(fields)) {}
+  std::vector<Type> fields;
+};
+
+class FuncTypeNode : public TypeNode {
+ public:
+  FuncTypeNode(std::vector<Type> params, Type ret)
+      : TypeNode(TypeKind::kFunc), params(std::move(params)), ret(std::move(ret)) {}
+  std::vector<Type> params;
+  Type ret;
+};
+
+/// Reference to a user-declared algebraic data type (e.g. Tree).
+class ADTTypeNode : public TypeNode {
+ public:
+  explicit ADTTypeNode(std::string name)
+      : TypeNode(TypeKind::kADT), name(std::move(name)) {}
+  std::string name;
+};
+
+// ---- constructors ---------------------------------------------------------
+
+Type TensorType(Shape shape, DataType dtype = DataType::Float32());
+Type TensorType(const std::vector<int64_t>& static_shape,
+                DataType dtype = DataType::Float32());
+Type ScalarType(DataType dtype);
+Type TupleType(std::vector<Type> fields);
+Type FuncType(std::vector<Type> params, Type ret);
+Type ADTType(std::string name);
+
+// ---- accessors ------------------------------------------------------------
+
+const TensorTypeNode* AsTensorType(const Type& t);
+const TupleTypeNode* AsTupleType(const Type& t);
+const FuncTypeNode* AsFuncType(const Type& t);
+const ADTTypeNode* AsADTType(const Type& t);
+
+/// Structural type equality. Any != Any at the dim level (see Dim), but
+/// `strict=false` treats Any as equal to anything (sub-shaping compatibility,
+/// §4.1): a more specific shape may flow into a less specific context.
+bool TypeEqual(const Type& a, const Type& b);
+bool TypeCompatible(const Type& concrete, const Type& expected);
+
+std::string TypeToString(const Type& t);
+
+/// True if any tensor dim reachable in the type is dynamic (Any/sym).
+bool HasDynamicShape(const Type& t);
+
+}  // namespace ir
+}  // namespace nimble

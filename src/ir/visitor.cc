@@ -1,0 +1,354 @@
+#include "src/ir/visitor.h"
+
+#include <functional>
+
+namespace nimble {
+namespace ir {
+
+void ExprVisitor::Visit(const Expr& e) {
+  if (e == nullptr) return;
+  if (!visited_.insert(e.get()).second) return;
+  switch (e->kind()) {
+    case ExprKind::kVar: VisitVar_(static_cast<const VarNode*>(e.get())); break;
+    case ExprKind::kGlobalVar:
+      VisitGlobalVar_(static_cast<const GlobalVarNode*>(e.get()));
+      break;
+    case ExprKind::kConstant:
+      VisitConstant_(static_cast<const ConstantNode*>(e.get()));
+      break;
+    case ExprKind::kOp: VisitOp_(static_cast<const OpNode*>(e.get())); break;
+    case ExprKind::kConstructor:
+      VisitConstructor_(static_cast<const ConstructorNode*>(e.get()));
+      break;
+    case ExprKind::kTuple: VisitTuple_(static_cast<const TupleNode*>(e.get())); break;
+    case ExprKind::kTupleGetItem:
+      VisitTupleGetItem_(static_cast<const TupleGetItemNode*>(e.get()));
+      break;
+    case ExprKind::kCall: VisitCall_(static_cast<const CallNode*>(e.get())); break;
+    case ExprKind::kFunction:
+      VisitFunction_(static_cast<const FunctionNode*>(e.get()));
+      break;
+    case ExprKind::kLet: VisitLet_(static_cast<const LetNode*>(e.get())); break;
+    case ExprKind::kIf: VisitIf_(static_cast<const IfNode*>(e.get())); break;
+    case ExprKind::kMatch: VisitMatch_(static_cast<const MatchNode*>(e.get())); break;
+  }
+}
+
+void ExprVisitor::VisitTuple_(const TupleNode* node) {
+  for (const Expr& f : node->fields) Visit(f);
+}
+void ExprVisitor::VisitTupleGetItem_(const TupleGetItemNode* node) {
+  Visit(node->tuple);
+}
+void ExprVisitor::VisitCall_(const CallNode* node) {
+  Visit(node->op);
+  for (const Expr& a : node->args) Visit(a);
+}
+void ExprVisitor::VisitFunction_(const FunctionNode* node) {
+  for (const Var& p : node->params) Visit(p);
+  Visit(node->body);
+}
+void ExprVisitor::VisitLet_(const LetNode* node) {
+  Visit(node->var);
+  Visit(node->value);
+  Visit(node->body);
+}
+void ExprVisitor::VisitIf_(const IfNode* node) {
+  Visit(node->cond);
+  Visit(node->then_branch);
+  Visit(node->else_branch);
+}
+void ExprVisitor::VisitMatch_(const MatchNode* node) {
+  Visit(node->data);
+  for (const MatchClause& c : node->clauses) {
+    for (const Var& b : c.binds) Visit(b);
+    Visit(c.body);
+  }
+}
+
+Expr ExprMutator::Mutate(const Expr& e) {
+  if (e == nullptr) return e;
+  auto it = memo_.find(e.get());
+  if (it != memo_.end()) return it->second;
+  Expr result;
+  switch (e->kind()) {
+    case ExprKind::kVar:
+      result = MutateVar_(static_cast<const VarNode*>(e.get()), e);
+      break;
+    case ExprKind::kGlobalVar:
+      result = MutateGlobalVar_(static_cast<const GlobalVarNode*>(e.get()), e);
+      break;
+    case ExprKind::kConstant:
+      result = MutateConstant_(static_cast<const ConstantNode*>(e.get()), e);
+      break;
+    case ExprKind::kOp:
+      result = MutateOp_(static_cast<const OpNode*>(e.get()), e);
+      break;
+    case ExprKind::kConstructor:
+      result = MutateConstructor_(static_cast<const ConstructorNode*>(e.get()), e);
+      break;
+    case ExprKind::kTuple:
+      result = MutateTuple_(static_cast<const TupleNode*>(e.get()), e);
+      break;
+    case ExprKind::kTupleGetItem:
+      result = MutateTupleGetItem_(static_cast<const TupleGetItemNode*>(e.get()), e);
+      break;
+    case ExprKind::kCall:
+      result = MutateCall_(static_cast<const CallNode*>(e.get()), e);
+      break;
+    case ExprKind::kFunction:
+      result = MutateFunction_(static_cast<const FunctionNode*>(e.get()), e);
+      break;
+    case ExprKind::kLet:
+      result = MutateLet_(static_cast<const LetNode*>(e.get()), e);
+      break;
+    case ExprKind::kIf:
+      result = MutateIf_(static_cast<const IfNode*>(e.get()), e);
+      break;
+    case ExprKind::kMatch:
+      result = MutateMatch_(static_cast<const MatchNode*>(e.get()), e);
+      break;
+  }
+  memo_[e.get()] = result;
+  return result;
+}
+
+Expr ExprMutator::MutateTuple_(const TupleNode* node, const Expr& e) {
+  std::vector<Expr> fields;
+  bool changed = false;
+  fields.reserve(node->fields.size());
+  for (const Expr& f : node->fields) {
+    Expr nf = Mutate(f);
+    changed |= (nf != f);
+    fields.push_back(std::move(nf));
+  }
+  return changed ? MakeTuple(std::move(fields)) : e;
+}
+
+Expr ExprMutator::MutateTupleGetItem_(const TupleGetItemNode* node, const Expr& e) {
+  Expr tuple = Mutate(node->tuple);
+  return tuple == node->tuple ? e : MakeTupleGetItem(std::move(tuple), node->index);
+}
+
+Expr ExprMutator::MutateCall_(const CallNode* node, const Expr& e) {
+  Expr op = Mutate(node->op);
+  std::vector<Expr> args;
+  bool changed = (op != node->op);
+  args.reserve(node->args.size());
+  for (const Expr& a : node->args) {
+    Expr na = Mutate(a);
+    changed |= (na != a);
+    args.push_back(std::move(na));
+  }
+  return changed ? MakeCall(std::move(op), std::move(args), node->attrs) : e;
+}
+
+Expr ExprMutator::MutateFunction_(const FunctionNode* node, const Expr& e) {
+  std::vector<Var> params;
+  bool changed = false;
+  params.reserve(node->params.size());
+  for (const Var& p : node->params) {
+    Expr np = Mutate(p);
+    NIMBLE_ICHECK(np->kind() == ExprKind::kVar) << "param must mutate to var";
+    changed |= (np != p);
+    params.push_back(std::static_pointer_cast<const VarNode>(np));
+  }
+  Expr body = Mutate(node->body);
+  changed |= (body != node->body);
+  return changed ? MakeFunction(std::move(params), std::move(body), node->ret_type)
+                 : e;
+}
+
+Expr ExprMutator::MutateLet_(const LetNode* node, const Expr& e) {
+  Expr var = Mutate(node->var);
+  NIMBLE_ICHECK(var->kind() == ExprKind::kVar) << "let binder must mutate to var";
+  Expr value = Mutate(node->value);
+  Expr body = Mutate(node->body);
+  if (var == node->var && value == node->value && body == node->body) return e;
+  return MakeLet(std::static_pointer_cast<const VarNode>(var), std::move(value),
+                 std::move(body));
+}
+
+Expr ExprMutator::MutateIf_(const IfNode* node, const Expr& e) {
+  Expr cond = Mutate(node->cond);
+  Expr t = Mutate(node->then_branch);
+  Expr f = Mutate(node->else_branch);
+  if (cond == node->cond && t == node->then_branch && f == node->else_branch) return e;
+  return MakeIf(std::move(cond), std::move(t), std::move(f));
+}
+
+Expr ExprMutator::MutateMatch_(const MatchNode* node, const Expr& e) {
+  Expr data = Mutate(node->data);
+  bool changed = (data != node->data);
+  std::vector<MatchClause> clauses;
+  clauses.reserve(node->clauses.size());
+  for (const MatchClause& c : node->clauses) {
+    MatchClause nc;
+    nc.ctor = c.ctor;
+    for (const Var& b : c.binds) {
+      Expr nb = Mutate(b);
+      NIMBLE_ICHECK(nb->kind() == ExprKind::kVar);
+      changed |= (nb != b);
+      nc.binds.push_back(std::static_pointer_cast<const VarNode>(nb));
+    }
+    nc.body = Mutate(c.body);
+    changed |= (nc.body != c.body);
+    clauses.push_back(std::move(nc));
+  }
+  return changed ? MakeMatch(std::move(data), std::move(clauses)) : e;
+}
+
+namespace {
+class PostOrderVisitor : public ExprVisitor {
+ public:
+  explicit PostOrderVisitor(const std::function<void(const Expr&)>& fn) : fn_(fn) {}
+
+  void VisitAll(const Expr& e) { VisitExprRec(e); }
+
+ private:
+  void VisitExprRec(const Expr& e) {
+    if (e == nullptr || !seen_.insert(e.get()).second) return;
+    switch (e->kind()) {
+      case ExprKind::kTuple:
+        for (const Expr& f : static_cast<const TupleNode*>(e.get())->fields)
+          VisitExprRec(f);
+        break;
+      case ExprKind::kTupleGetItem:
+        VisitExprRec(static_cast<const TupleGetItemNode*>(e.get())->tuple);
+        break;
+      case ExprKind::kCall: {
+        auto* c = static_cast<const CallNode*>(e.get());
+        VisitExprRec(c->op);
+        for (const Expr& a : c->args) VisitExprRec(a);
+        break;
+      }
+      case ExprKind::kFunction: {
+        auto* f = static_cast<const FunctionNode*>(e.get());
+        for (const Var& p : f->params) VisitExprRec(p);
+        VisitExprRec(f->body);
+        break;
+      }
+      case ExprKind::kLet: {
+        auto* l = static_cast<const LetNode*>(e.get());
+        VisitExprRec(l->var);
+        VisitExprRec(l->value);
+        VisitExprRec(l->body);
+        break;
+      }
+      case ExprKind::kIf: {
+        auto* i = static_cast<const IfNode*>(e.get());
+        VisitExprRec(i->cond);
+        VisitExprRec(i->then_branch);
+        VisitExprRec(i->else_branch);
+        break;
+      }
+      case ExprKind::kMatch: {
+        auto* m = static_cast<const MatchNode*>(e.get());
+        VisitExprRec(m->data);
+        for (const MatchClause& c : m->clauses) {
+          for (const Var& b : c.binds) VisitExprRec(b);
+          VisitExprRec(c.body);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    fn_(e);
+  }
+
+  const std::function<void(const Expr&)>& fn_;
+  std::unordered_set<const ExprNode*> seen_;
+};
+}  // namespace
+
+void PostOrderVisit(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  PostOrderVisitor(fn).VisitAll(e);
+}
+
+namespace {
+class FreeVarCollector {
+ public:
+  void Collect(const Expr& e) {
+    if (e == nullptr) return;
+    switch (e->kind()) {
+      case ExprKind::kVar: {
+        const auto* v = static_cast<const VarNode*>(e.get());
+        if (!bound_.count(v) && !seen_free_.count(v)) {
+          seen_free_.insert(v);
+          free_.push_back(std::static_pointer_cast<const VarNode>(e));
+        }
+        break;
+      }
+      case ExprKind::kTuple:
+        for (const Expr& f : static_cast<const TupleNode*>(e.get())->fields)
+          Collect(f);
+        break;
+      case ExprKind::kTupleGetItem:
+        Collect(static_cast<const TupleGetItemNode*>(e.get())->tuple);
+        break;
+      case ExprKind::kCall: {
+        auto* c = static_cast<const CallNode*>(e.get());
+        Collect(c->op);
+        for (const Expr& a : c->args) Collect(a);
+        break;
+      }
+      case ExprKind::kFunction: {
+        auto* f = static_cast<const FunctionNode*>(e.get());
+        std::vector<const VarNode*> newly;
+        for (const Var& p : f->params) {
+          if (bound_.insert(p.get()).second) newly.push_back(p.get());
+        }
+        Collect(f->body);
+        for (const VarNode* v : newly) bound_.erase(v);
+        break;
+      }
+      case ExprKind::kLet: {
+        auto* l = static_cast<const LetNode*>(e.get());
+        Collect(l->value);
+        bool fresh = bound_.insert(l->var.get()).second;
+        Collect(l->body);
+        if (fresh) bound_.erase(l->var.get());
+        break;
+      }
+      case ExprKind::kIf: {
+        auto* i = static_cast<const IfNode*>(e.get());
+        Collect(i->cond);
+        Collect(i->then_branch);
+        Collect(i->else_branch);
+        break;
+      }
+      case ExprKind::kMatch: {
+        auto* m = static_cast<const MatchNode*>(e.get());
+        Collect(m->data);
+        for (const MatchClause& c : m->clauses) {
+          std::vector<const VarNode*> newly;
+          for (const Var& b : c.binds) {
+            if (bound_.insert(b.get()).second) newly.push_back(b.get());
+          }
+          Collect(c.body);
+          for (const VarNode* v : newly) bound_.erase(v);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::vector<Var> free_;
+
+ private:
+  std::unordered_set<const VarNode*> bound_;
+  std::unordered_set<const VarNode*> seen_free_;
+};
+}  // namespace
+
+std::vector<Var> FreeVars(const Expr& e) {
+  FreeVarCollector collector;
+  collector.Collect(e);
+  return std::move(collector.free_);
+}
+
+}  // namespace ir
+}  // namespace nimble

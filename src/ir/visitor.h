@@ -1,0 +1,79 @@
+// Expression traversal infrastructure: read-only visitor and rewriting
+// mutator, both memoized on node identity so shared subgraphs are processed
+// once (the IR is a DAG under let-sharing).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/ir/expr.h"
+
+namespace nimble {
+namespace ir {
+
+/// Read-only traversal. Subclasses override the Visit_ hooks they care
+/// about; the default implementations recurse into children.
+class ExprVisitor {
+ public:
+  virtual ~ExprVisitor() = default;
+
+  void Visit(const Expr& e);
+
+ protected:
+  virtual void VisitVar_(const VarNode* node) {}
+  virtual void VisitGlobalVar_(const GlobalVarNode* node) {}
+  virtual void VisitConstant_(const ConstantNode* node) {}
+  virtual void VisitOp_(const OpNode* node) {}
+  virtual void VisitConstructor_(const ConstructorNode* node) {}
+  virtual void VisitTuple_(const TupleNode* node);
+  virtual void VisitTupleGetItem_(const TupleGetItemNode* node);
+  virtual void VisitCall_(const CallNode* node);
+  virtual void VisitFunction_(const FunctionNode* node);
+  virtual void VisitLet_(const LetNode* node);
+  virtual void VisitIf_(const IfNode* node);
+  virtual void VisitMatch_(const MatchNode* node);
+
+ private:
+  std::unordered_set<const ExprNode*> visited_;
+};
+
+/// Rewriting traversal. Mutate() returns a (possibly) new expression;
+/// unchanged subtrees are returned as-is (pointer-identical), so passes can
+/// cheaply detect "no change".
+class ExprMutator {
+ public:
+  virtual ~ExprMutator() = default;
+
+  Expr Mutate(const Expr& e);
+
+ protected:
+  virtual Expr MutateVar_(const VarNode* node, const Expr& e) { return e; }
+  virtual Expr MutateGlobalVar_(const GlobalVarNode* node, const Expr& e) { return e; }
+  virtual Expr MutateConstant_(const ConstantNode* node, const Expr& e) { return e; }
+  virtual Expr MutateOp_(const OpNode* node, const Expr& e) { return e; }
+  virtual Expr MutateConstructor_(const ConstructorNode* node, const Expr& e) { return e; }
+  virtual Expr MutateTuple_(const TupleNode* node, const Expr& e);
+  virtual Expr MutateTupleGetItem_(const TupleGetItemNode* node, const Expr& e);
+  virtual Expr MutateCall_(const CallNode* node, const Expr& e);
+  virtual Expr MutateFunction_(const FunctionNode* node, const Expr& e);
+  virtual Expr MutateLet_(const LetNode* node, const Expr& e);
+  virtual Expr MutateIf_(const IfNode* node, const Expr& e);
+  virtual Expr MutateMatch_(const MatchNode* node, const Expr& e);
+
+  /// Clears the memo table (needed when the same mutator instance is applied
+  /// to multiple functions with incompatible variable scopes).
+  void ClearMemo() { memo_.clear(); }
+
+ private:
+  std::unordered_map<const ExprNode*, Expr> memo_;
+};
+
+/// Calls `fn` on every node of `e` in post-order.
+void PostOrderVisit(const Expr& e, const std::function<void(const Expr&)>& fn);
+
+/// Collects the free variables of `e` in first-occurrence order.
+std::vector<Var> FreeVars(const Expr& e);
+
+}  // namespace ir
+}  // namespace nimble

@@ -1,0 +1,44 @@
+// Kernels with data-dependent output shapes (§4.2): arange and unique.
+// Their outputs were sized by the corresponding data-dependent shape
+// functions before invocation.
+#include <algorithm>
+
+#include "src/kernels/registry.h"
+
+namespace nimble {
+namespace kernels {
+
+namespace {
+
+void Arange(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+            const ir::Attrs&) {
+  int64_t start = in[0].data<int64_t>()[0];
+  int64_t step = in[2].data<int64_t>()[0];
+  const NDArray& y = out[0];
+  int64_t* py = y.data<int64_t>();
+  int64_t n = y.num_elements();
+  for (int64_t i = 0; i < n; ++i) py[i] = start + i * step;
+}
+
+void Unique(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+            const ir::Attrs&) {
+  const NDArray& x = in[0];
+  const NDArray& y = out[0];
+  std::vector<int64_t> vals(x.data<int64_t>(),
+                            x.data<int64_t>() + x.num_elements());
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  NIMBLE_CHECK_EQ(static_cast<int64_t>(vals.size()), y.num_elements())
+      << "unique: output size disagrees with shape function";
+  std::copy(vals.begin(), vals.end(), y.data<int64_t>());
+}
+
+}  // namespace
+
+void RegisterDynamicKernels() {
+  KernelRegistry::Global()->Register("arange", Arange);
+  KernelRegistry::Global()->Register("unique", Unique);
+}
+
+}  // namespace kernels
+}  // namespace nimble

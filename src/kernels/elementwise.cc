@@ -1,0 +1,301 @@
+#include "src/kernels/elementwise.h"
+
+#include <cstring>
+
+#include "src/kernels/registry.h"
+
+namespace nimble {
+namespace kernels {
+
+using runtime::DataType;
+using runtime::DTypeCode;
+using runtime::NDArray;
+using runtime::ShapeVec;
+
+bool EwOpFromName(const std::string& name, EwOp* out, bool* is_binary) {
+  struct Entry {
+    const char* name;
+    EwOp op;
+    bool binary;
+  };
+  static const Entry table[] = {
+      {"add", EwOp::kAdd, true},           {"subtract", EwOp::kSubtract, true},
+      {"multiply", EwOp::kMultiply, true}, {"divide", EwOp::kDivide, true},
+      {"maximum", EwOp::kMaximum, true},   {"minimum", EwOp::kMinimum, true},
+      {"sigmoid", EwOp::kSigmoid, false},  {"tanh", EwOp::kTanh, false},
+      {"relu", EwOp::kRelu, false},        {"exp", EwOp::kExp, false},
+      {"negative", EwOp::kNegative, false},{"sqrt", EwOp::kSqrt, false},
+      {"erf", EwOp::kErf, false},          {"gelu", EwOp::kGelu, false},
+  };
+  for (const Entry& e : table) {
+    if (name == e.name) {
+      *out = e.op;
+      *is_binary = e.binary;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Row-major strides aligned to `out_rank` with stride 0 on broadcast dims.
+std::vector<int64_t> BroadcastStrides(const ShapeVec& shape, size_t out_rank,
+                                      const ShapeVec& out_shape) {
+  std::vector<int64_t> strides(out_rank, 0);
+  int64_t running = 1;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    size_t src = shape.size() - 1 - i;
+    size_t dst = out_rank - 1 - i;
+    if (shape[src] == out_shape[dst]) {
+      strides[dst] = running;
+    } else {
+      NIMBLE_CHECK_EQ(shape[src], 1) << "broadcast shape mismatch at runtime";
+      strides[dst] = 0;
+    }
+    running *= shape[src];
+  }
+  return strides;
+}
+
+template <typename T, typename F>
+void BinaryLoop(F f, const NDArray& a, const NDArray& b, const NDArray& out) {
+  const ShapeVec& os = out.shape();
+  int64_t n = out.num_elements();
+  const T* pa = a.data<T>();
+  const T* pb = b.data<T>();
+  T* po = out.data<T>();
+  // Fast path: identical shapes.
+  if (a.shape() == os && b.shape() == os) {
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return;
+  }
+  // Fast path: rhs is a scalar.
+  if (b.num_elements() == 1 && a.shape() == os) {
+    T s = pb[0];
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], s);
+    return;
+  }
+  if (a.num_elements() == 1 && b.shape() == os) {
+    T s = pa[0];
+    for (int64_t i = 0; i < n; ++i) po[i] = f(s, pb[i]);
+    return;
+  }
+  // General strided broadcast.
+  size_t rank = os.size();
+  auto sa = BroadcastStrides(a.shape(), rank, os);
+  auto sb = BroadcastStrides(b.shape(), rank, os);
+  std::vector<int64_t> idx(rank, 0);
+  int64_t offa = 0, offb = 0;
+  for (int64_t linear = 0; linear < n; ++linear) {
+    po[linear] = f(pa[offa], pb[offb]);
+    for (size_t d = rank; d-- > 0;) {
+      idx[d]++;
+      offa += sa[d];
+      offb += sb[d];
+      if (idx[d] < os[d]) break;
+      offa -= sa[d] * os[d];
+      offb -= sb[d] * os[d];
+      idx[d] = 0;
+    }
+  }
+}
+
+template <typename TIn, typename TOut, typename F>
+void CompareLoop(F f, const NDArray& a, const NDArray& b, const NDArray& out) {
+  const ShapeVec& os = out.shape();
+  int64_t n = out.num_elements();
+  const TIn* pa = a.data<TIn>();
+  const TIn* pb = b.data<TIn>();
+  TOut* po = static_cast<TOut*>(out.raw_data());
+  if (a.shape() == os && b.shape() == os) {
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]) ? 1 : 0;
+    return;
+  }
+  size_t rank = os.size();
+  auto sa = BroadcastStrides(a.shape(), rank, os);
+  auto sb = BroadcastStrides(b.shape(), rank, os);
+  std::vector<int64_t> idx(rank, 0);
+  int64_t offa = 0, offb = 0;
+  for (int64_t linear = 0; linear < n; ++linear) {
+    po[linear] = f(pa[offa], pb[offb]) ? 1 : 0;
+    for (size_t d = rank; d-- > 0;) {
+      idx[d]++;
+      offa += sa[d];
+      offb += sb[d];
+      if (idx[d] < os[d]) break;
+      offa -= sa[d] * os[d];
+      offb -= sb[d] * os[d];
+      idx[d] = 0;
+    }
+  }
+}
+
+template <typename F32Op, typename I64Op>
+void BinaryDispatch(F32Op f32_op, I64Op i64_op, const std::vector<NDArray>& in,
+                    const std::vector<NDArray>& out) {
+  NIMBLE_CHECK_EQ(in.size(), 2u);
+  NIMBLE_CHECK_EQ(out.size(), 1u);
+  switch (in[0].dtype().code()) {
+    case DTypeCode::kFloat32:
+      BinaryLoop<float>(f32_op, in[0], in[1], out[0]);
+      break;
+    case DTypeCode::kInt64:
+      BinaryLoop<int64_t>(i64_op, in[0], in[1], out[0]);
+      break;
+    case DTypeCode::kInt32:
+      BinaryLoop<int32_t>(i64_op, in[0], in[1], out[0]);
+      break;
+    default:
+      NIMBLE_FATAL() << "binary elementwise: unsupported dtype "
+                     << in[0].dtype().ToString();
+  }
+}
+
+void RegisterBinary(const std::string& name, EwOp op) {
+  KernelRegistry::Global()->Register(
+      name, [op](const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+                 const ir::Attrs&) {
+        BinaryDispatch(
+            [op](float a, float b) { return ApplyBinary(op, a, b); },
+            [op](int64_t a, int64_t b) -> int64_t {
+              switch (op) {
+                case EwOp::kAdd: return a + b;
+                case EwOp::kSubtract: return a - b;
+                case EwOp::kMultiply: return a * b;
+                case EwOp::kDivide: return a / b;
+                case EwOp::kMaximum: return a > b ? a : b;
+                case EwOp::kMinimum: return a < b ? a : b;
+                default: NIMBLE_FATAL() << "bad integer binary op";
+              }
+            },
+            in, out);
+      });
+}
+
+template <typename F>
+void RegisterCompare(const std::string& name, F cmp) {
+  KernelRegistry::Global()->Register(
+      name, [cmp](const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+                  const ir::Attrs&) {
+        NIMBLE_CHECK_EQ(in.size(), 2u);
+        switch (in[0].dtype().code()) {
+          case DTypeCode::kFloat32:
+            CompareLoop<float, uint8_t>(cmp, in[0], in[1], out[0]);
+            break;
+          case DTypeCode::kInt64:
+            CompareLoop<int64_t, uint8_t>(cmp, in[0], in[1], out[0]);
+            break;
+          default:
+            NIMBLE_FATAL() << "compare: unsupported dtype";
+        }
+      });
+}
+
+void RegisterUnary(const std::string& name, EwOp op) {
+  KernelRegistry::Global()->Register(
+      name, [op](const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+                 const ir::Attrs&) {
+        NIMBLE_CHECK_EQ(in.size(), 1u);
+        NIMBLE_CHECK_EQ(out.size(), 1u);
+        NIMBLE_CHECK(in[0].dtype() == DataType::Float32())
+            << "unary elementwise expects float32";
+        const float* pa = in[0].data<float>();
+        float* po = out[0].data<float>();
+        int64_t n = out[0].num_elements();
+        for (int64_t i = 0; i < n; ++i) po[i] = ApplyUnary(op, pa[i]);
+      });
+}
+
+}  // namespace
+
+void BroadcastBinaryF32(EwOp op, const NDArray& a, const NDArray& b,
+                        const NDArray& out) {
+  BinaryLoop<float>([op](float x, float y) { return ApplyBinary(op, x, y); },
+                    a, b, out);
+}
+
+void RegisterElemwiseKernels() {
+  RegisterBinary("add", EwOp::kAdd);
+  RegisterBinary("subtract", EwOp::kSubtract);
+  RegisterBinary("multiply", EwOp::kMultiply);
+  RegisterBinary("divide", EwOp::kDivide);
+  RegisterBinary("maximum", EwOp::kMaximum);
+  RegisterBinary("minimum", EwOp::kMinimum);
+
+  RegisterCompare("less", [](auto a, auto b) { return a < b; });
+  RegisterCompare("greater", [](auto a, auto b) { return a > b; });
+  RegisterCompare("equal", [](auto a, auto b) { return a == b; });
+  RegisterCompare("less_equal", [](auto a, auto b) { return a <= b; });
+  RegisterCompare("greater_equal", [](auto a, auto b) { return a >= b; });
+
+  RegisterUnary("sigmoid", EwOp::kSigmoid);
+  RegisterUnary("tanh", EwOp::kTanh);
+  RegisterUnary("relu", EwOp::kRelu);
+  RegisterUnary("exp", EwOp::kExp);
+  RegisterUnary("negative", EwOp::kNegative);
+  RegisterUnary("sqrt", EwOp::kSqrt);
+  RegisterUnary("erf", EwOp::kErf);
+  RegisterUnary("gelu", EwOp::kGelu);
+
+  // cast(x) -> attrs.dtype
+  KernelRegistry::Global()->Register(
+      "cast", [](const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+                 const ir::Attrs& attrs) {
+        NIMBLE_CHECK_EQ(in.size(), 1u);
+        const NDArray& x = in[0];
+        const NDArray& y = out[0];
+        int64_t n = x.num_elements();
+        auto convert = [&](auto read) {
+          switch (y.dtype().code()) {
+            case DTypeCode::kFloat32: {
+              float* p = y.data<float>();
+              for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(read(i));
+              break;
+            }
+            case DTypeCode::kInt64: {
+              int64_t* p = y.data<int64_t>();
+              for (int64_t i = 0; i < n; ++i) p[i] = static_cast<int64_t>(read(i));
+              break;
+            }
+            case DTypeCode::kInt32: {
+              int32_t* p = y.data<int32_t>();
+              for (int64_t i = 0; i < n; ++i) p[i] = static_cast<int32_t>(read(i));
+              break;
+            }
+            default:
+              NIMBLE_FATAL() << "cast: unsupported target dtype";
+          }
+        };
+        switch (x.dtype().code()) {
+          case DTypeCode::kFloat32:
+            convert([&](int64_t i) { return x.data<float>()[i]; });
+            break;
+          case DTypeCode::kInt64:
+            convert([&](int64_t i) { return x.data<int64_t>()[i]; });
+            break;
+          case DTypeCode::kInt32:
+            convert([&](int64_t i) { return x.data<int32_t>()[i]; });
+            break;
+          case DTypeCode::kBool:
+          case DTypeCode::kUInt8:
+            convert([&](int64_t i) {
+              return static_cast<int64_t>(static_cast<uint8_t*>(x.raw_data())[i]);
+            });
+            break;
+          default:
+            NIMBLE_FATAL() << "cast: unsupported source dtype";
+        }
+      });
+
+  // copy(x): raw memcpy; implements expand_dims/squeeze materialization.
+  KernelRegistry::Global()->Register(
+      "copy", [](const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+                 const ir::Attrs&) {
+        NIMBLE_CHECK_EQ(in[0].nbytes(), out[0].nbytes());
+        std::memcpy(out[0].raw_data(), in[0].raw_data(), in[0].nbytes());
+      });
+}
+
+}  // namespace kernels
+}  // namespace nimble

@@ -1,0 +1,71 @@
+// Elementwise/broadcast kernel building blocks, shared with the fused
+// kernels (src/kernels/fused.cc) and the codegen dispatch layer.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/runtime/ndarray.h"
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace kernels {
+
+/// Opcode for a scalar elementwise operation. Shared between standalone
+/// kernels and fused chains; stable values (serialized in executables).
+enum class EwOp : int64_t {
+  kAdd = 0,
+  kSubtract = 1,
+  kMultiply = 2,
+  kDivide = 3,
+  kMaximum = 4,
+  kMinimum = 5,
+  kSigmoid = 6,
+  kTanh = 7,
+  kRelu = 8,
+  kExp = 9,
+  kNegative = 10,
+  kSqrt = 11,
+  kErf = 12,
+  kGelu = 13,
+};
+
+/// Scalar application of a binary EwOp.
+inline float ApplyBinary(EwOp op, float a, float b) {
+  switch (op) {
+    case EwOp::kAdd: return a + b;
+    case EwOp::kSubtract: return a - b;
+    case EwOp::kMultiply: return a * b;
+    case EwOp::kDivide: return a / b;
+    case EwOp::kMaximum: return a > b ? a : b;
+    case EwOp::kMinimum: return a < b ? a : b;
+    default: NIMBLE_FATAL() << "not a binary elementwise op";
+  }
+}
+
+/// Scalar application of a unary EwOp.
+inline float ApplyUnary(EwOp op, float a) {
+  switch (op) {
+    case EwOp::kSigmoid: return 1.0f / (1.0f + std::exp(-a));
+    case EwOp::kTanh: return std::tanh(a);
+    case EwOp::kRelu: return a > 0.0f ? a : 0.0f;
+    case EwOp::kExp: return std::exp(a);
+    case EwOp::kNegative: return -a;
+    case EwOp::kSqrt: return std::sqrt(a);
+    case EwOp::kErf: return std::erf(a);
+    case EwOp::kGelu:
+      return 0.5f * a * (1.0f + std::erf(a * 0.70710678118654752f));
+    default: NIMBLE_FATAL() << "not a unary elementwise op";
+  }
+}
+
+/// Maps op names ("add", "sigmoid", ...) to EwOp codes; returns false for
+/// non-elementwise names.
+bool EwOpFromName(const std::string& name, EwOp* out, bool* is_binary);
+
+/// Generic strided broadcast binary loop over float32 tensors.
+void BroadcastBinaryF32(EwOp op, const runtime::NDArray& a,
+                        const runtime::NDArray& b, const runtime::NDArray& out);
+
+}  // namespace kernels
+}  // namespace nimble

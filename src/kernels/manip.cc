@@ -1,0 +1,140 @@
+// Tensor-manipulation kernels: concat, split, take, transpose, slice_rows.
+#include <cstring>
+
+#include "src/kernels/registry.h"
+
+namespace nimble {
+namespace kernels {
+
+namespace {
+
+// concat(x0, x1, ..., axis): output shape already computed by shape function.
+void Concat(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+            const ir::Attrs& attrs) {
+  int64_t axis = attrs.GetInt("axis", 0);
+  const NDArray& y = out[0];
+  size_t elem = y.dtype().bytes();
+  int64_t outer = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= y.shape()[i];
+  int64_t inner = 1;
+  for (size_t i = axis + 1; i < y.shape().size(); ++i) inner *= y.shape()[i];
+  int64_t out_axis = y.shape()[axis];
+  char* py = static_cast<char*>(y.raw_data());
+  int64_t axis_offset = 0;
+  for (const NDArray& x : in) {
+    int64_t x_axis = x.shape()[axis];
+    const char* px = static_cast<const char*>(x.raw_data());
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(py + ((o * out_axis + axis_offset) * inner) * elem,
+                  px + (o * x_axis * inner) * elem,
+                  static_cast<size_t>(x_axis * inner) * elem);
+    }
+    axis_offset += x_axis;
+  }
+}
+
+// split(x, sections, axis): writes each part to its own output.
+void Split(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+           const ir::Attrs& attrs) {
+  int64_t axis = attrs.GetInt("axis", 0);
+  const NDArray& x = in[0];
+  size_t elem = x.dtype().bytes();
+  int64_t outer = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= x.shape()[i];
+  int64_t inner = 1;
+  for (size_t i = axis + 1; i < x.shape().size(); ++i) inner *= x.shape()[i];
+  int64_t in_axis = x.shape()[axis];
+  const char* px = static_cast<const char*>(x.raw_data());
+  int64_t axis_offset = 0;
+  for (const NDArray& y : out) {
+    int64_t y_axis = y.shape()[axis];
+    char* py = static_cast<char*>(y.raw_data());
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(py + (o * y_axis * inner) * elem,
+                  px + ((o * in_axis + axis_offset) * inner) * elem,
+                  static_cast<size_t>(y_axis * inner) * elem);
+    }
+    axis_offset += y_axis;
+  }
+}
+
+// take(data: [N, rest...], indices) along axis 0.
+void Take(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+          const ir::Attrs&) {
+  const NDArray& data = in[0];
+  const NDArray& idx = in[1];
+  const NDArray& y = out[0];
+  int64_t n = data.shape()[0];
+  int64_t row = data.num_elements() / n;
+  size_t row_bytes = static_cast<size_t>(row) * data.dtype().bytes();
+  const int64_t* pi = idx.data<int64_t>();
+  const char* pd = static_cast<const char*>(data.raw_data());
+  char* py = static_cast<char*>(y.raw_data());
+  int64_t count = idx.num_elements();
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t j = pi[i];
+    NIMBLE_CHECK(j >= 0 && j < n) << "take: index " << j << " out of range [0, "
+                                  << n << ")";
+    std::memcpy(py + i * row_bytes, pd + j * row_bytes, row_bytes);
+  }
+}
+
+// transpose(x, axes)
+void Transpose(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+               const ir::Attrs& attrs) {
+  const NDArray& x = in[0];
+  const NDArray& y = out[0];
+  auto axes = attrs.GetIntVec("axes");
+  int64_t rank = x.ndim();
+  NIMBLE_CHECK_EQ(static_cast<int64_t>(axes.size()), rank);
+  // Strides of the input, then permuted to output order.
+  std::vector<int64_t> in_strides(rank, 1);
+  for (int64_t i = rank - 2; i >= 0; --i)
+    in_strides[i] = in_strides[i + 1] * x.shape()[i + 1];
+  std::vector<int64_t> perm_strides(rank);
+  for (int64_t i = 0; i < rank; ++i) perm_strides[i] = in_strides[axes[i]];
+  NIMBLE_CHECK(x.dtype() == runtime::DataType::Float32())
+      << "transpose kernel supports float32";
+  const float* px = x.data<float>();
+  float* py = y.data<float>();
+  std::vector<int64_t> idx(rank, 0);
+  int64_t n = y.num_elements();
+  int64_t off = 0;
+  for (int64_t linear = 0; linear < n; ++linear) {
+    py[linear] = px[off];
+    for (int64_t d = rank; d-- > 0;) {
+      idx[d]++;
+      off += perm_strides[d];
+      if (idx[d] < y.shape()[d]) break;
+      off -= perm_strides[d] * y.shape()[d];
+      idx[d] = 0;
+    }
+  }
+}
+
+// slice_rows(x: [N, rest...], count): copies the first `count` rows.
+void SliceRows(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+               const ir::Attrs&) {
+  const NDArray& x = in[0];
+  const NDArray& y = out[0];
+  int64_t rows = y.shape()[0];
+  NIMBLE_CHECK_EQ(in[1].data<int64_t>()[0], rows)
+      << "slice_rows: output allocated with stale count";
+  size_t row_bytes = x.shape()[0] > 0
+                         ? x.nbytes() / static_cast<size_t>(x.shape()[0])
+                         : 0;
+  std::memcpy(y.raw_data(), x.raw_data(), static_cast<size_t>(rows) * row_bytes);
+}
+
+}  // namespace
+
+void RegisterManipKernels() {
+  KernelRegistry::Global()->Register("concat", Concat);
+  KernelRegistry::Global()->Register("split", Split);
+  KernelRegistry::Global()->Register("take", Take);
+  KernelRegistry::Global()->Register("transpose", Transpose);
+  KernelRegistry::Global()->Register("slice_rows", SliceRows);
+}
+
+}  // namespace kernels
+}  // namespace nimble

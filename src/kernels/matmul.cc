@@ -1,0 +1,35 @@
+// nn.batch_matmul(a: [B, M, K], b: [B, N, K]) -> [B, M, N].
+// Each batch slice reuses the dense dispatch path so attention matmuls with
+// dynamic sequence length also benefit from residue specialization.
+#include "src/codegen/dispatch.h"
+#include "src/kernels/registry.h"
+
+namespace nimble {
+namespace kernels {
+
+void RegisterMatmulKernels() {
+  KernelRegistry::Global()->Register(
+      "nn.batch_matmul",
+      [](const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+         const ir::Attrs&) {
+        const NDArray& a = in[0];
+        const NDArray& b = in[1];
+        const NDArray& y = out[0];
+        NIMBLE_CHECK_EQ(a.ndim(), 3);
+        NIMBLE_CHECK_EQ(b.ndim(), 3);
+        int64_t batch = a.shape()[0];
+        int64_t m = a.shape()[1], k = a.shape()[2], n = b.shape()[1];
+        NIMBLE_CHECK_EQ(b.shape()[0], batch);
+        NIMBLE_CHECK_EQ(b.shape()[2], k);
+        const float* pa = a.data<float>();
+        const float* pb = b.data<float>();
+        float* py = y.data<float>();
+        const auto& table = codegen::DenseDispatchTable::Global();
+        for (int64_t bi = 0; bi < batch; ++bi) {
+          table.Run(pa + bi * m * k, pb + bi * n * k, py + bi * m * n, m, n, k);
+        }
+      });
+}
+
+}  // namespace kernels
+}  // namespace nimble

@@ -1,0 +1,188 @@
+// Neural-network kernels: softmax, layer_norm, the fused LSTM cell, and the
+// simplified NMS used to exercise upper-bound shape functions (§4.2).
+#include <cmath>
+
+#include "src/kernels/registry.h"
+
+namespace nimble {
+namespace kernels {
+
+namespace {
+
+// softmax over the last axis.
+void Softmax(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+             const ir::Attrs&) {
+  const NDArray& x = in[0];
+  const NDArray& y = out[0];
+  int64_t cols = x.shape().back();
+  int64_t rows = x.num_elements() / cols;
+  const float* px = x.data<float>();
+  float* py = y.data<float>();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = px + r * cols;
+    float* yr = py + r * cols;
+    float mx = xr[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+    float sum = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      yr[c] = std::exp(xr[c] - mx);
+      sum += yr[c];
+    }
+    float inv = 1.0f / sum;
+    for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
+  }
+}
+
+// layer_norm over the last axis with affine gamma/beta.
+void LayerNorm(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+               const ir::Attrs& attrs) {
+  const NDArray& x = in[0];
+  const NDArray& gamma = in[1];
+  const NDArray& beta = in[2];
+  const NDArray& y = out[0];
+  double eps = attrs.GetFloat("epsilon", 1e-5);
+  int64_t cols = x.shape().back();
+  int64_t rows = x.num_elements() / cols;
+  const float* px = x.data<float>();
+  const float* pg = gamma.data<float>();
+  const float* pb = beta.data<float>();
+  float* py = y.data<float>();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = px + r * cols;
+    float* yr = py + r * cols;
+    float mean = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) mean += xr[c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      float d = xr[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    float inv = 1.0f / std::sqrt(var + static_cast<float>(eps));
+    for (int64_t c = 0; c < cols; ++c) {
+      yr[c] = (xr[c] - mean) * inv * pg[c] + pb[c];
+    }
+  }
+}
+
+// nn.lstm_cell(gates: [B, 4H] laid out as [i | f | g | o], c: [B, H])
+//   -> (h': [B, H], c': [B, H])
+// One pass over memory: the fusion the compiler performs on the unfused
+// sigmoid/tanh/mul/add sequence (see pass/fuse_lstm.cc).
+void LSTMCell(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+              const ir::Attrs&) {
+  const NDArray& gates = in[0];
+  const NDArray& c = in[1];
+  const NDArray& h_out = out[0];
+  const NDArray& c_out = out[1];
+  int64_t batch = gates.shape()[0];
+  int64_t hidden = c.shape()[1];
+  NIMBLE_CHECK_EQ(gates.shape()[1], 4 * hidden);
+  const float* pg = gates.data<float>();
+  const float* pc = c.data<float>();
+  float* ph = h_out.data<float>();
+  float* pco = c_out.data<float>();
+  auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* row = pg + b * 4 * hidden;
+    for (int64_t j = 0; j < hidden; ++j) {
+      float i = sigmoid(row[j]);
+      float f = sigmoid(row[hidden + j]);
+      float g = std::tanh(row[2 * hidden + j]);
+      float o = sigmoid(row[3 * hidden + j]);
+      float cn = f * pc[b * hidden + j] + i * g;
+      pco[b * hidden + j] = cn;
+      ph[b * hidden + j] = o * std::tanh(cn);
+    }
+  }
+}
+
+// nn.nms(boxes: [N, 5]) rows = (score, x1, y1, x2, y2).
+// Greedy NMS: keep boxes above score_threshold whose IoU with every
+// already-kept box is below iou_threshold. Writes kept rows to out[0]
+// (upper-bound allocation of N rows) and the kept count to out[1].
+void NMS(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+         const ir::Attrs& attrs) {
+  const NDArray& boxes = in[0];
+  const NDArray& kept = out[0];
+  const NDArray& count = out[1];
+  double iou_thresh = attrs.GetFloat("iou_threshold", 0.5);
+  double score_thresh = attrs.GetFloat("score_threshold", 0.0);
+  int64_t n = boxes.shape()[0];
+  NIMBLE_CHECK_EQ(boxes.shape()[1], 5);
+  const float* pb = boxes.data<float>();
+  float* pk = kept.data<float>();
+
+  auto iou = [&](const float* a, const float* b) -> float {
+    float x1 = std::max(a[1], b[1]), y1 = std::max(a[2], b[2]);
+    float x2 = std::min(a[3], b[3]), y2 = std::min(a[4], b[4]);
+    float inter = std::max(0.0f, x2 - x1) * std::max(0.0f, y2 - y1);
+    float area_a = std::max(0.0f, a[3] - a[1]) * std::max(0.0f, a[4] - a[2]);
+    float area_b = std::max(0.0f, b[3] - b[1]) * std::max(0.0f, b[4] - b[2]);
+    float uni = area_a + area_b - inter;
+    return uni > 0.0f ? inter / uni : 0.0f;
+  };
+
+  // Sort candidate indices by descending score.
+  std::vector<int64_t> order(n);
+  for (int64_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return pb[a * 5] > pb[b * 5];
+  });
+
+  int64_t num_kept = 0;
+  for (int64_t oi = 0; oi < n; ++oi) {
+    const float* cand = pb + order[oi] * 5;
+    if (cand[0] < static_cast<float>(score_thresh)) continue;
+    bool suppressed = false;
+    for (int64_t j = 0; j < num_kept; ++j) {
+      if (iou(cand, pk + j * 5) > static_cast<float>(iou_thresh)) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) {
+      for (int64_t f = 0; f < 5; ++f) pk[num_kept * 5 + f] = cand[f];
+      num_kept++;
+    }
+  }
+  // Zero the tail so upper-bound storage has defined contents.
+  for (int64_t i = num_kept * 5; i < n * 5; ++i) pk[i] = 0.0f;
+  count.data<int64_t>()[0] = num_kept;
+}
+
+// sum over one axis.
+void Sum(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+         const ir::Attrs& attrs) {
+  const NDArray& x = in[0];
+  const NDArray& y = out[0];
+  int64_t axis = attrs.GetInt("axis", -1);
+  int64_t rank = x.ndim();
+  if (axis < 0) axis += rank;
+  int64_t outer = 1, axis_n = x.shape()[axis], inner = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= x.shape()[i];
+  for (int64_t i = axis + 1; i < rank; ++i) inner *= x.shape()[i];
+  const float* px = x.data<float>();
+  float* py = y.data<float>();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float acc = 0.0f;
+      for (int64_t a = 0; a < axis_n; ++a) acc += px[(o * axis_n + a) * inner + i];
+      py[o * inner + i] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void RegisterNNKernels() {
+  KernelRegistry::Global()->Register("nn.softmax", Softmax);
+  KernelRegistry::Global()->Register("nn.layer_norm", LayerNorm);
+  KernelRegistry::Global()->Register("nn.lstm_cell", LSTMCell);
+  KernelRegistry::Global()->Register("nn.nms", NMS);
+  KernelRegistry::Global()->Register("sum", Sum);
+}
+
+}  // namespace kernels
+}  // namespace nimble

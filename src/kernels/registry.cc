@@ -1,0 +1,54 @@
+#include "src/kernels/registry.h"
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace kernels {
+
+KernelRegistry* KernelRegistry::Global() {
+  static KernelRegistry registry;
+  return &registry;
+}
+
+void KernelRegistry::Register(const std::string& name, KernelFn fn) {
+  kernels_[name] = std::move(fn);
+}
+
+bool KernelRegistry::Has(const std::string& name) const {
+  return kernels_.count(name) > 0;
+}
+
+const KernelFn& KernelRegistry::Get(const std::string& name) const {
+  auto it = kernels_.find(name);
+  NIMBLE_CHECK(it != kernels_.end()) << "no kernel registered for '" << name << "'";
+  return it->second;
+}
+
+std::vector<std::string> KernelRegistry::ListNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, fn] : kernels_) names.push_back(name);
+  return names;
+}
+
+void EnsureKernelsRegistered() {
+  static bool done = [] {
+    RegisterElemwiseKernels();
+    RegisterDenseKernels();
+    RegisterMatmulKernels();
+    RegisterNNKernels();
+    RegisterManipKernels();
+    RegisterDynamicKernels();
+    RegisterFusedKernels();
+    return true;
+  }();
+  (void)done;
+}
+
+void RunKernel(const std::string& name, const std::vector<NDArray>& inputs,
+               const std::vector<NDArray>& outputs, const ir::Attrs& attrs) {
+  EnsureKernelsRegistered();
+  KernelRegistry::Global()->Get(name)(inputs, outputs, attrs);
+}
+
+}  // namespace kernels
+}  // namespace nimble

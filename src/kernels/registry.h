@@ -1,0 +1,60 @@
+// Kernel registry: maps kernel names to host implementations.
+//
+// Kernels follow the destination-passing convention established by the
+// memory-planning pass (§4.3): outputs are pre-allocated by the caller and
+// passed as mutable arguments (the IR's invoke_mut). A kernel may not
+// allocate; the only exception is that upper-bound ops (§4.2) write their
+// true output extent into a dedicated scalar output.
+//
+// The dispatch layer (src/codegen) may register several shape-specialized
+// variants for one op and route between them at runtime (§4.5).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ir/attrs.h"
+#include "src/runtime/ndarray.h"
+
+namespace nimble {
+namespace kernels {
+
+using runtime::NDArray;
+
+using KernelFn = std::function<void(const std::vector<NDArray>& inputs,
+                                    const std::vector<NDArray>& outputs,
+                                    const ir::Attrs& attrs)>;
+
+class KernelRegistry {
+ public:
+  static KernelRegistry* Global();
+
+  void Register(const std::string& name, KernelFn fn);
+  bool Has(const std::string& name) const;
+  const KernelFn& Get(const std::string& name) const;
+  std::vector<std::string> ListNames() const;
+
+ private:
+  std::map<std::string, KernelFn> kernels_;
+};
+
+/// Idempotently registers every built-in kernel.
+void EnsureKernelsRegistered();
+
+/// Convenience: run a kernel by name (used by tests and the eager baseline).
+void RunKernel(const std::string& name, const std::vector<NDArray>& inputs,
+               const std::vector<NDArray>& outputs, const ir::Attrs& attrs = {});
+
+// Registration hooks, one per translation unit.
+void RegisterElemwiseKernels();
+void RegisterDenseKernels();
+void RegisterMatmulKernels();
+void RegisterNNKernels();
+void RegisterManipKernels();
+void RegisterDynamicKernels();
+void RegisterFusedKernels();
+
+}  // namespace kernels
+}  // namespace nimble

@@ -1,0 +1,209 @@
+#include "src/models/bert.h"
+
+#include <cmath>
+
+#include "src/op/registry.h"
+#include "src/support/rng.h"
+
+namespace nimble {
+namespace models {
+
+using namespace ir;  // NOLINT
+using op::Call1;
+using op::Call2;
+using op::Call3;
+using runtime::DataType;
+using runtime::NDArray;
+
+namespace {
+
+NDArray Rand(runtime::ShapeVec shape, support::Rng& rng, double scale) {
+  NDArray arr = NDArray::Empty(std::move(shape), DataType::Float32());
+  arr.FillUniform(rng, -scale, scale);
+  return arr;
+}
+
+}  // namespace
+
+BERTModel BuildBERT(const BERTConfig& config) {
+  support::Rng rng(config.seed);
+  int64_t H = config.hidden;
+  int64_t A = config.num_heads;
+  int64_t D = H / A;
+  int64_t F = config.ffn_hidden;
+  double scale = 1.0 / std::sqrt(static_cast<double>(H));
+
+  BERTModel model;
+  model.config = config;
+  model.weights.embedding = Rand({config.vocab, H}, rng, 1.0);
+  for (int l = 0; l < config.num_layers; ++l) {
+    BERTWeights::Layer layer;
+    layer.wq = Rand({H, H}, rng, scale);
+    layer.wk = Rand({H, H}, rng, scale);
+    layer.wv = Rand({H, H}, rng, scale);
+    layer.wo = Rand({H, H}, rng, scale);
+    layer.bq = Rand({H}, rng, scale);
+    layer.bk = Rand({H}, rng, scale);
+    layer.bv = Rand({H}, rng, scale);
+    layer.bo = Rand({H}, rng, scale);
+    layer.w1 = Rand({F, H}, rng, scale);
+    layer.b1 = Rand({F}, rng, scale);
+    layer.w2 = Rand({H, F}, rng, scale);
+    layer.b2 = Rand({H}, rng, scale);
+    layer.ln1_g = NDArray::Empty({H}, DataType::Float32());
+    layer.ln1_b = NDArray::Empty({H}, DataType::Float32());
+    layer.ln2_g = NDArray::Empty({H}, DataType::Float32());
+    layer.ln2_b = NDArray::Empty({H}, DataType::Float32());
+    layer.ln1_g.Fill(1.0);
+    layer.ln1_b.Fill(0.0);
+    layer.ln2_g.Fill(1.0);
+    layer.ln2_b.Fill(0.0);
+    model.weights.layers.push_back(std::move(layer));
+  }
+
+  Dim L = Dim::FreshSym("L");
+  Var ids = MakeVar("ids", TensorType({L}, DataType::Int64()));
+
+  // Token embedding lookup: [L] -> [L, H].
+  Expr x = Call2("take", MakeConstant(model.weights.embedding), ids);
+
+  auto dense_bias = [&](Expr in, const NDArray& w, const NDArray& b) {
+    return Call2("nn.bias_add", Call2("nn.dense", in, MakeConstant(w)),
+                 MakeConstant(b));
+  };
+  auto to_heads = [&](Expr t, std::vector<int64_t> perm) {
+    // [L, H] -> [L, A, D] -> transpose(perm)
+    Expr r = Call1("reshape", t, Attrs().Set("newshape", std::vector<int64_t>{0, A, D}));
+    return Call1("transpose", r, Attrs().Set("axes", std::move(perm)));
+  };
+
+  for (int l = 0; l < config.num_layers; ++l) {
+    const auto& w = model.weights.layers[l];
+    Expr q = to_heads(dense_bias(x, w.wq, w.bq), {1, 0, 2});  // [A, L, D]
+    Expr k = to_heads(dense_bias(x, w.wk, w.bk), {1, 0, 2});  // [A, L, D]
+    Expr v = to_heads(dense_bias(x, w.wv, w.bv), {1, 2, 0});  // [A, D, L]
+
+    // scores[A, L, L] = q · kᵀ, scaled.
+    Expr scores = Call2("nn.batch_matmul", q, k);
+    scores = Call2("multiply", scores,
+                   FloatConst(1.0f / std::sqrt(static_cast<float>(D))));
+    Expr probs = Call1("nn.softmax", scores);
+    // ctx[A, L, D] = probs · v (v is stored [A, D, L] = "weightsᵀ").
+    Expr ctx = Call2("nn.batch_matmul", probs, v);
+    ctx = Call1("transpose", ctx, Attrs().Set("axes", std::vector<int64_t>{1, 0, 2}));
+    ctx = Call1("reshape", ctx, Attrs().Set("newshape", std::vector<int64_t>{0, H}));
+
+    Expr attn = dense_bias(ctx, w.wo, w.bo);
+    x = Call3("nn.layer_norm", Call2("add", attn, x), MakeConstant(w.ln1_g),
+              MakeConstant(w.ln1_b));
+
+    Expr ffn = Call1("gelu", dense_bias(x, w.w1, w.b1));
+    ffn = dense_bias(ffn, w.w2, w.b2);
+    x = Call3("nn.layer_norm", Call2("add", ffn, x), MakeConstant(w.ln2_g),
+              MakeConstant(w.ln2_b));
+  }
+
+  model.module.Add("main",
+                   MakeFunction({ids}, x, TensorType({L, Dim::Static(H)})));
+  return model;
+}
+
+runtime::NDArray RunBERTReference(const BERTModel& model,
+                                  const std::vector<int64_t>& ids) {
+  const BERTConfig& cfg = model.config;
+  int64_t Ln = static_cast<int64_t>(ids.size());
+  int64_t H = cfg.hidden, A = cfg.num_heads, D = H / A, F = cfg.ffn_hidden;
+
+  std::vector<float> x(Ln * H);
+  const float* emb = model.weights.embedding.data<float>();
+  for (int64_t i = 0; i < Ln; ++i) {
+    std::copy(emb + ids[i] * H, emb + (ids[i] + 1) * H, x.begin() + i * H);
+  }
+
+  auto dense_bias = [&](const std::vector<float>& in, int64_t rows, int64_t kdim,
+                        const NDArray& w, const NDArray& b) {
+    int64_t n = w.shape()[0];
+    std::vector<float> out(rows * n);
+    const float* pw = w.data<float>();
+    const float* pb = b.data<float>();
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = pb[j];
+        for (int64_t kk = 0; kk < kdim; ++kk)
+          acc += in[i * kdim + kk] * pw[j * kdim + kk];
+        out[i * n + j] = acc;
+      }
+    }
+    return out;
+  };
+  auto layer_norm = [&](std::vector<float>& v, int64_t rows, const NDArray& g,
+                        const NDArray& b) {
+    const float* pg = g.data<float>();
+    const float* pb = b.data<float>();
+    for (int64_t i = 0; i < rows; ++i) {
+      float mean = 0.0f, var = 0.0f;
+      for (int64_t j = 0; j < H; ++j) mean += v[i * H + j];
+      mean /= H;
+      for (int64_t j = 0; j < H; ++j) {
+        float d = v[i * H + j] - mean;
+        var += d * d;
+      }
+      var /= H;
+      float inv = 1.0f / std::sqrt(var + 1e-5f);
+      for (int64_t j = 0; j < H; ++j) {
+        v[i * H + j] = (v[i * H + j] - mean) * inv * pg[j] + pb[j];
+      }
+    }
+  };
+
+  for (const auto& w : model.weights.layers) {
+    auto q = dense_bias(x, Ln, H, w.wq, w.bq);
+    auto k = dense_bias(x, Ln, H, w.wk, w.bk);
+    auto v = dense_bias(x, Ln, H, w.wv, w.bv);
+    std::vector<float> ctx(Ln * H, 0.0f);
+    float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(D));
+    std::vector<float> scores(Ln);
+    for (int64_t a = 0; a < A; ++a) {
+      for (int64_t i = 0; i < Ln; ++i) {
+        float mx = -1e30f;
+        for (int64_t j = 0; j < Ln; ++j) {
+          float acc = 0.0f;
+          for (int64_t d = 0; d < D; ++d) {
+            acc += q[i * H + a * D + d] * k[j * H + a * D + d];
+          }
+          scores[j] = acc * inv_sqrt_d;
+          mx = std::max(mx, scores[j]);
+        }
+        float sum = 0.0f;
+        for (int64_t j = 0; j < Ln; ++j) {
+          scores[j] = std::exp(scores[j] - mx);
+          sum += scores[j];
+        }
+        for (int64_t j = 0; j < Ln; ++j) scores[j] /= sum;
+        for (int64_t j = 0; j < Ln; ++j) {
+          for (int64_t d = 0; d < D; ++d) {
+            ctx[i * H + a * D + d] += scores[j] * v[j * H + a * D + d];
+          }
+        }
+      }
+    }
+    auto attn = dense_bias(ctx, Ln, H, w.wo, w.bo);
+    for (int64_t i = 0; i < Ln * H; ++i) attn[i] += x[i];
+    layer_norm(attn, Ln, w.ln1_g, w.ln1_b);
+    x = attn;
+
+    auto f1 = dense_bias(x, Ln, H, w.w1, w.b1);
+    for (auto& vv : f1) vv = 0.5f * vv * (1.0f + std::erf(vv * 0.70710678f));
+    auto f2 = dense_bias(f1, Ln, F, w.w2, w.b2);
+    for (int64_t i = 0; i < Ln * H; ++i) f2[i] += x[i];
+    layer_norm(f2, Ln, w.ln2_g, w.ln2_b);
+    x = f2;
+  }
+
+  NDArray out = NDArray::Empty({Ln, H}, DataType::Float32());
+  std::copy(x.begin(), x.end(), out.data<float>());
+  return out;
+}
+
+}  // namespace models
+}  // namespace nimble

@@ -1,0 +1,55 @@
+// BERT-style transformer encoder builder (§6.1): the dynamic-shape
+// workload. Sequence length is a symbolic dimension; every dense /
+// batch_matmul dispatches on it at runtime (§4.5).
+#pragma once
+
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/runtime/ndarray.h"
+
+namespace nimble {
+namespace models {
+
+struct BERTConfig {
+  int num_layers = 2;
+  int64_t hidden = 256;
+  int num_heads = 4;
+  int64_t ffn_hidden = 1024;  // 4 * hidden
+  int64_t vocab = 1000;
+  uint64_t seed = 11;
+
+  /// The paper's BERT-base (12 layers, 768 hidden, 12 heads); heavy for a
+  /// plain-C++ substrate, so benchmarks default to a scaled config.
+  static BERTConfig Base() {
+    return BERTConfig{12, 768, 12, 3072, 30522, 11};
+  }
+};
+
+struct BERTWeights {
+  runtime::NDArray embedding;  // [vocab, H]
+  struct Layer {
+    runtime::NDArray wq, wk, wv, wo;      // [H, H]
+    runtime::NDArray bq, bk, bv, bo;      // [H]
+    runtime::NDArray w1, w2;              // [ffn, H], [H, ffn]
+    runtime::NDArray b1, b2;              // [ffn], [H]
+    runtime::NDArray ln1_g, ln1_b;        // [H]
+    runtime::NDArray ln2_g, ln2_b;        // [H]
+  };
+  std::vector<Layer> layers;
+};
+
+struct BERTModel {
+  ir::Module module;  // @main(ids: Tensor[(L,), int64]) -> Tensor[(L, H)]
+  BERTWeights weights;
+  BERTConfig config;
+};
+
+BERTModel BuildBERT(const BERTConfig& config);
+
+/// Reference single-threaded implementation for correctness checks.
+runtime::NDArray RunBERTReference(const BERTModel& model,
+                                  const std::vector<int64_t>& ids);
+
+}  // namespace models
+}  // namespace nimble

@@ -1,0 +1,173 @@
+#include "src/models/lstm.h"
+
+#include <cmath>
+
+#include "src/op/registry.h"
+#include "src/support/rng.h"
+
+namespace nimble {
+namespace models {
+
+using namespace ir;  // NOLINT
+using op::Call1;
+using op::Call2;
+using op::Call3;
+using runtime::DataType;
+using runtime::NDArray;
+
+namespace {
+
+NDArray RandomTensor(runtime::ShapeVec shape, support::Rng& rng, double scale) {
+  NDArray arr = NDArray::Empty(std::move(shape), DataType::Float32());
+  arr.FillUniform(rng, -scale, scale);
+  return arr;
+}
+
+/// The canonical unfused LSTM cell dataflow; FuseLSTMCell pattern-matches
+/// this exact structure (gate order i|f|g|o).
+Expr UnfusedCell(Expr gates, Expr c) {
+  Expr sp = Call1("split", gates, Attrs().Set("sections", 4).Set("axis", 1));
+  Expr i = Call1("sigmoid", MakeTupleGetItem(sp, 0));
+  Expr f = Call1("sigmoid", MakeTupleGetItem(sp, 1));
+  Expr g = Call1("tanh", MakeTupleGetItem(sp, 2));
+  Expr o = Call1("sigmoid", MakeTupleGetItem(sp, 3));
+  Expr c2 = Call2("add", Call2("multiply", f, c), Call2("multiply", i, g));
+  Expr h2 = Call2("multiply", o, Call1("tanh", c2));
+  return MakeTuple({h2, c2});
+}
+
+}  // namespace
+
+LSTMModel BuildLSTM(const LSTMConfig& config) {
+  support::Rng rng(config.seed);
+  int64_t H = config.hidden_size;
+
+  LSTMModel model;
+  model.config = config;
+  double scale = 1.0 / std::sqrt(static_cast<double>(H));
+  for (int l = 0; l < config.num_layers; ++l) {
+    int64_t in = l == 0 ? config.input_size : H;
+    model.weights.layers.push_back(LSTMWeights::Layer{
+        RandomTensor({4 * H, in}, rng, scale),
+        RandomTensor({4 * H, H}, rng, scale),
+        RandomTensor({4 * H}, rng, scale)});
+  }
+  model.weights.h0 = NDArray::Empty({1, H}, DataType::Float32());
+  model.weights.c0 = NDArray::Empty({1, H}, DataType::Float32());
+  model.weights.h0.Fill(0.0);
+  model.weights.c0.Fill(0.0);
+
+  // Types. The sequence length is a symbolic dimension.
+  Dim L = Dim::FreshSym("L");
+  Type x_type = TensorType({L, Dim::Static(config.input_size)});
+  Type i64_scalar = ScalarType(DataType::Int64());
+  Type state_type = TensorType({Dim::Static(1), Dim::Static(H)});
+
+  // @lstm_loop(x, n, i, h_0, c_0, ..., h_k, c_k) -> h_last
+  Var x = MakeVar("x", x_type);
+  Var n = MakeVar("n", i64_scalar);
+  Var iv = MakeVar("i", i64_scalar);
+  std::vector<Var> params{x, n, iv};
+  std::vector<Var> hs, cs;
+  for (int l = 0; l < config.num_layers; ++l) {
+    hs.push_back(MakeVar("h" + std::to_string(l), state_type));
+    cs.push_back(MakeVar("c" + std::to_string(l), state_type));
+    params.push_back(hs.back());
+    params.push_back(cs.back());
+  }
+
+  // Step body: x_t = expand_dims(take(x, i), 0); stack the layers, binding
+  // each layer's cell once so both state projections share one evaluation.
+  GlobalVar loop = MakeGlobalVar("lstm_loop");
+  Expr x_t = Call1("expand_dims", Call2("take", x, iv), Attrs().Set("axis", 0));
+  std::vector<Expr> rec_args{x, n, Call2("add", iv, IntConst(1))};
+  std::vector<std::pair<Var, Expr>> cell_bindings;
+  Expr layer_in = x_t;
+  for (int l = 0; l < config.num_layers; ++l) {
+    Expr wx = MakeConstant(model.weights.layers[l].wx);
+    Expr wh = MakeConstant(model.weights.layers[l].wh);
+    Expr b = MakeConstant(model.weights.layers[l].b);
+    Expr gates = Call2(
+        "nn.bias_add",
+        Call2("add", Call2("nn.dense", layer_in, wx), Call2("nn.dense", hs[l], wh)),
+        b);
+    Var cv = MakeVar("cell" + std::to_string(l));
+    cell_bindings.emplace_back(cv, UnfusedCell(gates, cs[l]));
+    Expr h_next = MakeTupleGetItem(cv, 0);
+    Expr c_next = MakeTupleGetItem(cv, 1);
+    rec_args.push_back(h_next);
+    rec_args.push_back(c_next);
+    layer_in = h_next;
+  }
+  Expr body = MakeCall(loop, rec_args);
+  for (auto it = cell_bindings.rbegin(); it != cell_bindings.rend(); ++it) {
+    body = MakeLet(it->first, it->second, body);
+  }
+
+  Expr cond = Call2("less", iv, n);
+  Expr loop_body = MakeIf(cond, body, hs.back());
+  Function loop_fn = MakeFunction(params, loop_body, state_type);
+  model.module.Add("lstm_loop", loop_fn);
+
+  // @main(x, n) = @lstm_loop(x, n, 0, h0, c0, ...)
+  Var mx = MakeVar("x", x_type);
+  Var mn = MakeVar("n", i64_scalar);
+  std::vector<Expr> main_args{mx, mn, IntConst(0)};
+  for (int l = 0; l < config.num_layers; ++l) {
+    main_args.push_back(MakeConstant(model.weights.h0));
+    main_args.push_back(MakeConstant(model.weights.c0));
+  }
+  Function main_fn = MakeFunction({mx, mn}, MakeCall(loop, main_args), state_type);
+  model.module.Add("main", main_fn);
+  return model;
+}
+
+runtime::NDArray RunLSTMReference(const LSTMWeights& weights,
+                                  const runtime::NDArray& x) {
+  int64_t seq = x.shape()[0];
+  int num_layers = static_cast<int>(weights.layers.size());
+  int64_t H = weights.h0.shape()[1];
+  auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+
+  std::vector<std::vector<float>> h(num_layers), c(num_layers);
+  for (int l = 0; l < num_layers; ++l) {
+    h[l].assign(H, 0.0f);
+    c[l].assign(H, 0.0f);
+  }
+  std::vector<float> gates(4 * H);
+  std::vector<float> input;
+  for (int64_t t = 0; t < seq; ++t) {
+    int64_t in_size = x.shape()[1];
+    input.assign(x.data<float>() + t * in_size, x.data<float>() + (t + 1) * in_size);
+    for (int l = 0; l < num_layers; ++l) {
+      const auto& layer = weights.layers[l];
+      int64_t cur_in = layer.wx.shape()[1];
+      const float* wx = layer.wx.data<float>();
+      const float* wh = layer.wh.data<float>();
+      const float* b = layer.b.data<float>();
+      for (int64_t j = 0; j < 4 * H; ++j) {
+        float acc = b[j];
+        for (int64_t k = 0; k < cur_in; ++k) acc += input[k] * wx[j * cur_in + k];
+        for (int64_t k = 0; k < H; ++k) acc += h[l][k] * wh[j * H + k];
+        gates[j] = acc;
+      }
+      for (int64_t j = 0; j < H; ++j) {
+        float i = sigmoid(gates[j]);
+        float f = sigmoid(gates[H + j]);
+        float g = std::tanh(gates[2 * H + j]);
+        float o = sigmoid(gates[3 * H + j]);
+        c[l][j] = f * c[l][j] + i * g;
+        h[l][j] = o * std::tanh(c[l][j]);
+      }
+      input = h[l];
+    }
+  }
+  runtime::NDArray out =
+      runtime::NDArray::Empty({1, H}, runtime::DataType::Float32());
+  std::copy(h[num_layers - 1].begin(), h[num_layers - 1].end(),
+            out.data<float>());
+  return out;
+}
+
+}  // namespace models
+}  // namespace nimble

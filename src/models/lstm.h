@@ -1,0 +1,50 @@
+// LSTM model builder (§6.1): the control-flow-dynamism workload.
+//
+// The model is expressed as a recursive IR function looping over timesteps
+// (sequence length known only at runtime), with the *unfused* per-gate
+// arithmetic — the FuseLSTMCell pass recovers the fused cell, exactly the
+// optimization a compiler must perform that eager frameworks cannot.
+#pragma once
+
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/runtime/ndarray.h"
+
+namespace nimble {
+namespace models {
+
+struct LSTMConfig {
+  int64_t input_size = 300;
+  int64_t hidden_size = 512;
+  int num_layers = 1;
+  uint64_t seed = 42;
+};
+
+struct LSTMWeights {
+  struct Layer {
+    runtime::NDArray wx;  // [4H, in]
+    runtime::NDArray wh;  // [4H, H]
+    runtime::NDArray b;   // [4H]
+  };
+  std::vector<Layer> layers;
+  runtime::NDArray h0;  // [1, H]
+  runtime::NDArray c0;  // [1, H]
+};
+
+struct LSTMModel {
+  ir::Module module;  // globals: @main(x: [(L, in)], n: i64), @lstm_loop(...)
+  LSTMWeights weights;
+  LSTMConfig config;
+};
+
+/// Builds the IR module and deterministic random weights.
+LSTMModel BuildLSTM(const LSTMConfig& config);
+
+/// Reference implementation (plain C++ loops) for correctness checks:
+/// returns the final hidden state of the last layer, shape [1, H].
+runtime::NDArray RunLSTMReference(const LSTMWeights& weights,
+                                  const runtime::NDArray& x);
+
+}  // namespace models
+}  // namespace nimble

@@ -1,0 +1,191 @@
+#include "src/models/tree_lstm.h"
+
+#include <cmath>
+
+#include "src/op/registry.h"
+
+namespace nimble {
+namespace models {
+
+using namespace ir;  // NOLINT
+using op::Call1;
+using op::Call2;
+using runtime::DataType;
+using runtime::NDArray;
+
+namespace {
+
+Expr UnfusedCell(Expr gates, Expr c) {
+  Expr sp = Call1("split", gates, Attrs().Set("sections", 4).Set("axis", 1));
+  Expr i = Call1("sigmoid", MakeTupleGetItem(sp, 0));
+  Expr f = Call1("sigmoid", MakeTupleGetItem(sp, 1));
+  Expr g = Call1("tanh", MakeTupleGetItem(sp, 2));
+  Expr o = Call1("sigmoid", MakeTupleGetItem(sp, 3));
+  Expr c2 = Call2("add", Call2("multiply", f, c), Call2("multiply", i, g));
+  Expr h2 = Call2("multiply", o, Call1("tanh", c2));
+  return MakeTuple({h2, c2});
+}
+
+void CellReference(const TreeLSTMWeights& w, const std::vector<float>& gates,
+                   std::vector<float>* c, std::vector<float>* h) {
+  int64_t H = w.c0.shape()[1];
+  auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+  for (int64_t j = 0; j < H; ++j) {
+    float i = sigmoid(gates[j]);
+    float f = sigmoid(gates[H + j]);
+    float g = std::tanh(gates[2 * H + j]);
+    float o = sigmoid(gates[3 * H + j]);
+    (*c)[j] = f * (*c)[j] + i * g;
+    (*h)[j] = o * std::tanh((*c)[j]);
+  }
+}
+
+}  // namespace
+
+TreeLSTMModel BuildTreeLSTM(const TreeLSTMConfig& config) {
+  support::Rng rng(config.seed);
+  int64_t H = config.hidden_size;
+  int64_t I = config.input_size;
+  double scale = 1.0 / std::sqrt(static_cast<double>(H));
+
+  TreeLSTMModel model;
+  model.config = config;
+  model.weights.wx = NDArray::Empty({4 * H, I}, DataType::Float32());
+  model.weights.wh = NDArray::Empty({4 * H, H}, DataType::Float32());
+  model.weights.b = NDArray::Empty({4 * H}, DataType::Float32());
+  model.weights.wx.FillUniform(rng, -scale, scale);
+  model.weights.wh.FillUniform(rng, -scale, scale);
+  model.weights.b.FillUniform(rng, -scale, scale);
+  model.weights.c0 = NDArray::Empty({1, H}, DataType::Float32());
+  model.weights.c0.Fill(0.0);
+
+  Type leaf_type = TensorType({Dim::Static(1), Dim::Static(I)});
+  Type state_type = TensorType({Dim::Static(1), Dim::Static(H)});
+  Type pair_type = TupleType({state_type, state_type});
+
+  const TypeData& tree = model.module.DefineADT(
+      "Tree", {{"Leaf", {leaf_type}}, {"Node", {ADTType("Tree"), ADTType("Tree")}}});
+  Constructor leaf_ctor = tree.constructors[0];
+  Constructor node_ctor = tree.constructors[1];
+
+  Expr wx = MakeConstant(model.weights.wx);
+  Expr wh = MakeConstant(model.weights.wh);
+  Expr b = MakeConstant(model.weights.b);
+  Expr c0 = MakeConstant(model.weights.c0);
+
+  // @tree_eval(t: Tree) -> (h, c)
+  GlobalVar eval = MakeGlobalVar("tree_eval");
+  Var t = MakeVar("t", ADTType("Tree"));
+
+  // Leaf clause: gates = bias_add(dense(x, Wx), b); cell(gates, 0).
+  Var leaf_x = MakeVar("x", leaf_type);
+  Expr leaf_gates = Call2("nn.bias_add", Call2("nn.dense", leaf_x, wx), b);
+  Expr leaf_body = UnfusedCell(leaf_gates, c0);
+
+  // Node clause: evaluate children, sum states, gate on the sum.
+  Var lchild = MakeVar("l", ADTType("Tree"));
+  Var rchild = MakeVar("r", ADTType("Tree"));
+  Var ls = MakeVar("ls");
+  Var rs = MakeVar("rs");
+  Expr h_sum = Call2("add", MakeTupleGetItem(ls, 0), MakeTupleGetItem(rs, 0));
+  Expr c_sum = Call2("add", MakeTupleGetItem(ls, 1), MakeTupleGetItem(rs, 1));
+  Expr node_gates = Call2("nn.bias_add", Call2("nn.dense", h_sum, wh), b);
+  Expr node_body =
+      MakeLet(ls, MakeCall(eval, {lchild}),
+              MakeLet(rs, MakeCall(eval, {rchild}),
+                      UnfusedCell(node_gates, c_sum)));
+
+  Expr match = MakeMatch(
+      t, {MatchClause{leaf_ctor, {leaf_x}, leaf_body},
+          MatchClause{node_ctor, {lchild, rchild}, node_body}});
+  model.module.Add("tree_eval", MakeFunction({t}, match, pair_type));
+
+  // @main(t) = tree_eval(t).0
+  Var mt = MakeVar("t", ADTType("Tree"));
+  model.module.Add(
+      "main",
+      MakeFunction({mt}, MakeTupleGetItem(MakeCall(eval, {mt}), 0), state_type));
+  return model;
+}
+
+int HostTree::num_leaves() const {
+  if (is_leaf()) return 1;
+  return left->num_leaves() + right->num_leaves();
+}
+
+int HostTree::num_nodes() const {
+  if (is_leaf()) return 1;
+  return 1 + left->num_nodes() + right->num_nodes();
+}
+
+std::unique_ptr<HostTree> RandomTree(int leaves, int64_t input,
+                                     support::Rng& rng) {
+  auto node = std::make_unique<HostTree>();
+  if (leaves <= 1) {
+    node->leaf = NDArray::Empty({1, input}, DataType::Float32());
+    node->leaf.FillUniform(rng, -1.0, 1.0);
+    return node;
+  }
+  int left = 1 + static_cast<int>(rng.UniformInt(0, leaves - 2));
+  node->left = RandomTree(left, input, rng);
+  node->right = RandomTree(leaves - left, input, rng);
+  return node;
+}
+
+runtime::ObjectRef TreeToObject(const HostTree& tree) {
+  if (tree.is_leaf()) {
+    return runtime::MakeADT(0, {runtime::MakeTensor(tree.leaf)});
+  }
+  return runtime::MakeADT(1, {TreeToObject(*tree.left), TreeToObject(*tree.right)});
+}
+
+namespace {
+
+void EvalReference(const TreeLSTMWeights& w, const HostTree& tree,
+                   std::vector<float>* h, std::vector<float>* c) {
+  int64_t H = w.c0.shape()[1];
+  std::vector<float> gates(4 * H);
+  const float* b = w.b.data<float>();
+  if (tree.is_leaf()) {
+    int64_t I = w.wx.shape()[1];
+    const float* wx = w.wx.data<float>();
+    const float* x = tree.leaf.data<float>();
+    for (int64_t j = 0; j < 4 * H; ++j) {
+      float acc = b[j];
+      for (int64_t k = 0; k < I; ++k) acc += x[k] * wx[j * I + k];
+      gates[j] = acc;
+    }
+    h->assign(H, 0.0f);
+    c->assign(H, 0.0f);
+    CellReference(w, gates, c, h);
+    return;
+  }
+  std::vector<float> hl, cl, hr, cr;
+  EvalReference(w, *tree.left, &hl, &cl);
+  EvalReference(w, *tree.right, &hr, &cr);
+  const float* wh = w.wh.data<float>();
+  for (int64_t j = 0; j < 4 * H; ++j) {
+    float acc = b[j];
+    for (int64_t k = 0; k < H; ++k) acc += (hl[k] + hr[k]) * wh[j * H + k];
+    gates[j] = acc;
+  }
+  c->resize(H);
+  h->resize(H);
+  for (int64_t k = 0; k < H; ++k) (*c)[k] = cl[k] + cr[k];
+  CellReference(w, gates, c, h);
+}
+
+}  // namespace
+
+runtime::NDArray RunTreeLSTMReference(const TreeLSTMWeights& weights,
+                                      const HostTree& tree) {
+  std::vector<float> h, c;
+  EvalReference(weights, tree, &h, &c);
+  NDArray out = NDArray::Empty({1, static_cast<int64_t>(h.size())},
+                               DataType::Float32());
+  std::copy(h.begin(), h.end(), out.data<float>());
+  return out;
+}
+
+}  // namespace models
+}  // namespace nimble

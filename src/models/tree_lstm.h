@@ -1,0 +1,68 @@
+// Tree-LSTM model builder (§6.1): the dynamic-data-structure workload.
+//
+// Trees are an algebraic data type
+//     Tree = Leaf(Tensor[(1, in)]) | Node(Tree, Tree)
+// and the model is a recursive IR function that pattern-matches on the
+// structure — the execution path is different for every input tree, which
+// is exactly what defeats static dataflow-graph systems.
+//
+// The cell is a child-sum Tree-LSTM simplified to share one gate block:
+//   leaf:  (h, c) = LSTMCell(Wx·x + b, 0)
+//   node:  (h, c) = LSTMCell(Wh·(h_l + h_r) + b, c_l + c_r)
+#pragma once
+
+#include <memory>
+
+#include "src/ir/module.h"
+#include "src/runtime/ndarray.h"
+#include "src/runtime/object.h"
+#include "src/support/rng.h"
+
+namespace nimble {
+namespace models {
+
+struct TreeLSTMConfig {
+  int64_t input_size = 300;
+  int64_t hidden_size = 150;
+  uint64_t seed = 7;
+};
+
+struct TreeLSTMWeights {
+  runtime::NDArray wx;  // [4H, in]
+  runtime::NDArray wh;  // [4H, H]
+  runtime::NDArray b;   // [4H]
+  runtime::NDArray c0;  // [1, H]
+};
+
+struct TreeLSTMModel {
+  ir::Module module;  // ADT Tree; @tree_eval(Tree) -> (h, c); @main(Tree) -> h
+  TreeLSTMWeights weights;
+  TreeLSTMConfig config;
+};
+
+TreeLSTMModel BuildTreeLSTM(const TreeLSTMConfig& config);
+
+/// Host-side tree representation (used to build VM input objects, drive the
+/// baselines, and generate SST-like synthetic inputs).
+struct HostTree {
+  std::unique_ptr<HostTree> left;
+  std::unique_ptr<HostTree> right;
+  runtime::NDArray leaf;  // defined iff leaf node
+  bool is_leaf() const { return !leaf.defined() ? false : true; }
+  int num_leaves() const;
+  int num_nodes() const;
+};
+
+/// Random binarized tree with `leaves` leaf embeddings of width `input`.
+std::unique_ptr<HostTree> RandomTree(int leaves, int64_t input,
+                                     support::Rng& rng);
+
+/// Converts a host tree to the VM's ADT object (tags: Leaf=0, Node=1).
+runtime::ObjectRef TreeToObject(const HostTree& tree);
+
+/// Reference recursive evaluation; returns the root hidden state [1, H].
+runtime::NDArray RunTreeLSTMReference(const TreeLSTMWeights& weights,
+                                      const HostTree& tree);
+
+}  // namespace models
+}  // namespace nimble

@@ -1,0 +1,49 @@
+#include "src/models/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nimble {
+namespace models {
+
+std::vector<int64_t> SampleMRPCLengths(int count, support::Rng& rng,
+                                       int64_t max_len) {
+  // MRPC sentences average ~22 words; with word-piece tokenization the
+  // typical BERT input is ~40 tokens. Model as a clipped normal.
+  std::vector<int64_t> lengths;
+  lengths.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    double v = 40.0 + 18.0 * rng.Normal();
+    int64_t len = static_cast<int64_t>(std::llround(v));
+    lengths.push_back(std::clamp<int64_t>(len, 4, max_len));
+  }
+  return lengths;
+}
+
+std::vector<int> SampleSSTSizes(int count, support::Rng& rng) {
+  // SST sentences average ~19 tokens.
+  std::vector<int> sizes;
+  sizes.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    double v = 19.0 + 8.0 * rng.Normal();
+    sizes.push_back(static_cast<int>(std::clamp(v, 3.0, 52.0)));
+  }
+  return sizes;
+}
+
+runtime::NDArray RandomSequence(int64_t len, int64_t width, support::Rng& rng) {
+  runtime::NDArray arr =
+      runtime::NDArray::Empty({len, width}, runtime::DataType::Float32());
+  arr.FillUniform(rng, -1.0, 1.0);
+  return arr;
+}
+
+std::vector<int64_t> RandomTokenIds(int64_t len, int64_t vocab,
+                                    support::Rng& rng) {
+  std::vector<int64_t> ids(len);
+  for (auto& id : ids) id = rng.UniformInt(0, vocab - 1);
+  return ids;
+}
+
+}  // namespace models
+}  // namespace nimble

@@ -1,0 +1,32 @@
+// Synthetic workloads standing in for the paper's datasets (§6.1):
+//  - MRPC-like sentence lengths for LSTM/BERT (variable-length inputs);
+//  - SST-like binarized trees for Tree-LSTM (variable structures).
+// Only the length/shape distributions matter for inference latency, so the
+// content is random but the distributions follow the datasets' statistics.
+#pragma once
+
+#include <vector>
+
+#include "src/runtime/ndarray.h"
+#include "src/support/rng.h"
+
+namespace nimble {
+namespace models {
+
+/// Sentence lengths resembling MRPC (mean ≈ 40 tokens, clipped to
+/// [4, max_len]); deterministic for a given rng.
+std::vector<int64_t> SampleMRPCLengths(int count, support::Rng& rng,
+                                       int64_t max_len = 128);
+
+/// Tree leaf counts resembling SST (mean ≈ 19 tokens, range [3, 52]).
+std::vector<int> SampleSSTSizes(int count, support::Rng& rng);
+
+/// Random float32 embedding sequence of a given length.
+runtime::NDArray RandomSequence(int64_t len, int64_t width, support::Rng& rng);
+
+/// Random token-id sequence in [0, vocab).
+std::vector<int64_t> RandomTokenIds(int64_t len, int64_t vocab,
+                                    support::Rng& rng);
+
+}  // namespace models
+}  // namespace nimble

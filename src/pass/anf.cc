@@ -1,0 +1,189 @@
+// A-normal form conversion.
+#include "src/pass/transforms.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/ir/visitor.h"
+
+namespace nimble {
+namespace pass {
+
+using namespace ir;  // NOLINT
+
+namespace {
+
+/// Builds a linear let-chain while converting; nested scopes (function
+/// bodies, If/Match arms) get their own builder.
+class ANFConverter {
+ public:
+  Expr Convert(const Expr& e) {
+    Expr atom = ToAtom(e);
+    return WrapBindings(atom);
+  }
+
+ private:
+  /// Returns an atomic expression (Var/Constant/GlobalVar/Op/Constructor),
+  /// pushing let bindings for anything compound. Memoized on node identity:
+  /// a subexpression shared through the DAG is bound once and referenced by
+  /// its variable afterwards (sharing must be preserved, not duplicated).
+  Expr ToAtom(const Expr& e) {
+    auto memo = memo_.find(e.get());
+    if (memo != memo_.end()) return memo->second;
+    Expr atom = ToAtomUncached(e);
+    memo_[e.get()] = atom;
+    return atom;
+  }
+
+  Expr ToAtomUncached(const Expr& e) {
+    switch (e->kind()) {
+      case ExprKind::kVar:
+      case ExprKind::kGlobalVar:
+      case ExprKind::kConstant:
+      case ExprKind::kOp:
+      case ExprKind::kConstructor:
+        return e;
+      case ExprKind::kTuple: {
+        const auto* t = static_cast<const TupleNode*>(e.get());
+        std::vector<Expr> fields;
+        for (const Expr& f : t->fields) fields.push_back(ToAtom(f));
+        return Bind(MakeTuple(std::move(fields)));
+      }
+      case ExprKind::kTupleGetItem: {
+        const auto* t = static_cast<const TupleGetItemNode*>(e.get());
+        return Bind(MakeTupleGetItem(ToAtom(t->tuple), t->index));
+      }
+      case ExprKind::kCall: {
+        const auto* c = static_cast<const CallNode*>(e.get());
+        Expr op = c->op;
+        // Call targets that are themselves compound (e.g. closures returned
+        // from calls) must also be atomized; primitive ops/ctors stay.
+        if (op->kind() != ExprKind::kOp && op->kind() != ExprKind::kConstructor &&
+            op->kind() != ExprKind::kGlobalVar && op->kind() != ExprKind::kVar) {
+          op = ToAtom(op);
+        }
+        std::vector<Expr> args;
+        for (const Expr& a : c->args) args.push_back(ToAtom(a));
+        return Bind(MakeCall(op, std::move(args), c->attrs));
+      }
+      case ExprKind::kFunction: {
+        const auto* f = static_cast<const FunctionNode*>(e.get());
+        ANFConverter inner;
+        Expr body = inner.Convert(f->body);
+        return Bind(MakeFunction(f->params, body, f->ret_type));
+      }
+      case ExprKind::kLet: {
+        const auto* l = static_cast<const LetNode*>(e.get());
+        Expr value = ToAtomValue(l->value);
+        bindings_.push_back({l->var, value});
+        memo_[l->var.get()] = l->var;
+        return ToAtom(l->body);
+      }
+      case ExprKind::kIf: {
+        const auto* i = static_cast<const IfNode*>(e.get());
+        Expr cond = ToAtom(i->cond);
+        ANFConverter then_conv, else_conv;
+        Expr t = then_conv.Convert(i->then_branch);
+        Expr f = else_conv.Convert(i->else_branch);
+        return Bind(MakeIf(cond, t, f));
+      }
+      case ExprKind::kMatch: {
+        const auto* m = static_cast<const MatchNode*>(e.get());
+        Expr data = ToAtom(m->data);
+        std::vector<MatchClause> clauses;
+        for (const MatchClause& c : m->clauses) {
+          ANFConverter arm;
+          clauses.push_back(MatchClause{c.ctor, c.binds, arm.Convert(c.body)});
+        }
+        return Bind(MakeMatch(data, std::move(clauses)));
+      }
+    }
+    NIMBLE_FATAL() << "unreachable";
+  }
+
+  /// Converts a let value: compound but *not* re-bound (keeps the user's
+  /// binding structure; calls/tuples stay as the bound value).
+  Expr ToAtomValue(const Expr& e) {
+    switch (e->kind()) {
+      case ExprKind::kCall: {
+        const auto* c = static_cast<const CallNode*>(e.get());
+        Expr op = c->op;
+        if (op->kind() != ExprKind::kOp && op->kind() != ExprKind::kConstructor &&
+            op->kind() != ExprKind::kGlobalVar && op->kind() != ExprKind::kVar) {
+          op = ToAtom(op);
+        }
+        std::vector<Expr> args;
+        for (const Expr& a : c->args) args.push_back(ToAtom(a));
+        return MakeCall(op, std::move(args), c->attrs);
+      }
+      case ExprKind::kTuple: {
+        const auto* t = static_cast<const TupleNode*>(e.get());
+        std::vector<Expr> fields;
+        for (const Expr& f : t->fields) fields.push_back(ToAtom(f));
+        return MakeTuple(std::move(fields));
+      }
+      case ExprKind::kTupleGetItem: {
+        const auto* t = static_cast<const TupleGetItemNode*>(e.get());
+        return MakeTupleGetItem(ToAtom(t->tuple), t->index);
+      }
+      case ExprKind::kIf:
+      case ExprKind::kMatch:
+      case ExprKind::kFunction: {
+        // Keep scoped constructs as bound values with converted innards.
+        Expr atom = ToAtom(e);
+        // ToAtom bound it to a fresh var; unwrap that last binding.
+        Binding b = bindings_.back();
+        bindings_.pop_back();
+        NIMBLE_ICHECK(b.var.get() == AsVar(atom)) << "unexpected binding order";
+        return b.value;
+      }
+      default:
+        return ToAtom(e);
+    }
+  }
+
+  Expr Bind(Expr value) {
+    Var v = MakeVar("t" + std::to_string(counter_++));
+    bindings_.push_back({v, std::move(value)});
+    return v;
+  }
+
+  Expr WrapBindings(Expr body) {
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+      body = MakeLet(it->var, it->value, body);
+    }
+    return body;
+  }
+
+  struct Binding {
+    Var var;
+    Expr value;
+  };
+  std::vector<Binding> bindings_;
+  std::unordered_map<const ExprNode*, Expr> memo_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Expr ExprToANF(const Expr& e) {
+  if (e->kind() == ExprKind::kFunction) {
+    const auto* f = static_cast<const FunctionNode*>(e.get());
+    ANFConverter conv;
+    return MakeFunction(f->params, conv.Convert(f->body), f->ret_type);
+  }
+  ANFConverter conv;
+  return conv.Convert(e);
+}
+
+void ToANF(ir::Module* mod) {
+  std::vector<std::pair<std::string, Function>> updated;
+  for (const auto& [name, fn] : mod->functions()) {
+    updated.emplace_back(
+        name, std::static_pointer_cast<const FunctionNode>(ExprToANF(fn)));
+  }
+  for (auto& [name, fn] : updated) mod->Update(name, fn);
+}
+
+}  // namespace pass
+}  // namespace nimble

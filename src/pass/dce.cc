@@ -1,0 +1,80 @@
+// Dead code elimination on let-chains: drops bindings whose variable is
+// never used, unless the bound value has effects (memory/vm dialect calls).
+#include <unordered_map>
+
+#include "src/ir/visitor.h"
+#include "src/pass/transforms.h"
+
+namespace nimble {
+namespace pass {
+
+using namespace ir;  // NOLINT
+
+namespace {
+
+bool HasEffects(const Expr& value) {
+  if (value->kind() != ExprKind::kCall) return false;
+  const auto* call = static_cast<const CallNode*>(value.get());
+  if (call->op->kind() == ExprKind::kOp) {
+    const std::string& name = static_cast<const OpNode*>(call->op.get())->name;
+    return name.rfind("memory.", 0) == 0 || name.rfind("vm.", 0) == 0;
+  }
+  // Calls to globals/closures may recurse or allocate: keep them.
+  return true;
+}
+
+class UseCounter : public ExprVisitor {
+ public:
+  std::unordered_map<const VarNode*, int> counts;
+
+ protected:
+  void VisitVar_(const VarNode* node) override { counts[node]++; }
+  void VisitLet_(const LetNode* node) override {
+    // Deliberately skip the binder occurrence.
+    Visit(node->value);
+    Visit(node->body);
+  }
+};
+
+class DceMutator : public ExprMutator {
+ public:
+  explicit DceMutator(const std::unordered_map<const VarNode*, int>& counts)
+      : counts_(counts) {}
+
+ protected:
+  Expr MutateLet_(const LetNode* node, const Expr& e) override {
+    Expr value = Mutate(node->value);
+    Expr body = Mutate(node->body);
+    auto it = counts_.find(node->var.get());
+    bool used = it != counts_.end() && it->second > 0;
+    if (!used && !HasEffects(value)) return body;
+    if (value == node->value && body == node->body) return e;
+    return MakeLet(node->var, value, body);
+  }
+
+ private:
+  const std::unordered_map<const VarNode*, int>& counts_;
+};
+
+}  // namespace
+
+void DeadCodeElim(ir::Module* mod) {
+  std::vector<std::pair<std::string, Function>> updated;
+  for (const auto& [name, fn] : mod->functions()) {
+    // Iterate to a fixed point: removing one binding can orphan another.
+    Function current = fn;
+    while (true) {
+      UseCounter counter;
+      counter.Visit(current);
+      DceMutator dce(counter.counts);
+      Expr next = dce.Mutate(current);
+      if (next == current) break;
+      current = std::static_pointer_cast<const FunctionNode>(next);
+    }
+    updated.emplace_back(name, current);
+  }
+  for (auto& [name, fn] : updated) mod->Update(name, fn);
+}
+
+}  // namespace pass
+}  // namespace nimble

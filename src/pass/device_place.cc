@@ -1,0 +1,372 @@
+// Heterogeneous device placement (§4.4).
+//
+// A union-find over DeviceDomains assigns every binding a device:
+//  - shape_of outputs, shape tensors, and shape-function operands default
+//    to the CPU domain (they are cheap scalar computations the host needs);
+//  - kernel invocations (memory.invoke_mut) constrain all their tensor
+//    operands to the kernel device;
+//  - alloc_tensor unifies with its backing storage; tuples/aliases/control
+//    flow propagate domains bidirectionally.
+//
+// Kernel-device constraints are applied first (kernels were already
+// scheduled, §4.4), then CPU constraints; a CPU-required use of a
+// device-resident tensor gets an explicit device_copy inserted — the case
+// that matters in practice is a data-dependent shape function reading a
+// tensor that lives on the accelerator.
+#include <map>
+#include <unordered_map>
+
+#include "src/ir/visitor.h"
+#include "src/op/registry.h"
+#include "src/pass/memory.h"
+#include "src/support/union_find.h"
+
+namespace nimble {
+namespace pass {
+
+using namespace ir;  // NOLINT
+using runtime::Device;
+
+namespace {
+
+enum class Domain : uint8_t { kUnknown = 0, kCPU = 1, kDev = 2 };
+
+struct Binding {
+  Var var;
+  Expr value;
+};
+
+const CallNode* AsAnyOpCall(const Expr& e, std::string* name) {
+  if (e->kind() != ExprKind::kCall) return nullptr;
+  const auto* call = static_cast<const CallNode*>(e.get());
+  if (call->op->kind() != ExprKind::kOp) return nullptr;
+  *name = static_cast<const OpNode*>(call->op.get())->name;
+  return call;
+}
+
+class DevicePlacer {
+ public:
+  DevicePlacer(Device kernel_device, DevicePlaceStats* stats)
+      : kernel_device_(kernel_device), stats_(stats) {}
+
+  Function Run(const Function& fn) {
+    // Flatten all scopes (vars are globally unique, so one UF works).
+    std::vector<Binding>* top = Flatten(fn->body);
+    for (const Var& p : fn->params) IdOf(p.get());
+
+    ApplyUnions();
+    ApplyDeviceConstraints();
+    std::vector<Conflict> conflicts = ApplyCpuConstraints();
+    InsertCopies(conflicts);
+    StampDevices();
+
+    Expr body = Rebuild(top);
+    return MakeFunction(fn->params, body, fn->ret_type);
+  }
+
+ private:
+  struct Conflict {
+    std::vector<Binding>* scope;
+    size_t index;      // binding whose value needs the copy
+    size_t arg_index;  // which argument
+    Var var;           // the device-resident var needed on CPU
+  };
+
+  // ---- scope flattening ----------------------------------------------------
+
+  std::vector<Binding>* Flatten(const Expr& scope) {
+    scopes_.push_back(std::make_unique<std::vector<Binding>>());
+    auto* bindings = scopes_.back().get();
+    scope_tails_.push_back(nullptr);
+    size_t my_scope = scopes_.size() - 1;
+    Expr cursor = scope;
+    while (cursor->kind() == ExprKind::kLet) {
+      const auto* let = static_cast<const LetNode*>(cursor.get());
+      bindings->push_back(Binding{let->var, let->value});
+      IdOf(let->var.get());
+      cursor = let->body;
+    }
+    scope_tails_[my_scope] = cursor;
+    scope_of_tail_[bindings] = cursor;
+    // Recurse into nested scopes.
+    for (Binding& b : *bindings) {
+      if (b.value->kind() == ExprKind::kIf) {
+        const auto* n = static_cast<const IfNode*>(b.value.get());
+        auto* t = Flatten(n->then_branch);
+        auto* f = Flatten(n->else_branch);
+        nested_[b.var.get()] = {t, f};
+      } else if (b.value->kind() == ExprKind::kMatch) {
+        const auto* n = static_cast<const MatchNode*>(b.value.get());
+        std::vector<std::vector<Binding>*> arms;
+        for (const MatchClause& c : n->clauses) arms.push_back(Flatten(c.body));
+        nested_[b.var.get()] = arms;
+      } else if (b.value->kind() == ExprKind::kFunction) {
+        const auto* n = static_cast<const FunctionNode*>(b.value.get());
+        nested_[b.var.get()] = {Flatten(n->body)};
+      }
+    }
+    return bindings;
+  }
+
+  size_t IdOf(const VarNode* v) {
+    auto it = ids_.find(v);
+    if (it != ids_.end()) return it->second;
+    size_t id = uf_.Make();
+    labels_.push_back(Domain::kUnknown);
+    ids_[v] = id;
+    return id;
+  }
+
+  void UnionVars(const VarNode* a, const VarNode* b) {
+    size_t ra = uf_.Find(IdOf(a));
+    size_t rb = uf_.Find(IdOf(b));
+    if (ra == rb) return;
+    Domain la = labels_[ra], lb = labels_[rb];
+    size_t r = uf_.Union(ra, rb);
+    labels_[r] = la != Domain::kUnknown ? la : lb;
+  }
+
+  Domain LabelOf(const VarNode* v) { return labels_[uf_.Find(IdOf(v))]; }
+
+  /// Sets the domain of v's class; returns false on conflict.
+  bool SetLabel(const VarNode* v, Domain d) {
+    size_t r = uf_.Find(IdOf(v));
+    if (labels_[r] == Domain::kUnknown) {
+      labels_[r] = d;
+      return true;
+    }
+    return labels_[r] == d;
+  }
+
+  // ---- constraint application ------------------------------------------------
+
+  void ForEachBinding(const std::function<void(std::vector<Binding>*, size_t,
+                                               Binding&)>& fn) {
+    for (auto& scope : scopes_) {
+      for (size_t i = 0; i < scope->size(); ++i) fn(scope.get(), i, (*scope)[i]);
+    }
+  }
+
+  void ApplyUnions() {
+    ForEachBinding([&](std::vector<Binding>*, size_t, Binding& b) {
+      const Expr& v = b.value;
+      std::string name;
+      if (v->kind() == ExprKind::kVar) {
+        UnionVars(b.var.get(), static_cast<const VarNode*>(v.get()));
+        return;
+      }
+      if (v->kind() == ExprKind::kTuple) {
+        for (const Expr& f : static_cast<const TupleNode*>(v.get())->fields) {
+          if (f->kind() == ExprKind::kVar) {
+            UnionVars(b.var.get(), static_cast<const VarNode*>(f.get()));
+          }
+        }
+        return;
+      }
+      if (v->kind() == ExprKind::kTupleGetItem) {
+        const auto* t = static_cast<const TupleGetItemNode*>(v.get());
+        if (t->tuple->kind() == ExprKind::kVar) {
+          UnionVars(b.var.get(), static_cast<const VarNode*>(t->tuple.get()));
+        }
+        return;
+      }
+      if (v->kind() == ExprKind::kIf || v->kind() == ExprKind::kMatch) {
+        // Unify the binding with each arm's tail var.
+        auto it = nested_.find(b.var.get());
+        if (it != nested_.end()) {
+          for (auto* arm : it->second) {
+            Expr tail = scope_of_tail_[arm];
+            if (tail && tail->kind() == ExprKind::kVar) {
+              UnionVars(b.var.get(), static_cast<const VarNode*>(tail.get()));
+            }
+          }
+        }
+        return;
+      }
+      if (const CallNode* call = AsAnyOpCall(v, &name)) {
+        if (name == "memory.alloc_tensor" &&
+            call->args[0]->kind() == ExprKind::kVar) {
+          UnionVars(b.var.get(),
+                    static_cast<const VarNode*>(call->args[0].get()));
+        }
+      }
+    });
+  }
+
+  void ApplyDeviceConstraints() {
+    ForEachBinding([&](std::vector<Binding>*, size_t, Binding& b) {
+      std::string name;
+      const CallNode* call = AsAnyOpCall(b.value, &name);
+      if (call == nullptr) return;
+      if (name == "memory.alloc_storage" && call->attrs.Has("is_shape")) {
+        SetLabel(b.var.get(), Domain::kCPU);  // shape tensors live on host
+        return;
+      }
+      if (name == "vm.shape_of") {
+        SetLabel(b.var.get(), Domain::kCPU);  // result is host metadata
+        return;
+      }
+      if (name == "memory.invoke_mut") {
+        // Kernel operands and results live on the kernel device. When that
+        // device IS the CPU there is only one domain and no conflicts.
+        Domain dev = kernel_device_.is_cpu() ? Domain::kCPU : Domain::kDev;
+        for (const Expr& a : call->args) {
+          if (a->kind() == ExprKind::kVar) {
+            SetLabel(static_cast<const VarNode*>(a.get()), dev);
+          }
+        }
+        return;
+      }
+      if (name == "vm.reshape_tensor" &&
+          call->args[0]->kind() == ExprKind::kVar) {
+        // Reshape aliases its input's storage.
+        UnionVars(b.var.get(), static_cast<const VarNode*>(call->args[0].get()));
+        return;
+      }
+    });
+  }
+
+  std::vector<Conflict> ApplyCpuConstraints() {
+    std::vector<Conflict> conflicts;
+    ForEachBinding([&](std::vector<Binding>* scope, size_t i, Binding& b) {
+      std::string name;
+      const CallNode* call = AsAnyOpCall(b.value, &name);
+      if (call == nullptr || name != "vm.shape_func") return;
+      // Every operand of a shape function must be on the CPU (§4.4). Shape
+      // tensors already are; data operands of data-dependent shape
+      // functions may conflict.
+      for (size_t a = 0; a < call->args.size(); ++a) {
+        if (call->args[a]->kind() != ExprKind::kVar) continue;
+        const auto* v = static_cast<const VarNode*>(call->args[a].get());
+        if (!SetLabel(v, Domain::kCPU)) {
+          conflicts.push_back(Conflict{
+              scope, i, a,
+              std::static_pointer_cast<const VarNode>(call->args[a])});
+        }
+      }
+    });
+    return conflicts;
+  }
+
+  void InsertCopies(const std::vector<Conflict>& conflicts) {
+    // Group conflicts per call site so one binding gets all its copies in a
+    // single rewrite, then insert groups in reverse index order so earlier
+    // indices stay valid.
+    std::map<std::pair<std::vector<Binding>*, size_t>, std::vector<const Conflict*>>
+        by_site;
+    for (const Conflict& c : conflicts) {
+      by_site[{c.scope, c.index}].push_back(&c);
+    }
+    for (auto rit = by_site.rbegin(); rit != by_site.rend(); ++rit) {
+      auto [scope, index] = rit->first;
+      Binding& target = (*scope)[index];
+      std::string name;
+      const CallNode* call = AsAnyOpCall(target.value, &name);
+      NIMBLE_ICHECK(call != nullptr);
+      std::vector<Expr> args = call->args;
+      std::vector<Binding> copies;
+      for (const Conflict* c : rit->second) {
+        Var copy_var = MakeVar("dcopy" + std::to_string(copy_counter_++));
+        Attrs attrs;
+        attrs.SetDevice("src_device", kernel_device_);
+        attrs.SetDevice("dst_device", Device::CPU());
+        Expr copy = MakeCall(op::GetOp("device_copy"), {c->var}, attrs);
+        copy->checked_type = c->var->checked_type;
+        copy_var->checked_type = c->var->checked_type;
+        size_t id = IdOf(copy_var.get());
+        labels_[uf_.Find(id)] = Domain::kCPU;
+        args[c->arg_index] = copy_var;
+        copies.push_back(Binding{copy_var, copy});
+        stats_->copies_inserted++;
+      }
+      Expr new_call = MakeCall(call->op, std::move(args), call->attrs);
+      new_call->checked_type = target.value->checked_type;
+      target.value = new_call;
+      scope->insert(scope->begin() + index, copies.begin(), copies.end());
+    }
+  }
+
+  void StampDevices() {
+    ForEachBinding([&](std::vector<Binding>*, size_t, Binding& b) {
+      Domain d = LabelOf(b.var.get());
+      Device dev = d == Domain::kCPU ? Device::CPU() : kernel_device_;
+      b.var->device = dev;
+      b.value->device = dev;
+      if (d == Domain::kCPU) {
+        stats_->nodes_on_cpu++;
+      } else {
+        stats_->nodes_on_device++;
+      }
+      std::string name;
+      const CallNode* call = AsAnyOpCall(b.value, &name);
+      if (call != nullptr && name == "memory.alloc_storage" &&
+          !call->attrs.Has("device")) {
+        Attrs attrs = call->attrs;
+        attrs.SetDevice("device", dev);
+        Expr v = MakeCall(call->op, call->args, attrs);
+        v->checked_type = b.value->checked_type;
+        v->device = dev;
+        b.value = v;
+      }
+    });
+  }
+
+  // ---- rebuild ----------------------------------------------------------------
+
+  Expr Rebuild(std::vector<Binding>* scope) {
+    Expr body = scope_of_tail_[scope];
+    for (size_t i = scope->size(); i-- > 0;) {
+      Binding& b = (*scope)[i];
+      Expr value = b.value;
+      // Rebuild nested scopes.
+      auto it = nested_.find(b.var.get());
+      if (it != nested_.end()) {
+        if (value->kind() == ExprKind::kIf) {
+          const auto* n = static_cast<const IfNode*>(value.get());
+          value = MakeIf(n->cond, Rebuild(it->second[0]), Rebuild(it->second[1]));
+        } else if (value->kind() == ExprKind::kMatch) {
+          const auto* n = static_cast<const MatchNode*>(value.get());
+          std::vector<MatchClause> clauses;
+          for (size_t ci = 0; ci < n->clauses.size(); ++ci) {
+            clauses.push_back(MatchClause{n->clauses[ci].ctor,
+                                          n->clauses[ci].binds,
+                                          Rebuild(it->second[ci])});
+          }
+          value = MakeMatch(n->data, std::move(clauses));
+        } else if (value->kind() == ExprKind::kFunction) {
+          const auto* n = static_cast<const FunctionNode*>(value.get());
+          value = MakeFunction(n->params, Rebuild(it->second[0]), n->ret_type);
+        }
+      }
+      body = MakeLet(b.var, value, body);
+    }
+    return body;
+  }
+
+  Device kernel_device_;
+  DevicePlaceStats* stats_;
+  support::UnionFind uf_;
+  std::vector<Domain> labels_;
+  std::unordered_map<const VarNode*, size_t> ids_;
+  std::vector<std::unique_ptr<std::vector<Binding>>> scopes_;
+  std::vector<Expr> scope_tails_;
+  std::unordered_map<std::vector<Binding>*, Expr> scope_of_tail_;
+  std::unordered_map<const VarNode*, std::vector<std::vector<Binding>*>> nested_;
+  int copy_counter_ = 0;
+};
+
+}  // namespace
+
+DevicePlaceStats DevicePlacement(ir::Module* mod, Device kernel_device) {
+  DevicePlaceStats stats;
+  std::vector<std::pair<std::string, Function>> updated;
+  for (const auto& [name, fn] : mod->functions()) {
+    DevicePlacer placer(kernel_device, &stats);
+    updated.emplace_back(name, placer.Run(fn));
+  }
+  for (auto& [name, fn] : updated) mod->Update(name, fn);
+  return stats;
+}
+
+}  // namespace pass
+}  // namespace nimble

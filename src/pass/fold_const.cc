@@ -1,0 +1,78 @@
+// Constant folding: primitive calls whose inputs are all constants and
+// whose output shape is statically known are evaluated at compile time with
+// the kernel library.
+#include "src/ir/visitor.h"
+#include "src/kernels/registry.h"
+#include "src/op/registry.h"
+#include "src/pass/transforms.h"
+
+namespace nimble {
+namespace pass {
+
+using namespace ir;  // NOLINT
+
+namespace {
+
+/// Ops that must never be folded: dialect/effectful ops and multi-output or
+/// data-dependent ops (keep folding conservative and obviously correct).
+bool Foldable(const op::OpInfo& info) {
+  if (info.shape_mode != op::ShapeFuncMode::kDataIndependent) return false;
+  if (info.shape_fn == nullptr) return false;
+  if (info.num_outputs != 1) return false;
+  if (info.name.rfind("memory.", 0) == 0 || info.name.rfind("vm.", 0) == 0 ||
+      info.name.rfind("fused", 0) == 0 || info.name == "device_copy" ||
+      info.name == "reshape") {
+    return false;
+  }
+  kernels::EnsureKernelsRegistered();
+  return kernels::KernelRegistry::Global()->Has(info.kernel_name);
+}
+
+class ConstFolder : public ExprMutator {
+ protected:
+  Expr MutateCall_(const CallNode* node, const Expr& e) override {
+    Expr mutated = ExprMutator::MutateCall_(node, e);
+    if (mutated->kind() != ExprKind::kCall) return mutated;
+    const auto* call = static_cast<const CallNode*>(mutated.get());
+    if (call->op->kind() != ExprKind::kOp) return mutated;
+    const op::OpInfo& info = op::InfoOf(call->op);
+    if (!Foldable(info)) return mutated;
+
+    std::vector<runtime::NDArray> inputs;
+    std::vector<runtime::ShapeVec> in_shapes;
+    std::vector<Type> in_types;
+    for (const Expr& a : call->args) {
+      if (a->kind() != ExprKind::kConstant) return mutated;
+      const auto& data = static_cast<const ConstantNode*>(a.get())->data;
+      inputs.push_back(data);
+      in_shapes.push_back(data.shape());
+      in_types.push_back(TensorType(StaticShape(data.shape()), data.dtype()));
+    }
+    // Output dtype from the type relation, output shape from the runtime
+    // shape function (inputs are concrete, so it is exact).
+    Type out_type = info.type_rel(in_types, call->attrs);
+    if (out_type->kind() != TypeKind::kTensor) return mutated;
+    auto out_shapes = info.shape_fn(in_shapes, inputs, call->attrs);
+    NIMBLE_ICHECK_EQ(out_shapes.size(), 1u);
+    runtime::NDArray out = runtime::NDArray::Empty(
+        out_shapes[0], AsTensorType(out_type)->dtype);
+    kernels::RunKernel(info.kernel_name, inputs, {out}, call->attrs);
+    return MakeConstant(std::move(out));
+  }
+};
+
+}  // namespace
+
+void FoldConstants(ir::Module* mod) {
+  std::vector<std::pair<std::string, Function>> updated;
+  for (const auto& [name, fn] : mod->functions()) {
+    ConstFolder folder;
+    Expr result = folder.Mutate(fn);
+    updated.emplace_back(name,
+                         std::static_pointer_cast<const FunctionNode>(result));
+  }
+  for (auto& [name, fn] : updated) mod->Update(name, fn);
+}
+
+}  // namespace pass
+}  // namespace nimble

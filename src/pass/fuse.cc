@@ -1,0 +1,368 @@
+// Greedy operator fusion on ANF bodies (§4.2).
+//
+// A fusion group starts at a root op — nn.dense, nn.batch_matmul, or any
+// elementwise/broadcast op — and greedily absorbs single-use consumers that
+// are elementwise/broadcast with a classifiable second operand (same-shape
+// tensor, scalar, or row vector). Groups become calls to fused_elemwise /
+// fused_dense / fused_batch_matmul with the chain encoded in attrs (see
+// src/kernels/fused.cc).
+//
+// Fusion policy (§4.2): an op whose shape function is data-dependent or
+// upper-bound is never absorbed — its shape function would need access to
+// an intermediate value inside the composite.
+#include <unordered_map>
+
+#include "src/ir/visitor.h"
+#include "src/kernels/elementwise.h"
+#include "src/op/registry.h"
+#include "src/pass/transforms.h"
+#include "src/pass/type_infer.h"
+
+namespace nimble {
+namespace pass {
+
+using namespace ir;  // NOLINT
+using kernels::EwOp;
+
+namespace {
+
+struct Binding {
+  Var var;
+  Expr value;
+  bool removed = false;
+};
+
+bool IsCommutative(EwOp op) {
+  return op == EwOp::kAdd || op == EwOp::kMultiply || op == EwOp::kMaximum ||
+         op == EwOp::kMinimum;
+}
+
+/// Dims provably equal at compile time (static match or same symbolic id).
+bool ProvablySameShape(const Shape& a, const Shape& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].StructEqual(b[i])) return false;
+  }
+  return true;
+}
+
+/// Classifies an rhs operand against the group output type.
+/// Returns -1 if unfusable, else the rhs_kind for the fused spec.
+int ClassifyRhs(const Type& rhs_type, const TensorTypeNode* group) {
+  if (rhs_type == nullptr || rhs_type->kind() != TypeKind::kTensor) return -1;
+  const auto* rt = AsTensorType(rhs_type);
+  if (rt->dtype != group->dtype) return -1;
+  if (rt->shape.empty()) return 2;  // scalar
+  if (ProvablySameShape(rt->shape, group->shape)) return 1;
+  if (rt->shape.size() == 1 && !group->shape.empty() &&
+      rt->shape[0].StructEqual(group->shape.back())) {
+    return 3;  // row vector along the last axis
+  }
+  return -1;
+}
+
+class Fuser {
+ public:
+  explicit Fuser(FusionStats* stats) : stats_(stats) {}
+
+  Function Run(const Function& fn) {
+    CountUses(fn);
+    Expr body = Process(fn->body);
+    return MakeFunction(fn->params, body, fn->ret_type);
+  }
+
+ private:
+  // Counts every *occurrence* of each variable (ExprVisitor/PostOrderVisit
+  // memoize on node identity and would count a var used twice as one use).
+  void CountUses(const Expr& e) {
+    switch (e->kind()) {
+      case ExprKind::kVar:
+        uses_[static_cast<const VarNode*>(e.get())]++;
+        break;
+      case ExprKind::kTuple:
+        for (const Expr& f : static_cast<const TupleNode*>(e.get())->fields)
+          CountUses(f);
+        break;
+      case ExprKind::kTupleGetItem:
+        CountUses(static_cast<const TupleGetItemNode*>(e.get())->tuple);
+        break;
+      case ExprKind::kCall: {
+        const auto* c = static_cast<const CallNode*>(e.get());
+        for (const Expr& a : c->args) CountUses(a);
+        if (c->op->kind() == ExprKind::kVar) CountUses(c->op);
+        break;
+      }
+      case ExprKind::kFunction:
+        CountUses(static_cast<const FunctionNode*>(e.get())->body);
+        break;
+      case ExprKind::kLet: {
+        const auto* l = static_cast<const LetNode*>(e.get());
+        CountUses(l->value);
+        CountUses(l->body);
+        break;
+      }
+      case ExprKind::kIf: {
+        const auto* i = static_cast<const IfNode*>(e.get());
+        CountUses(i->cond);
+        CountUses(i->then_branch);
+        CountUses(i->else_branch);
+        break;
+      }
+      case ExprKind::kMatch: {
+        const auto* m = static_cast<const MatchNode*>(e.get());
+        CountUses(m->data);
+        for (const MatchClause& cl : m->clauses) CountUses(cl.body);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  /// Processes one let-chain scope; recurses into nested scopes.
+  Expr Process(const Expr& scope) {
+    std::vector<Binding> bindings;
+    Expr cursor = scope;
+    while (cursor->kind() == ExprKind::kLet) {
+      const auto* let = static_cast<const LetNode*>(cursor.get());
+      bindings.push_back(Binding{let->var, ProcessValue(let->value)});
+      cursor = let->body;
+    }
+    Expr tail = cursor;
+
+    for (size_t i = 0; i < bindings.size(); ++i) {
+      if (bindings[i].removed) continue;
+      TryFuseFrom(bindings, i);
+    }
+
+    Expr body = tail;
+    for (auto it = bindings.rbegin(); it != bindings.rend(); ++it) {
+      if (it->removed) continue;
+      body = MakeLet(it->var, it->value, body);
+    }
+    return body;
+  }
+
+  Expr ProcessValue(const Expr& value) {
+    switch (value->kind()) {
+      case ExprKind::kIf: {
+        const auto* n = static_cast<const IfNode*>(value.get());
+        return MakeIf(n->cond, Process(n->then_branch), Process(n->else_branch));
+      }
+      case ExprKind::kMatch: {
+        const auto* n = static_cast<const MatchNode*>(value.get());
+        std::vector<MatchClause> clauses;
+        for (const MatchClause& c : n->clauses) {
+          clauses.push_back(MatchClause{c.ctor, c.binds, Process(c.body)});
+        }
+        return MakeMatch(n->data, std::move(clauses));
+      }
+      case ExprKind::kFunction: {
+        const auto* n = static_cast<const FunctionNode*>(value.get());
+        return MakeFunction(n->params, Process(n->body), n->ret_type);
+      }
+      default:
+        return value;
+    }
+  }
+
+  /// True if the value expression (a call) is rooted at `v` — i.e. uses it.
+  static bool CallUses(const CallNode* call, const VarNode* v) {
+    for (const Expr& a : call->args) {
+      if (a->kind() == ExprKind::kVar && a.get() == v) return true;
+    }
+    return false;
+  }
+
+  const CallNode* AsPrimCall(const Expr& e, std::string* op_name) const {
+    if (e->kind() != ExprKind::kCall) return nullptr;
+    const auto* call = static_cast<const CallNode*>(e.get());
+    if (call->op->kind() != ExprKind::kOp) return nullptr;
+    *op_name = static_cast<const OpNode*>(call->op.get())->name;
+    return call;
+  }
+
+  void TryFuseFrom(std::vector<Binding>& bindings, size_t start) {
+    std::string root_name;
+    const CallNode* root = AsPrimCall(bindings[start].value, &root_name);
+    if (root == nullptr) return;
+
+    enum class RootKind { kDense, kBatchMatmul, kElemwise };
+    RootKind kind;
+    std::vector<Expr> inputs;        // fused kernel inputs
+    std::vector<int64_t> steps;      // (op, rhs_kind, rhs_index) triples
+    const TensorTypeNode* group_type = nullptr;
+
+    EwOp root_ew;
+    bool root_binary;
+    if (root_name == "nn.dense") {
+      kind = RootKind::kDense;
+      inputs = {root->args[0], root->args[1]};
+      group_type = TypeOf(bindings[start].value);
+    } else if (root_name == "nn.batch_matmul") {
+      kind = RootKind::kBatchMatmul;
+      inputs = {root->args[0], root->args[1]};
+      group_type = TypeOf(bindings[start].value);
+    } else if (kernels::EwOpFromName(root_name, &root_ew, &root_binary)) {
+      kind = RootKind::kElemwise;
+      group_type = TypeOf(bindings[start].value);
+      if (group_type == nullptr || group_type->dtype != DataType::Float32())
+        return;
+      inputs = {root->args[0]};
+      if (root_binary) {
+        // Root must read its own first operand as the chain root; the second
+        // operand becomes the first step's rhs.
+        int rhs_kind = ClassifyRhs(TypeOfExpr(root->args[1]), group_type);
+        // Root output shape must match arg0's shape for in-place chaining.
+        const auto* a0 = AsTensorType(TypeOfExpr(root->args[0]));
+        if (rhs_kind < 0 || !ProvablySameShape(a0->shape, group_type->shape))
+          return;
+        inputs.push_back(root->args[1]);
+        steps.insert(steps.end(),
+                     {static_cast<int64_t>(root_ew), rhs_kind, 1});
+      } else {
+        steps.insert(steps.end(), {static_cast<int64_t>(root_ew), 0, 0});
+      }
+    } else {
+      return;
+    }
+    if (group_type == nullptr) return;
+    if (group_type->dtype != DataType::Float32()) return;
+
+    // Greedily absorb single-use elementwise consumers.
+    size_t last_index = start;
+    Var cur = bindings[start].var;
+    size_t absorbed = 0;
+    while (true) {
+      if (UseCount(cur) != 1) break;
+      // Find the unique same-scope consumer binding.
+      size_t consumer = bindings.size();
+      for (size_t j = last_index + 1; j < bindings.size(); ++j) {
+        if (bindings[j].removed) continue;
+        std::string name;
+        const CallNode* call = AsPrimCall(bindings[j].value, &name);
+        if (call != nullptr && CallUses(call, cur.get())) {
+          consumer = j;
+          break;
+        }
+        // A non-call use (tuple, nested scope, ...) ends the chain.
+        if (UsesVar(bindings[j].value, cur.get())) break;
+      }
+      if (consumer == bindings.size()) break;
+
+      std::string name;
+      const CallNode* call = AsPrimCall(bindings[consumer].value, &name);
+      EwOp ew;
+      bool binary;
+      if (name == "nn.bias_add") {
+        ew = EwOp::kAdd;
+        binary = true;
+      } else if (!kernels::EwOpFromName(name, &ew, &binary)) {
+        break;
+      }
+      const op::OpInfo& info = op::OpRegistry::Global()->Get(name);
+      if (info.shape_mode != op::ShapeFuncMode::kDataIndependent) {
+        stats_->blocked_dynamic++;  // §4.2 fusion policy
+        break;
+      }
+
+      if (!binary) {
+        if (call->args[0].get() != cur.get()) break;
+        steps.insert(steps.end(), {static_cast<int64_t>(ew), 0, 0});
+      } else {
+        Expr rhs;
+        if (call->args[0].get() == cur.get()) {
+          rhs = call->args[1];
+        } else if (IsCommutative(ew) && call->args[1].get() == cur.get()) {
+          rhs = call->args[0];
+        } else {
+          break;
+        }
+        int rhs_kind = name == "nn.bias_add"
+                           ? 3
+                           : ClassifyRhs(TypeOfExpr(rhs), group_type);
+        if (rhs_kind < 0) break;
+        // The consumer's output must keep the group shape.
+        const auto* out_t = TypeOf(bindings[consumer].value);
+        if (out_t == nullptr || !ProvablySameShape(out_t->shape, group_type->shape))
+          break;
+        inputs.push_back(rhs);
+        steps.insert(steps.end(), {static_cast<int64_t>(ew), rhs_kind,
+                                   static_cast<int64_t>(inputs.size() - 1)});
+      }
+      bindings[last_index].removed = last_index == start ? false : true;
+      if (last_index != start) bindings[last_index].removed = true;
+      bindings[start].removed = true;
+      absorbed++;
+      last_index = consumer;
+      cur = bindings[consumer].var;
+    }
+
+    // Worth fusing only if at least one consumer was absorbed, or the chain
+    // root itself accumulated >= 2 steps.
+    bool fuse = absorbed > 0;
+    if (kind == RootKind::kElemwise && absorbed == 0) fuse = false;
+    if (!fuse) {
+      // Roll back removal marks.
+      bindings[start].removed = false;
+      return;
+    }
+
+    const char* fused_name = kind == RootKind::kDense          ? "fused_dense"
+                             : kind == RootKind::kBatchMatmul ? "fused_batch_matmul"
+                                                              : "fused_elemwise";
+    Attrs attrs;
+    attrs.Set("steps", steps);
+    Expr fused = MakeCall(op::GetOp(fused_name), inputs, attrs);
+    fused->checked_type = bindings[last_index].value->checked_type;
+    bindings[last_index].value = fused;
+    bindings[last_index].removed = false;
+    stats_->groups_created++;
+    stats_->ops_fused += static_cast<int>(absorbed) + 1;
+  }
+
+  static bool UsesVar(const Expr& e, const VarNode* v) {
+    bool found = false;
+    PostOrderVisit(e, [&](const Expr& x) {
+      if (x.get() == v) found = true;
+    });
+    return found;
+  }
+
+  int UseCount(const Var& v) const {
+    auto it = uses_.find(v.get());
+    return it == uses_.end() ? 0 : it->second;
+  }
+
+  const TensorTypeNode* TypeOf(const Expr& e) const {
+    if (e->checked_type == nullptr ||
+        e->checked_type->kind() != TypeKind::kTensor) {
+      return nullptr;
+    }
+    return AsTensorType(e->checked_type);
+  }
+
+  Type TypeOfExpr(const Expr& e) const { return e->checked_type; }
+
+  FusionStats* stats_;
+  std::unordered_map<const VarNode*, int> uses_;
+};
+
+}  // namespace
+
+FusionStats FuseOps(ir::Module* mod) {
+  FusionStats stats;
+  std::vector<std::pair<std::string, Function>> updated;
+  for (const auto& [name, fn] : mod->functions()) {
+    Fuser fuser(&stats);
+    updated.emplace_back(name, fuser.Run(fn));
+  }
+  for (auto& [name, fn] : updated) mod->Update(name, fn);
+  // Fused calls carry forward checked types; re-infer to annotate any new
+  // structure (cheap, and keeps downstream passes honest).
+  InferTypes(mod);
+  return stats;
+}
+
+}  // namespace pass
+}  // namespace nimble

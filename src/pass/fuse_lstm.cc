@@ -1,0 +1,115 @@
+// FuseLSTMCell: rewrites the canonical unfused LSTM recurrence into the
+// fused nn.lstm_cell operator.
+//
+// The pattern (gate order i|f|g|o, as produced by models::BuildLSTM and by
+// typical frontend importers):
+//
+//   %sp = split(%gates, sections=4, axis=1);
+//   %c2 = add(mul(sigmoid(%sp.1), %c), mul(sigmoid(%sp.0), tanh(%sp.2)));
+//   (%h2, %c2) where %h2 = mul(sigmoid(%sp.3), tanh(%c2))
+//
+// becomes nn.lstm_cell(%gates, %c), a single pass over memory (see
+// src/kernels/nn.cc). This is the dataflow-DAG fusion that the chain-based
+// FuseOps pass cannot express.
+#include "src/ir/visitor.h"
+#include "src/op/registry.h"
+#include "src/pass/transforms.h"
+
+namespace nimble {
+namespace pass {
+
+using namespace ir;  // NOLINT
+
+namespace {
+
+const CallNode* MatchOpCall(const Expr& e, const char* op_name, size_t arity) {
+  if (e == nullptr || e->kind() != ExprKind::kCall) return nullptr;
+  const auto* call = static_cast<const CallNode*>(e.get());
+  if (call->op->kind() != ExprKind::kOp) return nullptr;
+  if (static_cast<const OpNode*>(call->op.get())->name != op_name) return nullptr;
+  if (call->args.size() != arity) return nullptr;
+  return call;
+}
+
+/// Matches sigmoid(%sp.k) / tanh(%sp.k); returns the split expr via *split.
+bool MatchGate(const Expr& e, const char* activation, int index, Expr* split) {
+  const CallNode* act = MatchOpCall(e, activation, 1);
+  if (act == nullptr) return false;
+  if (act->args[0]->kind() != ExprKind::kTupleGetItem) return false;
+  const auto* tgi = static_cast<const TupleGetItemNode*>(act->args[0].get());
+  if (tgi->index != index) return false;
+  if (*split == nullptr) {
+    *split = tgi->tuple;
+  } else if (split->get() != tgi->tuple.get()) {
+    return false;  // gates must come from the same split
+  }
+  return true;
+}
+
+class LSTMCellFuser : public ExprMutator {
+ public:
+  int fused = 0;
+
+ protected:
+  Expr MutateTuple_(const TupleNode* node, const Expr& e) override {
+    if (node->fields.size() == 2) {
+      Expr gates, cell;
+      if (MatchCellPattern(node->fields[0], node->fields[1], &gates, &cell)) {
+        fused++;
+        return op::Call2("nn.lstm_cell", Mutate(gates), Mutate(cell));
+      }
+    }
+    return ExprMutator::MutateTuple_(node, e);
+  }
+
+ private:
+  /// h2 = mul(sigmoid(sp.3), tanh(c2)), c2 = add(mul(sigmoid(sp.1), c),
+  /// mul(sigmoid(sp.0), tanh(sp.2))), sp = split(gates, 4, axis=1); the
+  /// tuple's second field must be the shared c2 node.
+  bool MatchCellPattern(const Expr& h2, const Expr& c2, Expr* gates, Expr* cell) {
+    const CallNode* h_mul = MatchOpCall(h2, "multiply", 2);
+    if (h_mul == nullptr) return false;
+    Expr split = nullptr;
+    if (!MatchGate(h_mul->args[0], "sigmoid", 3, &split)) return false;
+    const CallNode* h_tanh = MatchOpCall(h_mul->args[1], "tanh", 1);
+    if (h_tanh == nullptr) return false;
+    if (h_tanh->args[0].get() != c2.get()) return false;  // shared c' node
+
+    const CallNode* c_add = MatchOpCall(c2, "add", 2);
+    if (c_add == nullptr) return false;
+    const CallNode* f_mul = MatchOpCall(c_add->args[0], "multiply", 2);
+    const CallNode* i_mul = MatchOpCall(c_add->args[1], "multiply", 2);
+    if (f_mul == nullptr || i_mul == nullptr) return false;
+    if (!MatchGate(f_mul->args[0], "sigmoid", 1, &split)) return false;
+    if (!MatchGate(i_mul->args[0], "sigmoid", 0, &split)) return false;
+    if (!MatchGate(i_mul->args[1], "tanh", 2, &split)) return false;
+
+    const CallNode* split_call = MatchOpCall(split, "split", 1);
+    if (split_call == nullptr) return false;
+    if (split_call->attrs.GetInt("sections", 0) != 4) return false;
+    if (split_call->attrs.GetInt("axis", 0) != 1) return false;
+
+    *gates = split_call->args[0];
+    *cell = f_mul->args[1];
+    return true;
+  }
+};
+
+}  // namespace
+
+int FuseLSTMCell(ir::Module* mod) {
+  int total = 0;
+  std::vector<std::pair<std::string, Function>> updated;
+  for (const auto& [name, fn] : mod->functions()) {
+    LSTMCellFuser fuser;
+    Expr result = fuser.Mutate(fn);
+    total += fuser.fused;
+    updated.emplace_back(name,
+                         std::static_pointer_cast<const FunctionNode>(result));
+  }
+  for (auto& [name, fn] : updated) mod->Update(name, fn);
+  return total;
+}
+
+}  // namespace pass
+}  // namespace nimble

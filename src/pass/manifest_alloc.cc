@@ -1,0 +1,267 @@
+// ManifestAlloc (§4.3): make every allocation explicit in the IR.
+#include <unordered_map>
+
+#include "src/op/registry.h"
+#include "src/pass/memory.h"
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace pass {
+
+using namespace ir;  // NOLINT
+using op::OpInfo;
+using op::ShapeFuncMode;
+using runtime::DataType;
+
+namespace {
+
+/// Ops the pass leaves untouched (already dialect or lowered specially).
+bool IsDialectOp(const std::string& name) {
+  return name.rfind("memory.", 0) == 0 || name.rfind("vm.", 0) == 0 ||
+         name == "device_copy";
+}
+
+class AllocManifester {
+ public:
+  Function Run(const Function& fn) {
+    return MakeFunction(fn->params, Process(fn->body), fn->ret_type);
+  }
+
+ private:
+  struct Binding {
+    Var var;
+    Expr value;
+  };
+
+  Expr Process(const Expr& scope) {
+    std::vector<Binding> out;
+    Expr cursor = scope;
+    while (cursor->kind() == ExprKind::kLet) {
+      const auto* let = static_cast<const LetNode*>(cursor.get());
+      Lower(let->var, let->value, &out);
+      cursor = let->body;
+    }
+    Expr body = cursor;
+    for (auto it = out.rbegin(); it != out.rend(); ++it) {
+      body = MakeLet(it->var, it->value, body);
+    }
+    return body;
+  }
+
+  void Lower(const Var& var, const Expr& value, std::vector<Binding>* out) {
+    // Recurse into nested scopes first.
+    if (value->kind() == ExprKind::kIf) {
+      const auto* n = static_cast<const IfNode*>(value.get());
+      Expr v = MakeIf(n->cond, Process(n->then_branch), Process(n->else_branch));
+      v->checked_type = value->checked_type;
+      out->push_back({var, v});
+      return;
+    }
+    if (value->kind() == ExprKind::kMatch) {
+      const auto* n = static_cast<const MatchNode*>(value.get());
+      std::vector<MatchClause> clauses;
+      for (const MatchClause& c : n->clauses) {
+        clauses.push_back(MatchClause{c.ctor, c.binds, Process(c.body)});
+      }
+      Expr v = MakeMatch(n->data, std::move(clauses));
+      v->checked_type = value->checked_type;
+      out->push_back({var, v});
+      return;
+    }
+    if (value->kind() == ExprKind::kFunction) {
+      const auto* n = static_cast<const FunctionNode*>(value.get());
+      Expr v = MakeFunction(n->params, Process(n->body), n->ret_type);
+      v->checked_type = value->checked_type;
+      out->push_back({var, v});
+      return;
+    }
+    if (value->kind() != ExprKind::kCall) {
+      out->push_back({var, value});
+      return;
+    }
+    const auto* call = static_cast<const CallNode*>(value.get());
+    if (call->op->kind() != ExprKind::kOp) {
+      out->push_back({var, value});
+      return;
+    }
+    const std::string& op_name = static_cast<const OpNode*>(call->op.get())->name;
+    if (IsDialectOp(op_name)) {
+      out->push_back({var, value});
+      return;
+    }
+    const OpInfo& info = op::OpRegistry::Global()->Get(op_name);
+
+    // Output tensor types, from inference.
+    NIMBLE_CHECK(value->checked_type != nullptr)
+        << "ManifestAlloc requires type inference (op " << op_name << ")";
+    std::vector<const TensorTypeNode*> out_types;
+    if (value->checked_type->kind() == TypeKind::kTuple) {
+      for (const Type& f : AsTupleType(value->checked_type)->fields) {
+        out_types.push_back(AsTensorType(f));
+      }
+    } else {
+      out_types.push_back(AsTensorType(value->checked_type));
+    }
+
+    bool all_static = true;
+    for (const auto* t : out_types) all_static &= t->IsFullyStatic();
+
+    if (op_name == "reshape") {
+      LowerReshape(var, call, out_types[0], all_static, out);
+      return;
+    }
+
+    std::vector<Expr> out_tensors;
+    if (all_static) {
+      for (const auto* t : out_types) {
+        out_tensors.push_back(EmitStaticAlloc(AsStaticShape(t->shape), t->dtype,
+                                              /*is_shape=*/false, out));
+      }
+    } else {
+      // Shape-function machinery. Output-shape tensors are small static
+      // CPU allocations.
+      std::vector<Expr> shape_args = EmitShapeFuncInputs(info, call, out);
+      std::vector<Expr> out_shapes;
+      for (const auto* t : out_types) {
+        out_shapes.push_back(EmitStaticAlloc(
+            {static_cast<int64_t>(t->shape.size())}, DataType::Int64(),
+            /*is_shape=*/true, out));
+      }
+      // Forward the op's own attrs so the shape function can use them.
+      Attrs merged = call->attrs;
+      merged.Set("op_name", op_name);
+      merged.Set("mode", static_cast<int64_t>(info.shape_mode));
+      merged.Set("num_inputs", static_cast<int64_t>(shape_args.size()));
+      std::vector<Expr> sf_all = shape_args;
+      for (const Expr& s : out_shapes) sf_all.push_back(s);
+      Bind(MakeCall(op::GetOp("vm.shape_func"), sf_all, merged), out);
+
+      for (size_t i = 0; i < out_types.size(); ++i) {
+        const auto* t = out_types[i];
+        Attrs st_attrs;
+        st_attrs.Set("alignment", int64_t{64});
+        st_attrs.Set("dtype", t->dtype.ToString());
+        Expr storage = Bind(
+            MakeCall(op::GetOp("memory.alloc_storage"), {out_shapes[i]}, st_attrs),
+            out);
+        Attrs at_attrs;
+        at_attrs.Set("dtype", t->dtype.ToString());
+        at_attrs.Set("rank", static_cast<int64_t>(t->shape.size()));
+        at_attrs.Set("offset", int64_t{0});
+        Expr tensor = Bind(MakeCall(op::GetOp("memory.alloc_tensor"),
+                                    {storage, out_shapes[i]}, at_attrs),
+                           out);
+        tensor->checked_type = TensorType(t->shape, t->dtype);
+        out_tensors.push_back(tensor);
+      }
+    }
+
+    // The destination-passing kernel invocation.
+    Attrs iv_attrs = call->attrs;
+    iv_attrs.Set("op_name", op_name);
+    iv_attrs.Set("num_inputs", static_cast<int64_t>(call->args.size()));
+    std::vector<Expr> iv_args = call->args;
+    for (const Expr& t : out_tensors) iv_args.push_back(t);
+    Bind(MakeCall(op::GetOp("memory.invoke_mut"), iv_args, iv_attrs), out);
+
+    // Rebind the original variable to the result value.
+    Expr result = out_tensors.size() == 1
+                      ? out_tensors[0]
+                      : MakeTuple(out_tensors);
+    result->checked_type = value->checked_type;
+    out->push_back({var, result});
+  }
+
+  /// Emits input bindings for a shape-function call: shape tensors for
+  /// data-independent/upper-bound modes, raw data tensors for data-dependent
+  /// mode (device placement will pin them to the CPU, inserting copies).
+  std::vector<Expr> EmitShapeFuncInputs(const OpInfo& info, const CallNode* call,
+                                        std::vector<Binding>* out) {
+    std::vector<Expr> args;
+    if (info.shape_mode == ShapeFuncMode::kDataDependent) {
+      for (const Expr& a : call->args) args.push_back(a);
+      return args;
+    }
+    for (const Expr& a : call->args) {
+      Attrs attrs;
+      Expr sh = Bind(MakeCall(op::GetOp("vm.shape_of"), {a}, attrs), out);
+      args.push_back(sh);
+    }
+    return args;
+  }
+
+  /// Emits alloc_storage + alloc_tensor for a fully static shape; returns
+  /// the tensor var.
+  Expr EmitStaticAlloc(const std::vector<int64_t>& shape, DataType dtype,
+                       bool is_shape, std::vector<Binding>* out) {
+    int64_t elems = 1;
+    for (int64_t d : shape) elems *= d;
+    Attrs st_attrs;
+    st_attrs.Set("size", elems * static_cast<int64_t>(dtype.bytes()));
+    st_attrs.Set("alignment", int64_t{64});
+    if (is_shape) st_attrs.Set("is_shape", int64_t{1});
+    Expr storage =
+        Bind(MakeCall(op::GetOp("memory.alloc_storage"), {}, st_attrs), out);
+    Attrs at_attrs;
+    at_attrs.Set("dtype", dtype.ToString());
+    at_attrs.Set("rank", static_cast<int64_t>(shape.size()));
+    at_attrs.Set("offset", int64_t{0});
+    if (is_shape) at_attrs.Set("is_shape", int64_t{1});
+    Expr shape_const = MakeConstant(runtime::ShapeTensor(shape));
+    Expr tensor = Bind(MakeCall(op::GetOp("memory.alloc_tensor"),
+                                {storage, shape_const}, at_attrs),
+                       out);
+    tensor->checked_type = TensorType(StaticShape(shape), dtype);
+    return tensor;
+  }
+
+  void LowerReshape(const Var& var, const CallNode* call,
+                    const TensorTypeNode* out_type, bool is_static,
+                    std::vector<Binding>* out) {
+    Expr shape_arg;
+    if (is_static) {
+      shape_arg = MakeConstant(runtime::ShapeTensor(AsStaticShape(out_type->shape)));
+    } else {
+      // Run the reshape shape function at runtime.
+      Expr in_sh =
+          Bind(MakeCall(op::GetOp("vm.shape_of"), {call->args[0]}, {}), out);
+      Expr osh = EmitStaticAlloc({static_cast<int64_t>(out_type->shape.size())},
+                                 DataType::Int64(), /*is_shape=*/true, out);
+      Attrs merged = call->attrs;
+      merged.Set("op_name", std::string("reshape"));
+      merged.Set("mode",
+                 static_cast<int64_t>(ShapeFuncMode::kDataIndependent));
+      merged.Set("num_inputs", int64_t{1});
+      Bind(MakeCall(op::GetOp("vm.shape_func"), {in_sh, osh}, merged), out);
+      shape_arg = osh;
+    }
+    Attrs attrs;
+    attrs.Set("rank", static_cast<int64_t>(out_type->shape.size()));
+    Expr v = MakeCall(op::GetOp("vm.reshape_tensor"),
+                      {call->args[0], shape_arg}, attrs);
+    v->checked_type = TensorType(out_type->shape, out_type->dtype);
+    out->push_back({var, v});
+  }
+
+  Expr Bind(Expr value, std::vector<Binding>* out) {
+    Var v = MakeVar("m" + std::to_string(counter_++));
+    out->push_back({v, std::move(value)});
+    return v;
+  }
+
+  int counter_ = 0;
+};
+
+}  // namespace
+
+void ManifestAlloc(ir::Module* mod) {
+  std::vector<std::pair<std::string, Function>> updated;
+  for (const auto& [name, fn] : mod->functions()) {
+    AllocManifester manifester;
+    updated.emplace_back(name, manifester.Run(fn));
+  }
+  for (auto& [name, fn] : updated) mod->Update(name, fn);
+}
+
+}  // namespace pass
+}  // namespace nimble

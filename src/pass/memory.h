@@ -1,0 +1,61 @@
+// Memory dialect passes (§4.3) and heterogeneous device placement (§4.4).
+#pragma once
+
+#include "src/ir/module.h"
+#include "src/runtime/device.h"
+
+namespace nimble {
+namespace pass {
+
+/// ManifestAlloc: rewrites every primitive-operator call in an ANF function
+/// into the explicit allocation dialect:
+///
+///   statically-shaped op:
+///     let %storage = memory.alloc_storage() /* size, alignment */;
+///     let %out = memory.alloc_tensor(%storage, const_shape) /* dtype */;
+///     let %_ = memory.invoke_mut(%in..., %out) /* op_name */;
+///
+///   dynamically-shaped op (adds the shape-function machinery of §4.2):
+///     let %in_sh = vm.shape_of(%in);             (data-independent mode)
+///     let %out_sh = memory.alloc_tensor(...);    (small i64 shape tensor)
+///     let %_ = vm.shape_func(%in_sh..., %out_sh...) /* op_name, mode */;
+///     let %storage = memory.alloc_storage(%out_sh) /* dtype */;
+///     let %out = memory.alloc_tensor(%storage, %out_sh) /* dtype, rank */;
+///     let %_ = memory.invoke_mut(%in..., %out) /* op_name */;
+///
+/// Requires: ToANF + InferTypes have run.
+void ManifestAlloc(ir::Module* mod);
+
+struct MemoryPlanStats {
+  int storage_allocs_before = 0;
+  int storage_allocs_after = 0;
+  int kills_inserted = 0;
+  double ReductionPercent() const {
+    if (storage_allocs_before == 0) return 0.0;
+    return 100.0 * (storage_allocs_before - storage_allocs_after) /
+           static_cast<double>(storage_allocs_before);
+  }
+};
+
+/// MemoryPlan: storage coalescing on the explicit dialect. Statically-sized
+/// storages whose live ranges do not overlap are merged (first-fit reuse of
+/// a freed storage of compatible size and device), and memory.kill is
+/// inserted after each tensor's last use.
+MemoryPlanStats MemoryPlan(ir::Module* mod);
+
+struct DevicePlaceStats {
+  int copies_inserted = 0;
+  int nodes_on_device = 0;  // vars placed on the kernel device
+  int nodes_on_cpu = 0;     // vars pinned to CPU (shape machinery)
+};
+
+/// DevicePlacement: assigns a DeviceDomain to every binding via unification
+/// (union-find), pins shape functions/shape tensors to the CPU, places
+/// kernel data on `kernel_device`, stamps the chosen device into
+/// alloc_storage attrs, and inserts device_copy where domains conflict
+/// (e.g. a tensor on the accelerator feeding a data-dependent shape
+/// function).
+DevicePlaceStats DevicePlacement(ir::Module* mod, runtime::Device kernel_device);
+
+}  // namespace pass
+}  // namespace nimble

@@ -1,0 +1,280 @@
+// MemoryPlan (§4.3): storage coalescing + kill insertion on the explicit
+// allocation dialect.
+//
+// Within each linear let-chain, a statically-sized memory.alloc_storage is
+// replaced by a reference to an earlier storage of compatible size/device
+// whose tensors are all dead at that point (first-fit). memory.kill is
+// inserted after the last use of each kernel tensor so the runtime can
+// release registers before frame exit.
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/op/registry.h"
+#include "src/pass/memory.h"
+#include "src/ir/visitor.h"
+
+namespace nimble {
+namespace pass {
+
+using namespace ir;  // NOLINT
+
+namespace {
+
+struct Binding {
+  Var var;
+  Expr value;
+  bool removed = false;
+};
+
+const CallNode* AsOpCall(const Expr& e, const char* name) {
+  if (e->kind() != ExprKind::kCall) return nullptr;
+  const auto* call = static_cast<const CallNode*>(e.get());
+  if (call->op->kind() != ExprKind::kOp) return nullptr;
+  if (static_cast<const OpNode*>(call->op.get())->name != name) return nullptr;
+  return call;
+}
+
+/// Collects every var referenced inside an expression (including nested
+/// scopes), used for liveness.
+void CollectVarUses(const Expr& e,
+                    const std::function<void(const VarNode*)>& fn) {
+  PostOrderVisit(e, [&](const Expr& x) {
+    if (x->kind() == ExprKind::kVar) fn(static_cast<const VarNode*>(x.get()));
+  });
+}
+
+class Planner {
+ public:
+  explicit Planner(MemoryPlanStats* stats) : stats_(stats) {}
+
+  Function Run(const Function& fn) {
+    return MakeFunction(fn->params, PlanScope(fn->body), fn->ret_type);
+  }
+
+ private:
+  Expr PlanScope(const Expr& scope) {
+    // Flatten, recursing into nested scopes first.
+    std::vector<Binding> bindings;
+    Expr cursor = scope;
+    while (cursor->kind() == ExprKind::kLet) {
+      const auto* let = static_cast<const LetNode*>(cursor.get());
+      bindings.push_back(Binding{let->var, PlanValue(let->value)});
+      cursor = let->body;
+    }
+    Expr tail = cursor;
+
+    // Register aliases (`let a = b`) share a register in the VM compiler, so
+    // liveness must be computed on alias roots.
+    std::unordered_map<const VarNode*, const VarNode*> alias;
+    auto root_of = [&](const VarNode* v) {
+      while (true) {
+        auto it = alias.find(v);
+        if (it == alias.end()) return v;
+        v = it->second;
+      }
+    };
+    for (const Binding& b : bindings) {
+      if (b.value->kind() == ExprKind::kVar) {
+        alias[b.var.get()] = static_cast<const VarNode*>(b.value.get());
+      }
+    }
+
+    // Last-use index per alias-root var in this scope (tail = index N), and
+    // escape analysis: a tensor whose use is anything other than a consuming
+    // kernel position (invoke_mut / shape_func / shape_of / device_copy /
+    // kill) may outlive its last textual use — it escapes into a tuple, ADT,
+    // closure, call or the return value — so its storage must never be
+    // recycled.
+    std::unordered_map<const VarNode*, size_t> last_use;
+    std::unordered_set<const VarNode*> escaped;
+    auto is_consuming = [](const Expr& value) {
+      if (value->kind() == ExprKind::kVar) return true;  // transparent alias
+      static const char* safe[] = {"memory.invoke_mut", "vm.shape_func",
+                                   "vm.shape_of", "device_copy", "memory.kill",
+                                   "memory.alloc_storage", "memory.alloc_tensor"};
+      for (const char* name : safe) {
+        if (AsOpCall(value, name) != nullptr) return true;
+      }
+      return false;
+    };
+    for (size_t i = 0; i < bindings.size(); ++i) {
+      bool consuming = is_consuming(bindings[i].value);
+      CollectVarUses(bindings[i].value, [&](const VarNode* v) {
+        const VarNode* r = root_of(v);
+        last_use[r] = i;
+        if (!consuming) escaped.insert(r);
+      });
+    }
+    size_t tail_index = bindings.size();
+    CollectVarUses(tail, [&](const VarNode* v) {
+      const VarNode* r = root_of(v);
+      last_use[r] = tail_index;
+      escaped.insert(r);
+    });
+
+    // Storage metadata: size/device for static allocs; tensors per storage.
+    struct StorageInfo {
+      int64_t size = -1;  // -1 = dynamic
+      std::string device;
+      size_t free_after = 0;  // max last_use over dependent tensors
+      Var var;
+    };
+    std::unordered_map<const VarNode*, StorageInfo> storages;
+    std::unordered_map<const VarNode*, const VarNode*> tensor_storage;
+    std::unordered_map<const VarNode*, Var> tensor_vars;
+    std::unordered_map<const VarNode*, Var> replacement;
+
+    auto resolve = [&](const VarNode* v) -> const VarNode* {
+      auto it = replacement.find(v);
+      return it == replacement.end() ? v : it->second.get();
+    };
+
+    // First-fit free pool: (size, device) -> storages free at index.
+    for (size_t i = 0; i < bindings.size(); ++i) {
+      Binding& b = bindings[i];
+      if (const CallNode* alloc = AsOpCall(b.value, "memory.alloc_storage")) {
+        stats_->storage_allocs_before++;
+        bool is_static = alloc->attrs.Has("size") && alloc->args.empty();
+        StorageInfo info;
+        info.size = is_static ? alloc->attrs.GetInt("size") : -1;
+        info.device =
+            alloc->attrs.Has("device")
+                ? alloc->attrs.GetDevice("device", runtime::Device::CPU()).ToString()
+                : "";
+        info.var = b.var;
+        if (is_static && !alloc->attrs.Has("is_shape")) {
+          // Try to reuse a dead storage of sufficient, not-wasteful size.
+          const VarNode* best = nullptr;
+          int64_t best_size = -1;
+          for (auto& [svar, sinfo] : storages) {
+            if (sinfo.size < info.size || sinfo.size > 2 * info.size) continue;
+            if (sinfo.device != info.device) continue;
+            if (sinfo.free_after >= i) continue;  // still live
+            if (best == nullptr || sinfo.size < best_size) {
+              best = svar;
+              best_size = sinfo.size;
+            }
+          }
+          if (best != nullptr) {
+            replacement[b.var.get()] = storages[best].var;
+            // The reused storage's lifetime now extends; updated when its
+            // new tensors are seen below.
+            b.removed = true;
+            continue;
+          }
+        }
+        stats_->storage_allocs_after++;
+        storages[b.var.get()] = info;
+        continue;
+      }
+      if (const CallNode* alloc = AsOpCall(b.value, "memory.alloc_tensor")) {
+        stats_->storage_allocs_after += 0;  // tensors are views, not allocs
+        if (alloc->args[0]->kind() == ExprKind::kVar) {
+          const VarNode* storage =
+              resolve(static_cast<const VarNode*>(alloc->args[0].get()));
+          tensor_storage[b.var.get()] = storage;
+          if (!alloc->attrs.Has("is_shape")) tensor_vars[b.var.get()] = b.var;
+          auto it = storages.find(storage);
+          if (it != storages.end()) {
+            auto lu = last_use.find(b.var.get());
+            size_t tensor_last = lu == last_use.end() ? i : lu->second;
+            if (escaped.count(b.var.get())) {
+              tensor_last = std::numeric_limits<size_t>::max();  // pinned
+            }
+            it->second.free_after = std::max(it->second.free_after, tensor_last);
+          }
+          // Rewrite the storage argument if it was replaced.
+          if (replacement.count(
+                  static_cast<const VarNode*>(alloc->args[0].get()))) {
+            std::vector<Expr> args = alloc->args;
+            args[0] = replacement[static_cast<const VarNode*>(
+                alloc->args[0].get())];
+            Expr v = MakeCall(alloc->op, std::move(args), alloc->attrs);
+            v->checked_type = b.value->checked_type;
+            b.value = v;
+          }
+        }
+        continue;
+      }
+    }
+
+    // Insert kills after last uses of kernel tensors, and rebuild.
+    Expr body = tail;
+    for (size_t i = bindings.size(); i-- > 0;) {
+      const Binding& b = bindings[i];
+      if (b.removed) continue;
+      // Tensors whose last use is this binding die here; release them
+      // before the frame ends (lowered by the VM compiler to compile-time
+      // register recycling).
+      std::vector<Var> dead;
+      std::unordered_set<const VarNode*> dead_seen;
+      CollectVarUses(b.value, [&](const VarNode* v) {
+        const VarNode* r = root_of(v);
+        auto lu = last_use.find(r);
+        if (lu == last_use.end() || lu->second != i) return;
+        auto tv = tensor_vars.find(r);
+        if (tv == tensor_vars.end()) return;  // only kernel tensors
+        if (!dead_seen.insert(r).second) return;
+        dead.push_back(tv->second);
+      });
+      for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
+        Var kv = MakeVar("kill" + std::to_string(kill_counter_++));
+        body = MakeLet(kv, MakeCall(op::GetOp("memory.kill"), {*it}, {}), body);
+        stats_->kills_inserted++;
+      }
+      body = MakeLet(b.var, b.value, body);
+    }
+    return body;
+  }
+
+  Expr PlanValue(const Expr& value) {
+    switch (value->kind()) {
+      case ExprKind::kIf: {
+        const auto* n = static_cast<const IfNode*>(value.get());
+        Expr v = MakeIf(n->cond, PlanScope(n->then_branch),
+                        PlanScope(n->else_branch));
+        v->checked_type = value->checked_type;
+        return v;
+      }
+      case ExprKind::kMatch: {
+        const auto* n = static_cast<const MatchNode*>(value.get());
+        std::vector<MatchClause> clauses;
+        for (const MatchClause& c : n->clauses) {
+          clauses.push_back(MatchClause{c.ctor, c.binds, PlanScope(c.body)});
+        }
+        Expr v = MakeMatch(n->data, std::move(clauses));
+        v->checked_type = value->checked_type;
+        return v;
+      }
+      case ExprKind::kFunction: {
+        const auto* n = static_cast<const FunctionNode*>(value.get());
+        Expr v = MakeFunction(n->params, PlanScope(n->body), n->ret_type);
+        v->checked_type = value->checked_type;
+        return v;
+      }
+      default:
+        return value;
+    }
+  }
+
+  MemoryPlanStats* stats_;
+  int kill_counter_ = 0;
+};
+
+}  // namespace
+
+MemoryPlanStats MemoryPlan(ir::Module* mod) {
+  MemoryPlanStats stats;
+  std::vector<std::pair<std::string, Function>> updated;
+  for (const auto& [name, fn] : mod->functions()) {
+    Planner planner(&stats);
+    updated.emplace_back(name, planner.Run(fn));
+  }
+  for (auto& [name, fn] : updated) mod->Update(name, fn);
+  return stats;
+}
+
+}  // namespace pass
+}  // namespace nimble

@@ -1,0 +1,43 @@
+// Generic IR-to-IR passes: A-normal form, constant folding, dead code
+// elimination, and the operator fusion passes (§4.2's fusion policy).
+#pragma once
+
+#include "src/ir/module.h"
+
+namespace nimble {
+namespace pass {
+
+/// Converts every function body to A-normal form: all intermediate values
+/// are let-bound, and every call argument is a Var or Constant. Later
+/// passes (ManifestAlloc, MemoryPlan, the VM compiler) require ANF.
+void ToANF(ir::Module* mod);
+ir::Expr ExprToANF(const ir::Expr& e);
+
+/// Evaluates primitive calls whose arguments are all constants (and whose
+/// output shapes are statically known), replacing them with Constant nodes.
+void FoldConstants(ir::Module* mod);
+
+/// Removes unused, effect-free let bindings.
+void DeadCodeElim(ir::Module* mod);
+
+struct FusionStats {
+  int groups_created = 0;   // fused composite calls emitted
+  int ops_fused = 0;        // primitive ops absorbed into groups
+  int blocked_dynamic = 0;  // fusions refused by the dynamic-shape policy
+};
+
+/// Greedy operator fusion on ANF bodies. Chains of elementwise/broadcast
+/// ops are folded into fused_elemwise; chains rooted at nn.dense /
+/// nn.batch_matmul become fused_dense / fused_batch_matmul epilogues.
+/// Policy (§4.2): ops whose shape function is data-dependent or
+/// upper-bound are never fused into a composite.
+FusionStats FuseOps(ir::Module* mod);
+
+/// Pattern-matches the unfused LSTM recurrence
+///   split(gates, 4) -> sigmoid/tanh gate math -> (h', c')
+/// and rewrites it to the fused nn.lstm_cell operator. Returns the number
+/// of cells fused.
+int FuseLSTMCell(ir::Module* mod);
+
+}  // namespace pass
+}  // namespace nimble

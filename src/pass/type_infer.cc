@@ -1,0 +1,311 @@
+#include "src/pass/type_infer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/ir/printer.h"
+#include "src/op/registry.h"
+
+namespace nimble {
+namespace pass {
+
+using namespace ir;  // NOLINT
+
+namespace {
+
+Dim JoinDim(const Dim& a, const Dim& b) {
+  if (a.StructEqual(b)) return a;
+  return Dim::Any();
+}
+
+}  // namespace
+
+Type JoinTypes(const Type& a, const Type& b) {
+  NIMBLE_CHECK(a != nullptr && b != nullptr) << "join of missing type";
+  NIMBLE_CHECK(a->kind() == b->kind())
+      << "control-flow branches return different kinds of values: "
+      << TypeToString(a) << " vs " << TypeToString(b);
+  switch (a->kind()) {
+    case TypeKind::kTensor: {
+      const auto* ta = AsTensorType(a);
+      const auto* tb = AsTensorType(b);
+      NIMBLE_CHECK(ta->dtype == tb->dtype)
+          << "branch dtype mismatch: " << TypeToString(a) << " vs "
+          << TypeToString(b);
+      NIMBLE_CHECK_EQ(ta->shape.size(), tb->shape.size())
+          << "branch rank mismatch: " << TypeToString(a) << " vs "
+          << TypeToString(b) << " (dynamic rank is unsupported)";
+      Shape shape(ta->shape.size());
+      for (size_t i = 0; i < shape.size(); ++i) {
+        shape[i] = JoinDim(ta->shape[i], tb->shape[i]);
+      }
+      return TensorType(std::move(shape), ta->dtype);
+    }
+    case TypeKind::kTuple: {
+      const auto* ta = AsTupleType(a);
+      const auto* tb = AsTupleType(b);
+      NIMBLE_CHECK_EQ(ta->fields.size(), tb->fields.size());
+      std::vector<Type> fields;
+      for (size_t i = 0; i < ta->fields.size(); ++i) {
+        fields.push_back(JoinTypes(ta->fields[i], tb->fields[i]));
+      }
+      return TupleType(std::move(fields));
+    }
+    case TypeKind::kFunc:
+      NIMBLE_CHECK(TypeEqual(a, b)) << "branch function types differ";
+      return a;
+    case TypeKind::kADT:
+      NIMBLE_CHECK(AsADTType(a)->name == AsADTType(b)->name)
+          << "branch ADT types differ";
+      return a;
+  }
+  NIMBLE_FATAL() << "unreachable";
+}
+
+namespace {
+
+class TypeInferencer {
+ public:
+  explicit TypeInferencer(Module* mod) : mod_(mod) {}
+
+  void Run() {
+    op::EnsureOpsRegistered();
+    // Record declared signatures first so recursion can type-check.
+    for (const auto& [name, fn] : mod_->functions()) {
+      Type declared = DeclaredType(fn);
+      if (declared) global_types_[name] = declared;
+    }
+    for (const auto& [name, fn] : mod_->functions()) {
+      InferGlobal(name);
+    }
+  }
+
+  Type InferStandalone(const Expr& e) {
+    op::EnsureOpsRegistered();
+    return Infer(e);
+  }
+
+ private:
+  /// Fully-declared function type (all params annotated + ret declared),
+  /// or null if something is missing.
+  Type DeclaredType(const Function& fn) {
+    if (fn->ret_type == nullptr) return nullptr;
+    std::vector<Type> params;
+    for (const Var& p : fn->params) {
+      if (p->type_annotation == nullptr) return nullptr;
+      params.push_back(p->type_annotation);
+    }
+    return FuncType(std::move(params), fn->ret_type);
+  }
+
+  Type InferGlobal(const std::string& name) {
+    auto done = inferred_.find(name);
+    if (done != inferred_.end()) return done->second;
+    NIMBLE_CHECK(in_progress_.insert(name).second)
+        << "recursive global function '" << name
+        << "' must declare parameter and return types";
+    Function fn = mod_->Lookup(name);
+    Type t = Infer(fn);
+    in_progress_.erase(name);
+    inferred_[name] = t;
+    global_types_[name] = t;
+    return t;
+  }
+
+  Type LookupGlobalType(const std::string& name) {
+    auto it = global_types_.find(name);
+    if (it != global_types_.end()) return it->second;
+    NIMBLE_CHECK(mod_ != nullptr && mod_->HasFunction(name))
+        << "reference to unknown global '@" << name << "'";
+    return InferGlobal(name);
+  }
+
+  Type Infer(const Expr& e) {
+    NIMBLE_CHECK(e != nullptr) << "cannot infer type of null expression";
+    // Vars resolve through the environment each time; other nodes are
+    // annotated once (the IR is immutable below us).
+    if (e->kind() == ExprKind::kVar) {
+      const auto* v = static_cast<const VarNode*>(e.get());
+      auto it = var_types_.find(v);
+      if (it != var_types_.end()) {
+        e->checked_type = it->second;
+        return it->second;
+      }
+      NIMBLE_CHECK(v->type_annotation != nullptr)
+          << "unbound variable %" << v->name << " without annotation";
+      e->checked_type = v->type_annotation;
+      return v->type_annotation;
+    }
+    if (e->checked_type != nullptr) return e->checked_type;
+    Type t = InferUncached(e);
+    e->checked_type = t;
+    return t;
+  }
+
+  Type InferUncached(const Expr& e) {
+    switch (e->kind()) {
+      case ExprKind::kVar:
+        NIMBLE_FATAL() << "handled above";
+      case ExprKind::kGlobalVar:
+        return LookupGlobalType(static_cast<const GlobalVarNode*>(e.get())->name);
+      case ExprKind::kConstant: {
+        const auto& data = static_cast<const ConstantNode*>(e.get())->data;
+        return TensorType(StaticShape(data.shape()), data.dtype());
+      }
+      case ExprKind::kOp:
+        // Bare operator references are only legal as call targets.
+        NIMBLE_FATAL() << "operator used as a first-class value";
+      case ExprKind::kConstructor: {
+        const auto* c = static_cast<const ConstructorNode*>(e.get());
+        return FuncType(c->field_types, ADTType(c->adt_name));
+      }
+      case ExprKind::kTuple: {
+        const auto* t = static_cast<const TupleNode*>(e.get());
+        std::vector<Type> fields;
+        fields.reserve(t->fields.size());
+        for (const Expr& f : t->fields) fields.push_back(Infer(f));
+        return TupleType(std::move(fields));
+      }
+      case ExprKind::kTupleGetItem: {
+        const auto* t = static_cast<const TupleGetItemNode*>(e.get());
+        const auto* tt = AsTupleType(Infer(t->tuple));
+        NIMBLE_CHECK(t->index >= 0 &&
+                     static_cast<size_t>(t->index) < tt->fields.size())
+            << "tuple index " << t->index << " out of range";
+        return tt->fields[t->index];
+      }
+      case ExprKind::kCall:
+        return InferCall(static_cast<const CallNode*>(e.get()));
+      case ExprKind::kFunction:
+        return InferFunction(static_cast<const FunctionNode*>(e.get()));
+      case ExprKind::kLet: {
+        const auto* l = static_cast<const LetNode*>(e.get());
+        Type vt = Infer(l->value);
+        if (l->var->type_annotation != nullptr) {
+          NIMBLE_CHECK(TypeCompatible(vt, l->var->type_annotation))
+              << "let binding type mismatch for %" << l->var->name << ": "
+              << TypeToString(vt) << " vs annotation "
+              << TypeToString(l->var->type_annotation);
+        }
+        var_types_[l->var.get()] = vt;
+        l->var->checked_type = vt;
+        return Infer(l->body);
+      }
+      case ExprKind::kIf: {
+        const auto* i = static_cast<const IfNode*>(e.get());
+        Type ct = Infer(i->cond);
+        const auto* ctt = AsTensorType(ct);
+        NIMBLE_CHECK(ctt->shape.empty() && ctt->dtype == DataType::Bool())
+            << "if condition must be a bool scalar, got " << TypeToString(ct);
+        Type tt = Infer(i->then_branch);
+        Type ft = Infer(i->else_branch);
+        return JoinTypes(tt, ft);
+      }
+      case ExprKind::kMatch: {
+        const auto* m = static_cast<const MatchNode*>(e.get());
+        Type dt = Infer(m->data);
+        const auto* adt = AsADTType(dt);
+        NIMBLE_CHECK(!m->clauses.empty()) << "match with no clauses";
+        Type result;
+        for (const MatchClause& c : m->clauses) {
+          if (c.ctor != nullptr) {
+            NIMBLE_CHECK(c.ctor->adt_name == adt->name)
+                << "match clause constructor " << c.ctor->name
+                << " does not belong to " << adt->name;
+            NIMBLE_CHECK_EQ(c.binds.size(), c.ctor->field_types.size())
+                << "constructor " << c.ctor->name << " arity mismatch";
+            for (size_t i = 0; i < c.binds.size(); ++i) {
+              var_types_[c.binds[i].get()] = c.ctor->field_types[i];
+              c.binds[i]->checked_type = c.ctor->field_types[i];
+            }
+          }
+          Type bt = Infer(c.body);
+          result = result == nullptr ? bt : JoinTypes(result, bt);
+        }
+        return result;
+      }
+    }
+    NIMBLE_FATAL() << "unreachable";
+  }
+
+  Type InferCall(const CallNode* call) {
+    // Primitive operator.
+    if (call->op->kind() == ExprKind::kOp) {
+      const op::OpInfo& info = op::InfoOf(call->op);
+      if (info.num_inputs >= 0) {
+        NIMBLE_CHECK_EQ(static_cast<int>(call->args.size()), info.num_inputs)
+            << "operator " << info.name << " arity mismatch";
+      }
+      std::vector<Type> arg_types;
+      arg_types.reserve(call->args.size());
+      for (const Expr& a : call->args) arg_types.push_back(Infer(a));
+      NIMBLE_CHECK(info.type_rel != nullptr)
+          << "operator " << info.name << " has no type relation";
+      return info.type_rel(arg_types, call->attrs);
+    }
+    // ADT constructor application.
+    if (call->op->kind() == ExprKind::kConstructor) {
+      const auto* c = static_cast<const ConstructorNode*>(call->op.get());
+      NIMBLE_CHECK_EQ(call->args.size(), c->field_types.size())
+          << "constructor " << c->name << " arity mismatch";
+      for (size_t i = 0; i < call->args.size(); ++i) {
+        Type at = Infer(call->args[i]);
+        NIMBLE_CHECK(TypeCompatible(at, c->field_types[i]))
+            << "constructor " << c->name << " field " << i << ": "
+            << TypeToString(at) << " vs " << TypeToString(c->field_types[i]);
+      }
+      call->op->checked_type = FuncType(c->field_types, ADTType(c->adt_name));
+      return ADTType(c->adt_name);
+    }
+    // Global function, closure variable, or function literal.
+    Type callee = Infer(call->op);
+    const auto* ft = AsFuncType(callee);
+    NIMBLE_CHECK_EQ(call->args.size(), ft->params.size())
+        << "call arity mismatch: " << PrintExpr(call->op);
+    for (size_t i = 0; i < call->args.size(); ++i) {
+      Type at = Infer(call->args[i]);
+      NIMBLE_CHECK(TypeCompatible(at, ft->params[i]))
+          << "argument " << i << " type mismatch: " << TypeToString(at)
+          << " vs expected " << TypeToString(ft->params[i]);
+    }
+    return ft->ret;
+  }
+
+  Type InferFunction(const FunctionNode* fn) {
+    std::vector<Type> params;
+    for (const Var& p : fn->params) {
+      NIMBLE_CHECK(p->type_annotation != nullptr)
+          << "function parameter %" << p->name << " must be annotated";
+      var_types_[p.get()] = p->type_annotation;
+      p->checked_type = p->type_annotation;
+      params.push_back(p->type_annotation);
+    }
+    Type body = Infer(fn->body);
+    if (fn->ret_type != nullptr) {
+      NIMBLE_CHECK(TypeCompatible(body, fn->ret_type))
+          << "function body type " << TypeToString(body)
+          << " incompatible with declared return type "
+          << TypeToString(fn->ret_type);
+      return FuncType(std::move(params), fn->ret_type);
+    }
+    return FuncType(std::move(params), body);
+  }
+
+  Module* mod_;
+  std::unordered_map<const VarNode*, Type> var_types_;
+  std::unordered_map<std::string, Type> global_types_;
+  std::unordered_map<std::string, Type> inferred_;
+  std::unordered_set<std::string> in_progress_;
+};
+
+}  // namespace
+
+void InferTypes(Module* mod) { TypeInferencer(mod).Run(); }
+
+Type InferExprType(const Expr& e) {
+  Module empty;
+  return TypeInferencer(&empty).InferStandalone(e);
+}
+
+}  // namespace pass
+}  // namespace nimble

@@ -1,0 +1,32 @@
+// Type inference for the dynamic type system (§4.1).
+//
+// Walks every function of a module, computing a type for each expression
+// node (stored in ExprNode::checked_type). Operator output types come from
+// the registered type relations, which implement the paper's Any
+// propagation rules (see src/op/ops.cc); control-flow joins (If/Match) use
+// sub-shaping: dims that disagree across branches widen to Any, so a value
+// with more specific shape information may flow into a context requiring
+// less specific shapes. With Any present some checks cannot be performed
+// statically and are deferred to the runtime shape functions (gradual
+// typing).
+#pragma once
+
+#include "src/ir/module.h"
+
+namespace nimble {
+namespace pass {
+
+/// Infers and annotates types across the whole module. Throws nimble::Error
+/// on a statically-detectable type error. Recursive global functions must
+/// declare their return type.
+void InferTypes(ir::Module* mod);
+
+/// Infers the type of a standalone expression (no globals), for tests.
+ir::Type InferExprType(const ir::Expr& e);
+
+/// The join used at control-flow merges: identical dims stay, disagreeing
+/// dims widen to Any. Exposed for unit tests.
+ir::Type JoinTypes(const ir::Type& a, const ir::Type& b);
+
+}  // namespace pass
+}  // namespace nimble

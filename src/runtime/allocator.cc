@@ -1,0 +1,119 @@
+#include "src/runtime/allocator.h"
+
+#include <cstdlib>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace runtime {
+
+namespace {
+// 256-byte granularity: fine enough to keep footprint close to a static
+// plan (the paper reports <=8% extra), coarse enough that recurring dynamic
+// shapes hit the same bucket.
+size_t RoundUpBucket(size_t n) {
+  if (n < 16) n = 16;
+  return (n + 255) / 256 * 256;
+}
+}  // namespace
+
+Buffer::~Buffer() {
+  if (source != nullptr && data != nullptr) source->Free(this);
+}
+
+std::shared_ptr<Buffer> Allocator::SystemAlloc(size_t size, size_t alignment,
+                                               Device device) {
+  if (alignment < alignof(std::max_align_t)) alignment = alignof(std::max_align_t);
+  size_t padded = (size + alignment - 1) / alignment * alignment;
+  if (padded == 0) padded = alignment;
+  void* ptr = std::aligned_alloc(alignment, padded);
+  NIMBLE_CHECK(ptr != nullptr) << "allocation of " << size << " bytes failed";
+  auto buf = std::make_shared<Buffer>();
+  buf->data = ptr;
+  buf->size = padded;
+  buf->device = device;
+  buf->source = this;
+  stats_.system_allocs++;
+  return buf;
+}
+
+void Allocator::SystemFree(Buffer* buffer) {
+  std::free(buffer->data);
+  buffer->data = nullptr;
+}
+
+void Allocator::Free(Buffer* buffer) {
+  stats_.live_bytes -= static_cast<int64_t>(buffer->size);
+  SystemFree(buffer);
+}
+
+std::shared_ptr<Buffer> NaiveAllocator::Alloc(size_t size, size_t alignment,
+                                              Device device) {
+  stats_.alloc_calls++;
+  stats_.bytes_allocated += static_cast<int64_t>(size);
+  auto buf = SystemAlloc(size, alignment, device);
+  stats_.live_bytes += static_cast<int64_t>(buf->size);
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+  return buf;
+}
+
+PoolingAllocator::~PoolingAllocator() { Trim(); }
+
+std::shared_ptr<Buffer> PoolingAllocator::Alloc(size_t size, size_t alignment,
+                                                Device device) {
+  stats_.alloc_calls++;
+  stats_.bytes_allocated += static_cast<int64_t>(size);
+  size_t bucket = RoundUpBucket(size);
+  Key key{device.type, device.id, bucket};
+  auto it = pool_.find(key);
+  if (it != pool_.end() && !it->second.empty()) {
+    void* ptr = it->second.back();
+    it->second.pop_back();
+    cached_bytes_ -= bucket;
+    auto buf = std::make_shared<Buffer>();
+    buf->data = ptr;
+    buf->size = bucket;
+    buf->device = device;
+    buf->source = this;
+    stats_.live_bytes += static_cast<int64_t>(bucket);
+    stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+    return buf;
+  }
+  auto buf = SystemAlloc(bucket, alignment, device);
+  stats_.live_bytes += static_cast<int64_t>(buf->size);
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+  return buf;
+}
+
+void PoolingAllocator::Free(Buffer* buffer) {
+  stats_.live_bytes -= static_cast<int64_t>(buffer->size);
+  if (cached_bytes_ + buffer->size > max_cached_bytes_) {
+    SystemFree(buffer);
+    return;
+  }
+  Key key{buffer->device.type, buffer->device.id, buffer->size};
+  pool_[key].push_back(buffer->data);
+  cached_bytes_ += buffer->size;
+  buffer->data = nullptr;
+}
+
+void PoolingAllocator::Trim() {
+  for (auto& [key, blocks] : pool_) {
+    for (void* ptr : blocks) std::free(ptr);
+    blocks.clear();
+  }
+  cached_bytes_ = 0;
+}
+
+NaiveAllocator* GlobalNaiveAllocator() {
+  static NaiveAllocator alloc;
+  return &alloc;
+}
+
+PoolingAllocator* GlobalPoolingAllocator() {
+  static PoolingAllocator alloc;
+  return &alloc;
+}
+
+}  // namespace runtime
+}  // namespace nimble

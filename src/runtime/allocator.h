@@ -1,0 +1,109 @@
+// Memory allocators backing tensor storage.
+//
+// Two strategies, mirroring the paper's §4.3 memory-planning study:
+//  - NaiveAllocator: one malloc/free per request (what an eager framework
+//    effectively does per operator output).
+//  - PoolingAllocator: size-bucketed free lists that recycle storage blocks,
+//    used by the VM for dynamically-sized allocations; combined with the
+//    static storage-coalescing pass this reproduces the reported reductions
+//    in allocation count and latency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/runtime/device.h"
+
+namespace nimble {
+namespace runtime {
+
+/// A raw storage block. Refcounted via shared_ptr; freed back to its
+/// allocator on destruction.
+class Allocator;
+
+struct Buffer {
+  void* data = nullptr;
+  size_t size = 0;
+  Device device;
+  Allocator* source = nullptr;
+
+  ~Buffer();
+};
+
+/// Statistics used by tests and the memory-planning benchmark.
+struct AllocStats {
+  int64_t alloc_calls = 0;     // requests served
+  int64_t system_allocs = 0;   // requests that hit the OS allocator
+  int64_t bytes_allocated = 0; // cumulative bytes requested
+  int64_t peak_bytes = 0;      // high-water mark of live bytes
+  int64_t live_bytes = 0;
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Allocates a block of at least `size` bytes aligned to `alignment`.
+  virtual std::shared_ptr<Buffer> Alloc(size_t size, size_t alignment,
+                                        Device device) = 0;
+
+  /// Called by ~Buffer. Default releases to the OS.
+  virtual void Free(Buffer* buffer);
+
+  const AllocStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = AllocStats{}; }
+
+ protected:
+  std::shared_ptr<Buffer> SystemAlloc(size_t size, size_t alignment, Device device);
+  void SystemFree(Buffer* buffer);
+  AllocStats stats_;
+};
+
+/// malloc/free per request.
+class NaiveAllocator : public Allocator {
+ public:
+  std::shared_ptr<Buffer> Alloc(size_t size, size_t alignment, Device device) override;
+};
+
+/// Size-bucketed recycling pool. Blocks are rounded up to the next power of
+/// two and returned to per-(device,size) free lists instead of the OS.
+class PoolingAllocator : public Allocator {
+ public:
+  explicit PoolingAllocator(size_t max_cached_bytes = 1ull << 30)
+      : max_cached_bytes_(max_cached_bytes) {}
+  ~PoolingAllocator() override;
+
+  std::shared_ptr<Buffer> Alloc(size_t size, size_t alignment, Device device) override;
+  void Free(Buffer* buffer) override;
+
+  /// Releases every cached block back to the OS.
+  void Trim();
+
+  size_t cached_bytes() const { return cached_bytes_; }
+
+ private:
+  struct Key {
+    DeviceType type;
+    int id;
+    size_t size;
+    bool operator<(const Key& o) const {
+      if (type != o.type) return type < o.type;
+      if (id != o.id) return id < o.id;
+      return size < o.size;
+    }
+  };
+  std::map<Key, std::vector<void*>> pool_;
+  size_t cached_bytes_ = 0;
+  size_t max_cached_bytes_;
+};
+
+/// Process-wide default allocators. The VM allocates through these unless an
+/// executable was configured otherwise.
+NaiveAllocator* GlobalNaiveAllocator();
+PoolingAllocator* GlobalPoolingAllocator();
+
+}  // namespace runtime
+}  // namespace nimble

@@ -1,0 +1,59 @@
+// Device abstraction.
+//
+// The paper evaluates on Intel CPUs, ARM CPUs and Nvidia GPUs. This repo has
+// one host CPU; to preserve the *heterogeneous execution* behaviour (§4.4:
+// shape functions on CPU, kernels on an accelerator, device_copy between
+// them) we provide a *simulated GPU*: a separate address space on the host
+// whose buffers may only be touched by kernels launched with that device and
+// which requires explicit DeviceCopy to move data, with an optional simulated
+// per-copy latency so benchmarks can demonstrate placement-induced transfer
+// costs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace runtime {
+
+enum class DeviceType : uint8_t {
+  kCPU = 0,
+  kSimGPU = 1,  // simulated accelerator (separate address space)
+};
+
+struct Device {
+  DeviceType type = DeviceType::kCPU;
+  int id = 0;
+
+  static Device CPU(int id = 0) { return Device{DeviceType::kCPU, id}; }
+  static Device SimGPU(int id = 0) { return Device{DeviceType::kSimGPU, id}; }
+
+  bool operator==(const Device& o) const { return type == o.type && id == o.id; }
+  bool operator!=(const Device& o) const { return !(*this == o); }
+
+  bool is_cpu() const { return type == DeviceType::kCPU; }
+
+  std::string ToString() const {
+    std::string base = type == DeviceType::kCPU ? "cpu" : "simgpu";
+    return base + "(" + std::to_string(id) + ")";
+  }
+};
+
+/// Global knob: artificial nanoseconds charged per DeviceCopy between
+/// distinct devices, to model PCIe-style transfer + synchronization cost.
+/// Zero by default so unit tests are fast; benchmarks may enable it.
+struct DeviceCopyConfig {
+  static int64_t& latency_ns() {
+    static int64_t ns = 0;
+    return ns;
+  }
+  static int64_t& copies_performed() {
+    static int64_t n = 0;
+    return n;
+  }
+};
+
+}  // namespace runtime
+}  // namespace nimble

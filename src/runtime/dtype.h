@@ -1,0 +1,100 @@
+// Tensor element data types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace runtime {
+
+/// Scalar element type of a tensor. The VM's object representation and the
+/// kernel library dispatch on this.
+enum class DTypeCode : uint8_t {
+  kFloat32 = 0,
+  kFloat64 = 1,
+  kInt32 = 2,
+  kInt64 = 3,
+  kUInt8 = 4,
+  kBool = 5,
+};
+
+class DataType {
+ public:
+  DataType() : code_(DTypeCode::kFloat32) {}
+  explicit DataType(DTypeCode code) : code_(code) {}
+
+  static DataType Float32() { return DataType(DTypeCode::kFloat32); }
+  static DataType Float64() { return DataType(DTypeCode::kFloat64); }
+  static DataType Int32() { return DataType(DTypeCode::kInt32); }
+  static DataType Int64() { return DataType(DTypeCode::kInt64); }
+  static DataType UInt8() { return DataType(DTypeCode::kUInt8); }
+  static DataType Bool() { return DataType(DTypeCode::kBool); }
+
+  DTypeCode code() const { return code_; }
+
+  size_t bytes() const {
+    switch (code_) {
+      case DTypeCode::kFloat32:
+      case DTypeCode::kInt32:
+        return 4;
+      case DTypeCode::kFloat64:
+      case DTypeCode::kInt64:
+        return 8;
+      case DTypeCode::kUInt8:
+      case DTypeCode::kBool:
+        return 1;
+    }
+    NIMBLE_FATAL() << "unknown dtype code";
+  }
+
+  bool is_float() const {
+    return code_ == DTypeCode::kFloat32 || code_ == DTypeCode::kFloat64;
+  }
+  bool is_int() const {
+    return code_ == DTypeCode::kInt32 || code_ == DTypeCode::kInt64 ||
+           code_ == DTypeCode::kUInt8;
+  }
+
+  std::string ToString() const {
+    switch (code_) {
+      case DTypeCode::kFloat32: return "float32";
+      case DTypeCode::kFloat64: return "float64";
+      case DTypeCode::kInt32: return "int32";
+      case DTypeCode::kInt64: return "int64";
+      case DTypeCode::kUInt8: return "uint8";
+      case DTypeCode::kBool: return "bool";
+    }
+    return "unknown";
+  }
+
+  /// Parses the textual form produced by ToString().
+  static DataType FromString(const std::string& s) {
+    if (s == "float32") return Float32();
+    if (s == "float64") return Float64();
+    if (s == "int32") return Int32();
+    if (s == "int64") return Int64();
+    if (s == "uint8") return UInt8();
+    if (s == "bool") return Bool();
+    NIMBLE_FATAL() << "unknown dtype string: " << s;
+  }
+
+  bool operator==(const DataType& o) const { return code_ == o.code_; }
+  bool operator!=(const DataType& o) const { return code_ != o.code_; }
+
+ private:
+  DTypeCode code_;
+};
+
+/// Maps a C++ type to the corresponding DataType, for typed accessors.
+template <typename T>
+DataType DTypeOf();
+template <> inline DataType DTypeOf<float>() { return DataType::Float32(); }
+template <> inline DataType DTypeOf<double>() { return DataType::Float64(); }
+template <> inline DataType DTypeOf<int32_t>() { return DataType::Int32(); }
+template <> inline DataType DTypeOf<int64_t>() { return DataType::Int64(); }
+template <> inline DataType DTypeOf<uint8_t>() { return DataType::UInt8(); }
+
+}  // namespace runtime
+}  // namespace nimble

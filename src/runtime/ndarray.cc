@@ -1,0 +1,143 @@
+#include "src/runtime/ndarray.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+namespace nimble {
+namespace runtime {
+
+NDArray NDArray::Empty(ShapeVec shape, DataType dtype, Device device,
+                       Allocator* alloc) {
+  NDArray arr;
+  size_t bytes = static_cast<size_t>(NumElements(shape)) * dtype.bytes();
+  arr.storage_ = alloc->Alloc(bytes, 64, device);
+  arr.byte_offset_ = 0;
+  arr.shape_ = std::move(shape);
+  arr.dtype_ = dtype;
+  return arr;
+}
+
+NDArray NDArray::FromStorage(std::shared_ptr<Buffer> storage, size_t byte_offset,
+                             ShapeVec shape, DataType dtype) {
+  size_t bytes = static_cast<size_t>(NumElements(shape)) * dtype.bytes();
+  NIMBLE_CHECK_LE(byte_offset + bytes, storage->size)
+      << "tensor (offset " << byte_offset << ", " << bytes
+      << " bytes) exceeds storage of " << storage->size << " bytes";
+  NDArray arr;
+  arr.storage_ = std::move(storage);
+  arr.byte_offset_ = byte_offset;
+  arr.shape_ = std::move(shape);
+  arr.dtype_ = dtype;
+  return arr;
+}
+
+NDArray NDArray::Reshape(ShapeVec new_shape) const {
+  NIMBLE_CHECK_EQ(NumElements(new_shape), num_elements())
+      << "reshape must preserve element count";
+  NDArray arr = *this;
+  arr.shape_ = std::move(new_shape);
+  return arr;
+}
+
+NDArray NDArray::CopyTo(Device device, Allocator* alloc) const {
+  NDArray dst = Empty(shape_, dtype_, device, alloc);
+  if (device != this->device()) {
+    DeviceCopyConfig::copies_performed()++;
+    if (int64_t ns = DeviceCopyConfig::latency_ns(); ns > 0) {
+      auto start = std::chrono::steady_clock::now();
+      while (std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - start)
+                 .count() < ns) {
+        // busy-wait to model transfer + synchronization latency
+      }
+    }
+  }
+  std::memcpy(dst.raw_data(), raw_data(), nbytes());
+  return dst;
+}
+
+void NDArray::CopyFrom(const NDArray& other) {
+  NIMBLE_CHECK_EQ(other.num_elements(), num_elements());
+  NIMBLE_CHECK(other.dtype() == dtype_);
+  std::memcpy(raw_data(), other.raw_data(), nbytes());
+}
+
+void NDArray::Fill(double value) {
+  int64_t n = num_elements();
+  switch (dtype_.code()) {
+    case DTypeCode::kFloat32: {
+      float* p = static_cast<float*>(raw_data());
+      for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(value);
+      break;
+    }
+    case DTypeCode::kFloat64: {
+      double* p = static_cast<double*>(raw_data());
+      for (int64_t i = 0; i < n; ++i) p[i] = value;
+      break;
+    }
+    case DTypeCode::kInt32: {
+      int32_t* p = static_cast<int32_t*>(raw_data());
+      for (int64_t i = 0; i < n; ++i) p[i] = static_cast<int32_t>(value);
+      break;
+    }
+    case DTypeCode::kInt64: {
+      int64_t* p = static_cast<int64_t*>(raw_data());
+      for (int64_t i = 0; i < n; ++i) p[i] = static_cast<int64_t>(value);
+      break;
+    }
+    case DTypeCode::kUInt8:
+    case DTypeCode::kBool: {
+      uint8_t* p = static_cast<uint8_t*>(raw_data());
+      for (int64_t i = 0; i < n; ++i) p[i] = static_cast<uint8_t>(value);
+      break;
+    }
+  }
+}
+
+void NDArray::FillUniform(support::Rng& rng, double lo, double hi) {
+  int64_t n = num_elements();
+  NIMBLE_CHECK(dtype_ == DataType::Float32()) << "FillUniform expects float32";
+  float* p = static_cast<float*>(raw_data());
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(rng.Uniform(lo, hi));
+}
+
+std::string NDArray::ToString(int64_t max_elems) const {
+  std::ostringstream os;
+  os << "NDArray" << ShapeToString(shape_) << " " << dtype_.ToString() << " "
+     << device().ToString() << " [";
+  int64_t n = std::min(num_elements(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    switch (dtype_.code()) {
+      case DTypeCode::kFloat32: os << data<float>()[i]; break;
+      case DTypeCode::kFloat64: os << data<double>()[i]; break;
+      case DTypeCode::kInt32: os << data<int32_t>()[i]; break;
+      case DTypeCode::kInt64: os << data<int64_t>()[i]; break;
+      default: os << static_cast<int>(static_cast<uint8_t*>(raw_data())[i]);
+    }
+  }
+  if (num_elements() > max_elems) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+NDArray ShapeTensor(const ShapeVec& shape) {
+  NDArray arr = NDArray::Empty({static_cast<int64_t>(shape.size())},
+                               DataType::Int64(), Device::CPU());
+  int64_t* p = arr.data<int64_t>();
+  for (size_t i = 0; i < shape.size(); ++i) p[i] = shape[i];
+  return arr;
+}
+
+ShapeVec ShapeFromTensor(const NDArray& arr) {
+  NIMBLE_CHECK(arr.dtype() == DataType::Int64()) << "shape tensor must be int64";
+  NIMBLE_CHECK_LE(arr.ndim(), 1) << "shape tensor must be rank-1";
+  ShapeVec out(static_cast<size_t>(arr.num_elements()));
+  const int64_t* p = arr.data<int64_t>();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = p[i];
+  return out;
+}
+
+}  // namespace runtime
+}  // namespace nimble

@@ -1,0 +1,132 @@
+// NDArray: an n-dimensional tensor view over refcounted storage.
+//
+// An NDArray is (storage, byte offset, shape, dtype). Storage is shared so
+// multiple tensors can be multiplexed onto one coalesced region, which is
+// exactly what the memory-planning pass (§4.3) produces via
+// alloc_storage/alloc_tensor.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/allocator.h"
+#include "src/runtime/device.h"
+#include "src/runtime/dtype.h"
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+
+namespace nimble {
+namespace runtime {
+
+using ShapeVec = std::vector<int64_t>;
+
+inline int64_t NumElements(const ShapeVec& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+inline std::string ShapeToString(const ShapeVec& shape) {
+  std::string s = "(";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(shape[i]);
+  }
+  return s + ")";
+}
+
+class NDArray {
+ public:
+  NDArray() = default;
+
+  /// Allocates a fresh dense tensor on `device` through `alloc`.
+  static NDArray Empty(ShapeVec shape, DataType dtype,
+                       Device device = Device::CPU(),
+                       Allocator* alloc = GlobalNaiveAllocator());
+
+  /// Creates a tensor view at `byte_offset` into existing storage.
+  static NDArray FromStorage(std::shared_ptr<Buffer> storage, size_t byte_offset,
+                             ShapeVec shape, DataType dtype);
+
+  /// Allocates and fills from host data (always CPU source).
+  template <typename T>
+  static NDArray FromVector(const std::vector<T>& values, ShapeVec shape,
+                            Device device = Device::CPU()) {
+    NIMBLE_CHECK_EQ(static_cast<int64_t>(values.size()), NumElements(shape));
+    NDArray arr = Empty(std::move(shape), DTypeOf<T>(), device);
+    std::memcpy(arr.raw_data(), values.data(), values.size() * sizeof(T));
+    return arr;
+  }
+
+  /// Scalar (rank-0) tensor.
+  template <typename T>
+  static NDArray Scalar(T value, Device device = Device::CPU()) {
+    NDArray arr = Empty({}, DTypeOf<T>(), device);
+    *static_cast<T*>(arr.raw_data()) = value;
+    return arr;
+  }
+
+  bool defined() const { return storage_ != nullptr; }
+  const ShapeVec& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  DataType dtype() const { return dtype_; }
+  Device device() const { return storage_ ? storage_->device : Device::CPU(); }
+  int64_t num_elements() const { return NumElements(shape_); }
+  size_t nbytes() const { return static_cast<size_t>(num_elements()) * dtype_.bytes(); }
+  const std::shared_ptr<Buffer>& storage() const { return storage_; }
+  size_t byte_offset() const { return byte_offset_; }
+
+  void* raw_data() const {
+    NIMBLE_ICHECK(storage_ != nullptr) << "use of undefined NDArray";
+    return static_cast<char*>(storage_->data) + byte_offset_;
+  }
+
+  template <typename T>
+  T* data() const {
+    NIMBLE_ICHECK(DTypeOf<T>() == dtype_)
+        << "dtype mismatch: tensor is " << dtype_.ToString();
+    return static_cast<T*>(raw_data());
+  }
+
+  /// Element access for rank-1/2 convenience in tests (float32 only).
+  float& at(int64_t i) const { return data<float>()[i]; }
+  float& at(int64_t i, int64_t j) const {
+    return data<float>()[i * shape_[1] + j];
+  }
+
+  /// Returns a new view with a different shape (same storage, same size).
+  NDArray Reshape(ShapeVec new_shape) const;
+
+  /// Deep copy onto `device`, counting a cross-device transfer when devices
+  /// differ (and charging DeviceCopyConfig::latency_ns()).
+  NDArray CopyTo(Device device, Allocator* alloc = GlobalNaiveAllocator()) const;
+
+  /// Copies contents from another array of identical size/dtype.
+  void CopyFrom(const NDArray& other);
+
+  /// Fills with a scalar value (dtype-converted).
+  void Fill(double value);
+
+  /// Fills with deterministic uniform values in [lo, hi).
+  void FillUniform(support::Rng& rng, double lo = -1.0, double hi = 1.0);
+
+  std::string ToString(int64_t max_elems = 16) const;
+
+ private:
+  std::shared_ptr<Buffer> storage_;
+  size_t byte_offset_ = 0;
+  ShapeVec shape_;
+  DataType dtype_;
+};
+
+/// Creates a rank-1 int64 tensor holding `shape` — the runtime representation
+/// of a shape value, consumed and produced by shape-function kernels (§4.2).
+NDArray ShapeTensor(const ShapeVec& shape);
+
+/// Reads back a shape tensor into a ShapeVec.
+ShapeVec ShapeFromTensor(const NDArray& arr);
+
+}  // namespace runtime
+}  // namespace nimble

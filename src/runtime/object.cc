@@ -1,0 +1,68 @@
+#include "src/runtime/object.h"
+
+#include <sstream>
+
+namespace nimble {
+namespace runtime {
+
+const NDArray& AsTensor(const ObjectRef& obj) {
+  NIMBLE_CHECK(obj != nullptr) << "null object where tensor expected";
+  NIMBLE_CHECK(obj->tag() == ObjectTag::kTensor)
+      << "expected tensor object, got tag " << static_cast<int>(obj->tag());
+  return static_cast<TensorObj*>(obj.get())->data;
+}
+
+ADTObj* AsADT(const ObjectRef& obj) {
+  NIMBLE_CHECK(obj != nullptr) << "null object where ADT expected";
+  NIMBLE_CHECK(obj->tag() == ObjectTag::kADT)
+      << "expected ADT object, got tag " << static_cast<int>(obj->tag());
+  return static_cast<ADTObj*>(obj.get());
+}
+
+ClosureObj* AsClosure(const ObjectRef& obj) {
+  NIMBLE_CHECK(obj != nullptr) << "null object where closure expected";
+  NIMBLE_CHECK(obj->tag() == ObjectTag::kClosure)
+      << "expected closure object, got tag " << static_cast<int>(obj->tag());
+  return static_cast<ClosureObj*>(obj.get());
+}
+
+StorageObj* AsStorage(const ObjectRef& obj) {
+  NIMBLE_CHECK(obj != nullptr) << "null object where storage expected";
+  NIMBLE_CHECK(obj->tag() == ObjectTag::kStorage)
+      << "expected storage object, got tag " << static_cast<int>(obj->tag());
+  return static_cast<StorageObj*>(obj.get());
+}
+
+std::string ObjectToString(const ObjectRef& obj, int64_t max_elems) {
+  if (obj == nullptr) return "null";
+  std::ostringstream os;
+  switch (obj->tag()) {
+    case ObjectTag::kTensor:
+      os << AsTensor(obj).ToString(max_elems);
+      break;
+    case ObjectTag::kADT: {
+      auto* adt = AsADT(obj);
+      if (adt->ctor_tag == ADTObj::kTupleTag) {
+        os << "(";
+      } else {
+        os << "ctor#" << adt->ctor_tag << "(";
+      }
+      for (size_t i = 0; i < adt->fields.size(); ++i) {
+        if (i) os << ", ";
+        os << ObjectToString(adt->fields[i], max_elems);
+      }
+      os << ")";
+      break;
+    }
+    case ObjectTag::kClosure:
+      os << "closure(func=" << AsClosure(obj)->func_index << ")";
+      break;
+    case ObjectTag::kStorage:
+      os << "storage(" << AsStorage(obj)->buffer->size << " bytes)";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace runtime
+}  // namespace nimble

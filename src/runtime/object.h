@@ -1,0 +1,105 @@
+// Tagged runtime object representation (§5.2).
+//
+// The VM manipulates coarse-grained objects: tensors, algebraic data types
+// (which double as tuples), closures, and raw storage blocks. Objects are
+// reference counted via shared_ptr; Move instructions copy references, not
+// payloads, so register operations stay cheap regardless of tensor size.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/ndarray.h"
+
+namespace nimble {
+namespace runtime {
+
+enum class ObjectTag : uint8_t {
+  kTensor = 0,
+  kADT = 1,      // constructor tag + fields; tuples use tag 0
+  kClosure = 2,
+  kStorage = 3,  // result of AllocStorage, consumed by AllocTensor
+};
+
+class Object {
+ public:
+  explicit Object(ObjectTag tag) : tag_(tag) {}
+  virtual ~Object() = default;
+  ObjectTag tag() const { return tag_; }
+
+ private:
+  ObjectTag tag_;
+};
+
+using ObjectRef = std::shared_ptr<Object>;
+
+class TensorObj : public Object {
+ public:
+  explicit TensorObj(NDArray data)
+      : Object(ObjectTag::kTensor), data(std::move(data)) {}
+  NDArray data;
+};
+
+/// Algebraic data type instance. `ctor_tag` identifies the constructor
+/// within its type; tuples are ADTs with ctor_tag == kTupleTag.
+class ADTObj : public Object {
+ public:
+  static constexpr uint32_t kTupleTag = 0xffffffffu;
+
+  ADTObj(uint32_t ctor_tag, std::vector<ObjectRef> fields)
+      : Object(ObjectTag::kADT), ctor_tag(ctor_tag), fields(std::move(fields)) {}
+
+  uint32_t ctor_tag;
+  std::vector<ObjectRef> fields;
+};
+
+/// Closure over a VM function: function index + captured free variables.
+class ClosureObj : public Object {
+ public:
+  ClosureObj(int32_t func_index, std::vector<ObjectRef> captured)
+      : Object(ObjectTag::kClosure), func_index(func_index),
+        captured(std::move(captured)) {}
+
+  int32_t func_index;
+  std::vector<ObjectRef> captured;
+};
+
+/// A raw storage region produced by AllocStorage (§4.3) that tensors are
+/// multiplexed onto via AllocTensor at various offsets.
+class StorageObj : public Object {
+ public:
+  explicit StorageObj(std::shared_ptr<Buffer> buffer)
+      : Object(ObjectTag::kStorage), buffer(std::move(buffer)) {}
+  std::shared_ptr<Buffer> buffer;
+};
+
+// ---- convenience constructors & accessors -------------------------------
+
+inline ObjectRef MakeTensor(NDArray data) {
+  return std::make_shared<TensorObj>(std::move(data));
+}
+
+inline ObjectRef MakeTuple(std::vector<ObjectRef> fields) {
+  return std::make_shared<ADTObj>(ADTObj::kTupleTag, std::move(fields));
+}
+
+inline ObjectRef MakeADT(uint32_t tag, std::vector<ObjectRef> fields) {
+  return std::make_shared<ADTObj>(tag, std::move(fields));
+}
+
+inline ObjectRef MakeClosure(int32_t func_index, std::vector<ObjectRef> captured) {
+  return std::make_shared<ClosureObj>(func_index, std::move(captured));
+}
+
+/// Downcasts with checks. Throws nimble::Error on tag mismatch.
+const NDArray& AsTensor(const ObjectRef& obj);
+ADTObj* AsADT(const ObjectRef& obj);
+ClosureObj* AsClosure(const ObjectRef& obj);
+StorageObj* AsStorage(const ObjectRef& obj);
+
+/// Human-readable rendering for debugging and example programs.
+std::string ObjectToString(const ObjectRef& obj, int64_t max_elems = 8);
+
+}  // namespace runtime
+}  // namespace nimble

@@ -1,0 +1,15 @@
+#include "src/support/logging.h"
+
+#include <iostream>
+
+namespace nimble {
+namespace support {
+
+LogMessage::LogMessage(const char* file, int line, const char* level) {
+  stream_ << "[" << level << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() { std::cerr << stream_.str() << std::endl; }
+
+}  // namespace support
+}  // namespace nimble

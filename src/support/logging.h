@@ -1,0 +1,72 @@
+// Lightweight logging and check macros, modeled on TVM/glog style.
+//
+// NIMBLE_CHECK(cond) << "msg";   — throws nimble::Error on failure.
+// NIMBLE_ICHECK — internal invariant check (same behaviour, different tag).
+// NIMBLE_LOG(INFO|WARNING) << ...; — stderr logging.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nimble {
+
+/// Exception type thrown by all Nimble check failures and user errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace support {
+
+/// Stream-collecting object that throws Error when destroyed.
+class LogFatal {
+ public:
+  LogFatal(const char* file, int line, const char* tag) {
+    stream_ << "[" << tag << " " << file << ":" << line << "] ";
+  }
+  [[noreturn]] ~LogFatal() noexcept(false) { throw Error(stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Stream that prints to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, const char* level);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace support
+}  // namespace nimble
+
+#define NIMBLE_CHECK(cond)                                              \
+  if (!(cond))                                                          \
+  ::nimble::support::LogFatal(__FILE__, __LINE__, "CHECK").stream()     \
+      << "Check failed: " #cond ". "
+
+#define NIMBLE_ICHECK(cond)                                             \
+  if (!(cond))                                                          \
+  ::nimble::support::LogFatal(__FILE__, __LINE__, "INTERNAL").stream()  \
+      << "Internal invariant violated: " #cond ". "
+
+#define NIMBLE_ICHECK_EQ(a, b) NIMBLE_ICHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NIMBLE_CHECK_EQ(a, b) NIMBLE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NIMBLE_CHECK_NE(a, b) NIMBLE_CHECK((a) != (b))
+#define NIMBLE_CHECK_LT(a, b) NIMBLE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NIMBLE_CHECK_LE(a, b) NIMBLE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NIMBLE_CHECK_GT(a, b) NIMBLE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NIMBLE_CHECK_GE(a, b) NIMBLE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define NIMBLE_FATAL() \
+  ::nimble::support::LogFatal(__FILE__, __LINE__, "FATAL").stream()
+
+#define NIMBLE_LOG(level) \
+  ::nimble::support::LogMessage(__FILE__, __LINE__, #level).stream()

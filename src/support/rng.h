@@ -1,0 +1,64 @@
+// Deterministic xoshiro256** random number generator.
+//
+// Used for weight initialization, synthetic datasets, and property-test
+// input generation. Deterministic across platforms (unlike std::mt19937's
+// distributions, whose outputs are implementation-defined).
+#pragma once
+
+#include <cstdint>
+
+namespace nimble {
+namespace support {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 seeding
+    for (auto& word : s_) {
+      seed += 0x9e3779b97f4a7c15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    auto rotl = [](uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal() {
+    double u1 = Uniform();
+    double u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace support
+}  // namespace nimble

@@ -1,0 +1,61 @@
+// Union-find (disjoint set) with path compression and union by rank.
+//
+// Used by the heterogeneous device-placement pass (§4.4 of the paper) to
+// unify DeviceDomains across IR nodes, and reusable for any equivalence
+// analysis (e.g. symbolic-dimension equality).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace support {
+
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Adds a fresh singleton set and returns its id.
+  size_t Make() {
+    parent_.push_back(parent_.size());
+    rank_.push_back(0);
+    return parent_.size() - 1;
+  }
+
+  size_t size() const { return parent_.size(); }
+
+  /// Returns the representative of x's set.
+  size_t Find(size_t x) {
+    NIMBLE_ICHECK(x < parent_.size()) << "union-find index out of range";
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns the new representative.
+  size_t Union(size_t a, size_t b) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return ra;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) rank_[ra]++;
+    return ra;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<int> rank_;
+};
+
+}  // namespace support
+}  // namespace nimble

@@ -1,0 +1,25 @@
+// IR → bytecode compiler (§5).
+//
+// Consumes a module in ANF with explicit allocations (after ManifestAlloc /
+// MemoryPlan / DevicePlacement) and emits a VM executable. Control flow
+// lowers to If/Goto with relative offsets, Match lowers to GetTag + If
+// chains, function literals are lambda-lifted into VM functions with
+// captured free variables (AllocClosure / InvokeClosure), and memory.kill
+// is consumed at compile time by recycling the killed variable's register.
+#pragma once
+
+#include <memory>
+
+#include "src/ir/module.h"
+#include "src/vm/executable.h"
+
+namespace nimble {
+namespace vm {
+
+class VMCompiler {
+ public:
+  std::shared_ptr<Executable> Compile(const ir::Module& mod);
+};
+
+}  // namespace vm
+}  // namespace nimble

@@ -1,0 +1,64 @@
+// VM executable (§5): platform-independent bytecode + constant pool +
+// packed-kernel table, with binary serialization so compiled models can be
+// shipped to and loaded on any platform.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/attrs.h"
+#include "src/runtime/ndarray.h"
+#include "src/vm/bytecode.h"
+
+namespace nimble {
+namespace vm {
+
+/// One entry of the packed-call table referenced by InvokePacked.
+/// Either a compute kernel (resolved in the kernel registry — which may be a
+/// compiler-generated kernel or a third-party library routine, §5.2) or a
+/// shape function (resolved in the op registry, §4.2).
+struct PackedEntry {
+  enum class Kind : uint8_t { kKernel = 0, kShapeFunc = 1 };
+  Kind kind = Kind::kKernel;
+  std::string name;      // kernel name, or op name for shape functions
+  ir::Attrs attrs;       // call-site attributes
+  int32_t num_inputs = 0;
+  int32_t shape_mode = 0;  // op::ShapeFuncMode for kind == kShapeFunc
+};
+
+struct VMFunction {
+  std::string name;
+  int32_t num_params = 0;
+  int32_t register_file_size = 0;
+  std::vector<Instruction> instructions;
+};
+
+class Executable {
+ public:
+  std::vector<VMFunction> functions;
+  std::map<std::string, int32_t> function_index;
+  std::vector<runtime::NDArray> constants;
+  std::vector<PackedEntry> packed;
+
+  int32_t FunctionIndex(const std::string& name) const;
+
+  /// Human-readable bytecode listing.
+  std::string Disassemble() const;
+
+  /// Binary serialization. The format is self-contained: bytecode,
+  /// constants (weights stay in the pool and are referenced by LoadConst),
+  /// and the packed-call table.
+  void Save(std::ostream& os) const;
+  static std::shared_ptr<Executable> Load(std::istream& is);
+  void SaveToFile(const std::string& path) const;
+  static std::shared_ptr<Executable> LoadFromFile(const std::string& path);
+
+  /// Total bytecode instruction count (all functions).
+  size_t NumInstructions() const;
+};
+
+}  // namespace vm
+}  // namespace nimble

@@ -1,0 +1,77 @@
+// Virtual machine interpreter (§5.2).
+//
+// Loads an executable and runs its bytecode in a dispatch loop. Objects in
+// the register file are reference-counted and passed by reference, so
+// register operations are cheap regardless of payload size. The interpreter
+// optionally records a per-instruction-category time profile (used by the
+// Table 4 overhead study: kernel latency vs "other instructions").
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/allocator.h"
+#include "src/runtime/object.h"
+#include "src/vm/executable.h"
+
+namespace nimble {
+namespace vm {
+
+struct VMProfile {
+  struct Entry {
+    int64_t count = 0;
+    int64_t nanos = 0;
+  };
+  std::array<Entry, 20> per_opcode{};
+  int64_t kernel_nanos = 0;      // InvokePacked on compute kernels
+  int64_t shape_func_nanos = 0;  // InvokePacked on shape functions
+  int64_t total_nanos = 0;
+  int64_t instructions = 0;
+
+  int64_t other_nanos() const { return total_nanos - kernel_nanos; }
+  void Reset() { *this = VMProfile{}; }
+  std::string ToString() const;
+};
+
+class VirtualMachine {
+ public:
+  explicit VirtualMachine(std::shared_ptr<Executable> exec,
+                          runtime::Allocator* allocator = nullptr);
+
+  /// Runs a function by name (default: "main").
+  runtime::ObjectRef Invoke(const std::string& name,
+                            std::vector<runtime::ObjectRef> args);
+  runtime::ObjectRef Invoke(std::vector<runtime::ObjectRef> args) {
+    return Invoke("main", std::move(args));
+  }
+
+  void EnableProfiling(bool on) { profiling_ = on; }
+  const VMProfile& profile() const { return profile_; }
+  VMProfile& mutable_profile() { return profile_; }
+
+  const Executable& executable() const { return *exec_; }
+
+ private:
+  struct Frame {
+    int32_t func_index;
+    size_t pc = 0;
+    std::vector<runtime::ObjectRef> regs;
+    RegName caller_dst = -1;
+  };
+
+  runtime::ObjectRef Run(Frame initial);
+  void RunInstruction(const Instruction& inst, std::vector<Frame>& stack,
+                      runtime::ObjectRef* final_result, bool* done);
+
+  void RunPacked(const Instruction& inst, Frame& frame);
+
+  std::shared_ptr<Executable> exec_;
+  runtime::Allocator* allocator_;
+  bool profiling_ = false;
+  VMProfile profile_;
+};
+
+}  // namespace vm
+}  // namespace nimble

@@ -1,0 +1,143 @@
+// Baseline correctness: the eager, Fold and static runtimes must all agree
+// with the plain references — otherwise latency comparisons are meaningless.
+#include <gtest/gtest.h>
+
+#include "src/baselines/eager.h"
+#include "src/baselines/fold.h"
+#include "src/baselines/static_runtime.h"
+#include "src/models/workloads.h"
+
+namespace nimble {
+namespace {
+
+using runtime::NDArray;
+
+void ExpectClose(const NDArray& a, const NDArray& b, float tol = 2e-4f) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    ASSERT_NEAR(a.data<float>()[i], b.data<float>()[i], tol) << "index " << i;
+  }
+}
+
+TEST(EagerBaseline, LSTMMatchesReference) {
+  models::LSTMConfig config;
+  config.input_size = 10;
+  config.hidden_size = 12;
+  config.num_layers = 2;
+  auto model = models::BuildLSTM(config);
+  support::Rng rng(1);
+  NDArray x = models::RandomSequence(6, config.input_size, rng);
+  baselines::EagerContext ctx(/*dispatch_overhead_ns=*/0);
+  ExpectClose(baselines::EagerLSTM(model.weights, x, ctx),
+              models::RunLSTMReference(model.weights, x));
+  EXPECT_GT(ctx.ops_executed(), 0);
+}
+
+TEST(EagerBaseline, TreeLSTMMatchesReference) {
+  models::TreeLSTMConfig config;
+  config.input_size = 8;
+  config.hidden_size = 10;
+  auto model = models::BuildTreeLSTM(config);
+  support::Rng rng(2);
+  for (int leaves : {1, 5, 12}) {
+    auto tree = models::RandomTree(leaves, config.input_size, rng);
+    baselines::EagerContext ctx(0);
+    ExpectClose(baselines::EagerTreeLSTM(model.weights, *tree, ctx),
+                models::RunTreeLSTMReference(model.weights, *tree));
+  }
+}
+
+TEST(EagerBaseline, BERTMatchesReference) {
+  models::BERTConfig config;
+  config.num_layers = 1;
+  config.hidden = 32;
+  config.num_heads = 2;
+  config.ffn_hidden = 64;
+  config.vocab = 40;
+  auto model = models::BuildBERT(config);
+  support::Rng rng(3);
+  auto ids = models::RandomTokenIds(9, config.vocab, rng);
+  baselines::EagerContext ctx(0);
+  ExpectClose(baselines::EagerBERT(model, ids, ctx),
+              models::RunBERTReference(model, ids), 5e-4f);
+}
+
+TEST(FoldBaseline, MatchesReferenceAcrossTreeShapes) {
+  models::TreeLSTMConfig config;
+  config.input_size = 8;
+  config.hidden_size = 10;
+  auto model = models::BuildTreeLSTM(config);
+  support::Rng rng(4);
+  for (int leaves : {1, 2, 7, 20}) {
+    auto tree = models::RandomTree(leaves, config.input_size, rng);
+    baselines::FoldStats stats;
+    ExpectClose(baselines::FoldTreeLSTM(model.weights, *tree, &stats),
+                models::RunTreeLSTMReference(model.weights, *tree));
+    EXPECT_EQ(stats.nodes_scheduled, tree->num_nodes());
+  }
+}
+
+TEST(FoldBaseline, BatchesPerLevel) {
+  models::TreeLSTMConfig config;
+  config.input_size = 4;
+  config.hidden_size = 6;
+  auto model = models::BuildTreeLSTM(config);
+  support::Rng rng(5);
+  auto tree = models::RandomTree(16, config.input_size, rng);
+  baselines::FoldStats stats;
+  baselines::FoldTreeLSTM(model.weights, *tree, &stats);
+  EXPECT_LT(stats.batched_launches, stats.nodes_scheduled)
+      << "dynamic batching must launch fewer kernels than nodes";
+}
+
+TEST(StaticRuntime, MatchesReferenceAtPlannedLength) {
+  models::BERTConfig config;
+  config.num_layers = 1;
+  config.hidden = 32;
+  config.num_heads = 2;
+  config.ffn_hidden = 64;
+  config.vocab = 40;
+  auto model = models::BuildBERT(config);
+  support::Rng rng(6);
+  auto ids = models::RandomTokenIds(11, config.vocab, rng);
+  baselines::StaticBERTRuntime rt(model, 11);
+  ExpectClose(rt.Run(ids), models::RunBERTReference(model, ids), 5e-4f);
+}
+
+TEST(StaticRuntime, RejectsOtherLengths) {
+  models::BERTConfig config;
+  config.num_layers = 1;
+  config.hidden = 32;
+  config.num_heads = 2;
+  config.ffn_hidden = 64;
+  config.vocab = 40;
+  auto model = models::BuildBERT(config);
+  baselines::StaticBERTRuntime rt(model, 8);
+  EXPECT_THROW(rt.Run(std::vector<int64_t>(9, 0)), Error);
+}
+
+TEST(Workloads, DistributionsHaveDocumentedShape) {
+  support::Rng rng(7);
+  auto lengths = models::SampleMRPCLengths(500, rng, 128);
+  double mean = 0;
+  for (int64_t l : lengths) {
+    EXPECT_GE(l, 4);
+    EXPECT_LE(l, 128);
+    mean += static_cast<double>(l);
+  }
+  mean /= lengths.size();
+  EXPECT_NEAR(mean, 40.0, 5.0);
+
+  auto sizes = models::SampleSSTSizes(500, rng);
+  double smean = 0;
+  for (int s : sizes) {
+    EXPECT_GE(s, 3);
+    EXPECT_LE(s, 52);
+    smean += s;
+  }
+  smean /= sizes.size();
+  EXPECT_NEAR(smean, 19.0, 3.0);
+}
+
+}  // namespace
+}  // namespace nimble

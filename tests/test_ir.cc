@@ -1,0 +1,216 @@
+// Unit tests for the IR: dims, types, expressions, modules, ADTs, printer,
+// visitors, free variables.
+#include <gtest/gtest.h>
+
+#include "src/ir/module.h"
+#include "src/ir/printer.h"
+#include "src/ir/visitor.h"
+#include "src/op/registry.h"
+
+namespace nimble {
+namespace {
+
+using namespace ir;  // NOLINT
+
+TEST(DimTest, Kinds) {
+  EXPECT_TRUE(Dim::Static(3).is_static());
+  EXPECT_TRUE(Dim::Any().is_any());
+  EXPECT_TRUE(Dim::Any().is_dynamic());
+  EXPECT_TRUE(Dim::Sym(1).is_sym());
+  EXPECT_FALSE(Dim::Static(3).is_dynamic());
+  EXPECT_THROW(Dim::Static(-1), Error);
+}
+
+TEST(DimTest, StructEqualSemantics) {
+  EXPECT_TRUE(Dim::Static(4).StructEqual(Dim::Static(4)));
+  EXPECT_FALSE(Dim::Static(4).StructEqual(Dim::Static(5)));
+  // Two Anys are not provably the same dimension (§4.1).
+  EXPECT_FALSE(Dim::Any().StructEqual(Dim::Any()));
+  // But identical symbolic dims are.
+  Dim s = Dim::FreshSym("L");
+  EXPECT_TRUE(s.StructEqual(s));
+  EXPECT_FALSE(s.StructEqual(Dim::FreshSym("L")));
+}
+
+TEST(DimTest, FreshSymIdsAreUnique) {
+  EXPECT_NE(Dim::FreshSym().sym_id(), Dim::FreshSym().sym_id());
+}
+
+TEST(DimTest, Printing) {
+  EXPECT_EQ(Dim::Static(7).ToString(), "7");
+  EXPECT_EQ(Dim::Any().ToString(), "?");
+  EXPECT_EQ(Dim::Sym(3, "L").ToString(), "'L");
+}
+
+TEST(TypeTest, TensorTypeToString) {
+  Type t = TensorType({Dim::Static(1), Dim::Any()});
+  EXPECT_EQ(TypeToString(t), "Tensor[(1, ?), float32]");
+}
+
+TEST(TypeTest, EqualityStrictVsCompatible) {
+  Type concrete = TensorType({3, 4});
+  Type dynamic = TensorType({Dim::Static(3), Dim::Any()});
+  EXPECT_FALSE(TypeEqual(concrete, dynamic));
+  // Sub-shaping: specific flows into less specific (§4.1).
+  EXPECT_TRUE(TypeCompatible(concrete, dynamic));
+  EXPECT_FALSE(TypeCompatible(concrete, TensorType({4, 4})));
+}
+
+TEST(TypeTest, TupleAndFuncTypes) {
+  Type t = TupleType({TensorType(std::vector<int64_t>{1}), ScalarType(DataType::Int64())});
+  EXPECT_EQ(AsTupleType(t)->fields.size(), 2u);
+  Type f = FuncType({TensorType(std::vector<int64_t>{2})}, TensorType(std::vector<int64_t>{2}));
+  EXPECT_EQ(AsFuncType(f)->params.size(), 1u);
+  EXPECT_THROW(AsTensorType(t), Error);
+}
+
+TEST(TypeTest, HasDynamicShape) {
+  EXPECT_FALSE(HasDynamicShape(TensorType({2, 2})));
+  EXPECT_TRUE(HasDynamicShape(TensorType({Dim::Any()})));
+  EXPECT_TRUE(
+      HasDynamicShape(TupleType({TensorType(std::vector<int64_t>{2}), TensorType({Dim::Any()})})));
+}
+
+TEST(ExprTest, ConstructorsAndDowncasts) {
+  Var v = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  Expr c = FloatConst(1.0f);
+  Expr call = op::Call2("add", v, c);
+  EXPECT_EQ(call->kind(), ExprKind::kCall);
+  EXPECT_EQ(AsCall(call)->args.size(), 2u);
+  EXPECT_EQ(AsOp(AsCall(call)->op)->name, "add");
+  EXPECT_TRUE(IsCallToOp(call, "add"));
+  EXPECT_FALSE(IsCallToOp(call, "multiply"));
+  EXPECT_THROW(AsLet(call), Error);
+}
+
+TEST(ExprTest, ScalarConstants) {
+  EXPECT_EQ(AsConstant(IntConst(5))->data.data<int64_t>()[0], 5);
+  EXPECT_FLOAT_EQ(AsConstant(FloatConst(2.5f))->data.data<float>()[0], 2.5f);
+  EXPECT_EQ(AsConstant(BoolConst(true))->data.dtype(), DataType::Bool());
+}
+
+TEST(ModuleTest, AddLookupUpdate) {
+  Module mod;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{1}));
+  mod.Add("f", MakeFunction({x}, x));
+  EXPECT_TRUE(mod.HasFunction("f"));
+  EXPECT_EQ(mod.Lookup("f")->params.size(), 1u);
+  EXPECT_THROW(mod.Lookup("g"), Error);
+  EXPECT_THROW(mod.Update("g", mod.Lookup("f")), Error);
+}
+
+TEST(ModuleTest, ADTDefinitionAndLookup) {
+  Module mod;
+  const TypeData& tree = mod.DefineADT(
+      "Tree", {{"Leaf", {TensorType(std::vector<int64_t>{1})}},
+               {"Node", {ADTType("Tree"), ADTType("Tree")}}});
+  EXPECT_EQ(tree.constructors.size(), 2u);
+  EXPECT_EQ(tree.constructors[0]->tag, 0u);
+  EXPECT_EQ(tree.constructors[1]->tag, 1u);
+  EXPECT_EQ(mod.LookupConstructor("Tree", "Node")->name, "Node");
+  EXPECT_THROW(mod.LookupConstructor("Tree", "Branch"), Error);
+  EXPECT_THROW(mod.DefineADT("Tree", {}), Error);
+}
+
+TEST(PrinterTest, RendersLetAndIf) {
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  Var t = MakeVar("t");
+  Expr body = MakeLet(t, op::Call2("add", x, x),
+                      MakeIf(BoolConst(true), t, x));
+  std::string s = PrintExpr(MakeFunction({x}, body));
+  EXPECT_NE(s.find("let %t"), std::string::npos);
+  EXPECT_NE(s.find("if ("), std::string::npos);
+  EXPECT_NE(s.find("add(%x, %x)"), std::string::npos);
+}
+
+TEST(PrinterTest, DisambiguatesDuplicateNames) {
+  Var a = MakeVar("x", TensorType(std::vector<int64_t>{1}));
+  Var b = MakeVar("x", TensorType(std::vector<int64_t>{1}));
+  std::string s = PrintExpr(MakeFunction({a, b}, op::Call2("add", a, b)));
+  // Two distinct vars named "x" must print distinctly.
+  EXPECT_NE(s.find("%x_"), std::string::npos);
+}
+
+TEST(VisitorTest, PostOrderVisitsAllNodes) {
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  Expr e = op::Call1("sigmoid", op::Call2("add", x, FloatConst(1.0f)));
+  int count = 0;
+  PostOrderVisit(e, [&](const Expr&) { count++; });
+  // sigmoid-call, add-call, two ops, var, const = 6 nodes.
+  EXPECT_EQ(count, 6);
+}
+
+TEST(VisitorTest, MutatorPreservesUnchangedSubtrees) {
+  struct Identity : ExprMutator {} m;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  Expr e = op::Call2("add", x, x);
+  EXPECT_EQ(m.Mutate(e).get(), e.get()) << "no-op mutation returns same node";
+}
+
+TEST(VisitorTest, MutatorRewritesTargetedNodes) {
+  struct SwapAddToMul : ExprMutator {
+    Expr MutateCall_(const CallNode* node, const Expr& e) override {
+      Expr base = ExprMutator::MutateCall_(node, e);
+      if (IsCallToOp(base, "add")) {
+        const auto* call = AsCall(base);
+        return MakeCall(op::GetOp("multiply"), call->args, call->attrs);
+      }
+      return base;
+    }
+  } m;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  Expr rewritten = m.Mutate(op::Call2("add", x, x));
+  EXPECT_TRUE(IsCallToOp(rewritten, "multiply"));
+}
+
+TEST(FreeVarsTest, ParamsAreBound) {
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  Var y = MakeVar("y", TensorType(std::vector<int64_t>{2}));
+  Expr fn = MakeFunction({x}, op::Call2("add", x, y));
+  auto free = FreeVars(fn);
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_EQ(free[0].get(), y.get());
+}
+
+TEST(FreeVarsTest, LetBindsItsVar) {
+  Var t = MakeVar("t");
+  Var z = MakeVar("z", TensorType(std::vector<int64_t>{2}));
+  Expr e = MakeLet(t, z, op::Call2("add", t, t));
+  auto free = FreeVars(e);
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_EQ(free[0].get(), z.get());
+}
+
+TEST(FreeVarsTest, MatchClauseBindings) {
+  Module mod;
+  const TypeData& data = mod.DefineADT("P", {{"Mk", {TensorType(std::vector<int64_t>{1})}}});
+  Var scrut = MakeVar("s", ADTType("P"));
+  Var bound = MakeVar("b");
+  Expr m = MakeMatch(scrut, {MatchClause{data.constructors[0], {bound}, bound}});
+  auto free = FreeVars(m);
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_EQ(free[0].get(), scrut.get());
+}
+
+TEST(AttrsTest, TypedAccessors) {
+  Attrs attrs;
+  attrs.Set("axis", 2).Set("name", std::string("foo"));
+  attrs.Set("shape", std::vector<int64_t>{1, 2});
+  attrs.Set("eps", 0.5);
+  EXPECT_EQ(attrs.GetInt("axis"), 2);
+  EXPECT_EQ(attrs.GetInt("missing", 7), 7);
+  EXPECT_EQ(attrs.GetStr("name"), "foo");
+  EXPECT_EQ(attrs.GetIntVec("shape"), (std::vector<int64_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(attrs.GetFloat("eps", 0), 0.5);
+  EXPECT_THROW(attrs.GetInt("name"), std::exception);
+}
+
+TEST(AttrsTest, DeviceRoundtrip) {
+  Attrs attrs;
+  attrs.SetDevice("device", runtime::Device::SimGPU(1));
+  EXPECT_EQ(attrs.GetDevice("device", runtime::Device::CPU()),
+            runtime::Device::SimGPU(1));
+}
+
+}  // namespace
+}  // namespace nimble

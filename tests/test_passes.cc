@@ -1,0 +1,393 @@
+// Pass tests: ANF invariants, constant folding, DCE, operator fusion and
+// its dynamic-shape policy, LSTM-cell pattern fusion, ManifestAlloc
+// structure, MemoryPlan safety properties, and device placement.
+#include <gtest/gtest.h>
+
+#include "src/ir/printer.h"
+#include "src/ir/visitor.h"
+#include "src/op/registry.h"
+#include "src/pass/memory.h"
+#include "src/pass/transforms.h"
+#include "src/pass/type_infer.h"
+
+namespace nimble {
+namespace {
+
+using namespace ir;  // NOLINT
+
+int CountOpCalls(const Expr& e, const std::string& name) {
+  int count = 0;
+  PostOrderVisit(e, [&](const Expr& x) {
+    if (IsCallToOp(x, name)) count++;
+  });
+  return count;
+}
+
+/// ANF invariant: every call argument is a Var or Constant.
+bool IsANF(const Expr& e) {
+  bool ok = true;
+  PostOrderVisit(e, [&](const Expr& x) {
+    if (x->kind() != ExprKind::kCall) return;
+    for (const Expr& a : AsCall(x)->args) {
+      if (a->kind() != ExprKind::kVar && a->kind() != ExprKind::kConstant) {
+        ok = false;
+      }
+    }
+  });
+  return ok;
+}
+
+TEST(ANF, FlattensNestedCalls) {
+  Module mod;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  mod.Add("main",
+          MakeFunction({x}, op::Call1("sigmoid",
+                                      op::Call2("add", x, FloatConst(1.0f)))));
+  pass::ToANF(&mod);
+  Function fn = mod.Lookup("main");
+  EXPECT_TRUE(IsANF(fn));
+  EXPECT_EQ(fn->body->kind(), ExprKind::kLet);
+}
+
+TEST(ANF, PreservesSharing) {
+  // let-free DAG: t = add(x,x) used twice must be bound exactly once.
+  Module mod;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  Expr t = op::Call2("add", x, x);
+  mod.Add("main", MakeFunction({x}, op::Call2("multiply", t, t)));
+  pass::ToANF(&mod);
+  EXPECT_EQ(CountOpCalls(mod.Lookup("main"), "add"), 1)
+      << "shared subexpression must not be duplicated";
+}
+
+TEST(ANF, BranchesBecomeScopes) {
+  Module mod;
+  Var c = MakeVar("c", ScalarType(DataType::Bool()));
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  mod.Add("main",
+          MakeFunction({c, x}, MakeIf(c, op::Call1("sigmoid", x),
+                                      op::Call1("tanh", x))));
+  pass::ToANF(&mod);
+  EXPECT_TRUE(IsANF(mod.Lookup("main")));
+}
+
+TEST(FoldConstants, EvaluatesConstantSubgraphs) {
+  Module mod;
+  Var x = MakeVar("x", ScalarType(DataType::Float32()));
+  Expr two = FloatConst(2.0f);
+  Expr four = op::Call2("multiply", two, two);  // constant
+  mod.Add("main", MakeFunction({x}, op::Call2("add", x, four)));
+  pass::InferTypes(&mod);
+  pass::FoldConstants(&mod);
+  Function fn = mod.Lookup("main");
+  EXPECT_EQ(CountOpCalls(fn, "multiply"), 0);
+  // The surviving add has a folded constant argument 4.0.
+  bool found = false;
+  PostOrderVisit(fn, [&](const Expr& e) {
+    if (e->kind() == ExprKind::kConstant) {
+      const auto& d = AsConstant(e)->data;
+      if (d.dtype() == DataType::Float32() && d.data<float>()[0] == 4.0f) {
+        found = true;
+      }
+    }
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(FoldConstants, SkipsDataDependentOps) {
+  Module mod;
+  Var x = MakeVar("x", ScalarType(DataType::Float32()));
+  Expr a = op::Call3("arange", IntConst(0), IntConst(5), IntConst(1));
+  mod.Add("main", MakeFunction({x}, MakeLet(MakeVar("t"), a, x)));
+  pass::InferTypes(&mod);
+  pass::FoldConstants(&mod);
+  EXPECT_EQ(CountOpCalls(mod.Lookup("main"), "arange"), 1)
+      << "dynamic-output op must not be folded";
+}
+
+TEST(DCE, RemovesUnusedPureBindings) {
+  Module mod;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  Var dead = MakeVar("dead");
+  mod.Add("main", MakeFunction(
+                      {x}, MakeLet(dead, op::Call2("add", x, x), x)));
+  pass::DeadCodeElim(&mod);
+  EXPECT_EQ(CountOpCalls(mod.Lookup("main"), "add"), 0);
+}
+
+TEST(DCE, KeepsEffectfulBindings) {
+  Module mod;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  Var dead = MakeVar("dead");
+  mod.Add("main",
+          MakeFunction({x}, MakeLet(dead, op::Call1("memory.kill", x), x)));
+  pass::DeadCodeElim(&mod);
+  EXPECT_EQ(CountOpCalls(mod.Lookup("main"), "memory.kill"), 1);
+}
+
+TEST(DCE, CascadesThroughChains) {
+  Module mod;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  Var a = MakeVar("a"), b = MakeVar("b");
+  // b depends on a; both dead.
+  mod.Add("main",
+          MakeFunction({x}, MakeLet(a, op::Call2("add", x, x),
+                                    MakeLet(b, op::Call1("sigmoid", a), x))));
+  pass::DeadCodeElim(&mod);
+  EXPECT_EQ(CountOpCalls(mod.Lookup("main"), "add"), 0);
+  EXPECT_EQ(CountOpCalls(mod.Lookup("main"), "sigmoid"), 0);
+}
+
+// ---- fusion -------------------------------------------------------------------
+
+TEST(FuseOps, DenseBiasActivationChain) {
+  Module mod;
+  Var x = MakeVar("x", TensorType({4, 8}));
+  Var w = MakeVar("w", TensorType({16, 8}));
+  Var b = MakeVar("b", TensorType(std::vector<int64_t>{16}));
+  Expr e = op::Call1("relu", op::Call2("nn.bias_add", op::Call2("nn.dense", x, w), b));
+  mod.Add("main", MakeFunction({x, w, b}, e));
+  pass::ToANF(&mod);
+  pass::InferTypes(&mod);
+  auto stats = pass::FuseOps(&mod);
+  EXPECT_EQ(stats.groups_created, 1);
+  EXPECT_GE(stats.ops_fused, 3);
+  Function fn = mod.Lookup("main");
+  EXPECT_EQ(CountOpCalls(fn, "fused_dense"), 1);
+  EXPECT_EQ(CountOpCalls(fn, "nn.dense"), 0);
+  EXPECT_EQ(CountOpCalls(fn, "relu"), 0);
+}
+
+TEST(FuseOps, ElemwiseChainBecomesOneKernel) {
+  Module mod;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{32}));
+  Var y = MakeVar("y", TensorType(std::vector<int64_t>{32}));
+  Expr e = op::Call1("tanh", op::Call1("sigmoid", op::Call2("add", x, y)));
+  mod.Add("main", MakeFunction({x, y}, e));
+  pass::ToANF(&mod);
+  pass::InferTypes(&mod);
+  auto stats = pass::FuseOps(&mod);
+  EXPECT_EQ(stats.groups_created, 1);
+  EXPECT_EQ(CountOpCalls(mod.Lookup("main"), "fused_elemwise"), 1);
+}
+
+TEST(FuseOps, MultiUseIntermediateBlocksFusion) {
+  // d is consumed twice: the chain must not absorb it.
+  Module mod;
+  Var x = MakeVar("x", TensorType({4, 8}));
+  Var w = MakeVar("w", TensorType({4, 8}));
+  Var d = MakeVar("d");
+  Expr dense = op::Call2("nn.dense", x, w);
+  Expr body = MakeLet(
+      d, dense, op::Call2("add", op::Call1("sigmoid", d), d));
+  mod.Add("main", MakeFunction({x, w}, body));
+  pass::ToANF(&mod);
+  pass::InferTypes(&mod);
+  pass::FuseOps(&mod);
+  EXPECT_EQ(CountOpCalls(mod.Lookup("main"), "nn.dense"), 1)
+      << "multi-use dense must stay unfused";
+}
+
+TEST(FuseOps, OpaqueOpsNeverFuse) {
+  Module mod;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{16}, DataType::Int64()));
+  // unique is opaque/data-dependent: the chain add -> unique must not fuse.
+  Expr e = op::Call1("unique", x);
+  Var t = MakeVar("t");
+  mod.Add("main", MakeFunction({x}, MakeLet(t, e, t)));
+  pass::ToANF(&mod);
+  pass::InferTypes(&mod);
+  auto stats = pass::FuseOps(&mod);
+  EXPECT_EQ(stats.groups_created, 0);
+  EXPECT_EQ(CountOpCalls(mod.Lookup("main"), "unique"), 1);
+}
+
+TEST(FuseLSTM, RecognizesCanonicalCell) {
+  Module mod;
+  Var gates = MakeVar("g", TensorType({1, 32}));
+  Var c = MakeVar("c", TensorType({1, 8}));
+  Expr sp = op::Call1("split", gates, Attrs().Set("sections", 4).Set("axis", 1));
+  Expr i = op::Call1("sigmoid", MakeTupleGetItem(sp, 0));
+  Expr f = op::Call1("sigmoid", MakeTupleGetItem(sp, 1));
+  Expr g = op::Call1("tanh", MakeTupleGetItem(sp, 2));
+  Expr o = op::Call1("sigmoid", MakeTupleGetItem(sp, 3));
+  Expr c2 = op::Call2("add", op::Call2("multiply", f, c),
+                      op::Call2("multiply", i, g));
+  Expr h2 = op::Call2("multiply", o, op::Call1("tanh", c2));
+  mod.Add("main", MakeFunction({gates, c}, MakeTuple({h2, c2})));
+  int fused = pass::FuseLSTMCell(&mod);
+  EXPECT_EQ(fused, 1);
+  EXPECT_EQ(CountOpCalls(mod.Lookup("main"), "nn.lstm_cell"), 1);
+  EXPECT_EQ(CountOpCalls(mod.Lookup("main"), "split"), 0);
+}
+
+TEST(FuseLSTM, RejectsWrongGateOrder) {
+  Module mod;
+  Var gates = MakeVar("g", TensorType({1, 32}));
+  Var c = MakeVar("c", TensorType({1, 8}));
+  Expr sp = op::Call1("split", gates, Attrs().Set("sections", 4).Set("axis", 1));
+  // Swap the forget/input gate indices: pattern must not match.
+  Expr i = op::Call1("sigmoid", MakeTupleGetItem(sp, 1));
+  Expr f = op::Call1("sigmoid", MakeTupleGetItem(sp, 0));
+  Expr g = op::Call1("tanh", MakeTupleGetItem(sp, 2));
+  Expr o = op::Call1("sigmoid", MakeTupleGetItem(sp, 3));
+  Expr c2 = op::Call2("add", op::Call2("multiply", f, c),
+                      op::Call2("multiply", i, g));
+  Expr h2 = op::Call2("multiply", o, op::Call1("tanh", c2));
+  mod.Add("main", MakeFunction({gates, c}, MakeTuple({h2, c2})));
+  EXPECT_EQ(pass::FuseLSTMCell(&mod), 0);
+}
+
+// ---- ManifestAlloc -------------------------------------------------------------
+
+Module PreparedModule(Function fn) {
+  Module mod;
+  mod.Add("main", fn);
+  pass::InferTypes(&mod);
+  pass::ToANF(&mod);
+  pass::InferTypes(&mod);
+  return mod;
+}
+
+TEST(ManifestAlloc, StaticOpGetsStaticAlloc) {
+  Var x = MakeVar("x", TensorType({4, 4}));
+  Module mod = PreparedModule(MakeFunction({x}, op::Call1("sigmoid", x)));
+  pass::ManifestAlloc(&mod);
+  Function fn = mod.Lookup("main");
+  EXPECT_EQ(CountOpCalls(fn, "memory.alloc_storage"), 1);
+  EXPECT_EQ(CountOpCalls(fn, "memory.alloc_tensor"), 1);
+  EXPECT_EQ(CountOpCalls(fn, "memory.invoke_mut"), 1);
+  EXPECT_EQ(CountOpCalls(fn, "vm.shape_func"), 0)
+      << "static shapes need no runtime shape function";
+  EXPECT_EQ(CountOpCalls(fn, "sigmoid"), 0);
+}
+
+TEST(ManifestAlloc, DynamicOpGetsShapeFunction) {
+  Var x = MakeVar("x", TensorType({Dim::Any(), Dim::Static(4)}));
+  Var y = MakeVar("y", TensorType({Dim::Any(), Dim::Static(4)}));
+  Module mod = PreparedModule(MakeFunction({x, y}, op::Call2("add", x, y)));
+  pass::ManifestAlloc(&mod);
+  Function fn = mod.Lookup("main");
+  EXPECT_EQ(CountOpCalls(fn, "vm.shape_func"), 1);
+  EXPECT_EQ(CountOpCalls(fn, "vm.shape_of"), 2);
+  // shape-tensor alloc + output alloc
+  EXPECT_EQ(CountOpCalls(fn, "memory.alloc_storage"), 2);
+  EXPECT_EQ(CountOpCalls(fn, "memory.invoke_mut"), 1);
+}
+
+TEST(ManifestAlloc, MultiOutputOpAllocatesPerOutput) {
+  Var x = MakeVar("x", TensorType({2, 8}));
+  Module mod = PreparedModule(MakeFunction(
+      {x}, MakeTupleGetItem(
+               op::Call1("split", x, Attrs().Set("sections", 4).Set("axis", 1)),
+               0)));
+  pass::ManifestAlloc(&mod);
+  Function fn = mod.Lookup("main");
+  EXPECT_EQ(CountOpCalls(fn, "memory.alloc_tensor"), 4);
+}
+
+TEST(ManifestAlloc, ReshapeBecomesReshapeTensor) {
+  Var x = MakeVar("x", TensorType({4, 6}));
+  Module mod = PreparedModule(MakeFunction(
+      {x}, op::Call1("reshape", x,
+                     Attrs().Set("newshape", std::vector<int64_t>{3, 8}))));
+  pass::ManifestAlloc(&mod);
+  Function fn = mod.Lookup("main");
+  EXPECT_EQ(CountOpCalls(fn, "vm.reshape_tensor"), 1);
+  EXPECT_EQ(CountOpCalls(fn, "memory.invoke_mut"), 0)
+      << "reshape must not launch a kernel";
+}
+
+// ---- MemoryPlan ----------------------------------------------------------------
+
+TEST(MemoryPlan, CoalescesDeadStorages) {
+  // Chain of same-shape ops: intermediates die immediately, storage reused.
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{64}));
+  Expr e = x;
+  for (int i = 0; i < 6; ++i) e = op::Call1("sigmoid", e);
+  Module mod = PreparedModule(MakeFunction({x}, e));
+  pass::ManifestAlloc(&mod);
+  auto stats = pass::MemoryPlan(&mod);
+  EXPECT_EQ(stats.storage_allocs_before, 6);
+  EXPECT_LE(stats.storage_allocs_after, 3)
+      << "dead intermediates must share storage";
+  EXPECT_GT(stats.kills_inserted, 0);
+}
+
+TEST(MemoryPlan, EscapingTensorsAreNeverReused) {
+  // Both intermediates are returned in a tuple: no reuse is legal.
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{64}));
+  Expr a = op::Call1("sigmoid", x);
+  Expr b = op::Call1("tanh", x);
+  Module mod = PreparedModule(MakeFunction({x}, MakeTuple({a, b})));
+  pass::ManifestAlloc(&mod);
+  auto stats = pass::MemoryPlan(&mod);
+  EXPECT_EQ(stats.storage_allocs_after, stats.storage_allocs_before);
+}
+
+TEST(MemoryPlan, MismatchedSizesNotMerged) {
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{64}));
+  Var w = MakeVar("w", TensorType({1000, 64}));
+  // [1000] output cannot reuse a [64] storage.
+  Expr small = op::Call1("sigmoid", x);
+  Expr big = op::Call2("nn.dense",
+                       op::Call1("expand_dims", small, Attrs().Set("axis", 0)), w);
+  Module mod = PreparedModule(MakeFunction({x, w}, big));
+  pass::ManifestAlloc(&mod);
+  auto stats = pass::MemoryPlan(&mod);
+  EXPECT_EQ(stats.storage_allocs_after, stats.storage_allocs_before);
+}
+
+// ---- device placement ----------------------------------------------------------
+
+TEST(DevicePlace, ShapeMachineryPinnedToCPU) {
+  Var x = MakeVar("x", TensorType({Dim::Any(), Dim::Static(4)}));
+  Var y = MakeVar("y", TensorType({Dim::Any(), Dim::Static(4)}));
+  Module mod = PreparedModule(MakeFunction({x, y}, op::Call2("add", x, y)));
+  pass::ManifestAlloc(&mod);
+  auto stats = pass::DevicePlacement(&mod, runtime::Device::SimGPU());
+  EXPECT_GT(stats.nodes_on_cpu, 0) << "shape tensors belong to the CPU domain";
+  EXPECT_GT(stats.nodes_on_device, 0) << "kernel data belongs to the device";
+  EXPECT_EQ(stats.copies_inserted, 0)
+      << "data-independent shape functions read only shape tensors";
+}
+
+TEST(DevicePlace, DataDependentShapeFuncForcesCopy) {
+  // slice_rows' shape function reads tensor *values*, which live on the
+  // accelerator -> exactly one device_copy must be inserted per data input.
+  Var x = MakeVar("x", TensorType({4, 2}));
+  Var n = MakeVar("n", ScalarType(DataType::Int64()));
+  Expr sliced = op::Call2("slice_rows", op::Call1("sigmoid", x), n);
+  Module mod = PreparedModule(MakeFunction({x, n}, sliced));
+  pass::ManifestAlloc(&mod);
+  auto stats = pass::DevicePlacement(&mod, runtime::Device::SimGPU());
+  EXPECT_GE(stats.copies_inserted, 1);
+  EXPECT_GE(CountOpCalls(mod.Lookup("main"), "device_copy"), 1);
+}
+
+TEST(DevicePlace, CPUTargetNeedsNoCopies) {
+  Var x = MakeVar("x", TensorType({4, 2}));
+  Var n = MakeVar("n", ScalarType(DataType::Int64()));
+  Expr sliced = op::Call2("slice_rows", op::Call1("sigmoid", x), n);
+  Module mod = PreparedModule(MakeFunction({x, n}, sliced));
+  pass::ManifestAlloc(&mod);
+  auto stats = pass::DevicePlacement(&mod, runtime::Device::CPU());
+  EXPECT_EQ(stats.copies_inserted, 0);
+}
+
+TEST(DevicePlace, StampsStorageDeviceAttr) {
+  Var x = MakeVar("x", TensorType({4, 4}));
+  Module mod = PreparedModule(MakeFunction({x}, op::Call1("sigmoid", x)));
+  pass::ManifestAlloc(&mod);
+  pass::DevicePlacement(&mod, runtime::Device::SimGPU());
+  bool saw_device_storage = false;
+  PostOrderVisit(mod.Lookup("main"), [&](const Expr& e) {
+    if (!IsCallToOp(e, "memory.alloc_storage")) return;
+    auto dev = AsCall(e)->attrs.GetDevice("device", runtime::Device::CPU());
+    if (dev == runtime::Device::SimGPU()) saw_device_storage = true;
+  });
+  EXPECT_TRUE(saw_device_storage);
+}
+
+}  // namespace
+}  // namespace nimble

@@ -1,0 +1,194 @@
+// Unit tests for the tensor runtime: dtypes, devices, allocators, NDArray,
+// and the tagged object system.
+#include <gtest/gtest.h>
+
+#include "src/runtime/allocator.h"
+#include "src/runtime/ndarray.h"
+#include "src/runtime/object.h"
+#include "src/support/rng.h"
+
+namespace nimble {
+namespace {
+
+using namespace runtime;  // NOLINT
+
+TEST(DataTypeTest, SizesAndNames) {
+  EXPECT_EQ(DataType::Float32().bytes(), 4u);
+  EXPECT_EQ(DataType::Float64().bytes(), 8u);
+  EXPECT_EQ(DataType::Int64().bytes(), 8u);
+  EXPECT_EQ(DataType::Bool().bytes(), 1u);
+  EXPECT_EQ(DataType::Float32().ToString(), "float32");
+  EXPECT_EQ(DataType::FromString("int64"), DataType::Int64());
+  EXPECT_THROW(DataType::FromString("float16"), Error);
+}
+
+TEST(DataTypeTest, Predicates) {
+  EXPECT_TRUE(DataType::Float32().is_float());
+  EXPECT_FALSE(DataType::Float32().is_int());
+  EXPECT_TRUE(DataType::Int32().is_int());
+}
+
+TEST(DeviceTest, EqualityAndNames) {
+  EXPECT_EQ(Device::CPU(), Device::CPU());
+  EXPECT_NE(Device::CPU(), Device::SimGPU());
+  EXPECT_NE(Device::SimGPU(0), Device::SimGPU(1));
+  EXPECT_EQ(Device::SimGPU().ToString(), "simgpu(0)");
+  EXPECT_TRUE(Device::CPU().is_cpu());
+  EXPECT_FALSE(Device::SimGPU().is_cpu());
+}
+
+TEST(NDArrayTest, EmptyAndFill) {
+  NDArray a = NDArray::Empty({2, 3}, DataType::Float32());
+  EXPECT_EQ(a.num_elements(), 6);
+  EXPECT_EQ(a.nbytes(), 24u);
+  a.Fill(1.5);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(a.data<float>()[i], 1.5f);
+}
+
+TEST(NDArrayTest, FromVectorAndAt) {
+  NDArray a = NDArray::FromVector<float>({1, 2, 3, 4}, {2, 2});
+  EXPECT_FLOAT_EQ(a.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(a.at(1, 1), 4.0f);
+}
+
+TEST(NDArrayTest, ScalarRoundtrip) {
+  NDArray s = NDArray::Scalar<int64_t>(42);
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.num_elements(), 1);
+  EXPECT_EQ(s.data<int64_t>()[0], 42);
+}
+
+TEST(NDArrayTest, ReshapePreservesData) {
+  NDArray a = NDArray::FromVector<float>({1, 2, 3, 4, 5, 6}, {2, 3});
+  NDArray b = a.Reshape({3, 2});
+  EXPECT_EQ(b.shape(), (ShapeVec{3, 2}));
+  EXPECT_EQ(b.raw_data(), a.raw_data()) << "reshape must be zero-copy";
+  EXPECT_THROW(a.Reshape({4, 2}), Error);
+}
+
+TEST(NDArrayTest, DTypeMismatchThrows) {
+  NDArray a = NDArray::Empty({2}, DataType::Float32());
+  EXPECT_THROW(a.data<int64_t>(), Error);
+}
+
+TEST(NDArrayTest, CopyToCountsCrossDeviceTransfers) {
+  NDArray a = NDArray::FromVector<float>({1, 2}, {2});
+  int64_t before = DeviceCopyConfig::copies_performed();
+  NDArray same = a.CopyTo(Device::CPU());
+  EXPECT_EQ(DeviceCopyConfig::copies_performed(), before);
+  NDArray other = a.CopyTo(Device::SimGPU());
+  EXPECT_EQ(DeviceCopyConfig::copies_performed(), before + 1);
+  EXPECT_EQ(other.device(), Device::SimGPU());
+  EXPECT_FLOAT_EQ(other.data<float>()[1], 2.0f);
+}
+
+TEST(NDArrayTest, ViewIntoSharedStorage) {
+  auto storage = GlobalNaiveAllocator()->Alloc(64, 64, Device::CPU());
+  NDArray a = NDArray::FromStorage(storage, 0, {4}, DataType::Float32());
+  NDArray b = NDArray::FromStorage(storage, 16, {4}, DataType::Float32());
+  a.Fill(1.0);
+  b.Fill(2.0);
+  EXPECT_FLOAT_EQ(a.data<float>()[3], 1.0f);
+  EXPECT_FLOAT_EQ(b.data<float>()[0], 2.0f);
+  EXPECT_THROW(NDArray::FromStorage(storage, 56, {4}, DataType::Float32()),
+               Error);
+}
+
+TEST(NDArrayTest, ShapeTensorRoundtrip) {
+  ShapeVec shape{3, 1, 7};
+  NDArray t = ShapeTensor(shape);
+  EXPECT_EQ(t.dtype(), DataType::Int64());
+  EXPECT_EQ(ShapeFromTensor(t), shape);
+  EXPECT_TRUE(ShapeFromTensor(ShapeTensor({})).empty());
+}
+
+TEST(AllocatorTest, NaiveCountsCalls) {
+  NaiveAllocator alloc;
+  auto a = alloc.Alloc(100, 64, Device::CPU());
+  auto b = alloc.Alloc(200, 64, Device::CPU());
+  EXPECT_EQ(alloc.stats().alloc_calls, 2);
+  EXPECT_EQ(alloc.stats().system_allocs, 2);
+  EXPECT_GT(alloc.stats().live_bytes, 0);
+  a.reset();
+  b.reset();
+  EXPECT_EQ(alloc.stats().live_bytes, 0);
+}
+
+TEST(AllocatorTest, PoolingRecyclesBlocks) {
+  PoolingAllocator pool;
+  void* first_ptr;
+  {
+    auto a = pool.Alloc(1000, 64, Device::CPU());
+    first_ptr = a->data;
+  }  // returned to pool
+  EXPECT_GT(pool.cached_bytes(), 0u);
+  auto b = pool.Alloc(1000, 64, Device::CPU());
+  EXPECT_EQ(b->data, first_ptr) << "same bucket must be recycled";
+  EXPECT_EQ(pool.stats().system_allocs, 1) << "second alloc hits the pool";
+}
+
+TEST(AllocatorTest, PoolingSeparatesDevices) {
+  PoolingAllocator pool;
+  { auto a = pool.Alloc(512, 64, Device::CPU()); }
+  auto b = pool.Alloc(512, 64, Device::SimGPU());
+  EXPECT_EQ(pool.stats().system_allocs, 2)
+      << "different devices must not share buckets";
+}
+
+TEST(AllocatorTest, PoolingTrimReleases) {
+  PoolingAllocator pool;
+  { auto a = pool.Alloc(4096, 64, Device::CPU()); }
+  EXPECT_GT(pool.cached_bytes(), 0u);
+  pool.Trim();
+  EXPECT_EQ(pool.cached_bytes(), 0u);
+}
+
+TEST(AllocatorTest, PeakTracksHighWater) {
+  NaiveAllocator alloc;
+  auto a = alloc.Alloc(1 << 10, 64, Device::CPU());
+  int64_t peak1 = alloc.stats().peak_bytes;
+  a.reset();
+  auto b = alloc.Alloc(1 << 8, 64, Device::CPU());
+  EXPECT_EQ(alloc.stats().peak_bytes, peak1) << "peak must not decrease";
+}
+
+TEST(ObjectTest, TensorObject) {
+  auto obj = MakeTensor(NDArray::Scalar<float>(3.0f));
+  EXPECT_EQ(obj->tag(), ObjectTag::kTensor);
+  EXPECT_FLOAT_EQ(AsTensor(obj).data<float>()[0], 3.0f);
+  EXPECT_THROW(AsADT(obj), Error);
+}
+
+TEST(ObjectTest, TupleAndADT) {
+  auto t = MakeTuple({MakeTensor(NDArray::Scalar<float>(1.0f)),
+                      MakeTensor(NDArray::Scalar<float>(2.0f))});
+  EXPECT_EQ(AsADT(t)->ctor_tag, ADTObj::kTupleTag);
+  EXPECT_EQ(AsADT(t)->fields.size(), 2u);
+  auto node = MakeADT(1, {t});
+  EXPECT_EQ(AsADT(node)->ctor_tag, 1u);
+  EXPECT_THROW(AsTensor(node), Error);
+}
+
+TEST(ObjectTest, ClosureHoldsCaptures) {
+  auto captured = MakeTensor(NDArray::Scalar<float>(7.0f));
+  auto c = MakeClosure(3, {captured});
+  EXPECT_EQ(AsClosure(c)->func_index, 3);
+  EXPECT_EQ(AsClosure(c)->captured.size(), 1u);
+}
+
+TEST(ObjectTest, ToStringRendersNested) {
+  auto t = MakeADT(2, {MakeTensor(NDArray::Scalar<float>(1.0f))});
+  std::string s = ObjectToString(t);
+  EXPECT_NE(s.find("ctor#2"), std::string::npos);
+}
+
+TEST(ObjectTest, ReferenceSemantics) {
+  NDArray arr = NDArray::FromVector<float>({1, 2}, {2});
+  auto a = MakeTensor(arr);
+  auto b = a;  // Move-style register copy: shares the payload.
+  AsTensor(b).data<float>()[0] = 9.0f;
+  EXPECT_FLOAT_EQ(AsTensor(a).data<float>()[0], 9.0f);
+}
+
+}  // namespace
+}  // namespace nimble

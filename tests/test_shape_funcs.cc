@@ -1,0 +1,156 @@
+// Runtime shape functions (§4.2): all three modes, exercised directly
+// through the op registry the way the VM's shape-function packed calls do.
+#include <gtest/gtest.h>
+
+#include "src/op/registry.h"
+#include "src/runtime/ndarray.h"
+
+namespace nimble {
+namespace {
+
+using op::OpRegistry;
+using op::ShapeFuncMode;
+using runtime::DataType;
+using runtime::NDArray;
+using runtime::ShapeVec;
+
+std::vector<ShapeVec> RunShapeFn(const std::string& op,
+                                 const std::vector<ShapeVec>& in_shapes,
+                                 const std::vector<NDArray>& in_data = {},
+                                 const ir::Attrs& attrs = {}) {
+  op::EnsureOpsRegistered();
+  const auto& info = OpRegistry::Global()->Get(op);
+  return info.shape_fn(in_shapes, in_data, attrs);
+}
+
+// ---- data-independent mode ---------------------------------------------------
+
+TEST(ShapeFunc, BroadcastFollowsNumpyRules) {
+  EXPECT_EQ(RunShapeFn("add", {{2, 3}, {3}})[0], (ShapeVec{2, 3}));
+  EXPECT_EQ(RunShapeFn("add", {{4, 1}, {1, 5}})[0], (ShapeVec{4, 5}));
+  EXPECT_EQ(RunShapeFn("add", {{}, {7}})[0], (ShapeVec{7}));
+  EXPECT_THROW(RunShapeFn("add", {{3}, {4}}), Error);
+}
+
+TEST(ShapeFunc, DenseAndBatchMatmul) {
+  EXPECT_EQ(RunShapeFn("nn.dense", {{9, 16}, {32, 16}})[0], (ShapeVec{9, 32}));
+  EXPECT_EQ(RunShapeFn("nn.batch_matmul", {{2, 9, 16}, {2, 5, 16}})[0],
+            (ShapeVec{2, 9, 5}));
+}
+
+TEST(ShapeFunc, ConcatSumsAxis) {
+  ir::Attrs attrs;
+  attrs.Set("axis", 1);
+  EXPECT_EQ(RunShapeFn("concat", {{2, 3}, {2, 5}}, {}, attrs)[0],
+            (ShapeVec{2, 8}));
+}
+
+TEST(ShapeFunc, SplitDividesEvenly) {
+  ir::Attrs attrs;
+  attrs.Set("sections", int64_t{4}).Set("axis", 1);
+  auto out = RunShapeFn("split", {{1, 8}}, {}, attrs);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], (ShapeVec{1, 2}));
+  ir::Attrs bad;
+  bad.Set("sections", int64_t{3}).Set("axis", 1);
+  EXPECT_THROW(RunShapeFn("split", {{1, 8}}, {}, bad), Error);
+}
+
+TEST(ShapeFunc, LSTMCellEmitsTwoStates) {
+  auto out = RunShapeFn("nn.lstm_cell", {{1, 32}, {1, 8}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (ShapeVec{1, 8}));
+  EXPECT_EQ(out[1], (ShapeVec{1, 8}));
+}
+
+TEST(ShapeFunc, ReshapeRuntimeInference) {
+  ir::Attrs attrs;
+  attrs.Set("newshape", std::vector<int64_t>{0, -1});
+  EXPECT_EQ(RunShapeFn("reshape", {{5, 4, 3}}, {}, attrs)[0], (ShapeVec{5, 12}));
+  ir::Attrs bad;
+  bad.Set("newshape", std::vector<int64_t>{7});
+  EXPECT_THROW(RunShapeFn("reshape", {{5, 4}}, {}, bad), Error);
+}
+
+TEST(ShapeFunc, SumKeepdimsVariants) {
+  ir::Attrs keep;
+  keep.Set("axis", int64_t{1}).Set("keepdims", int64_t{1});
+  EXPECT_EQ(RunShapeFn("sum", {{2, 5}}, {}, keep)[0], (ShapeVec{2, 1}));
+  ir::Attrs drop;
+  drop.Set("axis", int64_t{1}).Set("keepdims", int64_t{0});
+  EXPECT_EQ(RunShapeFn("sum", {{2, 5}}, {}, drop)[0], (ShapeVec{2}));
+}
+
+// ---- data-dependent mode -----------------------------------------------------
+
+TEST(ShapeFunc, ArangeComputesLengthFromValues) {
+  auto mk = [](int64_t v) { return NDArray::Scalar<int64_t>(v); };
+  EXPECT_EQ(RunShapeFn("arange", {{}, {}, {}}, {mk(0), mk(10), mk(1)})[0],
+            (ShapeVec{10}));
+  EXPECT_EQ(RunShapeFn("arange", {{}, {}, {}}, {mk(0), mk(10), mk(3)})[0],
+            (ShapeVec{4}));
+  EXPECT_EQ(RunShapeFn("arange", {{}, {}, {}}, {mk(10), mk(0), mk(-2)})[0],
+            (ShapeVec{5}));
+  // Empty range clamps to zero.
+  EXPECT_EQ(RunShapeFn("arange", {{}, {}, {}}, {mk(5), mk(5), mk(1)})[0],
+            (ShapeVec{0}));
+  EXPECT_THROW(RunShapeFn("arange", {{}, {}, {}}, {mk(0), mk(1), mk(0)}), Error);
+}
+
+TEST(ShapeFunc, UniqueCountsDistinctValues) {
+  NDArray x = NDArray::FromVector<int64_t>({3, 1, 3, 3, 2}, {5});
+  EXPECT_EQ(RunShapeFn("unique", {{5}}, {x})[0], (ShapeVec{3}));
+}
+
+TEST(ShapeFunc, SliceRowsReadsCount) {
+  NDArray data = NDArray::Empty({6, 4}, DataType::Float32());
+  NDArray count = NDArray::Scalar<int64_t>(2);
+  EXPECT_EQ(RunShapeFn("slice_rows", {{6, 4}, {}}, {data, count})[0],
+            (ShapeVec{2, 4}));
+  NDArray too_many = NDArray::Scalar<int64_t>(9);
+  EXPECT_THROW(RunShapeFn("slice_rows", {{6, 4}, {}}, {data, too_many}), Error);
+}
+
+TEST(ShapeFunc, DataDependentFnsRequireData) {
+  EXPECT_THROW(RunShapeFn("arange", {{}, {}, {}}, {}), Error);
+}
+
+// ---- upper-bound mode ----------------------------------------------------------
+
+TEST(ShapeFunc, NMSReturnsUpperBound) {
+  auto out = RunShapeFn("nn.nms", {{17, 5}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (ShapeVec{17, 5})) << "upper bound is the input size";
+  EXPECT_TRUE(out[1].empty()) << "second output is the scalar true count";
+}
+
+// ---- registry metadata ----------------------------------------------------------
+
+TEST(ShapeFunc, ModesAreDeclaredCorrectly) {
+  op::EnsureOpsRegistered();
+  auto mode = [](const char* name) {
+    return OpRegistry::Global()->Get(name).shape_mode;
+  };
+  EXPECT_EQ(mode("add"), ShapeFuncMode::kDataIndependent);
+  EXPECT_EQ(mode("nn.dense"), ShapeFuncMode::kDataIndependent);
+  EXPECT_EQ(mode("arange"), ShapeFuncMode::kDataDependent);
+  EXPECT_EQ(mode("unique"), ShapeFuncMode::kDataDependent);
+  EXPECT_EQ(mode("slice_rows"), ShapeFuncMode::kDataDependent);
+  EXPECT_EQ(mode("nn.nms"), ShapeFuncMode::kUpperBound);
+}
+
+TEST(ShapeFunc, EveryDataIndependentOpHasAShapeFn) {
+  op::EnsureOpsRegistered();
+  for (const auto& name : OpRegistry::Global()->ListNames()) {
+    const auto& info = OpRegistry::Global()->Get(name);
+    // Dialect ops are lowered to instructions and need no shape function.
+    if (name.rfind("memory.", 0) == 0 || name.rfind("vm.", 0) == 0) continue;
+    EXPECT_TRUE(info.shape_fn != nullptr)
+        << "operator '" << name << "' is missing its shape function";
+    EXPECT_TRUE(info.type_rel != nullptr)
+        << "operator '" << name << "' is missing its type relation";
+  }
+}
+
+}  // namespace
+}  // namespace nimble

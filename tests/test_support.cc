@@ -1,0 +1,118 @@
+// Unit tests for nimble::support (checks, union-find, rng).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+#include "src/support/union_find.h"
+
+namespace nimble {
+namespace {
+
+TEST(Logging, CheckThrowsOnFailure) {
+  EXPECT_THROW(NIMBLE_CHECK(false) << "boom", Error);
+  EXPECT_NO_THROW(NIMBLE_CHECK(true) << "fine");
+}
+
+TEST(Logging, CheckMessageIncludesDetail) {
+  try {
+    NIMBLE_CHECK_EQ(1, 2) << "context";
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 vs 2"), std::string::npos);
+  }
+}
+
+TEST(Logging, ComparisonMacros) {
+  EXPECT_NO_THROW(NIMBLE_CHECK_LT(1, 2));
+  EXPECT_THROW(NIMBLE_CHECK_LT(2, 1), Error);
+  EXPECT_NO_THROW(NIMBLE_CHECK_GE(2, 2));
+  EXPECT_THROW(NIMBLE_CHECK_GT(2, 2), Error);
+  EXPECT_NO_THROW(NIMBLE_CHECK_NE(1, 2));
+}
+
+TEST(UnionFind, SingletonsAreDistinct) {
+  support::UnionFind uf(4);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(2, 3));
+  EXPECT_TRUE(uf.Connected(1, 1));
+}
+
+TEST(UnionFind, UnionConnects) {
+  support::UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 3));
+}
+
+TEST(UnionFind, MakeExtends) {
+  support::UnionFind uf(2);
+  size_t id = uf.Make();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(uf.size(), 3u);
+  uf.Union(0, id);
+  EXPECT_TRUE(uf.Connected(0, id));
+}
+
+TEST(UnionFind, TransitiveChains) {
+  support::UnionFind uf(64);
+  for (size_t i = 0; i + 1 < 64; ++i) uf.Union(i, i + 1);
+  EXPECT_TRUE(uf.Connected(0, 63));
+}
+
+TEST(UnionFind, FindOutOfRangeThrows) {
+  support::UnionFind uf(2);
+  EXPECT_THROW(uf.Find(5), Error);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  support::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  support::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  support::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  support::Rng rng(8);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(0, 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all values in [0,4] should appear";
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  support::Rng rng(9);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace nimble

@@ -1,0 +1,292 @@
+// Tests for the dynamic type system (§4.1): the broadcast Any rules,
+// operator type relations, symbolic dim propagation, sub-shaping at
+// control-flow joins, and gradual-typing behaviour.
+#include <gtest/gtest.h>
+
+#include "src/ir/module.h"
+#include "src/op/registry.h"
+#include "src/pass/type_infer.h"
+
+namespace nimble {
+namespace {
+
+using namespace ir;  // NOLINT
+using pass::InferExprType;
+using pass::InferTypes;
+using pass::JoinTypes;
+
+Expr V(const char* name, Type t) { return MakeVar(name, std::move(t)); }
+
+// ---- the paper's broadcast rules, as a parameterized sweep -----------------
+
+struct BroadcastCase {
+  Dim lhs, rhs;
+  Dim expected;
+  bool error = false;
+};
+
+class BroadcastRelTest : public ::testing::TestWithParam<BroadcastCase> {};
+
+TEST_P(BroadcastRelTest, PropagatesPerPaperRules) {
+  const BroadcastCase& c = GetParam();
+  Expr call = op::Call2("add", V("a", TensorType(Shape{c.lhs})),
+                        V("b", TensorType(Shape{c.rhs})));
+  if (c.error) {
+    EXPECT_THROW(InferExprType(call), Error);
+    return;
+  }
+  Type t = InferExprType(call);
+  const Dim& out = AsTensorType(t)->shape[0];
+  EXPECT_EQ(out.kind(), c.expected.kind());
+  if (c.expected.is_static()) EXPECT_EQ(out.value(), c.expected.value());
+  if (c.expected.is_sym()) EXPECT_EQ(out.sym_id(), c.expected.sym_id());
+}
+
+Dim sym = Dim::Sym(991, "L");
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRules, BroadcastRelTest,
+    ::testing::Values(
+        // static x static
+        BroadcastCase{Dim::Static(4), Dim::Static(4), Dim::Static(4)},
+        BroadcastCase{Dim::Static(1), Dim::Static(4), Dim::Static(4)},
+        BroadcastCase{Dim::Static(4), Dim::Static(1), Dim::Static(4)},
+        BroadcastCase{Dim::Static(3), Dim::Static(4), Dim{}, true},
+        // broadcast_rel(Any, 1) -> Any
+        BroadcastCase{Dim::Any(), Dim::Static(1), Dim::Any()},
+        // broadcast_rel(Any, d) -> d for d > 1 (checked at runtime)
+        BroadcastCase{Dim::Any(), Dim::Static(5), Dim::Static(5)},
+        BroadcastCase{Dim::Static(5), Dim::Any(), Dim::Static(5)},
+        // broadcast_rel(Any, Any) -> Any
+        BroadcastCase{Dim::Any(), Dim::Any(), Dim::Any()},
+        // identical symbolic dims broadcast to themselves
+        BroadcastCase{sym, sym, sym},
+        // distinct unknowns -> Any
+        BroadcastCase{sym, Dim::Any(), Dim::Any()},
+        BroadcastCase{sym, Dim::Sym(992), Dim::Any()}));
+
+TEST(BroadcastRel, RankExtension) {
+  Type t = InferExprType(op::Call2("add", V("a", TensorType({2, 3})),
+                                   V("b", TensorType(std::vector<int64_t>{3}))));
+  EXPECT_EQ(TypeToString(t), "Tensor[(2, 3), float32]");
+}
+
+TEST(BroadcastRel, DTypeMismatchIsError) {
+  EXPECT_THROW(
+      InferExprType(op::Call2("add", V("a", TensorType(std::vector<int64_t>{2})),
+                              V("b", TensorType(std::vector<int64_t>{2}, DataType::Int64())))),
+      Error);
+}
+
+TEST(CompareRel, ProducesBool) {
+  Type t = InferExprType(op::Call2("less", V("a", ScalarType(DataType::Int64())),
+                                   V("b", ScalarType(DataType::Int64()))));
+  EXPECT_EQ(AsTensorType(t)->dtype, DataType::Bool());
+}
+
+// ---- individual operator relations ------------------------------------------
+
+TEST(OpRels, DensePropagatesSymbolicRows) {
+  Dim L = Dim::FreshSym("L");
+  Type t = InferExprType(op::Call2("nn.dense",
+                                   V("x", TensorType({L, Dim::Static(8)})),
+                                   V("w", TensorType({16, 8}))));
+  const auto* tt = AsTensorType(t);
+  EXPECT_TRUE(tt->shape[0].is_sym());
+  EXPECT_EQ(tt->shape[0].sym_id(), L.sym_id());
+  EXPECT_EQ(tt->shape[1].value(), 16);
+}
+
+TEST(OpRels, DenseContractionMismatchIsError) {
+  EXPECT_THROW(InferExprType(op::Call2("nn.dense", V("x", TensorType({2, 8})),
+                                       V("w", TensorType({16, 9})))),
+               Error);
+}
+
+TEST(OpRels, ConcatSumsStaticAxis) {
+  Type t = InferExprType(op::Call2("concat", V("a", TensorType({2, 3})),
+                                   V("b", TensorType({4, 3})),
+                                   Attrs().Set("axis", 0)));
+  EXPECT_EQ(TypeToString(t), "Tensor[(6, 3), float32]");
+}
+
+TEST(OpRels, ConcatWithAnyBecomesAny) {
+  Type t = InferExprType(
+      op::Call2("concat", V("a", TensorType({Dim::Any(), Dim::Static(3)})),
+                V("b", TensorType({4, 3})), Attrs().Set("axis", 0)));
+  EXPECT_TRUE(AsTensorType(t)->shape[0].is_any());
+  EXPECT_EQ(AsTensorType(t)->shape[1].value(), 3);
+}
+
+TEST(OpRels, SplitProducesTuple) {
+  Type t = InferExprType(op::Call1("split", V("x", TensorType({1, 8})),
+                                   Attrs().Set("sections", 4).Set("axis", 1)));
+  const auto* tt = AsTupleType(t);
+  ASSERT_EQ(tt->fields.size(), 4u);
+  EXPECT_EQ(TypeToString(tt->fields[0]), "Tensor[(1, 2), float32]");
+  EXPECT_THROW(
+      InferExprType(op::Call1("split", V("x", TensorType({1, 9})),
+                              Attrs().Set("sections", 4).Set("axis", 1))),
+      Error);
+}
+
+TEST(OpRels, TakeComposesIndexAndDataShapes) {
+  Type t = InferExprType(
+      op::Call2("take", V("table", TensorType({100, 16})),
+                V("ids", TensorType({Dim::FreshSym("L")}, DataType::Int64()))));
+  const auto* tt = AsTensorType(t);
+  EXPECT_TRUE(tt->shape[0].is_sym());
+  EXPECT_EQ(tt->shape[1].value(), 16);
+}
+
+TEST(OpRels, ArangeIsDataDependentAny) {
+  Expr s = V("s", ScalarType(DataType::Int64()));
+  Type t = InferExprType(op::Call3("arange", s, s, s));
+  EXPECT_TRUE(AsTensorType(t)->shape[0].is_any());
+  const auto& info = op::OpRegistry::Global()->Get("arange");
+  EXPECT_EQ(info.shape_mode, op::ShapeFuncMode::kDataDependent);
+}
+
+TEST(OpRels, NMSIsUpperBound) {
+  Type t = InferExprType(op::Call1("nn.nms", V("boxes", TensorType({10, 5}))));
+  const auto* tt = AsTupleType(t);
+  ASSERT_EQ(tt->fields.size(), 2u);
+  EXPECT_EQ(op::OpRegistry::Global()->Get("nn.nms").shape_mode,
+            op::ShapeFuncMode::kUpperBound);
+}
+
+TEST(OpRels, ReshapeInfersMinusOne) {
+  Type t = InferExprType(
+      op::Call1("reshape", V("x", TensorType({4, 6})),
+                Attrs().Set("newshape", std::vector<int64_t>{3, -1})));
+  EXPECT_EQ(TypeToString(t), "Tensor[(3, 8), float32]");
+}
+
+TEST(OpRels, ReshapeZeroCopiesDynamicDim) {
+  Dim L = Dim::FreshSym("L");
+  Type t = InferExprType(
+      op::Call1("reshape", V("x", TensorType({L, Dim::Static(6)})),
+                Attrs().Set("newshape", std::vector<int64_t>{0, 2, 3})));
+  const auto* tt = AsTensorType(t);
+  EXPECT_TRUE(tt->shape[0].is_sym());
+  EXPECT_EQ(tt->shape[1].value(), 2);
+}
+
+TEST(OpRels, TransposePermutes) {
+  Dim L = Dim::FreshSym("L");
+  Type t = InferExprType(
+      op::Call1("transpose", V("x", TensorType({L, Dim::Static(4), Dim::Static(8)})),
+                Attrs().Set("axes", std::vector<int64_t>{1, 0, 2})));
+  const auto* tt = AsTensorType(t);
+  EXPECT_EQ(tt->shape[0].value(), 4);
+  EXPECT_TRUE(tt->shape[1].is_sym());
+}
+
+TEST(OpRels, LSTMCellChecksGateWidth) {
+  Type ok = InferExprType(op::Call2("nn.lstm_cell", V("g", TensorType({1, 32})),
+                                    V("c", TensorType({1, 8}))));
+  EXPECT_EQ(AsTupleType(ok)->fields.size(), 2u);
+  EXPECT_THROW(InferExprType(op::Call2("nn.lstm_cell",
+                                       V("g", TensorType({1, 30})),
+                                       V("c", TensorType({1, 8})))),
+               Error);
+}
+
+// ---- joins and whole-program inference --------------------------------------
+
+TEST(Joins, AgreeingDimsStay) {
+  Type t = JoinTypes(TensorType({3, 4}), TensorType({3, 4}));
+  EXPECT_EQ(TypeToString(t), "Tensor[(3, 4), float32]");
+}
+
+TEST(Joins, DisagreeingDimsWidenToAny) {
+  Type t = JoinTypes(TensorType({3, 4}), TensorType({5, 4}));
+  const auto* tt = AsTensorType(t);
+  EXPECT_TRUE(tt->shape[0].is_any());
+  EXPECT_EQ(tt->shape[1].value(), 4);
+}
+
+TEST(Joins, RankOrDtypeMismatchIsError) {
+  EXPECT_THROW(JoinTypes(TensorType(std::vector<int64_t>{3}), TensorType({3, 1})), Error);
+  EXPECT_THROW(
+      JoinTypes(TensorType(std::vector<int64_t>{3}), TensorType(std::vector<int64_t>{3}, DataType::Int64())), Error);
+}
+
+TEST(InferModule, IfWidensBranches) {
+  // if (c) then Tensor[(2,)] else Tensor[(3,)]  =>  Tensor[(?,)]
+  Module mod;
+  Var c = MakeVar("c", ScalarType(DataType::Bool()));
+  Var a = MakeVar("a", TensorType(std::vector<int64_t>{2}));
+  Var b = MakeVar("b", TensorType(std::vector<int64_t>{3}));
+  mod.Add("main", MakeFunction({c, a, b}, MakeIf(c, a, b)));
+  InferTypes(&mod);
+  Type ret = AsFuncType(mod.Lookup("main")->checked_type)->ret;
+  EXPECT_TRUE(AsTensorType(ret)->shape[0].is_any());
+}
+
+TEST(InferModule, RecursionRequiresAnnotation) {
+  Module mod;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  GlobalVar self = MakeGlobalVar("f");
+  // f(x) = f(x) with no declared return type: must be rejected.
+  mod.Add("f", MakeFunction({x}, MakeCall(self, {x})));
+  EXPECT_THROW(InferTypes(&mod), Error);
+}
+
+TEST(InferModule, AnnotatedRecursionTypes) {
+  Module mod;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  Var c = MakeVar("c", ScalarType(DataType::Bool()));
+  GlobalVar self = MakeGlobalVar("f");
+  mod.Add("f", MakeFunction({c, x}, MakeIf(c, MakeCall(self, {c, x}), x),
+                            TensorType(std::vector<int64_t>{2})));
+  InferTypes(&mod);
+  EXPECT_EQ(TypeToString(AsFuncType(mod.Lookup("f")->checked_type)->ret),
+            "Tensor[(2), float32]");
+}
+
+TEST(InferModule, ArityMismatchIsError) {
+  Module mod;
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  mod.Add("id", MakeFunction({x}, x));
+  Var y = MakeVar("y", TensorType(std::vector<int64_t>{2}));
+  mod.Add("main", MakeFunction(
+                      {y}, MakeCall(MakeGlobalVar("id"), {y, y})));
+  EXPECT_THROW(InferTypes(&mod), Error);
+}
+
+TEST(InferModule, SubShapingAcceptsSpecificArgument) {
+  // A function expecting Tensor[(?,)] may be called with Tensor[(3,)].
+  Module mod;
+  Var p = MakeVar("p", TensorType({Dim::Any()}));
+  mod.Add("id", MakeFunction({p}, p));
+  Var y = MakeVar("y", TensorType(std::vector<int64_t>{3}));
+  mod.Add("main", MakeFunction({y}, MakeCall(MakeGlobalVar("id"), {y})));
+  EXPECT_NO_THROW(InferTypes(&mod));
+}
+
+TEST(InferModule, MatchBindsConstructorFields) {
+  Module mod;
+  const TypeData& data = mod.DefineADT(
+      "Opt", {{"NoneV", {}}, {"SomeV", {TensorType(std::vector<int64_t>{2})}}});
+  Var s = MakeVar("s", ADTType("Opt"));
+  Var bound = MakeVar("v");
+  Var fallback = MakeVar("fb", TensorType(std::vector<int64_t>{2}));
+  Expr m = MakeMatch(s, {MatchClause{data.constructors[1], {bound}, bound},
+                         MatchClause{data.constructors[0], {}, fallback}});
+  mod.Add("main", MakeFunction({s, fallback}, m));
+  InferTypes(&mod);
+  EXPECT_EQ(TypeToString(AsFuncType(mod.Lookup("main")->checked_type)->ret),
+            "Tensor[(2), float32]");
+}
+
+TEST(InferModule, IfConditionMustBeBoolScalar) {
+  Module mod;
+  Var c = MakeVar("c", TensorType(std::vector<int64_t>{2}, DataType::Bool()));
+  Var a = MakeVar("a", TensorType(std::vector<int64_t>{1}));
+  mod.Add("main", MakeFunction({c, a}, MakeIf(c, a, a)));
+  EXPECT_THROW(InferTypes(&mod), Error);
+}
+
+}  // namespace
+}  // namespace nimble

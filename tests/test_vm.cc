@@ -1,0 +1,295 @@
+// VM tests: individual instructions, control flow, closures, ADTs,
+// serialization round-trips, and the profiler.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/compiler.h"
+#include "src/ir/module.h"
+#include "src/op/registry.h"
+#include "src/vm/compiler.h"
+#include "src/vm/vm.h"
+
+namespace nimble {
+namespace {
+
+using namespace ir;  // NOLINT
+using runtime::AsTensor;
+using runtime::MakeTensor;
+using runtime::NDArray;
+
+/// Compiles a single-function module through the full pipeline.
+std::shared_ptr<vm::Executable> CompileMain(Function fn,
+                                            Module* mod_out = nullptr) {
+  Module mod;
+  mod.Add("main", std::move(fn));
+  auto result = core::Compile(mod);
+  if (mod_out != nullptr) *mod_out = mod;
+  return result.executable;
+}
+
+float RunScalar(vm::VirtualMachine& machine,
+                std::vector<runtime::ObjectRef> args) {
+  auto out = machine.Invoke("main", std::move(args));
+  return AsTensor(out).data<float>()[0];
+}
+
+TEST(VM, ExecutesStraightLineArithmetic) {
+  Var x = MakeVar("x", ScalarType(DataType::Float32()));
+  auto exec = CompileMain(MakeFunction(
+      {x}, op::Call2("multiply", op::Call2("add", x, FloatConst(1.0f)),
+                     FloatConst(3.0f))));
+  vm::VirtualMachine machine(exec);
+  EXPECT_FLOAT_EQ(RunScalar(machine, {MakeTensor(NDArray::Scalar<float>(2.0f))}),
+                  9.0f);
+}
+
+TEST(VM, IfTakesBothBranches) {
+  Var c = MakeVar("c", ScalarType(DataType::Bool()));
+  Var a = MakeVar("a", ScalarType(DataType::Float32()));
+  auto exec = CompileMain(MakeFunction(
+      {c, a}, MakeIf(c, op::Call2("add", a, FloatConst(10.0f)),
+                     op::Call2("subtract", a, FloatConst(10.0f)))));
+  vm::VirtualMachine machine(exec);
+  auto mk_bool = [](bool v) {
+    NDArray b = NDArray::Empty({}, DataType::Bool());
+    *static_cast<uint8_t*>(b.raw_data()) = v;
+    return MakeTensor(b);
+  };
+  EXPECT_FLOAT_EQ(
+      RunScalar(machine, {mk_bool(true), MakeTensor(NDArray::Scalar<float>(1.0f))}),
+      11.0f);
+  EXPECT_FLOAT_EQ(
+      RunScalar(machine, {mk_bool(false), MakeTensor(NDArray::Scalar<float>(1.0f))}),
+      -9.0f);
+}
+
+TEST(VM, RecursiveLoopAccumulates) {
+  // sum(i..n) via tail recursion: tests Invoke, If, integer kernels.
+  Module mod;
+  Var i = MakeVar("i", ScalarType(DataType::Int64()));
+  Var n = MakeVar("n", ScalarType(DataType::Int64()));
+  Var acc = MakeVar("acc", ScalarType(DataType::Int64()));
+  GlobalVar loop = MakeGlobalVar("loop");
+  Expr body = MakeIf(op::Call2("less", i, n),
+                     MakeCall(loop, {op::Call2("add", i, IntConst(1)), n,
+                                     op::Call2("add", acc, i)}),
+                     acc);
+  mod.Add("loop",
+          MakeFunction({i, n, acc}, body, ScalarType(DataType::Int64())));
+  Var mn = MakeVar("n", ScalarType(DataType::Int64()));
+  mod.Add("main", MakeFunction({mn}, MakeCall(loop, {IntConst(0), mn,
+                                                     IntConst(0)})));
+  auto exec = core::Compile(mod).executable;
+  vm::VirtualMachine machine(exec);
+  auto out = machine.Invoke("main", {MakeTensor(NDArray::Scalar<int64_t>(10))});
+  EXPECT_EQ(AsTensor(out).data<int64_t>()[0], 45);
+}
+
+TEST(VM, TuplesAndProjections) {
+  Var x = MakeVar("x", ScalarType(DataType::Float32()));
+  Expr pair = MakeTuple({op::Call2("add", x, FloatConst(1.0f)),
+                         op::Call2("add", x, FloatConst(2.0f))});
+  Var t = MakeVar("t");
+  auto exec = CompileMain(MakeFunction(
+      {x}, MakeLet(t, pair,
+                   op::Call2("multiply", MakeTupleGetItem(t, 0),
+                             MakeTupleGetItem(t, 1)))));
+  vm::VirtualMachine machine(exec);
+  EXPECT_FLOAT_EQ(RunScalar(machine, {MakeTensor(NDArray::Scalar<float>(1.0f))}),
+                  6.0f);
+}
+
+TEST(VM, MatchDispatchesOnConstructor) {
+  Module mod;
+  const TypeData& data = mod.DefineADT(
+      "Shape2", {{"Circle", {ScalarType(DataType::Float32())}}, {"Square", {ScalarType(DataType::Float32())}}});
+  Var s = MakeVar("s", ADTType("Shape2"));
+  Var r = MakeVar("r"), w = MakeVar("w");
+  Expr m = MakeMatch(
+      s, {MatchClause{data.constructors[0], {r},
+                      op::Call2("multiply", r, FloatConst(3.0f))},
+          MatchClause{data.constructors[1], {w},
+                      op::Call2("multiply", w, w)}});
+  mod.Add("main", MakeFunction({s}, m));
+  auto exec = core::Compile(mod).executable;
+  vm::VirtualMachine machine(exec);
+  auto circle = runtime::MakeADT(0, {MakeTensor(NDArray::Scalar<float>(2.0f))});
+  auto square = runtime::MakeADT(1, {MakeTensor(NDArray::Scalar<float>(4.0f))});
+  EXPECT_FLOAT_EQ(RunScalar(machine, {circle}), 6.0f);
+  EXPECT_FLOAT_EQ(RunScalar(machine, {square}), 16.0f);
+}
+
+TEST(VM, ClosuresCaptureEnvironment) {
+  // main(x) = (fn(y) -> y + x)(10)
+  Var x = MakeVar("x", ScalarType(DataType::Float32()));
+  Var y = MakeVar("y", ScalarType(DataType::Float32()));
+  Expr lambda = MakeFunction({y}, op::Call2("add", y, x));
+  Var f = MakeVar("f");
+  auto exec = CompileMain(MakeFunction(
+      {x}, MakeLet(f, lambda, MakeCall(f, {FloatConst(10.0f)}))));
+  vm::VirtualMachine machine(exec);
+  EXPECT_FLOAT_EQ(RunScalar(machine, {MakeTensor(NDArray::Scalar<float>(5.0f))}),
+                  15.0f);
+}
+
+TEST(VM, DynamicOutputOpAllocatesAtRuntime) {
+  // arange(0, n, 1): output size is data-dependent.
+  Var n = MakeVar("n", ScalarType(DataType::Int64()));
+  auto exec = CompileMain(
+      MakeFunction({n}, op::Call3("arange", IntConst(0), n, IntConst(1))));
+  vm::VirtualMachine machine(exec);
+  for (int64_t len : {1, 4, 9}) {
+    auto out = machine.Invoke("main", {MakeTensor(NDArray::Scalar<int64_t>(len))});
+    const NDArray& arr = AsTensor(out);
+    ASSERT_EQ(arr.num_elements(), len);
+    EXPECT_EQ(arr.data<int64_t>()[len - 1], len - 1);
+  }
+}
+
+TEST(VM, UpperBoundOpWithPreciseSlice) {
+  // nms + slice_rows: upper-bound allocation, then slice to the true size.
+  Var boxes = MakeVar("b", TensorType({3, 5}));
+  Var nms = MakeVar("nms");
+  Expr call = op::Call1("nn.nms", boxes, Attrs().Set("iou_threshold", 0.5));
+  Expr body = MakeLet(
+      nms, call,
+      op::Call2("slice_rows", MakeTupleGetItem(nms, 0), MakeTupleGetItem(nms, 1)));
+  auto exec = CompileMain(MakeFunction({boxes}, body));
+  vm::VirtualMachine machine(exec);
+  NDArray input = NDArray::FromVector<float>(
+      {0.9f, 0, 0, 10, 10, 0.8f, 1, 1, 11, 11, 0.7f, 50, 50, 60, 60}, {3, 5});
+  auto out = machine.Invoke("main", {MakeTensor(input)});
+  EXPECT_EQ(AsTensor(out).shape(), (runtime::ShapeVec{2, 5}))
+      << "output must be sliced to the exact NMS survivor count";
+}
+
+TEST(VM, WrongArityRejected) {
+  Var x = MakeVar("x", ScalarType(DataType::Float32()));
+  auto exec = CompileMain(MakeFunction({x}, x));
+  vm::VirtualMachine machine(exec);
+  EXPECT_THROW(machine.Invoke("main", {}), Error);
+  EXPECT_THROW(machine.Invoke("nope", {}), Error);
+}
+
+TEST(VM, ProfilerSplitsKernelTime) {
+  Var x = MakeVar("x", TensorType({64, 64}));
+  Var w = MakeVar("w", TensorType({64, 64}));
+  auto exec = CompileMain(MakeFunction({x, w}, op::Call2("nn.dense", x, w)));
+  vm::VirtualMachine machine(exec);
+  machine.EnableProfiling(true);
+  support::Rng rng(1);
+  NDArray xv = NDArray::Empty({64, 64}, DataType::Float32());
+  NDArray wv = NDArray::Empty({64, 64}, DataType::Float32());
+  xv.FillUniform(rng);
+  wv.FillUniform(rng);
+  machine.Invoke("main", {MakeTensor(xv), MakeTensor(wv)});
+  const auto& prof = machine.profile();
+  EXPECT_GT(prof.instructions, 0);
+  EXPECT_GT(prof.kernel_nanos, 0);
+  EXPECT_GT(prof.total_nanos, prof.kernel_nanos);
+  EXPECT_GT(prof.per_opcode[static_cast<size_t>(vm::Opcode::kInvokePacked)].count,
+            0);
+}
+
+// ---- instruction encoding / serialization --------------------------------------
+
+TEST(Bytecode, OpcodeNamesCoverTableA1) {
+  // Exactly the 20 instructions of Table A.1.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_STRNE(vm::OpcodeName(static_cast<vm::Opcode>(i)), "<bad>");
+  }
+}
+
+TEST(Bytecode, DevicePackingRoundtrip) {
+  auto dev = runtime::Device::SimGPU(3);
+  EXPECT_EQ(vm::UnpackDevice(vm::PackDevice(dev)), dev);
+  EXPECT_EQ(vm::UnpackDevice(vm::PackDevice(runtime::Device::CPU())),
+            runtime::Device::CPU());
+}
+
+TEST(Serialization, RoundtripPreservesEverything) {
+  Var x = MakeVar("x", TensorType({Dim::Any(), Dim::Static(2)}));
+  Var y = MakeVar("y", TensorType({1, 2}));
+  auto exec = CompileMain(MakeFunction(
+      {x, y}, op::Call2("concat", x, y, Attrs().Set("axis", 0))));
+
+  std::stringstream buffer;
+  exec->Save(buffer);
+  auto reloaded = vm::Executable::Load(buffer);
+
+  ASSERT_EQ(reloaded->functions.size(), exec->functions.size());
+  for (size_t f = 0; f < exec->functions.size(); ++f) {
+    const auto& a = exec->functions[f];
+    const auto& b = reloaded->functions[f];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.num_params, b.num_params);
+    EXPECT_EQ(a.register_file_size, b.register_file_size);
+    ASSERT_EQ(a.instructions.size(), b.instructions.size());
+    for (size_t i = 0; i < a.instructions.size(); ++i) {
+      EXPECT_TRUE(a.instructions[i] == b.instructions[i]) << "instruction " << i;
+    }
+  }
+  ASSERT_EQ(reloaded->packed.size(), exec->packed.size());
+  for (size_t i = 0; i < exec->packed.size(); ++i) {
+    EXPECT_EQ(reloaded->packed[i].name, exec->packed[i].name);
+    EXPECT_TRUE(reloaded->packed[i].attrs == exec->packed[i].attrs);
+  }
+  ASSERT_EQ(reloaded->constants.size(), exec->constants.size());
+}
+
+TEST(Serialization, ReloadedExecutableRuns) {
+  Var x = MakeVar("x", ScalarType(DataType::Float32()));
+  auto exec = CompileMain(
+      MakeFunction({x}, op::Call2("add", x, FloatConst(2.5f))));
+  std::stringstream buffer;
+  exec->Save(buffer);
+  vm::VirtualMachine machine(vm::Executable::Load(buffer));
+  EXPECT_FLOAT_EQ(RunScalar(machine, {MakeTensor(NDArray::Scalar<float>(1.0f))}),
+                  3.5f);
+}
+
+TEST(Serialization, RejectsGarbage) {
+  std::stringstream buffer;
+  buffer << "not an executable";
+  EXPECT_THROW(vm::Executable::Load(buffer), Error);
+}
+
+TEST(Serialization, ConstantsSurviveWithWeights) {
+  NDArray weight = NDArray::FromVector<float>({1, 2, 3, 4}, {4});
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{4}));
+  auto exec = CompileMain(
+      MakeFunction({x}, op::Call2("add", x, MakeConstant(weight))));
+  std::stringstream buffer;
+  exec->Save(buffer);
+  auto reloaded = vm::Executable::Load(buffer);
+  bool found = false;
+  for (const auto& c : reloaded->constants) {
+    if (c.num_elements() == 4 && c.data<float>()[2] == 3.0f) found = true;
+  }
+  EXPECT_TRUE(found) << "weights travel inside the executable";
+}
+
+TEST(Disassemble, MentionsPackedCallsAndInstructions) {
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{2}));
+  auto exec = CompileMain(MakeFunction({x}, op::Call1("sigmoid", x)));
+  std::string text = exec->Disassemble();
+  EXPECT_NE(text.find("InvokePacked"), std::string::npos);
+  EXPECT_NE(text.find("sigmoid"), std::string::npos);
+  EXPECT_NE(text.find("func @main"), std::string::npos);
+}
+
+TEST(VMRegisters, KillRecyclesRegisters) {
+  // A long chain of dead intermediates should not need a register each:
+  // memory.kill allows the compiler to recycle them.
+  Var x = MakeVar("x", TensorType(std::vector<int64_t>{8}));
+  Expr e = x;
+  for (int i = 0; i < 20; ++i) e = op::Call1("sigmoid", e);
+  auto exec = CompileMain(MakeFunction({x}, e));
+  const auto& fn = exec->functions[exec->FunctionIndex("main")];
+  EXPECT_LT(fn.register_file_size, 40)
+      << "register recycling via kill should bound the frame size";
+}
+
+}  // namespace
+}  // namespace nimble
