@@ -1,0 +1,196 @@
+// Serving throughput: VM pool + length-bucketed batching under an
+// MRPC-like variable-length request stream.
+//
+// Sweeps worker count x batch policy on the LSTM and BERT workloads and
+// reports aggregate throughput (req/s) plus end-to-end latency percentiles
+// from the ServeStats collector. The interesting comparisons:
+//   - workers 1 vs N: parallel VM workers sharing one immutable executable;
+//   - batch=1 (pure FIFO) vs bucketed batching: same-length runs keep each
+//     worker's PoolingAllocator free lists warm.
+// Every configuration is validated against sequential single-VM execution
+// before it is timed — throughput with wrong answers is not throughput.
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/compiler.h"
+#include "src/models/bert.h"
+#include "src/models/lstm.h"
+#include "src/models/workloads.h"
+#include "src/serve/server.h"
+#include "src/vm/vm.h"
+
+using namespace nimble;  // NOLINT
+
+namespace {
+
+struct ServingWorkload {
+  std::string name;
+  std::shared_ptr<vm::Executable> exec;
+  std::vector<std::vector<runtime::ObjectRef>> args;  // per request
+  std::vector<int64_t> lengths;
+  std::vector<runtime::NDArray> expected;  // sequential single-VM results
+};
+
+std::vector<runtime::ObjectRef> CopyArgs(
+    const std::vector<runtime::ObjectRef>& args) {
+  return args;  // ObjectRefs are shared_ptrs; requests only read them
+}
+
+ServingWorkload MakeLSTMWorkload(int requests) {
+  ServingWorkload w;
+  w.name = "LSTM (in 64, hidden 128)";
+  models::LSTMConfig config;
+  config.input_size = 64;
+  config.hidden_size = 128;
+  auto model = models::BuildLSTM(config);
+  ir::Module mod = model.module;
+  w.exec = core::Compile(mod).executable;
+
+  support::Rng rng(17);
+  w.lengths = models::SampleMRPCLengths(requests, rng, 128);
+  vm::VirtualMachine sequential(w.exec);
+  for (int64_t len : w.lengths) {
+    runtime::NDArray x = models::RandomSequence(len, config.input_size, rng);
+    w.args.push_back(
+        {runtime::MakeTensor(x),
+         runtime::MakeTensor(runtime::NDArray::Scalar<int64_t>(len))});
+    w.expected.push_back(
+        runtime::AsTensor(sequential.Invoke("main", CopyArgs(w.args.back()))));
+  }
+  return w;
+}
+
+ServingWorkload MakeBERTWorkload(int requests) {
+  ServingWorkload w;
+  w.name = "BERT (2 layers, hidden 64)";
+  models::BERTConfig config;
+  config.num_layers = 2;
+  config.hidden = 64;
+  config.num_heads = 4;
+  config.ffn_hidden = 128;
+  config.vocab = 1000;
+  auto model = models::BuildBERT(config);
+  ir::Module mod = model.module;
+  w.exec = core::Compile(mod).executable;
+
+  support::Rng rng(23);
+  w.lengths = models::SampleMRPCLengths(requests, rng, 64);
+  vm::VirtualMachine sequential(w.exec);
+  for (int64_t len : w.lengths) {
+    auto ids = models::RandomTokenIds(len, config.vocab, rng);
+    w.args.push_back(
+        {runtime::MakeTensor(runtime::NDArray::FromVector(ids, {len}))});
+    w.expected.push_back(
+        runtime::AsTensor(sequential.Invoke("main", CopyArgs(w.args.back()))));
+  }
+  return w;
+}
+
+bool BitIdentical(const runtime::NDArray& a, const runtime::NDArray& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.raw_data(), b.raw_data(), a.nbytes()) == 0;
+}
+
+struct RunResult {
+  serve::StatsSnapshot stats;
+  bool correct = true;
+};
+
+RunResult RunConfiguration(const ServingWorkload& w, int workers,
+                           int max_batch, int64_t max_wait_us) {
+  serve::ServeConfig config;
+  config.num_workers = workers;
+  config.queue_capacity = 64;
+  config.batch.max_batch_size = max_batch;
+  config.batch.max_wait_micros = max_wait_us;
+  serve::Server server(w.exec, config);
+
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  futures.reserve(w.args.size());
+  for (size_t i = 0; i < w.args.size(); ++i) {
+    futures.push_back(server.Submit(CopyArgs(w.args[i]), w.lengths[i]));
+  }
+  RunResult result;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    if (!BitIdentical(runtime::AsTensor(futures[i].get()), w.expected[i])) {
+      result.correct = false;
+    }
+  }
+  server.Shutdown();
+  result.stats = server.stats();
+  return result;
+}
+
+void Sweep(const ServingWorkload& w) {
+  bench::PrintHeader("serving throughput: " + w.name + ", " +
+                     std::to_string(w.args.size()) +
+                     " requests, MRPC-like lengths");
+  std::printf("%8s %7s %9s %10s %9s %9s %9s %6s\n", "workers", "batch",
+              "wait_us", "req/s", "p50_us", "p95_us", "p99_us", "ok");
+  for (int workers : {1, 2, 4, 8}) {
+    for (auto [max_batch, max_wait_us] :
+         std::vector<std::pair<int, int64_t>>{{1, 0}, {4, 1000}, {8, 2000}}) {
+      RunResult r = RunConfiguration(w, workers, max_batch, max_wait_us);
+      std::printf("%8d %7d %9lld %10.1f %9.0f %9.0f %9.0f %6s\n", workers,
+                  max_batch, static_cast<long long>(max_wait_us),
+                  r.stats.throughput_rps, r.stats.p50_latency_us,
+                  r.stats.p95_latency_us, r.stats.p99_latency_us,
+                  r.correct ? "yes" : "NO");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 64;
+  if (argc > 1) requests = std::atoi(argv[1]);
+
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("host: %u hardware thread(s)\n", cores);
+  if (cores <= 1) {
+    std::printf(
+        "NOTE: single-core host — worker scaling is serialized by the CPU;\n"
+        "      expect pool speedups only where hardware threads exist.\n");
+  }
+
+  ServingWorkload lstm = MakeLSTMWorkload(requests);
+  Sweep(lstm);
+  if (requests <= 0) return 0;  // nothing to compare below
+
+  // Headline comparison for the LSTM workload: 1 worker FIFO vs 4 workers
+  // with bucketed batching. Interleaved best-of-3 per configuration, for
+  // the same load-drift robustness as bench_util's MeasureInterleaved.
+  RunResult single, pooled;
+  double single_best = 0.0, pooled_best = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    RunResult s = RunConfiguration(lstm, 1, 1, 0);
+    RunResult p = RunConfiguration(lstm, 4, 8, 2000);
+    single.correct = single.correct && s.correct;
+    pooled.correct = pooled.correct && p.correct;
+    if (s.stats.throughput_rps > single_best) {
+      single_best = s.stats.throughput_rps;
+      single.stats = s.stats;
+    }
+    if (p.stats.throughput_rps > pooled_best) {
+      pooled_best = p.stats.throughput_rps;
+      pooled.stats = p.stats;
+    }
+  }
+  bench::PrintRule();
+  std::printf(
+      "LSTM: 4 workers + batching vs 1 worker FIFO: %.1f vs %.1f req/s "
+      "(%.2fx), outputs %s\n",
+      pooled.stats.throughput_rps, single.stats.throughput_rps,
+      pooled.stats.throughput_rps / single.stats.throughput_rps,
+      (single.correct && pooled.correct) ? "bit-identical to sequential"
+                                         : "WRONG");
+
+  Sweep(MakeBERTWorkload(requests));
+  return 0;
+}

@@ -28,11 +28,17 @@ DenseKernelFn ResidueKernel(int r) {
   }
 }
 
-DenseDispatchTable::DenseDispatchTable(int num_variants)
-    : num_variants_(num_variants) {
+DenseDispatchTable::DenseDispatchTable(int num_variants) {
+  Configure(num_variants);
+}
+
+void DenseDispatchTable::Configure(int num_variants) {
   NIMBLE_CHECK(num_variants >= 1 && num_variants <= kTileRows &&
                kTileRows % num_variants == 0)
       << "num_variants must divide the tile factor " << kTileRows;
+  num_variants_ = num_variants;
+  table_.fill(nullptr);
+  stats_.Reset();
   if (num_variants == 1) return;  // no dispatch: generic kernel only
   int stride = kTileRows / num_variants;
   for (int v = 0; v < num_variants; ++v) {
@@ -44,12 +50,12 @@ DenseDispatchTable::DenseDispatchTable(int num_variants)
 void DenseDispatchTable::Run(const float* x, const float* w, float* out,
                              int64_t m, int64_t n, int64_t k) const {
   int r = static_cast<int>(m % kTileRows);
-  stats_.per_residue[r]++;
+  stats_.per_residue[r].fetch_add(1, std::memory_order_relaxed);
   if (DenseKernelFn fn = table_[r]; fn != nullptr) {
-    stats_.specialized_calls++;
+    stats_.specialized_calls.fetch_add(1, std::memory_order_relaxed);
     fn(x, w, out, m, n, k);
   } else {
-    stats_.fallback_calls++;
+    stats_.fallback_calls.fetch_add(1, std::memory_order_relaxed);
     DenseSymbolicChecked(x, w, out, m, n, k);
   }
 }
@@ -71,7 +77,7 @@ DenseDispatchTable& DenseDispatchTable::Global() {
 }
 
 void DenseDispatchTable::ConfigureGlobal(int num_variants) {
-  Global() = DenseDispatchTable(num_variants);
+  Global().Configure(num_variants);
 }
 
 }  // namespace codegen

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -24,11 +25,18 @@ namespace codegen {
 using DenseKernelFn = void (*)(const float* x, const float* w, float* out,
                                int64_t m, int64_t n, int64_t k);
 
+/// Counters are atomic so concurrent VM workers (src/serve/) can share the
+/// global table; increments use relaxed ordering — they are observability,
+/// not synchronization.
 struct DispatchStats {
-  int64_t specialized_calls = 0;
-  int64_t fallback_calls = 0;
-  std::array<int64_t, kTileRows> per_residue{};
-  void Reset() { *this = DispatchStats{}; }
+  std::atomic<int64_t> specialized_calls{0};
+  std::atomic<int64_t> fallback_calls{0};
+  std::array<std::atomic<int64_t>, kTileRows> per_residue{};
+  void Reset() {
+    specialized_calls = 0;
+    fallback_calls = 0;
+    for (auto& r : per_residue) r = 0;
+  }
 };
 
 class DenseDispatchTable {
@@ -37,6 +45,11 @@ class DenseDispatchTable {
   /// residues {0, s, 2s, ...} with stride s = kTileRows / num_variants.
   /// num_variants must divide kTileRows; 1 means no specialization.
   explicit DenseDispatchTable(int num_variants = kTileRows);
+
+  /// Rebuilds the kernel table in place (and resets the stats). Not safe to
+  /// call while other threads are executing Run — reconfiguration happens at
+  /// compile time, before serving threads start.
+  void Configure(int num_variants);
 
   /// Runs x[M,K] · w[N,K]^T -> out[M,N], dispatching on M mod kTileRows.
   void Run(const runtime::NDArray& x, const runtime::NDArray& w,

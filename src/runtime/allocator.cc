@@ -43,12 +43,14 @@ void Allocator::SystemFree(Buffer* buffer) {
 }
 
 void Allocator::Free(Buffer* buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.live_bytes -= static_cast<int64_t>(buffer->size);
   SystemFree(buffer);
 }
 
 std::shared_ptr<Buffer> NaiveAllocator::Alloc(size_t size, size_t alignment,
                                               Device device) {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.alloc_calls++;
   stats_.bytes_allocated += static_cast<int64_t>(size);
   auto buf = SystemAlloc(size, alignment, device);
@@ -61,6 +63,7 @@ PoolingAllocator::~PoolingAllocator() { Trim(); }
 
 std::shared_ptr<Buffer> PoolingAllocator::Alloc(size_t size, size_t alignment,
                                                 Device device) {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.alloc_calls++;
   stats_.bytes_allocated += static_cast<int64_t>(size);
   size_t bucket = RoundUpBucket(size);
@@ -86,6 +89,7 @@ std::shared_ptr<Buffer> PoolingAllocator::Alloc(size_t size, size_t alignment,
 }
 
 void PoolingAllocator::Free(Buffer* buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.live_bytes -= static_cast<int64_t>(buffer->size);
   if (cached_bytes_ + buffer->size > max_cached_bytes_) {
     SystemFree(buffer);
@@ -98,6 +102,7 @@ void PoolingAllocator::Free(Buffer* buffer) {
 }
 
 void PoolingAllocator::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, blocks] : pool_) {
     for (void* ptr : blocks) std::free(ptr);
     blocks.clear();

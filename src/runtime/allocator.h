@@ -7,12 +7,24 @@
 //    used by the VM for dynamically-sized allocations; combined with the
 //    static storage-coalescing pass this reproduces the reported reductions
 //    in allocation count and latency.
+//
+// Thread-safety contract (serving subsystem, src/serve/):
+//   All Allocator implementations are safe for concurrent Alloc/Free from
+//   multiple threads — a single internal mutex serializes free-list and
+//   statistics bookkeeping. Buffers may be allocated on one thread and
+//   released on another (the refcounted Buffer calls back into its source
+//   allocator from whichever thread drops the last reference).
+//   The mutex makes correctness unconditional, but the serving VMPool still
+//   gives each worker VM its *own* PoolingAllocator so the hot allocation
+//   path is uncontended and each worker's free lists stay warm with the
+//   bucket sizes of the sequence lengths it serves.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/runtime/device.h"
@@ -53,12 +65,21 @@ class Allocator {
   /// Called by ~Buffer. Default releases to the OS.
   virtual void Free(Buffer* buffer);
 
-  const AllocStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = AllocStats{}; }
+  /// Snapshot of the counters (copied under the lock).
+  AllocStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = AllocStats{};
+  }
 
  protected:
+  /// SystemAlloc/SystemFree update stats and must be called with mu_ held.
   std::shared_ptr<Buffer> SystemAlloc(size_t size, size_t alignment, Device device);
   void SystemFree(Buffer* buffer);
+  mutable std::mutex mu_;
   AllocStats stats_;
 };
 
@@ -70,6 +91,7 @@ class NaiveAllocator : public Allocator {
 
 /// Size-bucketed recycling pool. Blocks are rounded up to the next power of
 /// two and returned to per-(device,size) free lists instead of the OS.
+/// Safe for concurrent use; see the thread-safety contract above.
 class PoolingAllocator : public Allocator {
  public:
   explicit PoolingAllocator(size_t max_cached_bytes = 1ull << 30)
@@ -82,7 +104,10 @@ class PoolingAllocator : public Allocator {
   /// Releases every cached block back to the OS.
   void Trim();
 
-  size_t cached_bytes() const { return cached_bytes_; }
+  size_t cached_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cached_bytes_;
+  }
 
  private:
   struct Key {

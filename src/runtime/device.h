@@ -10,6 +10,7 @@
 // costs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -44,13 +45,15 @@ struct Device {
 /// Global knob: artificial nanoseconds charged per DeviceCopy between
 /// distinct devices, to model PCIe-style transfer + synchronization cost.
 /// Zero by default so unit tests are fast; benchmarks may enable it.
+/// Counters are atomic: concurrent serving workers (src/serve/) may perform
+/// device copies simultaneously.
 struct DeviceCopyConfig {
-  static int64_t& latency_ns() {
-    static int64_t ns = 0;
+  static std::atomic<int64_t>& latency_ns() {
+    static std::atomic<int64_t> ns{0};
     return ns;
   }
-  static int64_t& copies_performed() {
-    static int64_t n = 0;
+  static std::atomic<int64_t>& copies_performed() {
+    static std::atomic<int64_t> n{0};
     return n;
   }
 };

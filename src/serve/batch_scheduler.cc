@@ -1,0 +1,115 @@
+#include "src/serve/batch_scheduler.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace serve {
+
+int BatchPolicy::BucketOf(int64_t length) const {
+  auto it =
+      std::lower_bound(bucket_edges.begin(), bucket_edges.end(), length);
+  return static_cast<int>(it - bucket_edges.begin());
+}
+
+BatchScheduler::BatchScheduler(RequestQueue* queue, VMPool* pool,
+                               BatchPolicy policy, ServeStats* stats)
+    : queue_(queue), pool_(pool), policy_(std::move(policy)), stats_(stats) {
+  NIMBLE_CHECK(queue_ != nullptr && pool_ != nullptr);
+  NIMBLE_CHECK_GE(policy_.max_batch_size, 1);
+  NIMBLE_CHECK_GE(policy_.max_wait_micros, 0);
+  NIMBLE_CHECK(std::is_sorted(policy_.bucket_edges.begin(),
+                              policy_.bucket_edges.end()))
+      << "bucket edges must be ascending";
+  pending_.resize(static_cast<size_t>(policy_.num_buckets()));
+}
+
+BatchScheduler::~BatchScheduler() {
+  // The loop only exits once the queue is closed and drained; close here so
+  // destroying a started scheduler never deadlocks in Join (idempotent —
+  // Server::Shutdown has usually closed the queue already).
+  queue_->Close();
+  Join();
+}
+
+void BatchScheduler::Start() {
+  NIMBLE_CHECK(!thread_.joinable()) << "scheduler already started";
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void BatchScheduler::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+Clock::time_point BatchScheduler::NextDeadline() const {
+  auto deadline = Clock::time_point::max();
+  for (const auto& bucket : pending_) {
+    if (bucket.empty()) continue;
+    auto flush_at = bucket.front().enqueue_time +
+                    std::chrono::microseconds(policy_.max_wait_micros);
+    deadline = std::min(deadline, flush_at);
+  }
+  return deadline;
+}
+
+void BatchScheduler::Flush(int bucket) {
+  auto& pending = pending_[static_cast<size_t>(bucket)];
+  if (pending.empty()) return;
+  Batch batch;
+  batch.bucket = bucket;
+  size_t take = std::min(pending.size(),
+                         static_cast<size_t>(policy_.max_batch_size));
+  batch.requests.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.requests.push_back(std::move(pending.front()));
+    pending.pop_front();
+  }
+  if (stats_ != nullptr) stats_->RecordBatch(batch.requests.size());
+  pool_->Submit(std::move(batch));
+}
+
+void BatchScheduler::FlushExpired(Clock::time_point now) {
+  for (int b = 0; b < policy_.num_buckets(); ++b) {
+    auto& pending = pending_[static_cast<size_t>(b)];
+    while (!pending.empty() &&
+           pending.front().enqueue_time +
+                   std::chrono::microseconds(policy_.max_wait_micros) <=
+               now) {
+      Flush(b);
+    }
+  }
+}
+
+void BatchScheduler::FlushAll() {
+  for (int b = 0; b < policy_.num_buckets(); ++b) {
+    while (!pending_[static_cast<size_t>(b)].empty()) Flush(b);
+  }
+}
+
+void BatchScheduler::Loop() {
+  while (true) {
+    auto deadline = NextDeadline();
+    std::optional<Request> request;
+    if (deadline == Clock::time_point::max()) {
+      request = queue_->Pop();  // nothing pending: wait for work or close
+    } else {
+      request = queue_->PopUntil(deadline);
+    }
+    if (request.has_value()) {
+      int bucket = policy_.BucketOf(request->length_hint);
+      auto& pending = pending_[static_cast<size_t>(bucket)];
+      pending.push_back(std::move(*request));
+      if (static_cast<int>(pending.size()) >= policy_.max_batch_size) {
+        Flush(bucket);
+      }
+    } else if (queue_->closed() && queue_->empty()) {
+      FlushAll();
+      return;
+    }
+    FlushExpired(Clock::now());
+  }
+}
+
+}  // namespace serve
+}  // namespace nimble

@@ -1,0 +1,86 @@
+// Dynamic length-bucketed batch scheduler.
+//
+// Variable-length workloads (MRPC-like sentence lengths, SST-like trees —
+// src/models/workloads.h) make naive FIFO dispatch waste the allocator and
+// cache locality Nimble's VM wins from recurring shapes: consecutive
+// requests rarely share a storage footprint. The scheduler therefore sorts
+// in-flight requests into length buckets and dispatches per-bucket batches,
+// so one pool worker runs a run of similar-length requests back-to-back —
+// its PoolingAllocator free lists then serve every allocation of the batch
+// from the same few size classes.
+//
+// Batch formation follows the classic two-knob policy:
+//   - max_batch_size: a bucket reaching this many requests flushes at once;
+//   - max_wait_micros: an incomplete bucket flushes when its oldest request
+//     has waited this long (bounds the latency cost of batching).
+//
+// One scheduler thread owns all pending buckets; no locks beyond the
+// request queue's own.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "src/serve/request.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/stats.h"
+#include "src/serve/vm_pool.h"
+
+namespace nimble {
+namespace serve {
+
+struct BatchPolicy {
+  /// Flush a bucket as soon as it holds this many requests.
+  int max_batch_size = 8;
+  /// Flush a bucket once its oldest request has waited this long.
+  int64_t max_wait_micros = 2000;
+  /// Upper bounds (inclusive) of the length buckets; lengths above the last
+  /// edge fall into an implicit overflow bucket. Defaults cover the MRPC
+  /// length distribution (mean ~40, clipped to 128).
+  std::vector<int64_t> bucket_edges = {8, 16, 32, 64, 128};
+
+  int num_buckets() const { return static_cast<int>(bucket_edges.size()) + 1; }
+
+  /// Index of the bucket holding `length` (edges must be sorted ascending).
+  int BucketOf(int64_t length) const;
+};
+
+class BatchScheduler {
+ public:
+  /// `queue`, `pool`, and `stats` must outlive the scheduler. `stats` may
+  /// be null.
+  BatchScheduler(RequestQueue* queue, VMPool* pool, BatchPolicy policy,
+                 ServeStats* stats = nullptr);
+  ~BatchScheduler();
+
+  /// Launches the scheduler thread.
+  void Start();
+
+  /// Waits for the thread to exit. The scheduler exits — flushing every
+  /// pending bucket — once the queue is closed and drained.
+  void Join();
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  void Loop();
+  void Flush(int bucket);
+  void FlushExpired(Clock::time_point now);
+  void FlushAll();
+  Clock::time_point NextDeadline() const;
+
+  RequestQueue* queue_;
+  VMPool* pool_;
+  BatchPolicy policy_;
+  ServeStats* stats_;
+
+  /// Pending requests per bucket, FIFO — front() is the oldest, so each
+  /// bucket's flush deadline is front().enqueue_time + max_wait.
+  std::vector<std::deque<Request>> pending_;
+  std::thread thread_;
+};
+
+}  // namespace serve
+}  // namespace nimble

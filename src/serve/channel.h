@@ -1,0 +1,117 @@
+// Bounded, closeable MPMC channel — the one synchronization primitive the
+// serving pipeline is built from (RequestQueue admits requests through it;
+// VMPool buffers batches through it).
+//
+// Semantics:
+//  - Push blocks while the channel is full: backpressure propagates into
+//    the producer. TryPush fails fast instead, so producers can shed load.
+//  - Close() drains gracefully: pending items can still be popped, further
+//    pushes fail, poppers see "empty + closed" as end of stream.
+//
+// Thread-safe: any number of producers and consumers.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace serve {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(size_t capacity) : capacity_(capacity) {
+    NIMBLE_CHECK_GE(capacity, 1u) << "channel capacity must be positive";
+  }
+
+  /// Blocks while the channel is full. Returns false (without consuming the
+  /// item) if the channel is closed.
+  bool Push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking. Returns false — leaving `item` untouched so the caller
+  /// can retry or reject it — when the channel is full or closed.
+  bool TryPush(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the channel is closed and drained
+  /// (returns nullopt — end of stream).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return PopLocked(std::move(lock));
+  }
+
+  /// Like Pop but gives up at `deadline` (returns nullopt on timeout too;
+  /// callers distinguish timeout from end-of-stream via closed()/empty()).
+  std::optional<T> PopUntil(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_empty_.wait_until(lock, deadline,
+                               [&] { return !items_.empty() || closed_; })) {
+      return std::nullopt;  // timeout
+    }
+    return PopLocked(std::move(lock));
+  }
+
+  /// Stops admissions and wakes all waiters. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> PopLocked(std::unique_lock<std::mutex> lock) {
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace nimble

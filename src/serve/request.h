@@ -1,0 +1,46 @@
+// Serving request representation.
+//
+// A Request is one in-flight inference call: the VM arguments, a length
+// hint used by the batch scheduler to bucket variable-length inputs, and a
+// promise fulfilled with the VM's result object (or the exception it threw).
+// Requests are move-only (they own the promise) and flow
+//
+//   client -> RequestQueue -> BatchScheduler -> VMPool worker -> promise
+//
+// without copies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/runtime/object.h"
+
+namespace nimble {
+namespace serve {
+
+using Clock = std::chrono::steady_clock;
+
+struct Request {
+  int64_t id = -1;
+  /// Executable function to run (every request in a pool shares one
+  /// executable; the function name selects an entry point within it).
+  std::string function = "main";
+  std::vector<runtime::ObjectRef> args;
+  /// Sequence length (tokens, rows, ...) used for length bucketing. Zero is
+  /// valid and lands in the first bucket.
+  int64_t length_hint = 0;
+  Clock::time_point enqueue_time{};
+  std::promise<runtime::ObjectRef> promise;
+};
+
+/// A group of similar-length requests dispatched to one pool worker.
+struct Batch {
+  int bucket = -1;
+  std::vector<Request> requests;
+};
+
+}  // namespace serve
+}  // namespace nimble

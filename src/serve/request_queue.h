@@ -1,0 +1,25 @@
+// Bounded MPMC request queue with backpressure.
+//
+// The queue is the admission-control point of the serving pipeline: its
+// capacity bounds the number of requests the system will buffer ahead of
+// the scheduler. Producers choose between Push (block until space — the
+// backpressure propagates into the client thread) and TryPush (fail fast so
+// the caller can shed load). Close() drains gracefully.
+//
+// All semantics live in the generic Channel (src/serve/channel.h); this is
+// the Request instantiation the pipeline passes around.
+#pragma once
+
+#include "src/serve/channel.h"
+#include "src/serve/request.h"
+
+namespace nimble {
+namespace serve {
+
+class RequestQueue : public Channel<Request> {
+ public:
+  using Channel<Request>::Channel;
+};
+
+}  // namespace serve
+}  // namespace nimble

@@ -1,0 +1,70 @@
+#include "src/serve/server.h"
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace serve {
+
+Server::Server(std::shared_ptr<vm::Executable> exec, ServeConfig config)
+    : config_(std::move(config)) {
+  NIMBLE_CHECK_GE(config_.num_workers, 1);
+  queue_ = std::make_unique<RequestQueue>(config_.queue_capacity);
+  pool_ = std::make_unique<VMPool>(std::move(exec), config_.num_workers,
+                                   &stats_, config_.max_pending_batches);
+  scheduler_ = std::make_unique<BatchScheduler>(queue_.get(), pool_.get(),
+                                                config_.batch, &stats_);
+  scheduler_->Start();
+}
+
+Server::~Server() { Shutdown(); }
+
+Request Server::MakeRequest(std::vector<runtime::ObjectRef> args,
+                            int64_t length_hint,
+                            std::future<runtime::ObjectRef>* future) {
+  Request request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.function = config_.function;
+  request.args = std::move(args);
+  request.length_hint = length_hint;
+  // Stamped at submission (not queue insertion), so recorded latency is
+  // end-to-end and includes any time the client spent blocked on
+  // backpressure.
+  request.enqueue_time = Clock::now();
+  *future = request.promise.get_future();
+  return request;
+}
+
+std::future<runtime::ObjectRef> Server::Submit(
+    std::vector<runtime::ObjectRef> args, int64_t length_hint) {
+  std::future<runtime::ObjectRef> future;
+  Request request = MakeRequest(std::move(args), length_hint, &future);
+  auto enqueue_time = request.enqueue_time;
+  bool accepted = queue_->Push(request);
+  NIMBLE_CHECK(accepted) << "Submit on a shut-down server";
+  stats_.RecordEnqueue(enqueue_time);
+  return future;
+}
+
+std::optional<std::future<runtime::ObjectRef>> Server::TrySubmit(
+    std::vector<runtime::ObjectRef> args, int64_t length_hint) {
+  std::future<runtime::ObjectRef> future;
+  Request request = MakeRequest(std::move(args), length_hint, &future);
+  auto enqueue_time = request.enqueue_time;
+  if (!queue_->TryPush(request)) {
+    stats_.RecordRejected();
+    return std::nullopt;
+  }
+  stats_.RecordEnqueue(enqueue_time);
+  return future;
+}
+
+void Server::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  queue_->Close();      // stop admissions; scheduler drains what's left
+  scheduler_->Join();   // exits after flushing every pending bucket
+  pool_->Close();       // workers drain the batch queue, then exit
+  pool_->Join();
+}
+
+}  // namespace serve
+}  // namespace nimble

@@ -1,0 +1,91 @@
+// Concurrent model server: queue -> batch scheduler -> VM pool.
+//
+// One Server owns the whole serving pipeline for a single compiled model:
+//
+//   Submit()/TrySubmit()            (any number of client threads)
+//        |
+//   RequestQueue                    (bounded; backpressure / load shedding)
+//        |
+//   BatchScheduler                  (one thread; length-bucketed batching)
+//        |
+//   VMPool                          (N worker threads, one VM + private
+//        |                           PoolingAllocator each, one shared
+//        v                           immutable Executable)
+//   std::future<ObjectRef>          (fulfilled per request)
+//
+// Results are identical — bit-for-bit — to running the same requests
+// sequentially through a single VirtualMachine: requests never share
+// mutable state, only the read-only executable (tests/test_serve.cc).
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/serve/batch_scheduler.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/stats.h"
+#include "src/serve/vm_pool.h"
+#include "src/vm/executable.h"
+
+namespace nimble {
+namespace serve {
+
+struct ServeConfig {
+  int num_workers = 4;
+  size_t queue_capacity = 256;
+  /// Bound on batches buffered inside the pool; 0 = 2x num_workers. Keeps
+  /// backpressure honest: when workers fall behind, the scheduler blocks,
+  /// the queue fills, and admission starts shedding.
+  size_t max_pending_batches = 0;
+  BatchPolicy batch;
+  /// Executable entry point every request runs.
+  std::string function = "main";
+};
+
+class Server {
+ public:
+  Server(std::shared_ptr<vm::Executable> exec, ServeConfig config = {});
+
+  /// Drains and stops the pipeline.
+  ~Server();
+
+  /// Submits a request, blocking while the queue is full (backpressure).
+  /// `length_hint` is the input's sequence length, used for bucketing.
+  /// Throws nimble::Error after Shutdown().
+  std::future<runtime::ObjectRef> Submit(std::vector<runtime::ObjectRef> args,
+                                         int64_t length_hint = 0);
+
+  /// Non-blocking admission: returns an empty optional — and counts a
+  /// rejection — when the queue is full, so callers can shed load.
+  std::optional<std::future<runtime::ObjectRef>> TrySubmit(
+      std::vector<runtime::ObjectRef> args, int64_t length_hint = 0);
+
+  /// Stops admissions, flushes every pending batch, waits for all workers.
+  /// Idempotent; also run by the destructor. Outstanding futures are all
+  /// fulfilled before this returns.
+  void Shutdown();
+
+  const ServeConfig& config() const { return config_; }
+  StatsSnapshot stats() const { return stats_.Snapshot(); }
+  size_t queue_depth() const { return queue_->size(); }
+
+ private:
+  Request MakeRequest(std::vector<runtime::ObjectRef> args,
+                      int64_t length_hint,
+                      std::future<runtime::ObjectRef>* future);
+
+  ServeConfig config_;
+  ServeStats stats_;
+  std::unique_ptr<RequestQueue> queue_;
+  std::unique_ptr<VMPool> pool_;
+  std::unique_ptr<BatchScheduler> scheduler_;
+  std::atomic<int64_t> next_id_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace serve
+}  // namespace nimble

@@ -1,0 +1,135 @@
+#include "src/serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace nimble {
+namespace serve {
+
+std::string StatsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << completed << " completed";
+  if (failed > 0) os << ", " << failed << " failed";
+  if (rejected > 0) os << ", " << rejected << " rejected";
+  os << " in " << elapsed_seconds << " s (" << throughput_rps << " req/s); "
+     << "latency us mean " << mean_latency_us << " p50 " << p50_latency_us
+     << " p95 " << p95_latency_us << " p99 " << p99_latency_us << " max "
+     << max_latency_us << "; mean batch " << mean_batch_size;
+  return os.str();
+}
+
+void ServeStats::RecordEnqueue(Clock::time_point when) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) {
+    started_ = true;
+    first_enqueue_ = when;
+  }
+}
+
+void ServeStats::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rejected_++;
+}
+
+void ServeStats::RecordBatch(size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batches_++;
+  batched_requests_ += static_cast<int64_t>(size);
+}
+
+void ServeStats::RecordCompletion(double latency_us, bool ok,
+                                  Clock::time_point when) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_count_++;
+  latency_sum_us_ += latency_us;
+  if (latency_us > latency_max_us_) latency_max_us_ = latency_us;
+  // Vitter's Algorithm R: every completion ends up in the reservoir with
+  // probability capacity / count, so percentiles stay unbiased in O(1)
+  // memory no matter how long the server runs.
+  if (latency_reservoir_.size() < kReservoirCapacity) {
+    latency_reservoir_.push_back(latency_us);
+  } else {
+    uint64_t j = reservoir_rng_.Next() % static_cast<uint64_t>(latency_count_);
+    if (j < kReservoirCapacity) {
+      latency_reservoir_[static_cast<size_t>(j)] = latency_us;
+    }
+  }
+  if (ok) {
+    completed_++;
+  } else {
+    failed_++;
+  }
+  if (when > last_completion_) last_completion_ = when;
+}
+
+namespace {
+
+/// Nearest-rank percentile over an already-sorted sample: the smallest
+/// value with at least p% of the sample at or below it.
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+double ServeStats::Percentile(std::vector<double> sample, double p) {
+  std::sort(sample.begin(), sample.end());
+  return SortedPercentile(sample, p);
+}
+
+StatsSnapshot ServeStats::Snapshot() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  StatsSnapshot snap;
+  snap.completed = completed_;
+  snap.failed = failed_;
+  snap.rejected = rejected_;
+  snap.batches = batches_;
+  if (batches_ > 0) {
+    snap.mean_batch_size =
+        static_cast<double>(batched_requests_) / static_cast<double>(batches_);
+  }
+  if (started_ && last_completion_ > first_enqueue_) {
+    snap.elapsed_seconds =
+        std::chrono::duration<double>(last_completion_ - first_enqueue_)
+            .count();
+    if (snap.elapsed_seconds > 0.0) {
+      snap.throughput_rps =
+          static_cast<double>(completed_) / snap.elapsed_seconds;
+    }
+  }
+  std::vector<double> reservoir = latency_reservoir_;
+  int64_t count = latency_count_;
+  double sum = latency_sum_us_, mx = latency_max_us_;
+  lock.unlock();
+  if (count > 0) {
+    snap.mean_latency_us = sum / static_cast<double>(count);
+    snap.max_latency_us = mx;
+    std::sort(reservoir.begin(), reservoir.end());
+    snap.p50_latency_us = SortedPercentile(reservoir, 50.0);
+    snap.p95_latency_us = SortedPercentile(reservoir, 95.0);
+    snap.p99_latency_us = SortedPercentile(reservoir, 99.0);
+  }
+  return snap;
+}
+
+void ServeStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_reservoir_.clear();
+  latency_count_ = 0;
+  latency_sum_us_ = 0.0;
+  latency_max_us_ = 0.0;
+  completed_ = failed_ = rejected_ = batches_ = batched_requests_ = 0;
+  started_ = false;
+  first_enqueue_ = Clock::time_point{};
+  last_completion_ = Clock::time_point{};
+}
+
+}  // namespace serve
+}  // namespace nimble

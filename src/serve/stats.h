@@ -1,0 +1,89 @@
+// Serving metrics: throughput and latency percentiles.
+//
+// Workers record end-to-end request latency (enqueue -> result ready); the
+// scheduler records batch sizes; the server records rejections. Snapshot()
+// folds everything into the numbers an operator dashboards: requests/sec,
+// p50/p95/p99 latency, mean batch occupancy.
+//
+// Thread-safe: recording takes a mutex (recording is a few nanoseconds of
+// bookkeeping next to a kernel invocation, so contention is negligible).
+// Memory is bounded: per-request latencies go into a fixed-size reservoir
+// sample (Vitter's Algorithm R, deterministic RNG), so a server can run
+// forever without the stats growing; mean/max are exact running values,
+// percentiles are estimates over the reservoir (exact until the reservoir
+// overflows).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/serve/request.h"
+#include "src/support/rng.h"
+
+namespace nimble {
+namespace serve {
+
+struct StatsSnapshot {
+  int64_t completed = 0;
+  int64_t failed = 0;    // promise fulfilled with an exception
+  int64_t rejected = 0;  // shed at admission (TrySubmit on a full queue)
+  int64_t batches = 0;
+  double mean_batch_size = 0.0;
+  double elapsed_seconds = 0.0;   // first enqueue -> last completion
+  double throughput_rps = 0.0;    // completed / elapsed_seconds
+  double mean_latency_us = 0.0;
+  double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+
+  std::string ToString() const;
+};
+
+class ServeStats {
+ public:
+  /// Called by the queue producer side; pins the start of the measurement
+  /// window at the first enqueue.
+  void RecordEnqueue(Clock::time_point when);
+
+  void RecordRejected();
+
+  /// One batch dispatched to the pool with `size` requests.
+  void RecordBatch(size_t size);
+
+  /// One request finished (promise fulfilled). `latency_us` is end-to-end:
+  /// enqueue to result ready. `ok` is false when the VM threw.
+  void RecordCompletion(double latency_us, bool ok, Clock::time_point when);
+
+  StatsSnapshot Snapshot() const;
+  void Reset();
+
+  /// Nearest-rank percentile of an unsorted sample (p in [0, 100]); exposed
+  /// for tests. Returns 0 on an empty sample.
+  static double Percentile(std::vector<double> sample, double p);
+
+  /// Latency reservoir capacity; percentiles are exact below this many
+  /// completions and sampled estimates beyond it.
+  static constexpr size_t kReservoirCapacity = 4096;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> latency_reservoir_;
+  int64_t latency_count_ = 0;
+  double latency_sum_us_ = 0.0;
+  double latency_max_us_ = 0.0;
+  support::Rng reservoir_rng_{0x5e17e5};
+  int64_t completed_ = 0;
+  int64_t failed_ = 0;
+  int64_t rejected_ = 0;
+  int64_t batches_ = 0;
+  int64_t batched_requests_ = 0;
+  bool started_ = false;
+  Clock::time_point first_enqueue_{};
+  Clock::time_point last_completion_{};
+};
+
+}  // namespace serve
+}  // namespace nimble

@@ -1,0 +1,139 @@
+#include "src/serve/vm_pool.h"
+
+#include <mutex>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace serve {
+
+namespace {
+
+/// Process-lifetime lease registry for worker allocators (see the lifetime
+/// note in vm_pool.h). Allocators are created on demand, trimmed and
+/// recycled on release, and live until process exit — exactly like the
+/// global allocators — so result buffers may outlive the pool that
+/// produced them.
+class WorkerAllocatorRegistry {
+ public:
+  static WorkerAllocatorRegistry& Global() {
+    static WorkerAllocatorRegistry registry;
+    return registry;
+  }
+
+  runtime::PoolingAllocator* Lease() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      auto* allocator = free_.back();
+      free_.pop_back();
+      return allocator;
+    }
+    owned_.push_back(std::make_unique<runtime::PoolingAllocator>());
+    return owned_.back().get();
+  }
+
+  void Release(runtime::PoolingAllocator* allocator) {
+    allocator->Trim();  // cap idle memory while the allocator sits unused
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(allocator);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<runtime::PoolingAllocator>> owned_;
+  std::vector<runtime::PoolingAllocator*> free_;
+};
+
+size_t PendingBatchCap(int num_workers, size_t max_pending_batches) {
+  if (max_pending_batches > 0) return max_pending_batches;
+  return num_workers > 0 ? 2 * static_cast<size_t>(num_workers) : 1;
+}
+
+}  // namespace
+
+VMPool::VMPool(std::shared_ptr<vm::Executable> exec, int num_workers,
+               ServeStats* stats, size_t max_pending_batches)
+    : exec_(std::move(exec)),
+      stats_(stats),
+      batches_(PendingBatchCap(num_workers, max_pending_batches)) {
+  NIMBLE_CHECK(exec_ != nullptr) << "VMPool needs an executable";
+  NIMBLE_CHECK_GE(num_workers, 1);
+  // Construct every VM on this thread before any worker starts: the VM
+  // constructor populates the kernel/op registries, which become read-only
+  // once the threads are running.
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->allocator = WorkerAllocatorRegistry::Global().Lease();
+    worker->vm =
+        std::make_unique<vm::VirtualMachine>(exec_, worker->allocator);
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { WorkerLoop(*w); });
+  }
+}
+
+VMPool::~VMPool() {
+  Close();
+  Join();
+  for (auto& worker : workers_) {
+    WorkerAllocatorRegistry::Global().Release(worker->allocator);
+  }
+}
+
+void VMPool::Submit(Batch batch) {
+  if (batch.requests.empty()) return;
+  bool accepted = batches_.Push(batch);
+  NIMBLE_CHECK(accepted) << "VMPool::Submit after Close";
+}
+
+void VMPool::Close() { batches_.Close(); }
+
+void VMPool::Join() {
+  if (joined_) return;
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  joined_ = true;
+}
+
+int64_t VMPool::requests_executed() const {
+  int64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->requests_executed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void VMPool::WorkerLoop(Worker& worker) {
+  while (auto batch = batches_.Pop()) {
+    for (Request& request : batch->requests) {
+      bool ok = true;
+      try {
+        auto result =
+            worker.vm->Invoke(request.function, std::move(request.args));
+        request.promise.set_value(std::move(result));
+      } catch (...) {
+        ok = false;
+        request.promise.set_exception(std::current_exception());
+      }
+      worker.requests_executed.fetch_add(1, std::memory_order_relaxed);
+      if (stats_ != nullptr) {
+        auto now = Clock::now();
+        double latency_us =
+            std::chrono::duration<double, std::micro>(now -
+                                                      request.enqueue_time)
+                .count();
+        stats_->RecordCompletion(latency_us, ok, now);
+      }
+    }
+    // Recycle the VM: drops any frames retained by a throwing Invoke and
+    // clears the profile, keeping the worker's memory footprint flat.
+    worker.vm->Reset();
+  }
+}
+
+}  // namespace serve
+}  // namespace nimble

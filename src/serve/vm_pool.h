@@ -1,0 +1,87 @@
+// Thread pool of VirtualMachine workers sharing one immutable Executable.
+//
+// Each worker runs a VirtualMachine with a private PoolingAllocator, so the
+// hot allocation path is uncontended and each worker's free lists stay warm
+// with the storage bucket sizes of the sequence lengths it serves (see the
+// thread-safety contract in src/runtime/allocator.h). The executable —
+// bytecode, constants/weights, packed-kernel table — exists once, no matter
+// how many workers run it (src/vm/executable.h documents its immutability).
+//
+// Allocator lifetime: result tensors handed out through request futures
+// reference their source allocator until the last NDArray dies (Buffer's
+// destructor frees into it), and clients may legally keep results after the
+// pool is gone. Worker allocators are therefore *leased* from a
+// process-lifetime registry rather than owned by the pool — like the global
+// allocators, they are never destroyed; a released allocator is trimmed
+// (cached blocks returned to the OS) and recycled by the next pool.
+//
+// Work arrives as Batches (groups of similar-length requests formed by the
+// BatchScheduler). A worker runs each request of its batch back-to-back on
+// its VM, fulfills the request promises, and recycles the VM between
+// batches via VirtualMachine::Reset().
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/allocator.h"
+#include "src/serve/channel.h"
+#include "src/serve/request.h"
+#include "src/serve/stats.h"
+#include "src/vm/executable.h"
+#include "src/vm/vm.h"
+
+namespace nimble {
+namespace serve {
+
+class VMPool {
+ public:
+  /// Builds `num_workers` VMs (all sharing `exec`) and starts their
+  /// threads. `stats` may be null; when set, per-request completions are
+  /// recorded there. `max_pending_batches` bounds the internal batch queue
+  /// (default 2x workers) so that saturation propagates backpressure
+  /// upstream — a blocked Submit stops the scheduler, the RequestQueue
+  /// fills, and admission starts shedding — instead of buffering without
+  /// limit.
+  VMPool(std::shared_ptr<vm::Executable> exec, int num_workers,
+         ServeStats* stats = nullptr, size_t max_pending_batches = 0);
+
+  /// Closes and joins. Pending batches are drained first.
+  ~VMPool();
+
+  /// Enqueues a batch for execution, blocking while `max_pending_batches`
+  /// are already queued. Must not be called after Close().
+  void Submit(Batch batch);
+
+  /// Stops accepting batches; workers finish what is queued and exit.
+  void Close();
+
+  /// Waits for all workers to exit (Close() must have been called).
+  void Join();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Total requests executed across all workers (for tests/benchmarks).
+  int64_t requests_executed() const;
+
+ private:
+  struct Worker {
+    runtime::PoolingAllocator* allocator = nullptr;  // leased, never null
+    std::unique_ptr<vm::VirtualMachine> vm;
+    std::thread thread;
+    std::atomic<int64_t> requests_executed{0};
+  };
+
+  void WorkerLoop(Worker& worker);
+
+  std::shared_ptr<vm::Executable> exec_;
+  ServeStats* stats_;
+  Channel<Batch> batches_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool joined_ = false;
+};
+
+}  // namespace serve
+}  // namespace nimble

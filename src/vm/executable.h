@@ -1,6 +1,15 @@
 // VM executable (§5): platform-independent bytecode + constant pool +
 // packed-kernel table, with binary serialization so compiled models can be
 // shipped to and loaded on any platform.
+//
+// Thread-safety contract (serving subsystem, src/serve/):
+//   An Executable is *immutable once built* — the compiler (or Load) fills
+//   the public fields and never mutates them afterwards. All accessors are
+//   const and read-only, and constants are NDArrays whose storage is only
+//   read at execution time, so one std::shared_ptr<Executable> may be shared
+//   by any number of VirtualMachine instances on concurrent threads with no
+//   synchronization. Do not mutate the public fields after handing the
+//   executable to a VM.
 #pragma once
 
 #include <iosfwd>

@@ -65,6 +65,16 @@ VirtualMachine::VirtualMachine(std::shared_ptr<Executable> exec,
   op::EnsureOpsRegistered();
 }
 
+void VirtualMachine::set_allocator(runtime::Allocator* allocator) {
+  NIMBLE_CHECK(allocator != nullptr) << "allocator must not be null";
+  allocator_ = allocator;
+}
+
+void VirtualMachine::Reset() {
+  stack_.clear();
+  profile_.Reset();
+}
+
 ObjectRef VirtualMachine::Invoke(const std::string& name,
                                  std::vector<ObjectRef> args) {
   int32_t index = exec_->FunctionIndex(name);
@@ -79,7 +89,10 @@ ObjectRef VirtualMachine::Invoke(const std::string& name,
 }
 
 ObjectRef VirtualMachine::Run(Frame initial) {
-  std::vector<Frame> stack;
+  // Reuse the member stack: clear() keeps the allocation from the previous
+  // Invoke, so recycled VMs (serving pool workers) don't pay for it again.
+  std::vector<Frame>& stack = stack_;
+  stack.clear();
   stack.push_back(std::move(initial));
   ObjectRef result;
   bool done = false;

@@ -5,6 +5,14 @@
 // register operations are cheap regardless of payload size. The interpreter
 // optionally records a per-instruction-category time profile (used by the
 // Table 4 overhead study: kernel latency vs "other instructions").
+//
+// Thread-safety contract (serving subsystem, src/serve/):
+//   A VirtualMachine instance is single-threaded — it owns a mutable frame
+//   stack and profile. Concurrency is achieved by running *many* VMs, one
+//   per worker thread, all sharing one immutable Executable (cheap: a VM is
+//   just a few pointers plus the recycled frame stack). Invoke is reusable:
+//   each call starts from a clean frame stack, whose backing storage is
+//   retained across calls so steady-state serving does not reallocate it.
 #pragma once
 
 #include <array>
@@ -52,6 +60,16 @@ class VirtualMachine {
   VMProfile& mutable_profile() { return profile_; }
 
   const Executable& executable() const { return *exec_; }
+  runtime::Allocator* allocator() const { return allocator_; }
+
+  /// Redirects allocations (e.g. to a per-worker pool). Must not be called
+  /// while Invoke is running.
+  void set_allocator(runtime::Allocator* allocator);
+
+  /// Returns the VM to its post-construction state: clears the frame stack
+  /// (releasing any objects retained by an Invoke that threw) and the
+  /// profile. Pool workers call this to recycle a VM between batches.
+  void Reset();
 
  private:
   struct Frame {
@@ -71,6 +89,9 @@ class VirtualMachine {
   runtime::Allocator* allocator_;
   bool profiling_ = false;
   VMProfile profile_;
+  /// Frame stack, recycled across Invoke calls (capacity is retained so
+  /// repeated invocations don't reallocate it).
+  std::vector<Frame> stack_;
 };
 
 }  // namespace vm

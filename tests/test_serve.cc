@@ -1,0 +1,335 @@
+// Serving subsystem tests: bounded-queue backpressure, length bucketing,
+// percentile math, and — the load-bearing property — that concurrent
+// serving through the VM pool produces results bit-identical to sequential
+// VirtualMachine::Invoke.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/models/lstm.h"
+#include "src/models/workloads.h"
+#include "src/serve/batch_scheduler.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/server.h"
+#include "src/serve/stats.h"
+#include "src/serve/vm_pool.h"
+#include "src/vm/vm.h"
+
+namespace nimble {
+namespace {
+
+using runtime::AsTensor;
+using runtime::MakeTensor;
+using runtime::NDArray;
+
+// ---- length buckets -----------------------------------------------------------
+
+TEST(BatchPolicy, BucketOfRespectsInclusiveEdges) {
+  serve::BatchPolicy policy;
+  policy.bucket_edges = {8, 16, 32};
+  EXPECT_EQ(policy.num_buckets(), 4);
+  EXPECT_EQ(policy.BucketOf(0), 0);
+  EXPECT_EQ(policy.BucketOf(8), 0);
+  EXPECT_EQ(policy.BucketOf(9), 1);
+  EXPECT_EQ(policy.BucketOf(16), 1);
+  EXPECT_EQ(policy.BucketOf(17), 2);
+  EXPECT_EQ(policy.BucketOf(32), 2);
+  EXPECT_EQ(policy.BucketOf(33), 3) << "overflow bucket";
+  EXPECT_EQ(policy.BucketOf(100000), 3);
+}
+
+// ---- bounded queue / backpressure ---------------------------------------------
+
+serve::Request MakeDummyRequest(int64_t id) {
+  serve::Request request;
+  request.id = id;
+  request.enqueue_time = serve::Clock::now();
+  return request;
+}
+
+TEST(RequestQueue, TryPushFailsWhenFull) {
+  serve::RequestQueue queue(2);
+  auto r0 = MakeDummyRequest(0), r1 = MakeDummyRequest(1),
+       r2 = MakeDummyRequest(2);
+  EXPECT_TRUE(queue.TryPush(r0));
+  EXPECT_TRUE(queue.TryPush(r1));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_FALSE(queue.TryPush(r2)) << "backpressure at capacity";
+  EXPECT_EQ(r2.id, 2) << "rejected request must be left intact";
+
+  auto popped = queue.Pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->id, 0) << "FIFO order";
+  EXPECT_TRUE(queue.TryPush(r2)) << "space freed by Pop re-admits";
+}
+
+TEST(RequestQueue, BlockingPushWaitsForSpace) {
+  serve::RequestQueue queue(1);
+  auto r0 = MakeDummyRequest(0);
+  ASSERT_TRUE(queue.TryPush(r0));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    auto r1 = MakeDummyRequest(1);
+    queue.Push(r1);  // blocks until the consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed) << "Push must block while the queue is full";
+  auto popped = queue.Pop();
+  ASSERT_TRUE(popped.has_value());
+  producer.join();
+  EXPECT_TRUE(pushed);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(RequestQueue, CloseDrainsThenEndsStream) {
+  serve::RequestQueue queue(4);
+  auto r0 = MakeDummyRequest(0), r1 = MakeDummyRequest(1);
+  ASSERT_TRUE(queue.TryPush(r0));
+  ASSERT_TRUE(queue.TryPush(r1));
+  queue.Close();
+  auto r2 = MakeDummyRequest(2);
+  EXPECT_FALSE(queue.TryPush(r2)) << "no admissions after Close";
+  EXPECT_TRUE(queue.Pop().has_value()) << "pending items still drain";
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value()) << "closed + drained = end of stream";
+}
+
+TEST(RequestQueue, PopUntilTimesOut) {
+  serve::RequestQueue queue(1);
+  auto popped = queue.PopUntil(serve::Clock::now() +
+                               std::chrono::milliseconds(10));
+  EXPECT_FALSE(popped.has_value());
+  EXPECT_FALSE(queue.closed());
+}
+
+// ---- percentiles --------------------------------------------------------------
+
+TEST(ServeStats, NearestRankPercentiles) {
+  std::vector<double> sample;
+  for (int i = 1; i <= 100; ++i) sample.push_back(static_cast<double>(i));
+  EXPECT_EQ(serve::ServeStats::Percentile(sample, 50.0), 50.0);
+  EXPECT_EQ(serve::ServeStats::Percentile(sample, 95.0), 95.0);
+  EXPECT_EQ(serve::ServeStats::Percentile(sample, 99.0), 99.0);
+  EXPECT_EQ(serve::ServeStats::Percentile(sample, 0.0), 1.0);
+  EXPECT_EQ(serve::ServeStats::Percentile(sample, 100.0), 100.0);
+  EXPECT_EQ(serve::ServeStats::Percentile({42.0}, 99.0), 42.0);
+  EXPECT_EQ(serve::ServeStats::Percentile({}, 50.0), 0.0);
+  // Unsorted input is sorted internally.
+  EXPECT_EQ(serve::ServeStats::Percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+// ---- end-to-end serving -------------------------------------------------------
+
+struct LSTMFixture {
+  models::LSTMModel model;
+  std::shared_ptr<vm::Executable> exec;
+  std::vector<NDArray> inputs;
+  std::vector<int64_t> lengths;
+  std::vector<NDArray> expected;  // sequential single-VM results
+
+  explicit LSTMFixture(int num_requests) {
+    models::LSTMConfig config;
+    config.input_size = 8;
+    config.hidden_size = 12;
+    model = models::BuildLSTM(config);
+    ir::Module mod = model.module;
+    exec = core::Compile(mod).executable;
+
+    support::Rng rng(7);
+    lengths = models::SampleMRPCLengths(num_requests, rng, 48);
+    vm::VirtualMachine sequential(exec);
+    for (int64_t len : lengths) {
+      NDArray x = models::RandomSequence(len, config.input_size, rng);
+      inputs.push_back(x);
+      auto out = sequential.Invoke(
+          "main", {MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(len))});
+      expected.push_back(AsTensor(out));
+    }
+  }
+
+  std::vector<runtime::ObjectRef> ArgsFor(size_t i) const {
+    return {MakeTensor(inputs[i]),
+            MakeTensor(NDArray::Scalar<int64_t>(lengths[i]))};
+  }
+};
+
+void ExpectBitIdentical(const NDArray& got, const NDArray& want, size_t i) {
+  ASSERT_EQ(got.shape(), want.shape()) << "request " << i;
+  const float* pg = got.data<float>();
+  const float* pw = want.data<float>();
+  for (int64_t j = 0; j < got.num_elements(); ++j) {
+    ASSERT_EQ(pg[j], pw[j]) << "request " << i << " flat index " << j;
+  }
+}
+
+TEST(Serve, ConcurrentClientsMatchSequentialBitIdentical) {
+  const int kRequests = 48;
+  const int kClients = 4;
+  LSTMFixture fixture(kRequests);
+
+  serve::ServeConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 16;
+  config.batch.max_batch_size = 4;
+  config.batch.max_wait_micros = 500;
+  serve::Server server(fixture.exec, config);
+
+  // Many client threads submit interleaved slices of the workload.
+  std::vector<std::future<runtime::ObjectRef>> futures(kRequests);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = static_cast<size_t>(c); i < kRequests; i += kClients) {
+        futures[i] =
+            server.Submit(fixture.ArgsFor(i), fixture.lengths[i]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  server.Shutdown();
+
+  auto snap = server.stats();
+  EXPECT_EQ(snap.completed, kRequests);
+  EXPECT_EQ(snap.failed, 0);
+  EXPECT_GT(snap.batches, 0);
+  EXPECT_GT(snap.throughput_rps, 0.0);
+  EXPECT_GE(snap.p99_latency_us, snap.p50_latency_us);
+}
+
+TEST(Serve, BucketedBatchingPreservesPerRequestOutputs) {
+  const int kRequests = 32;
+  LSTMFixture fixture(kRequests);
+
+  serve::ServeConfig config;
+  config.num_workers = 2;
+  config.batch.max_batch_size = 8;
+  // Generous wait so batches actually fill and bucketing is exercised.
+  config.batch.max_wait_micros = 50000;
+  config.batch.bucket_edges = {8, 16, 32};
+  serve::Server server(fixture.exec, config);
+
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  futures.reserve(kRequests);
+  for (size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(server.Submit(fixture.ArgsFor(i), fixture.lengths[i]));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  server.Shutdown();
+
+  auto snap = server.stats();
+  EXPECT_EQ(snap.completed, kRequests);
+  EXPECT_GT(snap.mean_batch_size, 1.0)
+      << "with a long max_wait, multi-request batches must form";
+  EXPECT_LT(snap.batches, kRequests);
+}
+
+TEST(Serve, ShutdownFulfillsEveryOutstandingFuture) {
+  LSTMFixture fixture(8);
+  serve::ServeConfig config;
+  config.num_workers = 2;
+  config.batch.max_wait_micros = 100000;  // rely on shutdown flush, not timer
+  serve::Server server(fixture.exec, config);
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  for (size_t i = 0; i < 8; ++i) {
+    futures.push_back(server.Submit(fixture.ArgsFor(i), fixture.lengths[i]));
+  }
+  server.Shutdown();  // must flush incomplete buckets before returning
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  EXPECT_THROW(server.Submit(fixture.ArgsFor(0), fixture.lengths[0]), Error);
+}
+
+TEST(Serve, TrySubmitShedsLoadAndCountsRejections) {
+  LSTMFixture fixture(4);
+  serve::ServeConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 1;
+  serve::Server server(fixture.exec, config);
+
+  // Saturate: with a capacity-1 queue, offered load beyond what one worker
+  // drains instantly must eventually bounce.
+  int accepted = 0, rejected = 0;
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  for (int round = 0; round < 200 && rejected == 0; ++round) {
+    for (size_t i = 0; i < 4; ++i) {
+      auto f = server.TrySubmit(fixture.ArgsFor(i), fixture.lengths[i]);
+      if (f.has_value()) {
+        accepted++;
+        futures.push_back(std::move(*f));
+      } else {
+        rejected++;
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0) << "a full queue must shed load";
+  for (auto& f : futures) f.get();
+  server.Shutdown();
+  auto snap = server.stats();
+  EXPECT_EQ(snap.completed, accepted);
+  EXPECT_EQ(snap.rejected, rejected);
+}
+
+TEST(Serve, VMPoolRunsBatchesDirectly) {
+  // Pool-level check without scheduler/queue: a directly submitted batch
+  // executes every request and fulfills its promises.
+  LSTMFixture fixture(6);
+  serve::ServeStats stats;
+  serve::VMPool pool(fixture.exec, 3, &stats);
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  serve::Batch batch;
+  for (size_t i = 0; i < 6; ++i) {
+    serve::Request request;
+    request.id = static_cast<int64_t>(i);
+    request.args = fixture.ArgsFor(i);
+    request.enqueue_time = serve::Clock::now();
+    futures.push_back(request.promise.get_future());
+    batch.requests.push_back(std::move(request));
+  }
+  pool.Submit(std::move(batch));
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  pool.Close();
+  pool.Join();
+  EXPECT_EQ(pool.requests_executed(), 6);
+}
+
+TEST(Serve, ResultsOutliveServerAndPool) {
+  // Result buffers come from per-worker allocators; they must stay valid —
+  // and safely freeable — after the server and its pool are destroyed.
+  LSTMFixture fixture(1);
+  runtime::ObjectRef out;
+  {
+    serve::Server server(fixture.exec);
+    out = server.Submit(fixture.ArgsFor(0), fixture.lengths[0]).get();
+  }  // server, scheduler, pool all gone
+  ExpectBitIdentical(AsTensor(out), fixture.expected[0], 0);
+  out = {};  // releasing the buffer now must not touch freed allocator state
+}
+
+TEST(Serve, VMResetAllowsRecycling) {
+  LSTMFixture fixture(2);
+  vm::VirtualMachine machine(fixture.exec);
+  machine.EnableProfiling(true);
+  auto a = AsTensor(machine.Invoke("main", fixture.ArgsFor(0)));
+  ExpectBitIdentical(a, fixture.expected[0], 0);
+  EXPECT_GT(machine.profile().instructions, 0);
+  machine.Reset();
+  EXPECT_EQ(machine.profile().instructions, 0);
+  auto b = AsTensor(machine.Invoke("main", fixture.ArgsFor(1)));
+  ExpectBitIdentical(b, fixture.expected[1], 1);
+}
+
+}  // namespace
+}  // namespace nimble
