@@ -1,7 +1,7 @@
 // BERT example: variable-sequence-length inference (the paper's
 // dynamic-shape workload). Shows the symbolic-shape machinery end to end:
 // one executable, runtime shape functions sizing every allocation, and the
-// dense dispatch table routing each sequence length to a
+// executable's own dense dispatch table routing each sequence length to a
 // residue-specialized kernel (§4.5).
 #include <cstdio>
 
@@ -29,7 +29,9 @@ int main() {
 
   vm::VirtualMachine machine(compiled.executable);
   machine.EnableProfiling(true);
-  auto& dispatch = codegen::DenseDispatchTable::Global();
+  // Dispatch state is owned by the executable (not a process global), so
+  // these counters see exactly this model's traffic.
+  auto& dispatch = compiled.executable->dispatch_table;
   dispatch.stats().Reset();
 
   support::Rng rng(41);

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Fails if any relative markdown link or backtick-quoted path reference in
+# the checked docs points at a file that does not exist. Keeps README.md,
+# docs/, and ISSUE.md honest as the tree moves underneath them.
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+docs="README.md ISSUE.md"
+[ -d docs ] && docs="$docs $(find docs -name '*.md')"
+
+for doc in $docs; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+
+  # Markdown links: [text](target) — relative targets only.
+  targets=$(grep -o '](\([^)#]*\))' "$doc" | sed 's/^](//; s/)$//' |
+            grep -v '^https\?://' | grep -v '^mailto:' || true)
+  # Backtick path references that look like repo files (contain a slash and
+  # an extension, e.g. `src/serve/vm_pool.h`, `examples/foo.cpp`).
+  paths=$(grep -o '`[A-Za-z0-9_./-]*/[A-Za-z0-9_./-]*\.[a-z]\{1,4\}`' "$doc" |
+          tr -d '`' || true)
+
+  for target in $targets; do
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK in $doc: $target"
+      status=1
+    fi
+  done
+  for path in $paths; do
+    case "$path" in
+      build/*) continue ;;  # build artifacts are legitimately absent
+    esac
+    if [ ! -e "$path" ]; then
+      echo "BROKEN PATH REFERENCE in $doc: $path"
+      status=1
+    fi
+  done
+done
+
+[ "$status" -eq 0 ] && echo "doc links OK"
+exit $status

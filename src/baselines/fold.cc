@@ -76,7 +76,10 @@ NDArray FoldTreeLSTM(const models::TreeLSTMWeights& weights,
   }
 
   // ---- batched execution level by level ------------------------------------
-  const auto& table = codegen::DenseDispatchTable::Global();
+  // Full-dispatch table private to the fold baseline: the baseline measures
+  // batching strategy, not dispatch policy, so it must not observe (or
+  // perturb) the deprecated global table's configuration.
+  static const codegen::DenseDispatchTable table(codegen::kTileRows);
   const float* bias = weights.b.data<float>();
   for (auto& [level, batch] : levels) {
     int64_t k = static_cast<int64_t>(batch.size());

@@ -9,6 +9,15 @@
 // The table also exposes counters so benchmarks and tests can observe which
 // path executed — and can route to a "third-party library" kernel when
 // profiling has marked it faster (the paper's library-vs-compiled choice).
+//
+// Ownership contract (docs/ARCHITECTURE.md):
+//   Dispatch configuration is *per executable*. core::Compile writes the
+//   table into the vm::Executable it produces, and the VM threads that table
+//   into kernels through kernels::KernelContext, so serving model A while
+//   compiling model B cannot race on dispatch state. The process-global
+//   table (Global()) survives only as a deprecated shim for code that runs
+//   dense kernels outside any executable: the Figure 3 benchmark and the
+//   kernels::RunKernel convenience entry point.
 #pragma once
 
 #include <array>
@@ -47,8 +56,9 @@ class DenseDispatchTable {
   explicit DenseDispatchTable(int num_variants = kTileRows);
 
   /// Rebuilds the kernel table in place (and resets the stats). Not safe to
-  /// call while other threads are executing Run — reconfiguration happens at
-  /// compile time, before serving threads start.
+  /// call while other threads are executing Run — a table is configured once
+  /// (by core::Compile or Executable::Load, before the executable is handed
+  /// to any VM) and is read-only afterwards.
   void Configure(int num_variants);
 
   /// Runs x[M,K] · w[N,K]^T -> out[M,N], dispatching on M mod kTileRows.
@@ -61,8 +71,12 @@ class DenseDispatchTable {
   int num_variants() const { return num_variants_; }
   DispatchStats& stats() const { return stats_; }
 
-  /// Process-wide table used by the "nn.dense" kernel; reconfigured by the
-  /// compiler according to CompileOptions (and by the Figure 3 benchmark).
+  /// DEPRECATED: process-wide table for dense calls made outside any
+  /// executable. kernels::RunKernel (tests, baselines, constant folding)
+  /// routes here by default and the Figure 3 benchmark reconfigures it
+  /// directly. Runtime kernel lookups inside the VM never read it — every
+  /// vm::Executable owns its own table (see src/vm/executable.h). Do not
+  /// call ConfigureGlobal while any thread may be running through Global().
   static DenseDispatchTable& Global();
   static void ConfigureGlobal(int num_variants);
 

@@ -1,6 +1,5 @@
 #include "src/core/compiler.h"
 
-#include "src/codegen/dispatch.h"
 #include "src/pass/type_infer.h"
 #include "src/vm/compiler.h"
 
@@ -21,8 +20,12 @@ CompileResult Compile(ir::Module& mod, const CompileOptions& options) {
   result.devices = pass::DevicePlacement(&mod, options.kernel_device);
   if (options.memory_plan) result.memory = pass::MemoryPlan(&mod);
 
-  codegen::DenseDispatchTable::ConfigureGlobal(options.dense_dispatch_variants);
   result.executable = vm::VMCompiler().Compile(mod);
+  // Dispatch configuration is part of the executable, not process state:
+  // the table is written here, before anyone else can see the executable,
+  // and is read-only from then on. Compiling has no effect on models that
+  // are already serving.
+  result.executable->dispatch_table.Configure(options.dense_dispatch_variants);
   return result;
 }
 

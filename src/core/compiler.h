@@ -33,6 +33,9 @@ struct CompileOptions {
   runtime::Device kernel_device = runtime::Device::CPU();
   /// Number of residue-specialized dense kernel variants to dispatch
   /// between at runtime (§4.5); 8 = full dispatch, 1 = generic kernel only.
+  /// Written into the produced executable's own dispatch table — compiling
+  /// never touches global dispatch state, so it is safe while other
+  /// executables are serving (see docs/ARCHITECTURE.md).
   int dense_dispatch_variants = 8;
 };
 

@@ -1,5 +1,6 @@
-// nn.dense kernel: routes through the symbolic-codegen dispatch table
-// (src/codegen) so dynamic-M workloads exercise residue dispatch (§4.5).
+// nn.dense kernel: routes through the caller's dispatch table
+// (KernelContext::dense_dispatch — the executable's table inside the VM) so
+// dynamic-M workloads exercise residue dispatch (§4.5).
 #include "src/codegen/dispatch.h"
 #include "src/kernels/registry.h"
 
@@ -35,10 +36,11 @@ void DenseReference(const std::vector<NDArray>& in,
 void RegisterDenseKernels() {
   KernelRegistry::Global()->Register(
       "nn.dense",
-      [](const std::vector<NDArray>& in, const std::vector<NDArray>& out,
-         const ir::Attrs&) {
-        codegen::DenseDispatchTable::Global().Run(in[0], in[1], out[0]);
-      });
+      ContextKernelFn([](const std::vector<NDArray>& in,
+                         const std::vector<NDArray>& out, const ir::Attrs&,
+                         const KernelContext& ctx) {
+        ctx.dense_dispatch->Run(in[0], in[1], out[0]);
+      }));
   KernelRegistry::Global()->Register("nn.dense_ref", DenseReference);
 
   // nn.bias_add(x: [..., N], b: [N])

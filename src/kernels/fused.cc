@@ -89,21 +89,22 @@ void FusedElemwise(const std::vector<NDArray>& in,
 }
 
 void FusedDense(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
-                const ir::Attrs& attrs) {
+                const ir::Attrs& attrs, const KernelContext& ctx) {
   auto steps = DecodeSteps(attrs);
-  codegen::DenseDispatchTable::Global().Run(in[0], in[1], out[0]);
+  ctx.dense_dispatch->Run(in[0], in[1], out[0]);
   ApplyChain(steps, in, out[0]);
 }
 
 void FusedBatchMatmul(const std::vector<NDArray>& in,
-                      const std::vector<NDArray>& out, const ir::Attrs& attrs) {
+                      const std::vector<NDArray>& out, const ir::Attrs& attrs,
+                      const KernelContext& ctx) {
   auto steps = DecodeSteps(attrs);
   const NDArray& a = in[0];
   const NDArray& b = in[1];
   const NDArray& y = out[0];
   int64_t batch = a.shape()[0];
   int64_t m = a.shape()[1], k = a.shape()[2], n = b.shape()[1];
-  const auto& table = codegen::DenseDispatchTable::Global();
+  const auto& table = *ctx.dense_dispatch;
   const float* pa = a.data<float>();
   const float* pb = b.data<float>();
   float* py = y.data<float>();
@@ -117,8 +118,9 @@ void FusedBatchMatmul(const std::vector<NDArray>& in,
 
 void RegisterFusedKernels() {
   KernelRegistry::Global()->Register("fused_elemwise", FusedElemwise);
-  KernelRegistry::Global()->Register("fused_dense", FusedDense);
-  KernelRegistry::Global()->Register("fused_batch_matmul", FusedBatchMatmul);
+  KernelRegistry::Global()->Register("fused_dense", ContextKernelFn(FusedDense));
+  KernelRegistry::Global()->Register("fused_batch_matmul",
+                                     ContextKernelFn(FusedBatchMatmul));
 }
 
 }  // namespace kernels

@@ -1,6 +1,7 @@
 // nn.batch_matmul(a: [B, M, K], b: [B, N, K]) -> [B, M, N].
-// Each batch slice reuses the dense dispatch path so attention matmuls with
-// dynamic sequence length also benefit from residue specialization.
+// Each batch slice reuses the dense dispatch path (through the caller's
+// KernelContext table) so attention matmuls with dynamic sequence length
+// also benefit from residue specialization.
 #include "src/codegen/dispatch.h"
 #include "src/kernels/registry.h"
 
@@ -10,8 +11,9 @@ namespace kernels {
 void RegisterMatmulKernels() {
   KernelRegistry::Global()->Register(
       "nn.batch_matmul",
-      [](const std::vector<NDArray>& in, const std::vector<NDArray>& out,
-         const ir::Attrs&) {
+      ContextKernelFn([](const std::vector<NDArray>& in,
+                         const std::vector<NDArray>& out, const ir::Attrs&,
+                         const KernelContext& ctx) {
         const NDArray& a = in[0];
         const NDArray& b = in[1];
         const NDArray& y = out[0];
@@ -24,11 +26,11 @@ void RegisterMatmulKernels() {
         const float* pa = a.data<float>();
         const float* pb = b.data<float>();
         float* py = y.data<float>();
-        const auto& table = codegen::DenseDispatchTable::Global();
+        const auto& table = *ctx.dense_dispatch;
         for (int64_t bi = 0; bi < batch; ++bi) {
           table.Run(pa + bi * m * k, pb + bi * n * k, py + bi * m * n, m, n, k);
         }
-      });
+      }));
 }
 
 }  // namespace kernels

@@ -1,5 +1,6 @@
 #include "src/kernels/registry.h"
 
+#include "src/codegen/dispatch.h"
 #include "src/support/logging.h"
 
 namespace nimble {
@@ -11,6 +12,15 @@ KernelRegistry* KernelRegistry::Global() {
 }
 
 void KernelRegistry::Register(const std::string& name, KernelFn fn) {
+  kernels_[name] = [fn = std::move(fn)](const std::vector<NDArray>& inputs,
+                                        const std::vector<NDArray>& outputs,
+                                        const ir::Attrs& attrs,
+                                        const KernelContext&) {
+    fn(inputs, outputs, attrs);
+  };
+}
+
+void KernelRegistry::Register(const std::string& name, ContextKernelFn fn) {
   kernels_[name] = std::move(fn);
 }
 
@@ -18,7 +28,7 @@ bool KernelRegistry::Has(const std::string& name) const {
   return kernels_.count(name) > 0;
 }
 
-const KernelFn& KernelRegistry::Get(const std::string& name) const {
+const ContextKernelFn& KernelRegistry::Get(const std::string& name) const {
   auto it = kernels_.find(name);
   NIMBLE_CHECK(it != kernels_.end()) << "no kernel registered for '" << name << "'";
   return it->second;
@@ -44,10 +54,17 @@ void EnsureKernelsRegistered() {
   (void)done;
 }
 
+KernelContext DefaultKernelContext() {
+  KernelContext ctx;
+  ctx.dense_dispatch = &codegen::DenseDispatchTable::Global();
+  return ctx;
+}
+
 void RunKernel(const std::string& name, const std::vector<NDArray>& inputs,
                const std::vector<NDArray>& outputs, const ir::Attrs& attrs) {
   EnsureKernelsRegistered();
-  KernelRegistry::Global()->Get(name)(inputs, outputs, attrs);
+  KernelRegistry::Global()->Get(name)(inputs, outputs, attrs,
+                                      DefaultKernelContext());
 }
 
 }  // namespace kernels

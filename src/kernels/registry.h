@@ -19,31 +19,65 @@
 #include "src/runtime/ndarray.h"
 
 namespace nimble {
+
+namespace codegen {
+class DenseDispatchTable;
+}  // namespace codegen
+
 namespace kernels {
 
 using runtime::NDArray;
+
+/// Per-call execution context threaded from the caller into every kernel.
+/// The VM fills it from the executable it is bound to, which is how
+/// residue-dispatch state stays per-executable instead of process-global
+/// (see the ownership contract in src/codegen/dispatch.h). The context is
+/// read-only from the kernel's point of view and borrowed for the duration
+/// of the call only — kernels must not retain pointers into it.
+struct KernelContext {
+  /// Residue-specialized dense dispatch table (§4.5). Never null when a
+  /// kernel is invoked through the registry: the VM points it at its
+  /// executable's table, RunKernel at the deprecated global shim.
+  const codegen::DenseDispatchTable* dense_dispatch = nullptr;
+};
 
 using KernelFn = std::function<void(const std::vector<NDArray>& inputs,
                                     const std::vector<NDArray>& outputs,
                                     const ir::Attrs& attrs)>;
 
+/// Kernels that consume the context (dense / batch_matmul / fused dense
+/// chains) register in this form; context-free kernels register as KernelFn
+/// and are wrapped.
+using ContextKernelFn = std::function<void(const std::vector<NDArray>& inputs,
+                                           const std::vector<NDArray>& outputs,
+                                           const ir::Attrs& attrs,
+                                           const KernelContext& ctx)>;
+
 class KernelRegistry {
  public:
   static KernelRegistry* Global();
 
+  /// Registers a context-free kernel (wrapped to ignore the context).
   void Register(const std::string& name, KernelFn fn);
+  /// Registers a context-aware kernel.
+  void Register(const std::string& name, ContextKernelFn fn);
   bool Has(const std::string& name) const;
-  const KernelFn& Get(const std::string& name) const;
+  const ContextKernelFn& Get(const std::string& name) const;
   std::vector<std::string> ListNames() const;
 
  private:
-  std::map<std::string, KernelFn> kernels_;
+  std::map<std::string, ContextKernelFn> kernels_;
 };
 
 /// Idempotently registers every built-in kernel.
 void EnsureKernelsRegistered();
 
-/// Convenience: run a kernel by name (used by tests and the eager baseline).
+/// Context for kernel calls made outside any executable (tests, baselines,
+/// constant folding): dense dispatch routes to the deprecated global table.
+KernelContext DefaultKernelContext();
+
+/// Convenience: run a kernel by name with DefaultKernelContext (used by
+/// tests, the eager baseline, and the constant-folding pass).
 void RunKernel(const std::string& name, const std::vector<NDArray>& inputs,
                const std::vector<NDArray>& outputs, const ir::Attrs& attrs = {});
 

@@ -101,7 +101,9 @@ class PoolingAllocator : public Allocator {
   std::shared_ptr<Buffer> Alloc(size_t size, size_t alignment, Device device) override;
   void Free(Buffer* buffer) override;
 
-  /// Releases every cached block back to the OS.
+  /// Releases every cached block back to the OS. Thread-safe (takes the
+  /// allocator mutex); safe while other threads allocate, though it only
+  /// trims what is free at that instant.
   void Trim();
 
   size_t cached_bytes() const {
@@ -125,8 +127,10 @@ class PoolingAllocator : public Allocator {
   size_t max_cached_bytes_;
 };
 
-/// Process-wide default allocators. The VM allocates through these unless an
-/// executable was configured otherwise.
+/// Process-wide default allocators, never destroyed. A VirtualMachine
+/// constructed without an explicit allocator uses the pooling one; serving
+/// pool workers instead lease *private* PoolingAllocators (see
+/// src/serve/vm_pool.h) so their hot paths never contend on these.
 NaiveAllocator* GlobalNaiveAllocator();
 PoolingAllocator* GlobalPoolingAllocator();
 

@@ -13,23 +13,43 @@ int BatchPolicy::BucketOf(int64_t length) const {
   return static_cast<int>(it - bucket_edges.begin());
 }
 
-BatchScheduler::BatchScheduler(RequestQueue* queue, VMPool* pool,
-                               BatchPolicy policy, ServeStats* stats)
-    : queue_(queue), pool_(pool), policy_(std::move(policy)), stats_(stats) {
-  NIMBLE_CHECK(queue_ != nullptr && pool_ != nullptr);
-  NIMBLE_CHECK_GE(policy_.max_batch_size, 1);
-  NIMBLE_CHECK_GE(policy_.max_wait_micros, 0);
-  NIMBLE_CHECK(std::is_sorted(policy_.bucket_edges.begin(),
-                              policy_.bucket_edges.end()))
-      << "bucket edges must be ascending";
-  pending_.resize(static_cast<size_t>(policy_.num_buckets()));
+bool BatchScheduler::PerModel::HasFullBucket() const {
+  auto full = static_cast<size_t>(state->policy.max_batch_size);
+  for (const auto& bucket : pending) {
+    if (bucket.size() >= full) return true;
+  }
+  return false;
+}
+
+BatchScheduler::BatchScheduler(std::vector<ModelState*> models, VMPool* pool,
+                               ServeStats* aggregate)
+    : pool_(pool), aggregate_(aggregate) {
+  NIMBLE_CHECK(pool_ != nullptr);
+  NIMBLE_CHECK(!models.empty()) << "scheduler needs at least one model";
+  per_model_.reserve(models.size());
+  for (ModelState* state : models) {
+    NIMBLE_CHECK(state != nullptr && state->queue != nullptr &&
+                 state->exec != nullptr)
+        << "model state incomplete";
+    NIMBLE_CHECK_GE(state->policy.max_batch_size, 1);
+    NIMBLE_CHECK_GE(state->policy.max_wait_micros, 0);
+    NIMBLE_CHECK_GE(state->weight, 1);
+    NIMBLE_CHECK(std::is_sorted(state->policy.bucket_edges.begin(),
+                                state->policy.bucket_edges.end()))
+        << "bucket edges must be ascending";
+    PerModel pm;
+    pm.state = state;
+    pm.pending.resize(static_cast<size_t>(state->policy.num_buckets()));
+    per_model_.push_back(std::move(pm));
+    state->queue->set_notifier(&notifier_);
+  }
 }
 
 BatchScheduler::~BatchScheduler() {
-  // The loop only exits once the queue is closed and drained; close here so
-  // destroying a started scheduler never deadlocks in Join (idempotent —
-  // Server::Shutdown has usually closed the queue already).
-  queue_->Close();
+  // The loop only exits once every queue is closed and drained; close here
+  // so destroying a started scheduler never deadlocks in Join (idempotent —
+  // Server::Shutdown has usually closed the queues already).
+  for (PerModel& m : per_model_) m.state->queue->Close();
   Join();
 }
 
@@ -42,72 +62,143 @@ void BatchScheduler::Join() {
   if (thread_.joinable()) thread_.join();
 }
 
+int64_t BatchScheduler::Quantum(const PerModel& m) const {
+  return static_cast<int64_t>(m.state->weight) *
+         static_cast<int64_t>(m.state->policy.max_batch_size);
+}
+
 Clock::time_point BatchScheduler::NextDeadline() const {
   auto deadline = Clock::time_point::max();
-  for (const auto& bucket : pending_) {
-    if (bucket.empty()) continue;
-    auto flush_at = bucket.front().enqueue_time +
-                    std::chrono::microseconds(policy_.max_wait_micros);
-    deadline = std::min(deadline, flush_at);
+  for (const PerModel& m : per_model_) {
+    for (const auto& bucket : m.pending) {
+      if (bucket.empty()) continue;
+      auto flush_at =
+          bucket.front().enqueue_time +
+          std::chrono::microseconds(m.state->policy.max_wait_micros);
+      deadline = std::min(deadline, flush_at);
+    }
+  }
+  if (deadline == Clock::time_point::max()) {
+    // Nothing pending: sleep until a queue wakes us. A bounded horizon
+    // avoids the overflow pitfalls of wait_until(time_point::max()).
+    deadline = Clock::now() + std::chrono::hours(1);
   }
   return deadline;
 }
 
-void BatchScheduler::Flush(int bucket) {
-  auto& pending = pending_[static_cast<size_t>(bucket)];
-  if (pending.empty()) return;
+bool BatchScheduler::AllQueuesClosed() const {
+  for (const PerModel& m : per_model_) {
+    if (!m.state->queue->closed()) return false;
+  }
+  return true;
+}
+
+void BatchScheduler::Drain() {
+  for (PerModel& m : per_model_) {
+    while (auto request = m.state->queue->TryPop()) {
+      int bucket = m.state->policy.BucketOf(request->length_hint);
+      m.pending[static_cast<size_t>(bucket)].push_back(std::move(*request));
+    }
+  }
+}
+
+int64_t BatchScheduler::Flush(PerModel& m, int bucket) {
+  auto& pending = m.pending[static_cast<size_t>(bucket)];
+  if (pending.empty()) return 0;
   Batch batch;
   batch.bucket = bucket;
+  batch.model = m.state->index;
+  batch.exec = m.state->exec;
+  batch.stats = &m.state->stats;
   size_t take = std::min(pending.size(),
-                         static_cast<size_t>(policy_.max_batch_size));
+                         static_cast<size_t>(m.state->policy.max_batch_size));
   batch.requests.reserve(take);
   for (size_t i = 0; i < take; ++i) {
     batch.requests.push_back(std::move(pending.front()));
     pending.pop_front();
   }
-  if (stats_ != nullptr) stats_->RecordBatch(batch.requests.size());
-  pool_->Submit(std::move(batch));
+  m.state->stats.RecordBatch(batch.requests.size());
+  if (aggregate_ != nullptr) aggregate_->RecordBatch(batch.requests.size());
+  pool_->Submit(std::move(batch));  // blocks under pool backpressure
+  return static_cast<int64_t>(take);
 }
 
-void BatchScheduler::FlushExpired(Clock::time_point now) {
-  for (int b = 0; b < policy_.num_buckets(); ++b) {
-    auto& pending = pending_[static_cast<size_t>(b)];
-    while (!pending.empty() &&
-           pending.front().enqueue_time +
-                   std::chrono::microseconds(policy_.max_wait_micros) <=
-               now) {
-      Flush(b);
+bool BatchScheduler::DispatchRound() {
+  const size_t n = per_model_.size();
+  bool dispatched = false;
+  for (size_t k = 0; k < n; ++k) {
+    PerModel& m = per_model_[(rr_ + k) % n];
+    if (!m.HasFullBucket()) {
+      m.deficit = 0;  // classic DRR: nothing ready forfeits the credit
+      continue;
+    }
+    m.deficit += Quantum(m);
+    while (m.deficit > 0 && m.HasFullBucket()) {
+      auto full = static_cast<size_t>(m.state->policy.max_batch_size);
+      for (size_t b = 0; b < m.pending.size(); ++b) {
+        if (m.pending[b].size() >= full) {
+          m.deficit -= Flush(m, static_cast<int>(b));
+          dispatched = true;
+          break;
+        }
+      }
     }
   }
+  rr_ = (rr_ + 1) % n;
+  return dispatched;
+}
+
+bool BatchScheduler::FlushExpired(Clock::time_point now) {
+  const size_t n = per_model_.size();
+  bool dispatched = false;
+  for (size_t k = 0; k < n; ++k) {
+    PerModel& m = per_model_[(rr_ + k) % n];
+    auto max_wait =
+        std::chrono::microseconds(m.state->policy.max_wait_micros);
+    for (size_t b = 0; b < m.pending.size(); ++b) {
+      while (!m.pending[b].empty() &&
+             m.pending[b].front().enqueue_time + max_wait <= now) {
+        Flush(m, static_cast<int>(b));
+        dispatched = true;
+      }
+    }
+  }
+  return dispatched;
 }
 
 void BatchScheduler::FlushAll() {
-  for (int b = 0; b < policy_.num_buckets(); ++b) {
-    while (!pending_[static_cast<size_t>(b)].empty()) Flush(b);
+  for (PerModel& m : per_model_) {
+    for (size_t b = 0; b < m.pending.size(); ++b) {
+      while (!m.pending[b].empty()) Flush(m, static_cast<int>(b));
+    }
   }
 }
 
 void BatchScheduler::Loop() {
   while (true) {
-    auto deadline = NextDeadline();
-    std::optional<Request> request;
-    if (deadline == Clock::time_point::max()) {
-      request = queue_->Pop();  // nothing pending: wait for work or close
-    } else {
-      request = queue_->PopUntil(deadline);
+    // Capture the notifier version BEFORE draining: a push that lands after
+    // this line bumps the version, so the wait below returns immediately
+    // instead of losing the wakeup.
+    uint64_t seen = notifier_.version();
+    // Keep rotating DRR rounds while work is dispatchable, re-draining
+    // between rounds: flushes block under pool backpressure, and requests
+    // admitted meanwhile must join the rotation, not wait out a backlog.
+    bool progress = true;
+    while (progress) {
+      Drain();
+      progress = DispatchRound();
+      if (FlushExpired(Clock::now())) progress = true;
     }
-    if (request.has_value()) {
-      int bucket = policy_.BucketOf(request->length_hint);
-      auto& pending = pending_[static_cast<size_t>(bucket)];
-      pending.push_back(std::move(*request));
-      if (static_cast<int>(pending.size()) >= policy_.max_batch_size) {
-        Flush(bucket);
+    if (AllQueuesClosed()) {
+      // Closed queues cannot refill; one final drain empties them for good,
+      // then everything still pending is flushed regardless of batch size.
+      Drain();
+      while (DispatchRound()) {
       }
-    } else if (queue_->closed() && queue_->empty()) {
       FlushAll();
       return;
     }
-    FlushExpired(Clock::now());
+    notifier_.WaitUntil(seen, NextDeadline());
   }
 }
 

@@ -1,28 +1,45 @@
-// Dynamic length-bucketed batch scheduler.
+// Multi-model, length-bucketed batch scheduler with deficit-round-robin
+// fairness.
 //
 // Variable-length workloads (MRPC-like sentence lengths, SST-like trees —
 // src/models/workloads.h) make naive FIFO dispatch waste the allocator and
 // cache locality Nimble's VM wins from recurring shapes: consecutive
 // requests rarely share a storage footprint. The scheduler therefore sorts
-// in-flight requests into length buckets and dispatches per-bucket batches,
-// so one pool worker runs a run of similar-length requests back-to-back —
-// its PoolingAllocator free lists then serve every allocation of the batch
-// from the same few size classes.
+// each model's in-flight requests into length buckets and dispatches
+// per-bucket batches, so one pool worker runs a run of similar-length,
+// same-model requests back-to-back — its PoolingAllocator free lists then
+// serve every allocation of the batch from the same few size classes.
 //
-// Batch formation follows the classic two-knob policy:
+// Batch formation follows the classic two-knob policy, per model:
 //   - max_batch_size: a bucket reaching this many requests flushes at once;
 //   - max_wait_micros: an incomplete bucket flushes when its oldest request
 //     has waited this long (bounds the latency cost of batching).
 //
-// One scheduler thread owns all pending buckets; no locks beyond the
-// request queue's own.
+// Fairness (multi-model): full buckets are dispatched in deficit-round-robin
+// order. Each model visited in the round gains `weight * max_batch_size`
+// requests of credit and may dispatch full batches while its credit lasts; a
+// model with nothing ready forfeits its credit (classic DRR), so an idle
+// model banks nothing but a backlogged one is never crowded out — a model
+// flooding its own queue cannot consume more than its weight's share of
+// dispatch slots. Expired buckets bypass the credit check: the
+// max_wait_micros latency bound outranks fairness accounting (and itself
+// guarantees no request waits unboundedly).
+//
+// Threading: one scheduler thread owns all pending buckets and deficit
+// counters. It sleeps on a ChannelNotifier shared by every model's
+// RequestQueue, so a push to any queue (or any Close) wakes it; no locks
+// beyond each queue's own. The scheduler exits — flushing every pending
+// bucket — once every queue is closed and drained.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "src/serve/channel.h"
 #include "src/serve/request.h"
 #include "src/serve/request_queue.h"
 #include "src/serve/stats.h"
@@ -47,38 +64,88 @@ struct BatchPolicy {
   int BucketOf(int64_t length) const;
 };
 
+/// One registered model: a named executable plus everything the pipeline
+/// keeps per model — its own bounded admission queue (so backpressure and
+/// load shedding are per model), its batching policy, its DRR weight, and
+/// its stats. Owned by the Server; the scheduler borrows stable pointers.
+/// The queue is written by client threads and drained by the scheduler
+/// thread; `stats` is written by client threads (enqueues/rejections), the
+/// scheduler (batches), and pool workers (completions) — it locks
+/// internally. All other fields are set before Start() and read-only after.
+struct ModelState {
+  std::string name;
+  /// Dense index of this model within its server (stamped by AddModel).
+  int index = -1;
+  std::shared_ptr<vm::Executable> exec;
+  /// Entry point every request of this model runs.
+  std::string function = "main";
+  /// Deficit-round-robin weight: relative share of full-batch dispatch
+  /// slots under contention (2 = twice the share of a weight-1 model).
+  int weight = 1;
+  BatchPolicy policy;
+  std::unique_ptr<RequestQueue> queue;
+  ServeStats stats;
+};
+
 class BatchScheduler {
  public:
-  /// `queue`, `pool`, and `stats` must outlive the scheduler. `stats` may
-  /// be null.
-  BatchScheduler(RequestQueue* queue, VMPool* pool, BatchPolicy policy,
-                 ServeStats* stats = nullptr);
+  /// `models` (the pointed-to states), `pool`, and `aggregate` must outlive
+  /// the scheduler; `aggregate` may be null. The constructor attaches its
+  /// notifier to every model's queue, so it must run before any request is
+  /// admitted.
+  BatchScheduler(std::vector<ModelState*> models, VMPool* pool,
+                 ServeStats* aggregate = nullptr);
   ~BatchScheduler();
 
-  /// Launches the scheduler thread.
+  /// Launches the scheduler thread. Call at most once.
   void Start();
 
   /// Waits for the thread to exit. The scheduler exits — flushing every
-  /// pending bucket — once the queue is closed and drained.
+  /// pending bucket — once every model's queue is closed and drained.
   void Join();
 
-  const BatchPolicy& policy() const { return policy_; }
-
  private:
+  /// Scheduler-private view of one model: its pending buckets (FIFO per
+  /// bucket — front() is the oldest, so each bucket's flush deadline is
+  /// front().enqueue_time + max_wait) and its DRR credit.
+  struct PerModel {
+    ModelState* state = nullptr;
+    std::vector<std::deque<Request>> pending;
+    int64_t deficit = 0;
+
+    bool HasFullBucket() const;
+  };
+
   void Loop();
-  void Flush(int bucket);
-  void FlushExpired(Clock::time_point now);
+  /// Moves every request currently sitting in the admission queues into the
+  /// scheduler's buckets (non-blocking).
+  void Drain();
+  /// One deficit-round-robin round: visits every model once (rotating the
+  /// start), dispatching full buckets while credit lasts. Returns whether
+  /// anything was dispatched. The caller re-drains between rounds, so a
+  /// model whose requests arrived while an earlier flush was blocked on
+  /// pool backpressure joins the very next round instead of waiting out
+  /// another model's backlog.
+  bool DispatchRound();
+  /// Dispatches buckets whose oldest request has exceeded max_wait_micros,
+  /// regardless of remaining credit (the latency bound outranks fairness).
+  /// Returns whether anything was dispatched.
+  bool FlushExpired(Clock::time_point now);
+  /// Unconditionally dispatches everything still pending (shutdown path).
   void FlushAll();
+  /// Submits up to max_batch_size requests of model `m`'s bucket `b` to the
+  /// pool (blocking on pool backpressure); returns the number dispatched.
+  int64_t Flush(PerModel& m, int bucket);
   Clock::time_point NextDeadline() const;
+  bool AllQueuesClosed() const;
+  int64_t Quantum(const PerModel& m) const;
 
-  RequestQueue* queue_;
+  std::vector<PerModel> per_model_;
   VMPool* pool_;
-  BatchPolicy policy_;
-  ServeStats* stats_;
-
-  /// Pending requests per bucket, FIFO — front() is the oldest, so each
-  /// bucket's flush deadline is front().enqueue_time + max_wait.
-  std::vector<std::deque<Request>> pending_;
+  ServeStats* aggregate_;
+  ChannelNotifier notifier_;
+  /// Round-robin cursor: index of the model the next DRR round starts at.
+  size_t rr_ = 0;
   std::thread thread_;
 };
 

@@ -22,6 +22,42 @@
 namespace nimble {
 namespace serve {
 
+/// Wake-up fan-in for one consumer multiplexing several channels (the batch
+/// scheduler waits on N per-model request queues through one notifier).
+/// Producers bump a version on every Push/Close; the consumer records the
+/// version it last acted on and sleeps until the version moves — so a
+/// notification arriving between its drain pass and its wait is never lost.
+/// Thread-safe for any number of producers and one or more consumers.
+class ChannelNotifier {
+ public:
+  uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+
+  void Notify() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++version_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until version() != seen or `deadline` passes; returns the
+  /// version observed on wake-up (== seen means timeout).
+  uint64_t WaitUntil(uint64_t seen,
+                     std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_until(lock, deadline, [&] { return version_ != seen; });
+    return version_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t version_ = 0;
+};
+
 template <typename T>
 class Channel {
  public:
@@ -29,27 +65,43 @@ class Channel {
     NIMBLE_CHECK_GE(capacity, 1u) << "channel capacity must be positive";
   }
 
+  /// Attaches a shared notifier signalled on every successful Push and on
+  /// Close, so one consumer can sleep on many channels at once. Must be set
+  /// before producers start (it is read without the channel lock).
+  void set_notifier(ChannelNotifier* notifier) { notifier_ = notifier; }
+
   /// Blocks while the channel is full. Returns false (without consuming the
   /// item) if the channel is closed.
   bool Push(T& item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
+    if (notifier_ != nullptr) notifier_->Notify();
     return true;
   }
 
   /// Non-blocking. Returns false — leaving `item` untouched so the caller
   /// can retry or reject it — when the channel is full or closed.
   bool TryPush(T& item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (closed_ || items_.size() >= capacity_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
+    if (notifier_ != nullptr) notifier_->Notify();
     return true;
+  }
+
+  /// Non-blocking pop: empty optional when nothing is queued (the consumer
+  /// distinguishes "momentarily empty" from end-of-stream via closed()).
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    return PopLocked(std::move(lock));
   }
 
   /// Blocks until an item is available or the channel is closed and drained
@@ -79,6 +131,7 @@ class Channel {
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+    if (notifier_ != nullptr) notifier_->Notify();
   }
 
   bool closed() const {
@@ -111,6 +164,7 @@ class Channel {
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  ChannelNotifier* notifier_ = nullptr;  // set once, before producers start
 };
 
 }  // namespace serve

@@ -13,20 +13,24 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/runtime/object.h"
+#include "src/vm/executable.h"
 
 namespace nimble {
 namespace serve {
+
+class ServeStats;  // src/serve/stats.h (which includes this header)
 
 using Clock = std::chrono::steady_clock;
 
 struct Request {
   int64_t id = -1;
-  /// Executable function to run (every request in a pool shares one
-  /// executable; the function name selects an entry point within it).
+  /// Entry point to run within the model's executable (stamped from the
+  /// model's configuration at admission).
   std::string function = "main";
   std::vector<runtime::ObjectRef> args;
   /// Sequence length (tokens, rows, ...) used for length bucketing. Zero is
@@ -36,9 +40,21 @@ struct Request {
   std::promise<runtime::ObjectRef> promise;
 };
 
-/// A group of similar-length requests dispatched to one pool worker.
+/// A group of similar-length requests for one model, dispatched to one pool
+/// worker. The batch carries everything the worker needs — the executable
+/// to (re)bind its VM to and the per-model stats sink — so the pool itself
+/// holds no model state and one pool can serve any number of models.
 struct Batch {
   int bucket = -1;
+  /// Index of the owning model within its server (-1 for standalone
+  /// batches submitted directly to a VMPool).
+  int model = -1;
+  /// Executable the batch runs on. Must not be null when submitted to a
+  /// VMPool; shared (read-only) with every worker serving this model.
+  std::shared_ptr<vm::Executable> exec;
+  /// Per-model stats sink; may be null. Completions are recorded here in
+  /// addition to the pool's aggregate stats.
+  ServeStats* stats = nullptr;
   std::vector<Request> requests;
 };
 

@@ -1,10 +1,13 @@
 // Bounded MPMC request queue with backpressure.
 //
-// The queue is the admission-control point of the serving pipeline: its
-// capacity bounds the number of requests the system will buffer ahead of
-// the scheduler. Producers choose between Push (block until space — the
+// The queue is the admission-control point of the serving pipeline — one
+// per registered model, so backpressure and load shedding are per model:
+// its capacity bounds the number of that model's requests buffered ahead of
+// the scheduler, and a model flooding its own queue blocks only its own
+// clients. Producers choose between Push (block until space — the
 // backpressure propagates into the client thread) and TryPush (fail fast so
-// the caller can shed load). Close() drains gracefully.
+// the caller can shed load). Close() drains gracefully. The scheduler
+// multiplexes all queues through one ChannelNotifier.
 //
 // All semantics live in the generic Channel (src/serve/channel.h); this is
 // the Request instantiation the pipeline passes around.

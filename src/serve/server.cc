@@ -5,25 +5,68 @@
 namespace nimble {
 namespace serve {
 
-Server::Server(std::shared_ptr<vm::Executable> exec, ServeConfig config)
-    : config_(std::move(config)) {
+Server::Server(ServeConfig config) : config_(std::move(config)) {
   NIMBLE_CHECK_GE(config_.num_workers, 1);
-  queue_ = std::make_unique<RequestQueue>(config_.queue_capacity);
-  pool_ = std::make_unique<VMPool>(std::move(exec), config_.num_workers,
-                                   &stats_, config_.max_pending_batches);
-  scheduler_ = std::make_unique<BatchScheduler>(queue_.get(), pool_.get(),
-                                                config_.batch, &stats_);
-  scheduler_->Start();
+}
+
+Server::Server(std::shared_ptr<vm::Executable> exec, ServeConfig config)
+    : Server(std::move(config)) {
+  ModelConfig model;
+  model.exec = std::move(exec);
+  model.function = config_.function;
+  model.queue_capacity = config_.queue_capacity;
+  model.batch = config_.batch;
+  AddModel("default", std::move(model));
+  Start();
 }
 
 Server::~Server() { Shutdown(); }
 
-Request Server::MakeRequest(std::vector<runtime::ObjectRef> args,
+void Server::AddModel(const std::string& name, ModelConfig model) {
+  NIMBLE_CHECK(!started_.load()) << "AddModel after Start";
+  NIMBLE_CHECK(model.exec != nullptr) << "model '" << name << "' needs an executable";
+  NIMBLE_CHECK_GE(model.weight, 1) << "model '" << name << "': weight must be >= 1";
+  NIMBLE_CHECK(model_index_.count(name) == 0)
+      << "model '" << name << "' registered twice";
+  auto state = std::make_unique<ModelState>();
+  state->name = name;
+  state->index = static_cast<int>(models_.size());
+  state->exec = std::move(model.exec);
+  state->function = std::move(model.function);
+  state->weight = model.weight;
+  state->policy = std::move(model.batch);
+  state->queue = std::make_unique<RequestQueue>(model.queue_capacity);
+  model_index_[name] = state->index;
+  models_.push_back(std::move(state));
+}
+
+void Server::Start() {
+  NIMBLE_CHECK(!started_.load()) << "Start called twice";
+  NIMBLE_CHECK(!models_.empty()) << "Start with no models registered";
+  pool_ = std::make_unique<VMPool>(config_.num_workers, &stats_,
+                                   config_.max_pending_batches);
+  std::vector<ModelState*> states;
+  states.reserve(models_.size());
+  for (auto& model : models_) states.push_back(model.get());
+  scheduler_ = std::make_unique<BatchScheduler>(std::move(states), pool_.get(),
+                                                &stats_);
+  scheduler_->Start();
+  started_.store(true);
+}
+
+ModelState& Server::Find(const std::string& model) const {
+  auto it = model_index_.find(model);
+  NIMBLE_CHECK(it != model_index_.end()) << "no model named '" << model << "'";
+  return *models_[static_cast<size_t>(it->second)];
+}
+
+Request Server::MakeRequest(const ModelState& model,
+                            std::vector<runtime::ObjectRef> args,
                             int64_t length_hint,
                             std::future<runtime::ObjectRef>* future) {
   Request request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  request.function = config_.function;
+  request.function = model.function;
   request.args = std::move(args);
   request.length_hint = length_hint;
   // Stamped at submission (not queue insertion), so recorded latency is
@@ -35,34 +78,78 @@ Request Server::MakeRequest(std::vector<runtime::ObjectRef> args,
 }
 
 std::future<runtime::ObjectRef> Server::Submit(
-    std::vector<runtime::ObjectRef> args, int64_t length_hint) {
+    const std::string& model, std::vector<runtime::ObjectRef> args,
+    int64_t length_hint) {
+  NIMBLE_CHECK(started_.load()) << "Submit before Start";
+  ModelState& state = Find(model);
   std::future<runtime::ObjectRef> future;
-  Request request = MakeRequest(std::move(args), length_hint, &future);
+  Request request = MakeRequest(state, std::move(args), length_hint, &future);
   auto enqueue_time = request.enqueue_time;
-  bool accepted = queue_->Push(request);
+  bool accepted = state.queue->Push(request);
   NIMBLE_CHECK(accepted) << "Submit on a shut-down server";
+  state.stats.RecordEnqueue(enqueue_time);
   stats_.RecordEnqueue(enqueue_time);
   return future;
 }
 
 std::optional<std::future<runtime::ObjectRef>> Server::TrySubmit(
-    std::vector<runtime::ObjectRef> args, int64_t length_hint) {
+    const std::string& model, std::vector<runtime::ObjectRef> args,
+    int64_t length_hint) {
+  NIMBLE_CHECK(started_.load()) << "TrySubmit before Start";
+  ModelState& state = Find(model);
   std::future<runtime::ObjectRef> future;
-  Request request = MakeRequest(std::move(args), length_hint, &future);
+  Request request = MakeRequest(state, std::move(args), length_hint, &future);
   auto enqueue_time = request.enqueue_time;
-  if (!queue_->TryPush(request)) {
+  if (!state.queue->TryPush(request)) {
+    state.stats.RecordRejected();
     stats_.RecordRejected();
     return std::nullopt;
   }
+  state.stats.RecordEnqueue(enqueue_time);
   stats_.RecordEnqueue(enqueue_time);
   return future;
 }
 
+std::future<runtime::ObjectRef> Server::Submit(
+    std::vector<runtime::ObjectRef> args, int64_t length_hint) {
+  NIMBLE_CHECK(!models_.empty()) << "no models registered";
+  return Submit(models_.front()->name, std::move(args), length_hint);
+}
+
+std::optional<std::future<runtime::ObjectRef>> Server::TrySubmit(
+    std::vector<runtime::ObjectRef> args, int64_t length_hint) {
+  NIMBLE_CHECK(!models_.empty()) << "no models registered";
+  return TrySubmit(models_.front()->name, std::move(args), length_hint);
+}
+
+std::vector<std::string> Server::model_names() const {
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& model : models_) names.push_back(model->name);
+  return names;
+}
+
+StatsSnapshot Server::stats(const std::string& model) const {
+  return Find(model).stats.Snapshot();
+}
+
+size_t Server::queue_depth() const {
+  size_t depth = 0;
+  for (const auto& model : models_) depth += model->queue->size();
+  return depth;
+}
+
+size_t Server::queue_depth(const std::string& model) const {
+  return Find(model).queue->size();
+}
+
 void Server::Shutdown() {
   if (shutdown_.exchange(true)) return;
-  queue_->Close();      // stop admissions; scheduler drains what's left
-  scheduler_->Join();   // exits after flushing every pending bucket
-  pool_->Close();       // workers drain the batch queue, then exit
+  if (!started_.load()) return;  // nothing running yet
+  // Stop admissions on every model; the scheduler drains what's left.
+  for (auto& model : models_) model->queue->Close();
+  scheduler_->Join();  // exits after flushing every pending bucket
+  pool_->Close();      // workers drain the batch queue, then exit
   pool_->Join();
 }
 

@@ -1,25 +1,35 @@
-// Concurrent model server: queue -> batch scheduler -> VM pool.
+// Concurrent multi-model server: per-model queues -> DRR batch scheduler ->
+// shared VM pool.
 //
-// One Server owns the whole serving pipeline for a single compiled model:
+// One Server multiplexes any number of compiled models behind one worker
+// pool:
 //
-//   Submit()/TrySubmit()            (any number of client threads)
+//   Submit("m", ...)/TrySubmit            (any number of client threads)
 //        |
-//   RequestQueue                    (bounded; backpressure / load shedding)
-//        |
-//   BatchScheduler                  (one thread; length-bucketed batching)
-//        |
-//   VMPool                          (N worker threads, one VM + private
-//        |                           PoolingAllocator each, one shared
-//        v                           immutable Executable)
-//   std::future<ObjectRef>          (fulfilled per request)
+//   per-model RequestQueue                (bounded; backpressure / load
+//        |                                 shedding per model)
+//   BatchScheduler                        (one thread; length-bucketed
+//        |                                 batching per model, deficit-
+//        |                                 round-robin across models)
+//   VMPool                                (N worker threads, one VM +
+//        |                                 private PoolingAllocator each;
+//        v                                 workers rebind to the batch's
+//   std::future<ObjectRef>                 executable)
+//
+// Lifecycle: construct, AddModel() for each executable, Start(), then
+// Submit from any thread. The single-model convenience constructor does all
+// of that in one call and keeps the original PR-1 API working.
 //
 // Results are identical — bit-for-bit — to running the same requests
 // sequentially through a single VirtualMachine: requests never share
-// mutable state, only the read-only executable (tests/test_serve.cc).
+// mutable state, only their model's read-only executable; and because each
+// executable owns its dispatch table, compiling new models while serving
+// does not perturb in-flight results (tests/test_serve.cc).
 #pragma once
 
 #include <atomic>
 #include <future>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -34,56 +44,116 @@
 namespace nimble {
 namespace serve {
 
+/// Per-model registration parameters (everything except the name).
+struct ModelConfig {
+  std::shared_ptr<vm::Executable> exec;
+  /// Executable entry point every request of this model runs.
+  std::string function = "main";
+  /// Capacity of this model's admission queue: bounds how many requests are
+  /// buffered ahead of the scheduler before Submit blocks / TrySubmit sheds.
+  size_t queue_capacity = 256;
+  /// Length-bucketing and flush policy for this model's batches.
+  BatchPolicy batch;
+  /// Deficit-round-robin weight: relative share of dispatch slots under
+  /// contention (2 = twice the share of a weight-1 model). Must be >= 1.
+  int weight = 1;
+};
+
 struct ServeConfig {
   int num_workers = 4;
-  size_t queue_capacity = 256;
   /// Bound on batches buffered inside the pool; 0 = 2x num_workers. Keeps
   /// backpressure honest: when workers fall behind, the scheduler blocks,
-  /// the queue fills, and admission starts shedding.
+  /// the per-model queues fill, and admission starts shedding.
   size_t max_pending_batches = 0;
+
+  // ---- single-model conveniences, used by the legacy constructor -------
+  /// Admission queue capacity for the implicitly registered model.
+  size_t queue_capacity = 256;
+  /// Batch policy for the implicitly registered model.
   BatchPolicy batch;
-  /// Executable entry point every request runs.
+  /// Entry point for the implicitly registered model.
   std::string function = "main";
 };
 
 class Server {
  public:
+  /// Multi-model form: construct, AddModel() each executable, Start().
+  explicit Server(ServeConfig config = {});
+
+  /// Single-model convenience: registers `exec` under the name "default"
+  /// (using the config's queue_capacity/batch/function) and starts
+  /// immediately. Submit/TrySubmit without a model name route to it.
   Server(std::shared_ptr<vm::Executable> exec, ServeConfig config = {});
 
   /// Drains and stops the pipeline.
   ~Server();
 
-  /// Submits a request, blocking while the queue is full (backpressure).
+  /// Registers a named executable. Must be called before Start(), from the
+  /// owning thread; names must be unique and `model.exec` non-null.
+  void AddModel(const std::string& name, ModelConfig model);
+
+  /// Launches the scheduler and worker pool. Call exactly once, after every
+  /// AddModel. Submissions before Start() fail.
+  void Start();
+
+  /// Submits a request for `model`, blocking while that model's queue is
+  /// full (backpressure; other models' admissions are unaffected).
   /// `length_hint` is the input's sequence length, used for bucketing.
-  /// Throws nimble::Error after Shutdown().
-  std::future<runtime::ObjectRef> Submit(std::vector<runtime::ObjectRef> args,
+  /// Throws nimble::Error after Shutdown() or for an unknown model.
+  /// Thread-safe.
+  std::future<runtime::ObjectRef> Submit(const std::string& model,
+                                         std::vector<runtime::ObjectRef> args,
                                          int64_t length_hint = 0);
 
   /// Non-blocking admission: returns an empty optional — and counts a
-  /// rejection — when the queue is full, so callers can shed load.
+  /// rejection against `model` — when its queue is full, so callers can
+  /// shed load per model. Thread-safe.
+  std::optional<std::future<runtime::ObjectRef>> TrySubmit(
+      const std::string& model, std::vector<runtime::ObjectRef> args,
+      int64_t length_hint = 0);
+
+  /// Single-model conveniences: route to the first registered model.
+  std::future<runtime::ObjectRef> Submit(std::vector<runtime::ObjectRef> args,
+                                         int64_t length_hint = 0);
   std::optional<std::future<runtime::ObjectRef>> TrySubmit(
       std::vector<runtime::ObjectRef> args, int64_t length_hint = 0);
 
-  /// Stops admissions, flushes every pending batch, waits for all workers.
-  /// Idempotent; also run by the destructor. Outstanding futures are all
-  /// fulfilled before this returns.
+  /// Stops admissions on every model, flushes every pending batch, waits
+  /// for all workers. Idempotent; also run by the destructor. Outstanding
+  /// futures are all fulfilled before this returns.
   void Shutdown();
 
   const ServeConfig& config() const { return config_; }
+  std::vector<std::string> model_names() const;
+
+  /// Aggregate stats across every model (completions recorded once per
+  /// request). Thread-safe.
   StatsSnapshot stats() const { return stats_.Snapshot(); }
-  size_t queue_depth() const { return queue_->size(); }
+  /// Stats for one model. Throws for an unknown name. Thread-safe.
+  StatsSnapshot stats(const std::string& model) const;
+
+  /// Total requests currently buffered in admission queues (all models).
+  size_t queue_depth() const;
+  /// Requests buffered for one model. Throws for an unknown name.
+  size_t queue_depth(const std::string& model) const;
 
  private:
-  Request MakeRequest(std::vector<runtime::ObjectRef> args,
+  ModelState& Find(const std::string& model) const;
+  Request MakeRequest(const ModelState& model,
+                      std::vector<runtime::ObjectRef> args,
                       int64_t length_hint,
                       std::future<runtime::ObjectRef>* future);
 
   ServeConfig config_;
-  ServeStats stats_;
-  std::unique_ptr<RequestQueue> queue_;
+  ServeStats stats_;  // aggregate across models
+  /// unique_ptr for stable addresses: the scheduler and in-flight batches
+  /// hold ModelState pointers. Registration order defines model indices.
+  std::vector<std::unique_ptr<ModelState>> models_;
+  std::map<std::string, int> model_index_;
   std::unique_ptr<VMPool> pool_;
   std::unique_ptr<BatchScheduler> scheduler_;
   std::atomic<int64_t> next_id_{0};
+  std::atomic<bool> started_{false};
   std::atomic<bool> shutdown_{false};
 };
 

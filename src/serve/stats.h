@@ -5,6 +5,10 @@
 // folds everything into the numbers an operator dashboards: requests/sec,
 // p50/p95/p99 latency, mean batch occupancy.
 //
+// A multi-model Server keeps one ServeStats per model (inside ModelState)
+// plus one aggregate; every event is recorded into both, so per-model and
+// fleet-wide views stay consistent without post-hoc merging of percentiles.
+//
 // Thread-safe: recording takes a mutex (recording is a few nanoseconds of
 // bookkeeping next to a kernel invocation, so contention is negligible).
 // Memory is bounded: per-request latencies go into a fixed-size reservoir
@@ -57,7 +61,11 @@ class ServeStats {
   /// enqueue to result ready. `ok` is false when the VM threw.
   void RecordCompletion(double latency_us, bool ok, Clock::time_point when);
 
+  /// Consistent copy of every counter (taken under the mutex); safe to call
+  /// at any time from any thread, including while serving.
   StatsSnapshot Snapshot() const;
+  /// Zeroes every counter. Thread-safe, but concurrent recorders make the
+  /// result ill-defined — reset between runs, not mid-run.
   void Reset();
 
   /// Nearest-rank percentile of an unsorted sample (p in [0, 100]); exposed

@@ -51,22 +51,20 @@ size_t PendingBatchCap(int num_workers, size_t max_pending_batches) {
 
 }  // namespace
 
-VMPool::VMPool(std::shared_ptr<vm::Executable> exec, int num_workers,
-               ServeStats* stats, size_t max_pending_batches)
-    : exec_(std::move(exec)),
-      stats_(stats),
+VMPool::VMPool(int num_workers, ServeStats* stats, size_t max_pending_batches)
+    : stats_(stats),
       batches_(PendingBatchCap(num_workers, max_pending_batches)) {
-  NIMBLE_CHECK(exec_ != nullptr) << "VMPool needs an executable";
   NIMBLE_CHECK_GE(num_workers, 1);
   // Construct every VM on this thread before any worker starts: the VM
   // constructor populates the kernel/op registries, which become read-only
-  // once the threads are running.
+  // once the threads are running. Workers start unbound — each rebinds to
+  // the executable of the first batch it pulls.
   workers_.reserve(static_cast<size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
     auto worker = std::make_unique<Worker>();
     worker->allocator = WorkerAllocatorRegistry::Global().Lease();
     worker->vm =
-        std::make_unique<vm::VirtualMachine>(exec_, worker->allocator);
+        std::make_unique<vm::VirtualMachine>(nullptr, worker->allocator);
     workers_.push_back(std::move(worker));
   }
   for (auto& worker : workers_) {
@@ -85,6 +83,7 @@ VMPool::~VMPool() {
 
 void VMPool::Submit(Batch batch) {
   if (batch.requests.empty()) return;
+  NIMBLE_CHECK(batch.exec != nullptr) << "batch submitted without executable";
   bool accepted = batches_.Push(batch);
   NIMBLE_CHECK(accepted) << "VMPool::Submit after Close";
 }
@@ -109,6 +108,13 @@ int64_t VMPool::requests_executed() const {
 
 void VMPool::WorkerLoop(Worker& worker) {
   while (auto batch = batches_.Pop()) {
+    // Switch models when the batch demands it. Rebind is a shared_ptr swap
+    // plus a frame-stack reset; the scheduler's length-bucketed batching
+    // already gives each worker long same-model runs, so switches are rare
+    // relative to requests.
+    if (worker.vm->executable_ptr() != batch->exec) {
+      worker.vm->Rebind(batch->exec);
+    }
     for (Request& request : batch->requests) {
       bool ok = true;
       try {
@@ -120,12 +126,17 @@ void VMPool::WorkerLoop(Worker& worker) {
         request.promise.set_exception(std::current_exception());
       }
       worker.requests_executed.fetch_add(1, std::memory_order_relaxed);
-      if (stats_ != nullptr) {
-        auto now = Clock::now();
-        double latency_us =
-            std::chrono::duration<double, std::micro>(now -
-                                                      request.enqueue_time)
-                .count();
+      auto now = Clock::now();
+      double latency_us =
+          std::chrono::duration<double, std::micro>(now - request.enqueue_time)
+              .count();
+      // Per-model stats first, then the pool-wide aggregate (they are
+      // distinct objects; a Server wires the batch to its model's stats and
+      // the pool to the aggregate).
+      if (batch->stats != nullptr) {
+        batch->stats->RecordCompletion(latency_us, ok, now);
+      }
+      if (stats_ != nullptr && stats_ != batch->stats) {
         stats_->RecordCompletion(latency_us, ok, now);
       }
     }

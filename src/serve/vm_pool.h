@@ -1,11 +1,20 @@
-// Thread pool of VirtualMachine workers sharing one immutable Executable.
+// Thread pool of VirtualMachine workers, shared by every model of a Server.
 //
-// Each worker runs a VirtualMachine with a private PoolingAllocator, so the
-// hot allocation path is uncontended and each worker's free lists stay warm
-// with the storage bucket sizes of the sequence lengths it serves (see the
-// thread-safety contract in src/runtime/allocator.h). The executable —
-// bytecode, constants/weights, packed-kernel table — exists once, no matter
-// how many workers run it (src/vm/executable.h documents its immutability).
+// The pool is model-agnostic: work arrives as Batches (groups of
+// similar-length requests for one model, formed by the BatchScheduler), and
+// each batch carries the std::shared_ptr<vm::Executable> it runs on. A
+// worker rebinds its VM (VirtualMachine::Rebind — a shared_ptr swap plus a
+// frame-stack reset) whenever the batch it pulls belongs to a different
+// model than the previous one, runs the batch's requests back-to-back, and
+// fulfills their promises. Executables are immutable (src/vm/executable.h),
+// including their per-executable dispatch tables, so any number of workers
+// may serve any mix of models with no synchronization beyond the batch
+// queue.
+//
+// Each worker runs its VirtualMachine with a private PoolingAllocator, so
+// the hot allocation path is uncontended and each worker's free lists stay
+// warm with the storage bucket sizes of the sequence lengths it serves (see
+// the thread-safety contract in src/runtime/allocator.h).
 //
 // Allocator lifetime: result tensors handed out through request futures
 // reference their source allocator until the last NDArray dies (Buffer's
@@ -14,11 +23,6 @@
 // process-lifetime registry rather than owned by the pool — like the global
 // allocators, they are never destroyed; a released allocator is trimmed
 // (cached blocks returned to the OS) and recycled by the next pool.
-//
-// Work arrives as Batches (groups of similar-length requests formed by the
-// BatchScheduler). A worker runs each request of its batch back-to-back on
-// its VM, fulfills the request promises, and recycles the VM between
-// batches via VirtualMachine::Reset().
 #pragma once
 
 #include <atomic>
@@ -38,32 +42,37 @@ namespace serve {
 
 class VMPool {
  public:
-  /// Builds `num_workers` VMs (all sharing `exec`) and starts their
-  /// threads. `stats` may be null; when set, per-request completions are
-  /// recorded there. `max_pending_batches` bounds the internal batch queue
-  /// (default 2x workers) so that saturation propagates backpressure
-  /// upstream — a blocked Submit stops the scheduler, the RequestQueue
-  /// fills, and admission starts shedding — instead of buffering without
-  /// limit.
-  VMPool(std::shared_ptr<vm::Executable> exec, int num_workers,
-         ServeStats* stats = nullptr, size_t max_pending_batches = 0);
+  /// Builds `num_workers` unbound VMs and starts their threads. `stats` may
+  /// be null; when set, every completion (across all models) is recorded
+  /// there in addition to each batch's own per-model sink.
+  /// `max_pending_batches` bounds the internal batch queue (default 2x
+  /// workers) so that saturation propagates backpressure upstream — a
+  /// blocked Submit stops the scheduler, the per-model queues fill, and
+  /// admission starts shedding — instead of buffering without limit.
+  explicit VMPool(int num_workers, ServeStats* stats = nullptr,
+                  size_t max_pending_batches = 0);
 
   /// Closes and joins. Pending batches are drained first.
   ~VMPool();
 
   /// Enqueues a batch for execution, blocking while `max_pending_batches`
-  /// are already queued. Must not be called after Close().
+  /// are already queued. `batch.exec` must not be null. Must not be called
+  /// after Close(). Thread-safe (any number of producers).
   void Submit(Batch batch);
 
   /// Stops accepting batches; workers finish what is queued and exit.
+  /// Idempotent, thread-safe.
   void Close();
 
-  /// Waits for all workers to exit (Close() must have been called).
+  /// Waits for all workers to exit (Close() must have been called). Must be
+  /// called from a single owner thread.
   void Join();
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
-  /// Total requests executed across all workers (for tests/benchmarks).
+  /// Total requests executed across all workers and models (for
+  /// tests/benchmarks). Thread-safe; relaxed counters, so momentarily stale
+  /// under concurrent execution.
   int64_t requests_executed() const;
 
  private:
@@ -76,7 +85,6 @@ class VMPool {
 
   void WorkerLoop(Worker& worker);
 
-  std::shared_ptr<vm::Executable> exec_;
   ServeStats* stats_;
   Channel<Batch> batches_;
   std::vector<std::unique_ptr<Worker>> workers_;

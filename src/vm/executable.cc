@@ -11,7 +11,8 @@ namespace vm {
 namespace {
 
 constexpr uint32_t kMagic = 0x4e4d424cu;  // "NMBL"
-constexpr uint32_t kVersion = 1;
+// v2: adds the per-executable dense dispatch configuration (num_variants).
+constexpr uint32_t kVersion = 2;
 
 // ---- primitive writers/readers ---------------------------------------------
 
@@ -177,6 +178,7 @@ std::string Executable::Disassemble() const {
 void Executable::Save(std::ostream& os) const {
   WritePod<uint32_t>(os, kMagic);
   WritePod<uint32_t>(os, kVersion);
+  WritePod<int32_t>(os, dispatch_table.num_variants());
   WritePod<uint64_t>(os, constants.size());
   for (const auto& c : constants) WriteNDArray(os, c);
   WritePod<uint64_t>(os, packed.size());
@@ -201,6 +203,7 @@ std::shared_ptr<Executable> Executable::Load(std::istream& is) {
   NIMBLE_CHECK_EQ(ReadPod<uint32_t>(is), kMagic) << "not a Nimble executable";
   NIMBLE_CHECK_EQ(ReadPod<uint32_t>(is), kVersion) << "unsupported version";
   auto exec = std::make_shared<Executable>();
+  exec->dispatch_table.Configure(ReadPod<int32_t>(is));
   uint64_t num_consts = ReadPod<uint64_t>(is);
   for (uint64_t i = 0; i < num_consts; ++i) {
     exec->constants.push_back(ReadNDArray(is));

@@ -1,6 +1,6 @@
 // VM executable (§5): platform-independent bytecode + constant pool +
-// packed-kernel table, with binary serialization so compiled models can be
-// shipped to and loaded on any platform.
+// packed-kernel table + residue-dispatch table, with binary serialization so
+// compiled models can be shipped to and loaded on any platform.
 //
 // Thread-safety contract (serving subsystem, src/serve/):
 //   An Executable is *immutable once built* — the compiler (or Load) fills
@@ -9,7 +9,8 @@
 //   read at execution time, so one std::shared_ptr<Executable> may be shared
 //   by any number of VirtualMachine instances on concurrent threads with no
 //   synchronization. Do not mutate the public fields after handing the
-//   executable to a VM.
+//   executable to a VM. (The dispatch table's observability counters are
+//   internally atomic and exempt from the immutability rule.)
 #pragma once
 
 #include <iosfwd>
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/codegen/dispatch.h"
 #include "src/ir/attrs.h"
 #include "src/runtime/ndarray.h"
 #include "src/vm/bytecode.h"
@@ -52,6 +54,16 @@ class Executable {
   std::vector<runtime::NDArray> constants;
   std::vector<PackedEntry> packed;
 
+  /// Residue-specialized dense dispatch table owned by this executable
+  /// (§4.5). core::Compile configures it from
+  /// CompileOptions::dense_dispatch_variants and Load restores it from the
+  /// serialized form; it is never reconfigured afterwards. Every VM bound to
+  /// this executable resolves dense kernels through this table (via
+  /// kernels::KernelContext), so compiling another model — which builds its
+  /// own executable and table — cannot perturb in-flight inference. Its hit
+  /// counters are atomic; everything else is read-only after construction.
+  codegen::DenseDispatchTable dispatch_table;
+
   int32_t FunctionIndex(const std::string& name) const;
 
   /// Human-readable bytecode listing.
@@ -59,7 +71,9 @@ class Executable {
 
   /// Binary serialization. The format is self-contained: bytecode,
   /// constants (weights stay in the pool and are referenced by LoadConst),
-  /// and the packed-call table.
+  /// the packed-call table, and the dispatch configuration — a loaded
+  /// executable serves with the same kernel-variant policy it was compiled
+  /// with.
   void Save(std::ostream& os) const;
   static std::shared_ptr<Executable> Load(std::istream& is);
   void SaveToFile(const std::string& path) const;

@@ -70,6 +70,12 @@ void VirtualMachine::set_allocator(runtime::Allocator* allocator) {
   allocator_ = allocator;
 }
 
+void VirtualMachine::Rebind(std::shared_ptr<Executable> exec) {
+  NIMBLE_CHECK(exec != nullptr) << "cannot rebind a VM to a null executable";
+  exec_ = std::move(exec);
+  Reset();
+}
+
 void VirtualMachine::Reset() {
   stack_.clear();
   profile_.Reset();
@@ -77,6 +83,7 @@ void VirtualMachine::Reset() {
 
 ObjectRef VirtualMachine::Invoke(const std::string& name,
                                  std::vector<ObjectRef> args) {
+  NIMBLE_CHECK(exec_ != nullptr) << "VM has no executable bound (Rebind first)";
   int32_t index = exec_->FunctionIndex(name);
   const VMFunction& fn = exec_->functions[index];
   NIMBLE_CHECK_EQ(static_cast<int32_t>(args.size()), fn.num_params)
@@ -317,8 +324,13 @@ void VirtualMachine::RunPacked(const Instruction& inst, Frame& frame) {
     for (size_t i = num_inputs; i < inst.args.size(); ++i) {
       outputs.push_back(AsTensor(frame.regs[inst.args[i]]));
     }
+    // Kernels resolve dispatch state through the bound executable, never
+    // through process globals — the ownership contract that makes
+    // compile-while-serving safe (docs/ARCHITECTURE.md).
+    kernels::KernelContext ctx;
+    ctx.dense_dispatch = &exec_->dispatch_table;
     kernels::KernelRegistry::Global()->Get(entry.name)(inputs, outputs,
-                                                       entry.attrs);
+                                                       entry.attrs, ctx);
     if (profiling_) {
       auto t1 = std::chrono::steady_clock::now();
       profile_.kernel_nanos +=

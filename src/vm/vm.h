@@ -22,6 +22,7 @@
 
 #include "src/runtime/allocator.h"
 #include "src/runtime/object.h"
+#include "src/support/logging.h"
 #include "src/vm/executable.h"
 
 namespace nimble {
@@ -45,10 +46,14 @@ struct VMProfile {
 
 class VirtualMachine {
  public:
+  /// `exec` may be null: serving pools construct their workers unbound and
+  /// Rebind() them to the executable of each batch they pull. Invoking an
+  /// unbound VM is an error.
   explicit VirtualMachine(std::shared_ptr<Executable> exec,
                           runtime::Allocator* allocator = nullptr);
 
-  /// Runs a function by name (default: "main").
+  /// Runs a function by name (default: "main"). Single-threaded: only the
+  /// thread that owns this VM may call Invoke (see the contract above).
   runtime::ObjectRef Invoke(const std::string& name,
                             std::vector<runtime::ObjectRef> args);
   runtime::ObjectRef Invoke(std::vector<runtime::ObjectRef> args) {
@@ -59,12 +64,27 @@ class VirtualMachine {
   const VMProfile& profile() const { return profile_; }
   VMProfile& mutable_profile() { return profile_; }
 
-  const Executable& executable() const { return *exec_; }
+  /// The bound executable; the VM must be bound (throws otherwise).
+  const Executable& executable() const {
+    NIMBLE_CHECK(exec_ != nullptr) << "VM has no executable bound";
+    return *exec_;
+  }
+  /// The bound executable (shared with every other VM serving this model);
+  /// null while the VM is unbound.
+  const std::shared_ptr<Executable>& executable_ptr() const { return exec_; }
   runtime::Allocator* allocator() const { return allocator_; }
 
   /// Redirects allocations (e.g. to a per-worker pool). Must not be called
   /// while Invoke is running.
   void set_allocator(runtime::Allocator* allocator);
+
+  /// Binds the VM to a different executable — how a serving pool worker
+  /// switches between models. Equivalent to constructing a fresh VM minus
+  /// the registry setup: the frame stack and profile are cleared, the
+  /// allocator binding is kept. Cheap (a shared_ptr swap), single-threaded
+  /// like Invoke: must not be called while Invoke is running, and only by
+  /// the owning thread. `exec` must not be null.
+  void Rebind(std::shared_ptr<Executable> exec);
 
   /// Returns the VM to its post-construction state: clears the frame stack
   /// (releasing any objects retained by an Invoke that threw) and the

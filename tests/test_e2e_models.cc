@@ -160,13 +160,15 @@ TEST_P(BERTResidueSweep, EveryResidueAndDispatchConfig) {
   core::CompileOptions opts;
   opts.dense_dispatch_variants = variants;
   auto exec = core::Compile(mod, opts).executable;
+  // Dispatch configuration is per executable — no global state to restore
+  // between sweep points, and other executables are unaffected.
+  ASSERT_EQ(exec->dispatch_table.num_variants(), variants);
   vm::VirtualMachine machine(exec);
   support::Rng rng(200 + static_cast<uint64_t>(len));
   auto ids = models::RandomTokenIds(len, 30, rng);
   auto out = machine.Invoke(
       "main", {MakeTensor(NDArray::FromVector(ids, {len}))});
   ExpectClose(AsTensor(out), models::RunBERTReference(model, ids), 5e-4f);
-  codegen::DenseDispatchTable::ConfigureGlobal(codegen::kTileRows);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -132,15 +132,16 @@ struct LSTMFixture {
   std::vector<int64_t> lengths;
   std::vector<NDArray> expected;  // sequential single-VM results
 
-  explicit LSTMFixture(int num_requests) {
+  explicit LSTMFixture(int num_requests, int hidden_size = 12,
+                       uint64_t seed = 7) {
     models::LSTMConfig config;
     config.input_size = 8;
-    config.hidden_size = 12;
+    config.hidden_size = hidden_size;
     model = models::BuildLSTM(config);
     ir::Module mod = model.module;
     exec = core::Compile(mod).executable;
 
-    support::Rng rng(7);
+    support::Rng rng(seed);
     lengths = models::SampleMRPCLengths(num_requests, rng, 48);
     vm::VirtualMachine sequential(exec);
     for (int64_t len : lengths) {
@@ -282,12 +283,14 @@ TEST(Serve, TrySubmitShedsLoadAndCountsRejections) {
 
 TEST(Serve, VMPoolRunsBatchesDirectly) {
   // Pool-level check without scheduler/queue: a directly submitted batch
-  // executes every request and fulfills its promises.
+  // (carrying its own executable) executes every request and fulfills its
+  // promises.
   LSTMFixture fixture(6);
   serve::ServeStats stats;
-  serve::VMPool pool(fixture.exec, 3, &stats);
+  serve::VMPool pool(3, &stats);
   std::vector<std::future<runtime::ObjectRef>> futures;
   serve::Batch batch;
+  batch.exec = fixture.exec;
   for (size_t i = 0; i < 6; ++i) {
     serve::Request request;
     request.id = static_cast<int64_t>(i);
@@ -316,6 +319,171 @@ TEST(Serve, ResultsOutliveServerAndPool) {
   }  // server, scheduler, pool all gone
   ExpectBitIdentical(AsTensor(out), fixture.expected[0], 0);
   out = {};  // releasing the buffer now must not touch freed allocator state
+}
+
+// ---- multi-model serving ------------------------------------------------------
+
+TEST(Serve, TwoModelsShareOnePoolWithPerModelStats) {
+  // Two LSTMs with different hidden sizes (so a cross-model mixup would
+  // produce wrong shapes, not just wrong values) served through one pool.
+  const int kRequests = 24;
+  LSTMFixture a(kRequests, /*hidden_size=*/12, /*seed=*/7);
+  LSTMFixture b(kRequests, /*hidden_size=*/20, /*seed=*/31);
+
+  serve::ServeConfig config;
+  config.num_workers = 4;
+  serve::Server server(config);
+  serve::ModelConfig model_a;
+  model_a.exec = a.exec;
+  model_a.batch.max_batch_size = 4;
+  model_a.batch.max_wait_micros = 500;
+  serve::ModelConfig model_b;
+  model_b.exec = b.exec;
+  model_b.batch.max_batch_size = 4;
+  model_b.batch.max_wait_micros = 500;
+  server.AddModel("lstm-a", std::move(model_a));
+  server.AddModel("lstm-b", std::move(model_b));
+  server.Start();
+  EXPECT_EQ(server.model_names(),
+            (std::vector<std::string>{"lstm-a", "lstm-b"}));
+
+  // Two client threads, one per model, submitting concurrently.
+  std::vector<std::future<runtime::ObjectRef>> futures_a(kRequests);
+  std::vector<std::future<runtime::ObjectRef>> futures_b(kRequests);
+  std::thread client_a([&] {
+    for (int i = 0; i < kRequests; ++i) {
+      futures_a[i] = server.Submit("lstm-a", a.ArgsFor(i), a.lengths[i]);
+    }
+  });
+  std::thread client_b([&] {
+    for (int i = 0; i < kRequests; ++i) {
+      futures_b[i] = server.Submit("lstm-b", b.ArgsFor(i), b.lengths[i]);
+    }
+  });
+  client_a.join();
+  client_b.join();
+  for (int i = 0; i < kRequests; ++i) {
+    ExpectBitIdentical(AsTensor(futures_a[i].get()), a.expected[i], i);
+    ExpectBitIdentical(AsTensor(futures_b[i].get()), b.expected[i], i);
+  }
+  server.Shutdown();
+
+  auto snap_a = server.stats("lstm-a");
+  auto snap_b = server.stats("lstm-b");
+  auto total = server.stats();
+  EXPECT_EQ(snap_a.completed, kRequests);
+  EXPECT_EQ(snap_b.completed, kRequests);
+  EXPECT_EQ(snap_a.failed, 0);
+  EXPECT_EQ(snap_b.failed, 0);
+  EXPECT_EQ(total.completed, 2 * kRequests) << "aggregate counts each once";
+  EXPECT_GT(snap_a.batches, 0);
+  EXPECT_GT(snap_b.batches, 0);
+  EXPECT_THROW(server.stats("no-such-model"), Error);
+}
+
+TEST(Serve, CompileWhileServingKeepsResultsBitIdentical) {
+  // The race PR 2 fixes: dispatch state lives in each executable, so
+  // compiling model B (with any dispatch configuration) while model A
+  // serves must not perturb A's results — before the refactor, Compile
+  // rewrote the process-global dispatch table mid-flight.
+  const int kRequests = 48;
+  LSTMFixture fixture(kRequests);
+  ASSERT_EQ(fixture.exec->dispatch_table.num_variants(), 8);
+
+  serve::ServeConfig config;
+  config.num_workers = 2;
+  config.batch.max_batch_size = 4;
+  config.batch.max_wait_micros = 500;
+  serve::Server server(fixture.exec, config);
+
+  std::atomic<bool> stop{false};
+  std::thread compiler_thread([&] {
+    models::LSTMConfig other;
+    other.input_size = 4;
+    other.hidden_size = 6;
+    int variants[] = {1, 2, 4, 8};
+    for (int round = 0; !stop; ++round) {
+      ir::Module mod = models::BuildLSTM(other).module;
+      core::CompileOptions opts;
+      opts.dense_dispatch_variants = variants[round % 4];
+      auto exec = core::Compile(mod, opts).executable;
+      ASSERT_EQ(exec->dispatch_table.num_variants(), variants[round % 4]);
+    }
+  });
+
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(server.Submit(fixture.ArgsFor(i), fixture.lengths[i]));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  stop = true;
+  compiler_thread.join();
+  server.Shutdown();
+
+  EXPECT_EQ(fixture.exec->dispatch_table.num_variants(), 8)
+      << "serving executable's dispatch config must survive foreign compiles";
+  EXPECT_EQ(server.stats().completed, kRequests);
+  EXPECT_EQ(server.stats().failed, 0);
+}
+
+TEST(Serve, SkewedArrivalsDontStarveTheLightModel) {
+  // Fairness: a model flooding its queue must not crowd out a light one.
+  // With one worker and DRR scheduling, the light model's batches interleave
+  // with the flood instead of queueing behind all of it.
+  const int kFlood = 96;
+  const int kTrickle = 8;
+  LSTMFixture heavy(kFlood, /*hidden_size=*/12, /*seed=*/7);
+  LSTMFixture light(kTrickle, /*hidden_size=*/12, /*seed=*/13);
+
+  serve::ServeConfig config;
+  config.num_workers = 1;  // a single worker makes dispatch order observable
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.batch.max_batch_size = 4;
+  model.batch.max_wait_micros = 200000;  // full buckets only: pure DRR order
+  model.queue_capacity = 256;
+  model.exec = heavy.exec;
+  server.AddModel("flood", model);
+  model.exec = light.exec;
+  server.AddModel("trickle", std::move(model));
+  server.Start();
+
+  // The flood is fully enqueued before the trickle arrives — the worst case
+  // for the light model under FIFO scheduling.
+  std::vector<std::future<runtime::ObjectRef>> flood_futures;
+  for (int i = 0; i < kFlood; ++i) {
+    flood_futures.push_back(
+        server.Submit("flood", heavy.ArgsFor(i), heavy.lengths[i]));
+  }
+  // Constant length hint: all trickle requests land in one bucket, so they
+  // form full batches that must go through DRR dispatch (not expiry).
+  std::vector<std::future<runtime::ObjectRef>> trickle_futures;
+  for (int i = 0; i < kTrickle; ++i) {
+    trickle_futures.push_back(
+        server.Submit("trickle", light.ArgsFor(i), /*length_hint=*/10));
+  }
+  for (int i = 0; i < kTrickle; ++i) {
+    ExpectBitIdentical(AsTensor(trickle_futures[i].get()), light.expected[i],
+                       i);
+  }
+  // The moment the trickle finished, most of the flood must still be
+  // outstanding: under starvation-free DRR the trickle's 2 batches ride
+  // alongside ~2 flood batches per round (+ the pool's small buffer), while
+  // FIFO would have completed all 96 flood requests first.
+  auto flood_mid = server.stats("flood");
+  EXPECT_LT(flood_mid.completed, kFlood / 2)
+      << "light model waited out the flood: no fairness";
+
+  for (int i = 0; i < kFlood; ++i) {
+    ExpectBitIdentical(AsTensor(flood_futures[i].get()), heavy.expected[i], i);
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.stats("flood").completed, kFlood);
+  EXPECT_EQ(server.stats("trickle").completed, kTrickle);
+  EXPECT_EQ(server.stats().completed, kFlood + kTrickle);
 }
 
 TEST(Serve, VMResetAllowsRecycling) {

@@ -1,12 +1,15 @@
 // VM tests: individual instructions, control flow, closures, ADTs,
-// serialization round-trips, and the profiler.
+// per-executable dispatch ownership, serialization round-trips, and the
+// profiler.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "src/codegen/dispatch.h"
 #include "src/core/compiler.h"
 #include "src/ir/module.h"
 #include "src/op/registry.h"
+#include "src/support/rng.h"
 #include "src/vm/compiler.h"
 #include "src/vm/vm.h"
 
@@ -192,6 +195,86 @@ TEST(VM, ProfilerSplitsKernelTime) {
             0);
 }
 
+// ---- per-executable dispatch ownership ------------------------------------------
+
+/// Compiles x[3,4] · w[5,4]^T with the given number of dispatch variants.
+std::shared_ptr<vm::Executable> CompileDense(int variants) {
+  Var x = MakeVar("x", TensorType({3, 4}));
+  Var w = MakeVar("w", TensorType({5, 4}));
+  Module mod;
+  mod.Add("main", MakeFunction({x, w}, op::Call2("nn.dense", x, w)));
+  core::CompileOptions opts;
+  opts.dense_dispatch_variants = variants;
+  return core::Compile(mod, opts).executable;
+}
+
+TEST(VM, DenseDispatchReadsTheExecutablesTable) {
+  auto exec_full = CompileDense(8);
+  auto exec_none = CompileDense(1);
+  EXPECT_EQ(exec_full->dispatch_table.num_variants(), 8);
+  EXPECT_EQ(exec_none->dispatch_table.num_variants(), 1)
+      << "compiling one executable must not reconfigure another";
+
+  auto& global = codegen::DenseDispatchTable::Global();
+  global.stats().Reset();
+
+  support::Rng rng(3);
+  NDArray x = NDArray::Empty({3, 4}, runtime::DataType::Float32());
+  NDArray w = NDArray::Empty({5, 4}, runtime::DataType::Float32());
+  for (int64_t i = 0; i < x.num_elements(); ++i)
+    x.data<float>()[i] = rng.Uniform(-1.0f, 1.0f);
+  for (int64_t i = 0; i < w.num_elements(); ++i)
+    w.data<float>()[i] = rng.Uniform(-1.0f, 1.0f);
+
+  vm::VirtualMachine vm_full(exec_full);
+  vm::VirtualMachine vm_none(exec_none);
+  auto out_full =
+      AsTensor(vm_full.Invoke("main", {MakeTensor(x), MakeTensor(w)}));
+  auto out_none =
+      AsTensor(vm_none.Invoke("main", {MakeTensor(x), MakeTensor(w)}));
+
+  // M=3 hits residue 3: specialized under full dispatch, generic fallback
+  // with one variant — each accounted in its own executable's table.
+  EXPECT_GT(exec_full->dispatch_table.stats().specialized_calls, 0);
+  EXPECT_EQ(exec_full->dispatch_table.stats().fallback_calls, 0);
+  EXPECT_GT(exec_none->dispatch_table.stats().fallback_calls, 0);
+  EXPECT_EQ(exec_none->dispatch_table.stats().specialized_calls, 0);
+  // The deprecated global shim saw no runtime kernel lookups.
+  EXPECT_EQ(global.stats().specialized_calls, 0);
+  EXPECT_EQ(global.stats().fallback_calls, 0);
+  // Both dispatch paths compute the same thing (up to accumulation-order
+  // ulps — the specialized and generic kernels tile differently).
+  for (int64_t i = 0; i < out_full.num_elements(); ++i) {
+    EXPECT_NEAR(out_full.data<float>()[i], out_none.data<float>()[i], 1e-5);
+  }
+}
+
+TEST(VM, RebindSwitchesExecutables) {
+  Var x = MakeVar("x", ScalarType(DataType::Float32()));
+  auto exec_add = CompileMain(
+      MakeFunction({x}, op::Call2("add", x, FloatConst(1.0f))));
+  Var y = MakeVar("y", ScalarType(DataType::Float32()));
+  auto exec_mul = CompileMain(
+      MakeFunction({y}, op::Call2("multiply", y, FloatConst(4.0f))));
+
+  vm::VirtualMachine machine(exec_add);
+  EXPECT_FLOAT_EQ(RunScalar(machine, {MakeTensor(NDArray::Scalar<float>(2.0f))}),
+                  3.0f);
+  machine.Rebind(exec_mul);
+  EXPECT_EQ(machine.executable_ptr().get(), exec_mul.get());
+  EXPECT_FLOAT_EQ(RunScalar(machine, {MakeTensor(NDArray::Scalar<float>(2.0f))}),
+                  8.0f);
+  machine.Rebind(exec_add);
+  EXPECT_FLOAT_EQ(RunScalar(machine, {MakeTensor(NDArray::Scalar<float>(2.0f))}),
+                  3.0f);
+  EXPECT_THROW(machine.Rebind(nullptr), Error);
+}
+
+TEST(VM, UnboundVMRejectsInvoke) {
+  vm::VirtualMachine machine(nullptr);
+  EXPECT_THROW(machine.Invoke("main", {}), Error);
+}
+
 // ---- instruction encoding / serialization --------------------------------------
 
 TEST(Bytecode, OpcodeNamesCoverTableA1) {
@@ -236,6 +319,21 @@ TEST(Serialization, RoundtripPreservesEverything) {
     EXPECT_TRUE(reloaded->packed[i].attrs == exec->packed[i].attrs);
   }
   ASSERT_EQ(reloaded->constants.size(), exec->constants.size());
+  EXPECT_EQ(reloaded->dispatch_table.num_variants(),
+            exec->dispatch_table.num_variants())
+      << "dispatch configuration travels inside the executable";
+}
+
+TEST(Serialization, DispatchConfigSurvivesRoundtrip) {
+  Var x = MakeVar("x", ScalarType(DataType::Float32()));
+  auto exec = CompileMain(
+      MakeFunction({x}, op::Call2("add", x, FloatConst(1.0f))));
+  exec->dispatch_table.Configure(2);
+  std::stringstream buffer;
+  exec->Save(buffer);
+  auto reloaded = vm::Executable::Load(buffer);
+  EXPECT_EQ(reloaded->dispatch_table.num_variants(), 2)
+      << "a loaded executable serves with the policy it was compiled with";
 }
 
 TEST(Serialization, ReloadedExecutableRuns) {
