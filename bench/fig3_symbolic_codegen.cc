@@ -5,6 +5,11 @@
 // Rows: static / dispatch-8 / dispatch-4 / dispatch-2 / no-dispatch.
 // Expected shape (paper): full dispatch ≈ static; latency grows as the
 // kernel count shrinks, up to ~+42%/+104%/+45% at no-dispatch.
+//
+// Dispatch state: this benchmark constructs private DenseDispatchTable
+// instances per configuration and never touches the deprecated
+// DenseDispatchTable::Global() shim — the ownership pattern every dispatch
+// user follows (see src/codegen/dispatch.h).
 #include <cstdio>
 #include <vector>
 

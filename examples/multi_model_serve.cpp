@@ -25,8 +25,11 @@ int main() {
   models::LSTMConfig lstm_config;
   lstm_config.input_size = 32;
   lstm_config.hidden_size = 64;
+  lstm_config.emit_batched = true;  // emit @main_batched for packed batches
   auto lstm = models::BuildLSTM(lstm_config);
-  auto lstm_exec = core::Compile(lstm.module).executable;
+  core::CompileOptions lstm_opts;
+  lstm_opts.batched_entries = {lstm.batched_spec};
+  auto lstm_exec = core::Compile(lstm.module, lstm_opts).executable;
 
   models::BERTConfig bert_config;
   bert_config.num_layers = 2;
@@ -50,6 +53,10 @@ int main() {
   lstm_model.queue_capacity = 64;
   lstm_model.batch.max_batch_size = 4;
   lstm_model.batch.max_wait_micros = 1000;
+  // Tensor batching per model: LSTM batches run packed; BERT (no batched
+  // entry) keeps the per-request loop — the same flag would simply fall
+  // back, but leaving it off documents the intent.
+  lstm_model.batch.tensor_batching = true;
   server.AddModel("lstm", std::move(lstm_model));
 
   serve::ModelConfig bert_model;
@@ -102,12 +109,26 @@ int main() {
 
   server.Shutdown();
 
-  // 4. Per-model latency percentiles plus the pool-wide aggregate.
+  // 4. Per-model latency percentiles plus the pool-wide aggregate. The
+  //    batch-size histogram and padding-waste counters show how each
+  //    model's batches actually executed: the LSTM's run packed (with the
+  //    padding that costs), BERT's fall back to the per-request loop.
   for (const std::string& name : server.model_names()) {
     auto snap = server.stats(name);
-    std::printf("%-5s: %lld ok, %.1f req/s, p50 %.0f us, p95 %.0f us\n",
+    std::printf("%-5s: %lld ok, %.1f req/s, p50 %.0f us, p95 %.0f us, "
+                "packed %lld/%lld batches, padding waste %.1f%%\n",
                 name.c_str(), static_cast<long long>(snap.completed),
-                snap.throughput_rps, snap.p50_latency_us, snap.p95_latency_us);
+                snap.throughput_rps, snap.p50_latency_us, snap.p95_latency_us,
+                static_cast<long long>(snap.packed_batches),
+                static_cast<long long>(snap.batches),
+                snap.padding_waste * 100.0);
+    std::printf("       batch sizes:");
+    for (size_t i = 0; i < snap.batch_size_hist.size(); ++i) {
+      if (snap.batch_size_hist[i] == 0) continue;
+      std::printf("  [%s]=%lld", serve::ServeStats::BatchHistLabel(i),
+                  static_cast<long long>(snap.batch_size_hist[i]));
+    }
+    std::printf("\n");
   }
   auto total = server.stats();
   std::printf("total: %lld ok, %.1f req/s\n",

@@ -22,18 +22,27 @@ int main() {
   models::LSTMConfig config;
   config.input_size = 32;
   config.hidden_size = 64;
+  // Emit and ship the @main_batched calling convention with the executable
+  // so the server can run whole buckets as single packed invocations.
+  config.emit_batched = true;
   auto model = models::BuildLSTM(config);
-  core::CompileResult compiled = core::Compile(model.module);
+  core::CompileOptions compile_opts;
+  compile_opts.batched_entries = {model.batched_spec};
+  core::CompileResult compiled = core::Compile(model.module, compile_opts);
   std::printf("compiled LSTM: %zu bytecode instructions\n",
               compiled.executable->NumInstructions());
 
   // 2. Stand up the server: 4 VM workers, bounded queue, length-bucketed
-  //    batching tuned for the MRPC-like length distribution.
+  //    batching tuned for the MRPC-like length distribution, and tensor
+  //    batching on — each dispatched bucket runs as ONE padded [Lmax, B, D]
+  //    invocation (src/batch/) with results bit-identical to per-request
+  //    execution.
   serve::ServeConfig serve_config;
   serve_config.num_workers = 4;
   serve_config.queue_capacity = 32;
   serve_config.batch.max_batch_size = 4;
   serve_config.batch.max_wait_micros = 1000;
+  serve_config.batch.tensor_batching = true;
   serve::Server server(compiled.executable, serve_config);
 
   // 3. Submit a burst of variable-length requests and collect the futures.
@@ -62,6 +71,23 @@ int main() {
   std::printf("... %d requests served\n", kRequests);
 
   server.Shutdown();
-  std::printf("stats: %s\n", server.stats().ToString().c_str());
+  auto snap = server.stats();
+  std::printf("stats: %s\n", snap.ToString().c_str());
+
+  // 5. Batching effectiveness: how full the dispatched batches were, how
+  //    many ran packed, and how much of the packed input was padding.
+  std::printf("batch-size histogram:");
+  for (size_t i = 0; i < snap.batch_size_hist.size(); ++i) {
+    if (snap.batch_size_hist[i] == 0) continue;
+    std::printf("  [%s]=%lld", serve::ServeStats::BatchHistLabel(i),
+                static_cast<long long>(snap.batch_size_hist[i]));
+  }
+  std::printf("\npacked batches: %lld/%lld, padding waste %.1f%% (%lld of "
+              "%lld packed elements)\n",
+              static_cast<long long>(snap.packed_batches),
+              static_cast<long long>(snap.batches),
+              snap.padding_waste * 100.0,
+              static_cast<long long>(snap.padded_elements),
+              static_cast<long long>(snap.packed_total_elements));
   return 0;
 }

@@ -61,7 +61,11 @@ std::vector<NDArray> EagerContext::RunMulti(const std::string& op,
     outputs.push_back(NDArray::Empty(shape, out_dtype, runtime::Device::CPU(),
                                      runtime::GlobalNaiveAllocator()));
   }
-  kernels::RunKernel(info.kernel_name, inputs, outputs, attrs);
+  kernels::EnsureKernelsRegistered();
+  kernels::KernelContext ctx;
+  ctx.dense_dispatch = &dense_dispatch_;
+  kernels::KernelRegistry::Global()->Get(info.kernel_name)(inputs, outputs,
+                                                           attrs, ctx);
   return outputs;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/codegen/dispatch.h"
 #include "src/ir/attrs.h"
 #include "src/models/bert.h"
 #include "src/models/lstm.h"
@@ -68,6 +69,10 @@ class EagerContext {
   std::vector<std::shared_ptr<GraphNode>> trace_;
   int64_t dispatch_overhead_ns_ = 0;
   int64_t ops_executed_ = 0;
+  /// Private dense dispatch table, threaded to kernels via KernelContext
+  /// (the per-owner pattern of vm::Executable) — this baseline no longer
+  /// routes through the deprecated process-global table.
+  codegen::DenseDispatchTable dense_dispatch_;
 };
 
 /// Define-by-run model drivers (host-language control flow, per-op dispatch).

@@ -113,7 +113,8 @@ NDArray StaticBERTRuntime::Run(const std::vector<int64_t>& ids) {
   NIMBLE_CHECK_EQ(static_cast<int64_t>(ids.size()), seq_len_)
       << "static runtime compiled for a fixed sequence length";
   std::memcpy(ids_buffer_.raw_data(), ids.data(), ids.size() * sizeof(int64_t));
-  const kernels::KernelContext ctx = kernels::DefaultKernelContext();
+  kernels::KernelContext ctx;
+  ctx.dense_dispatch = &dispatch_;
   for (const Step& step : steps_) {
     kernels::KernelRegistry::Global()->Get(step.kernel)(step.inputs,
                                                         step.outputs,

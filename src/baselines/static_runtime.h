@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/codegen/dispatch.h"
 #include "src/ir/attrs.h"
 #include "src/models/bert.h"
 #include "src/runtime/ndarray.h"
@@ -44,6 +45,10 @@ class StaticBERTRuntime {
   runtime::NDArray ids_buffer_;
   runtime::NDArray output_;
   std::vector<Step> steps_;
+  /// Private dispatch table threaded to kernels via KernelContext — the
+  /// same per-owner pattern as vm::Executable, so this baseline neither
+  /// reads nor perturbs the deprecated process-global table.
+  codegen::DenseDispatchTable dispatch_;
 };
 
 }  // namespace baselines

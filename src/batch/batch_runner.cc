@@ -1,0 +1,80 @@
+#include "src/batch/batch_runner.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/batch/pack_plan.h"
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace batch {
+
+namespace {
+
+/// The pre-tensor-batching behavior, verbatim: one Invoke per request, each
+/// promise fulfilled with the result or the exception it threw.
+void RunPerRequest(vm::VirtualMachine& vm, serve::Batch& batch,
+                   const RequestDoneFn& on_done) {
+  for (serve::Request& request : batch.requests) {
+    bool ok = true;
+    try {
+      auto result = vm.Invoke(request.function, std::move(request.args));
+      request.promise.set_value(std::move(result));
+    } catch (...) {
+      ok = false;
+      request.promise.set_exception(std::current_exception());
+    }
+    if (on_done) on_done(request, ok);
+  }
+}
+
+}  // namespace
+
+BatchRunResult RunBatch(vm::VirtualMachine& vm, serve::Batch& batch,
+                        bool tensor_batching, const RequestDoneFn& on_done) {
+  BatchRunResult result;
+  if (tensor_batching && batch.exec != nullptr) {
+    PackCheck check = AnalyzeBatch(*batch.exec, batch.requests);
+    if (check.ok()) {
+      // Pack, invoke once, unpack. Request args are only read, so a failure
+      // anywhere in the try leaves the batch intact for the per-request
+      // loop. The try must NOT extend over promise fulfillment: once any
+      // promise is set, falling through to RunPerRequest would set it
+      // again and throw out of the worker.
+      PackPlan plan = PackPlan::Build(*check.spec, batch.requests);
+      std::vector<runtime::NDArray> outs;
+      bool packed_ok = false;
+      try {
+        auto args = plan.PackArgs(batch.requests, vm.allocator());
+        auto batched =
+            vm.Invoke(check.spec->batched_function, std::move(args));
+        outs = plan.Unpack(batched, vm.allocator());
+        NIMBLE_CHECK_EQ(outs.size(), batch.requests.size());
+        packed_ok = true;
+      } catch (const std::exception& e) {
+        result.fallback_reason = std::string("packed invocation failed: ") +
+                                 e.what();
+      } catch (...) {
+        result.fallback_reason = "packed invocation failed";
+      }
+      if (packed_ok) {
+        for (size_t i = 0; i < batch.requests.size(); ++i) {
+          batch.requests[i].promise.set_value(
+              runtime::MakeTensor(std::move(outs[i])));
+          if (on_done) on_done(batch.requests[i], /*ok=*/true);
+        }
+        result.packed = true;
+        result.padded_elements = plan.padded_elements();
+        result.total_elements = plan.total_elements();
+        return result;
+      }
+    } else {
+      result.fallback_reason = std::move(check.reason);
+    }
+  }
+  RunPerRequest(vm, batch, on_done);
+  return result;
+}
+
+}  // namespace batch
+}  // namespace nimble

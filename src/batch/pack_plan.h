@@ -1,0 +1,99 @@
+// PackPlan: pad-and-pack a bucket of same-model requests into one tensor.
+//
+// The batch scheduler (src/serve/) groups similar-length requests; this
+// layer turns such a group into a single VM invocation. AnalyzeBatch decides
+// whether a batch may run packed — the executable must carry a
+// vm::BatchedEntrySpec for the requests' entry point, and every request must
+// match the spec's calling convention (see the fallback rules in
+// docs/ARCHITECTURE.md). PackPlan then builds the batched argument list:
+//
+//   packed  [Lmax, B, D]   time-major; packed[t, r, :] = request r's row t,
+//                          zero rows beyond its true length
+//   max_len i64 scalar     = Lmax
+//   lengths [B, 1] i64     true per-request lengths
+//   states  [B, W] x k     zero-filled recurrent initial states
+//
+// and Unpack slices row r of the [B, W_out] result back into a fresh
+// [1, W_out] tensor per request (a copy, so a request's result never pins
+// the whole batch buffer).
+//
+// Bit-identity contract: a packed run must reproduce the per-request path
+// bit for bit. Two rules enforce it here; the batched function itself (e.g.
+// models::BuildLSTM's @main_batched) guarantees the rest via exact `where`
+// masking:
+//   - every kernel the entry uses computes batch rows independently and in
+//     the same per-row order for any row count (true of the repo's dense /
+//     elementwise / lstm_cell kernels);
+//   - the executable's dense dispatch must not mix kernel families across
+//     row counts: residue coverage has to be full (every M specialized) or
+//     empty (every M generic), because the specialized and generic dense
+//     kernels accumulate in different orders. AnalyzeBatch rejects partial
+//     coverage.
+//
+// Thread-safety: AnalyzeBatch and PackPlan only read the executable and the
+// requests; each pool worker builds its own plans with its own allocator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/allocator.h"
+#include "src/runtime/ndarray.h"
+#include "src/runtime/object.h"
+#include "src/serve/request.h"
+#include "src/vm/executable.h"
+
+namespace nimble {
+namespace batch {
+
+/// Outcome of AnalyzeBatch: `spec != nullptr` means the batch may run
+/// packed; otherwise `reason` names the first fallback rule that fired
+/// (surfaced in logs/tests, never an error — the per-request loop handles
+/// everything packing cannot).
+struct PackCheck {
+  const vm::BatchedEntrySpec* spec = nullptr;
+  std::string reason;
+  bool ok() const { return spec != nullptr; }
+};
+
+/// Decides whether `requests` (all for `exec`, all sharing one entry
+/// function) can execute as one packed invocation.
+PackCheck AnalyzeBatch(const vm::Executable& exec,
+                       const std::vector<serve::Request>& requests);
+
+class PackPlan {
+ public:
+  /// Builds the plan for a batch AnalyzeBatch accepted. `spec` must outlive
+  /// the plan (it lives in the executable, which the batch holds alive).
+  static PackPlan Build(const vm::BatchedEntrySpec& spec,
+                        const std::vector<serve::Request>& requests);
+
+  /// Pads and packs the requests' sequences and materializes the batched
+  /// argument list, allocating every tensor from `alloc` (the pool worker's
+  /// PoolingAllocator, so packed buffers recycle across batches).
+  std::vector<runtime::ObjectRef> PackArgs(
+      const std::vector<serve::Request>& requests,
+      runtime::Allocator* alloc) const;
+
+  /// Slices row r of the batched [B, W] result into a fresh [1, W] tensor
+  /// per request.
+  std::vector<runtime::NDArray> Unpack(const runtime::ObjectRef& result,
+                                       runtime::Allocator* alloc) const;
+
+  int64_t batch_size() const { return static_cast<int64_t>(lengths_.size()); }
+  int64_t max_len() const { return max_len_; }
+  const std::vector<int64_t>& lengths() const { return lengths_; }
+
+  /// Padding-overhead accounting over the packed input, in elements:
+  /// total = Lmax * B * D, padded = total - sum(lengths) * D.
+  int64_t total_elements() const;
+  int64_t padded_elements() const;
+
+ private:
+  const vm::BatchedEntrySpec* spec_ = nullptr;
+  std::vector<int64_t> lengths_;
+  int64_t max_len_ = 0;
+};
+
+}  // namespace batch
+}  // namespace nimble

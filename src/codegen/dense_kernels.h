@@ -31,35 +31,49 @@ namespace codegen {
 /// selects 8 for all three BERT dense layers (§6.3).
 inline constexpr int kTileRows = 8;
 
-/// Computes a ROWS x N block of the output. ROWS is a compile-time constant,
-/// so the per-row accumulator loop fully unrolls.
+/// Canonical per-row accumulation: 4 interleaved chains over k (breaking
+/// the multiply-add latency chain), reduced as (a0+a1)+(a2+a3), scalar
+/// tail. EVERY specialized dense path — single row, multi-row tile, or the
+/// batched rows-in-lanes tile — reproduces exactly this arithmetic order
+/// per row. That invariant is the bit-identity contract that lets the
+/// serving layer mix per-request and packed-batch execution freely
+/// (src/batch/pack_plan.h).
+inline void MicroRow1F32(const float* xrow, const float* w, float* outrow,
+                         int64_t n_cols, int64_t k_depth) {
+  for (int64_t n = 0; n < n_cols; ++n) {
+    const float* wrow = w + n * k_depth;
+    float acc[4] = {};
+    int64_t k = 0;
+    for (; k + 4 <= k_depth; k += 4) {
+      acc[0] += xrow[k + 0] * wrow[k + 0];
+      acc[1] += xrow[k + 1] * wrow[k + 1];
+      acc[2] += xrow[k + 2] * wrow[k + 2];
+      acc[3] += xrow[k + 3] * wrow[k + 3];
+    }
+    float fin = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (int64_t kk = k; kk < k_depth; ++kk) fin += xrow[kk] * wrow[kk];
+    outrow[n] = fin;
+  }
+}
+
+/// Full kTileRows-row tile, defined in dispatch.cc: rows-in-lanes (one
+/// 8-wide vector lane per row, weights broadcast — the layout batched
+/// serving wants) when the CPU supports AVX2, row-at-a-time MicroRow1F32
+/// otherwise. Deliberately compiled without fused multiply-add: a fused
+/// contraction would round differently and break the per-row bit-identity
+/// contract above.
+void MicroTile8F32(const float* x, const float* w, float* out, int64_t n_cols,
+                   int64_t k_depth, int64_t out_stride);
+
+/// Computes a ROWS x N block of the output, one row at a time. Interleaving
+/// rows inside the k-loop looks tempting but defeats vectorization of the
+/// four chains once ROWS > 1 (measured ~3x worse per row); row-at-a-time
+/// keeps every residue tail at the single-row kernel's cost.
 template <int ROWS>
 inline void MicroRowsF32(const float* x, const float* w, float* out,
                          int64_t n_cols, int64_t k_depth, int64_t out_stride) {
-  for (int64_t n = 0; n < n_cols; ++n) {
-    // 4 accumulator chains per row break the FMA latency chain; both loops
-    // have compile-time trip counts, so the whole body unrolls/vectorizes —
-    // the code shape the paper's codegen achieves once boundary checks are
-    // eliminated.
-    float acc[ROWS][4] = {};
-    const float* wrow = w + n * k_depth;
-    int64_t k = 0;
-    for (; k + 4 <= k_depth; k += 4) {
-      for (int r = 0; r < ROWS; ++r) {
-        const float* xrow = x + r * k_depth + k;
-        acc[r][0] += xrow[0] * wrow[k + 0];
-        acc[r][1] += xrow[1] * wrow[k + 1];
-        acc[r][2] += xrow[2] * wrow[k + 2];
-        acc[r][3] += xrow[3] * wrow[k + 3];
-      }
-    }
-    for (int r = 0; r < ROWS; ++r) {
-      float fin = (acc[r][0] + acc[r][1]) + (acc[r][2] + acc[r][3]);
-      for (int64_t kk = k; kk < k_depth; ++kk) {
-        fin += x[r * k_depth + kk] * wrow[kk];
-      }
-      out[r * out_stride + n] = fin;
-    }
+  for (int r = 0; r < ROWS; ++r) {
+    MicroRow1F32(x + r * k_depth, w, out + r * out_stride, n_cols, k_depth);
   }
 }
 
@@ -81,14 +95,14 @@ inline void MicroRowsDynF32(const float* x, const float* w, float* out,
 }
 
 /// Residue-specialized dense kernel: M = kTileRows * q + R with R fixed at
-/// compile time. All loop bounds in the hot path are tile-exact.
+/// compile time. All loop bounds in the hot path are tile-exact; full tiles
+/// run rows-in-lanes where the CPU allows (MicroTile8F32).
 template <int R>
 void DenseResidue(const float* x, const float* w, float* out, int64_t m,
                   int64_t n, int64_t k) {
   int64_t q = m / kTileRows;
   for (int64_t t = 0; t < q; ++t) {
-    MicroRowsF32<kTileRows>(x + t * kTileRows * k, w, out + t * kTileRows * n,
-                            n, k, n);
+    MicroTile8F32(x + t * kTileRows * k, w, out + t * kTileRows * n, n, k, n);
   }
   if constexpr (R > 0) {
     MicroRowsF32<R>(x + q * kTileRows * k, w, out + q * kTileRows * n, n, k, n);
@@ -106,8 +120,7 @@ void DenseStatic(const float* x, const float* w, float* out) {
   constexpr int64_t q = M / kTileRows;
   constexpr int R = static_cast<int>(M % kTileRows);
   for (int64_t t = 0; t < q; ++t) {
-    MicroRowsF32<kTileRows>(x + t * kTileRows * K, w, out + t * kTileRows * N,
-                            N, K, N);
+    MicroTile8F32(x + t * kTileRows * K, w, out + t * kTileRows * N, N, K, N);
   }
   if constexpr (R > 0) {
     MicroRowsF32<R>(x + q * kTileRows * K, w, out + q * kTileRows * N, N, K, N);

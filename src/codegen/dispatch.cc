@@ -5,6 +5,108 @@
 namespace nimble {
 namespace codegen {
 
+namespace {
+
+// ---- rows-in-lanes 8-row tile ----------------------------------------------
+//
+// The batched-serving layout: one vector lane per batch row, weights
+// broadcast across lanes, so an 8-request packed batch streams each weight
+// row ONCE instead of 8 times and does 8 rows of multiply-add per vector op.
+// Per-lane arithmetic is exactly MicroRow1F32's order (4 chains over k,
+// (a0+a1)+(a2+a3), scalar tail), and the function is compiled WITHOUT fused
+// multiply-add, so every row's bits match the single-row kernel —
+// bit-identity across per-request and packed execution (src/batch/).
+//
+// Runtime-dispatched: x86-64 with AVX2 takes the lane path; everything else
+// (and k beyond the transpose buffer) falls back to row-at-a-time.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define NIMBLE_DENSE_LANES 1
+
+typedef float v8sf __attribute__((vector_size(32)));
+
+/// Largest contraction depth the stack-resident transpose buffer covers
+/// (32 KiB); deeper contractions use the scalar tile.
+constexpr int64_t kMaxLaneDepth = 1024;
+
+__attribute__((target("avx2"))) void MicroTile8LanesF32(
+    const float* x, const float* w, float* out, int64_t n_cols,
+    int64_t k_depth, int64_t out_stride) {
+  // Transpose the 8 x k tile once so the row dimension is lane-contiguous.
+  alignas(32) v8sf xT[kMaxLaneDepth];
+  int64_t k4 = (k_depth / 4) * 4;
+  for (int64_t kk = 0; kk < k4; ++kk) {
+    for (int r = 0; r < 8; ++r) xT[kk][r] = x[r * k_depth + kk];
+  }
+  // Two output columns per iteration: their accumulator sets are
+  // independent, which hides the vector-add latency the 4 chains of a
+  // single column cannot. Per-(row, column) arithmetic is untouched.
+  int64_t n = 0;
+  for (; n + 2 <= n_cols; n += 2) {
+    const float* wrow0 = w + n * k_depth;
+    const float* wrow1 = wrow0 + k_depth;
+    v8sf a0 = {}, a1 = {}, a2 = {}, a3 = {};
+    v8sf b0 = {}, b1 = {}, b2 = {}, b3 = {};
+    for (int64_t kk = 0; kk + 4 <= k4; kk += 4) {
+      v8sf x0 = xT[kk + 0], x1 = xT[kk + 1], x2 = xT[kk + 2], x3 = xT[kk + 3];
+      a0 += x0 * wrow0[kk + 0];
+      a1 += x1 * wrow0[kk + 1];
+      a2 += x2 * wrow0[kk + 2];
+      a3 += x3 * wrow0[kk + 3];
+      b0 += x0 * wrow1[kk + 0];
+      b1 += x1 * wrow1[kk + 1];
+      b2 += x2 * wrow1[kk + 2];
+      b3 += x3 * wrow1[kk + 3];
+    }
+    for (int r = 0; r < 8; ++r) {
+      float fin0 = (a0[r] + a1[r]) + (a2[r] + a3[r]);
+      float fin1 = (b0[r] + b1[r]) + (b2[r] + b3[r]);
+      for (int64_t kk = k4; kk < k_depth; ++kk) {
+        fin0 += x[r * k_depth + kk] * wrow0[kk];
+        fin1 += x[r * k_depth + kk] * wrow1[kk];
+      }
+      out[r * out_stride + n] = fin0;
+      out[r * out_stride + n + 1] = fin1;
+    }
+  }
+  for (; n < n_cols; ++n) {
+    const float* wrow = w + n * k_depth;
+    v8sf acc0 = {}, acc1 = {}, acc2 = {}, acc3 = {};
+    for (int64_t kk = 0; kk + 4 <= k4; kk += 4) {
+      acc0 += xT[kk + 0] * wrow[kk + 0];
+      acc1 += xT[kk + 1] * wrow[kk + 1];
+      acc2 += xT[kk + 2] * wrow[kk + 2];
+      acc3 += xT[kk + 3] * wrow[kk + 3];
+    }
+    for (int r = 0; r < 8; ++r) {
+      float fin = (acc0[r] + acc1[r]) + (acc2[r] + acc3[r]);
+      for (int64_t kk = k4; kk < k_depth; ++kk) {
+        fin += x[r * k_depth + kk] * wrow[kk];
+      }
+      out[r * out_stride + n] = fin;
+    }
+  }
+}
+
+bool LanesSupported() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+#endif  // x86-64 gcc/clang
+
+}  // namespace
+
+void MicroTile8F32(const float* x, const float* w, float* out, int64_t n_cols,
+                   int64_t k_depth, int64_t out_stride) {
+#ifdef NIMBLE_DENSE_LANES
+  if (k_depth <= kMaxLaneDepth && LanesSupported()) {
+    MicroTile8LanesF32(x, w, out, n_cols, k_depth, out_stride);
+    return;
+  }
+#endif
+  MicroRowsF32<kTileRows>(x, w, out, n_cols, k_depth, out_stride);
+}
+
 void DenseSymbolicChecked(const float* x, const float* w, float* out,
                           int64_t m, int64_t n, int64_t k) {
   for (int64_t i0 = 0; i0 < m; i0 += kTileRows) {

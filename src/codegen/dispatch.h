@@ -71,12 +71,15 @@ class DenseDispatchTable {
   int num_variants() const { return num_variants_; }
   DispatchStats& stats() const { return stats_; }
 
-  /// DEPRECATED: process-wide table for dense calls made outside any
-  /// executable. kernels::RunKernel (tests, baselines, constant folding)
-  /// routes here by default and the Figure 3 benchmark reconfigures it
-  /// directly. Runtime kernel lookups inside the VM never read it — every
-  /// vm::Executable owns its own table (see src/vm/executable.h). Do not
-  /// call ConfigureGlobal while any thread may be running through Global().
+  /// DEPRECATED — scheduled for removal: process-wide table for dense calls
+  /// made outside any executable. Remaining users are kernels::RunKernel
+  /// (tests and the constant-folding pass) only; the baselines
+  /// (src/baselines/) and the Figure 3 benchmark own private tables, and
+  /// runtime kernel lookups inside the VM never read it — every
+  /// vm::Executable owns its own table (see src/vm/executable.h). New code
+  /// must construct its own DenseDispatchTable and thread it through
+  /// kernels::KernelContext. Do not call ConfigureGlobal while any thread
+  /// may be running through Global().
   static DenseDispatchTable& Global();
   static void ConfigureGlobal(int num_variants);
 

@@ -26,6 +26,13 @@ CompileResult Compile(ir::Module& mod, const CompileOptions& options) {
   // and is read-only from then on. Compiling has no effect on models that
   // are already serving.
   result.executable->dispatch_table.Configure(options.dense_dispatch_variants);
+  // Batched-entry specs ride along the same way as the dispatch config:
+  // stamped before the executable escapes, immutable afterwards.
+  for (const vm::BatchedEntrySpec& spec : options.batched_entries) {
+    result.executable->FunctionIndex(spec.function);          // must exist
+    result.executable->FunctionIndex(spec.batched_function);  // must exist
+    result.executable->batched.push_back(spec);
+  }
   return result;
 }
 

@@ -37,6 +37,12 @@ struct CompileOptions {
   /// never touches global dispatch state, so it is safe while other
   /// executables are serving (see docs/ARCHITECTURE.md).
   int dense_dispatch_variants = 8;
+  /// Batched-entry descriptors supplied by the model builder (e.g.
+  /// models::BuildLSTM emits @main_batched and fills LSTMModel::batched_spec).
+  /// Copied into the executable — Compile checks that both the per-request
+  /// and the batched function actually exist in the module — where the
+  /// serving layer's tensor-batching path (src/batch/) discovers them.
+  std::vector<vm::BatchedEntrySpec> batched_entries;
 };
 
 struct CompileResult {

@@ -288,6 +288,56 @@ void RegisterElemwiseKernels() {
         }
       });
 
+  // where(cond, a, b): exact per-element bit selection. `a`, `b`, and the
+  // output share one shape; `cond` (bool) broadcasts against it. Selection
+  // copies bits — no float arithmetic — so a masked batched recurrence
+  // (src/vm/batch_spec.h) reproduces per-request results exactly.
+  KernelRegistry::Global()->Register(
+      "where",
+      [](const std::vector<NDArray>& in, const std::vector<NDArray>& out,
+         const ir::Attrs&) {
+        NIMBLE_CHECK_EQ(in.size(), 3u);
+        const NDArray& cond = in[0];
+        const NDArray& a = in[1];
+        const NDArray& b = in[2];
+        const NDArray& y = out[0];
+        NIMBLE_CHECK(a.shape() == y.shape() && b.shape() == y.shape())
+            << "where: branches must match the output shape";
+        NIMBLE_CHECK(a.dtype() == b.dtype() && a.dtype() == y.dtype())
+            << "where: dtype mismatch";
+        const auto* pc = static_cast<const uint8_t*>(cond.raw_data());
+        const char* pa = static_cast<const char*>(a.raw_data());
+        const char* pb = static_cast<const char*>(b.raw_data());
+        char* py = static_cast<char*>(y.raw_data());
+        size_t elem = y.dtype().bytes();
+        int64_t n = y.num_elements();
+        // Fast path for the batched-recurrence shape: cond [B, 1] selecting
+        // whole rows of [B, W] states — one memcpy per row.
+        if (y.ndim() == 2 && cond.ndim() == 2 &&
+            cond.shape()[0] == y.shape()[0] && cond.shape()[1] == 1) {
+          size_t row = static_cast<size_t>(y.shape()[1]) * elem;
+          for (int64_t r = 0; r < y.shape()[0]; ++r) {
+            std::memcpy(py + r * row, (pc[r] ? pa : pb) + r * row, row);
+          }
+          return;
+        }
+        size_t rank = y.shape().size();
+        auto sc = BroadcastStrides(cond.shape(), rank, y.shape());
+        std::vector<int64_t> idx(rank, 0);
+        int64_t offc = 0;
+        for (int64_t linear = 0; linear < n; ++linear) {
+          const char* src = pc[offc] ? pa : pb;
+          std::memcpy(py + linear * elem, src + linear * elem, elem);
+          for (size_t d = rank; d-- > 0;) {
+            idx[d]++;
+            offc += sc[d];
+            if (idx[d] < y.shape()[d]) break;
+            offc -= sc[d] * y.shape()[d];
+            idx[d] = 0;
+          }
+        }
+      });
+
   // copy(x): raw memcpy; implements expand_dims/squeeze materialization.
   KernelRegistry::Global()->Register(
       "copy", [](const std::vector<NDArray>& in, const std::vector<NDArray>& out,

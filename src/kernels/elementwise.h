@@ -30,6 +30,63 @@ enum class EwOp : int64_t {
   kGelu = 13,
 };
 
+// ---- fast deterministic transcendentals ------------------------------------
+//
+// Serving-hot sigmoid/tanh (the LSTM cell evaluates 5*hidden of them per
+// row per timestep) route through these instead of libm: a Cephes-style
+// degree-5 polynomial exp (~2 ulp) built from plain float arithmetic and a
+// power-of-two bit splice. Two properties matter more than raw accuracy:
+//   - deterministic: same bits for the same input on every platform and at
+//     every optimization level (no libm version dependence), which the
+//     serving layer's bit-identity contract relies on;
+//   - one implementation everywhere: standalone kernels, fused chains, and
+//     nn.lstm_cell all call these, so fused-vs-unfused and batched-vs-
+//     per-request execution agree exactly.
+// Error vs libm is ~1e-7 relative — far inside every model tolerance here.
+
+/// exp(x) for float32, clamped to the finite range (|x| > 88 saturates
+/// instead of overflowing to inf).
+inline float FastExpF32(float x) {
+  if (x > 88.0f) x = 88.0f;
+  if (x < -88.0f) return 0.0f;
+  // n = round(x / ln 2); reduce x to r = x - n*ln2 in [-ln2/2, ln2/2].
+  float z = x * 1.44269504088896341f + 0.5f;
+  float nf = static_cast<float>(static_cast<int32_t>(z - (z < 0.0f)));
+  float r = x - nf * 0.693359375f;      // ln2 split high
+  r -= nf * -2.12194440e-4f;            // ln2 split low
+  // Degree-5 polynomial for exp(r) on the reduced interval (Cephes expf).
+  float rr = r * r;
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  float y = p * rr + r + 1.0f;
+  // Splice 2^n into the exponent bits (n is in [-127, 127] after clamping).
+  int32_t n = static_cast<int32_t>(nf);
+  union {
+    int32_t i;
+    float f;
+  } pow2;
+  pow2.i = (n + 127) << 23;
+  return y * pow2.f;
+}
+
+/// 1 / (1 + exp(-x)) via FastExpF32.
+inline float FastSigmoidF32(float x) {
+  return 1.0f / (1.0f + FastExpF32(-x));
+}
+
+/// tanh(x) = sign(x) * (1 - 2 / (exp(2|x|) + 1)), saturating past |x| > 9.
+inline float FastTanhF32(float x) {
+  float ax = x < 0.0f ? -x : x;
+  if (ax > 9.0f) return x < 0.0f ? -1.0f : 1.0f;
+  float e = FastExpF32(2.0f * ax);
+  float t = 1.0f - 2.0f / (e + 1.0f);
+  return x < 0.0f ? -t : t;
+}
+
 /// Scalar application of a binary EwOp.
 inline float ApplyBinary(EwOp op, float a, float b) {
   switch (op) {
@@ -46,8 +103,8 @@ inline float ApplyBinary(EwOp op, float a, float b) {
 /// Scalar application of a unary EwOp.
 inline float ApplyUnary(EwOp op, float a) {
   switch (op) {
-    case EwOp::kSigmoid: return 1.0f / (1.0f + std::exp(-a));
-    case EwOp::kTanh: return std::tanh(a);
+    case EwOp::kSigmoid: return FastSigmoidF32(a);
+    case EwOp::kTanh: return FastTanhF32(a);
     case EwOp::kRelu: return a > 0.0f ? a : 0.0f;
     case EwOp::kExp: return std::exp(a);
     case EwOp::kNegative: return -a;

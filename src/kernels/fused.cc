@@ -68,8 +68,14 @@ void ApplyChain(const std::vector<Step>& steps,
         const NDArray& rhs = inputs[s.rhs_index];
         NIMBLE_CHECK_EQ(rhs.num_elements(), last) << "fused bias shape mismatch";
         const float* pr = rhs.data<float>();
-        for (int64_t i = 0; i < n; ++i)
-          po[i] = ApplyBinary(s.op, po[i], pr[i % last]);
+        // Row/column loops instead of po[i % last]: the per-element modulo
+        // costs more than the arithmetic it indexes for.
+        for (int64_t row = 0; row < n; row += last) {
+          float* prow = po + row;
+          for (int64_t j = 0; j < last; ++j) {
+            prow[j] = ApplyBinary(s.op, prow[j], pr[j]);
+          }
+        }
         break;
       }
       default:

@@ -2,6 +2,7 @@
 // simplified NMS used to exercise upper-bound shape functions (§4.2).
 #include <cmath>
 
+#include "src/kernels/elementwise.h"
 #include "src/kernels/registry.h"
 
 namespace nimble {
@@ -66,6 +67,116 @@ void LayerNorm(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
   }
 }
 
+// ---- rows-in-lanes LSTM cell body ------------------------------------------
+//
+// The cell is the serving hot loop (5*hidden transcendentals per row per
+// timestep) and, unlike the dense kernels, its work scales linearly with the
+// batch — so the batched path needs the per-element cost down, not
+// amortized. The AVX2 body below evaluates 8 hidden units per vector op
+// with lane-wise FastExp/FastSigmoid/FastTanh that mirror the scalar
+// helpers operation for operation (same clamps, same truncating converts,
+// same polynomial order, no fused multiply-add), so every element's bits
+// match the scalar loop exactly — scalar vs vector, fused vs unfused, and
+// per-request vs packed batch all agree.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define NIMBLE_NN_LANES 1
+
+namespace lanes {
+
+typedef float v8sf __attribute__((vector_size(32)));
+typedef int32_t v8si __attribute__((vector_size(32)));
+
+__attribute__((target("avx2"))) inline v8sf LoadV8(const float* p) {
+  v8sf v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+__attribute__((target("avx2"))) inline void StoreV8(float* p, v8sf v) {
+  __builtin_memcpy(p, &v, sizeof(v));
+}
+
+/// Lane-wise FastExpF32 (see src/kernels/elementwise.h) — identical
+/// operations per lane, so bits match the scalar helper.
+__attribute__((target("avx2"))) inline v8sf FastExpV8(v8sf x) {
+  // Splat constants from a true zero vector: deriving them from data lanes
+  // (e.g. `x * 0.0f + 88.0f`) turns inf/NaN inputs — and the -inf the
+  // power-of-two splice produces for fully-underflowed lanes — into NaN
+  // instead of the scalar helper's clamped values.
+  const v8sf kZero = {};
+  const v8sf kHi = kZero + 88.0f;
+  const v8sf kOne = kZero + 1.0f;
+  x = x > kHi ? kHi : x;
+  v8si zero_mask = x < -88.0f;
+  v8sf z = x * 1.44269504088896341f + 0.5f;
+  v8sf z2 = z - (z < 0.0f ? kOne : kZero);
+  v8si ni = __builtin_convertvector(z2, v8si);  // truncates like (int32_t)
+  v8sf nf = __builtin_convertvector(ni, v8sf);
+  v8sf r = x - nf * 0.693359375f;
+  r = r - nf * -2.12194440e-4f;
+  v8sf rr = r * r;
+  v8sf p = kZero + 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  v8sf y = p * rr + r + 1.0f;
+  v8si bits = (ni + 127) << 23;
+  y = y * reinterpret_cast<v8sf&>(bits);
+  return zero_mask ? kZero : y;
+}
+
+__attribute__((target("avx2"))) inline v8sf FastSigmoidV8(v8sf x) {
+  return 1.0f / (1.0f + FastExpV8(-x));
+}
+
+__attribute__((target("avx2"))) inline v8sf FastTanhV8(v8sf x) {
+  const v8sf kOne = (v8sf){} + 1.0f;
+  v8si neg = x < 0.0f;
+  v8sf ax = neg ? -x : x;
+  v8si sat = ax > 9.0f;
+  v8sf e = FastExpV8(2.0f * ax);
+  v8sf t = 1.0f - 2.0f / (e + 1.0f);
+  t = sat ? kOne : t;
+  return neg ? -t : t;
+}
+
+/// One row of the cell, 8 hidden units per step plus a scalar tail.
+__attribute__((target("avx2"))) inline void CellRow(const float* row,
+                                                    const float* pc, float* ph,
+                                                    float* pco,
+                                                    int64_t hidden) {
+  int64_t j = 0;
+  for (; j + 8 <= hidden; j += 8) {
+    v8sf i = FastSigmoidV8(LoadV8(row + j));
+    v8sf f = FastSigmoidV8(LoadV8(row + hidden + j));
+    v8sf g = FastTanhV8(LoadV8(row + 2 * hidden + j));
+    v8sf o = FastSigmoidV8(LoadV8(row + 3 * hidden + j));
+    v8sf cn = f * LoadV8(pc + j) + i * g;
+    StoreV8(pco + j, cn);
+    StoreV8(ph + j, o * FastTanhV8(cn));
+  }
+  for (; j < hidden; ++j) {
+    float i = FastSigmoidF32(row[j]);
+    float f = FastSigmoidF32(row[hidden + j]);
+    float g = FastTanhF32(row[2 * hidden + j]);
+    float o = FastSigmoidF32(row[3 * hidden + j]);
+    float cn = f * pc[j] + i * g;
+    pco[j] = cn;
+    ph[j] = o * FastTanhF32(cn);
+  }
+}
+
+inline bool Supported() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+
+}  // namespace lanes
+#endif  // x86-64 gcc/clang
+
 // nn.lstm_cell(gates: [B, 4H] laid out as [i | f | g | o], c: [B, H])
 //   -> (h': [B, H], c': [B, H])
 // One pass over memory: the fusion the compiler performs on the unfused
@@ -83,17 +194,29 @@ void LSTMCell(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
   const float* pc = c.data<float>();
   float* ph = h_out.data<float>();
   float* pco = c_out.data<float>();
-  auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+  // Same sigmoid/tanh as the unfused elementwise path (FastSigmoidF32 /
+  // FastTanhF32), so fusing the cell never changes results — and batched
+  // rows reproduce per-request rows exactly. The lanes body is bit-equal to
+  // the scalar loop (see the contract above).
+#ifdef NIMBLE_NN_LANES
+  if (lanes::Supported()) {
+    for (int64_t b = 0; b < batch; ++b) {
+      lanes::CellRow(pg + b * 4 * hidden, pc + b * hidden, ph + b * hidden,
+                     pco + b * hidden, hidden);
+    }
+    return;
+  }
+#endif
   for (int64_t b = 0; b < batch; ++b) {
     const float* row = pg + b * 4 * hidden;
     for (int64_t j = 0; j < hidden; ++j) {
-      float i = sigmoid(row[j]);
-      float f = sigmoid(row[hidden + j]);
-      float g = std::tanh(row[2 * hidden + j]);
-      float o = sigmoid(row[3 * hidden + j]);
+      float i = FastSigmoidF32(row[j]);
+      float f = FastSigmoidF32(row[hidden + j]);
+      float g = FastTanhF32(row[2 * hidden + j]);
+      float o = FastSigmoidF32(row[3 * hidden + j]);
       float cn = f * pc[b * hidden + j] + i * g;
       pco[b * hidden + j] = cn;
-      ph[b * hidden + j] = o * std::tanh(cn);
+      ph[b * hidden + j] = o * FastTanhF32(cn);
     }
   }
 }

@@ -72,12 +72,16 @@ class KernelRegistry {
 /// Idempotently registers every built-in kernel.
 void EnsureKernelsRegistered();
 
-/// Context for kernel calls made outside any executable (tests, baselines,
-/// constant folding): dense dispatch routes to the deprecated global table.
+/// DEPRECATED — scheduled for removal with DenseDispatchTable::Global():
+/// context for kernel calls made outside any executable; dense dispatch
+/// routes to the deprecated global table. Only RunKernel below still uses
+/// it — owners of a dispatch table (VM executables, the baselines) build a
+/// KernelContext from their own table instead.
 KernelContext DefaultKernelContext();
 
 /// Convenience: run a kernel by name with DefaultKernelContext (used by
-/// tests, the eager baseline, and the constant-folding pass).
+/// tests and the constant-folding pass; the baselines thread their own
+/// tables). The last shim over the deprecated global dispatch table.
 void RunKernel(const std::string& name, const std::vector<NDArray>& inputs,
                const std::vector<NDArray>& outputs, const ir::Attrs& attrs = {});
 

@@ -10,6 +10,7 @@
 
 #include "src/ir/module.h"
 #include "src/runtime/ndarray.h"
+#include "src/vm/batch_spec.h"
 
 namespace nimble {
 namespace models {
@@ -19,6 +20,15 @@ struct LSTMConfig {
   int64_t hidden_size = 512;
   int num_layers = 1;
   uint64_t seed = 42;
+  /// Also emit @main_batched / @lstm_loop_batched: a packed [Lmax, B, in]
+  /// twin of @main whose per-row masking (via the exact-selection `where`
+  /// op) freezes each sequence at its own length, so row r of the batched
+  /// result is bit-identical to @main on request r alone. Consumed by the
+  /// serving tensor-batching path (src/batch/) through
+  /// LSTMModel::batched_spec. Off by default: non-serving callers should
+  /// not pay the twin's compile time and bytecode; serving sites opt in
+  /// here AND pass the spec via CompileOptions::batched_entries.
+  bool emit_batched = false;
 };
 
 struct LSTMWeights {
@@ -34,8 +44,13 @@ struct LSTMWeights {
 
 struct LSTMModel {
   ir::Module module;  // globals: @main(x: [(L, in)], n: i64), @lstm_loop(...)
+                      // (+ @main_batched/@lstm_loop_batched when emitted)
   LSTMWeights weights;
   LSTMConfig config;
+  /// Calling convention of @main_batched (valid when config.emit_batched);
+  /// pass it to core::Compile via CompileOptions::batched_entries to let the
+  /// serving layer run packed batches.
+  vm::BatchedEntrySpec batched_spec;
 };
 
 /// Builds the IR module and deterministic random weights.

@@ -688,6 +688,45 @@ void RegisterNMS() {
       .set_pattern(FusePattern::kOpaque);
 }
 
+void RegisterWhere() {
+  // where(cond, a, b) -> a[i] where cond else b[i]. The condition is bool
+  // and broadcasts against the branches (which must agree); selection is an
+  // exact bit copy — no arithmetic — which is what lets batched recurrent
+  // entries (@main_batched, src/vm/batch_spec.h) freeze finished sequences
+  // with results bit-identical to per-request execution.
+  OpRegistry::Global()
+      ->Register("where")
+      .set_num_inputs(3)
+      .set_type_rel([](const std::vector<Type>& in, const Attrs&) -> Type {
+        const auto* cond = ExpectTensor(in[0], "where", 0);
+        const auto* a = ExpectTensor(in[1], "where", 1);
+        const auto* b = ExpectTensor(in[2], "where", 2);
+        NIMBLE_CHECK(cond->dtype == DataType::Bool())
+            << "where: condition must be bool";
+        NIMBLE_CHECK(a->dtype == b->dtype) << "where: branch dtype mismatch";
+        NIMBLE_CHECK_EQ(a->shape.size(), b->shape.size())
+            << "where: branch rank mismatch";
+        Shape out = a->shape;
+        for (size_t i = 0; i < out.size(); ++i) {
+          out[i] = UnifyDim(a->shape[i], b->shape[i], "where");
+        }
+        NIMBLE_CHECK_LE(cond->shape.size(), out.size())
+            << "where: condition rank exceeds the branches";
+        for (size_t i = 0; i < cond->shape.size(); ++i) {
+          BroadcastDim(cond->shape[cond->shape.size() - 1 - i],
+                       out[out.size() - 1 - i], "where");
+        }
+        return TensorType(std::move(out), a->dtype);
+      })
+      .set_shape_fn(ShapeFuncMode::kDataIndependent,
+                    [](const std::vector<ShapeVec>& in,
+                       const std::vector<runtime::NDArray>&,
+                       const Attrs&) -> std::vector<ShapeVec> {
+                      return {in[1]};
+                    })
+      .set_pattern(FusePattern::kOpaque);  // exact selection: keep unfused
+}
+
 // ---- compiler-internal dialect ops (§4.3, §4.4) ----------------------------
 
 void RegisterDialect() {
@@ -853,6 +892,7 @@ void RegisterAll() {
   RegisterArange();
   RegisterUnique();
   RegisterNMS();
+  RegisterWhere();
   RegisterDialect();
   RegisterFusedOps();
   RegisterElemwiseUnary("gelu");

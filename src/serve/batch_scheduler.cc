@@ -110,6 +110,7 @@ int64_t BatchScheduler::Flush(PerModel& m, int bucket) {
   batch.model = m.state->index;
   batch.exec = m.state->exec;
   batch.stats = &m.state->stats;
+  batch.tensor_batching = m.state->policy.tensor_batching;
   size_t take = std::min(pending.size(),
                          static_cast<size_t>(m.state->policy.max_batch_size));
   batch.requests.reserve(take);

@@ -53,6 +53,13 @@ struct BatchPolicy {
   int max_batch_size = 8;
   /// Flush a bucket once its oldest request has waited this long.
   int64_t max_wait_micros = 2000;
+  /// Run each dispatched batch as ONE padded [Lmax, B, D] VM invocation of
+  /// the model's batched entry point (src/batch/), instead of looping over
+  /// requests on the worker. Requires the executable to carry a
+  /// vm::BatchedEntrySpec (e.g. models::BuildLSTM +
+  /// CompileOptions::batched_entries); batches the executable cannot pack
+  /// fall back to the per-request loop automatically. Off by default.
+  bool tensor_batching = false;
   /// Upper bounds (inclusive) of the length buckets; lengths above the last
   /// edge fall into an implicit overflow bucket. Defaults cover the MRPC
   /// length distribution (mean ~40, clipped to 128).

@@ -55,6 +55,10 @@ struct Batch {
   /// Per-model stats sink; may be null. Completions are recorded here in
   /// addition to the pool's aggregate stats.
   ServeStats* stats = nullptr;
+  /// Stamped from the model's BatchPolicy: ask the worker to run this batch
+  /// as one packed tensor invocation (src/batch/) when the executable
+  /// supports it; the worker falls back to the per-request loop otherwise.
+  bool tensor_batching = false;
   std::vector<Request> requests;
 };
 

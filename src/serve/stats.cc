@@ -16,6 +16,10 @@ std::string StatsSnapshot::ToString() const {
      << "latency us mean " << mean_latency_us << " p50 " << p50_latency_us
      << " p95 " << p95_latency_us << " p99 " << p99_latency_us << " max "
      << max_latency_us << "; mean batch " << mean_batch_size;
+  if (packed_batches > 0) {
+    os << "; packed " << packed_batches << "/" << batches
+       << " batches, padding waste " << padding_waste * 100.0 << "%";
+  }
   return os.str();
 }
 
@@ -32,10 +36,35 @@ void ServeStats::RecordRejected() {
   rejected_++;
 }
 
+const char* ServeStats::BatchHistLabel(size_t i) {
+  static const char* kLabels[kBatchHistBuckets] = {"1",    "2",     "3-4",
+                                                   "5-8",  "9-16",  "17-32",
+                                                   "33+"};
+  NIMBLE_CHECK_LT(i, kBatchHistBuckets);
+  return kLabels[i];
+}
+
+size_t ServeStats::BatchHistBucket(size_t size) {
+  if (size <= 2) return size <= 1 ? 0 : 1;
+  if (size <= 4) return 2;
+  if (size <= 8) return 3;
+  if (size <= 16) return 4;
+  if (size <= 32) return 5;
+  return 6;
+}
+
 void ServeStats::RecordBatch(size_t size) {
   std::lock_guard<std::mutex> lock(mu_);
   batches_++;
   batched_requests_ += static_cast<int64_t>(size);
+  batch_size_hist_[BatchHistBucket(size)]++;
+}
+
+void ServeStats::RecordPackedBatch(int64_t padded, int64_t total) {
+  std::lock_guard<std::mutex> lock(mu_);
+  packed_batches_++;
+  padded_elements_ += padded;
+  packed_total_elements_ += total;
 }
 
 void ServeStats::RecordCompletion(double latency_us, bool ok,
@@ -95,6 +124,15 @@ StatsSnapshot ServeStats::Snapshot() const {
     snap.mean_batch_size =
         static_cast<double>(batched_requests_) / static_cast<double>(batches_);
   }
+  snap.batch_size_hist.assign(batch_size_hist_.begin(),
+                              batch_size_hist_.end());
+  snap.packed_batches = packed_batches_;
+  snap.padded_elements = padded_elements_;
+  snap.packed_total_elements = packed_total_elements_;
+  if (packed_total_elements_ > 0) {
+    snap.padding_waste = static_cast<double>(padded_elements_) /
+                         static_cast<double>(packed_total_elements_);
+  }
   if (started_ && last_completion_ > first_enqueue_) {
     snap.elapsed_seconds =
         std::chrono::duration<double>(last_completion_ - first_enqueue_)
@@ -126,6 +164,8 @@ void ServeStats::Reset() {
   latency_sum_us_ = 0.0;
   latency_max_us_ = 0.0;
   completed_ = failed_ = rejected_ = batches_ = batched_requests_ = 0;
+  batch_size_hist_.fill(0);
+  packed_batches_ = padded_elements_ = packed_total_elements_ = 0;
   started_ = false;
   first_enqueue_ = Clock::time_point{};
   last_completion_ = Clock::time_point{};

@@ -18,6 +18,7 @@
 // overflows).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -35,6 +36,16 @@ struct StatsSnapshot {
   int64_t rejected = 0;  // shed at admission (TrySubmit on a full queue)
   int64_t batches = 0;
   double mean_batch_size = 0.0;
+  /// Batch-size histogram: dispatched batches bucketed by request count
+  /// (bucket labels via ServeStats::BatchHistLabel). Sums to `batches`.
+  std::vector<int64_t> batch_size_hist;
+  /// Tensor-batching accounting (src/batch/): batches that ran as one packed
+  /// invocation, and the padding-waste ratio of their packed inputs
+  /// (padded zero elements / total packed elements).
+  int64_t packed_batches = 0;
+  int64_t padded_elements = 0;
+  int64_t packed_total_elements = 0;
+  double padding_waste = 0.0;  // padded_elements / packed_total_elements
   double elapsed_seconds = 0.0;   // first enqueue -> last completion
   double throughput_rps = 0.0;    // completed / elapsed_seconds
   double mean_latency_us = 0.0;
@@ -57,6 +68,10 @@ class ServeStats {
   /// One batch dispatched to the pool with `size` requests.
   void RecordBatch(size_t size);
 
+  /// One batch executed as a single packed tensor invocation; `padded` of
+  /// the `total` packed input elements were zero padding.
+  void RecordPackedBatch(int64_t padded, int64_t total);
+
   /// One request finished (promise fulfilled). `latency_us` is end-to-end:
   /// enqueue to result ready. `ok` is false when the VM threw.
   void RecordCompletion(double latency_us, bool ok, Clock::time_point when);
@@ -76,6 +91,13 @@ class ServeStats {
   /// completions and sampled estimates beyond it.
   static constexpr size_t kReservoirCapacity = 4096;
 
+  /// Batch-size histogram buckets: 1, 2, 3-4, 5-8, 9-16, 17-32, 33+.
+  static constexpr size_t kBatchHistBuckets = 7;
+  /// Label of histogram bucket `i` (e.g. "3-4"); for dashboards/tests.
+  static const char* BatchHistLabel(size_t i);
+  /// Bucket index for a batch of `size` requests.
+  static size_t BatchHistBucket(size_t size);
+
  private:
   mutable std::mutex mu_;
   std::vector<double> latency_reservoir_;
@@ -88,6 +110,10 @@ class ServeStats {
   int64_t rejected_ = 0;
   int64_t batches_ = 0;
   int64_t batched_requests_ = 0;
+  std::array<int64_t, kBatchHistBuckets> batch_size_hist_{};
+  int64_t packed_batches_ = 0;
+  int64_t padded_elements_ = 0;
+  int64_t packed_total_elements_ = 0;
   bool started_ = false;
   Clock::time_point first_enqueue_{};
   Clock::time_point last_completion_{};

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "src/batch/batch_runner.h"
 #include "src/support/logging.h"
 
 namespace nimble {
@@ -115,29 +116,33 @@ void VMPool::WorkerLoop(Worker& worker) {
     if (worker.vm->executable_ptr() != batch->exec) {
       worker.vm->Rebind(batch->exec);
     }
-    for (Request& request : batch->requests) {
-      bool ok = true;
-      try {
-        auto result =
-            worker.vm->Invoke(request.function, std::move(request.args));
-        request.promise.set_value(std::move(result));
-      } catch (...) {
-        ok = false;
-        request.promise.set_exception(std::current_exception());
-      }
+    // Per-model stats first, then the pool-wide aggregate (they are
+    // distinct objects; a Server wires the batch to its model's stats and
+    // the pool to the aggregate).
+    auto on_done = [&](const Request& request, bool ok) {
       worker.requests_executed.fetch_add(1, std::memory_order_relaxed);
       auto now = Clock::now();
       double latency_us =
           std::chrono::duration<double, std::micro>(now - request.enqueue_time)
               .count();
-      // Per-model stats first, then the pool-wide aggregate (they are
-      // distinct objects; a Server wires the batch to its model's stats and
-      // the pool to the aggregate).
       if (batch->stats != nullptr) {
         batch->stats->RecordCompletion(latency_us, ok, now);
       }
       if (stats_ != nullptr && stats_ != batch->stats) {
         stats_->RecordCompletion(latency_us, ok, now);
+      }
+    };
+    // Packed [Lmax, B, D] execution when the batch asks for it and its
+    // executable can; the per-request Invoke loop otherwise (src/batch/).
+    batch::BatchRunResult run = batch::RunBatch(
+        *worker.vm, *batch, batch->tensor_batching, on_done);
+    if (run.packed) {
+      if (batch->stats != nullptr) {
+        batch->stats->RecordPackedBatch(run.padded_elements,
+                                        run.total_elements);
+      }
+      if (stats_ != nullptr && stats_ != batch->stats) {
+        stats_->RecordPackedBatch(run.padded_elements, run.total_elements);
       }
     }
     // Recycle the VM: drops any frames retained by a throwing Invoke and

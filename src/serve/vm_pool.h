@@ -5,8 +5,10 @@
 // each batch carries the std::shared_ptr<vm::Executable> it runs on. A
 // worker rebinds its VM (VirtualMachine::Rebind — a shared_ptr swap plus a
 // frame-stack reset) whenever the batch it pulls belongs to a different
-// model than the previous one, runs the batch's requests back-to-back, and
-// fulfills their promises. Executables are immutable (src/vm/executable.h),
+// model than the previous one, runs the batch — as one packed tensor
+// invocation when the batch requests it and its executable supports it, as
+// a per-request Invoke loop otherwise (src/batch/batch_runner.h) — and
+// fulfills its promises. Executables are immutable (src/vm/executable.h),
 // including their per-executable dispatch tables, so any number of workers
 // may serve any mix of models with no synchronization beyond the batch
 // queue.

@@ -1,0 +1,53 @@
+// Batched-entry metadata: how a compiled model's per-request entry point can
+// be replaced by one padded, packed invocation over a whole batch (the
+// serving-side "true tensor batching" path, src/batch/).
+//
+// A model builder that emits a batched twin of an entry function describes
+// it with a BatchedEntrySpec; core::Compile copies the specs into the
+// vm::Executable (CompileOptions::batched_entries), where the serving layer
+// discovers them. The spec pins down one calling convention:
+//
+//   per-request:  function(seq: [len, D], len: i64, ...) -> [1, W]
+//   batched:      batched_function(packed:  [Lmax, B, D],   // time-major
+//                                  max_len: i64 scalar,     // = Lmax
+//                                  lengths: [B, 1] i64,     // true lengths
+//                                  state_0: [B, state_width],  // zero-filled
+//                                  ...,                        // num_state_args
+//                                  ) -> [B, W]
+//
+// Packing pads each request's sequence to Lmax with zero rows and interleaves
+// them time-major (packed[t, r, :] = request r's row t). The batched function
+// must freeze row r once t reaches lengths[r] (e.g. with the exact-selection
+// `where` op), so that row r of the result is bit-identical to running the
+// per-request entry on request r alone. Unpacking slices row r back out as a
+// [1, W] tensor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nimble {
+namespace vm {
+
+struct BatchedEntrySpec {
+  /// Per-request entry point this spec batches (usually "main").
+  std::string function;
+  /// Packed twin emitted by the model builder (usually "main_batched").
+  std::string batched_function;
+  /// Index of the per-request argument holding the [len, D] float32 sequence.
+  int32_t seq_arg = 0;
+  /// Index of the per-request i64 scalar argument holding the true sequence
+  /// length, or -1 to use the sequence's row count.
+  int32_t len_arg = -1;
+  /// D: static feature width of the sequence (validated against each
+  /// request's tensor before packing).
+  int32_t feature_width = 0;
+  /// Width of each zero-initialized recurrent-state argument.
+  int32_t state_width = 0;
+  /// Number of trailing [B, state_width] zero-state arguments (e.g. h0/c0
+  /// per layer for an LSTM).
+  int32_t num_state_args = 0;
+};
+
+}  // namespace vm
+}  // namespace nimble

@@ -12,7 +12,9 @@ namespace {
 
 constexpr uint32_t kMagic = 0x4e4d424cu;  // "NMBL"
 // v2: adds the per-executable dense dispatch configuration (num_variants).
-constexpr uint32_t kVersion = 2;
+// v3: adds the batched-entry specs (tensor batching, src/vm/batch_spec.h);
+//     v2 files still load (they simply carry no batched entries).
+constexpr uint32_t kVersion = 3;
 
 // ---- primitive writers/readers ---------------------------------------------
 
@@ -143,6 +145,14 @@ Instruction ReadInstruction(std::istream& is) {
 
 }  // namespace
 
+const BatchedEntrySpec* Executable::FindBatched(
+    const std::string& function) const {
+  for (const BatchedEntrySpec& spec : batched) {
+    if (spec.function == function) return &spec;
+  }
+  return nullptr;
+}
+
 int32_t Executable::FunctionIndex(const std::string& name) const {
   auto it = function_index.find(name);
   NIMBLE_CHECK(it != function_index.end())
@@ -197,11 +207,23 @@ void Executable::Save(std::ostream& os) const {
     WritePod<uint64_t>(os, fn.instructions.size());
     for (const Instruction& inst : fn.instructions) WriteInstruction(os, inst);
   }
+  WritePod<uint64_t>(os, batched.size());
+  for (const BatchedEntrySpec& spec : batched) {
+    WriteString(os, spec.function);
+    WriteString(os, spec.batched_function);
+    WritePod<int32_t>(os, spec.seq_arg);
+    WritePod<int32_t>(os, spec.len_arg);
+    WritePod<int32_t>(os, spec.feature_width);
+    WritePod<int32_t>(os, spec.state_width);
+    WritePod<int32_t>(os, spec.num_state_args);
+  }
 }
 
 std::shared_ptr<Executable> Executable::Load(std::istream& is) {
   NIMBLE_CHECK_EQ(ReadPod<uint32_t>(is), kMagic) << "not a Nimble executable";
-  NIMBLE_CHECK_EQ(ReadPod<uint32_t>(is), kVersion) << "unsupported version";
+  uint32_t version = ReadPod<uint32_t>(is);
+  NIMBLE_CHECK(version == 2 || version == kVersion)
+      << "unsupported executable version " << version;
   auto exec = std::make_shared<Executable>();
   exec->dispatch_table.Configure(ReadPod<int32_t>(is));
   uint64_t num_consts = ReadPod<uint64_t>(is);
@@ -231,6 +253,20 @@ std::shared_ptr<Executable> Executable::Load(std::istream& is) {
     }
     exec->function_index[fn.name] = static_cast<int32_t>(exec->functions.size());
     exec->functions.push_back(std::move(fn));
+  }
+  if (version >= 3) {
+    uint64_t num_batched = ReadPod<uint64_t>(is);
+    for (uint64_t i = 0; i < num_batched; ++i) {
+      BatchedEntrySpec spec;
+      spec.function = ReadString(is);
+      spec.batched_function = ReadString(is);
+      spec.seq_arg = ReadPod<int32_t>(is);
+      spec.len_arg = ReadPod<int32_t>(is);
+      spec.feature_width = ReadPod<int32_t>(is);
+      spec.state_width = ReadPod<int32_t>(is);
+      spec.num_state_args = ReadPod<int32_t>(is);
+      exec->batched.push_back(std::move(spec));
+    }
   }
   return exec;
 }

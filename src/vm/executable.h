@@ -22,6 +22,7 @@
 #include "src/codegen/dispatch.h"
 #include "src/ir/attrs.h"
 #include "src/runtime/ndarray.h"
+#include "src/vm/batch_spec.h"
 #include "src/vm/bytecode.h"
 
 namespace nimble {
@@ -63,6 +64,18 @@ class Executable {
   /// own executable and table — cannot perturb in-flight inference. Its hit
   /// counters are atomic; everything else is read-only after construction.
   codegen::DenseDispatchTable dispatch_table;
+
+  /// Batched-entry descriptors (src/vm/batch_spec.h): per-request entry
+  /// points that have a compiler-emitted packed twin the serving layer can
+  /// invoke once per batch. Configured by core::Compile
+  /// (CompileOptions::batched_entries), restored by Load, and — like every
+  /// other field — immutable once the executable is visible to any VM.
+  std::vector<BatchedEntrySpec> batched;
+
+  /// The batched-entry spec for per-request entry `function`, or nullptr
+  /// when the model has none (the serving layer then falls back to the
+  /// per-request loop).
+  const BatchedEntrySpec* FindBatched(const std::string& function) const;
 
   int32_t FunctionIndex(const std::string& name) const;
 

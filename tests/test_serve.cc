@@ -6,9 +6,12 @@
 
 #include <atomic>
 #include <future>
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include "src/batch/batch_runner.h"
+#include "src/batch/pack_plan.h"
 #include "src/core/compiler.h"
 #include "src/models/lstm.h"
 #include "src/models/workloads.h"
@@ -134,15 +137,40 @@ struct LSTMFixture {
 
   explicit LSTMFixture(int num_requests, int hidden_size = 12,
                        uint64_t seed = 7) {
+    support::Rng rng(seed);
+    Init(models::SampleMRPCLengths(num_requests, rng, 48), hidden_size, seed,
+         /*with_batched_entry=*/false);
+  }
+
+  /// Explicit request lengths, and optionally the tensor-batching entry
+  /// (CompileOptions::batched_entries) stamped into the executable.
+  LSTMFixture(std::vector<int64_t> request_lengths, int hidden_size,
+              uint64_t seed, bool with_batched_entry, int num_layers = 1) {
+    Init(std::move(request_lengths), hidden_size, seed, with_batched_entry,
+         num_layers);
+  }
+
+  std::vector<runtime::ObjectRef> ArgsFor(size_t i) const {
+    return {MakeTensor(inputs[i]),
+            MakeTensor(NDArray::Scalar<int64_t>(lengths[i]))};
+  }
+
+ private:
+  void Init(std::vector<int64_t> request_lengths, int hidden_size,
+            uint64_t seed, bool with_batched_entry, int num_layers = 1) {
     models::LSTMConfig config;
     config.input_size = 8;
     config.hidden_size = hidden_size;
+    config.num_layers = num_layers;
+    config.emit_batched = with_batched_entry;
     model = models::BuildLSTM(config);
     ir::Module mod = model.module;
-    exec = core::Compile(mod).executable;
+    core::CompileOptions opts;
+    if (with_batched_entry) opts.batched_entries = {model.batched_spec};
+    exec = core::Compile(mod, opts).executable;
 
     support::Rng rng(seed);
-    lengths = models::SampleMRPCLengths(num_requests, rng, 48);
+    lengths = std::move(request_lengths);
     vm::VirtualMachine sequential(exec);
     for (int64_t len : lengths) {
       NDArray x = models::RandomSequence(len, config.input_size, rng);
@@ -151,11 +179,6 @@ struct LSTMFixture {
           "main", {MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(len))});
       expected.push_back(AsTensor(out));
     }
-  }
-
-  std::vector<runtime::ObjectRef> ArgsFor(size_t i) const {
-    return {MakeTensor(inputs[i]),
-            MakeTensor(NDArray::Scalar<int64_t>(lengths[i]))};
   }
 };
 
@@ -484,6 +507,274 @@ TEST(Serve, SkewedArrivalsDontStarveTheLightModel) {
   EXPECT_EQ(server.stats("flood").completed, kFlood);
   EXPECT_EQ(server.stats("trickle").completed, kTrickle);
   EXPECT_EQ(server.stats().completed, kFlood + kTrickle);
+}
+
+// ---- tensor batching (src/batch/) ---------------------------------------------
+
+serve::Batch MakeDirectBatch(LSTMFixture& fixture,
+                             const std::vector<size_t>& indices,
+                             std::vector<std::future<runtime::ObjectRef>>* futures) {
+  serve::Batch batch;
+  batch.exec = fixture.exec;
+  for (size_t i : indices) {
+    serve::Request request;
+    request.id = static_cast<int64_t>(i);
+    request.args = fixture.ArgsFor(i);
+    request.length_hint = fixture.lengths[i];
+    request.enqueue_time = serve::Clock::now();
+    futures->push_back(request.promise.get_future());
+    batch.requests.push_back(std::move(request));
+  }
+  return batch;
+}
+
+TEST(TensorBatching, PackedServingBitIdenticalAcrossRaggedBuckets) {
+  // Lengths chosen so the bucketed scheduler forms a lone request (B=1), a
+  // partial bucket, and a full bucket — the three ragged shapes the pack
+  // path must slice correctly. Bucket edges {8, 16, 32}: lengths 33-40 fill
+  // one 8-deep overflow bucket, 12-14 a partial bucket, 5 rides alone.
+  std::vector<int64_t> lengths = {33, 34, 35, 36, 37, 38, 39, 40,
+                                  12, 13, 14, 5};
+  LSTMFixture fixture(lengths, /*hidden_size=*/12, /*seed=*/7,
+                      /*with_batched_entry=*/true);
+  ASSERT_NE(fixture.exec->FindBatched("main"), nullptr);
+
+  serve::ServeConfig config;
+  config.num_workers = 2;
+  config.batch.max_batch_size = 8;
+  config.batch.max_wait_micros = 50000;
+  config.batch.bucket_edges = {8, 16, 32};
+  config.batch.tensor_batching = true;
+  serve::Server server(fixture.exec, config);
+
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    futures.push_back(server.Submit(fixture.ArgsFor(i), fixture.lengths[i]));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  server.Shutdown();
+
+  auto snap = server.stats();
+  EXPECT_EQ(snap.completed, static_cast<int64_t>(lengths.size()));
+  EXPECT_EQ(snap.failed, 0);
+  EXPECT_EQ(snap.packed_batches, snap.batches)
+      << "every batch of a batchable model must run packed";
+  // The full 33-40 bucket pads 33..39 up to 40 rows; waste must be counted
+  // and sit strictly between 0 and 1.
+  EXPECT_GT(snap.padded_elements, 0);
+  EXPECT_GT(snap.padding_waste, 0.0);
+  EXPECT_LT(snap.padding_waste, 1.0);
+}
+
+TEST(TensorBatching, MultiLayerPackedServingBitIdentical) {
+  // Two stacked layers: the masked h_next of layer l feeds layer l+1, so a
+  // frozen row's (bit-exact) state must propagate through the stack — the
+  // subtlest wiring of the batched twin. Ragged lengths in one bucket force
+  // padding and per-row freezing at different steps.
+  std::vector<int64_t> lengths = {9, 12, 16, 10, 15, 11, 14, 13};
+  LSTMFixture fixture(lengths, /*hidden_size=*/12, /*seed=*/29,
+                      /*with_batched_entry=*/true, /*num_layers=*/2);
+
+  serve::ServeConfig config;
+  config.num_workers = 1;
+  config.batch.max_batch_size = 8;
+  config.batch.max_wait_micros = 50000;
+  config.batch.bucket_edges = {8, 16, 32};
+  config.batch.tensor_batching = true;
+  serve::Server server(fixture.exec, config);
+
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    futures.push_back(server.Submit(fixture.ArgsFor(i), fixture.lengths[i]));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  server.Shutdown();
+  auto snap = server.stats();
+  EXPECT_EQ(snap.packed_batches, snap.batches);
+  EXPECT_GT(snap.padded_elements, 0);
+}
+
+TEST(TensorBatching, PackPlanPadsAndUnpacksExactly) {
+  std::vector<int64_t> lengths = {3, 1, 4};
+  LSTMFixture fixture(lengths, /*hidden_size=*/10, /*seed=*/21,
+                      /*with_batched_entry=*/true);
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  serve::Batch batch = MakeDirectBatch(fixture, {0, 1, 2}, &futures);
+
+  batch::PackCheck check = batch::AnalyzeBatch(*fixture.exec, batch.requests);
+  ASSERT_TRUE(check.ok()) << check.reason;
+  batch::PackPlan plan = batch::PackPlan::Build(*check.spec, batch.requests);
+  EXPECT_EQ(plan.batch_size(), 3);
+  EXPECT_EQ(plan.max_len(), 4);
+  const int64_t D = 8;  // fixture input_size
+  EXPECT_EQ(plan.total_elements(), 4 * 3 * D);
+  EXPECT_EQ(plan.padded_elements(), (4 * 3 - (3 + 1 + 4)) * D);
+
+  auto args = plan.PackArgs(batch.requests, runtime::GlobalNaiveAllocator());
+  // packed [Lmax, B, D] + max_len + lengths + h0/c0 (1 layer).
+  ASSERT_EQ(args.size(), 3u + 2u);
+  const NDArray& packed = AsTensor(args[0]);
+  ASSERT_EQ(packed.shape(), (runtime::ShapeVec{4, 3, D}));
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t t = 0; t < 4; ++t) {
+      for (int64_t d = 0; d < D; ++d) {
+        float got = packed.data<float>()[(t * 3 + r) * D + d];
+        float want = t < lengths[static_cast<size_t>(r)]
+                         ? fixture.inputs[static_cast<size_t>(r)]
+                               .data<float>()[t * D + d]
+                         : 0.0f;
+        ASSERT_EQ(got, want) << "row " << r << " step " << t << " dim " << d;
+      }
+    }
+  }
+  EXPECT_EQ(AsTensor(args[1]).data<int64_t>()[0], 4);
+  const NDArray& len_col = AsTensor(args[2]);
+  ASSERT_EQ(len_col.shape(), (runtime::ShapeVec{3, 1}));
+  for (int64_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(len_col.data<int64_t>()[r], lengths[static_cast<size_t>(r)]);
+  }
+
+  // Unpack: row r of a synthetic [B, W] result becomes request r's [1, W].
+  NDArray fake = NDArray::Empty({3, 5}, runtime::DataType::Float32());
+  for (int64_t i = 0; i < 15; ++i) fake.data<float>()[i] = static_cast<float>(i);
+  auto outs = plan.Unpack(MakeTensor(fake), runtime::GlobalNaiveAllocator());
+  ASSERT_EQ(outs.size(), 3u);
+  for (int64_t r = 0; r < 3; ++r) {
+    ASSERT_EQ(outs[static_cast<size_t>(r)].shape(), (runtime::ShapeVec{1, 5}));
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(outs[static_cast<size_t>(r)].data<float>()[j],
+                static_cast<float>(r * 5 + j));
+    }
+  }
+
+  // Unused: fulfill the promises so the futures don't dangle.
+  for (auto& request : batch.requests) request.promise.set_value({});
+}
+
+TEST(TensorBatching, RunBatchFallsBackWithoutBatchedEntry) {
+  // Executable compiled WITHOUT batched entries: tensor batching must
+  // degrade to the per-request loop, with correct results and a reason.
+  std::vector<int64_t> lengths = {6, 9, 6, 9};
+  LSTMFixture fixture(lengths, /*hidden_size=*/12, /*seed=*/11,
+                      /*with_batched_entry=*/false);
+  ASSERT_EQ(fixture.exec->FindBatched("main"), nullptr);
+
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  serve::Batch batch = MakeDirectBatch(fixture, {0, 1, 2, 3}, &futures);
+  vm::VirtualMachine machine(fixture.exec);
+  auto run = batch::RunBatch(machine, batch, /*tensor_batching=*/true,
+                             /*on_done=*/nullptr);
+  EXPECT_FALSE(run.packed);
+  EXPECT_NE(run.fallback_reason.find("no batched entry"), std::string::npos)
+      << run.fallback_reason;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+}
+
+TEST(TensorBatching, AnalyzeRejectsPartialDispatchCoverage) {
+  // Partial residue coverage mixes dense kernel families across row counts,
+  // which breaks per-row bit-identity; full coverage (8) and no coverage
+  // (1) are both safe (docs/ARCHITECTURE.md).
+  std::vector<int64_t> lengths = {4, 6};
+  for (int variants : {1, 2, 4, 8}) {
+    models::LSTMConfig config;
+    config.input_size = 8;
+    config.hidden_size = 12;
+    config.emit_batched = true;
+    auto model = models::BuildLSTM(config);
+    ir::Module mod = model.module;
+    core::CompileOptions opts;
+    opts.dense_dispatch_variants = variants;
+    opts.batched_entries = {model.batched_spec};
+    auto exec = core::Compile(mod, opts).executable;
+
+    support::Rng rng(5);
+    std::vector<serve::Request> requests;
+    for (int64_t len : lengths) {
+      serve::Request request;
+      request.args = {
+          MakeTensor(models::RandomSequence(len, config.input_size, rng)),
+          MakeTensor(NDArray::Scalar<int64_t>(len))};
+      requests.push_back(std::move(request));
+    }
+    batch::PackCheck check = batch::AnalyzeBatch(*exec, requests);
+    if (variants == 1 || variants == 8) {
+      EXPECT_TRUE(check.ok()) << "variants=" << variants << ": " << check.reason;
+    } else {
+      EXPECT_FALSE(check.ok()) << "variants=" << variants;
+      EXPECT_NE(check.reason.find("dispatch"), std::string::npos);
+    }
+  }
+}
+
+TEST(TensorBatching, BatchedSpecSurvivesSaveLoad) {
+  std::vector<int64_t> lengths = {7, 3, 5};
+  LSTMFixture fixture(lengths, /*hidden_size=*/12, /*seed=*/13,
+                      /*with_batched_entry=*/true);
+  std::stringstream buffer;
+  fixture.exec->Save(buffer);
+  auto loaded = vm::Executable::Load(buffer);
+  ASSERT_EQ(loaded->batched.size(), 1u);
+  const vm::BatchedEntrySpec* spec = loaded->FindBatched("main");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->batched_function, "main_batched");
+  EXPECT_EQ(spec->feature_width, 8);
+  EXPECT_EQ(spec->state_width, 12);
+  EXPECT_EQ(spec->num_state_args, 2);
+  EXPECT_EQ(spec->len_arg, 1);
+
+  // The loaded executable must serve packed batches bit-identically too.
+  serve::ServeConfig config;
+  config.num_workers = 1;
+  config.batch.max_batch_size = 4;
+  config.batch.max_wait_micros = 50000;
+  config.batch.tensor_batching = true;
+  serve::Server server(loaded, config);
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    // One length hint => one bucket => one packed batch of 3.
+    futures.push_back(server.Submit(fixture.ArgsFor(i), /*length_hint=*/8));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  server.Shutdown();
+  EXPECT_GT(server.stats().packed_batches, 0);
+}
+
+TEST(ServeStats, BatchHistogramAndPaddingWaste) {
+  serve::ServeStats stats;
+  stats.RecordBatch(1);
+  stats.RecordBatch(2);
+  stats.RecordBatch(4);
+  stats.RecordBatch(8);
+  stats.RecordBatch(9);
+  stats.RecordBatch(40);
+  stats.RecordPackedBatch(/*padded=*/25, /*total=*/100);
+  stats.RecordPackedBatch(/*padded=*/0, /*total=*/100);
+  auto snap = stats.Snapshot();
+  ASSERT_EQ(snap.batch_size_hist.size(), serve::ServeStats::kBatchHistBuckets);
+  EXPECT_EQ(snap.batch_size_hist[0], 1);  // "1"
+  EXPECT_EQ(snap.batch_size_hist[1], 1);  // "2"
+  EXPECT_EQ(snap.batch_size_hist[2], 1);  // "3-4"
+  EXPECT_EQ(snap.batch_size_hist[3], 1);  // "5-8"
+  EXPECT_EQ(snap.batch_size_hist[4], 1);  // "9-16"
+  EXPECT_EQ(snap.batch_size_hist[6], 1);  // "33+"
+  int64_t hist_total = 0;
+  for (int64_t c : snap.batch_size_hist) hist_total += c;
+  EXPECT_EQ(hist_total, snap.batches);
+  EXPECT_EQ(snap.packed_batches, 2);
+  EXPECT_EQ(snap.padded_elements, 25);
+  EXPECT_EQ(snap.packed_total_elements, 200);
+  EXPECT_DOUBLE_EQ(snap.padding_waste, 0.125);
+  EXPECT_STREQ(serve::ServeStats::BatchHistLabel(3), "5-8");
+  stats.Reset();
+  EXPECT_EQ(stats.Snapshot().packed_batches, 0);
 }
 
 TEST(Serve, VMResetAllowsRecycling) {
