@@ -7,9 +7,9 @@
 // kernel count shrinks, up to ~+42%/+104%/+45% at no-dispatch.
 //
 // Dispatch state: this benchmark constructs private DenseDispatchTable
-// instances per configuration and never touches the deprecated
-// DenseDispatchTable::Global() shim — the ownership pattern every dispatch
-// user follows (see src/codegen/dispatch.h).
+// instances per configuration — the ownership pattern every dispatch user
+// follows; there is no process-global dispatch table (see
+// src/codegen/dispatch.h).
 #include <cstdio>
 #include <vector>
 

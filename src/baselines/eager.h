@@ -70,8 +70,7 @@ class EagerContext {
   int64_t dispatch_overhead_ns_ = 0;
   int64_t ops_executed_ = 0;
   /// Private dense dispatch table, threaded to kernels via KernelContext
-  /// (the per-owner pattern of vm::Executable) — this baseline no longer
-  /// routes through the deprecated process-global table.
+  /// (the per-owner pattern of vm::Executable).
   codegen::DenseDispatchTable dense_dispatch_;
 };
 

@@ -77,8 +77,8 @@ NDArray FoldTreeLSTM(const models::TreeLSTMWeights& weights,
 
   // ---- batched execution level by level ------------------------------------
   // Full-dispatch table private to the fold baseline: the baseline measures
-  // batching strategy, not dispatch policy, so it must not observe (or
-  // perturb) the deprecated global table's configuration.
+  // batching strategy, not dispatch policy, so it owns its dispatch state
+  // like every other dense-kernel caller.
   static const codegen::DenseDispatchTable table(codegen::kTileRows);
   const float* bias = weights.b.data<float>();
   for (auto& [level, batch] : levels) {

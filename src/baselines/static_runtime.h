@@ -46,8 +46,7 @@ class StaticBERTRuntime {
   runtime::NDArray output_;
   std::vector<Step> steps_;
   /// Private dispatch table threaded to kernels via KernelContext — the
-  /// same per-owner pattern as vm::Executable, so this baseline neither
-  /// reads nor perturbs the deprecated process-global table.
+  /// same per-owner pattern as vm::Executable.
   codegen::DenseDispatchTable dispatch_;
 };
 

@@ -40,8 +40,10 @@ BatchRunResult RunBatch(vm::VirtualMachine& vm, serve::Batch& batch,
       // anywhere in the try leaves the batch intact for the per-request
       // loop. The try must NOT extend over promise fulfillment: once any
       // promise is set, falling through to RunPerRequest would set it
-      // again and throw out of the worker.
-      PackPlan plan = PackPlan::Build(*check.spec, batch.requests);
+      // again and throw out of the worker. A variant executable's plan
+      // packs to exactly the variant's baked Lmax.
+      PackPlan plan = PackPlan::Build(*check.spec, batch.requests,
+                                      batch.exec->variant.specialized_len);
       std::vector<runtime::NDArray> outs;
       bool packed_ok = false;
       try {

@@ -108,28 +108,64 @@ PackCheck AnalyzeBatch(const vm::Executable& exec,
     check.reason = "no batched entry for '" + function + "'";
     return check;
   }
-  // Bit-identity guard (see the header): partial residue coverage would run
-  // some row counts through the specialized dense kernel and others through
-  // the generic one, whose accumulation orders differ.
-  int variants = exec.dispatch_table.num_variants();
-  if (variants != codegen::kTileRows && variants != 1) {
+  bool time_major = spec->layout == vm::BatchedEntrySpec::Layout::kTimeMajor;
+  if (!time_major && spec->num_state_args != 0) {
+    check.reason = "row-map batched entry cannot take state arguments";
+    return check;
+  }
+  // Variant shape gate first (it implies the most precise reason): a
+  // specialized executable only serves batches of exactly its baked shape.
+  const vm::Executable::VariantInfo& variant = exec.variant;
+  if (variant.is_variant() && variant.specialized_batch > 0 &&
+      static_cast<int64_t>(requests.size()) != variant.specialized_batch) {
     std::ostringstream why;
-    why << "partial dense dispatch coverage (num_variants=" << variants
-        << ") breaks per-row bit-identity";
+    why << "variant is specialized to batches of " << variant.specialized_batch
+        << ", got " << requests.size();
+    check.reason = why.str();
+    return check;
+  }
+  // Bit-identity guard (see the header): dispatch must route every row
+  // count this executable can see — the batch's own row count on the packed
+  // path (a time-major entry's dense calls all run on [B, *] activations)
+  // and the single row of the per-request path — to the specialized dense
+  // kernel family, exactly like the full-coverage table the results are
+  // compared against; mixing in the generic kernel changes accumulation
+  // order. Full and empty coverage are always safe; a bucket-tuned variant
+  // table passes by covering exactly those two residues.
+  int variants = exec.dispatch_table.num_variants();
+  bool full_or_empty = variants == codegen::kTileRows || variants == 1;
+  int batch_residue =
+      static_cast<int>(requests.size() % static_cast<size_t>(codegen::kTileRows));
+  if (!full_or_empty &&
+      !(time_major && exec.dispatch_table.Covers(batch_residue) &&
+        exec.dispatch_table.Covers(1 % codegen::kTileRows))) {
+    std::ostringstream why;
+    why << "dense dispatch coverage (mask=0x" << std::hex
+        << exec.dispatch_table.residue_mask() << std::dec
+        << ") does not cover this batch's rows; mixing kernel families "
+           "breaks per-row bit-identity";
     check.reason = why.str();
     return check;
   }
   for (const serve::Request& request : requests) {
     const NDArray* seq = SeqTensor(*spec, request, &check.reason);
     if (seq == nullptr) return check;
-    if (SeqLength(*spec, request, *seq, &check.reason) < 0) return check;
+    int64_t len = SeqLength(*spec, request, *seq, &check.reason);
+    if (len < 0) return check;
+    if (variant.is_variant() && len != variant.specialized_len) {
+      check.reason = Why(request, " length ", len,
+                         " does not match the variant's specialized length ",
+                         variant.specialized_len);
+      return check;
+    }
   }
   check.spec = spec;
   return check;
 }
 
 PackPlan PackPlan::Build(const vm::BatchedEntrySpec& spec,
-                         const std::vector<serve::Request>& requests) {
+                         const std::vector<serve::Request>& requests,
+                         int64_t forced_max_len) {
   PackPlan plan;
   plan.spec_ = &spec;
   plan.lengths_.reserve(requests.size());
@@ -144,6 +180,12 @@ PackPlan PackPlan::Build(const vm::BatchedEntrySpec& spec,
     plan.lengths_.push_back(len);
     plan.max_len_ = std::max(plan.max_len_, len);
   }
+  if (forced_max_len > 0 &&
+      spec.layout == vm::BatchedEntrySpec::Layout::kTimeMajor) {
+    NIMBLE_CHECK_GE(forced_max_len, plan.max_len_)
+        << "variant Lmax smaller than a request's length";
+    plan.max_len_ = forced_max_len;
+  }
   return plan;
 }
 
@@ -155,10 +197,34 @@ std::vector<ObjectRef> PackPlan::PackArgs(
   int64_t D = spec.feature_width;
   NIMBLE_CHECK_EQ(static_cast<size_t>(B), requests.size());
 
+  if (spec.layout == vm::BatchedEntrySpec::Layout::kBatchMajorRowMap) {
+    // Dense concatenation: every request's rows back to back, no padding.
+    int64_t R = 0;
+    for (int64_t len : lengths_) R += len;
+    NDArray packed = NDArray::Empty({R, D}, DataType::Float32(),
+                                    runtime::Device::CPU(), alloc);
+    float* pp = packed.data<float>();
+    for (int64_t r = 0; r < B; ++r) {
+      const NDArray& seq =
+          runtime::AsTensor(requests[static_cast<size_t>(r)]
+                                .args[static_cast<size_t>(spec.seq_arg)]);
+      int64_t len = lengths_[static_cast<size_t>(r)];
+      std::memcpy(pp, seq.data<float>(),
+                  static_cast<size_t>(len * D) * sizeof(float));
+      pp += len * D;
+    }
+    return {runtime::MakeTensor(std::move(packed))};
+  }
+
   // Time-major pad-and-pack: zero the buffer once, then interleave each
-  // request's rows at stride B.
+  // request's rows at stride B. An exact-length batch (the executable
+  // cache's carved batches) writes every row, so the upfront zeroing is
+  // skipped.
   NDArray packed =
-      ZeroTensor({max_len_, B, D}, DataType::Float32(), alloc);
+      padded_elements() == 0
+          ? NDArray::Empty({max_len_, B, D}, DataType::Float32(),
+                           runtime::Device::CPU(), alloc)
+          : ZeroTensor({max_len_, B, D}, DataType::Float32(), alloc);
   float* pp = packed.data<float>();
   for (int64_t r = 0; r < B; ++r) {
     const NDArray& seq =
@@ -197,6 +263,32 @@ std::vector<NDArray> PackPlan::Unpack(const ObjectRef& result,
                                       runtime::Allocator* alloc) const {
   const NDArray& batched = runtime::AsTensor(result);
   int64_t B = batch_size();
+
+  if (spec_->layout == vm::BatchedEntrySpec::Layout::kBatchMajorRowMap) {
+    // [R, W] rows-to-rows result: slice each request's row range back out.
+    int64_t R = 0;
+    for (int64_t len : lengths_) R += len;
+    NIMBLE_CHECK_EQ(batched.ndim(), 2)
+        << "row-map batched entry must return [R, W], got "
+        << runtime::ShapeToString(batched.shape());
+    NIMBLE_CHECK_EQ(batched.shape()[0], R)
+        << "row-map batched result rows do not match the packed rows";
+    int64_t W = batched.shape()[1];
+    size_t row_bytes = static_cast<size_t>(W) * batched.dtype().bytes();
+    const char* src = static_cast<const char*>(batched.raw_data());
+    std::vector<NDArray> outs;
+    outs.reserve(static_cast<size_t>(B));
+    for (int64_t r = 0; r < B; ++r) {
+      int64_t len = lengths_[static_cast<size_t>(r)];
+      NDArray out = NDArray::Empty({len, W}, batched.dtype(),
+                                   runtime::Device::CPU(), alloc);
+      std::memcpy(out.raw_data(), src, static_cast<size_t>(len) * row_bytes);
+      src += static_cast<size_t>(len) * row_bytes;
+      outs.push_back(std::move(out));
+    }
+    return outs;
+  }
+
   NIMBLE_CHECK_EQ(batched.ndim(), 2)
       << "batched entry must return [B, W], got "
       << runtime::ShapeToString(batched.shape());
@@ -217,10 +309,18 @@ std::vector<NDArray> PackPlan::Unpack(const ObjectRef& result,
 }
 
 int64_t PackPlan::total_elements() const {
+  if (spec_->layout == vm::BatchedEntrySpec::Layout::kBatchMajorRowMap) {
+    int64_t used = 0;
+    for (int64_t len : lengths_) used += len;
+    return used * spec_->feature_width;
+  }
   return max_len_ * batch_size() * spec_->feature_width;
 }
 
 int64_t PackPlan::padded_elements() const {
+  if (spec_->layout == vm::BatchedEntrySpec::Layout::kBatchMajorRowMap) {
+    return 0;  // dense concatenation never pads
+  }
   int64_t used = 0;
   for (int64_t len : lengths_) used += len;
   return (max_len_ * batch_size() - used) * spec_->feature_width;

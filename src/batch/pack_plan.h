@@ -1,34 +1,50 @@
-// PackPlan: pad-and-pack a bucket of same-model requests into one tensor.
+// PackPlan: pack a bucket of same-model requests into one tensor.
 //
 // The batch scheduler (src/serve/) groups similar-length requests; this
 // layer turns such a group into a single VM invocation. AnalyzeBatch decides
 // whether a batch may run packed — the executable must carry a
 // vm::BatchedEntrySpec for the requests' entry point, and every request must
 // match the spec's calling convention (see the fallback rules in
-// docs/ARCHITECTURE.md). PackPlan then builds the batched argument list:
+// docs/ARCHITECTURE.md). Two packing layouts exist, selected by the spec:
 //
-//   packed  [Lmax, B, D]   time-major; packed[t, r, :] = request r's row t,
-//                          zero rows beyond its true length
+// Time-major (recurrent models; BatchedEntrySpec::Layout::kTimeMajor):
+//   packed  [Lmax, B, D]   packed[t, r, :] = request r's row t, zero rows
+//                          beyond its true length
 //   max_len i64 scalar     = Lmax
 //   lengths [B, 1] i64     true per-request lengths
 //   states  [B, W] x k     zero-filled recurrent initial states
+//   result  [B, W_out]     row r sliced back out per request
 //
-// and Unpack slices row r of the [B, W_out] result back into a fresh
-// [1, W_out] tensor per request (a copy, so a request's result never pins
-// the whole batch buffer).
+// Batch-major row map (row-independent feed-forward entries;
+// kBatchMajorRowMap): requests' rows are concatenated with NO padding into
+// one [R, D] tensor (R = sum of lengths; the per-request row ranges are the
+// host-side "row map"), the batched function maps rows to rows, and the
+// [R, W_out] result is sliced back into per-request [len, W_out] tensors.
+//
+// For an executable *variant* specialized to a shape bucket
+// (vm::Executable::variant, produced for serve::ExecCache), AnalyzeBatch
+// additionally requires every request's length to equal the variant's baked
+// length (and the batch size to match a baked batch size), and PackPlan
+// packs to exactly the variant's Lmax — by construction such batches carry
+// zero padding.
+//
+// Unpacked results are copies, so a request's result never pins the whole
+// batch buffer.
 //
 // Bit-identity contract: a packed run must reproduce the per-request path
 // bit for bit. Two rules enforce it here; the batched function itself (e.g.
 // models::BuildLSTM's @main_batched) guarantees the rest via exact `where`
-// masking:
+// masking (a row-map entry is row-independent, which is the whole property):
 //   - every kernel the entry uses computes batch rows independently and in
 //     the same per-row order for any row count (true of the repo's dense /
 //     elementwise / lstm_cell kernels);
-//   - the executable's dense dispatch must not mix kernel families across
-//     row counts: residue coverage has to be full (every M specialized) or
-//     empty (every M generic), because the specialized and generic dense
-//     kernels accumulate in different orders. AnalyzeBatch rejects partial
-//     coverage.
+//   - the executable's dense dispatch must not mix kernel families between
+//     the row counts the per-request path sees and the row counts the
+//     packed path sees: residue coverage has to be full (every M
+//     specialized) or empty (every M generic) — or, for a time-major batch,
+//     cover the batch's own row count, since a time-major entry's dense
+//     calls all run on [B, *] activations (the convention bucket-tuned
+//     variant tables rely on). AnalyzeBatch rejects everything else.
 //
 // Thread-safety: AnalyzeBatch and PackPlan only read the executable and the
 // requests; each pool worker builds its own plans with its own allocator.
@@ -57,7 +73,8 @@ struct PackCheck {
 };
 
 /// Decides whether `requests` (all for `exec`, all sharing one entry
-/// function) can execute as one packed invocation.
+/// function) can execute as one packed invocation. For a variant executable
+/// this includes the exact-shape requirements described above.
 PackCheck AnalyzeBatch(const vm::Executable& exec,
                        const std::vector<serve::Request>& requests);
 
@@ -65,18 +82,24 @@ class PackPlan {
  public:
   /// Builds the plan for a batch AnalyzeBatch accepted. `spec` must outlive
   /// the plan (it lives in the executable, which the batch holds alive).
+  /// `forced_max_len` > 0 pins the packed length (a variant's exact Lmax)
+  /// instead of the batch's own maximum; it must not be smaller than any
+  /// request's length. Ignored by the row-map layout, which never pads.
   static PackPlan Build(const vm::BatchedEntrySpec& spec,
-                        const std::vector<serve::Request>& requests);
+                        const std::vector<serve::Request>& requests,
+                        int64_t forced_max_len = 0);
 
-  /// Pads and packs the requests' sequences and materializes the batched
-  /// argument list, allocating every tensor from `alloc` (the pool worker's
-  /// PoolingAllocator, so packed buffers recycle across batches).
+  /// Packs the requests' sequences per the spec's layout and materializes
+  /// the batched argument list, allocating every tensor from `alloc` (the
+  /// pool worker's PoolingAllocator, so packed buffers recycle across
+  /// batches).
   std::vector<runtime::ObjectRef> PackArgs(
       const std::vector<serve::Request>& requests,
       runtime::Allocator* alloc) const;
 
-  /// Slices row r of the batched [B, W] result into a fresh [1, W] tensor
-  /// per request.
+  /// Slices the batched result back into per-request tensors: row r of
+  /// [B, W] as [1, W] (time-major), or the request's [len, W] row range of
+  /// [R, W] (row map).
   std::vector<runtime::NDArray> Unpack(const runtime::ObjectRef& result,
                                        runtime::Allocator* alloc) const;
 
@@ -85,7 +108,8 @@ class PackPlan {
   const std::vector<int64_t>& lengths() const { return lengths_; }
 
   /// Padding-overhead accounting over the packed input, in elements:
-  /// total = Lmax * B * D, padded = total - sum(lengths) * D.
+  /// time-major packs total = Lmax * B * D of which padded are zero rows;
+  /// a row-map pack is dense by construction (padded == 0).
   int64_t total_elements() const;
   int64_t padded_elements() const;
 

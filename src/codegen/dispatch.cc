@@ -149,6 +149,31 @@ void DenseDispatchTable::Configure(int num_variants) {
   }
 }
 
+void DenseDispatchTable::ConfigureResidues(uint32_t residue_mask) {
+  NIMBLE_CHECK_LT(residue_mask, 1u << kTileRows)
+      << "residue mask has bits beyond the tile factor";
+  table_.fill(nullptr);
+  stats_.Reset();
+  int covered = 0;
+  for (int r = 0; r < kTileRows; ++r) {
+    if (residue_mask & (1u << r)) {
+      table_[static_cast<size_t>(r)] = ResidueKernel(r);
+      ++covered;
+    }
+  }
+  // num_variants keeps its "specialized kernels in the table" meaning; an
+  // empty mask is the no-dispatch configuration (generic kernel only).
+  num_variants_ = covered > 0 ? covered : 1;
+}
+
+uint32_t DenseDispatchTable::residue_mask() const {
+  uint32_t mask = 0;
+  for (int r = 0; r < kTileRows; ++r) {
+    if (table_[static_cast<size_t>(r)] != nullptr) mask |= 1u << r;
+  }
+  return mask;
+}
+
 void DenseDispatchTable::Run(const float* x, const float* w, float* out,
                              int64_t m, int64_t n, int64_t k) const {
   int r = static_cast<int>(m % kTileRows);
@@ -171,15 +196,6 @@ void DenseDispatchTable::Run(const runtime::NDArray& x, const runtime::NDArray& 
   NIMBLE_CHECK_EQ(out.shape()[0], m);
   NIMBLE_CHECK_EQ(out.shape()[1], n);
   Run(x.data<float>(), w.data<float>(), out.data<float>(), m, n, k);
-}
-
-DenseDispatchTable& DenseDispatchTable::Global() {
-  static DenseDispatchTable table(kTileRows);
-  return table;
-}
-
-void DenseDispatchTable::ConfigureGlobal(int num_variants) {
-  Global().Configure(num_variants);
 }
 
 }  // namespace codegen

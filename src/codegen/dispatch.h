@@ -11,13 +11,12 @@
 // profiling has marked it faster (the paper's library-vs-compiled choice).
 //
 // Ownership contract (docs/ARCHITECTURE.md):
-//   Dispatch configuration is *per executable*. core::Compile writes the
+//   Dispatch configuration is *per table owner*. core::Compile writes a
 //   table into the vm::Executable it produces, and the VM threads that table
 //   into kernels through kernels::KernelContext, so serving model A while
-//   compiling model B cannot race on dispatch state. The process-global
-//   table (Global()) survives only as a deprecated shim for code that runs
-//   dense kernels outside any executable: the Figure 3 benchmark and the
-//   kernels::RunKernel convenience entry point.
+//   compiling model B cannot race on dispatch state. Every other dense-kernel
+//   caller (the baselines, the Figure 3 benchmark, kernels::RunKernel) owns
+//   a private table the same way; there is no process-global dispatch state.
 #pragma once
 
 #include <array>
@@ -61,6 +60,19 @@ class DenseDispatchTable {
   /// to any VM) and is read-only afterwards.
   void Configure(int num_variants);
 
+  /// Rebuilds the table with specialized kernels at exactly the residues set
+  /// in `residue_mask` (bit r covers residue r); every other residue runs
+  /// the checked generic kernel. This is how a bucket-specialized executable
+  /// variant (src/serve/exec_cache.h) carries a table tuned to the only M
+  /// values its batches can produce, instead of paying for full coverage.
+  /// Same thread-safety contract as Configure.
+  void ConfigureResidues(uint32_t residue_mask);
+
+  /// True when residue r routes to a specialized kernel.
+  bool Covers(int r) const { return table_[static_cast<size_t>(r)] != nullptr; }
+  /// Bitmask of specialized residues (bit r set iff Covers(r)).
+  uint32_t residue_mask() const;
+
   /// Runs x[M,K] · w[N,K]^T -> out[M,N], dispatching on M mod kTileRows.
   void Run(const runtime::NDArray& x, const runtime::NDArray& w,
            const runtime::NDArray& out) const;
@@ -70,18 +82,6 @@ class DenseDispatchTable {
 
   int num_variants() const { return num_variants_; }
   DispatchStats& stats() const { return stats_; }
-
-  /// DEPRECATED — scheduled for removal: process-wide table for dense calls
-  /// made outside any executable. Remaining users are kernels::RunKernel
-  /// (tests and the constant-folding pass) only; the baselines
-  /// (src/baselines/) and the Figure 3 benchmark own private tables, and
-  /// runtime kernel lookups inside the VM never read it — every
-  /// vm::Executable owns its own table (see src/vm/executable.h). New code
-  /// must construct its own DenseDispatchTable and thread it through
-  /// kernels::KernelContext. Do not call ConfigureGlobal while any thread
-  /// may be running through Global().
-  static DenseDispatchTable& Global();
-  static void ConfigureGlobal(int num_variants);
 
  private:
   int num_variants_;

@@ -1,6 +1,7 @@
 #include "src/core/compiler.h"
 
 #include "src/pass/type_infer.h"
+#include "src/support/logging.h"
 #include "src/vm/compiler.h"
 
 namespace nimble {
@@ -8,6 +9,30 @@ namespace core {
 
 CompileResult Compile(ir::Module& mod, const CompileOptions& options) {
   CompileResult result;
+
+  if (options.specialize_length > 0) {
+    NIMBLE_CHECK(!options.batched_entries.empty())
+        << "specialize_length requires a batched entry to specialize";
+    for (const vm::BatchedEntrySpec& spec : options.batched_entries) {
+      // Row-map entries carry no packed length dimension; only the padded
+      // time-major convention has a bucket Lmax to bake.
+      if (spec.layout != vm::BatchedEntrySpec::Layout::kTimeMajor) continue;
+      // A variant's batches are guaranteed exact-length (batch::AnalyzeBatch
+      // enforces the baked shape), so specialize the unmasked exact twin
+      // when the builder emitted one — the per-row freeze masking is an
+      // identity there. The stamping below rewires the spec onto it.
+      const std::string& target = spec.exact_batched_function.empty()
+                                      ? spec.batched_function
+                                      : spec.exact_batched_function;
+      pass::SpecializeBatchedEntry(&mod, target, options.specialize_length,
+                                   options.specialize_batch);
+      if (options.unroll_specialized_loop) {
+        // The bound is now a constant: flatten the recursion (steps + the
+        // final exit test) into straight-line IR.
+        pass::UnrollBatchedLoop(&mod, target, options.specialize_length + 2);
+      }
+    }
+  }
 
   pass::InferTypes(&mod);
   if (options.fold_constants) pass::FoldConstants(&mod);
@@ -25,13 +50,42 @@ CompileResult Compile(ir::Module& mod, const CompileOptions& options) {
   // the table is written here, before anyone else can see the executable,
   // and is read-only from then on. Compiling has no effect on models that
   // are already serving.
-  result.executable->dispatch_table.Configure(options.dense_dispatch_variants);
+  if (options.specialize_length > 0 && options.specialize_batch > 0) {
+    // A fully-specialized variant's dense calls can only see two row
+    // counts: the baked batch size on the packed path and a single row on
+    // the per-request fallback. Cover exactly those residues with the
+    // specialized kernel family (the same family a full table routes them
+    // to, preserving bit-identity with the generic executable) and skip the
+    // rest.
+    uint32_t mask =
+        (1u << (options.specialize_batch % codegen::kTileRows)) |
+        (1u << (1 % codegen::kTileRows));
+    result.executable->dispatch_table.ConfigureResidues(mask);
+  } else {
+    result.executable->dispatch_table.Configure(
+        options.dense_dispatch_variants);
+  }
   // Batched-entry specs ride along the same way as the dispatch config:
-  // stamped before the executable escapes, immutable afterwards.
+  // stamped before the executable escapes, immutable afterwards. A
+  // length-specialized executable's spec points at the unmasked exact twin
+  // (see above).
   for (const vm::BatchedEntrySpec& spec : options.batched_entries) {
-    result.executable->FunctionIndex(spec.function);          // must exist
-    result.executable->FunctionIndex(spec.batched_function);  // must exist
-    result.executable->batched.push_back(spec);
+    vm::BatchedEntrySpec stamped = spec;
+    if (options.specialize_length > 0 &&
+        spec.layout == vm::BatchedEntrySpec::Layout::kTimeMajor &&
+        !spec.exact_batched_function.empty()) {
+      stamped.batched_function = spec.exact_batched_function;
+    }
+    result.executable->FunctionIndex(stamped.function);          // must exist
+    result.executable->FunctionIndex(stamped.batched_function);  // must exist
+    if (!stamped.exact_batched_function.empty()) {
+      result.executable->FunctionIndex(stamped.exact_batched_function);
+    }
+    result.executable->batched.push_back(std::move(stamped));
+  }
+  if (options.specialize_length > 0) {
+    result.executable->variant.specialized_len = options.specialize_length;
+    result.executable->variant.specialized_batch = options.specialize_batch;
   }
   return result;
 }

@@ -43,6 +43,29 @@ struct CompileOptions {
   /// and the batched function actually exist in the module — where the
   /// serving layer's tensor-batching path (src/batch/) discovers them.
   std::vector<vm::BatchedEntrySpec> batched_entries;
+  /// Shape-bucket specialization (§4.5 extended from kernels to whole
+  /// executables; consumed by serve::ExecCache). When > 0, every time-major
+  /// batched entry above is specialized to this exact packed sequence
+  /// length before the pipeline runs (pass::SpecializeBatchedEntry), and
+  /// the produced executable is stamped as a *variant*
+  /// (vm::Executable::variant): the packing layer only routes batches whose
+  /// requests all have exactly this length to it.
+  int64_t specialize_length = 0;
+  /// With specialize_length: also bake this exact batch size into the
+  /// batched entry, making its dataflow fully static — no runtime shape
+  /// functions, compile-time storage allocation, exact memory planning. The
+  /// variant then only accepts full batches of exactly this size; 0 keeps
+  /// the batch dimension symbolic. The variant's dispatch table is tuned to
+  /// the only dense row counts its batches can produce (the baked batch
+  /// size and the per-request fallback's single row) instead of full
+  /// residue coverage.
+  int64_t specialize_batch = 0;
+  /// With specialize_length: unroll the batched entry's recursion into
+  /// straight-line bytecode (pass::UnrollBatchedLoop) — the loop bound is a
+  /// baked constant, so the per-step call frame, branch and counter
+  /// arithmetic disappear from the hot path at the cost of
+  /// specialize_length copies of the step body in the executable.
+  bool unroll_specialized_loop = true;
 };
 
 struct CompileResult {

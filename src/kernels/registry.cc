@@ -54,17 +54,22 @@ void EnsureKernelsRegistered() {
   (void)done;
 }
 
-KernelContext DefaultKernelContext() {
-  KernelContext ctx;
-  ctx.dense_dispatch = &codegen::DenseDispatchTable::Global();
-  return ctx;
+void RunKernel(const std::string& name, const std::vector<NDArray>& inputs,
+               const std::vector<NDArray>& outputs, const ir::Attrs& attrs,
+               const KernelContext& ctx) {
+  EnsureKernelsRegistered();
+  KernelRegistry::Global()->Get(name)(inputs, outputs, attrs, ctx);
 }
 
 void RunKernel(const std::string& name, const std::vector<NDArray>& inputs,
                const std::vector<NDArray>& outputs, const ir::Attrs& attrs) {
-  EnsureKernelsRegistered();
-  KernelRegistry::Global()->Get(name)(inputs, outputs, attrs,
-                                      DefaultKernelContext());
+  // Private immutable table (full dispatch), constructed once and never
+  // reconfigured: callers without their own table get race-free dispatch
+  // without any process-global mutable state.
+  static const codegen::DenseDispatchTable table(codegen::kTileRows);
+  KernelContext ctx;
+  ctx.dense_dispatch = &table;
+  RunKernel(name, inputs, outputs, attrs, ctx);
 }
 
 }  // namespace kernels

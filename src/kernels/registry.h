@@ -37,7 +37,7 @@ using runtime::NDArray;
 struct KernelContext {
   /// Residue-specialized dense dispatch table (§4.5). Never null when a
   /// kernel is invoked through the registry: the VM points it at its
-  /// executable's table, RunKernel at the deprecated global shim.
+  /// executable's table, RunKernel at its private immutable table.
   const codegen::DenseDispatchTable* dense_dispatch = nullptr;
 };
 
@@ -72,16 +72,16 @@ class KernelRegistry {
 /// Idempotently registers every built-in kernel.
 void EnsureKernelsRegistered();
 
-/// DEPRECATED — scheduled for removal with DenseDispatchTable::Global():
-/// context for kernel calls made outside any executable; dense dispatch
-/// routes to the deprecated global table. Only RunKernel below still uses
-/// it — owners of a dispatch table (VM executables, the baselines) build a
-/// KernelContext from their own table instead.
-KernelContext DefaultKernelContext();
+/// Runs a kernel by name under a caller-supplied context (the caller owns
+/// the dispatch table, per the ownership contract in src/codegen/dispatch.h).
+void RunKernel(const std::string& name, const std::vector<NDArray>& inputs,
+               const std::vector<NDArray>& outputs, const ir::Attrs& attrs,
+               const KernelContext& ctx);
 
-/// Convenience: run a kernel by name with DefaultKernelContext (used by
-/// tests and the constant-folding pass; the baselines thread their own
-/// tables). The last shim over the deprecated global dispatch table.
+/// Convenience for tests and the constant-folding pass: runs a kernel under
+/// a private, immutable, fully-specialized dispatch table owned by this
+/// entry point (never reconfigured, so it is safe from any thread and
+/// cannot perturb — or be perturbed by — any executable's table).
 void RunKernel(const std::string& name, const std::vector<NDArray>& inputs,
                const std::vector<NDArray>& outputs, const ir::Attrs& attrs = {});
 

@@ -134,86 +134,109 @@ LSTMModel BuildLSTM(const LSTMConfig& config) {
   if (config.emit_batched) {
     Dim Lb = Dim::FreshSym("Lb");
     Dim B = Dim::FreshSym("B");
+    // One set of symbolic dims shared by both twins, so length
+    // specialization (pass::SpecializeBatchedEntry) goes static in both.
     Type xb_type = TensorType({Lb, B, Dim::Static(config.input_size)});
     Type lengths_type =
         TensorType(Shape{B, Dim::Static(1)}, DataType::Int64());
     Type bstate_type = TensorType(Shape{B, Dim::Static(H)});
 
-    // @lstm_loop_batched(x, n, lengths, i, h_0, c_0, ..., h_k, c_k) -> h_last
-    Var bx = MakeVar("x", xb_type);
-    Var bn = MakeVar("n", i64_scalar);
-    Var blen = MakeVar("lengths", lengths_type);
-    Var biv = MakeVar("i", i64_scalar);
-    std::vector<Var> bparams{bx, bn, blen, biv};
-    std::vector<Var> bhs, bcs;
-    for (int l = 0; l < config.num_layers; ++l) {
-      bhs.push_back(MakeVar("h" + std::to_string(l), bstate_type));
-      bcs.push_back(MakeVar("c" + std::to_string(l), bstate_type));
-      bparams.push_back(bhs.back());
-      bparams.push_back(bcs.back());
-    }
+    // Two twins share the calling convention: the masked one freezes each
+    // row at its own length and serves ragged batches; the "_exact" one
+    // omits the masking and is only correct when every row runs the full
+    // max_len steps — which is exactly what a length-specialized variant's
+    // batches look like, so CompileOptions::specialize_length rewires the
+    // spec onto it (three fewer kernel invocations per layer per step).
+    for (bool exact : {false, true}) {
+      std::string suffix = exact ? "_exact" : "";
 
-    GlobalVar bloop = MakeGlobalVar("lstm_loop_batched");
-    Expr bx_t = Call2("take", bx, biv);  // [B, in]: one timestep, all rows
-    // Rows whose sequence is still running at this step ([B, 1] bool).
-    Var mask = MakeVar("active");
-    std::vector<std::pair<Var, Expr>> bindings;
-    bindings.emplace_back(mask, Call2("less", biv, blen));
-    std::vector<Expr> brec_args{bx, bn, blen, Call2("add", biv, IntConst(1))};
-    Expr blayer_in = bx_t;
-    for (int l = 0; l < config.num_layers; ++l) {
-      Expr wx = MakeConstant(model.weights.layers[l].wx);
-      Expr wh = MakeConstant(model.weights.layers[l].wh);
-      Expr b = MakeConstant(model.weights.layers[l].b);
-      Expr gates = Call2(
-          "nn.bias_add",
-          Call2("add", Call2("nn.dense", blayer_in, wx),
-                Call2("nn.dense", bhs[l], wh)),
-          b);
-      // The canonical unfused cell, so FuseLSTMCell fires here exactly as it
-      // does in the per-request loop; masking applies to its outputs.
-      Var cv = MakeVar("cell" + std::to_string(l));
-      bindings.emplace_back(cv, UnfusedCell(gates, bcs[l]));
-      Var h_next = MakeVar("h_next" + std::to_string(l));
-      Var c_next = MakeVar("c_next" + std::to_string(l));
-      bindings.emplace_back(
-          h_next, Call3("where", mask, MakeTupleGetItem(cv, 0), bhs[l]));
-      bindings.emplace_back(
-          c_next, Call3("where", mask, MakeTupleGetItem(cv, 1), bcs[l]));
-      brec_args.push_back(h_next);
-      brec_args.push_back(c_next);
-      blayer_in = h_next;
-    }
-    Expr bbody = MakeCall(bloop, brec_args);
-    for (auto it = bindings.rbegin(); it != bindings.rend(); ++it) {
-      bbody = MakeLet(it->first, it->second, bbody);
-    }
-    Expr bcond = Call2("less", biv, bn);
-    Expr bloop_body = MakeIf(bcond, bbody, bhs.back());
-    model.module.Add("lstm_loop_batched",
-                     MakeFunction(bparams, bloop_body, bstate_type));
+      // @lstm_loop_batched[_exact](x, n, lengths, i, h_0, c_0, ...) -> h_last
+      Var bx = MakeVar("x", xb_type);
+      Var bn = MakeVar("n", i64_scalar);
+      Var blen = MakeVar("lengths", lengths_type);
+      Var biv = MakeVar("i", i64_scalar);
+      std::vector<Var> bparams{bx, bn, blen, biv};
+      std::vector<Var> bhs, bcs;
+      for (int l = 0; l < config.num_layers; ++l) {
+        bhs.push_back(MakeVar("h" + std::to_string(l), bstate_type));
+        bcs.push_back(MakeVar("c" + std::to_string(l), bstate_type));
+        bparams.push_back(bhs.back());
+        bparams.push_back(bcs.back());
+      }
 
-    // @main_batched(x, n, lengths, h0_0, c0_0, ...) — zero states arrive as
-    // arguments because their row count B is only known at pack time.
-    Var mbx = MakeVar("x", xb_type);
-    Var mbn = MakeVar("n", i64_scalar);
-    Var mblen = MakeVar("lengths", lengths_type);
-    std::vector<Var> mbparams{mbx, mbn, mblen};
-    std::vector<Expr> mb_args{mbx, mbn, mblen, IntConst(0)};
-    for (int l = 0; l < config.num_layers; ++l) {
-      Var h0 = MakeVar("h0_" + std::to_string(l), bstate_type);
-      Var c0 = MakeVar("c0_" + std::to_string(l), bstate_type);
-      mbparams.push_back(h0);
-      mbparams.push_back(c0);
-      mb_args.push_back(h0);
-      mb_args.push_back(c0);
+      GlobalVar bloop = MakeGlobalVar("lstm_loop_batched" + suffix);
+      Expr bx_t = Call2("take", bx, biv);  // [B, in]: one timestep, all rows
+      // Rows whose sequence is still running at this step ([B, 1] bool).
+      Var mask = MakeVar("active");
+      std::vector<std::pair<Var, Expr>> bindings;
+      if (!exact) bindings.emplace_back(mask, Call2("less", biv, blen));
+      std::vector<Expr> brec_args{bx, bn, blen,
+                                  Call2("add", biv, IntConst(1))};
+      Expr blayer_in = bx_t;
+      for (int l = 0; l < config.num_layers; ++l) {
+        Expr wx = MakeConstant(model.weights.layers[l].wx);
+        Expr wh = MakeConstant(model.weights.layers[l].wh);
+        Expr b = MakeConstant(model.weights.layers[l].b);
+        Expr gates = Call2(
+            "nn.bias_add",
+            Call2("add", Call2("nn.dense", blayer_in, wx),
+                  Call2("nn.dense", bhs[l], wh)),
+            b);
+        // The canonical unfused cell, so FuseLSTMCell fires here exactly as
+        // it does in the per-request loop; masking (when present) applies
+        // to its outputs.
+        Var cv = MakeVar("cell" + std::to_string(l));
+        bindings.emplace_back(cv, UnfusedCell(gates, bcs[l]));
+        Var h_next = MakeVar("h_next" + std::to_string(l));
+        Var c_next = MakeVar("c_next" + std::to_string(l));
+        if (exact) {
+          // where(i < lengths, new, old) with lengths == n for every row
+          // always selects `new`: bind the cell outputs directly.
+          bindings.emplace_back(h_next, MakeTupleGetItem(cv, 0));
+          bindings.emplace_back(c_next, MakeTupleGetItem(cv, 1));
+        } else {
+          bindings.emplace_back(
+              h_next, Call3("where", mask, MakeTupleGetItem(cv, 0), bhs[l]));
+          bindings.emplace_back(
+              c_next, Call3("where", mask, MakeTupleGetItem(cv, 1), bcs[l]));
+        }
+        brec_args.push_back(h_next);
+        brec_args.push_back(c_next);
+        blayer_in = h_next;
+      }
+      Expr bbody = MakeCall(bloop, brec_args);
+      for (auto it = bindings.rbegin(); it != bindings.rend(); ++it) {
+        bbody = MakeLet(it->first, it->second, bbody);
+      }
+      Expr bcond = Call2("less", biv, bn);
+      Expr bloop_body = MakeIf(bcond, bbody, bhs.back());
+      model.module.Add("lstm_loop_batched" + suffix,
+                       MakeFunction(bparams, bloop_body, bstate_type));
+
+      // @main_batched[_exact](x, n, lengths, h0_0, c0_0, ...) — zero states
+      // arrive as arguments because their row count B is only known at pack
+      // time.
+      Var mbx = MakeVar("x", xb_type);
+      Var mbn = MakeVar("n", i64_scalar);
+      Var mblen = MakeVar("lengths", lengths_type);
+      std::vector<Var> mbparams{mbx, mbn, mblen};
+      std::vector<Expr> mb_args{mbx, mbn, mblen, IntConst(0)};
+      for (int l = 0; l < config.num_layers; ++l) {
+        Var h0 = MakeVar("h0_" + std::to_string(l), bstate_type);
+        Var c0 = MakeVar("c0_" + std::to_string(l), bstate_type);
+        mbparams.push_back(h0);
+        mbparams.push_back(c0);
+        mb_args.push_back(h0);
+        mb_args.push_back(c0);
+      }
+      model.module.Add("main_batched" + suffix,
+                       MakeFunction(mbparams, MakeCall(bloop, mb_args),
+                                    bstate_type));
     }
-    model.module.Add("main_batched",
-                     MakeFunction(mbparams, MakeCall(bloop, mb_args),
-                                  bstate_type));
 
     model.batched_spec.function = "main";
     model.batched_spec.batched_function = "main_batched";
+    model.batched_spec.exact_batched_function = "main_batched_exact";
     model.batched_spec.seq_arg = 0;
     model.batched_spec.len_arg = 1;
     model.batched_spec.feature_width = static_cast<int32_t>(config.input_size);

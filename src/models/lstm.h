@@ -25,9 +25,12 @@ struct LSTMConfig {
   /// op) freezes each sequence at its own length, so row r of the batched
   /// result is bit-identical to @main on request r alone. Consumed by the
   /// serving tensor-batching path (src/batch/) through
-  /// LSTMModel::batched_spec. Off by default: non-serving callers should
-  /// not pay the twin's compile time and bytecode; serving sites opt in
-  /// here AND pass the spec via CompileOptions::batched_entries.
+  /// LSTMModel::batched_spec. An unmasked @main_batched_exact twin rides
+  /// along for length-specialized executable variants
+  /// (CompileOptions::specialize_length), whose batches always run every
+  /// row for the full max_len steps. Off by default: non-serving callers
+  /// should not pay the twins' compile time and bytecode; serving sites opt
+  /// in here AND pass the spec via CompileOptions::batched_entries.
   bool emit_batched = false;
 };
 

@@ -1,0 +1,326 @@
+// SpecializeBatchedEntry: bake a shape bucket's (max_len, batch) into a
+// batched serving entry (the shape-bucket executable cache, §4.5 extended
+// from kernels to whole executables).
+//
+// The batched calling convention (src/vm/batch_spec.h) types the packed
+// input as [Lmax, B, D] with Lmax and B symbolic, so the compiled artifact
+// serves every bucket — at the price of running the full dynamic-shape
+// machinery (runtime shape functions, dynamic storage allocation) on every
+// step even though a serving bucket re-sees the same (Lmax, B) on every
+// batch. This pass produces the input for a bucket-specialized variant:
+//
+//   - the packed input's leading symbolic dim (Lmax) is substituted with a
+//     static extent, module-wide, so every type mentioning it goes static;
+//   - optionally the batch dim (B) is substituted the same way, which makes
+//     the whole batched dataflow fully static: ManifestAlloc then emits
+//     compile-time allocations and zero vm.shape_func calls, and MemoryPlan
+//     can reuse storage exactly;
+//   - uses of the entry's max_len scalar parameter (arg 1 of the batched
+//     convention) are replaced by a constant, folding the loop bound at the
+//     call site. The parameter itself stays, so the variant keeps the exact
+//     calling convention of the generic entry and the serving layer can
+//     swap one for the other per batch.
+//
+// Correctness: substitution only narrows types (symbolic -> static); the
+// dataflow, kernel sequence and per-row arithmetic are untouched, so a
+// variant's packed results are bit-identical to the generic executable's
+// (tests/test_serve.cc asserts this). Runs before type inference — only
+// type annotations are rewritten; checked_type is filled in later by the
+// normal pipeline.
+#include <unordered_map>
+
+#include "src/ir/visitor.h"
+#include "src/pass/transforms.h"
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace pass {
+
+using namespace ir;  // NOLINT
+
+namespace {
+
+using SymMap = std::unordered_map<int64_t, int64_t>;
+
+/// Rewrites a type, replacing symbolic dims found in `subst` with static
+/// extents. Returns the input when nothing changed.
+Type SubstType(const Type& t, const SymMap& subst) {
+  if (t == nullptr) return t;
+  switch (t->kind()) {
+    case TypeKind::kTensor: {
+      const auto* tt = static_cast<const TensorTypeNode*>(t.get());
+      bool changed = false;
+      Shape shape = tt->shape;
+      for (Dim& d : shape) {
+        if (!d.is_sym()) continue;
+        auto it = subst.find(d.sym_id());
+        if (it == subst.end()) continue;
+        d = Dim::Static(it->second);
+        changed = true;
+      }
+      return changed ? TensorType(std::move(shape), tt->dtype) : t;
+    }
+    case TypeKind::kTuple: {
+      const auto* tt = static_cast<const TupleTypeNode*>(t.get());
+      bool changed = false;
+      std::vector<Type> fields;
+      fields.reserve(tt->fields.size());
+      for (const Type& f : tt->fields) {
+        Type nf = SubstType(f, subst);
+        changed |= (nf != f);
+        fields.push_back(std::move(nf));
+      }
+      return changed ? TupleType(std::move(fields)) : t;
+    }
+    case TypeKind::kFunc: {
+      const auto* ft = static_cast<const FuncTypeNode*>(t.get());
+      bool changed = false;
+      std::vector<Type> params;
+      params.reserve(ft->params.size());
+      for (const Type& p : ft->params) {
+        Type np = SubstType(p, subst);
+        changed |= (np != p);
+        params.push_back(std::move(np));
+      }
+      Type ret = SubstType(ft->ret, subst);
+      changed |= (ret != ft->ret);
+      return changed ? FuncType(std::move(params), std::move(ret)) : t;
+    }
+    case TypeKind::kADT:
+      return t;
+  }
+  return t;
+}
+
+/// Rewrites every Var annotation (and nested function signature) through the
+/// dim substitution. Var identity is preserved per occurrence by the
+/// mutator's memo, so a rewritten parameter and its body uses stay the same
+/// node.
+class DimSubstMutator : public ExprMutator {
+ public:
+  explicit DimSubstMutator(const SymMap& subst) : subst_(subst) {}
+
+  Function Apply(const Function& fn) {
+    Expr mutated = Mutate(fn);
+    return std::static_pointer_cast<const FunctionNode>(mutated);
+  }
+
+ protected:
+  Expr MutateVar_(const VarNode* node, const Expr& e) override {
+    Type nt = SubstType(node->type_annotation, subst_);
+    if (nt == node->type_annotation) return e;
+    return MakeVar(node->name, std::move(nt));
+  }
+
+  Expr MutateFunction_(const FunctionNode* node, const Expr& e) override {
+    Expr mutated = ExprMutator::MutateFunction_(node, e);
+    const auto* fn = static_cast<const FunctionNode*>(mutated.get());
+    Type nret = SubstType(fn->ret_type, subst_);
+    if (nret == fn->ret_type) return mutated;
+    return MakeFunction(fn->params, fn->body, std::move(nret));
+  }
+
+ private:
+  const SymMap& subst_;
+};
+
+/// Replaces uses of one Var with a constant expression (the max_len
+/// parameter with its baked value). The parameter list itself is left to the
+/// caller, so the function keeps its arity.
+class VarConstMutator : public ExprMutator {
+ public:
+  VarConstMutator(const VarNode* target, Expr replacement)
+      : target_(target), replacement_(std::move(replacement)) {}
+
+ protected:
+  Expr MutateVar_(const VarNode* node, const Expr& e) override {
+    return node == target_ ? replacement_ : e;
+  }
+
+ private:
+  const VarNode* target_;
+  Expr replacement_;
+};
+
+}  // namespace
+
+namespace {
+
+/// The int64 value of a scalar constant expression, when it is one.
+bool ScalarI64(const Expr& e, int64_t* out) {
+  if (e == nullptr || e->kind() != ExprKind::kConstant) return false;
+  const runtime::NDArray& data =
+      static_cast<const ConstantNode*>(e.get())->data;
+  if (data.dtype() != runtime::DataType::Int64() || data.num_elements() != 1) {
+    return false;
+  }
+  *out = data.data<int64_t>()[0];
+  return true;
+}
+
+/// Hygienic one-step inline of a function body: parameters are substituted
+/// with the call's arguments, every let binder is alpha-renamed to a fresh
+/// Var (so repeated inlining never rebinds the same node), and scalar i64
+/// `add` calls whose inputs went constant are folded — which is what turns
+/// the loop counter into a constant for the next step.
+class InlineSubst : public ExprMutator {
+ public:
+  InlineSubst(const std::vector<Var>& params, const std::vector<Expr>& args) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      subst_[params[i].get()] = args[i];
+    }
+  }
+
+ protected:
+  Expr MutateVar_(const VarNode* node, const Expr& e) override {
+    auto it = subst_.find(node);
+    return it != subst_.end() ? it->second : e;
+  }
+
+  Expr MutateLet_(const LetNode* node, const Expr& e) override {
+    Expr value = Mutate(node->value);
+    Var fresh = MakeVar(node->var->name, node->var->type_annotation);
+    subst_[node->var.get()] = fresh;
+    Expr body = Mutate(node->body);
+    return MakeLet(std::move(fresh), std::move(value), std::move(body));
+  }
+
+  Expr MutateCall_(const CallNode* node, const Expr& e) override {
+    Expr mutated = ExprMutator::MutateCall_(node, e);
+    if (mutated->kind() != ExprKind::kCall) return mutated;
+    const auto* call = static_cast<const CallNode*>(mutated.get());
+    if (!IsCallToOp(mutated, "add") || call->args.size() != 2) return mutated;
+    int64_t a, b;
+    if (ScalarI64(call->args[0], &a) && ScalarI64(call->args[1], &b)) {
+      return IntConst(a + b);
+    }
+    return mutated;
+  }
+
+ private:
+  std::unordered_map<const VarNode*, Expr> subst_;
+};
+
+/// True when `e` contains a binder the inliner does not alpha-rename
+/// (nested functions / match clauses) — unrolling such a body is skipped.
+bool HasNonLetBinders(const Expr& e) {
+  bool found = false;
+  PostOrderVisit(e, [&found](const Expr& node) {
+    if (node->kind() == ExprKind::kFunction ||
+        node->kind() == ExprKind::kMatch) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+}  // namespace
+
+int64_t UnrollBatchedLoop(ir::Module* mod, const std::string& entry_name,
+                          int64_t max_steps) {
+  Function entry = mod->Lookup(entry_name);
+  std::vector<std::pair<Var, Expr>> acc;
+  Expr current = entry->body;
+  int64_t steps = 0;
+  while (steps < max_steps) {
+    // Peel the accumulated straight-line prefix.
+    while (current->kind() == ExprKind::kLet) {
+      const auto* let = static_cast<const LetNode*>(current.get());
+      acc.emplace_back(let->var, let->value);
+      current = let->body;
+    }
+    // The tail must be a recursion step whose bound already folded to a
+    // constant: a call to a global whose body is If(less(const, const), ...).
+    if (current->kind() != ExprKind::kCall) break;
+    const auto* call = static_cast<const CallNode*>(current.get());
+    if (call->op->kind() != ExprKind::kGlobalVar) break;
+    const std::string& callee =
+        static_cast<const GlobalVarNode*>(call->op.get())->name;
+    if (!mod->HasFunction(callee)) break;
+    Function loop_fn = mod->Lookup(callee);
+    if (loop_fn->params.size() != call->args.size()) break;
+    if (loop_fn->body->kind() != ExprKind::kIf) break;
+    if (HasNonLetBinders(loop_fn->body)) break;
+
+    InlineSubst inliner(loop_fn->params, call->args);
+    Expr inlined = inliner.Mutate(loop_fn->body);
+    const auto* iff = static_cast<const IfNode*>(inlined.get());
+    int64_t i, n;
+    if (!(IsCallToOp(iff->cond, "less") &&
+          static_cast<const CallNode*>(iff->cond.get())->args.size() == 2 &&
+          ScalarI64(static_cast<const CallNode*>(iff->cond.get())->args[0],
+                    &i) &&
+          ScalarI64(static_cast<const CallNode*>(iff->cond.get())->args[1],
+                    &n))) {
+      break;
+    }
+    current = i < n ? iff->then_branch : iff->else_branch;
+    ++steps;
+  }
+  if (steps == 0 || current->kind() == ExprKind::kCall) {
+    // Nothing unrolled, or the budget ran out mid-loop: keep the rolled
+    // form (a partially unrolled body would still be correct, but there is
+    // no benefit in bloating the bytecode without removing the loop).
+    return 0;
+  }
+  Expr body = current;
+  for (auto it = acc.rbegin(); it != acc.rend(); ++it) {
+    body = MakeLet(it->first, it->second, body);
+  }
+  mod->Update(entry_name,
+              MakeFunction(entry->params, std::move(body), entry->ret_type));
+  return steps;
+}
+
+void SpecializeBatchedEntry(ir::Module* mod, const std::string& batched_function,
+                            int64_t max_len, int64_t batch_size) {
+  NIMBLE_CHECK_GE(max_len, 1) << "specialized max_len must be positive";
+  Function entry = mod->Lookup(batched_function);
+  NIMBLE_CHECK_GE(entry->params.size(), 2u)
+      << "batched entry '" << batched_function
+      << "' does not follow the (packed, max_len, ...) convention";
+
+  // The packed input [Lmax, B, D]: dim 0 is the length to bake, dim 1 the
+  // batch. Both must be symbolic in the generic entry (a static dim means
+  // the entry was already specialized — re-specializing to a different
+  // extent would silently produce a mis-shaped variant).
+  const auto* packed_type = AsTensorType(entry->params[0]->type_annotation);
+  NIMBLE_CHECK(packed_type != nullptr && packed_type->shape.size() >= 2)
+      << "batched entry '" << batched_function
+      << "' packed input must be a rank>=2 tensor";
+  SymMap subst;
+  NIMBLE_CHECK(packed_type->shape[0].is_sym())
+      << "batched entry '" << batched_function
+      << "' length dim is not symbolic (already specialized?)";
+  subst[packed_type->shape[0].sym_id()] = max_len;
+  if (batch_size > 0) {
+    NIMBLE_CHECK(packed_type->shape[1].is_sym())
+        << "batched entry '" << batched_function
+        << "' batch dim is not symbolic (already specialized?)";
+    subst[packed_type->shape[1].sym_id()] = batch_size;
+  }
+
+  // Module-wide dim substitution: the entry's helper functions (e.g. the
+  // batched loop body) share the same symbolic dims through their
+  // signatures.
+  std::vector<std::pair<std::string, Function>> updated;
+  for (const auto& [name, fn] : mod->functions()) {
+    DimSubstMutator mutator(subst);
+    updated.emplace_back(name, mutator.Apply(fn));
+  }
+  for (auto& [name, fn] : updated) mod->Update(name, fn);
+
+  // Fold the loop bound: uses of the entry's max_len parameter become the
+  // baked constant (the parameter stays, preserving the calling convention).
+  Function specialized = mod->Lookup(batched_function);
+  const Var& len_param = specialized->params[1];
+  VarConstMutator fold(len_param.get(), IntConst(max_len));
+  Expr body = fold.Mutate(specialized->body);
+  if (body != specialized->body) {
+    mod->Update(batched_function, MakeFunction(specialized->params, body,
+                                               specialized->ret_type));
+  }
+}
+
+}  // namespace pass
+}  // namespace nimble

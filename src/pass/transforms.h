@@ -39,5 +39,32 @@ FusionStats FuseOps(ir::Module* mod);
 /// of cells fused.
 int FuseLSTMCell(ir::Module* mod);
 
+/// Specializes a batched serving entry (src/vm/batch_spec.h convention:
+/// `batched_function(packed [Lmax, B, D], max_len, ...)`) to a fixed shape
+/// bucket: substitutes the packed input's symbolic length dim with
+/// `max_len` module-wide (and, when `batch_size` > 0, the batch dim too —
+/// making the batched dataflow fully static), and folds uses of the
+/// entry's max_len parameter to the baked constant. Runs before type
+/// inference; the entry keeps its arity and calling convention, so the
+/// serving layer can swap the specialized variant for the generic
+/// executable per batch (src/serve/exec_cache.h). Throws when the entry
+/// does not follow the convention or was already specialized.
+void SpecializeBatchedEntry(ir::Module* mod, const std::string& batched_function,
+                            int64_t max_len, int64_t batch_size = 0);
+
+/// Unrolls a specialized batched entry's tail-recursive loop into
+/// straight-line IR. The entry's body must be (a let-prefix over) a call to
+/// a global loop function of the form If(less(i, n), step, exit) whose
+/// counter and bound have already folded to constants (what
+/// SpecializeBatchedEntry produces) — each step is then inlined
+/// hygienically (fresh let binders per step, the counter folding forward),
+/// eliminating the per-step frame push/pop, branch and counter arithmetic
+/// from the compiled bytecode. Anything else — symbolic bounds, binders the
+/// inliner cannot rename, or a loop longer than `max_steps` — leaves the
+/// module untouched. Returns the number of loop iterations inlined (0 = not
+/// unrolled).
+int64_t UnrollBatchedLoop(ir::Module* mod, const std::string& entry_name,
+                          int64_t max_steps);
+
 }  // namespace pass
 }  // namespace nimble

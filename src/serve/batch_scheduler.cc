@@ -1,6 +1,8 @@
 #include "src/serve/batch_scheduler.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "src/support/logging.h"
 
@@ -111,17 +113,78 @@ int64_t BatchScheduler::Flush(PerModel& m, int bucket) {
   batch.exec = m.state->exec;
   batch.stats = &m.state->stats;
   batch.tensor_batching = m.state->policy.tensor_batching;
-  size_t take = std::min(pending.size(),
-                         static_cast<size_t>(m.state->policy.max_batch_size));
-  batch.requests.reserve(take);
-  for (size_t i = 0; i < take; ++i) {
-    batch.requests.push_back(std::move(pending.front()));
-    pending.pop_front();
+  size_t cap = static_cast<size_t>(m.state->policy.max_batch_size);
+  ExecCache* cache = m.state->cache.get();
+
+  // Shape-bucket carving: a full run of one exact length packs with zero
+  // padding and can run on that length's specialized variant, so prefer it
+  // over a mixed front slice. The oldest request's length wins ties (its
+  // expiry deadline governs this bucket), relative order within the carved
+  // length is preserved, and a bucket with no full same-length run
+  // dispatches mixed exactly as before — on a diffuse workload this path
+  // degenerates to PR 3 behavior.
+  if (cache != nullptr && batch.tensor_batching && pending.size() >= 2) {
+    std::map<int64_t, size_t> counts;
+    for (const Request& request : pending) counts[request.length_hint]++;
+    int64_t carve = -1;
+    if (counts[pending.front().length_hint] >= cap) {
+      carve = pending.front().length_hint;
+    } else {
+      for (const auto& [length, count] : counts) {
+        if (count >= cap) {
+          carve = length;
+          break;
+        }
+      }
+    }
+    if (carve >= 0) {
+      batch.requests.reserve(cap);
+      for (auto it = pending.begin();
+           it != pending.end() && batch.requests.size() < cap;) {
+        if (it->length_hint == carve) {
+          batch.requests.push_back(std::move(*it));
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
   }
+
+  if (batch.requests.empty()) {
+    size_t take = std::min(pending.size(), cap);
+    batch.requests.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.requests.push_back(std::move(pending.front()));
+      pending.pop_front();
+    }
+  }
+
+  // Any homogeneous batch — carved or a same-length leftover — may run on a
+  // cached variant; the lookup also counts the observation that drives
+  // background compilation, so the generic executable serves the bucket
+  // until its variant is ready.
+  if (cache != nullptr && batch.tensor_batching) {
+    int64_t length = batch.requests.front().length_hint;
+    bool homogeneous = true;
+    for (const Request& request : batch.requests) {
+      if (request.length_hint != length) {
+        homogeneous = false;
+        break;
+      }
+    }
+    if (homogeneous) {
+      auto variant =
+          cache->Lookup(length, static_cast<int64_t>(batch.requests.size()));
+      if (variant != nullptr) batch.exec = std::move(variant);
+    }
+  }
+
+  int64_t take = static_cast<int64_t>(batch.requests.size());
   m.state->stats.RecordBatch(batch.requests.size());
   if (aggregate_ != nullptr) aggregate_->RecordBatch(batch.requests.size());
   pool_->Submit(std::move(batch));  // blocks under pool backpressure
-  return static_cast<int64_t>(take);
+  return take;
 }
 
 bool BatchScheduler::DispatchRound() {

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/serve/channel.h"
+#include "src/serve/exec_cache.h"
 #include "src/serve/request.h"
 #include "src/serve/request_queue.h"
 #include "src/serve/stats.h"
@@ -90,6 +91,13 @@ struct ModelState {
   /// slots under contention (2 = twice the share of a weight-1 model).
   int weight = 1;
   BatchPolicy policy;
+  /// Optional shape-bucket executable cache (src/serve/exec_cache.h).
+  /// When set (requires tensor_batching), the scheduler carves full
+  /// same-length batches out of each bucket and stamps Batch::exec with the
+  /// cached length-specialized variant when one is ready; everything else
+  /// runs on the generic `exec`. Shared so a warmed cache can outlive the
+  /// server.
+  std::shared_ptr<ExecCache> cache;
   std::unique_ptr<RequestQueue> queue;
   ServeStats stats;
 };
@@ -142,6 +150,11 @@ class BatchScheduler {
   void FlushAll();
   /// Submits up to max_batch_size requests of model `m`'s bucket `b` to the
   /// pool (blocking on pool backpressure); returns the number dispatched.
+  /// With an executable cache, first tries to carve a full same-length run
+  /// out of the bucket (preferring the oldest request's length) and to
+  /// stamp the batch with that length's cached variant; a homogeneous
+  /// leftover batch still consults the cache, and everything else ships on
+  /// the generic executable exactly as before.
   int64_t Flush(PerModel& m, int bucket);
   Clock::time_point NextDeadline() const;
   bool AllQueuesClosed() const;

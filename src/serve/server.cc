@@ -35,6 +35,22 @@ void Server::AddModel(const std::string& name, ModelConfig model) {
   state->function = std::move(model.function);
   state->weight = model.weight;
   state->policy = std::move(model.batch);
+  if (model.exec_cache != nullptr) {
+    NIMBLE_CHECK(state->policy.tensor_batching)
+        << "model '" << name
+        << "': an executable cache requires tensor_batching (variants only "
+           "pay off on the packed path)";
+    int64_t baked = model.exec_cache->config().specialize_batch;
+    NIMBLE_CHECK(baked == 0 || baked == state->policy.max_batch_size)
+        << "model '" << name << "': cache bakes batch size " << baked
+        << " but the policy dispatches batches of "
+        << state->policy.max_batch_size;
+    state->cache = std::move(model.exec_cache);
+    // Cache events flow into the same per-model/aggregate sinks as every
+    // other serving metric. Shutdown() detaches them again, so a shared
+    // cache may outlive this server.
+    state->cache->set_stats(&state->stats, &stats_);
+  }
   state->queue = std::make_unique<RequestQueue>(model.queue_capacity);
   model_index_[name] = state->index;
   models_.push_back(std::move(state));
@@ -145,12 +161,18 @@ size_t Server::queue_depth(const std::string& model) const {
 
 void Server::Shutdown() {
   if (shutdown_.exchange(true)) return;
-  if (!started_.load()) return;  // nothing running yet
-  // Stop admissions on every model; the scheduler drains what's left.
-  for (auto& model : models_) model->queue->Close();
-  scheduler_->Join();  // exits after flushing every pending bucket
-  pool_->Close();      // workers drain the batch queue, then exit
-  pool_->Join();
+  if (started_.load()) {
+    // Stop admissions on every model; the scheduler drains what's left.
+    for (auto& model : models_) model->queue->Close();
+    scheduler_->Join();  // exits after flushing every pending bucket
+    pool_->Close();      // workers drain the batch queue, then exit
+    pool_->Join();
+  }
+  // Detach shared caches from this server's stats (the cache — and its
+  // compile thread — may outlive the server and its ModelStates).
+  for (auto& model : models_) {
+    if (model->cache != nullptr) model->cache->set_stats(nullptr, nullptr);
+  }
 }
 
 }  // namespace serve

@@ -57,6 +57,12 @@ struct ModelConfig {
   /// Deficit-round-robin weight: relative share of dispatch slots under
   /// contention (2 = twice the share of a weight-1 model). Must be >= 1.
   int weight = 1;
+  /// Optional shape-bucket executable cache (src/serve/exec_cache.h):
+  /// length-specialized variants of `exec` compiled in the background and
+  /// dispatched to by the scheduler. Requires `batch.tensor_batching`; a
+  /// cache that bakes a batch size must bake this model's max_batch_size.
+  /// Shared so callers can keep a warmed cache across server restarts.
+  std::shared_ptr<ExecCache> exec_cache;
 };
 
 struct ServeConfig {

@@ -20,6 +20,15 @@ std::string StatsSnapshot::ToString() const {
     os << "; packed " << packed_batches << "/" << batches
        << " batches, padding waste " << padding_waste * 100.0 << "%";
   }
+  if (variant_batches > 0) {
+    os << "; " << variant_batches << " on cached variants (waste "
+       << variant_padding_waste * 100.0 << "%)";
+  }
+  if (cache_hits + cache_misses > 0) {
+    os << "; exec cache " << cache_hits << "/" << (cache_hits + cache_misses)
+       << " hits, " << cache_evictions << " evictions, " << variant_compiles
+       << " compiles";
+  }
   return os.str();
 }
 
@@ -60,11 +69,42 @@ void ServeStats::RecordBatch(size_t size) {
   batch_size_hist_[BatchHistBucket(size)]++;
 }
 
-void ServeStats::RecordPackedBatch(int64_t padded, int64_t total) {
+void ServeStats::RecordPackedBatch(int64_t padded, int64_t total, int bucket,
+                                   bool on_variant) {
   std::lock_guard<std::mutex> lock(mu_);
   packed_batches_++;
   padded_elements_ += padded;
   packed_total_elements_ += total;
+  if (bucket >= 0) {
+    auto& [bucket_padded, bucket_total] = padding_by_bucket_[bucket];
+    bucket_padded += padded;
+    bucket_total += total;
+  }
+  if (on_variant) {
+    variant_batches_++;
+    variant_padded_elements_ += padded;
+    variant_total_elements_ += total;
+  }
+}
+
+void ServeStats::RecordCacheHit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_hits_++;
+}
+
+void ServeStats::RecordCacheMiss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_misses_++;
+}
+
+void ServeStats::RecordCacheEviction() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_evictions_++;
+}
+
+void ServeStats::RecordVariantCompile() {
+  std::lock_guard<std::mutex> lock(mu_);
+  variant_compiles_++;
 }
 
 void ServeStats::RecordCompletion(double latency_us, bool ok,
@@ -133,6 +173,27 @@ StatsSnapshot ServeStats::Snapshot() const {
     snap.padding_waste = static_cast<double>(padded_elements_) /
                          static_cast<double>(packed_total_elements_);
   }
+  snap.padding_by_bucket.reserve(padding_by_bucket_.size());
+  for (const auto& [bucket, counts] : padding_by_bucket_) {
+    snap.padding_by_bucket.push_back(
+        StatsSnapshot::BucketPadding{bucket, counts.first, counts.second});
+  }
+  snap.variant_batches = variant_batches_;
+  snap.variant_padded_elements = variant_padded_elements_;
+  snap.variant_total_elements = variant_total_elements_;
+  if (variant_total_elements_ > 0) {
+    snap.variant_padding_waste =
+        static_cast<double>(variant_padded_elements_) /
+        static_cast<double>(variant_total_elements_);
+  }
+  snap.cache_hits = cache_hits_;
+  snap.cache_misses = cache_misses_;
+  snap.cache_evictions = cache_evictions_;
+  snap.variant_compiles = variant_compiles_;
+  if (cache_hits_ + cache_misses_ > 0) {
+    snap.cache_hit_rate = static_cast<double>(cache_hits_) /
+                          static_cast<double>(cache_hits_ + cache_misses_);
+  }
   if (started_ && last_completion_ > first_enqueue_) {
     snap.elapsed_seconds =
         std::chrono::duration<double>(last_completion_ - first_enqueue_)
@@ -166,6 +227,9 @@ void ServeStats::Reset() {
   completed_ = failed_ = rejected_ = batches_ = batched_requests_ = 0;
   batch_size_hist_.fill(0);
   packed_batches_ = padded_elements_ = packed_total_elements_ = 0;
+  padding_by_bucket_.clear();
+  variant_batches_ = variant_padded_elements_ = variant_total_elements_ = 0;
+  cache_hits_ = cache_misses_ = cache_evictions_ = variant_compiles_ = 0;
   started_ = false;
   first_enqueue_ = Clock::time_point{};
   last_completion_ = Clock::time_point{};

@@ -20,8 +20,10 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/serve/request.h"
@@ -46,6 +48,34 @@ struct StatsSnapshot {
   int64_t padded_elements = 0;
   int64_t packed_total_elements = 0;
   double padding_waste = 0.0;  // padded_elements / packed_total_elements
+  /// Padding accounting split by length bucket (the scheduler's bucket
+  /// index of each packed batch), so per-bucket waste is observable —
+  /// the executable cache's whole point is driving the cached buckets'
+  /// entries to zero.
+  struct BucketPadding {
+    int bucket = -1;
+    int64_t padded_elements = 0;
+    int64_t total_elements = 0;
+    double waste() const {
+      return total_elements > 0 ? static_cast<double>(padded_elements) /
+                                      static_cast<double>(total_elements)
+                                : 0.0;
+    }
+  };
+  std::vector<BucketPadding> padding_by_bucket;
+  /// Executable-cache accounting (src/serve/exec_cache.h): packed batches
+  /// that ran on a bucket-specialized variant, their padding (zero by
+  /// construction — asserted by CI), and the cache's hit/miss/evict/compile
+  /// counters.
+  int64_t variant_batches = 0;
+  int64_t variant_padded_elements = 0;
+  int64_t variant_total_elements = 0;
+  double variant_padding_waste = 0.0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t variant_compiles = 0;
+  double cache_hit_rate = 0.0;  // hits / (hits + misses)
   double elapsed_seconds = 0.0;   // first enqueue -> last completion
   double throughput_rps = 0.0;    // completed / elapsed_seconds
   double mean_latency_us = 0.0;
@@ -69,8 +99,18 @@ class ServeStats {
   void RecordBatch(size_t size);
 
   /// One batch executed as a single packed tensor invocation; `padded` of
-  /// the `total` packed input elements were zero padding.
-  void RecordPackedBatch(int64_t padded, int64_t total);
+  /// the `total` packed input elements were zero padding. `bucket` is the
+  /// scheduler's length-bucket index (-1 = unknown, e.g. standalone pool
+  /// use), `on_variant` whether the batch ran on a bucket-specialized
+  /// executable variant.
+  void RecordPackedBatch(int64_t padded, int64_t total, int bucket = -1,
+                         bool on_variant = false);
+
+  // Executable-cache events (recorded by serve::ExecCache / the scheduler).
+  void RecordCacheHit();
+  void RecordCacheMiss();
+  void RecordCacheEviction();
+  void RecordVariantCompile();
 
   /// One request finished (promise fulfilled). `latency_us` is end-to-end:
   /// enqueue to result ready. `ok` is false when the VM threw.
@@ -100,6 +140,7 @@ class ServeStats {
 
  private:
   mutable std::mutex mu_;
+  std::map<int, std::pair<int64_t, int64_t>> padding_by_bucket_;
   std::vector<double> latency_reservoir_;
   int64_t latency_count_ = 0;
   double latency_sum_us_ = 0.0;
@@ -114,6 +155,13 @@ class ServeStats {
   int64_t packed_batches_ = 0;
   int64_t padded_elements_ = 0;
   int64_t packed_total_elements_ = 0;
+  int64_t variant_batches_ = 0;
+  int64_t variant_padded_elements_ = 0;
+  int64_t variant_total_elements_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  int64_t cache_evictions_ = 0;
+  int64_t variant_compiles_ = 0;
   bool started_ = false;
   Clock::time_point first_enqueue_{};
   Clock::time_point last_completion_{};

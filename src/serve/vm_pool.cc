@@ -137,12 +137,15 @@ void VMPool::WorkerLoop(Worker& worker) {
     batch::BatchRunResult run = batch::RunBatch(
         *worker.vm, *batch, batch->tensor_batching, on_done);
     if (run.packed) {
+      bool on_variant = batch->exec->variant.is_variant();
       if (batch->stats != nullptr) {
         batch->stats->RecordPackedBatch(run.padded_elements,
-                                        run.total_elements);
+                                        run.total_elements, batch->bucket,
+                                        on_variant);
       }
       if (stats_ != nullptr && stats_ != batch->stats) {
-        stats_->RecordPackedBatch(run.padded_elements, run.total_elements);
+        stats_->RecordPackedBatch(run.padded_elements, run.total_elements,
+                                  batch->bucket, on_variant);
       }
     }
     // Recycle the VM: drops any frames retained by a throwing Invoke and

@@ -5,7 +5,8 @@
 // A model builder that emits a batched twin of an entry function describes
 // it with a BatchedEntrySpec; core::Compile copies the specs into the
 // vm::Executable (CompileOptions::batched_entries), where the serving layer
-// discovers them. The spec pins down one calling convention:
+// discovers them. The spec's `layout` selects the packing convention; the
+// default time-major layout pins down:
 //
 //   per-request:  function(seq: [len, D], len: i64, ...) -> [1, W]
 //   batched:      batched_function(packed:  [Lmax, B, D],   // time-major
@@ -30,10 +31,42 @@ namespace nimble {
 namespace vm {
 
 struct BatchedEntrySpec {
+  /// How the serving layer lays requests out in the packed tensor.
+  enum class Layout : int32_t {
+    /// Padded time-major [Lmax, B, D] (the recurrent-model convention
+    /// described above): step t of every request shares one slice, rows
+    /// beyond a request's length are zero and frozen by the model's
+    /// masking.
+    kTimeMajor = 0,
+    /// Batch-major row map: requests' rows are concatenated with NO padding
+    /// into [R, D] (R = sum of lengths) and a host-side row map remembers
+    /// each request's row range. The batched function maps rows to rows —
+    ///   batched_function(packed: [R, D]) -> [R, W]
+    /// (no max_len/lengths/state arguments) — so it is only sound for
+    /// feed-forward entries whose output row r depends on input row r
+    /// alone; row-independence also makes results bit-identical to
+    /// per-request execution for free. Unpacking slices each request's
+    /// [len, W] row range back out. A row-independent model may simply name
+    /// its per-request entry as its own batched_function.
+    kBatchMajorRowMap = 1,
+  };
+
   /// Per-request entry point this spec batches (usually "main").
   std::string function;
   /// Packed twin emitted by the model builder (usually "main_batched").
   std::string batched_function;
+  /// Optional unmasked twin of `batched_function` (same calling
+  /// convention) that is only correct when EVERY packed row runs exactly
+  /// max_len steps — the per-row freeze masking degenerates to an identity
+  /// there, so this twin simply omits it. Length-specialized executable
+  /// variants (core::CompileOptions::specialize_length) rewire their spec
+  /// onto it: the packing layer guarantees their batches are exact-length,
+  /// and dropping the masking removes three kernel invocations per layer
+  /// per step. Empty when the builder emits no such twin; generic
+  /// executables never run it.
+  std::string exact_batched_function;
+  /// Packing layout; selects the calling convention above.
+  Layout layout = Layout::kTimeMajor;
   /// Index of the per-request argument holding the [len, D] float32 sequence.
   int32_t seq_arg = 0;
   /// Index of the per-request i64 scalar argument holding the true sequence

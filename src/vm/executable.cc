@@ -14,7 +14,13 @@ constexpr uint32_t kMagic = 0x4e4d424cu;  // "NMBL"
 // v2: adds the per-executable dense dispatch configuration (num_variants).
 // v3: adds the batched-entry specs (tensor batching, src/vm/batch_spec.h);
 //     v2 files still load (they simply carry no batched entries).
-constexpr uint32_t kVersion = 3;
+// v4: dispatch configuration becomes a residue mask (bucket-tuned variant
+//     tables), batched specs gain a layout kind, and the trailer carries
+//     the shape-bucket variant metadata (Executable::VariantInfo). v2/v3
+//     files still load: their stride configuration maps onto a mask, they
+//     use the time-major layout, and they are generic (non-variant)
+//     executables.
+constexpr uint32_t kVersion = 4;
 
 // ---- primitive writers/readers ---------------------------------------------
 
@@ -188,7 +194,7 @@ std::string Executable::Disassemble() const {
 void Executable::Save(std::ostream& os) const {
   WritePod<uint32_t>(os, kMagic);
   WritePod<uint32_t>(os, kVersion);
-  WritePod<int32_t>(os, dispatch_table.num_variants());
+  WritePod<uint32_t>(os, dispatch_table.residue_mask());
   WritePod<uint64_t>(os, constants.size());
   for (const auto& c : constants) WriteNDArray(os, c);
   WritePod<uint64_t>(os, packed.size());
@@ -211,21 +217,29 @@ void Executable::Save(std::ostream& os) const {
   for (const BatchedEntrySpec& spec : batched) {
     WriteString(os, spec.function);
     WriteString(os, spec.batched_function);
+    WriteString(os, spec.exact_batched_function);
+    WritePod<int32_t>(os, static_cast<int32_t>(spec.layout));
     WritePod<int32_t>(os, spec.seq_arg);
     WritePod<int32_t>(os, spec.len_arg);
     WritePod<int32_t>(os, spec.feature_width);
     WritePod<int32_t>(os, spec.state_width);
     WritePod<int32_t>(os, spec.num_state_args);
   }
+  WritePod<int64_t>(os, variant.specialized_len);
+  WritePod<int64_t>(os, variant.specialized_batch);
 }
 
 std::shared_ptr<Executable> Executable::Load(std::istream& is) {
   NIMBLE_CHECK_EQ(ReadPod<uint32_t>(is), kMagic) << "not a Nimble executable";
   uint32_t version = ReadPod<uint32_t>(is);
-  NIMBLE_CHECK(version == 2 || version == kVersion)
+  NIMBLE_CHECK(version >= 2 && version <= kVersion)
       << "unsupported executable version " << version;
   auto exec = std::make_shared<Executable>();
-  exec->dispatch_table.Configure(ReadPod<int32_t>(is));
+  if (version >= 4) {
+    exec->dispatch_table.ConfigureResidues(ReadPod<uint32_t>(is));
+  } else {
+    exec->dispatch_table.Configure(ReadPod<int32_t>(is));
+  }
   uint64_t num_consts = ReadPod<uint64_t>(is);
   for (uint64_t i = 0; i < num_consts; ++i) {
     exec->constants.push_back(ReadNDArray(is));
@@ -260,6 +274,11 @@ std::shared_ptr<Executable> Executable::Load(std::istream& is) {
       BatchedEntrySpec spec;
       spec.function = ReadString(is);
       spec.batched_function = ReadString(is);
+      if (version >= 4) {
+        spec.exact_batched_function = ReadString(is);
+        spec.layout =
+            static_cast<BatchedEntrySpec::Layout>(ReadPod<int32_t>(is));
+      }
       spec.seq_arg = ReadPod<int32_t>(is);
       spec.len_arg = ReadPod<int32_t>(is);
       spec.feature_width = ReadPod<int32_t>(is);
@@ -267,6 +286,10 @@ std::shared_ptr<Executable> Executable::Load(std::istream& is) {
       spec.num_state_args = ReadPod<int32_t>(is);
       exec->batched.push_back(std::move(spec));
     }
+  }
+  if (version >= 4) {
+    exec->variant.specialized_len = ReadPod<int64_t>(is);
+    exec->variant.specialized_batch = ReadPod<int64_t>(is);
   }
   return exec;
 }

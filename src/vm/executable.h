@@ -77,6 +77,23 @@ class Executable {
   /// per-request loop).
   const BatchedEntrySpec* FindBatched(const std::string& function) const;
 
+  /// Shape-bucket specialization metadata (the executable cache,
+  /// src/serve/exec_cache.h). A *variant* is an otherwise ordinary
+  /// executable whose batched entry was compiled with the bucket's shape
+  /// baked in (core::CompileOptions::specialize_length): `specialized_len`
+  /// is the exact sequence length every packed request must have, and
+  /// `specialized_batch`, when nonzero, the exact batch size — the packing
+  /// layer (batch::AnalyzeBatch) enforces both and falls back to the
+  /// model's generic executable otherwise. Zero-initialized for generic
+  /// executables. Stamped by core::Compile before the executable escapes;
+  /// immutable afterwards like every other field.
+  struct VariantInfo {
+    int64_t specialized_len = 0;    // 0 = generic executable
+    int64_t specialized_batch = 0;  // 0 = batch dim left symbolic
+    bool is_variant() const { return specialized_len > 0; }
+  };
+  VariantInfo variant;
+
   int32_t FunctionIndex(const std::string& name) const;
 
   /// Human-readable bytecode listing.

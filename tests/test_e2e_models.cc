@@ -250,13 +250,13 @@ TEST(E2E, CompileReportsOptimizationStats) {
   auto compiled = core::Compile(model.module);
   EXPECT_EQ(compiled.lstm_cells_fused, 2);
 
-  // With the batched twin emitted, FuseLSTMCell fires in
-  // @lstm_loop_batched as well — the masked batched recurrence keeps the
-  // canonical cell dataflow.
+  // With the batched twins emitted, FuseLSTMCell fires in
+  // @lstm_loop_batched and @lstm_loop_batched_exact as well — both batched
+  // recurrences keep the canonical cell dataflow (2 layers x 3 loops).
   config.emit_batched = true;
   auto batched_model = models::BuildLSTM(config);
   auto batched_compiled = core::Compile(batched_model.module);
-  EXPECT_EQ(batched_compiled.lstm_cells_fused, 4);
+  EXPECT_EQ(batched_compiled.lstm_cells_fused, 6);
   EXPECT_GT(compiled.fusion.groups_created, 0);
   EXPECT_GT(compiled.memory.kills_inserted, 0);
   EXPECT_GT(compiled.executable->NumInstructions(), 0u);

@@ -15,7 +15,9 @@
 #include "src/core/compiler.h"
 #include "src/models/lstm.h"
 #include "src/models/workloads.h"
+#include "src/op/registry.h"
 #include "src/serve/batch_scheduler.h"
+#include "src/serve/exec_cache.h"
 #include "src/serve/request_queue.h"
 #include "src/serve/server.h"
 #include "src/serve/stats.h"
@@ -775,6 +777,452 @@ TEST(ServeStats, BatchHistogramAndPaddingWaste) {
   EXPECT_STREQ(serve::ServeStats::BatchHistLabel(3), "5-8");
   stats.Reset();
   EXPECT_EQ(stats.Snapshot().packed_batches, 0);
+}
+
+// ---- shape-bucket executable cache --------------------------------------------
+
+/// Variant compiler for LSTM fixtures: rebuilds the module with the same
+/// (deterministic) weights and bakes the bucket shape in.
+serve::CompileVariantFn LSTMVariantCompiler(models::LSTMConfig config) {
+  return [config](int64_t max_len,
+                  int64_t batch) -> std::shared_ptr<vm::Executable> {
+    auto model = models::BuildLSTM(config);
+    core::CompileOptions opts;
+    opts.batched_entries = {model.batched_spec};
+    opts.specialize_length = max_len;
+    opts.specialize_batch = batch;
+    return core::Compile(model.module, opts).executable;
+  };
+}
+
+TEST(ExecCache, VariantPackedBitIdenticalToGenericPackedAndSequential) {
+  // Eight requests of one exact length: the shape a cached variant serves.
+  std::vector<int64_t> lengths(8, 11);
+  LSTMFixture fixture(lengths, /*hidden_size=*/12, /*seed=*/31,
+                      /*with_batched_entry=*/true);
+  auto variant = LSTMVariantCompiler(fixture.model.config)(11, 8);
+  ASSERT_TRUE(variant->variant.is_variant());
+  EXPECT_EQ(variant->variant.specialized_len, 11);
+  EXPECT_EQ(variant->variant.specialized_batch, 8);
+  // Baking the shape rewires the spec onto the unmasked exact twin and
+  // unrolls it: the entry is straight-line (bigger than one loop body, no
+  // recursion left), not just a relabeled generic executable.
+  ASSERT_NE(variant->FindBatched("main"), nullptr);
+  EXPECT_EQ(variant->FindBatched("main")->batched_function,
+            "main_batched_exact");
+  int32_t entry_index = variant->FunctionIndex("main_batched_exact");
+  EXPECT_GT(
+      variant->functions[static_cast<size_t>(entry_index)].instructions.size(),
+      fixture.exec->NumInstructions())
+      << "specialized entry should be unrolled into straight-line bytecode";
+  // The tuned table covers exactly the batch residue (8 % 8 = 0) and the
+  // per-request fallback row (1).
+  EXPECT_EQ(variant->dispatch_table.residue_mask(), 0b11u);
+
+  auto run_packed = [&](const std::shared_ptr<vm::Executable>& exec) {
+    std::vector<std::future<runtime::ObjectRef>> futures;
+    serve::Batch batch =
+        MakeDirectBatch(fixture, {0, 1, 2, 3, 4, 5, 6, 7}, &futures);
+    batch.exec = exec;
+    vm::VirtualMachine machine(exec);
+    auto run = batch::RunBatch(machine, batch, /*tensor_batching=*/true,
+                               nullptr);
+    EXPECT_TRUE(run.packed) << run.fallback_reason;
+    std::vector<NDArray> outs;
+    for (auto& f : futures) outs.push_back(AsTensor(f.get()));
+    return std::make_pair(std::move(outs), run);
+  };
+
+  auto [generic_outs, generic_run] = run_packed(fixture.exec);
+  auto [variant_outs, variant_run] = run_packed(variant);
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    ExpectBitIdentical(variant_outs[i], generic_outs[i], i);
+    ExpectBitIdentical(variant_outs[i], fixture.expected[i], i);
+  }
+  // Same-length batches pad nothing on either executable.
+  EXPECT_EQ(variant_run.padded_elements, 0);
+  EXPECT_EQ(generic_run.padded_elements, 0);
+}
+
+TEST(ExecCache, VariantRejectsMismatchedBatches) {
+  std::vector<int64_t> lengths = {9, 9, 9, 10};
+  LSTMFixture fixture(lengths, /*hidden_size=*/10, /*seed=*/17,
+                      /*with_batched_entry=*/true);
+  auto variant = LSTMVariantCompiler(fixture.model.config)(9, 2);
+
+  // Wrong batch size (variant bakes 2, batch has 3).
+  {
+    std::vector<std::future<runtime::ObjectRef>> futures;
+    serve::Batch batch = MakeDirectBatch(fixture, {0, 1, 2}, &futures);
+    batch::PackCheck check = batch::AnalyzeBatch(*variant, batch.requests);
+    EXPECT_FALSE(check.ok());
+    EXPECT_NE(check.reason.find("specialized to batches"), std::string::npos)
+        << check.reason;
+    batch.requests.clear();  // unfulfilled promises are fine in-test
+  }
+  // Wrong length (9 baked, request 3 is length 10).
+  {
+    std::vector<std::future<runtime::ObjectRef>> futures;
+    serve::Batch batch = MakeDirectBatch(fixture, {0, 3}, &futures);
+    batch::PackCheck check = batch::AnalyzeBatch(*variant, batch.requests);
+    EXPECT_FALSE(check.ok());
+    EXPECT_NE(check.reason.find("specialized length"), std::string::npos)
+        << check.reason;
+  }
+  // Exact match passes and still runs bit-identically.
+  {
+    std::vector<std::future<runtime::ObjectRef>> futures;
+    serve::Batch batch = MakeDirectBatch(fixture, {0, 1}, &futures);
+    batch.exec = variant;
+    vm::VirtualMachine machine(variant);
+    auto run =
+        batch::RunBatch(machine, batch, /*tensor_batching=*/true, nullptr);
+    EXPECT_TRUE(run.packed) << run.fallback_reason;
+    ExpectBitIdentical(AsTensor(futures[0].get()), fixture.expected[0], 0);
+    ExpectBitIdentical(AsTensor(futures[1].get()), fixture.expected[1], 1);
+  }
+}
+
+TEST(ExecCache, VariantSurvivesSaveLoad) {
+  std::vector<int64_t> lengths(4, 6);
+  LSTMFixture fixture(lengths, /*hidden_size=*/10, /*seed=*/23,
+                      /*with_batched_entry=*/true);
+  auto variant = LSTMVariantCompiler(fixture.model.config)(6, 4);
+
+  std::stringstream buffer;
+  variant->Save(buffer);
+  auto loaded = vm::Executable::Load(buffer);
+  EXPECT_EQ(loaded->variant.specialized_len, 6);
+  EXPECT_EQ(loaded->variant.specialized_batch, 4);
+  EXPECT_EQ(loaded->dispatch_table.residue_mask(),
+            variant->dispatch_table.residue_mask());
+  ASSERT_NE(loaded->FindBatched("main"), nullptr);
+  EXPECT_EQ(loaded->FindBatched("main")->layout,
+            vm::BatchedEntrySpec::Layout::kTimeMajor);
+
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  serve::Batch batch = MakeDirectBatch(fixture, {0, 1, 2, 3}, &futures);
+  batch.exec = loaded;
+  vm::VirtualMachine machine(loaded);
+  auto run = batch::RunBatch(machine, batch, /*tensor_batching=*/true, nullptr);
+  EXPECT_TRUE(run.packed) << run.fallback_reason;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+}
+
+TEST(ExecCache, LookupObservesCompilesAndHits) {
+  std::vector<int64_t> lengths(2, 7);
+  LSTMFixture fixture(lengths, /*hidden_size=*/10, /*seed=*/41,
+                      /*with_batched_entry=*/true);
+  serve::ExecCacheConfig config;
+  config.capacity = 4;
+  config.min_observations = 2;
+  config.specialize_batch = 2;
+  serve::ExecCache cache(LSTMVariantCompiler(fixture.model.config), config);
+
+  // Unservable batch sizes never count observations: no amount of
+  // wrong-size traffic may trigger a compile its batches cannot use.
+  EXPECT_EQ(cache.Lookup(9, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(9, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(9, 1), nullptr);
+  cache.WaitIdle();
+  EXPECT_TRUE(cache.snapshot().resident.empty());
+
+  EXPECT_EQ(cache.Lookup(7, 2), nullptr) << "first sight: observe only";
+  cache.WaitIdle();
+  EXPECT_TRUE(cache.snapshot().resident.empty())
+      << "one observation must not compile yet";
+  EXPECT_EQ(cache.Lookup(7, 2), nullptr) << "second miss queues the compile";
+  cache.WaitIdle();
+  auto variant = cache.Lookup(7, 2);
+  ASSERT_NE(variant, nullptr);
+  EXPECT_EQ(variant->variant.specialized_len, 7);
+  // A partial batch cannot use the size-2 variant: miss, but no recompile.
+  EXPECT_EQ(cache.Lookup(7, 1), nullptr);
+  cache.WaitIdle();
+  auto snap = cache.snapshot();
+  EXPECT_EQ(snap.compiles, 1);
+  EXPECT_EQ(snap.hits, 1);
+  EXPECT_EQ(snap.misses, 6);  // 3 unservable + 2 observing + 1 partial
+  ASSERT_EQ(snap.resident.size(), 1u);
+  EXPECT_EQ(snap.resident[0], 7);
+}
+
+TEST(ExecCache, LRUEvictionUnderBucketChurn) {
+  models::LSTMConfig config;
+  config.input_size = 8;
+  config.hidden_size = 10;
+  config.emit_batched = true;
+  serve::ExecCacheConfig cache_config;
+  cache_config.capacity = 2;
+  cache_config.min_observations = 1;
+  cache_config.specialize_batch = 2;
+  serve::ServeStats stats;
+  serve::ExecCache cache(LSTMVariantCompiler(config), cache_config, &stats);
+
+  // Churn through four lengths; only the two most recent survive.
+  for (int64_t len : {4, 5, 6, 7}) {
+    EXPECT_EQ(cache.Lookup(len, 2), nullptr);
+    cache.WaitIdle();
+    ASSERT_NE(cache.Lookup(len, 2), nullptr) << "length " << len;
+  }
+  auto snap = cache.snapshot();
+  EXPECT_EQ(snap.compiles, 4);
+  EXPECT_EQ(snap.evictions, 2);
+  ASSERT_EQ(snap.resident.size(), 2u);
+  EXPECT_EQ(snap.resident[0], 7) << "most recently used first";
+  EXPECT_EQ(snap.resident[1], 6);
+  EXPECT_EQ(stats.Snapshot().cache_evictions, 2);
+  EXPECT_EQ(stats.Snapshot().variant_compiles, 4);
+
+  // A hit refreshes LRU order: touch 6, then insert 4 — 7 is the victim.
+  ASSERT_NE(cache.Lookup(6, 2), nullptr);
+  EXPECT_EQ(cache.Lookup(4, 2), nullptr) << "4 was evicted and re-observes";
+  cache.WaitIdle();
+  ASSERT_NE(cache.Lookup(4, 2), nullptr);
+  snap = cache.snapshot();
+  ASSERT_EQ(snap.resident.size(), 2u);
+  EXPECT_EQ(snap.resident[0], 4);
+  EXPECT_EQ(snap.resident[1], 6);
+}
+
+TEST(ExecCache, ServerCarvesSameLengthBatchesOntoVariants) {
+  // 16 requests of length 10 + 2 stragglers in the same bucket. The first
+  // full batch observes (miss, generic), the cache compiles in the
+  // background, and once warm the second wave carves onto the variant.
+  std::vector<int64_t> lengths(16, 10);
+  lengths.push_back(12);
+  lengths.push_back(13);
+  LSTMFixture fixture(lengths, /*hidden_size=*/12, /*seed=*/37,
+                      /*with_batched_entry=*/true);
+
+  serve::ExecCacheConfig cache_config;
+  cache_config.capacity = 4;
+  cache_config.min_observations = 1;
+  cache_config.specialize_batch = 8;
+  auto cache = std::make_shared<serve::ExecCache>(
+      LSTMVariantCompiler(fixture.model.config), cache_config);
+
+  serve::ServeConfig config;
+  config.num_workers = 2;
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.exec = fixture.exec;
+  model.batch.max_batch_size = 8;
+  model.batch.max_wait_micros = 50000;
+  model.batch.bucket_edges = {8, 16, 32};
+  model.batch.tensor_batching = true;
+  model.exec_cache = cache;
+  server.AddModel("lstm", model);
+  server.Start();
+
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  // First full batch of length 10: dispatches generic, triggers compile.
+  for (size_t i = 0; i < 8; ++i) {
+    futures.push_back(server.Submit("lstm", fixture.ArgsFor(i), 10));
+  }
+  // Await the first wave so its dispatch (and the cache observation) has
+  // definitely happened, then let the background compile finish.
+  for (size_t i = 0; i < 8; ++i) futures[i].wait();
+  cache->WaitIdle();
+  // Second wave: must carve the 8 length-10 requests onto the variant even
+  // though the stragglers share their bucket.
+  for (size_t i = 8; i < lengths.size(); ++i) {
+    futures.push_back(
+        server.Submit("lstm", fixture.ArgsFor(i), fixture.lengths[i]));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  server.Shutdown();
+
+  auto snap = server.stats("lstm");
+  EXPECT_GE(snap.cache_hits, 1) << "second wave must hit the variant";
+  EXPECT_GE(snap.variant_batches, 1);
+  EXPECT_EQ(snap.variant_padded_elements, 0)
+      << "cached batches are exact-length: zero padding by construction";
+  auto cache_snap = cache->snapshot();
+  EXPECT_EQ(cache_snap.compiles, 1) << "one hot length, one variant";
+}
+
+TEST(ExecCache, GenericServesWhileVariantCompiles) {
+  // A slow compiler must never block serving: requests keep completing on
+  // the generic executable while the variant bakes, and later batches move
+  // onto it. Run under TSan in CI, this also races Lookup/publish against
+  // the serving path.
+  std::vector<int64_t> lengths(32, 9);
+  LSTMFixture fixture(lengths, /*hidden_size=*/12, /*seed=*/43,
+                      /*with_batched_entry=*/true);
+  auto slow_compile = [inner = LSTMVariantCompiler(fixture.model.config)](
+                          int64_t len, int64_t batch) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return inner(len, batch);
+  };
+  serve::ExecCacheConfig cache_config;
+  cache_config.capacity = 2;
+  cache_config.min_observations = 1;
+  cache_config.specialize_batch = 4;
+  auto cache =
+      std::make_shared<serve::ExecCache>(slow_compile, cache_config);
+
+  serve::ServeConfig config;
+  config.num_workers = 2;
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.exec = fixture.exec;
+  model.batch.max_batch_size = 4;
+  model.batch.max_wait_micros = 1000;
+  model.batch.tensor_batching = true;
+  model.exec_cache = cache;
+  server.AddModel("lstm", model);
+  server.Start();
+
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    futures.push_back(server.Submit("lstm", fixture.ArgsFor(i), 9));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  server.Shutdown();
+  auto snap = server.stats("lstm");
+  EXPECT_EQ(snap.completed, static_cast<int64_t>(lengths.size()));
+  EXPECT_EQ(snap.failed, 0);
+  EXPECT_GE(snap.cache_misses, 1) << "early batches served generic";
+}
+
+// ---- batch-major row-map packing ----------------------------------------------
+
+/// Row-independent feed-forward model: main(x: [L, D]) = relu(dense(x, w)),
+/// rows map to rows, so its own entry doubles as the batched function under
+/// the row-map layout.
+struct RowMLPFixture {
+  std::shared_ptr<vm::Executable> exec;
+  std::vector<NDArray> inputs;
+  std::vector<int64_t> lengths;
+  std::vector<NDArray> expected;
+
+  explicit RowMLPFixture(std::vector<int64_t> request_lengths,
+                         int64_t D = 8, int64_t W = 6, uint64_t seed = 3) {
+    support::Rng rng(seed);
+    NDArray w = NDArray::Empty({W, D}, runtime::DataType::Float32());
+    w.FillUniform(rng, -0.5, 0.5);
+    ir::Dim L = ir::Dim::FreshSym("L");
+    ir::Var x = ir::MakeVar("x", ir::TensorType({L, ir::Dim::Static(D)}));
+    ir::Module mod;
+    mod.Add("main",
+            ir::MakeFunction(
+                {x}, op::Call1("relu", op::Call2("nn.dense", x,
+                                                 ir::MakeConstant(w)))));
+    vm::BatchedEntrySpec spec;
+    spec.function = "main";
+    spec.batched_function = "main";  // rows map to rows: reuse the entry
+    spec.layout = vm::BatchedEntrySpec::Layout::kBatchMajorRowMap;
+    spec.seq_arg = 0;
+    spec.len_arg = -1;
+    spec.feature_width = static_cast<int32_t>(D);
+    core::CompileOptions opts;
+    opts.batched_entries = {spec};
+    exec = core::Compile(mod, opts).executable;
+
+    lengths = std::move(request_lengths);
+    vm::VirtualMachine sequential(exec);
+    for (int64_t len : lengths) {
+      NDArray seq = models::RandomSequence(len, D, rng);
+      inputs.push_back(seq);
+      expected.push_back(AsTensor(sequential.Invoke("main", {MakeTensor(seq)})));
+    }
+  }
+};
+
+TEST(TensorBatching, RowMapPackedBitIdenticalWithZeroPadding) {
+  RowMLPFixture fixture({5, 1, 7, 3});
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  serve::Batch batch;
+  batch.exec = fixture.exec;
+  for (size_t i = 0; i < fixture.lengths.size(); ++i) {
+    serve::Request request;
+    request.id = static_cast<int64_t>(i);
+    request.args = {MakeTensor(fixture.inputs[i])};
+    request.length_hint = fixture.lengths[i];
+    futures.push_back(request.promise.get_future());
+    batch.requests.push_back(std::move(request));
+  }
+
+  batch::PackCheck check = batch::AnalyzeBatch(*fixture.exec, batch.requests);
+  ASSERT_TRUE(check.ok()) << check.reason;
+  batch::PackPlan plan = batch::PackPlan::Build(*check.spec, batch.requests);
+  EXPECT_EQ(plan.padded_elements(), 0) << "row-map packing never pads";
+  EXPECT_EQ(plan.total_elements(), (5 + 1 + 7 + 3) * 8);
+  auto args = plan.PackArgs(batch.requests, runtime::GlobalNaiveAllocator());
+  ASSERT_EQ(args.size(), 1u) << "row-map convention: just the packed rows";
+  EXPECT_EQ(AsTensor(args[0]).shape(), (runtime::ShapeVec{16, 8}));
+
+  vm::VirtualMachine machine(fixture.exec);
+  auto run = batch::RunBatch(machine, batch, /*tensor_batching=*/true, nullptr);
+  EXPECT_TRUE(run.packed) << run.fallback_reason;
+  EXPECT_EQ(run.padded_elements, 0);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    NDArray out = AsTensor(futures[i].get());
+    ASSERT_EQ(out.shape()[0], fixture.lengths[i]) << "per-request row count";
+    ExpectBitIdentical(out, fixture.expected[i], i);
+  }
+}
+
+TEST(TensorBatching, RowMapRejectsStatefulSpecs) {
+  RowMLPFixture fixture({4, 2});
+  // Forge a stateful row-map spec (via a serialization round trip — the
+  // executable itself is non-copyable): must be rejected, states need the
+  // time-major convention.
+  std::stringstream buffer;
+  fixture.exec->Save(buffer);
+  auto forged = vm::Executable::Load(buffer);
+  forged->batched[0].num_state_args = 1;
+  forged->batched[0].state_width = 4;
+  serve::Request request;
+  request.args = {MakeTensor(fixture.inputs[0])};
+  std::vector<serve::Request> requests;
+  requests.push_back(std::move(request));
+  batch::PackCheck check = batch::AnalyzeBatch(*forged, requests);
+  EXPECT_FALSE(check.ok());
+  EXPECT_NE(check.reason.find("state"), std::string::npos) << check.reason;
+}
+
+TEST(ServeStats, PerBucketPaddingAndCacheCounters) {
+  serve::ServeStats stats;
+  stats.RecordPackedBatch(/*padded=*/10, /*total=*/100, /*bucket=*/1,
+                          /*on_variant=*/false);
+  stats.RecordPackedBatch(/*padded=*/0, /*total=*/80, /*bucket=*/2,
+                          /*on_variant=*/true);
+  stats.RecordPackedBatch(/*padded=*/6, /*total=*/20, /*bucket=*/1,
+                          /*on_variant=*/false);
+  stats.RecordCacheHit();
+  stats.RecordCacheHit();
+  stats.RecordCacheMiss();
+  stats.RecordCacheEviction();
+  stats.RecordVariantCompile();
+  auto snap = stats.Snapshot();
+  ASSERT_EQ(snap.padding_by_bucket.size(), 2u);
+  EXPECT_EQ(snap.padding_by_bucket[0].bucket, 1);
+  EXPECT_EQ(snap.padding_by_bucket[0].padded_elements, 16);
+  EXPECT_EQ(snap.padding_by_bucket[0].total_elements, 120);
+  EXPECT_EQ(snap.padding_by_bucket[1].bucket, 2);
+  EXPECT_DOUBLE_EQ(snap.padding_by_bucket[1].waste(), 0.0);
+  EXPECT_EQ(snap.variant_batches, 1);
+  EXPECT_EQ(snap.variant_padded_elements, 0);
+  EXPECT_DOUBLE_EQ(snap.variant_padding_waste, 0.0);
+  EXPECT_EQ(snap.cache_hits, 2);
+  EXPECT_EQ(snap.cache_misses, 1);
+  EXPECT_EQ(snap.cache_evictions, 1);
+  EXPECT_EQ(snap.variant_compiles, 1);
+  EXPECT_DOUBLE_EQ(snap.cache_hit_rate, 2.0 / 3.0);
+  stats.Reset();
+  auto clean = stats.Snapshot();
+  EXPECT_TRUE(clean.padding_by_bucket.empty());
+  EXPECT_EQ(clean.cache_hits, 0);
+  EXPECT_EQ(clean.variant_batches, 0);
 }
 
 TEST(Serve, VMResetAllowsRecycling) {

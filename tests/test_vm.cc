@@ -215,9 +215,6 @@ TEST(VM, DenseDispatchReadsTheExecutablesTable) {
   EXPECT_EQ(exec_none->dispatch_table.num_variants(), 1)
       << "compiling one executable must not reconfigure another";
 
-  auto& global = codegen::DenseDispatchTable::Global();
-  global.stats().Reset();
-
   support::Rng rng(3);
   NDArray x = NDArray::Empty({3, 4}, runtime::DataType::Float32());
   NDArray w = NDArray::Empty({5, 4}, runtime::DataType::Float32());
@@ -239,9 +236,9 @@ TEST(VM, DenseDispatchReadsTheExecutablesTable) {
   EXPECT_EQ(exec_full->dispatch_table.stats().fallback_calls, 0);
   EXPECT_GT(exec_none->dispatch_table.stats().fallback_calls, 0);
   EXPECT_EQ(exec_none->dispatch_table.stats().specialized_calls, 0);
-  // The deprecated global shim saw no runtime kernel lookups.
-  EXPECT_EQ(global.stats().specialized_calls, 0);
-  EXPECT_EQ(global.stats().fallback_calls, 0);
+  // ...and neither executable's calls leaked into the other's table.
+  EXPECT_EQ(exec_full->dispatch_table.stats().fallback_calls, 0);
+  EXPECT_EQ(exec_none->dispatch_table.stats().specialized_calls, 0);
   // Both dispatch paths compute the same thing (up to accumulation-order
   // ulps — the specialized and generic kernels tile differently).
   for (int64_t i = 0; i < out_full.num_elements(); ++i) {
