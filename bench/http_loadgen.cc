@@ -1,0 +1,461 @@
+// Closed-loop HTTP load generator: the whole stack over loopback.
+//
+// Measures what ISSUE 5 makes measurable for the first time — requests
+// flowing socket -> epoll loop -> codec -> RequestQueue -> batch scheduler
+// -> packed VM execution -> response — and compares the sustained req/s
+// against the same pipeline driven in-process (serve_throughput's packed
+// path at batch 8), so the front end's overhead is a number, not a hope.
+//
+// Three phases, each validated against sequential single-VM execution
+// (bit-identical bytes — throughput with wrong answers is not throughput):
+//   1. in-process baseline: repeated burst submission straight into
+//      serve::Server, packed tensor batching at batch 8;
+//   2. HTTP closed-loop: N keep-alive client threads over loopback, each
+//      sending the binary protocol (raw float32 + X-Nimble-Shape) by
+//      default, --json-body for the JSON protocol;
+//   3. overload: a deliberately tiny pipeline (queue 4, 1 worker, 1
+//      pending batch) hammered by extra clients — backpressure must be
+//      429s on the wire, never 5xx, hangs, or drops.
+//
+// --json writes BENCH_http.json with all three phases' numbers for CI.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/compiler.h"
+#include "src/models/lstm.h"
+#include "src/models/workloads.h"
+#include "src/net/http_client.h"
+#include "src/net/http_server.h"
+#include "src/net/json.h"
+#include "src/serve/server.h"
+#include "src/vm/vm.h"
+
+using namespace nimble;  // NOLINT
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Production-mix lengths (mirrors serve_throughput): traffic concentrated
+/// on recurring exact lengths, several sharing one scheduler bucket.
+std::vector<int64_t> SampleProductionMixLengths(int count, support::Rng& rng) {
+  const int64_t hot[] = {18, 22, 27, 30, 35, 38, 59, 62};
+  const int weight[] = {22, 18, 15, 12, 11, 9, 7, 6};  // percent
+  std::vector<int64_t> lengths;
+  lengths.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    int pick = static_cast<int>(rng.Next() % 100);
+    int acc = 0;
+    int64_t len = hot[7];
+    for (int j = 0; j < 8; ++j) {
+      acc += weight[j];
+      if (pick < acc) {
+        len = hot[j];
+        break;
+      }
+    }
+    lengths.push_back(len);
+  }
+  return lengths;
+}
+
+struct Workload {
+  std::shared_ptr<vm::Executable> exec;
+  int64_t input_size = 128;
+  std::vector<int64_t> lengths;
+  std::vector<runtime::NDArray> inputs;
+  std::vector<runtime::NDArray> expected;  // sequential single-VM results
+  /// Pre-serialized request bodies (the client threads' send cost is a
+  /// write, not a serialization).
+  std::vector<std::string> binary_bodies;
+  std::vector<std::string> json_bodies;
+};
+
+Workload MakeWorkload(int requests) {
+  Workload w;
+  models::LSTMConfig config;
+  config.input_size = w.input_size;
+  config.hidden_size = 256;
+  config.emit_batched = true;
+  auto model = models::BuildLSTM(config);
+  core::CompileOptions opts;
+  opts.batched_entries = {model.batched_spec};
+  w.exec = core::Compile(model.module, opts).executable;
+
+  support::Rng rng(29);
+  w.lengths = SampleProductionMixLengths(requests, rng);
+  vm::VirtualMachine sequential(w.exec);
+  for (int64_t len : w.lengths) {
+    runtime::NDArray x = models::RandomSequence(len, config.input_size, rng);
+    w.inputs.push_back(x);
+    w.expected.push_back(runtime::AsTensor(sequential.Invoke(
+        "main", {runtime::MakeTensor(x),
+                 runtime::MakeTensor(runtime::NDArray::Scalar<int64_t>(len))})));
+
+    w.binary_bodies.emplace_back(static_cast<const char*>(x.raw_data()),
+                                 x.nbytes());
+
+    net::Json tensor = net::Json::Object();
+    net::Json shape = net::Json::Array();
+    shape.Append(len);
+    shape.Append(w.input_size);
+    tensor.Set("shape", std::move(shape));
+    net::Json data = net::Json::Array();
+    const float* src = x.data<float>();
+    for (int64_t i = 0; i < x.num_elements(); ++i) {
+      data.Append(static_cast<double>(src[i]));
+    }
+    tensor.Set("data", std::move(data));
+    net::Json scalar = net::Json::Object();
+    scalar.Set("scalar", len);
+    net::Json inputs_json = net::Json::Array();
+    inputs_json.Append(std::move(tensor));
+    inputs_json.Append(std::move(scalar));
+    net::Json body = net::Json::Object();
+    body.Set("inputs", std::move(inputs_json));
+    body.Set("length", len);
+    w.json_bodies.push_back(body.Dump());
+  }
+  return w;
+}
+
+serve::ModelConfig MakeModelConfig(const Workload& w, size_t queue_capacity,
+                                   int max_batch) {
+  serve::ModelConfig model;
+  model.exec = w.exec;
+  model.queue_capacity = queue_capacity;
+  model.batch.max_batch_size = max_batch;
+  model.batch.max_wait_micros = 100000;
+  model.batch.tensor_batching = true;
+  model.batch.bucket_edges = {16, 24, 32, 40, 48, 56, 64, 96, 128};
+  return model;
+}
+
+/// Phase 1: repeated burst submission straight into the server (the
+/// serve_throughput packed-path shape: deep queue, batch 8, 1 worker).
+struct InprocResult {
+  double rps = 0.0;
+  double p99_us = 0.0;
+  bool correct = true;
+};
+
+InprocResult RunInprocess(const Workload& w, int workers, int max_batch,
+                          double seconds) {
+  serve::ServeConfig config;
+  config.num_workers = workers;
+  serve::Server server(config);
+  server.AddModel("m", MakeModelConfig(w, 256, max_batch));
+  server.Start();
+
+  InprocResult result;
+  int64_t completed = 0;
+  auto t0 = Clock::now();
+  auto deadline = t0 + std::chrono::duration<double>(seconds);
+  while (Clock::now() < deadline) {
+    std::vector<std::future<runtime::ObjectRef>> futures;
+    futures.reserve(w.inputs.size());
+    for (size_t i = 0; i < w.inputs.size(); ++i) {
+      futures.push_back(server.Submit(
+          "m",
+          {runtime::MakeTensor(w.inputs[i]),
+           runtime::MakeTensor(
+               runtime::NDArray::Scalar<int64_t>(w.lengths[i]))},
+          w.lengths[i]));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      runtime::ObjectRef out = futures[i].get();  // keep the result alive
+      const runtime::NDArray& got = runtime::AsTensor(out);
+      if (got.shape() != w.expected[i].shape() ||
+          std::memcmp(got.raw_data(), w.expected[i].raw_data(),
+                      got.nbytes()) != 0) {
+        result.correct = false;
+      }
+      completed++;
+    }
+  }
+  double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  server.Drain();
+  result.rps = static_cast<double>(completed) / elapsed;
+  result.p99_us = server.stats().p99_latency_us;
+  return result;
+}
+
+/// Phase 2/3: closed-loop HTTP clients against a running front end.
+struct HttpResult {
+  int64_t ok200 = 0;
+  int64_t shed429 = 0;
+  int64_t server_5xx = 0;
+  int64_t transport_errors = 0;
+  int64_t mismatched = 0;
+  double elapsed_seconds = 0.0;
+  double rps = 0.0;  // completed (200) per second
+  double p50_us = 0.0, p99_us = 0.0;
+};
+
+HttpResult RunHttpClosedLoop(const Workload& w, uint16_t port, int clients,
+                             double seconds, bool json_body) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<HttpResult> per_thread(clients);
+  auto t0 = Clock::now();
+  auto deadline = t0 + std::chrono::duration<double>(seconds);
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::BlockingHttpClient client("127.0.0.1", port);
+      HttpResult& r = per_thread[c];
+      size_t i = static_cast<size_t>(c) % w.inputs.size();
+      while (Clock::now() < deadline) {
+        auto sent = Clock::now();
+        net::BlockingHttpClient::Response response;
+        if (json_body) {
+          response =
+              client.Post("/v1/models/m:predict", w.json_bodies[i]);
+        } else {
+          std::string shape = std::to_string(w.lengths[i]) + "," +
+                              std::to_string(w.input_size);
+          response = client.Request(
+              "POST", "/v1/models/m:predict", w.binary_bodies[i],
+              {{"Content-Type", "application/octet-stream"},
+               {"Accept", "application/octet-stream"},
+               {"X-Nimble-Shape", shape},
+               {"X-Nimble-Length", std::to_string(w.lengths[i])}});
+        }
+        double us = std::chrono::duration<double, std::micro>(Clock::now() -
+                                                              sent)
+                        .count();
+        if (!response.ok) {
+          r.transport_errors++;
+        } else if (response.status == 200) {
+          r.ok200++;
+          latencies[c].push_back(us);
+          // Validate the payload (binary: exact bytes; JSON: exact floats
+          // after the 9-digit round-trip).
+          if (json_body) {
+            net::Json doc = net::Json::Parse(response.body);
+            const net::Json* data = doc.is_object() ? doc.Find("data")
+                                                    : nullptr;
+            const float* want = w.expected[i].data<float>();
+            int64_t n = w.expected[i].num_elements();
+            if (data == nullptr ||
+                static_cast<int64_t>(data->items().size()) != n) {
+              r.mismatched++;
+            } else {
+              for (int64_t j = 0; j < n; ++j) {
+                if (static_cast<float>(data->items()[j].number()) !=
+                    want[j]) {
+                  r.mismatched++;
+                  break;
+                }
+              }
+            }
+          } else if (response.body.size() != w.expected[i].nbytes() ||
+                     std::memcmp(response.body.data(),
+                                 w.expected[i].raw_data(),
+                                 response.body.size()) != 0) {
+            r.mismatched++;
+          }
+        } else if (response.status == 429) {
+          r.shed429++;
+          // A shed client backs off briefly (far shorter than the server's
+          // conservative Retry-After hint, so overload pressure persists
+          // and the phase still measures shedding, not sleeping).
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        } else if (response.status >= 500) {
+          r.server_5xx++;
+        }
+        i = (i + static_cast<size_t>(clients)) % w.inputs.size();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  HttpResult total;
+  total.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  std::vector<double> all_latencies;
+  for (int c = 0; c < clients; ++c) {
+    total.ok200 += per_thread[c].ok200;
+    total.shed429 += per_thread[c].shed429;
+    total.server_5xx += per_thread[c].server_5xx;
+    total.transport_errors += per_thread[c].transport_errors;
+    total.mismatched += per_thread[c].mismatched;
+    all_latencies.insert(all_latencies.end(), latencies[c].begin(),
+                         latencies[c].end());
+  }
+  total.rps = static_cast<double>(total.ok200) / total.elapsed_seconds;
+  total.p50_us = serve::ServeStats::Percentile(all_latencies, 50.0);
+  total.p99_us = serve::ServeStats::Percentile(all_latencies, 99.0);
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 192;
+  int clients = 32;
+  int workers = 1;
+  double seconds = 3.0;
+  bool write_json = false;
+  bool json_body = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      write_json = true;
+    } else if (arg == "--json-body") {
+      json_body = true;
+    } else if (arg == "--clients" && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else {
+      requests = std::atoi(argv[i]);
+    }
+  }
+  const int kBatch = 8;
+
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("host: %u hardware thread(s)\n", cores);
+  if (cores <= 1) {
+    std::printf(
+        "NOTE: single-core host — clients, event loop, and workers share "
+        "one CPU;\n      the HTTP-vs-in-process ratio is the honest "
+        "front-end overhead.\n");
+  }
+
+  bench::PrintHeader(
+      "HTTP loadgen: LSTM (in 128, hidden 256), production-mix lengths, " +
+      std::to_string(requests) + " distinct requests, batch " +
+      std::to_string(kBatch) + ", " + std::to_string(workers) +
+      " worker(s), " + std::to_string(clients) + " closed-loop clients, " +
+      (json_body ? "JSON" : "binary") + " bodies");
+  Workload w = MakeWorkload(requests);
+
+  // Phase 1: in-process packed baseline.
+  InprocResult inproc = RunInprocess(w, workers, kBatch, seconds);
+  std::printf("in-process packed: %9.1f req/s   p99 %7.0f us   %s\n",
+              inproc.rps, inproc.p99_us,
+              inproc.correct ? "bit-identical" : "WRONG RESULTS");
+
+  // Phase 2: the same pipeline behind the HTTP front end.
+  HttpResult http;
+  {
+    serve::ServeConfig config;
+    config.num_workers = workers;
+    serve::Server server(config);
+    server.AddModel("m", MakeModelConfig(w, 256, kBatch));
+    server.Start();
+    net::HttpServer front(&server);
+    front.Start();
+    http = RunHttpClosedLoop(w, front.port(), clients, seconds, json_body);
+    front.Stop();
+    server.Drain();
+    auto snap = server.stats();
+    std::printf("http closed-loop:  %9.1f req/s   p50 %7.0f us   p99 %7.0f "
+                "us\n",
+                http.rps, http.p50_us, http.p99_us);
+    std::printf(
+        "                   server-side queue-wait mean %.0f us, exec mean "
+        "%.0f us, %lld batches (mean size %.2f), padding waste %.1f%%\n",
+        snap.mean_queue_wait_us, snap.mean_exec_us,
+        static_cast<long long>(snap.batches), snap.mean_batch_size,
+        snap.padding_waste * 100.0);
+  }
+  double ratio = inproc.rps > 0.0 ? http.rps / inproc.rps : 0.0;
+  bench::PrintRule();
+  std::printf(
+      "HTTP vs in-process: %.1f vs %.1f req/s (%.1f%% of the packed path), "
+      "results %s\n",
+      http.rps, inproc.rps, ratio * 100.0,
+      (http.mismatched == 0 && http.transport_errors == 0 &&
+       http.server_5xx == 0)
+          ? "bit-identical, no errors"
+          : "WRONG");
+
+  // Phase 3: overload against a deliberately tiny pipeline. Offered load
+  // (extra clients, zero think time) far exceeds queue capacity 4; every
+  // excess request must surface as a 429, never a 5xx or a hang.
+  bench::PrintHeader("overload: queue 4, 1 worker, 1 pending batch, " +
+                     std::to_string(clients * 2) + " clients");
+  HttpResult overload;
+  {
+    serve::ServeConfig config;
+    config.num_workers = 1;
+    config.max_pending_batches = 1;
+    serve::Server server(config);
+    server.AddModel("m", MakeModelConfig(w, 4, kBatch));
+    server.Start();
+    net::HttpServer front(&server);
+    front.Start();
+    overload = RunHttpClosedLoop(w, front.port(), clients * 2,
+                                 std::min(seconds, 2.0), json_body);
+    front.Stop();
+    server.Drain();
+  }
+  std::printf(
+      "200s %lld (%.1f req/s), 429s %lld (clients back off and retry), "
+      "5xx %lld, transport errors %lld, mismatches %lld\n",
+      static_cast<long long>(overload.ok200), overload.rps,
+      static_cast<long long>(overload.shed429),
+      static_cast<long long>(overload.server_5xx),
+      static_cast<long long>(overload.transport_errors),
+      static_cast<long long>(overload.mismatched));
+  bool overload_clean = overload.server_5xx == 0 &&
+                        overload.transport_errors == 0 &&
+                        overload.mismatched == 0 && overload.shed429 > 0;
+  std::printf("backpressure on the wire: %s\n",
+              overload_clean ? "OK (shed as 429, zero 5xx/drops)"
+                             : "FAILED");
+
+  bool correct = inproc.correct && http.mismatched == 0 &&
+                 http.transport_errors == 0 && http.server_5xx == 0;
+  if (write_json) {
+    FILE* f = std::fopen("BENCH_http.json", "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_http.json\n");
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"requests\": %d,\n"
+        "  \"clients\": %d,\n"
+        "  \"workers\": %d,\n"
+        "  \"body_format\": \"%s\",\n"
+        "  \"correct\": %s,\n"
+        "  \"inprocess_packed\": {\"rps\": %.1f, \"p99_us\": %.0f},\n"
+        "  \"http\": {\"rps\": %.1f, \"p50_us\": %.0f, \"p99_us\": %.0f,\n"
+        "           \"completed\": %lld, \"rejected_429\": %lld,\n"
+        "           \"server_5xx\": %lld, \"transport_errors\": %lld},\n"
+        "  \"http_vs_inprocess_ratio\": %.3f,\n"
+        "  \"overload\": {\"completed\": %lld, \"rejected_429\": %lld,\n"
+        "               \"server_5xx\": %lld, \"transport_errors\": %lld,\n"
+        "               \"clean\": %s}\n"
+        "}\n",
+        requests, clients, workers, json_body ? "json" : "binary",
+        correct ? "true" : "false", inproc.rps, inproc.p99_us, http.rps,
+        http.p50_us, http.p99_us, static_cast<long long>(http.ok200),
+        static_cast<long long>(http.shed429),
+        static_cast<long long>(http.server_5xx),
+        static_cast<long long>(http.transport_errors), ratio,
+        static_cast<long long>(overload.ok200),
+        static_cast<long long>(overload.shed429),
+        static_cast<long long>(overload.server_5xx),
+        static_cast<long long>(overload.transport_errors),
+        overload_clean ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_http.json\n");
+  }
+  return (correct && overload_clean) ? 0 : 1;
+}

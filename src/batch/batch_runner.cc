@@ -11,20 +11,43 @@ namespace batch {
 
 namespace {
 
+/// Invokes the request's asynchronous completion hook, if any. Runs after
+/// the promise is fulfilled, on the worker thread. The hook's contract says
+/// it must not throw; a violation is contained here (logged, swallowed) so
+/// a broken callback cannot take the worker thread down with it.
+void NotifyComplete(serve::Request& request, runtime::ObjectRef result,
+                    std::exception_ptr error) {
+  if (!request.on_complete) return;
+  try {
+    request.on_complete(std::move(result), std::move(error));
+  } catch (const std::exception& e) {
+    NIMBLE_LOG(WARNING) << "request on_complete callback threw: " << e.what();
+  } catch (...) {
+    NIMBLE_LOG(WARNING) << "request on_complete callback threw";
+  }
+}
+
 /// The pre-tensor-batching behavior, verbatim: one Invoke per request, each
-/// promise fulfilled with the result or the exception it threw.
+/// promise fulfilled with the result or the exception it threw. `on_done`
+/// (stats) runs BEFORE the async completion hook: a client that receives
+/// its response and immediately queries stats must find its own request
+/// already counted.
 void RunPerRequest(vm::VirtualMachine& vm, serve::Batch& batch,
                    const RequestDoneFn& on_done) {
   for (serve::Request& request : batch.requests) {
     bool ok = true;
+    runtime::ObjectRef result;
+    std::exception_ptr error;
     try {
-      auto result = vm.Invoke(request.function, std::move(request.args));
-      request.promise.set_value(std::move(result));
+      result = vm.Invoke(request.function, std::move(request.args));
+      request.promise.set_value(result);
     } catch (...) {
       ok = false;
-      request.promise.set_exception(std::current_exception());
+      error = std::current_exception();
+      request.promise.set_exception(error);
     }
     if (on_done) on_done(request, ok);
+    NotifyComplete(request, std::move(result), std::move(error));
   }
 }
 
@@ -61,9 +84,10 @@ BatchRunResult RunBatch(vm::VirtualMachine& vm, serve::Batch& batch,
       }
       if (packed_ok) {
         for (size_t i = 0; i < batch.requests.size(); ++i) {
-          batch.requests[i].promise.set_value(
-              runtime::MakeTensor(std::move(outs[i])));
+          auto result = runtime::MakeTensor(std::move(outs[i]));
+          batch.requests[i].promise.set_value(result);
           if (on_done) on_done(batch.requests[i], /*ok=*/true);
+          NotifyComplete(batch.requests[i], std::move(result), nullptr);
         }
         result.packed = true;
         result.padded_elements = plan.padded_elements();

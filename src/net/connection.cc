@@ -1,0 +1,61 @@
+#include "src/net/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace nimble {
+namespace net {
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Connection::IoStatus Connection::ReadIntoCodec() {
+  char buf[16 * 1024];
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      codec_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return IoStatus::kClosed;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+    if (errno == EINTR) continue;
+    return IoStatus::kClosed;  // ECONNRESET and friends
+  }
+}
+
+void Connection::QueueOutput(std::string bytes) {
+  if (out_offset_ == out_.size()) {
+    out_ = std::move(bytes);
+    out_offset_ = 0;
+  } else {
+    // Compact the already-flushed prefix before appending, so a partially
+    // drained buffer holds only live bytes.
+    out_.erase(0, out_offset_);
+    out_offset_ = 0;
+    out_ += bytes;
+  }
+}
+
+Connection::IoStatus Connection::Flush() {
+  while (out_offset_ < out_.size()) {
+    ssize_t n = ::send(fd_, out_.data() + out_offset_,
+                       out_.size() - out_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_offset_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+    if (errno == EINTR) continue;
+    return IoStatus::kClosed;  // EPIPE/ECONNRESET: peer is gone
+  }
+  out_.clear();
+  out_offset_ = 0;
+  return IoStatus::kOk;
+}
+
+}  // namespace net
+}  // namespace nimble

@@ -1,0 +1,74 @@
+// One HTTP/1.1 connection: socket fd + codec + buffered output.
+//
+// A Connection is pure per-socket state, driven entirely on the event-loop
+// thread by HttpServer; it performs the non-blocking reads and writes but
+// makes no routing or epoll decisions itself. The pieces that implement
+// backpressure live here:
+//
+//  - `in_flight`: while an inference request is outstanding the server
+//    stops reading this socket (EPOLLIN off) — a pipelining client is
+//    throttled by TCP instead of buffering requests in memory;
+//  - output is buffered and flushed opportunistically; what the socket
+//    won't take stays queued and the server arms EPOLLOUT, so a slow
+//    reader costs memory proportional to its own responses only.
+//
+// Identified by a monotonically increasing id (never recycled, unlike
+// fds): completion callbacks capture the id, so a response racing the
+// connection's death resolves to "drop" instead of writing into whichever
+// unrelated socket inherited the fd number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/http_codec.h"
+
+namespace nimble {
+namespace net {
+
+class Connection {
+ public:
+  enum class IoStatus {
+    kOk,      // made progress (or nothing to do)
+    kClosed,  // peer closed / fatal socket error; server must destroy
+  };
+
+  Connection(uint64_t id, int fd, HttpCodec::Limits limits)
+      : id_(id), fd_(fd), codec_(limits) {}
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+  HttpCodec& codec() { return codec_; }
+
+  /// Drains the socket into the codec (reads until EAGAIN or EOF).
+  IoStatus ReadIntoCodec();
+
+  /// Appends response bytes to the output buffer (flushed by Flush).
+  void QueueOutput(std::string bytes);
+
+  /// Writes buffered output until EAGAIN or empty.
+  IoStatus Flush();
+
+  bool has_pending_output() const { return out_offset_ < out_.size(); }
+  size_t pending_output_bytes() const { return out_.size() - out_offset_; }
+
+  /// One request is being inferred; the server keeps EPOLLIN off while set.
+  bool in_flight = false;
+  /// Close once the output buffer drains (Connection: close, or protocol
+  /// error responses).
+  bool close_after_flush = false;
+
+ private:
+  uint64_t id_;
+  int fd_;
+  HttpCodec codec_;
+  std::string out_;
+  size_t out_offset_ = 0;
+};
+
+}  // namespace net
+}  // namespace nimble

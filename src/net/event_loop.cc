@@ -1,0 +1,132 @@
+#include "src/net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  NIMBLE_CHECK(epoll_fd_ >= 0) << "epoll_create1: " << std::strerror(errno);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  NIMBLE_CHECK(wake_fd_ >= 0) << "eventfd: " << std::strerror(errno);
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  NIMBLE_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0)
+      << "epoll_ctl(wake): " << std::strerror(errno);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::Add(int fd, uint32_t events, IoCallback callback) {
+  auto handler = std::make_shared<Handler>();
+  handler->callback = std::move(callback);
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  NIMBLE_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0)
+      << "epoll_ctl(add fd " << fd << "): " << std::strerror(errno);
+  handlers_[fd] = std::move(handler);
+}
+
+void EventLoop::Modify(int fd, uint32_t events) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  NIMBLE_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0)
+      << "epoll_ctl(mod fd " << fd << "): " << std::strerror(errno);
+}
+
+void EventLoop::Remove(int fd) {
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  it->second->alive = false;  // in-flight dispatch for this fd becomes a no-op
+  handlers_.erase(it);
+  // The fd may already be closed by its owner; EBADF/ENOENT are then fine.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) still means the loop has a pending
+  // wakeup, which is all we need.
+  ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  (void)rc;
+}
+
+void EventLoop::DrainWakeups() {
+  uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+void EventLoop::DrainTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::Run() {
+  running_.store(true);
+  loop_thread_.store(std::this_thread::get_id());
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (running_.load()) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout_ms=*/1000);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      NIMBLE_LOG(WARNING) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        DrainWakeups();
+        continue;
+      }
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;  // removed by an earlier handler
+      // Pin the handler: a callback that Removes this fd (or a peer whose
+      // event is later in this batch) must not free it mid-dispatch.
+      std::shared_ptr<Handler> handler = it->second;
+      if (!handler->alive) continue;
+      handler->callback(events[i].events);
+    }
+    DrainTasks();
+  }
+  // One final drain: tasks posted between the last epoll_wait and Stop()
+  // still run, so a graceful stop never strands a queued response.
+  DrainTasks();
+  loop_thread_.store(std::thread::id());
+}
+
+void EventLoop::Stop() {
+  running_.store(false);
+  uint64_t one = 1;
+  ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  (void)rc;
+}
+
+}  // namespace net
+}  // namespace nimble

@@ -1,0 +1,91 @@
+// Single-threaded epoll event loop with cross-thread task posting.
+//
+// One thread calls Run() and from then on owns every registered fd and all
+// handler state: handlers run on the loop thread only, so connection
+// bookkeeping needs no locks. Other threads interact with the loop through
+// exactly one primitive — Post(task) — which enqueues a closure and wakes
+// the loop via an eventfd; the loop drains posted tasks between epoll
+// waits. That is how VMPool workers complete HTTP responses without ever
+// touching a socket: they Post the serialized bytes, the loop writes them.
+//
+// Nothing here blocks except epoll_wait itself: fds are registered
+// non-blocking by their owners, Post is a mutex push + eventfd write, and
+// Stop() is a flag + wake. Level-triggered epoll keeps the handler
+// contract simple (a handler that doesn't finish a read is re-invoked).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace nimble {
+namespace net {
+
+class EventLoop {
+ public:
+  /// Invoked on the loop thread with the ready epoll event mask
+  /// (EPOLLIN/EPOLLOUT/EPOLLHUP/EPOLLERR bits).
+  using IoCallback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN etc.). Must be called on the
+  /// loop thread, or before Run() starts. The callback may Add/Modify/
+  /// Remove any fd, including its own.
+  void Add(int fd, uint32_t events, IoCallback callback);
+  /// Changes the interest mask of a registered fd (loop thread only).
+  void Modify(int fd, uint32_t events);
+  /// Deregisters; the fd is not closed (its owner closes it). Safe to call
+  /// from inside any handler (loop thread only).
+  void Remove(int fd);
+
+  /// Enqueues `task` to run on the loop thread and wakes it. Thread-safe;
+  /// callable before Run and after Stop (tasks posted after the loop exits
+  /// are destroyed unrun when the loop is destroyed — acceptable because
+  /// Stop's contract is that the owner has already quiesced producers).
+  void Post(std::function<void()> task);
+
+  /// Runs until Stop(). Dispatches epoll events, then drained posted
+  /// tasks, repeatedly. Call from exactly one thread.
+  void Run();
+
+  /// Requests Run() to return after the current iteration. Thread-safe.
+  void Stop();
+
+  /// True when called from the thread currently inside Run().
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_.load();
+  }
+
+ private:
+  struct Handler {
+    IoCallback callback;
+    bool alive = true;  // cleared by Remove so in-flight dispatch skips it
+  };
+
+  void DrainTasks();
+  void DrainWakeups();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+  /// Loop-thread only. shared_ptr so a handler that Removes a peer fd
+  /// mid-dispatch invalidates it (alive flag) without freeing under the
+  /// dispatcher's feet.
+  std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+  std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;
+};
+
+}  // namespace net
+}  // namespace nimble

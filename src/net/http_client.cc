@@ -1,0 +1,186 @@
+#include "src/net/http_client.h"
+
+#include "src/net/http_codec.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace nimble {
+namespace net {
+
+const std::string* BlockingHttpClient::Response::FindHeader(
+    const std::string& name) const {
+  return FindHeaderIn(headers, name);
+}
+
+BlockingHttpClient::BlockingHttpClient(std::string host, uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+BlockingHttpClient::~BlockingHttpClient() { Disconnect(); }
+
+void BlockingHttpClient::Disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  rx_.clear();
+}
+
+bool BlockingHttpClient::EnsureConnected(std::string* error) {
+  if (fd_ >= 0) return true;
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &sa.sin_addr) != 1) {
+    *error = "bad host '" + host_ + "'";
+    Disconnect();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&sa), sizeof(sa)) !=
+      0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    Disconnect();
+    return false;
+  }
+  return true;
+}
+
+BlockingHttpClient::Response BlockingHttpClient::Request(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  Response response;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    response = Response();
+    if (!EnsureConnected(&response.error)) return response;
+
+    std::string request = method + " " + target + " HTTP/1.1\r\n";
+    request += "Host: " + host_ + "\r\n";
+    for (const auto& [name, value] : headers) {
+      request += name + ": " + value + "\r\n";
+    }
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    request += body;
+
+    bool sent = true;
+    size_t offset = 0;
+    while (offset < request.size()) {
+      ssize_t n = ::send(fd_, request.data() + offset, request.size() - offset,
+                         MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (errno == EINTR) continue;
+        sent = false;
+        break;
+      }
+      offset += static_cast<size_t>(n);
+    }
+    if (!sent) {
+      // A keep-alive connection the server closed between requests looks
+      // like a send failure; retry once on a fresh connection.
+      Disconnect();
+      if (attempt == 0) continue;
+      response.error = "send failed";
+      return response;
+    }
+
+    // Read response heads until a non-interim one arrives (a 100 Continue
+    // is swallowed without re-sending anything).
+    bool head_ok = false;
+    while (true) {
+      size_t head_end;
+      while ((head_end = rx_.find("\r\n\r\n")) == std::string::npos) {
+        char buf[16 * 1024];
+        ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+          rx_.append(buf, static_cast<size_t>(n));
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        break;  // EOF or error with a partial head
+      }
+      if (head_end == std::string::npos) break;
+
+      // Parse status line + headers.
+      response.status = 0;
+      response.headers.clear();
+      std::string head = rx_.substr(0, head_end);
+      rx_.erase(0, head_end + 4);
+      size_t line_end = head.find("\r\n");
+      std::string status_line = head.substr(0, line_end);
+      size_t sp = status_line.find(' ');
+      response.status = sp == std::string::npos
+                            ? 0
+                            : std::atoi(status_line.c_str() + sp + 1);
+      size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+      while (pos < head.size()) {
+        size_t eol = head.find("\r\n", pos);
+        if (eol == std::string::npos) eol = head.size();
+        std::string line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        size_t colon = line.find(':');
+        if (colon == std::string::npos) continue;
+        std::string name = AsciiLowercase(line.substr(0, colon));
+        size_t value_begin = line.find_first_not_of(' ', colon + 1);
+        response.headers.emplace_back(
+            name, value_begin == std::string::npos ? ""
+                                                   : line.substr(value_begin));
+      }
+      if (response.status == 100) continue;
+      head_ok = true;
+      break;
+    }
+    if (!head_ok) {
+      bool nothing_received = rx_.empty() && response.status == 0;
+      Disconnect();
+      // A stale keep-alive connection dies with nothing received; retry
+      // the request once on a fresh connection.
+      if (attempt == 0 && nothing_received) continue;
+      response.error = "connection closed mid-response";
+      return response;
+    }
+
+    size_t content_length = 0;
+    if (const std::string* cl = response.FindHeader("content-length")) {
+      content_length = static_cast<size_t>(std::strtoull(cl->c_str(),
+                                                         nullptr, 10));
+    }
+    while (rx_.size() < content_length) {
+      char buf[16 * 1024];
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        rx_.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      Disconnect();
+      response.error = "connection closed mid-body";
+      return response;
+    }
+    response.body = rx_.substr(0, content_length);
+    rx_.erase(0, content_length);
+    response.ok = true;
+
+    const std::string* conn = response.FindHeader("connection");
+    if (conn != nullptr && AsciiLowercase(*conn) == "close") Disconnect();
+    return response;
+  }
+  return response;
+}
+
+}  // namespace net
+}  // namespace nimble

@@ -1,0 +1,64 @@
+// Minimal blocking HTTP/1.1 client for tests and the loopback loadgen.
+//
+// Deliberately simple — one connection, synchronous request/response,
+// keep-alive reuse, Content-Length framing only — because its job is to
+// *drive* the async server from ordinary threads, not to be a second I/O
+// subsystem. Not thread-safe; give each client thread its own instance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nimble {
+namespace net {
+
+class BlockingHttpClient {
+ public:
+  struct Response {
+    /// False when the transport failed (connect/send/recv error or
+    /// premature close); `error` then says why and `status` is 0.
+    bool ok = false;
+    std::string error;
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;  // lowercased
+    std::string body;
+
+    const std::string* FindHeader(const std::string& name) const;
+  };
+
+  BlockingHttpClient(std::string host, uint16_t port);
+  ~BlockingHttpClient();
+
+  BlockingHttpClient(const BlockingHttpClient&) = delete;
+  BlockingHttpClient& operator=(const BlockingHttpClient&) = delete;
+
+  /// Sends one request and blocks for the full response, (re)connecting as
+  /// needed and reusing the connection afterwards when the server allows.
+  Response Request(const std::string& method, const std::string& target,
+                   const std::string& body = "",
+                   const std::vector<std::pair<std::string, std::string>>&
+                       headers = {});
+
+  /// Convenience wrappers.
+  Response Get(const std::string& target) { return Request("GET", target); }
+  Response Post(const std::string& target, const std::string& body,
+                const std::string& content_type = "application/json") {
+    return Request("POST", target, body, {{"Content-Type", content_type}});
+  }
+
+  /// Drops the current connection (next Request reconnects).
+  void Disconnect();
+
+ private:
+  bool EnsureConnected(std::string* error);
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+  std::string rx_;  // bytes read past the previous response
+};
+
+}  // namespace net
+}  // namespace nimble

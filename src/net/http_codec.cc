@@ -1,0 +1,192 @@
+#include "src/net/http_codec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nimble {
+namespace net {
+
+std::string AsciiLowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+const std::string* FindHeaderIn(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& name) {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0, end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  return FindHeaderIn(headers, name);
+}
+
+const char* HttpCodec::ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpCodec::Status HttpCodec::Poison(int status, std::string reason) {
+  error_status_ = status;
+  error_ = std::move(reason);
+  return Status::kError;
+}
+
+bool HttpCodec::ParseHead(HttpRequest* out, size_t head_end) {
+  // Request line: METHOD SP target SP version CRLF.
+  size_t line_end = buffer_.find("\r\n");
+  std::string line = buffer_.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    Poison(400, "malformed request line");
+    return false;
+  }
+  out->method = line.substr(0, sp1);
+  out->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out->version = line.substr(sp2 + 1);
+  if (out->method.empty() || out->target.empty() ||
+      out->version.compare(0, 5, "HTTP/") != 0) {
+    Poison(400, "malformed request line");
+    return false;
+  }
+
+  out->headers.clear();
+  size_t pos = line_end + 2;
+  while (pos < head_end) {
+    size_t eol = buffer_.find("\r\n", pos);
+    std::string header = buffer_.substr(pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = header.find(':');
+    if (colon == std::string::npos) {
+      Poison(400, "malformed header line");
+      return false;
+    }
+    out->headers.emplace_back(AsciiLowercase(Trim(header.substr(0, colon))),
+                              Trim(header.substr(colon + 1)));
+  }
+
+  out->keep_alive = out->version != "HTTP/1.0";
+  if (const std::string* conn = out->FindHeader("connection")) {
+    std::string value = AsciiLowercase(*conn);
+    if (value == "close") out->keep_alive = false;
+    if (value == "keep-alive") out->keep_alive = true;
+  }
+  return true;
+}
+
+HttpCodec::Status HttpCodec::Next(HttpRequest* out) {
+  if (error_status_ != 0) return Status::kError;
+
+  if (!have_head_) {
+    size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Poison(400, "request head exceeds limit");
+      }
+      return Status::kNeedMore;
+    }
+    if (head_end > limits_.max_header_bytes) {
+      return Poison(400, "request head exceeds limit");
+    }
+    pending_ = HttpRequest();
+    if (!ParseHead(&pending_, head_end)) return Status::kError;
+
+    body_needed_ = 0;
+    if (const std::string* te = pending_.FindHeader("transfer-encoding")) {
+      if (AsciiLowercase(*te) != "identity") {
+        // 501, not 411: the coding is unimplemented, full stop. 411 would
+        // invite HTTP libraries that auto-retry with Content-Length into a
+        // loop without ever learning chunked is unsupported.
+        return Poison(501, "chunked request bodies unsupported");
+      }
+    }
+    if (const std::string* cl = pending_.FindHeader("content-length")) {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(cl->c_str(), &end, 10);
+      if (end != cl->c_str() + cl->size() || cl->empty()) {
+        return Poison(400, "malformed Content-Length");
+      }
+      if (n > limits_.max_body_bytes) {
+        return Poison(413, "body exceeds limit");
+      }
+      body_needed_ = static_cast<size_t>(n);
+    }
+    buffer_.erase(0, head_end + 4);
+    have_head_ = true;
+    if (const std::string* expect = pending_.FindHeader("expect")) {
+      if (AsciiLowercase(*expect) == "100-continue" &&
+          buffer_.size() < body_needed_) {
+        expect_continue_pending_ = true;
+      }
+    }
+  }
+
+  if (buffer_.size() < body_needed_) return Status::kNeedMore;
+
+  pending_.body = buffer_.substr(0, body_needed_);
+  buffer_.erase(0, body_needed_);
+  have_head_ = false;
+  *out = std::move(pending_);
+  pending_ = HttpRequest();
+  return Status::kRequest;
+}
+
+std::string HttpCodec::WriteResponse(
+    int status, const std::string& body, const std::string& content_type,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string out;
+  out.reserve(128 + body.size());
+  char line[64];
+  std::snprintf(line, sizeof(line), "HTTP/1.1 %d %s\r\n", status,
+                ReasonPhrase(status));
+  out += line;
+  if (!body.empty()) {
+    out += "Content-Type: " + content_type + "\r\n";
+  }
+  std::snprintf(line, sizeof(line), "Content-Length: %zu\r\n", body.size());
+  out += line;
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace net
+}  // namespace nimble

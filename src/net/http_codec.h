@@ -1,0 +1,123 @@
+// Incremental HTTP/1.1 codec: bytes in, requests out; responses to bytes.
+//
+// The parser is a push-style state machine owned by each Connection: feed
+// whatever the socket produced (any split — one byte at a time, or three
+// pipelined requests in one read — parses identically), then pull complete
+// requests with Next(). It understands exactly the slice of HTTP/1.1 a
+// loopback inference front end needs: request line + headers +
+// Content-Length body, keep-alive vs close, and hard limits on header and
+// body size so a hostile peer cannot make the server buffer unboundedly
+// (the codec's half of end-to-end backpressure). Chunked request bodies
+// are rejected (501: not implemented) — inference clients know their
+// payload size.
+//
+// No I/O and no threads in here: pure bytes-to-struct, trivially unit
+// testable (tests/test_net.cc drives it byte-by-byte).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nimble {
+namespace net {
+
+/// ASCII-lowercases a copy (header names/values; shared by codec, client,
+/// and handler so case-handling cannot diverge between them).
+std::string AsciiLowercase(std::string s);
+
+/// First header with (lowercase) `name` in an ordered header list;
+/// nullptr when absent.
+const std::string* FindHeaderIn(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& name);
+
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "POST"
+  std::string target;   // origin-form, e.g. "/v1/models/lstm:predict"
+  std::string version;  // "HTTP/1.1"
+  /// Header names lowercased at parse time; values trimmed of surrounding
+  /// whitespace. Order preserved.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection semantics after this request: HTTP/1.1 defaults to true,
+  /// "Connection: close" (or HTTP/1.0 without keep-alive) turns it off.
+  bool keep_alive = true;
+
+  /// First header with this (lowercase) name; nullptr when absent.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+class HttpCodec {
+ public:
+  struct Limits {
+    /// Cap on request line + headers, and on a body's Content-Length.
+    size_t max_header_bytes = 16 * 1024;
+    size_t max_body_bytes = 8 * 1024 * 1024;
+  };
+
+  enum class Status {
+    kNeedMore,  // no complete request buffered yet
+    kRequest,   // *out holds one parsed request
+    kError,     // protocol violation; connection must be closed after the
+                // error response (error_status()/error() describe it)
+  };
+
+  HttpCodec() = default;
+  explicit HttpCodec(Limits limits) : limits_(limits) {}
+
+  /// Appends raw socket bytes to the parse buffer.
+  void Feed(const char* data, size_t n) { buffer_.append(data, n); }
+
+  /// Extracts the next complete request, if any. After kError the codec is
+  /// poisoned: every later call reports the same error.
+  Status Next(HttpRequest* out);
+
+  /// Set after Next() returns kError: the HTTP status code to answer with
+  /// (400, 413, 501) and a short human-readable reason.
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (pipelined requests wait here
+  /// while one is in flight).
+  size_t buffered() const { return buffer_.size(); }
+
+  /// True exactly once per request whose head carried "Expect:
+  /// 100-continue" and whose body has not fully arrived: the server must
+  /// write an interim "HTTP/1.1 100 Continue" or clients like curl stall
+  /// before sending the body. Claiming clears the flag.
+  bool ClaimExpectContinue() {
+    bool pending = expect_continue_pending_;
+    expect_continue_pending_ = false;
+    return pending;
+  }
+
+  /// Serializes a response. `headers` are extra headers (Content-Length,
+  /// Content-Type for non-empty bodies, and Connection are emitted by the
+  /// codec itself from `body`/`content_type`/`keep_alive`).
+  static std::string WriteResponse(
+      int status, const std::string& body, const std::string& content_type,
+      bool keep_alive,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Canonical reason phrase for the status codes this server emits.
+  static const char* ReasonPhrase(int status);
+
+ private:
+  Status Poison(int status, std::string reason);
+  bool ParseHead(HttpRequest* out, size_t head_end);
+
+  Limits limits_;
+  std::string buffer_;
+  /// Parsed head of the in-progress request, waiting for its body.
+  HttpRequest pending_;
+  bool have_head_ = false;
+  bool expect_continue_pending_ = false;
+  size_t body_needed_ = 0;
+  int error_status_ = 0;
+  std::string error_;
+};
+
+}  // namespace net
+}  // namespace nimble

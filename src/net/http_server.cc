@@ -1,0 +1,257 @@
+#include "src/net/http_server.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace net {
+
+HttpServer::HttpServer(serve::Server* server, HttpServerConfig config)
+    : server_(server),
+      config_(std::move(config)),
+      handler_(server, config_.label) {
+  NIMBLE_CHECK(server_ != nullptr);
+  lifeline_->server = this;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Start() {
+  NIMBLE_CHECK(!started_.exchange(true)) << "HttpServer started twice";
+  listener_ = std::make_unique<Listener>(config_.bind_addr, config_.port);
+  // Registered before the loop thread exists, so no cross-thread Add.
+  listener_->Start(&loop_, [this](int fd, const std::string& peer) {
+    OnAccept(fd, peer);
+  });
+  io_thread_ = std::thread([this] { loop_.Run(); });
+}
+
+uint16_t HttpServer::port() const {
+  NIMBLE_CHECK(listener_ != nullptr) << "port() before Start";
+  return listener_->port();
+}
+
+void HttpServer::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+
+  // Phase 1: no new connections.
+  loop_.Post([this] { listener_->Close(); });
+
+  // Phase 2: wait for in-flight inferences to queue their responses and
+  // for every connection's output buffer to flush — probed on the loop
+  // thread so connection state is read race-free.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(config_.drain_timeout_ms);
+  struct Probe {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool probed = false;
+    bool busy = false;
+  };
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Shared state: the probe task may run arbitrarily late (or never, if
+    // the loop is already gone), so it must not reference this stack frame.
+    auto probe = std::make_shared<Probe>();
+    loop_.Post([this, probe] {
+      bool any = in_flight_.load() > 0;
+      for (const auto& [id, conn] : conns_) {
+        if (conn->in_flight || conn->has_pending_output()) any = true;
+      }
+      {
+        std::lock_guard<std::mutex> lock(probe->mu);
+        probe->probed = true;
+        probe->busy = any;
+      }
+      probe->cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(probe->mu);
+    probe->cv.wait_for(lock, std::chrono::milliseconds(200),
+                       [&] { return probe->probed; });
+    // No answer means the loop is not running; then nothing can be in
+    // flight on it either.
+    if (!probe->probed || !probe->busy) break;
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Phase 3: stop the loop and tear everything down on this thread (the
+  // loop thread is joined, so the loop-state ownership transfers here).
+  loop_.Stop();
+  if (io_thread_.joinable()) io_thread_.join();
+  // Cut the lifeline: completion callbacks still held by serve::Server
+  // (batches that outran the drain timeout) now drop their responses
+  // instead of touching this object or its loop.
+  {
+    std::lock_guard<std::mutex> lock(lifeline_->mu);
+    lifeline_->server = nullptr;
+  }
+  conns_.clear();
+  conn_count_.store(0);
+}
+
+void HttpServer::OnAccept(int fd, const std::string& peer) {
+  (void)peer;
+  if (conns_.size() >= config_.max_connections) {
+    // Refusing at accept keeps memory bounded; the kernel sends RST and a
+    // well-behaved client retries against a less-loaded replica.
+    ::close(fd);
+    return;
+  }
+  uint64_t id = next_conn_id_++;
+  auto conn = std::make_unique<Connection>(id, fd, config_.limits);
+  Connection* raw = conn.get();
+  conns_.emplace(id, std::move(conn));
+  conn_count_.store(conns_.size());
+  loop_.Add(raw->fd(), EPOLLIN,
+            [this, id](uint32_t events) { OnConnEvent(id, events); });
+}
+
+void HttpServer::Destroy(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  loop_.Remove(it->second->fd());
+  conns_.erase(it);  // closes the fd
+  conn_count_.store(conns_.size());
+}
+
+void HttpServer::OnConnEvent(uint64_t id, uint32_t events) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    Destroy(id);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    if (conn->Flush() == Connection::IoStatus::kClosed) {
+      Destroy(id);
+      return;
+    }
+    // Draining the buffer may unblock parsing paused at the output
+    // high-water mark.
+    if (!conn->in_flight &&
+        conn->pending_output_bytes() < config_.max_buffered_output) {
+      ProcessRequests(conn);
+      if (conns_.find(id) == conns_.end()) return;  // died in processing
+    }
+  }
+  if (events & EPOLLIN) {
+    if (conn->ReadIntoCodec() == Connection::IoStatus::kClosed) {
+      // Peer EOF. Anything already buffered cannot be answered onto a
+      // closing socket reliably; drop the connection (an in-flight
+      // completion will find the id gone and discard its response).
+      Destroy(id);
+      return;
+    }
+    ProcessRequests(conn);
+    if (conns_.find(id) == conns_.end()) return;  // died in processing
+  }
+  UpdateInterest(conn);
+}
+
+void HttpServer::ProcessRequests(Connection* conn) {
+  const uint64_t id = conn->id();
+  // Stop parsing once the output buffer passes its high-water mark: a
+  // client pipelining synchronous requests without reading responses is
+  // throttled (EPOLLIN off via UpdateInterest) instead of growing the
+  // buffer without bound. Parsing resumes when EPOLLOUT drains it.
+  while (!conn->in_flight && !conn->close_after_flush &&
+         conn->pending_output_bytes() < config_.max_buffered_output) {
+    HttpRequest request;
+    HttpCodec::Status status = conn->codec().Next(&request);
+    if (status == HttpCodec::Status::kNeedMore) {
+      if (conn->codec().ClaimExpectContinue()) {
+        conn->QueueOutput("HTTP/1.1 100 Continue\r\n\r\n");
+        if (conn->Flush() == Connection::IoStatus::kClosed) {
+          Destroy(id);
+          return;
+        }
+      }
+      break;
+    }
+    if (status == HttpCodec::Status::kError) {
+      conn->QueueOutput(HttpCodec::WriteResponse(
+          conn->codec().error_status(),
+          "{\"error\":\"" + conn->codec().error() + "\"}",
+          "application/json", /*keep_alive=*/false));
+      conn->close_after_flush = true;
+      break;
+    }
+
+    bool keep_alive = request.keep_alive;
+    in_flight_.fetch_add(1);
+    // The lifeline makes this closure safe to fire after the front end is
+    // gone (batch finishing past the drain timeout): under the lifeline
+    // lock either the HttpServer is alive — its loop accepts the post —
+    // or the response is dropped.
+    auto respond = [lifeline = lifeline_, id](std::string response) {
+      std::lock_guard<std::mutex> lock(lifeline->mu);
+      HttpServer* self = lifeline->server;
+      if (self == nullptr) return;  // front end torn down; drop
+      self->loop_.Post([self, id, response = std::move(response)]() mutable {
+        self->CompleteAsync(id, std::move(response));
+      });
+    };
+    InferenceHandler::Outcome outcome =
+        handler_.Handle(request, std::move(respond));
+    if (outcome.async) {
+      conn->in_flight = true;
+      if (!keep_alive) conn->close_after_flush = true;  // after the response
+      break;
+    }
+    in_flight_.fetch_sub(1);  // answered synchronously
+    conn->QueueOutput(std::move(outcome.response));
+    // The handler may demand a close even on a keep-alive request (a 503
+    // that advertised "Connection: close" while draining).
+    if (!keep_alive || outcome.close_connection) {
+      conn->close_after_flush = true;
+    }
+    if (conn->Flush() == Connection::IoStatus::kClosed) {
+      Destroy(id);
+      return;
+    }
+  }
+  UpdateInterest(conn);
+}
+
+void HttpServer::CompleteAsync(uint64_t id, std::string response) {
+  in_flight_.fetch_sub(1);
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;  // client left; drop the response
+  Connection* conn = it->second.get();
+  conn->in_flight = false;
+  conn->QueueOutput(std::move(response));
+  if (conn->Flush() == Connection::IoStatus::kClosed) {
+    Destroy(id);
+    return;
+  }
+  // Pipelined requests buffered while this one ran can go now.
+  ProcessRequests(conn);
+}
+
+void HttpServer::UpdateInterest(Connection* conn) {
+  if (conn->close_after_flush && !conn->has_pending_output() &&
+      !conn->in_flight) {
+    Destroy(conn->id());
+    return;
+  }
+  uint32_t events = 0;
+  // Reading pauses while a request is in flight, the connection is
+  // winding down, or its output buffer is past the high-water mark — the
+  // per-connection half of backpressure.
+  if (!conn->in_flight && !conn->close_after_flush &&
+      conn->pending_output_bytes() < config_.max_buffered_output) {
+    events |= EPOLLIN;
+  }
+  if (conn->has_pending_output()) events |= EPOLLOUT;
+  loop_.Modify(conn->fd(), events);
+}
+
+}  // namespace net
+}  // namespace nimble

@@ -1,0 +1,139 @@
+// The assembled HTTP front end: event loop + listener + connections +
+// inference handler, owning one I/O thread.
+//
+//   client sockets ──▶ EventLoop (1 thread) ──▶ HttpCodec ──▶
+//     InferenceHandler ──▶ serve::Server::TrySubmitCallback ──▶
+//     [scheduler / VM pool threads] ──▶ on_complete ──▶ loop.Post ──▶
+//     response bytes out
+//
+// End-to-end backpressure, by construction:
+//  - the loop thread never blocks on inference: admission is non-blocking
+//    (a full queue is a 429 *response*, not a wait) and completions arrive
+//    as posted tasks;
+//  - pool workers never block on sockets: completing a request is
+//    serialize + Post;
+//  - a connection with a request in flight stops being read (EPOLLIN off),
+//    so pipelining clients are throttled by TCP receive windows instead of
+//    server memory;
+//  - a slow-reading client's responses wait in its own connection's
+//    buffer (EPOLLOUT-driven flush), bounded by its own request volume.
+//
+// Stop() drains gracefully: the listener closes first, in-flight
+// responses get flushed (bounded by drain_timeout_ms), then the loop
+// exits and idle connections close. Pair with serve::Server::Drain() —
+// stop the front end, then drain the pipeline — for a teardown that
+// never drops an admitted request.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "src/net/connection.h"
+#include "src/net/event_loop.h"
+#include "src/net/http_codec.h"
+#include "src/net/inference_handler.h"
+#include "src/net/listener.h"
+#include "src/serve/server.h"
+
+namespace nimble {
+namespace net {
+
+struct HttpServerConfig {
+  /// Listen address; loopback by default (this is an in-datacenter/test
+  /// front end — put real TLS termination in front for anything public).
+  std::string bind_addr = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back via port().
+  uint16_t port = 0;
+  /// Parser limits (header/body size caps).
+  HttpCodec::Limits limits;
+  /// Accepts beyond this many open connections are closed immediately.
+  size_t max_connections = 1024;
+  /// Per-connection output-buffer high-water mark: once a connection has
+  /// this many unflushed response bytes, the server stops reading it
+  /// (EPOLLIN off) until the buffer drains — a client pipelining
+  /// synchronous requests (e.g. /stats) and never reading responses is
+  /// bounded by this instead of growing server memory without limit.
+  size_t max_buffered_output = 256 * 1024;
+  /// How long Stop() waits for in-flight responses to flush.
+  int64_t drain_timeout_ms = 5000;
+  /// Name reported in /stats.
+  std::string label = "nimble";
+};
+
+class HttpServer {
+ public:
+  /// `server` must outlive this object and should already be Start()ed.
+  explicit HttpServer(serve::Server* server, HttpServerConfig config = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds (throws on a taken port) and spawns the I/O thread.
+  void Start();
+
+  /// Graceful stop: close the listener, flush in-flight responses (up to
+  /// drain_timeout_ms), stop the loop, join, close every connection.
+  /// Idempotent. Does NOT touch the serve::Server — drain that next.
+  void Stop();
+
+  /// Bound port (valid after Start).
+  uint16_t port() const;
+
+  /// Open connections right now (approximate outside the loop thread).
+  size_t open_connections() const { return conn_count_.load(); }
+
+  /// The /stats document, same as a GET /stats would return.
+  Json StatsJson() const { return handler_.StatsJson(); }
+
+ private:
+  void OnAccept(int fd, const std::string& peer);
+  void OnConnEvent(uint64_t id, uint32_t events);
+  /// Parses and dispatches every complete buffered request until the
+  /// connection goes busy (async in flight), runs dry, or dies.
+  void ProcessRequests(Connection* conn);
+  /// Async completion landing on the loop thread.
+  void CompleteAsync(uint64_t id, std::string response);
+  /// Re-arms epoll interest from the connection's state, destroying it if
+  /// it is fully flushed and marked for close.
+  void UpdateInterest(Connection* conn);
+  void Destroy(uint64_t id);
+
+  /// Shared by the completion-callback closures handed to serve::Server:
+  /// they outlive the front end when a batch finishes after Stop()'s drain
+  /// timeout expired. `server` is nulled (under the mutex) once the loop
+  /// has been joined, so a late completion drops its response instead of
+  /// posting to a dead loop or dereferencing a destroyed HttpServer.
+  struct Lifeline {
+    std::mutex mu;
+    HttpServer* server = nullptr;
+  };
+
+  serve::Server* server_;
+  HttpServerConfig config_;
+  InferenceHandler handler_;
+  EventLoop loop_;
+  std::unique_ptr<Listener> listener_;
+  std::thread io_thread_;
+  std::shared_ptr<Lifeline> lifeline_ = std::make_shared<Lifeline>();
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  // ---- loop-thread state ----------------------------------------------
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+
+  std::atomic<size_t> conn_count_{0};
+  /// Requests admitted whose response has not yet been queued to a
+  /// connection (or dropped); Stop() waits for this to reach zero.
+  std::atomic<int64_t> in_flight_{0};
+};
+
+}  // namespace net
+}  // namespace nimble

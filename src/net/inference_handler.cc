@@ -1,0 +1,517 @@
+#include "src/net/inference_handler.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/ndarray.h"
+#include "src/runtime/object.h"
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace net {
+
+namespace {
+
+constexpr const char* kJsonType = "application/json";
+constexpr const char* kBinaryType = "application/octet-stream";
+
+Json ErrorJson(const std::string& message) {
+  Json body = Json::Object();
+  body.Set("error", message);
+  return body;
+}
+
+std::string ErrorBody(const std::string& message) {
+  return ErrorJson(message).Dump();
+}
+
+/// Decoded inference inputs, independent of wire format.
+struct DecodedBody {
+  bool ok = false;
+  std::string error;
+  std::vector<runtime::ObjectRef> args;
+  int64_t length_hint = 0;
+};
+
+DecodedBody DecodeFail(std::string message) {
+  DecodedBody d;
+  d.error = std::move(message);
+  return d;
+}
+
+/// Ceiling on elements a request may claim. Far above anything the body
+/// limits allow through, but low enough that the checked product below
+/// can never overflow int64 (and a hostile shape like [2^32, 2^32] —
+/// whose naive product wraps to 0 and would match an empty body — is
+/// rejected instead of creating a tensor whose shape lies about its
+/// allocation).
+constexpr int64_t kMaxRequestElements = int64_t{1} << 28;
+
+/// Overflow-checked element count; false when any dim is negative or the
+/// product exceeds kMaxRequestElements.
+bool CheckedNumElements(const runtime::ShapeVec& shape, int64_t* out) {
+  int64_t product = 1;
+  for (int64_t dim : shape) {
+    if (dim < 0) return false;
+    if (dim > 0 && product > kMaxRequestElements / dim) return false;
+    product *= dim;
+  }
+  *out = product;
+  return true;
+}
+
+bool ReadShape(const Json& value, runtime::ShapeVec* shape) {
+  if (!value.is_array()) return false;
+  shape->clear();
+  for (const Json& dim : value.items()) {
+    if (!dim.is_number() || dim.number() < 0 ||
+        dim.number() != static_cast<double>(dim.integer())) {
+      return false;
+    }
+    shape->push_back(dim.integer());
+  }
+  return true;
+}
+
+DecodedBody DecodeJsonBody(const std::string& body) {
+  std::string parse_error;
+  Json doc = Json::Parse(body, &parse_error);
+  if (!doc.is_object()) {
+    return DecodeFail(parse_error.empty() ? "body must be a JSON object"
+                                          : "invalid JSON: " + parse_error);
+  }
+  const Json* inputs = doc.Find("inputs");
+  if (inputs == nullptr || !inputs->is_array() || inputs->items().empty()) {
+    return DecodeFail("missing non-empty 'inputs' array");
+  }
+
+  DecodedBody decoded;
+  for (const Json& input : inputs->items()) {
+    if (!input.is_object()) return DecodeFail("each input must be an object");
+    if (const Json* scalar = input.Find("scalar")) {
+      if (!scalar->is_number()) return DecodeFail("'scalar' must be a number");
+      decoded.args.push_back(runtime::MakeTensor(
+          runtime::NDArray::Scalar<int64_t>(scalar->integer())));
+      continue;
+    }
+    const Json* shape_json = input.Find("shape");
+    const Json* data = input.Find("data");
+    runtime::ShapeVec shape;
+    if (shape_json == nullptr || !ReadShape(*shape_json, &shape)) {
+      return DecodeFail("input needs a 'shape' array of non-negative ints");
+    }
+    if (data == nullptr || !data->is_array()) {
+      return DecodeFail("input needs a 'data' array");
+    }
+    int64_t expected = 0;
+    if (!CheckedNumElements(shape, &expected)) {
+      return DecodeFail("'shape' implies an unreasonable element count");
+    }
+    if (static_cast<int64_t>(data->items().size()) != expected) {
+      return DecodeFail("'data' holds " +
+                        std::to_string(data->items().size()) +
+                        " elements but 'shape' implies " +
+                        std::to_string(expected));
+    }
+    std::string dtype = "float32";
+    if (const Json* dt = input.Find("dtype")) {
+      if (!dt->is_string()) return DecodeFail("'dtype' must be a string");
+      dtype = dt->str();
+    }
+    if (dtype == "float32") {
+      runtime::NDArray arr =
+          runtime::NDArray::Empty(shape, runtime::DataType::Float32());
+      float* dst = arr.data<float>();
+      for (size_t i = 0; i < data->items().size(); ++i) {
+        const Json& v = data->items()[i];
+        if (!v.is_number()) return DecodeFail("'data' must be numeric");
+        dst[i] = static_cast<float>(v.number());
+      }
+      decoded.args.push_back(runtime::MakeTensor(std::move(arr)));
+    } else if (dtype == "int64") {
+      runtime::NDArray arr =
+          runtime::NDArray::Empty(shape, runtime::DataType::Int64());
+      int64_t* dst = arr.data<int64_t>();
+      for (size_t i = 0; i < data->items().size(); ++i) {
+        const Json& v = data->items()[i];
+        if (!v.is_number()) return DecodeFail("'data' must be numeric");
+        dst[i] = v.integer();
+      }
+      decoded.args.push_back(runtime::MakeTensor(std::move(arr)));
+    } else {
+      return DecodeFail("unsupported dtype '" + dtype +
+                        "' (float32 and int64 only)");
+    }
+    if (decoded.length_hint == 0 && !shape.empty()) {
+      decoded.length_hint = shape[0];  // default hint: first tensor's rows
+    }
+  }
+  if (const Json* length = doc.Find("length")) {
+    if (!length->is_number() || length->number() < 0) {
+      return DecodeFail("'length' must be a non-negative number");
+    }
+    decoded.length_hint = length->integer();
+  }
+  decoded.ok = true;
+  return decoded;
+}
+
+DecodedBody DecodeBinaryBody(const HttpRequest& request) {
+  const std::string* shape_header = request.FindHeader("x-nimble-shape");
+  if (shape_header == nullptr) {
+    return DecodeFail("binary body needs an X-Nimble-Shape header");
+  }
+  runtime::ShapeVec shape;
+  const char* p = shape_header->c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    errno = 0;
+    long long dim = std::strtoll(p, &end, 10);
+    if (end == p || errno == ERANGE || dim < 0 ||
+        dim > kMaxRequestElements) {
+      return DecodeFail("malformed X-Nimble-Shape");
+    }
+    shape.push_back(dim);
+    p = (*end == ',') ? end + 1 : end;
+    if (*end != ',' && *end != '\0') {
+      return DecodeFail("malformed X-Nimble-Shape");
+    }
+  }
+  int64_t elements = 0;
+  if (!CheckedNumElements(shape, &elements)) {
+    return DecodeFail("X-Nimble-Shape implies an unreasonable element count");
+  }
+  size_t expected_bytes = static_cast<size_t>(elements) * sizeof(float);
+  if (request.body.size() != expected_bytes) {
+    return DecodeFail("body is " + std::to_string(request.body.size()) +
+                      " bytes but X-Nimble-Shape implies " +
+                      std::to_string(expected_bytes));
+  }
+  DecodedBody decoded;
+  runtime::NDArray arr =
+      runtime::NDArray::Empty(shape, runtime::DataType::Float32());
+  std::memcpy(arr.raw_data(), request.body.data(), expected_bytes);
+  decoded.args.push_back(runtime::MakeTensor(std::move(arr)));
+  if (!shape.empty()) decoded.length_hint = shape[0];
+  if (const std::string* len = request.FindHeader("x-nimble-length")) {
+    char* end = nullptr;
+    long long n = std::strtoll(len->c_str(), &end, 10);
+    if (end != len->c_str() + len->size() || n < 0) {
+      return DecodeFail("malformed X-Nimble-Length");
+    }
+    // Convention shared with the LSTM entry point: the sequence length
+    // rides as a trailing rank-0 int64 argument.
+    decoded.args.push_back(
+        runtime::MakeTensor(runtime::NDArray::Scalar<int64_t>(n)));
+    decoded.length_hint = n;
+  }
+  decoded.ok = true;
+  return decoded;
+}
+
+/// Serializes a finished inference into full response bytes, recording
+/// exactly one status into `stats` (skipped when null — the front end may
+/// already be gone by the time a slow batch completes). Runs on the pool
+/// worker that completed the request.
+std::string SerializeResult(const std::string& model,
+                            const runtime::ObjectRef& result,
+                            std::exception_ptr error, bool binary,
+                            bool keep_alive, HttpStats* stats) {
+  int status = 200;
+  std::string body;
+  std::string content_type = kJsonType;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+
+  const runtime::NDArray* tensor = nullptr;
+  if (result != nullptr && result->tag() == runtime::ObjectTag::kTensor) {
+    tensor = &static_cast<const runtime::TensorObj*>(result.get())->data;
+  }
+
+  if (error != nullptr) {
+    std::string what = "inference failed";
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    status = 500;
+    body = ErrorBody(what);
+  } else if (tensor == nullptr || !tensor->defined()) {
+    status = 500;
+    body = ErrorBody("result is not a tensor");
+  } else if (binary && tensor->dtype() == runtime::DataType::Float32()) {
+    std::string shape_str;
+    for (size_t i = 0; i < tensor->shape().size(); ++i) {
+      if (i > 0) shape_str += ",";
+      shape_str += std::to_string(tensor->shape()[i]);
+    }
+    body.assign(static_cast<const char*>(tensor->raw_data()),
+                tensor->nbytes());
+    content_type = kBinaryType;
+    extra_headers = {{"X-Nimble-Shape", shape_str},
+                     {"X-Nimble-Dtype", "float32"}};
+  } else if (tensor->dtype() == runtime::DataType::Float32() ||
+             tensor->dtype() == runtime::DataType::Int64()) {
+    Json doc = Json::Object();
+    doc.Set("model", model);
+    Json shape = Json::Array();
+    for (int64_t dim : tensor->shape()) shape.Append(dim);
+    doc.Set("shape", std::move(shape));
+    doc.Set("dtype", tensor->dtype().ToString());
+    Json data = Json::Array();
+    int64_t n = tensor->num_elements();
+    if (tensor->dtype() == runtime::DataType::Float32()) {
+      const float* src = tensor->data<float>();
+      for (int64_t i = 0; i < n; ++i) {
+        data.Append(static_cast<double>(src[i]));
+      }
+    } else {
+      const int64_t* src = tensor->data<int64_t>();
+      for (int64_t i = 0; i < n; ++i) data.Append(src[i]);
+    }
+    doc.Set("data", std::move(data));
+    body = doc.Dump();
+  } else {
+    status = 500;
+    body = ErrorBody("unsupported result dtype " +
+                     tensor->dtype().ToString());
+  }
+
+  if (stats != nullptr) stats->RecordResponse(status);
+  return HttpCodec::WriteResponse(status, body, content_type, keep_alive,
+                                  extra_headers);
+}
+
+Json SnapshotJson(const serve::StatsSnapshot& snap) {
+  Json j = Json::Object();
+  j.Set("completed", snap.completed);
+  j.Set("failed", snap.failed);
+  j.Set("rejected", snap.rejected);
+  j.Set("arrivals", snap.arrivals);
+  j.Set("arrival_rate_rps", snap.arrival_rate_rps);
+  j.Set("throughput_rps", snap.throughput_rps);
+  j.Set("mean_latency_us", snap.mean_latency_us);
+  j.Set("p50_latency_us", snap.p50_latency_us);
+  j.Set("p95_latency_us", snap.p95_latency_us);
+  j.Set("p99_latency_us", snap.p99_latency_us);
+  j.Set("max_latency_us", snap.max_latency_us);
+  j.Set("mean_queue_wait_us", snap.mean_queue_wait_us);
+  j.Set("max_queue_wait_us", snap.max_queue_wait_us);
+  j.Set("mean_exec_us", snap.mean_exec_us);
+  if (snap.adaptive_wait_micros > 0) {
+    j.Set("adaptive_wait_micros", snap.adaptive_wait_micros);
+  }
+  j.Set("batches", snap.batches);
+  j.Set("mean_batch_size", snap.mean_batch_size);
+  Json hist = Json::Object();
+  for (size_t i = 0; i < snap.batch_size_hist.size(); ++i) {
+    hist.Set(serve::ServeStats::BatchHistLabel(i), snap.batch_size_hist[i]);
+  }
+  j.Set("batch_size_hist", std::move(hist));
+  j.Set("packed_batches", snap.packed_batches);
+  j.Set("padding_waste", snap.padding_waste);
+  if (snap.cache_hits + snap.cache_misses > 0) {
+    j.Set("exec_cache_hit_rate", snap.cache_hit_rate);
+    j.Set("exec_cache_variant_batches", snap.variant_batches);
+  }
+  return j;
+}
+
+}  // namespace
+
+void HttpStats::RecordRequest(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_endpoint_[endpoint]++;
+}
+
+void HttpStats::RecordResponse(int status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_status_[status]++;
+}
+
+Json HttpStats::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json endpoints = Json::Object();
+  int64_t total = 0;
+  for (const auto& [endpoint, count] : by_endpoint_) {
+    endpoints.Set(endpoint, count);
+    total += count;
+  }
+  Json statuses = Json::Object();
+  for (const auto& [status, count] : by_status_) {
+    statuses.Set(std::to_string(status), count);
+  }
+  Json j = Json::Object();
+  j.Set("requests", total);
+  j.Set("by_endpoint", std::move(endpoints));
+  j.Set("by_status", std::move(statuses));
+  return j;
+}
+
+InferenceHandler::InferenceHandler(serve::Server* server,
+                                   std::string server_label)
+    : server_(server), label_(std::move(server_label)) {
+  NIMBLE_CHECK(server_ != nullptr);
+}
+
+InferenceHandler::Outcome InferenceHandler::Respond(int status,
+                                                    const Json& body,
+                                                    bool keep_alive) {
+  http_stats_->RecordResponse(status);
+  Outcome outcome;
+  outcome.close_connection = !keep_alive;
+  outcome.response =
+      HttpCodec::WriteResponse(status, body.Dump(), kJsonType, keep_alive);
+  return outcome;
+}
+
+Json InferenceHandler::StatsJson() const {
+  Json doc = Json::Object();
+  Json info = Json::Object();
+  info.Set("server", label_);
+  info.Set("draining", server_->draining());
+  doc.Set("info", std::move(info));
+  doc.Set("http", http_stats_->ToJson());
+  Json models = Json::Object();
+  for (const std::string& name : server_->model_names()) {
+    Json m = SnapshotJson(server_->stats(name));
+    m.Set("queue_depth", server_->queue_depth(name));
+    m.Set("queue_capacity", server_->queue_capacity(name));
+    models.Set(name, std::move(m));
+  }
+  doc.Set("models", std::move(models));
+  Json aggregate = SnapshotJson(server_->stats());
+  aggregate.Set("queue_depth", server_->queue_depth());
+  doc.Set("aggregate", std::move(aggregate));
+  return doc;
+}
+
+InferenceHandler::Outcome InferenceHandler::Predict(
+    const HttpRequest& request, const std::string& model,
+    std::function<void(std::string)> respond) {
+  http_stats_->RecordRequest("predict");
+  if (request.method != "POST") {
+    return Respond(405, ErrorJson("predict requires POST"),
+                   request.keep_alive);
+  }
+  // Unknown model outranks a malformed body: the resource doesn't exist,
+  // so 404 — not a 400 about a body nobody would have decoded.
+  if (!server_->HasModel(model)) {
+    return Respond(404, ErrorJson("no model named '" + model + "'"),
+                   request.keep_alive);
+  }
+
+  const std::string* content_type = request.FindHeader("content-type");
+  bool binary_in =
+      content_type != nullptr &&
+      content_type->compare(0, std::strlen(kBinaryType), kBinaryType) == 0;
+  DecodedBody decoded = binary_in ? DecodeBinaryBody(request)
+                                  : DecodeJsonBody(request.body);
+  if (!decoded.ok) {
+    return Respond(400, ErrorJson(decoded.error),
+                   request.keep_alive);
+  }
+
+  const std::string* accept = request.FindHeader("accept");
+  bool binary_out =
+      accept != nullptr &&
+      accept->compare(0, std::strlen(kBinaryType), kBinaryType) == 0;
+  bool keep_alive = request.keep_alive;
+  // weak_ptr: this callback fires on a pool worker and may outlive the
+  // front end (slow batch, drain timeout expired). Then the stats write is
+  // dropped; `respond` (HttpServer's lifeline-gated poster) likewise
+  // degrades to a no-op rather than touching freed memory.
+  std::weak_ptr<HttpStats> weak_stats = http_stats_;
+  auto on_complete = [model, binary_out, keep_alive, weak_stats,
+                      respond = std::move(respond)](
+                         runtime::ObjectRef result, std::exception_ptr error) {
+    std::shared_ptr<HttpStats> stats = weak_stats.lock();
+    respond(SerializeResult(model, result, std::move(error), binary_out,
+                            keep_alive, stats.get()));
+  };
+
+  serve::Server::AdmitResult admit = server_->TrySubmitCallback(
+      model, std::move(decoded.args), decoded.length_hint,
+      std::move(on_complete));
+  switch (admit.status) {
+    case serve::Server::AdmitStatus::kAccepted: {
+      Outcome outcome;
+      outcome.async = true;
+      return outcome;
+    }
+    case serve::Server::AdmitStatus::kQueueFull: {
+      // The shed path of the PR-1 backpressure contract, now on the wire:
+      // the client sees 429 + Retry-After instead of an ever-growing
+      // buffer. One second is an honest hint for a queue that a scheduler
+      // drains in milliseconds — clients with better knowledge of their
+      // own latency budget can retry sooner.
+      Json body = Json::Object();
+      body.Set("error", "queue full for model '" + model + "'");
+      body.Set("queue_depth", admit.queue_depth);
+      body.Set("queue_capacity", admit.queue_capacity);
+      http_stats_->RecordResponse(429);
+      Outcome outcome;
+      outcome.response = HttpCodec::WriteResponse(
+          429, body.Dump(), kJsonType, request.keep_alive,
+          {{"Retry-After", "1"}});
+      return outcome;
+    }
+    case serve::Server::AdmitStatus::kUnknownModel:
+      return Respond(404, ErrorJson("no model named '" + model + "'"),
+                     request.keep_alive);
+    case serve::Server::AdmitStatus::kClosed:
+    default:
+      return Respond(503, ErrorJson("server is draining"),
+                     /*keep_alive=*/false);
+  }
+}
+
+InferenceHandler::Outcome InferenceHandler::Handle(
+    const HttpRequest& request, std::function<void(std::string)> respond) {
+  // POST /v1/models/<name>:predict
+  constexpr const char* kModelsPrefix = "/v1/models";
+  const std::string& target = request.target;
+  if (target.compare(0, std::strlen(kModelsPrefix), kModelsPrefix) == 0) {
+    std::string rest = target.substr(std::strlen(kModelsPrefix));
+    if (rest.empty() && request.method == "GET") {
+      http_stats_->RecordRequest("models");
+      Json body = Json::Object();
+      Json names = Json::Array();
+      for (const std::string& name : server_->model_names()) {
+        names.Append(name);
+      }
+      body.Set("models", std::move(names));
+      return Respond(200, body, request.keep_alive);
+    }
+    constexpr const char* kPredictSuffix = ":predict";
+    if (rest.size() > 1 && rest[0] == '/') {
+      std::string name = rest.substr(1);
+      size_t suffix_at = name.rfind(kPredictSuffix);
+      if (suffix_at != std::string::npos &&
+          suffix_at + std::strlen(kPredictSuffix) == name.size()) {
+        return Predict(request, name.substr(0, suffix_at), std::move(respond));
+      }
+    }
+  }
+  if (target == "/stats" && request.method == "GET") {
+    http_stats_->RecordRequest("stats");
+    return Respond(200, StatsJson(), request.keep_alive);
+  }
+  if (target == "/healthz") {
+    http_stats_->RecordRequest("healthz");
+    Json body = Json::Object();
+    bool draining = server_->draining();
+    body.Set("status", draining ? "draining" : "serving");
+    return Respond(draining ? 503 : 200, body, request.keep_alive);
+  }
+  http_stats_->RecordRequest("other");
+  return Respond(404,
+                 ErrorJson("no route for " + request.method + " " + target),
+                 request.keep_alive);
+}
+
+}  // namespace net
+}  // namespace nimble

@@ -1,0 +1,112 @@
+// HTTP request routing and translation for the serving pipeline.
+//
+// The handler is the seam between wire format and serve::Server:
+//
+//   POST /v1/models/<name>:predict   decode body -> TrySubmitCallback;
+//                                    the response completes asynchronously
+//   GET  /stats                      ServeStats + queue depths + HTTP
+//                                    counters as JSON
+//   GET  /v1/models                  registered model names
+//   GET  /healthz                    200 while serving, 503 once draining
+//
+// Backpressure becomes protocol-visible here, mapping AdmitStatus to
+// status codes: a full queue answers 429 with a Retry-After hint (the
+// queue-depth snapshot taken under the admission lock), an unknown model
+// 404, a malformed body 400, a draining server 503. The event-loop thread
+// never blocks: admission is TrySubmitCallback, and the completion
+// callback — running on a pool worker — serializes the response and hands
+// the bytes to `respond`, which the HttpServer forwards onto the loop.
+//
+// Request bodies (two formats):
+//   JSON (application/json):
+//     {"inputs": [{"shape": [L, D], "data": [...], "dtype": "float32"},
+//                 {"scalar": 7}],
+//      "length": L}
+//     Tensor inputs become float32 (or int64) NDArrays; {"scalar": n} is a
+//     rank-0 int64 (the LSTM entry's sequence-length argument). "length"
+//     (optional) is the bucketing hint; it defaults to the first tensor's
+//     leading dimension.
+//   Binary (application/octet-stream): raw little-endian float32 data with
+//     X-Nimble-Shape: "L,D" (and optionally X-Nimble-Length: L, which also
+//     appends the rank-0 int64 length argument models like the LSTM take).
+//
+// Responses: {"model": ..., "shape": [...], "data": [...]} JSON, or raw
+// bytes + X-Nimble-Shape when the request asked for
+// "Accept: application/octet-stream".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/net/http_codec.h"
+#include "src/net/json.h"
+#include "src/serve/server.h"
+
+namespace nimble {
+namespace net {
+
+/// Per-endpoint and per-status counters for the HTTP front end (the serving
+/// pipeline's own metrics live in serve::ServeStats; these cover what only
+/// the network layer sees: routing, protocol errors, shed requests).
+/// Thread-safe: recorded from the loop thread and pool workers.
+class HttpStats {
+ public:
+  void RecordRequest(const std::string& endpoint);
+  void RecordResponse(int status);
+
+  Json ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> by_endpoint_;
+  std::map<int, int64_t> by_status_;
+};
+
+class InferenceHandler {
+ public:
+  /// `server` must outlive the handler. `server_label` names this process
+  /// in /stats output.
+  explicit InferenceHandler(serve::Server* server,
+                            std::string server_label = "nimble");
+
+  struct Outcome {
+    /// True when the response will be delivered later through `respond`
+    /// (an accepted inference). False: `response` holds the full reply.
+    bool async = false;
+    /// The connection must close once this response flushes (the response
+    /// advertised "Connection: close" — e.g. 503 while draining — even if
+    /// the request itself asked for keep-alive).
+    bool close_connection = false;
+    std::string response;
+  };
+
+  /// Routes one parsed request. `respond` is invoked at most once, from a
+  /// pool worker thread, with the serialized response bytes — the caller
+  /// forwards it to its event loop. Never blocks, never throws.
+  Outcome Handle(const HttpRequest& request,
+                 std::function<void(std::string)> respond);
+
+  const HttpStats& http_stats() const { return *http_stats_; }
+
+  /// Builds the /stats JSON document (also used by tests and the loadgen).
+  Json StatsJson() const;
+
+ private:
+  Outcome Respond(int status, const Json& body, bool keep_alive);
+  Outcome Predict(const HttpRequest& request, const std::string& model,
+                  std::function<void(std::string)> respond);
+
+  serve::Server* server_;
+  std::string label_;
+  /// shared_ptr because completion callbacks on pool workers may outlive
+  /// this handler (a slow batch finishing after the front end is torn
+  /// down): they hold a weak_ptr and drop the stats write instead of
+  /// touching freed memory.
+  std::shared_ptr<HttpStats> http_stats_ = std::make_shared<HttpStats>();
+};
+
+}  // namespace net
+}  // namespace nimble

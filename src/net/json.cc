@@ -1,0 +1,346 @@
+#include "src/net/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace net {
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::Append(Json value) {
+  NIMBLE_CHECK(type_ == Type::kArray) << "Append on a non-array Json";
+  array_.push_back(std::move(value));
+}
+
+void Json::Set(const std::string& key, Json value) {
+  NIMBLE_CHECK(type_ == Type::kObject) << "Set on a non-object Json";
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+// ---- serialization ----------------------------------------------------------
+
+namespace {
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberToString(double num, std::string* out) {
+  if (!std::isfinite(num)) {  // JSON has no Inf/NaN; null is the convention
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  // Exact integers (counters, shapes) print as integers; everything else
+  // gets 9 significant digits, enough for a float32 to round-trip exactly.
+  if (num == std::floor(num) && std::fabs(num) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(num));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", num);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: NumberToString(num_, out); break;
+    case Type::kString: EscapeString(str_, out); break;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        array_[i].DumpTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        EscapeString(object_[i].first, out);
+        out->push_back(':');
+        object_[i].second.DumpTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  // Flat numeric arrays dominate serving payloads; ~12 bytes per element
+  // is a close-enough guess to avoid repeated growth.
+  if (type_ == Type::kArray) out.reserve(array_.size() * 12 + 16);
+  DumpTo(&out);
+  return out;
+}
+
+// ---- parsing ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  bool Parse(Json* out, std::string* error) {
+    if (!ParseValue(out, 0)) {
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    SkipWhitespace();
+    if (p_ != end_) {
+      if (error != nullptr) *error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Fail(const char* msg) {
+    error_ = msg;
+    return false;
+  }
+
+  bool Consume(char c, const char* what) {
+    SkipWhitespace();
+    if (p_ == end_ || *p_ != c) return Fail(what);
+    ++p_;
+    return true;
+  }
+
+  bool ParseValue(Json* out, int depth) {
+    if (depth > Json::kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (p_ == end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = Json(std::move(s));
+        return true;
+      }
+      case 't':
+        if (end_ - p_ >= 4 && std::memcmp(p_, "true", 4) == 0) {
+          p_ += 4;
+          *out = Json(true);
+          return true;
+        }
+        return Fail("invalid literal");
+      case 'f':
+        if (end_ - p_ >= 5 && std::memcmp(p_, "false", 5) == 0) {
+          p_ += 5;
+          *out = Json(false);
+          return true;
+        }
+        return Fail("invalid literal");
+      case 'n':
+        if (end_ - p_ >= 4 && std::memcmp(p_, "null", 4) == 0) {
+          p_ += 4;
+          *out = Json();
+          return true;
+        }
+        return Fail("invalid literal");
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(Json* out) {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    while (p_ != end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                          *p_ == 'e' || *p_ == 'E' || *p_ == '+' ||
+                          *p_ == '-')) {
+      ++p_;
+    }
+    if (p_ == start) return Fail("invalid number");
+    // strtod needs a terminated buffer; numbers are short, copy is cheap.
+    std::string text(start, p_);
+    char* parsed_end = nullptr;
+    double value = std::strtod(text.c_str(), &parsed_end);
+    if (parsed_end != text.c_str() + text.size()) {
+      return Fail("invalid number");
+    }
+    *out = Json(value);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    ++p_;  // opening quote
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) return Fail("unterminated escape");
+      char esc = *p_++;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (end_ - p_ < 4) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("invalid \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs unsupported).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Fail("invalid escape");
+      }
+    }
+    if (p_ == end_) return Fail("unterminated string");
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool ParseArray(Json* out, int depth) {
+    ++p_;  // '['
+    JsonArray items;
+    SkipWhitespace();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      *out = Json(std::move(items));
+      return true;
+    }
+    while (true) {
+      Json value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (p_ == end_) return Fail("unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        *out = Json(std::move(items));
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseObject(Json* out, int depth) {
+    ++p_;  // '{'
+    JsonObject members;
+    SkipWhitespace();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      *out = Json(std::move(members));
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (p_ == end_ || *p_ != '"') return Fail("expected object key");
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':', "expected ':' after object key")) return false;
+      Json value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (p_ == end_) return Fail("unterminated object");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        *out = Json(std::move(members));
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  std::string error_;
+};
+
+}  // namespace
+
+Json Json::Parse(const std::string& text, std::string* error) {
+  Json result;
+  Parser parser(text.data(), text.data() + text.size());
+  if (!parser.Parse(&result, error)) return Json();
+  return result;
+}
+
+}  // namespace net
+}  // namespace nimble

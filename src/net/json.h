@@ -1,0 +1,97 @@
+// Minimal JSON value: parse, build, serialize. No external dependencies.
+//
+// The HTTP front end's wire format — request bodies
+// ({"inputs": [...], "length": n}), responses ({"shape": ..., "data":
+// ...}), and the /stats endpoint — all go through this one type. It is a
+// deliberately small tree representation (numbers are doubles, objects
+// keep insertion order), tuned for the payloads serving actually sees:
+// flat float arrays dominate, so Dump() writes numbers with enough
+// precision that a float32 round-trips bit-exactly (9 significant digits)
+// and Parse() is a single pass with no intermediate tokens.
+//
+// Not a general-purpose JSON library: no \uXXXX surrogate pairs beyond the
+// BMP, numbers outside double's exact-integer range lose precision, and
+// nesting is capped (kMaxDepth) so a hostile body cannot blow the stack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nimble {
+namespace net {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// Object members in insertion order (stats output stays human-readable).
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Nesting bound enforced by Parse (arrays/objects deeper than this fail).
+  static constexpr int kMaxDepth = 64;
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                   // NOLINT
+  Json(double num) : type_(Type::kNumber), num_(num) {}            // NOLINT
+  Json(int num) : Json(static_cast<double>(num)) {}                // NOLINT
+  Json(int64_t num) : Json(static_cast<double>(num)) {}            // NOLINT
+  Json(size_t num) : Json(static_cast<double>(num)) {}             // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}                    // NOLINT
+  Json(JsonArray items) : type_(Type::kArray), array_(std::move(items)) {}  // NOLINT
+  Json(JsonObject members)                                          // NOLINT
+      : type_(Type::kObject), object_(std::move(members)) {}
+
+  static Json Array() { return Json(JsonArray{}); }
+  static Json Object() { return Json(JsonObject{}); }
+
+  /// Parses one JSON document (surrounding whitespace allowed; trailing
+  /// garbage is an error). On failure returns null and sets `*error`.
+  static Json Parse(const std::string& text, std::string* error = nullptr);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool boolean() const { return bool_; }
+  double number() const { return num_; }
+  int64_t integer() const { return static_cast<int64_t>(num_); }
+  const std::string& str() const { return str_; }
+  const JsonArray& items() const { return array_; }
+  const JsonObject& members() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+
+  /// Appends to an array / sets an object member (asserting the type).
+  void Append(Json value);
+  void Set(const std::string& key, Json value);
+
+  /// Compact serialization (no whitespace). Numbers print with up to 9
+  /// significant digits — float32 values round-trip bit-exactly — and
+  /// integral values print without an exponent or decimal point.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+}  // namespace net
+}  // namespace nimble

@@ -1,0 +1,91 @@
+#include "src/net/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace net {
+
+Listener::Listener(const std::string& addr, uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  NIMBLE_CHECK(fd_ >= 0) << "socket: " << std::strerror(errno);
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  NIMBLE_CHECK(::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) == 1)
+      << "bad listen address '" << addr << "'";
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&sa), sizeof(sa)) != 0) {
+    int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    NIMBLE_FATAL() << "bind " << addr << ":" << port << ": "
+                   << std::strerror(err);
+  }
+  NIMBLE_CHECK(::listen(fd_, SOMAXCONN) == 0)
+      << "listen: " << std::strerror(errno);
+
+  socklen_t len = sizeof(sa);
+  NIMBLE_CHECK(::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&sa),
+                             &len) == 0)
+      << "getsockname: " << std::strerror(errno);
+  port_ = ntohs(sa.sin_port);
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Listener::Start(EventLoop* loop, AcceptFn on_accept) {
+  NIMBLE_CHECK(loop_ == nullptr) << "Listener started twice";
+  loop_ = loop;
+  on_accept_ = std::move(on_accept);
+  loop_->Add(fd_, EPOLLIN, [this](uint32_t) { HandleReadable(); });
+}
+
+void Listener::Close() {
+  if (fd_ < 0) return;
+  if (loop_ != nullptr) loop_->Remove(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void Listener::HandleReadable() {
+  while (true) {
+    struct sockaddr_in peer;
+    socklen_t len = sizeof(peer);
+    int fd = ::accept4(fd_, reinterpret_cast<struct sockaddr*>(&peer), &len,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      // Transient accept failures (ECONNABORTED, EMFILE) should not kill
+      // the loop; log and keep serving existing connections.
+      NIMBLE_LOG(WARNING) << "accept: " << std::strerror(errno);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    char buf[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &peer.sin_addr, buf, sizeof(buf));
+    std::string peer_str =
+        std::string(buf) + ":" + std::to_string(ntohs(peer.sin_port));
+    on_accept_(fd, peer_str);
+  }
+}
+
+}  // namespace net
+}  // namespace nimble

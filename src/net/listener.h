@@ -1,0 +1,54 @@
+// Non-blocking TCP accept socket for the HTTP front end.
+//
+// Binds and listens at construction (port 0 picks an ephemeral port —
+// tests and the loadgen read it back via port()), registers itself on an
+// EventLoop, and invokes the accept callback with each new connection's
+// already-non-blocking fd. Accepting never blocks: on EPOLLIN the listener
+// accept()s in a loop until EAGAIN, so one wakeup drains an accept burst.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/net/event_loop.h"
+
+namespace nimble {
+namespace net {
+
+class Listener {
+ public:
+  /// Invoked on the loop thread with a freshly accepted non-blocking fd
+  /// and the peer's printable address. The callee owns the fd.
+  using AcceptFn = std::function<void(int fd, const std::string& peer)>;
+
+  /// Binds `addr:port` (defaults to loopback; port 0 = ephemeral) and
+  /// listens. Throws nimble::Error when the bind fails (port taken).
+  Listener(const std::string& addr, uint16_t port);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Registers on `loop` and starts delivering accepts. Call once, before
+  /// the loop runs (or on the loop thread).
+  void Start(EventLoop* loop, AcceptFn on_accept);
+
+  /// Deregisters from the loop and closes the listen socket: no further
+  /// accepts. Loop thread only. Idempotent.
+  void Close();
+
+  /// The actually bound port (resolves port 0).
+  uint16_t port() const { return port_; }
+
+ private:
+  void HandleReadable();
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  EventLoop* loop_ = nullptr;
+  AcceptFn on_accept_;
+};
+
+}  // namespace net
+}  // namespace nimble

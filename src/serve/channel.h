@@ -86,11 +86,23 @@ class Channel {
 
   /// Non-blocking. Returns false — leaving `item` untouched so the caller
   /// can retry or reject it — when the channel is full or closed.
-  bool TryPush(T& item) {
+  bool TryPush(T& item) { return TryPush(item, nullptr); }
+
+  /// TryPush with a depth snapshot: `*depth` (when non-null) receives the
+  /// queue depth observed under the same lock as the admission decision —
+  /// the depth *after* the push on success, the full depth at rejection on
+  /// failure. Callers surfacing backpressure (the HTTP 429 path computes
+  /// Retry-After from it) get a number consistent with the decision instead
+  /// of a racy size() read a moment later.
+  bool TryPush(T& item, size_t* depth) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_ || items_.size() >= capacity_) {
+        if (depth != nullptr) *depth = items_.size();
+        return false;
+      }
       items_.push_back(std::move(item));
+      if (depth != nullptr) *depth = items_.size();
     }
     not_empty_.notify_one();
     if (notifier_ != nullptr) notifier_->Notify();

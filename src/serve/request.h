@@ -8,10 +8,17 @@
 //   client -> RequestQueue -> BatchScheduler -> VMPool worker -> promise
 //
 // without copies.
+//
+// Two completion paths coexist: every request's promise is always
+// fulfilled (the future path), and a request may additionally carry an
+// `on_complete` callback — the asynchronous path the HTTP front end
+// (src/net/) rides, where a pool worker must hand the result off without
+// anyone blocking on a future.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -27,6 +34,15 @@ class ServeStats;  // src/serve/stats.h (which includes this header)
 
 using Clock = std::chrono::steady_clock;
 
+/// Completion callback for the asynchronous path: exactly one of
+/// `result`/`error` is set. Invoked on a pool worker thread, after the
+/// request's promise has been fulfilled, exactly once per request. Must not
+/// block (workers never wait on downstream consumers — the HTTP handler,
+/// for example, just posts the response to its event loop) and must not
+/// throw.
+using CompletionFn =
+    std::function<void(runtime::ObjectRef result, std::exception_ptr error)>;
+
 struct Request {
   int64_t id = -1;
   /// Entry point to run within the model's executable (stamped from the
@@ -37,7 +53,14 @@ struct Request {
   /// valid and lands in the first bucket.
   int64_t length_hint = 0;
   Clock::time_point enqueue_time{};
+  /// Stamped by the pool worker when it starts executing the batch; the
+  /// enqueue->dispatch gap is the queue-wait half of the latency split
+  /// recorded into ServeStats.
+  Clock::time_point dispatch_time{};
   std::promise<runtime::ObjectRef> promise;
+  /// Optional asynchronous completion hook (see CompletionFn). Null for the
+  /// plain future path.
+  CompletionFn on_complete;
 };
 
 /// A group of similar-length requests for one model, dispatched to one pool

@@ -126,6 +126,42 @@ std::optional<std::future<runtime::ObjectRef>> Server::TrySubmit(
   return future;
 }
 
+Server::AdmitResult Server::TrySubmitCallback(
+    const std::string& model, std::vector<runtime::ObjectRef> args,
+    int64_t length_hint, CompletionFn on_complete) {
+  AdmitResult result;
+  if (!started_.load() || shutdown_.load()) {
+    result.status = AdmitStatus::kClosed;
+    return result;
+  }
+  auto it = model_index_.find(model);
+  if (it == model_index_.end()) {
+    result.status = AdmitStatus::kUnknownModel;
+    return result;
+  }
+  ModelState& state = *models_[static_cast<size_t>(it->second)];
+  result.queue_capacity = state.queue->capacity();
+  std::future<runtime::ObjectRef> future;  // discarded: callback path
+  Request request = MakeRequest(state, std::move(args), length_hint, &future);
+  request.on_complete = std::move(on_complete);
+  auto enqueue_time = request.enqueue_time;
+  if (!state.queue->TryPush(request, &result.queue_depth)) {
+    // A queue closed mid-flight (Drain racing this admission) also lands
+    // here; report it as kClosed so the caller answers 503, not 429.
+    result.status =
+        state.queue->closed() ? AdmitStatus::kClosed : AdmitStatus::kQueueFull;
+    if (result.status == AdmitStatus::kQueueFull) {
+      state.stats.RecordRejected();
+      stats_.RecordRejected();
+    }
+    return result;
+  }
+  state.stats.RecordEnqueue(enqueue_time);
+  stats_.RecordEnqueue(enqueue_time);
+  result.status = AdmitStatus::kAccepted;
+  return result;
+}
+
 std::future<runtime::ObjectRef> Server::Submit(
     std::vector<runtime::ObjectRef> args, int64_t length_hint) {
   NIMBLE_CHECK(!models_.empty()) << "no models registered";
@@ -145,6 +181,10 @@ std::vector<std::string> Server::model_names() const {
   return names;
 }
 
+bool Server::HasModel(const std::string& model) const {
+  return model_index_.count(model) != 0;
+}
+
 StatsSnapshot Server::stats(const std::string& model) const {
   return Find(model).stats.Snapshot();
 }
@@ -159,17 +199,34 @@ size_t Server::queue_depth(const std::string& model) const {
   return Find(model).queue->size();
 }
 
-void Server::Shutdown() {
+size_t Server::queue_capacity(const std::string& model) const {
+  return Find(model).queue->capacity();
+}
+
+void Server::Drain() {
+  // First caller owns the teardown; later callers return immediately (same
+  // idempotency contract the original Shutdown had).
   if (shutdown_.exchange(true)) return;
   if (started_.load()) {
-    // Stop admissions on every model; the scheduler drains what's left.
+    // Stop intake on every model; pending requests survive the Close and
+    // the scheduler keeps draining until every queue is closed AND empty,
+    // flushing every pending bucket on its way out. Then the pool runs
+    // every queued batch before its workers exit. Every admitted request's
+    // promise/callback is therefore fulfilled before Join returns —
+    // teardown never drops queued work.
     for (auto& model : models_) model->queue->Close();
-    scheduler_->Join();  // exits after flushing every pending bucket
-    pool_->Close();      // workers drain the batch queue, then exit
+    scheduler_->Join();
+    pool_->Close();
     pool_->Join();
   }
+}
+
+void Server::Shutdown() {
+  Drain();
   // Detach shared caches from this server's stats (the cache — and its
-  // compile thread — may outlive the server and its ModelStates).
+  // compile thread — may outlive the server and its ModelStates). Guarded
+  // so repeated Shutdowns (destructor after an explicit call) detach once.
+  if (caches_detached_.exchange(true)) return;
   for (auto& model : models_) {
     if (model->cache != nullptr) model->cache->set_stats(nullptr, nullptr);
   }

@@ -15,6 +15,8 @@
 //        |                                 private PoolingAllocator each;
 //        v                                 workers rebind to the batch's
 //   std::future<ObjectRef>                 executable)
+//   (or a completion callback: the HTTP front end in src/net/ admits via
+//    TrySubmitCallback and finishes responses asynchronously)
 //
 // Lifecycle: construct, AddModel() for each executable, Start(), then
 // Submit from any thread. The single-model convenience constructor does all
@@ -118,19 +120,61 @@ class Server {
       const std::string& model, std::vector<runtime::ObjectRef> args,
       int64_t length_hint = 0);
 
+  /// Outcome of a callback-path admission attempt. Never throws for the
+  /// conditions a network front end must turn into status codes.
+  enum class AdmitStatus {
+    kAccepted,      // callback will fire exactly once, on a worker thread
+    kQueueFull,     // shed; counted as a rejection against the model
+    kUnknownModel,  // no model registered under that name
+    kClosed,        // server draining or shut down
+  };
+  struct AdmitResult {
+    AdmitStatus status = AdmitStatus::kClosed;
+    /// Queue depth observed under the admission lock (after the push on
+    /// success, at rejection otherwise) and the queue's capacity — the
+    /// numbers a 429 handler turns into a Retry-After estimate.
+    size_t queue_depth = 0;
+    size_t queue_capacity = 0;
+    bool accepted() const { return status == AdmitStatus::kAccepted; }
+  };
+
+  /// Non-blocking admission for the asynchronous completion path
+  /// (src/net/): instead of a future, `on_complete` fires on a pool worker
+  /// thread once the request finishes (see serve::CompletionFn for its
+  /// contract — in particular it must not block or throw). Unknown models
+  /// and a draining server are reported in the result, not thrown: this is
+  /// the hot path of the HTTP front end, where those outcomes are ordinary
+  /// responses (404/503), not programming errors. Thread-safe.
+  AdmitResult TrySubmitCallback(const std::string& model,
+                                std::vector<runtime::ObjectRef> args,
+                                int64_t length_hint, CompletionFn on_complete);
+
   /// Single-model conveniences: route to the first registered model.
   std::future<runtime::ObjectRef> Submit(std::vector<runtime::ObjectRef> args,
                                          int64_t length_hint = 0);
   std::optional<std::future<runtime::ObjectRef>> TrySubmit(
       std::vector<runtime::ObjectRef> args, int64_t length_hint = 0);
 
-  /// Stops admissions on every model, flushes every pending batch, waits
-  /// for all workers. Idempotent; also run by the destructor. Outstanding
-  /// futures are all fulfilled before this returns.
+  /// Graceful drain: stops intake on every model (later Submits fail,
+  /// TrySubmit* report kClosed), flushes every request already admitted —
+  /// the scheduler dispatches all pending buckets, workers run every queued
+  /// batch — and joins the scheduler and all VMPool workers. Every
+  /// outstanding future/callback is fulfilled before this returns; no
+  /// admitted request is ever dropped. Idempotent and terminal: there is no
+  /// restart. Stats remain queryable afterwards.
+  void Drain();
+
+  /// True once Drain()/Shutdown() has begun; the HTTP front end turns this
+  /// into 503 instead of admitting into closing queues. Thread-safe.
+  bool draining() const { return shutdown_.load(); }
+
+  /// Drain() plus resource teardown (detaches any shared exec caches from
+  /// this server's stats). Idempotent; also run by the destructor.
   void Shutdown();
 
   const ServeConfig& config() const { return config_; }
   std::vector<std::string> model_names() const;
+  bool HasModel(const std::string& model) const;
 
   /// Aggregate stats across every model (completions recorded once per
   /// request). Thread-safe.
@@ -142,6 +186,8 @@ class Server {
   size_t queue_depth() const;
   /// Requests buffered for one model. Throws for an unknown name.
   size_t queue_depth(const std::string& model) const;
+  /// Admission-queue capacity of one model. Throws for an unknown name.
+  size_t queue_capacity(const std::string& model) const;
 
  private:
   ModelState& Find(const std::string& model) const;
@@ -161,6 +207,7 @@ class Server {
   std::atomic<int64_t> next_id_{0};
   std::atomic<bool> started_{false};
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> caches_detached_{false};
 };
 
 }  // namespace serve

@@ -16,6 +16,13 @@ std::string StatsSnapshot::ToString() const {
      << "latency us mean " << mean_latency_us << " p50 " << p50_latency_us
      << " p95 " << p95_latency_us << " p99 " << p99_latency_us << " max "
      << max_latency_us << "; mean batch " << mean_batch_size;
+  if (mean_queue_wait_us > 0.0 || mean_exec_us > 0.0) {
+    os << "; queue-wait mean " << mean_queue_wait_us << " us, exec mean "
+       << mean_exec_us << " us";
+  }
+  if (adaptive_wait_micros > 0) {
+    os << "; adaptive wait " << adaptive_wait_micros << " us";
+  }
   if (packed_batches > 0) {
     os << "; packed " << packed_batches << "/" << batches
        << " batches, padding waste " << padding_waste * 100.0 << "%";
@@ -38,6 +45,27 @@ void ServeStats::RecordEnqueue(Clock::time_point when) {
     started_ = true;
     first_enqueue_ = when;
   }
+  arrivals_++;
+  if (last_arrival_ != Clock::time_point{} && when > last_arrival_) {
+    double gap_us =
+        std::chrono::duration<double, std::micro>(when - last_arrival_)
+            .count();
+    // EWMA with alpha 0.2: a handful of arrivals is enough to track a rate
+    // change, single outliers (one slow client) barely move it.
+    ewma_gap_us_ =
+        ewma_gap_us_ == 0.0 ? gap_us : 0.2 * gap_us + 0.8 * ewma_gap_us_;
+  }
+  if (when > last_arrival_) last_arrival_ = when;
+}
+
+double ServeStats::MeanInterArrivalMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_gap_us_;
+}
+
+void ServeStats::RecordAdaptiveWait(int64_t wait_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  adaptive_wait_micros_ = wait_micros;
 }
 
 void ServeStats::RecordRejected() {
@@ -107,6 +135,19 @@ void ServeStats::RecordVariantCompile() {
   variant_compiles_++;
 }
 
+void ServeStats::RecordCompletion(double latency_us, double queue_wait_us,
+                                  double exec_us, bool ok,
+                                  Clock::time_point when) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    split_count_++;
+    queue_wait_sum_us_ += queue_wait_us;
+    if (queue_wait_us > queue_wait_max_us_) queue_wait_max_us_ = queue_wait_us;
+    exec_sum_us_ += exec_us;
+  }
+  RecordCompletion(latency_us, ok, when);
+}
+
 void ServeStats::RecordCompletion(double latency_us, bool ok,
                                   Clock::time_point when) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -159,6 +200,16 @@ StatsSnapshot ServeStats::Snapshot() const {
   snap.completed = completed_;
   snap.failed = failed_;
   snap.rejected = rejected_;
+  snap.arrivals = arrivals_;
+  snap.mean_interarrival_us = ewma_gap_us_;
+  if (ewma_gap_us_ > 0.0) snap.arrival_rate_rps = 1e6 / ewma_gap_us_;
+  snap.adaptive_wait_micros = adaptive_wait_micros_;
+  if (split_count_ > 0) {
+    snap.mean_queue_wait_us =
+        queue_wait_sum_us_ / static_cast<double>(split_count_);
+    snap.max_queue_wait_us = queue_wait_max_us_;
+    snap.mean_exec_us = exec_sum_us_ / static_cast<double>(split_count_);
+  }
   snap.batches = batches_;
   if (batches_ > 0) {
     snap.mean_batch_size =
@@ -224,6 +275,12 @@ void ServeStats::Reset() {
   latency_count_ = 0;
   latency_sum_us_ = 0.0;
   latency_max_us_ = 0.0;
+  split_count_ = 0;
+  queue_wait_sum_us_ = queue_wait_max_us_ = exec_sum_us_ = 0.0;
+  arrivals_ = 0;
+  last_arrival_ = Clock::time_point{};
+  ewma_gap_us_ = 0.0;
+  adaptive_wait_micros_ = 0;
   completed_ = failed_ = rejected_ = batches_ = batched_requests_ = 0;
   batch_size_hist_.fill(0);
   packed_batches_ = padded_elements_ = packed_total_elements_ = 0;

@@ -36,6 +36,15 @@ struct StatsSnapshot {
   int64_t completed = 0;
   int64_t failed = 0;    // promise fulfilled with an exception
   int64_t rejected = 0;  // shed at admission (TrySubmit on a full queue)
+  /// Requests admitted (RecordEnqueue calls) and the smoothed arrival
+  /// process: an EWMA of the inter-arrival gap and its reciprocal rate.
+  /// This is the signal the adaptive batch policy steers max_wait from.
+  int64_t arrivals = 0;
+  double mean_interarrival_us = 0.0;  // EWMA; 0 until two arrivals
+  double arrival_rate_rps = 0.0;      // 1e6 / mean_interarrival_us
+  /// Effective max_wait_micros last applied by the scheduler's adaptive
+  /// controller (0 when the policy is not adaptive).
+  int64_t adaptive_wait_micros = 0;
   int64_t batches = 0;
   double mean_batch_size = 0.0;
   /// Batch-size histogram: dispatched batches bucketed by request count
@@ -83,6 +92,13 @@ struct StatsSnapshot {
   double p95_latency_us = 0.0;
   double p99_latency_us = 0.0;
   double max_latency_us = 0.0;
+  /// End-to-end latency split: queue wait (admission -> a pool worker picks
+  /// the batch up; includes scheduler bucketing and pool-queue time) vs
+  /// execution (worker pickup -> promise fulfilled). The two means sum to
+  /// mean_latency_us for completions recorded with the split.
+  double mean_queue_wait_us = 0.0;
+  double max_queue_wait_us = 0.0;
+  double mean_exec_us = 0.0;
 
   std::string ToString() const;
 };
@@ -90,10 +106,19 @@ struct StatsSnapshot {
 class ServeStats {
  public:
   /// Called by the queue producer side; pins the start of the measurement
-  /// window at the first enqueue.
+  /// window at the first enqueue and feeds the arrival-rate EWMA the
+  /// adaptive batch policy reads.
   void RecordEnqueue(Clock::time_point when);
 
   void RecordRejected();
+
+  /// Smoothed inter-arrival gap in microseconds (EWMA over RecordEnqueue
+  /// timestamps); 0 until two arrivals have been observed. Thread-safe.
+  double MeanInterArrivalMicros() const;
+
+  /// Gauge set by the scheduler's adaptive controller: the effective
+  /// max_wait_micros currently applied to this model's buckets.
+  void RecordAdaptiveWait(int64_t wait_micros);
 
   /// One batch dispatched to the pool with `size` requests.
   void RecordBatch(size_t size);
@@ -115,6 +140,11 @@ class ServeStats {
   /// One request finished (promise fulfilled). `latency_us` is end-to-end:
   /// enqueue to result ready. `ok` is false when the VM threw.
   void RecordCompletion(double latency_us, bool ok, Clock::time_point when);
+
+  /// Completion with the latency split: `queue_wait_us` (admission ->
+  /// worker pickup) + `exec_us` (pickup -> fulfilled) == `latency_us`.
+  void RecordCompletion(double latency_us, double queue_wait_us,
+                        double exec_us, bool ok, Clock::time_point when);
 
   /// Consistent copy of every counter (taken under the mutex); safe to call
   /// at any time from any thread, including while serving.
@@ -145,6 +175,14 @@ class ServeStats {
   int64_t latency_count_ = 0;
   double latency_sum_us_ = 0.0;
   double latency_max_us_ = 0.0;
+  int64_t split_count_ = 0;  // completions recorded with the split
+  double queue_wait_sum_us_ = 0.0;
+  double queue_wait_max_us_ = 0.0;
+  double exec_sum_us_ = 0.0;
+  int64_t arrivals_ = 0;
+  Clock::time_point last_arrival_{};
+  double ewma_gap_us_ = 0.0;
+  int64_t adaptive_wait_micros_ = 0;
   support::Rng reservoir_rng_{0x5e17e5};
   int64_t completed_ = 0;
   int64_t failed_ = 0;

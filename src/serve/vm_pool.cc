@@ -116,6 +116,13 @@ void VMPool::WorkerLoop(Worker& worker) {
     if (worker.vm->executable_ptr() != batch->exec) {
       worker.vm->Rebind(batch->exec);
     }
+    // Pickup timestamp: everything before this instant is queue wait
+    // (admission queue + scheduler bucket + pool batch queue), everything
+    // after is execution — the split ServeStats reports.
+    auto dispatch_time = Clock::now();
+    for (Request& request : batch->requests) {
+      request.dispatch_time = dispatch_time;
+    }
     // Per-model stats first, then the pool-wide aggregate (they are
     // distinct objects; a Server wires the batch to its model's stats and
     // the pool to the aggregate).
@@ -125,11 +132,18 @@ void VMPool::WorkerLoop(Worker& worker) {
       double latency_us =
           std::chrono::duration<double, std::micro>(now - request.enqueue_time)
               .count();
+      double queue_wait_us = std::chrono::duration<double, std::micro>(
+                                 request.dispatch_time - request.enqueue_time)
+                                 .count();
+      double exec_us = std::chrono::duration<double, std::micro>(
+                           now - request.dispatch_time)
+                           .count();
       if (batch->stats != nullptr) {
-        batch->stats->RecordCompletion(latency_us, ok, now);
+        batch->stats->RecordCompletion(latency_us, queue_wait_us, exec_us, ok,
+                                       now);
       }
       if (stats_ != nullptr && stats_ != batch->stats) {
-        stats_->RecordCompletion(latency_us, ok, now);
+        stats_->RecordCompletion(latency_us, queue_wait_us, exec_us, ok, now);
       }
     };
     // Packed [Lmax, B, D] execution when the batch asks for it and its

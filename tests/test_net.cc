@@ -1,0 +1,617 @@
+// Network front-end tests: JSON codec, incremental HTTP parsing, and the
+// loopback end-to-end contract — requests over a real socket produce
+// results bit-identical to sequential VirtualMachine::Invoke, and
+// backpressure is protocol-visible (429 on a full queue, 404 unknown
+// model, 400 malformed body, graceful drain without dropped requests).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/models/lstm.h"
+#include "src/models/workloads.h"
+#include "src/net/http_client.h"
+#include "src/net/http_codec.h"
+#include "src/net/http_server.h"
+#include "src/net/json.h"
+#include "src/serve/server.h"
+#include "src/vm/vm.h"
+
+namespace nimble {
+namespace {
+
+using net::HttpCodec;
+using net::HttpRequest;
+using net::Json;
+using runtime::AsTensor;
+using runtime::MakeTensor;
+using runtime::NDArray;
+
+// ---- JSON -------------------------------------------------------------------
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  std::string error;
+  Json doc = Json::Parse(
+      R"({"a": 1.5, "b": [1, 2, 3], "c": {"d": "x\ny"}, "e": true, "f": null})",
+      &error);
+  ASSERT_TRUE(doc.is_object()) << error;
+  EXPECT_DOUBLE_EQ(doc.Find("a")->number(), 1.5);
+  ASSERT_TRUE(doc.Find("b")->is_array());
+  EXPECT_EQ(doc.Find("b")->items().size(), 3u);
+  EXPECT_EQ(doc.Find("b")->items()[2].integer(), 3);
+  EXPECT_EQ(doc.Find("c")->Find("d")->str(), "x\ny");
+  EXPECT_TRUE(doc.Find("e")->boolean());
+  EXPECT_TRUE(doc.Find("f")->is_null());
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"{", "[1,", "{\"a\" 1}", "tru", "{\"a\":1} extra", "\"unterminated",
+        "{'single': 1}"}) {
+    std::string error;
+    Json doc = Json::Parse(bad, &error);
+    EXPECT_TRUE(doc.is_null()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(Json, RejectsExcessiveNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  std::string error;
+  EXPECT_TRUE(Json::Parse(deep, &error).is_null());
+  EXPECT_NE(error.find("deep"), std::string::npos);
+}
+
+TEST(Json, DumpParseRoundTripsFloat32Exactly) {
+  // 9 significant digits round-trip any float32 through decimal text.
+  support::Rng rng(11);
+  Json array = Json::Array();
+  std::vector<float> values;
+  for (int i = 0; i < 256; ++i) {
+    float v = static_cast<float>(rng.Uniform(-100.0, 100.0));
+    if (i % 7 == 0) v *= 1e-6f;
+    if (i % 11 == 0) v *= 1e6f;
+    values.push_back(v);
+    array.Append(static_cast<double>(v));
+  }
+  Json parsed = Json::Parse(array.Dump());
+  ASSERT_TRUE(parsed.is_array());
+  ASSERT_EQ(parsed.items().size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(static_cast<float>(parsed.items()[i].number()), values[i])
+        << "index " << i;
+  }
+}
+
+TEST(Json, DumpEscapesAndOrdersMembers) {
+  Json doc = Json::Object();
+  doc.Set("b", "quote\" backslash\\ newline\n");
+  doc.Set("a", 3);
+  EXPECT_EQ(doc.Dump(),
+            "{\"b\":\"quote\\\" backslash\\\\ newline\\n\",\"a\":3}")
+      << "insertion order preserved, specials escaped";
+}
+
+// ---- HTTP codec -------------------------------------------------------------
+
+TEST(HttpCodec, ParsesRequestFedByteByByte) {
+  std::string wire =
+      "POST /v1/models/m:predict HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 7\r\n"
+      "\r\n"
+      "{\"x\":1}";
+  HttpCodec codec;
+  HttpRequest request;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    codec.Feed(&wire[i], 1);
+    ASSERT_EQ(codec.Next(&request), HttpCodec::Status::kNeedMore)
+        << "byte " << i;
+  }
+  codec.Feed(&wire[wire.size() - 1], 1);
+  ASSERT_EQ(codec.Next(&request), HttpCodec::Status::kRequest);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/v1/models/m:predict");
+  EXPECT_EQ(request.body, "{\"x\":1}");
+  ASSERT_NE(request.FindHeader("content-type"), nullptr) << "lowercased";
+  EXPECT_EQ(*request.FindHeader("content-type"), "application/json");
+  EXPECT_TRUE(request.keep_alive) << "HTTP/1.1 default";
+}
+
+TEST(HttpCodec, ParsesPipelinedRequestsFromOneFeed) {
+  std::string wire =
+      "GET /stats HTTP/1.1\r\n\r\n"
+      "POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  HttpCodec codec;
+  codec.Feed(wire.data(), wire.size());
+  HttpRequest r1, r2, r3;
+  ASSERT_EQ(codec.Next(&r1), HttpCodec::Status::kRequest);
+  ASSERT_EQ(codec.Next(&r2), HttpCodec::Status::kRequest);
+  ASSERT_EQ(codec.Next(&r3), HttpCodec::Status::kRequest);
+  EXPECT_EQ(r1.target, "/stats");
+  EXPECT_EQ(r2.body, "hi");
+  EXPECT_EQ(r3.target, "/healthz");
+  EXPECT_FALSE(r3.keep_alive) << "Connection: close honored";
+  HttpRequest r4;
+  EXPECT_EQ(codec.Next(&r4), HttpCodec::Status::kNeedMore);
+}
+
+TEST(HttpCodec, RejectsProtocolViolations) {
+  struct Case {
+    const char* wire;
+    int status;
+  };
+  for (const Case& c : {
+           Case{"garbage\r\n\r\n", 400},
+           Case{"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400},
+           Case{"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+       }) {
+    HttpCodec codec;
+    codec.Feed(c.wire, std::strlen(c.wire));
+    HttpRequest request;
+    ASSERT_EQ(codec.Next(&request), HttpCodec::Status::kError) << c.wire;
+    EXPECT_EQ(codec.error_status(), c.status) << c.wire;
+    // Poisoned: stays an error.
+    EXPECT_EQ(codec.Next(&request), HttpCodec::Status::kError);
+  }
+}
+
+TEST(HttpCodec, EnforcesHeaderAndBodyLimits) {
+  HttpCodec::Limits limits;
+  limits.max_header_bytes = 128;
+  limits.max_body_bytes = 64;
+  {
+    HttpCodec codec(limits);
+    std::string wire = "GET / HTTP/1.1\r\nX-Big: " + std::string(256, 'a');
+    codec.Feed(wire.data(), wire.size());
+    HttpRequest request;
+    EXPECT_EQ(codec.Next(&request), HttpCodec::Status::kError);
+    EXPECT_EQ(codec.error_status(), 400);
+  }
+  {
+    HttpCodec codec(limits);
+    std::string wire = "POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+    codec.Feed(wire.data(), wire.size());
+    HttpRequest request;
+    EXPECT_EQ(codec.Next(&request), HttpCodec::Status::kError);
+    EXPECT_EQ(codec.error_status(), 413);
+  }
+}
+
+TEST(HttpCodec, FlagsExpectContinueOnce) {
+  HttpCodec codec;
+  std::string head =
+      "POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 4\r\n\r\n";
+  codec.Feed(head.data(), head.size());
+  HttpRequest request;
+  ASSERT_EQ(codec.Next(&request), HttpCodec::Status::kNeedMore);
+  EXPECT_TRUE(codec.ClaimExpectContinue());
+  EXPECT_FALSE(codec.ClaimExpectContinue()) << "claimed exactly once";
+  codec.Feed("abcd", 4);
+  ASSERT_EQ(codec.Next(&request), HttpCodec::Status::kRequest);
+  EXPECT_EQ(request.body, "abcd");
+}
+
+TEST(HttpCodec, WritesResponsesWithFraming) {
+  std::string response = HttpCodec::WriteResponse(
+      429, "{\"error\":\"queue full\"}", "application/json",
+      /*keep_alive=*/true, {{"Retry-After", "1"}});
+  EXPECT_NE(response.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 22\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\n{\"error\":\"queue full\"}"),
+            std::string::npos);
+}
+
+// ---- loopback end-to-end ----------------------------------------------------
+
+/// Compiled LSTM + expected sequential results + JSON/binary body builders.
+struct HttpFixture {
+  models::LSTMModel model;
+  std::shared_ptr<vm::Executable> exec;
+  std::vector<int64_t> lengths;
+  std::vector<NDArray> inputs;
+  std::vector<NDArray> expected;
+
+  explicit HttpFixture(std::vector<int64_t> request_lengths,
+                       uint64_t seed = 21) {
+    models::LSTMConfig config;
+    config.input_size = 8;
+    config.hidden_size = 16;
+    config.emit_batched = true;
+    model = models::BuildLSTM(config);
+    ir::Module mod = model.module;
+    core::CompileOptions opts;
+    opts.batched_entries = {model.batched_spec};
+    exec = core::Compile(mod, opts).executable;
+
+    support::Rng rng(seed);
+    lengths = std::move(request_lengths);
+    vm::VirtualMachine sequential(exec);
+    for (int64_t len : lengths) {
+      NDArray x = models::RandomSequence(len, config.input_size, rng);
+      inputs.push_back(x);
+      auto out = sequential.Invoke(
+          "main", {MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(len))});
+      expected.push_back(AsTensor(out));
+    }
+  }
+
+  std::string JsonBody(size_t i) const {
+    Json tensor = Json::Object();
+    Json shape = Json::Array();
+    for (int64_t dim : inputs[i].shape()) shape.Append(dim);
+    tensor.Set("shape", std::move(shape));
+    Json data = Json::Array();
+    const float* src = inputs[i].data<float>();
+    for (int64_t j = 0; j < inputs[i].num_elements(); ++j) {
+      data.Append(static_cast<double>(src[j]));
+    }
+    tensor.Set("data", std::move(data));
+    Json scalar = Json::Object();
+    scalar.Set("scalar", lengths[i]);
+    Json inputs_json = Json::Array();
+    inputs_json.Append(std::move(tensor));
+    inputs_json.Append(std::move(scalar));
+    Json body = Json::Object();
+    body.Set("inputs", std::move(inputs_json));
+    body.Set("length", lengths[i]);
+    return body.Dump();
+  }
+
+  /// Asserts a 200 predict response matches the sequential result exactly.
+  void ExpectResponseBitIdentical(
+      const net::BlockingHttpClient::Response& response, size_t i) const {
+    ASSERT_TRUE(response.ok) << response.error;
+    ASSERT_EQ(response.status, 200) << response.body;
+    Json doc = Json::Parse(response.body);
+    ASSERT_TRUE(doc.is_object());
+    const Json* data = doc.Find("data");
+    ASSERT_NE(data, nullptr);
+    ASSERT_EQ(static_cast<int64_t>(data->items().size()),
+              expected[i].num_elements());
+    const float* want = expected[i].data<float>();
+    for (size_t j = 0; j < data->items().size(); ++j) {
+      ASSERT_EQ(static_cast<float>(data->items()[j].number()), want[j])
+          << "request " << i << " flat index " << j;
+    }
+  }
+};
+
+struct RunningServer {
+  serve::Server server;
+  net::HttpServer http;
+
+  RunningServer(const HttpFixture& fixture, serve::ModelConfig model_config,
+                serve::ServeConfig serve_config = MakeServeConfig())
+      : server(serve_config), http(&server, MakeHttpConfig()) {
+    model_config.exec = fixture.exec;
+    server.AddModel("lstm", std::move(model_config));
+    server.Start();
+    http.Start();
+  }
+
+  static serve::ServeConfig MakeServeConfig() {
+    serve::ServeConfig config;
+    config.num_workers = 2;
+    return config;
+  }
+
+  static net::HttpServerConfig MakeHttpConfig() {
+    net::HttpServerConfig config;
+    config.port = 0;  // ephemeral
+    return config;
+  }
+};
+
+TEST(HttpServe, PredictOverLoopbackBitIdenticalToSequential) {
+  HttpFixture fixture({5, 12, 3, 9, 7, 5, 20, 11});
+  serve::ModelConfig model;
+  model.batch.max_batch_size = 4;
+  model.batch.max_wait_micros = 500;
+  model.batch.tensor_batching = true;
+  RunningServer rig(fixture, std::move(model));
+
+  net::BlockingHttpClient client("127.0.0.1", rig.http.port());
+  for (size_t i = 0; i < fixture.lengths.size(); ++i) {
+    auto response =
+        client.Post("/v1/models/lstm:predict", fixture.JsonBody(i));
+    fixture.ExpectResponseBitIdentical(response, i);
+  }
+  rig.http.Stop();
+  rig.server.Drain();
+  EXPECT_EQ(rig.server.stats().completed,
+            static_cast<int64_t>(fixture.lengths.size()));
+  EXPECT_EQ(rig.server.stats().failed, 0);
+}
+
+TEST(HttpServe, ConcurrentKeepAliveClientsAllBitIdentical) {
+  const int kClients = 4;
+  std::vector<int64_t> lengths;
+  for (int i = 0; i < 32; ++i) lengths.push_back(3 + (i * 5) % 17);
+  HttpFixture fixture(lengths);
+  serve::ModelConfig model;
+  model.batch.max_batch_size = 4;
+  model.batch.max_wait_micros = 1000;
+  model.batch.tensor_batching = true;
+  RunningServer rig(fixture, std::move(model));
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      net::BlockingHttpClient client("127.0.0.1", rig.http.port());
+      for (size_t i = static_cast<size_t>(c); i < fixture.lengths.size();
+           i += kClients) {
+        auto response =
+            client.Post("/v1/models/lstm:predict", fixture.JsonBody(i));
+        if (!response.ok || response.status != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        Json doc = Json::Parse(response.body);
+        const Json* data = doc.Find("data");
+        const float* want = fixture.expected[i].data<float>();
+        for (size_t j = 0; j < data->items().size(); ++j) {
+          if (static_cast<float>(data->items()[j].number()) != want[j]) {
+            failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  rig.http.Stop();
+  rig.server.Drain();
+  EXPECT_EQ(rig.server.stats().completed,
+            static_cast<int64_t>(fixture.lengths.size()));
+}
+
+TEST(HttpServe, BinaryBodyRoundTripsBitIdentical) {
+  HttpFixture fixture({6, 4});
+  serve::ModelConfig model;
+  model.batch.max_batch_size = 2;
+  RunningServer rig(fixture, std::move(model));
+
+  net::BlockingHttpClient client("127.0.0.1", rig.http.port());
+  for (size_t i = 0; i < fixture.lengths.size(); ++i) {
+    std::string shape = std::to_string(fixture.inputs[i].shape()[0]) + "," +
+                        std::to_string(fixture.inputs[i].shape()[1]);
+    std::string body(static_cast<const char*>(fixture.inputs[i].raw_data()),
+                     fixture.inputs[i].nbytes());
+    auto response = client.Request(
+        "POST", "/v1/models/lstm:predict", body,
+        {{"Content-Type", "application/octet-stream"},
+         {"Accept", "application/octet-stream"},
+         {"X-Nimble-Shape", shape},
+         {"X-Nimble-Length", std::to_string(fixture.lengths[i])}});
+    ASSERT_TRUE(response.ok) << response.error;
+    ASSERT_EQ(response.status, 200);
+    ASSERT_EQ(response.body.size(), fixture.expected[i].nbytes());
+    EXPECT_EQ(std::memcmp(response.body.data(),
+                          fixture.expected[i].raw_data(),
+                          response.body.size()),
+              0)
+        << "binary response must be the exact float32 bytes";
+    const std::string* shape_header = response.FindHeader("x-nimble-shape");
+    ASSERT_NE(shape_header, nullptr);
+    EXPECT_EQ(*shape_header, "1," + std::to_string(
+                                        fixture.expected[i].shape()[1]));
+  }
+}
+
+TEST(HttpServe, ErrorStatusCodes) {
+  HttpFixture fixture({4});
+  serve::ModelConfig model;
+  RunningServer rig(fixture, std::move(model));
+
+  net::BlockingHttpClient client("127.0.0.1", rig.http.port());
+  EXPECT_EQ(client.Post("/v1/models/nope:predict", "{}").status, 404)
+      << "unknown model";
+  EXPECT_EQ(client.Post("/v1/models/lstm:predict", "not json").status, 400)
+      << "malformed body";
+  EXPECT_EQ(client.Post("/v1/models/lstm:predict",
+                        "{\"inputs\": [{\"shape\": [2, 8], \"data\": [1]}]}")
+                .status,
+            400)
+      << "shape/data mismatch";
+  // Overflow bomb: 2^32 * 2^32 wraps a naive int64 product to 0, which
+  // would "match" an empty data array and build a tensor whose shape lies
+  // about its allocation. Must be a clean 400, for both protocols.
+  EXPECT_EQ(client.Post("/v1/models/lstm:predict",
+                        "{\"inputs\": [{\"shape\": [4294967296, 4294967296], "
+                        "\"data\": []}]}")
+                .status,
+            400)
+      << "shape-product overflow (JSON)";
+  EXPECT_EQ(client
+                .Request("POST", "/v1/models/lstm:predict", "",
+                         {{"Content-Type", "application/octet-stream"},
+                          {"X-Nimble-Shape", "4294967296,4294967296"}})
+                .status,
+            400)
+      << "shape-product overflow (binary)";
+  EXPECT_EQ(client.Get("/v1/models/lstm:predict").status, 405)
+      << "GET predict";
+  EXPECT_EQ(client.Get("/nowhere").status, 404) << "unrouted target";
+  EXPECT_EQ(client.Get("/healthz").status, 200);
+
+  auto models = client.Get("/v1/models");
+  ASSERT_EQ(models.status, 200);
+  Json doc = Json::Parse(models.body);
+  ASSERT_TRUE(doc.Find("models")->is_array());
+  EXPECT_EQ(doc.Find("models")->items()[0].str(), "lstm");
+}
+
+TEST(HttpServe, OverloadShedsWith429NeverHangsNever5xx) {
+  // Deliberately tiny pipeline: 1 worker, 1 pending batch, queue of 2,
+  // batch size 1. A burst from 6 threads must split into 200s and 429s —
+  // no 5xx, no hangs, and every 200 still bit-identical.
+  std::vector<int64_t> lengths;
+  for (int i = 0; i < 36; ++i) lengths.push_back(16);
+  HttpFixture fixture(lengths);
+  serve::ModelConfig model;
+  model.queue_capacity = 2;
+  model.batch.max_batch_size = 1;
+  model.batch.max_wait_micros = 0;
+  serve::ServeConfig serve_config;
+  serve_config.num_workers = 1;
+  serve_config.max_pending_batches = 1;
+  RunningServer rig(fixture, std::move(model), serve_config);
+
+  const int kThreads = 6;
+  std::atomic<int> ok200{0}, shed429{0}, server_error{0}, transport_error{0};
+  std::atomic<int> mismatched{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kThreads; ++c) {
+    clients.emplace_back([&, c] {
+      net::BlockingHttpClient client("127.0.0.1", rig.http.port());
+      for (size_t i = static_cast<size_t>(c); i < fixture.lengths.size();
+           i += kThreads) {
+        auto response =
+            client.Post("/v1/models/lstm:predict", fixture.JsonBody(i));
+        if (!response.ok) {
+          transport_error.fetch_add(1);
+          continue;
+        }
+        if (response.status == 200) {
+          ok200.fetch_add(1);
+          Json doc = Json::Parse(response.body);
+          const Json* data = doc.Find("data");
+          const float* want = fixture.expected[i].data<float>();
+          for (size_t j = 0; j < data->items().size(); ++j) {
+            if (static_cast<float>(data->items()[j].number()) != want[j]) {
+              mismatched.fetch_add(1);
+              break;
+            }
+          }
+        } else if (response.status == 429) {
+          shed429.fetch_add(1);
+          EXPECT_NE(response.FindHeader("retry-after"), nullptr);
+        } else if (response.status >= 500) {
+          server_error.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(server_error.load(), 0) << "overload must shed, not error";
+  EXPECT_EQ(transport_error.load(), 0) << "overload must shed, not hang/drop";
+  EXPECT_EQ(mismatched.load(), 0);
+  EXPECT_GT(shed429.load(), 0) << "a 2-deep queue under 6 threads must shed";
+  EXPECT_GT(ok200.load(), 0);
+  EXPECT_EQ(ok200.load() + shed429.load(),
+            static_cast<int>(fixture.lengths.size()));
+
+  rig.http.Stop();
+  rig.server.Drain();
+  auto snap = rig.server.stats();
+  EXPECT_EQ(snap.completed, ok200.load());
+  EXPECT_EQ(snap.rejected, shed429.load()) << "shed accounting matches wire";
+}
+
+TEST(HttpServe, StatsEndpointReportsPipelineAndHttpCounters) {
+  HttpFixture fixture({5, 9, 7, 3});
+  serve::ModelConfig model;
+  model.batch.max_batch_size = 2;
+  model.batch.max_wait_micros = 500;
+  model.batch.adaptive = true;
+  RunningServer rig(fixture, std::move(model));
+
+  net::BlockingHttpClient client("127.0.0.1", rig.http.port());
+  for (size_t i = 0; i < fixture.lengths.size(); ++i) {
+    ASSERT_EQ(client.Post("/v1/models/lstm:predict", fixture.JsonBody(i))
+                  .status,
+              200);
+  }
+  ASSERT_EQ(client.Post("/v1/models/nope:predict", "{}").status, 404);
+
+  auto stats = client.Get("/stats");
+  ASSERT_EQ(stats.status, 200);
+  Json doc = Json::Parse(stats.body);
+  ASSERT_TRUE(doc.is_object()) << stats.body;
+
+  const Json* lstm = doc.Find("models")->Find("lstm");
+  ASSERT_NE(lstm, nullptr);
+  EXPECT_EQ(lstm->Find("completed")->integer(), 4);
+  EXPECT_GT(lstm->Find("throughput_rps")->number(), 0.0);
+  EXPECT_GT(lstm->Find("p99_latency_us")->number(), 0.0);
+  EXPECT_GE(lstm->Find("mean_queue_wait_us")->number(), 0.0);
+  EXPECT_GT(lstm->Find("mean_exec_us")->number(), 0.0);
+  EXPECT_GT(lstm->Find("adaptive_wait_micros")->integer(), 0)
+      << "adaptive controller gauge surfaces over HTTP";
+  EXPECT_NE(lstm->Find("queue_depth"), nullptr);
+  EXPECT_EQ(lstm->Find("queue_capacity")->integer(), 256);
+  ASSERT_TRUE(lstm->Find("batch_size_hist")->is_object());
+
+  const Json* http = doc.Find("http");
+  ASSERT_NE(http, nullptr);
+  EXPECT_GE(http->Find("by_endpoint")->Find("predict")->integer(), 5);
+  EXPECT_GE(http->Find("by_status")->Find("200")->integer(), 4);
+  EXPECT_GE(http->Find("by_status")->Find("404")->integer(), 1);
+
+  // The latency split accounted over HTTP must add up.
+  auto snap = rig.server.stats("lstm");
+  EXPECT_NEAR(snap.mean_queue_wait_us + snap.mean_exec_us,
+              snap.mean_latency_us, snap.mean_latency_us * 0.01 + 1.0);
+}
+
+TEST(HttpServe, GracefulStopFlushesInFlightAndHealthzGoes503) {
+  HttpFixture fixture({30, 30, 30, 30, 30, 30});
+  serve::ModelConfig model;
+  model.batch.max_batch_size = 2;
+  model.batch.max_wait_micros = 200;
+  RunningServer rig(fixture, std::move(model));
+
+  // Saturate, then stop while responses are in flight.
+  std::atomic<int> completed{0}, errors{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < fixture.lengths.size(); ++c) {
+    clients.emplace_back([&, c] {
+      net::BlockingHttpClient client("127.0.0.1", rig.http.port());
+      auto response =
+          client.Post("/v1/models/lstm:predict", fixture.JsonBody(c));
+      if (response.ok && response.status == 200) {
+        completed.fetch_add(1);
+      } else {
+        errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(completed.load(), static_cast<int>(fixture.lengths.size()));
+  EXPECT_EQ(errors.load(), 0);
+
+  // Drain the pipeline while the front end still answers: health flips to
+  // 503 and new predictions are refused as 503 (draining), not 429.
+  rig.server.Drain();
+  EXPECT_TRUE(rig.server.draining());
+  net::BlockingHttpClient probe("127.0.0.1", rig.http.port());
+  EXPECT_EQ(probe.Get("/healthz").status, 503);
+  EXPECT_EQ(probe.Post("/v1/models/lstm:predict", fixture.JsonBody(0)).status,
+            503);
+
+  rig.http.Stop();
+  EXPECT_EQ(rig.http.open_connections(), 0u);
+
+  // The pipeline accounted every admitted request exactly once.
+  auto snap = rig.server.stats();
+  EXPECT_EQ(snap.completed, static_cast<int64_t>(fixture.lengths.size()));
+  EXPECT_EQ(snap.failed, 0);
+}
+
+}  // namespace
+}  // namespace nimble

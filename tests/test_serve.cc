@@ -1225,6 +1225,355 @@ TEST(ServeStats, PerBucketPaddingAndCacheCounters) {
   EXPECT_EQ(clean.variant_batches, 0);
 }
 
+// ---- RequestQueue under concurrent producers ----------------------------------
+
+TEST(RequestQueue, TryPushDepthSnapshotIsConsistentWithAdmission) {
+  serve::RequestQueue queue(3);
+  size_t depth = 0;
+  for (int64_t i = 0; i < 3; ++i) {
+    auto r = MakeDummyRequest(i);
+    ASSERT_TRUE(queue.TryPush(r, &depth));
+    EXPECT_EQ(depth, static_cast<size_t>(i + 1))
+        << "depth after a successful push counts the pushed item";
+  }
+  auto rejected = MakeDummyRequest(3);
+  EXPECT_FALSE(queue.TryPush(rejected, &depth));
+  EXPECT_EQ(depth, 3u) << "rejection reports the full depth";
+  ASSERT_TRUE(queue.Pop().has_value());
+  auto readmitted = MakeDummyRequest(4);
+  EXPECT_TRUE(queue.TryPush(readmitted, &depth));
+  EXPECT_EQ(depth, 3u);
+  queue.Close();
+  auto after_close = MakeDummyRequest(5);
+  EXPECT_FALSE(queue.TryPush(after_close, &depth));
+}
+
+TEST(RequestQueue, ConcurrentShedAccountingBalances) {
+  // N producers race TryPush against a throttled consumer; whatever the
+  // interleaving, accepted + rejected == attempts and the consumer pops
+  // exactly the accepted ones. This is the accounting the HTTP 429 path
+  // reports to clients, so it must balance under races.
+  const int kProducers = 4;
+  const int kPerProducer = 200;
+  serve::RequestQueue queue(8);
+  std::atomic<int64_t> accepted{0}, rejected{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto r = MakeDummyRequest(p * kPerProducer + i);
+        size_t depth = 0;
+        if (queue.TryPush(r, &depth)) {
+          accepted.fetch_add(1);
+          EXPECT_GE(depth, 1u);
+          EXPECT_LE(depth, 8u) << "depth snapshot never exceeds capacity";
+        } else {
+          rejected.fetch_add(1);
+          EXPECT_EQ(depth, 8u)
+              << "a shed on an open queue means it was observed full";
+        }
+      }
+    });
+  }
+
+  std::atomic<int64_t> popped{0};
+  std::thread consumer([&] {
+    while (auto r = queue.Pop()) {
+      popped.fetch_add(1);
+      // A consumer slower than the producers, so shedding actually occurs.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  for (auto& t : producers) t.join();
+  queue.Close();
+  consumer.join();
+
+  EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped.load(), accepted.load())
+      << "every accepted request is drained, none invented";
+  EXPECT_GT(rejected.load(), 0) << "the throttled consumer must cause sheds";
+}
+
+TEST(RequestQueue, DrainAfterCloseKeepsPerProducerFifoOrder) {
+  // Close() must not reorder or drop items already admitted: after close,
+  // the consumer sees every accepted item, and each producer's accepted
+  // items come out in that producer's submission order.
+  const int kProducers = 4;
+  const int kPerProducer = 100;
+  serve::RequestQueue queue(kProducers * kPerProducer);
+  std::vector<std::vector<int64_t>> accepted_ids(kProducers);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto r = MakeDummyRequest(p * kPerProducer + i);
+        if (queue.TryPush(r)) {
+          accepted_ids[static_cast<size_t>(p)].push_back(p * kPerProducer + i);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+
+  // Everything admitted before Close drains after it, in order.
+  std::vector<std::vector<int64_t>> drained(kProducers);
+  while (auto r = queue.Pop()) {
+    drained[static_cast<size_t>(r->id / kPerProducer)].push_back(r->id);
+  }
+  EXPECT_TRUE(queue.closed());
+  EXPECT_TRUE(queue.empty());
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(drained[static_cast<size_t>(p)],
+              accepted_ids[static_cast<size_t>(p)])
+        << "producer " << p;
+  }
+}
+
+TEST(RequestQueue, EnqueueRacingCloseEitherLandsOrFailsCleanly) {
+  // Producers hammering TryPush while another thread closes the queue:
+  // every push either succeeds (and its item is drained) or fails; no
+  // item is half-admitted or lost.
+  const int kProducers = 4;
+  serve::RequestQueue queue(1024);
+  std::atomic<bool> go{false}, stop{false};
+  std::atomic<int64_t> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!go.load()) {
+      }
+      int64_t i = 0;
+      while (!stop.load()) {
+        auto r = MakeDummyRequest(p * 1000000 + i++);
+        if (queue.TryPush(r)) accepted.fetch_add(1);
+      }
+    });
+  }
+  go.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.Close();
+  stop.store(true);
+  for (auto& t : producers) t.join();
+
+  int64_t drained = 0;
+  while (queue.Pop().has_value()) drained++;
+  EXPECT_EQ(drained, accepted.load());
+}
+
+// ---- adaptive batch policy ----------------------------------------------------
+
+TEST(AdaptiveBatchPolicy, UpdateStepsTowardFillTimeAndClamps) {
+  serve::BatchPolicy policy;
+  policy.max_batch_size = 8;
+  policy.adaptive = true;
+  policy.adaptive_min_wait_micros = 100;
+  policy.adaptive_max_wait_micros = 10000;
+
+  // No arrival signal: unchanged (but clamped into the band).
+  EXPECT_EQ(serve::AdaptiveWaitUpdate(policy, 2000, 0.0), 2000);
+  EXPECT_EQ(serve::AdaptiveWaitUpdate(policy, 50, 0.0), 100);
+  EXPECT_EQ(serve::AdaptiveWaitUpdate(policy, 50000, 0.0), 10000);
+
+  // Fast arrivals (gap 10us): target (8-1)*10 = 70 -> clamped to 100; a
+  // long current wait moves a quarter of the way down per step.
+  int64_t wait = 8000;
+  wait = serve::AdaptiveWaitUpdate(policy, wait, 10.0);
+  EXPECT_EQ(wait, 8000 + (100 - 8000) / 4);
+  for (int i = 0; i < 64; ++i) {
+    wait = serve::AdaptiveWaitUpdate(policy, wait, 10.0);
+  }
+  EXPECT_EQ(wait, 100) << "converges to the floor under heavy traffic";
+
+  // Slow arrivals (gap 100ms): target clamps to the ceiling and the wait
+  // climbs toward it.
+  for (int i = 0; i < 64; ++i) {
+    wait = serve::AdaptiveWaitUpdate(policy, wait, 100000.0);
+  }
+  EXPECT_EQ(wait, 10000) << "converges to the cap under light traffic";
+
+  // Moderate rate (gap 500us): target (8-1)*500 = 3500, inside the band.
+  wait = 3500;
+  EXPECT_EQ(serve::AdaptiveWaitUpdate(policy, wait, 500.0), 3500)
+      << "at target: stable";
+}
+
+TEST(AdaptiveBatchPolicy, ServerTracksArrivalRateAndPublishesGauge) {
+  LSTMFixture fixture(24);
+  serve::ServeConfig config;
+  config.num_workers = 2;
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.exec = fixture.exec;
+  model.batch.max_batch_size = 4;
+  model.batch.max_wait_micros = 2000;
+  model.batch.adaptive = true;
+  model.batch.adaptive_min_wait_micros = 100;
+  model.batch.adaptive_max_wait_micros = 20000;
+  server.AddModel("m", std::move(model));
+  server.Start();
+
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  for (size_t i = 0; i < fixture.lengths.size(); ++i) {
+    futures.push_back(
+        server.Submit("m", fixture.ArgsFor(i), fixture.lengths[i]));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  server.Shutdown();
+
+  auto snap = server.stats("m");
+  EXPECT_EQ(snap.completed, static_cast<int64_t>(fixture.lengths.size()));
+  EXPECT_EQ(snap.arrivals, static_cast<int64_t>(fixture.lengths.size()));
+  EXPECT_GT(snap.mean_interarrival_us, 0.0);
+  EXPECT_GT(snap.arrival_rate_rps, 0.0);
+  EXPECT_GE(snap.adaptive_wait_micros, 100);
+  EXPECT_LE(snap.adaptive_wait_micros, 20000);
+}
+
+// ---- callback completion path and graceful drain ------------------------------
+
+TEST(Serve, CallbackPathDeliversResultsBitIdentical) {
+  LSTMFixture fixture(12);
+  serve::ServeConfig config;
+  config.num_workers = 2;
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.exec = fixture.exec;
+  model.batch.max_batch_size = 4;
+  model.batch.max_wait_micros = 500;
+  server.AddModel("m", std::move(model));
+  server.Start();
+
+  std::mutex mu;
+  std::vector<std::pair<size_t, runtime::ObjectRef>> results;
+  std::atomic<int> errors{0};
+  for (size_t i = 0; i < fixture.lengths.size(); ++i) {
+    auto admit = server.TrySubmitCallback(
+        "m", fixture.ArgsFor(i), fixture.lengths[i],
+        [&, i](runtime::ObjectRef result, std::exception_ptr error) {
+          if (error != nullptr) {
+            errors.fetch_add(1);
+            return;
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          results.emplace_back(i, std::move(result));
+        });
+    ASSERT_EQ(admit.status, serve::Server::AdmitStatus::kAccepted);
+    EXPECT_GE(admit.queue_depth, 1u);
+    EXPECT_EQ(admit.queue_capacity, 256u);
+  }
+  server.Drain();  // all callbacks fired before Drain returns
+
+  EXPECT_EQ(errors.load(), 0);
+  ASSERT_EQ(results.size(), fixture.lengths.size());
+  for (const auto& [i, result] : results) {
+    ExpectBitIdentical(AsTensor(result), fixture.expected[i], i);
+  }
+}
+
+TEST(Serve, TrySubmitCallbackReportsUnknownModelAndDraining) {
+  LSTMFixture fixture(1);
+  serve::ServeConfig config;
+  config.num_workers = 1;
+  serve::Server server(fixture.exec, config);
+
+  auto unknown = server.TrySubmitCallback(
+      "nope", fixture.ArgsFor(0), fixture.lengths[0],
+      [](runtime::ObjectRef, std::exception_ptr) { FAIL(); });
+  EXPECT_EQ(unknown.status, serve::Server::AdmitStatus::kUnknownModel);
+
+  server.Drain();
+  EXPECT_TRUE(server.draining());
+  auto closed = server.TrySubmitCallback(
+      "default", fixture.ArgsFor(0), fixture.lengths[0],
+      [](runtime::ObjectRef, std::exception_ptr) { FAIL(); });
+  EXPECT_EQ(closed.status, serve::Server::AdmitStatus::kClosed);
+}
+
+TEST(Serve, DrainFulfillsEveryQueuedRequestDeterministically) {
+  // Queue a burst and immediately drain: teardown must fulfill every
+  // admitted promise/callback (never drop queued requests), repeatably.
+  for (int round = 0; round < 3; ++round) {
+    LSTMFixture fixture(16, /*hidden_size=*/16, /*seed=*/77 + round);
+    serve::ServeConfig config;
+    config.num_workers = 1;
+    serve::Server server(config);
+    serve::ModelConfig model;
+    model.exec = fixture.exec;
+    model.batch.max_batch_size = 4;
+    model.batch.max_wait_micros = 1000000;  // only Drain can flush partials
+    server.AddModel("m", std::move(model));
+    server.Start();
+
+    std::atomic<int> callbacks{0};
+    std::vector<std::future<runtime::ObjectRef>> futures;
+    for (size_t i = 0; i < fixture.lengths.size(); ++i) {
+      if (i % 2 == 0) {
+        futures.push_back(
+            server.Submit("m", fixture.ArgsFor(i), fixture.lengths[i]));
+      } else {
+        auto admit = server.TrySubmitCallback(
+            "m", fixture.ArgsFor(i), fixture.lengths[i],
+            [&](runtime::ObjectRef, std::exception_ptr) {
+              callbacks.fetch_add(1);
+            });
+        ASSERT_EQ(admit.status, serve::Server::AdmitStatus::kAccepted);
+      }
+    }
+    server.Drain();
+    EXPECT_EQ(callbacks.load(), static_cast<int>(fixture.lengths.size() / 2));
+    for (auto& future : futures) {
+      EXPECT_NO_THROW(future.get()) << "queued futures fulfilled by Drain";
+    }
+    auto snap = server.stats();
+    EXPECT_EQ(snap.completed, static_cast<int64_t>(fixture.lengths.size()));
+    EXPECT_EQ(snap.failed, 0);
+  }
+}
+
+TEST(ServeStats, QueueWaitPlusExecEqualsEndToEndLatency) {
+  serve::ServeStats stats;
+  auto t0 = serve::Clock::now();
+  stats.RecordEnqueue(t0);
+  stats.RecordCompletion(/*latency_us=*/1000.0, /*queue_wait_us=*/700.0,
+                         /*exec_us=*/300.0, /*ok=*/true,
+                         t0 + std::chrono::milliseconds(1));
+  stats.RecordCompletion(2000.0, 1200.0, 800.0, true,
+                         t0 + std::chrono::milliseconds(2));
+  auto snap = stats.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.mean_latency_us, 1500.0);
+  EXPECT_DOUBLE_EQ(snap.mean_queue_wait_us, 950.0);
+  EXPECT_DOUBLE_EQ(snap.mean_exec_us, 550.0);
+  EXPECT_DOUBLE_EQ(snap.max_queue_wait_us, 1200.0);
+  EXPECT_DOUBLE_EQ(snap.mean_queue_wait_us + snap.mean_exec_us,
+                   snap.mean_latency_us);
+
+  stats.Reset();
+  snap = stats.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.mean_queue_wait_us, 0.0);
+  EXPECT_EQ(snap.arrivals, 0);
+}
+
+TEST(ServeStats, ArrivalEwmaTracksGap) {
+  serve::ServeStats stats;
+  auto t = serve::Clock::now();
+  EXPECT_DOUBLE_EQ(stats.MeanInterArrivalMicros(), 0.0) << "no signal yet";
+  stats.RecordEnqueue(t);
+  EXPECT_DOUBLE_EQ(stats.MeanInterArrivalMicros(), 0.0) << "one arrival";
+  for (int i = 1; i <= 50; ++i) {
+    stats.RecordEnqueue(t + std::chrono::microseconds(200) * i);
+  }
+  // Constant 200us spacing: the EWMA settles on exactly that.
+  EXPECT_NEAR(stats.MeanInterArrivalMicros(), 200.0, 1e-6);
+  auto snap = stats.Snapshot();
+  EXPECT_EQ(snap.arrivals, 51);
+  EXPECT_NEAR(snap.arrival_rate_rps, 5000.0, 1e-3);
+}
+
 TEST(Serve, VMResetAllowsRecycling) {
   LSTMFixture fixture(2);
   vm::VirtualMachine machine(fixture.exec);
