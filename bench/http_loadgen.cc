@@ -17,7 +17,16 @@
 //      pending batch) hammered by extra clients — backpressure must be
 //      429s on the wire, never 5xx, hangs, or drops.
 //
-// --json writes BENCH_http.json with all three phases' numbers for CI.
+// --json writes BENCH_http.json with all three phases' numbers for CI,
+// plus two observability artifacts scraped from the live phase-2 server:
+// METRICS.txt (the GET /metrics Prometheus exposition — counters must
+// match the loadgen's own counts, checked by scripts/check_metrics.sh)
+// and TRACE.json (GET /debug/trace chrome-trace export, must be nonempty).
+//
+// --trace-overhead additionally A/B-measures the cost of always-on
+// tracing: alternating closed-loop runs with tracing enabled and disabled
+// (best-of per configuration, so scheduler noise can't masquerade as
+// overhead); CI fails when tracing costs more than 3% of peak req/s.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -298,6 +307,69 @@ HttpResult RunHttpClosedLoop(const Workload& w, uint16_t port, int clients,
   return total;
 }
 
+/// Scrapes one observability endpoint off the live front end into a file.
+/// Returns false (and says why) when the scrape failed or came back empty.
+bool DumpEndpoint(uint16_t port, const std::string& target,
+                  const char* path) {
+  net::BlockingHttpClient client("127.0.0.1", port);
+  auto response = client.Get(target);
+  if (!response.ok || response.status != 200 || response.body.empty()) {
+    std::fprintf(stderr, "scrape of %s failed (status %d)\n", target.c_str(),
+                 response.status);
+    return false;
+  }
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::fwrite(response.body.data(), 1, response.body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes from %s)\n", path, response.body.size(),
+              target.c_str());
+  return true;
+}
+
+/// --trace-overhead: peak closed-loop req/s with tracing on vs off,
+/// alternating short runs and keeping each configuration's best so one
+/// noisy run can't fake (or hide) an overhead.
+struct TraceOverheadResult {
+  double rps_on = 0.0;
+  double rps_off = 0.0;
+  double overhead_pct = 0.0;
+};
+
+TraceOverheadResult MeasureTraceOverhead(const Workload& w, int workers,
+                                         int max_batch, int clients,
+                                         double seconds, bool json_body) {
+  TraceOverheadResult result;
+  constexpr int kRounds = 2;
+  double per_run = seconds / (2 * kRounds);
+  for (int round = 0; round < kRounds; ++round) {
+    for (bool tracing : {true, false}) {
+      serve::ServeConfig config;
+      config.num_workers = workers;
+      config.trace.enabled = tracing;
+      serve::Server server(config);
+      server.AddModel("m", MakeModelConfig(w, 256, max_batch));
+      server.Start();
+      net::HttpServer front(&server);
+      front.Start();
+      HttpResult run = RunHttpClosedLoop(w, front.port(), clients, per_run,
+                                         json_body);
+      front.Stop();
+      server.Drain();
+      double& best = tracing ? result.rps_on : result.rps_off;
+      best = std::max(best, run.rps);
+    }
+  }
+  if (result.rps_off > 0.0) {
+    result.overhead_pct = std::max(
+        0.0, (result.rps_off - result.rps_on) / result.rps_off * 100.0);
+  }
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -307,12 +379,15 @@ int main(int argc, char** argv) {
   double seconds = 3.0;
   bool write_json = false;
   bool json_body = false;
+  bool trace_overhead = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
       write_json = true;
     } else if (arg == "--json-body") {
       json_body = true;
+    } else if (arg == "--trace-overhead") {
+      trace_overhead = true;
     } else if (arg == "--clients" && i + 1 < argc) {
       clients = std::atoi(argv[++i]);
     } else if (arg == "--workers" && i + 1 < argc) {
@@ -359,6 +434,14 @@ int main(int argc, char** argv) {
     net::HttpServer front(&server);
     front.Start();
     http = RunHttpClosedLoop(w, front.port(), clients, seconds, json_body);
+    // Scrape the observability plane off the still-running front end:
+    // every completion was recorded before its response left the worker,
+    // so the counters here must equal the client-side tallies exactly
+    // (scripts/check_metrics.sh holds CI to that).
+    if (write_json) {
+      DumpEndpoint(front.port(), "/metrics", "METRICS.txt");
+      DumpEndpoint(front.port(), "/debug/trace?n=64", "TRACE.json");
+    }
     front.Stop();
     server.Drain();
     auto snap = server.stats();
@@ -418,6 +501,19 @@ int main(int argc, char** argv) {
               overload_clean ? "OK (shed as 429, zero 5xx/drops)"
                              : "FAILED");
 
+  // Optional phase 4: what does always-on tracing cost?
+  TraceOverheadResult overhead;
+  if (trace_overhead) {
+    bench::PrintHeader("trace overhead: alternating tracing on/off, best of "
+                       "2 runs each");
+    overhead = MeasureTraceOverhead(w, workers, kBatch, clients, seconds,
+                                    json_body);
+    std::printf(
+        "tracing on %.1f req/s, off %.1f req/s -> overhead %.2f%% "
+        "(budget 3%%)\n",
+        overhead.rps_on, overhead.rps_off, overhead.overhead_pct);
+  }
+
   bool correct = inproc.correct && http.mismatched == 0 &&
                  http.transport_errors == 0 && http.server_5xx == 0;
   if (write_json) {
@@ -441,8 +537,7 @@ int main(int argc, char** argv) {
         "  \"http_vs_inprocess_ratio\": %.3f,\n"
         "  \"overload\": {\"completed\": %lld, \"rejected_429\": %lld,\n"
         "               \"server_5xx\": %lld, \"transport_errors\": %lld,\n"
-        "               \"clean\": %s}\n"
-        "}\n",
+        "               \"clean\": %s}",
         requests, clients, workers, json_body ? "json" : "binary",
         correct ? "true" : "false", inproc.rps, inproc.p99_us, http.rps,
         http.p50_us, http.p99_us, static_cast<long long>(http.ok200),
@@ -454,6 +549,14 @@ int main(int argc, char** argv) {
         static_cast<long long>(overload.server_5xx),
         static_cast<long long>(overload.transport_errors),
         overload_clean ? "true" : "false");
+    if (trace_overhead) {
+      std::fprintf(
+          f,
+          ",\n  \"trace_overhead\": {\"rps_on\": %.1f, \"rps_off\": %.1f,\n"
+          "                     \"overhead_pct\": %.2f}",
+          overhead.rps_on, overhead.rps_off, overhead.overhead_pct);
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote BENCH_http.json\n");
   }

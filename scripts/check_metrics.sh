@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Holds the observability plane to its contract after an http_loadgen run
+# (bench_http_loadgen ... --json [--trace-overhead] must have run in the
+# current directory first, leaving BENCH_http.json, METRICS.txt, and
+# TRACE.json behind):
+#
+#   - every expected metric family is present in the /metrics exposition;
+#   - the server-side request counters equal the loadgen's own client-side
+#     tallies exactly (completed == 200s, rejected == 429s — the metrics
+#     plane may not lose or invent a single request);
+#   - zero 5xx responses were ever counted;
+#   - the /debug/trace export is valid chrome-trace JSON with at least one
+#     complete trace (6 spans);
+#   - when --trace-overhead ran: tracing costs <= 3% of peak req/s.
+set -eu
+for artifact in BENCH_http.json METRICS.txt TRACE.json; do
+  if [ ! -s "$artifact" ]; then
+    echo "missing or empty artifact: $artifact (run bench_http_loadgen --json first)" >&2
+    exit 1
+  fi
+done
+
+python3 - <<'EOF'
+import json
+import re
+import sys
+
+with open("BENCH_http.json") as f:
+    bench = json.load(f)
+with open("METRICS.txt") as f:
+    metrics = f.read()
+with open("TRACE.json") as f:
+    trace = json.load(f)
+
+failures = []
+
+# Every family the serving pipeline exports must be present.
+families = [
+    "nimble_arrivals_total",
+    "nimble_requests_total",
+    "nimble_http_requests_total",
+    "nimble_http_responses_total",
+    "nimble_e2e_latency_us",
+    "nimble_queue_wait_us",
+    "nimble_exec_us",
+    "nimble_batch_size",
+    "nimble_queue_depth",
+]
+for family in families:
+    if f"# TYPE {family}" not in metrics:
+        failures.append(f"family missing from /metrics: {family}")
+
+def series_value(name, labels):
+    pattern = re.escape(name) + r"\{" + re.escape(labels) + r"\} (\S+)"
+    match = re.search(pattern, metrics)
+    return float(match.group(1)) if match else None
+
+# Server-side counters must equal the loadgen's client-side tallies.
+http = bench["http"]
+completed = series_value("nimble_requests_total",
+                         'model="m",outcome="completed"')
+rejected = series_value("nimble_requests_total",
+                        'model="m",outcome="rejected"')
+if completed != http["completed"]:
+    failures.append(f"completed counter {completed} != loadgen 200s "
+                    f"{http['completed']}")
+if rejected != http["rejected_429"]:
+    failures.append(f"rejected counter {rejected} != loadgen 429s "
+                    f"{http['rejected_429']}")
+predict = series_value("nimble_http_requests_total", 'endpoint="predict"')
+expected_predicts = http["completed"] + http["rejected_429"]
+if predict != expected_predicts:
+    failures.append(f"predict endpoint counter {predict} != "
+                    f"completed+shed {expected_predicts}")
+
+# No 5xx, ever.
+for code_match in re.finditer(
+        r'nimble_http_responses_total\{code="(5\d\d)"\} (\d+)', metrics):
+    if int(code_match.group(2)) != 0:
+        failures.append(f"nonzero {code_match.group(1)} responses: "
+                        f"{code_match.group(2)}")
+
+# The trace export holds at least one complete trace.
+events = trace.get("traceEvents")
+if not isinstance(events, list) or len(events) < 6:
+    failures.append(f"/debug/trace export has {0 if not events else len(events)}"
+                    " events (need >= 6: one full trace)")
+else:
+    names = {event.get("name") for event in events}
+    expected_spans = {"admission", "queue", "pack", "exec", "unpack", "write"}
+    if not expected_spans <= names:
+        failures.append(f"trace spans missing: {expected_spans - names}")
+
+# Always-on tracing must stay under its 3% budget when measured.
+if "trace_overhead" in bench:
+    overhead = bench["trace_overhead"]["overhead_pct"]
+    if overhead > 3.0:
+        failures.append(f"tracing overhead {overhead:.2f}% exceeds the 3% "
+                        "budget")
+    else:
+        print(f"trace overhead {overhead:.2f}% "
+              f"(on {bench['trace_overhead']['rps_on']:.1f} vs off "
+              f"{bench['trace_overhead']['rps_off']:.1f} req/s)")
+
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+
+print(f"metrics plane consistent: {int(completed)} completed, "
+      f"{int(rejected)} shed, zero 5xx, {len(events)} trace events")
+EOF

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/batch/pack_plan.h"
+#include "src/obs/trace.h"
 #include "src/support/logging.h"
 
 namespace nimble {
@@ -14,17 +15,55 @@ namespace {
 /// Invokes the request's asynchronous completion hook, if any. Runs after
 /// the promise is fulfilled, on the worker thread. The hook's contract says
 /// it must not throw; a violation is contained here (logged, swallowed) so
-/// a broken callback cannot take the worker thread down with it.
+/// a broken callback cannot take the worker thread down with it. The
+/// request's trace (stages through unpack stamped) rides along for the
+/// X-Nimble-Trace echo.
 void NotifyComplete(serve::Request& request, runtime::ObjectRef result,
                     std::exception_ptr error) {
   if (!request.on_complete) return;
   try {
-    request.on_complete(std::move(result), std::move(error));
+    request.on_complete(std::move(result), std::move(error), request.trace);
   } catch (const std::exception& e) {
     NIMBLE_LOG(WARNING) << "request on_complete callback threw: " << e.what();
   } catch (...) {
     NIMBLE_LOG(WARNING) << "request on_complete callback threw";
   }
+}
+
+/// Closes the trace (the write span covers serialization inside the
+/// completion hook plus the handoff to the event loop) and commits it.
+/// Must run AFTER NotifyComplete, last thing per request.
+void FinishTrace(obs::Tracer* tracer, serve::Request& request, bool ok) {
+  if (!request.trace.enabled) return;
+  request.trace.ok = ok;
+  request.trace.write_end = obs::SteadyClock::now();
+  if (tracer != nullptr) tracer->Commit(request.trace);
+}
+
+/// VMProfile counters before an invocation, so the per-category times of
+/// exactly this invocation can be folded into a trace's exec span (the
+/// profile accumulates across every Invoke since the worker's last Reset).
+struct ProfileMark {
+  int64_t kernel_nanos = 0;
+  int64_t shape_func_nanos = 0;
+  int64_t total_nanos = 0;
+  int64_t instructions = 0;
+};
+
+ProfileMark MarkProfile(const vm::VirtualMachine& vm) {
+  const vm::VMProfile& p = vm.profile();
+  return ProfileMark{p.kernel_nanos, p.shape_func_nanos, p.total_nanos,
+                     p.instructions};
+}
+
+void FoldProfile(const vm::VirtualMachine& vm, const ProfileMark& before,
+                 obs::TraceContext& trace) {
+  const vm::VMProfile& p = vm.profile();
+  trace.vm.kernel_nanos = p.kernel_nanos - before.kernel_nanos;
+  trace.vm.shape_func_nanos = p.shape_func_nanos - before.shape_func_nanos;
+  trace.vm.other_nanos =
+      (p.total_nanos - before.total_nanos) - trace.vm.kernel_nanos;
+  trace.vm.instructions = p.instructions - before.instructions;
 }
 
 /// The pre-tensor-batching behavior, verbatim: one Invoke per request, each
@@ -35,6 +74,16 @@ void NotifyComplete(serve::Request& request, runtime::ObjectRef result,
 void RunPerRequest(vm::VirtualMachine& vm, serve::Batch& batch,
                    const RequestDoneFn& on_done) {
   for (serve::Request& request : batch.requests) {
+    bool traced = request.trace.enabled;
+    ProfileMark mark;
+    if (traced) {
+      // No pack/unpack on this path: both spans collapse to zero width at
+      // the invocation boundaries.
+      auto now = obs::SteadyClock::now();
+      request.trace.pack_start = now;
+      request.trace.pack_end = now;
+      mark = MarkProfile(vm);
+    }
     bool ok = true;
     runtime::ObjectRef result;
     std::exception_ptr error;
@@ -46,8 +95,15 @@ void RunPerRequest(vm::VirtualMachine& vm, serve::Batch& batch,
       error = std::current_exception();
       request.promise.set_exception(error);
     }
+    if (traced) {
+      auto now = obs::SteadyClock::now();
+      request.trace.exec_end = now;
+      request.trace.unpack_end = now;
+      FoldProfile(vm, mark, request.trace);
+    }
     if (on_done) on_done(request, ok);
     NotifyComplete(request, std::move(result), std::move(error));
+    FinishTrace(batch.tracer, request, ok);
   }
 }
 
@@ -67,13 +123,27 @@ BatchRunResult RunBatch(vm::VirtualMachine& vm, serve::Batch& batch,
       // packs to exactly the variant's baked Lmax.
       PackPlan plan = PackPlan::Build(*check.spec, batch.requests,
                                       batch.exec->variant.specialized_len);
+      // Pack/exec/unpack stamps are shared by every request of the batch
+      // (they ran as one invocation); one clock read per boundary.
+      bool traced = !batch.requests.empty() &&
+                    batch.requests.front().trace.enabled;
+      obs::SteadyClock::time_point pack_start{}, pack_end{}, exec_end{},
+          unpack_end{};
+      ProfileMark mark;
       std::vector<runtime::NDArray> outs;
       bool packed_ok = false;
       try {
+        if (traced) {
+          pack_start = obs::SteadyClock::now();
+          mark = MarkProfile(vm);
+        }
         auto args = plan.PackArgs(batch.requests, vm.allocator());
+        if (traced) pack_end = obs::SteadyClock::now();
         auto batched =
             vm.Invoke(check.spec->batched_function, std::move(args));
+        if (traced) exec_end = obs::SteadyClock::now();
         outs = plan.Unpack(batched, vm.allocator());
+        if (traced) unpack_end = obs::SteadyClock::now();
         NIMBLE_CHECK_EQ(outs.size(), batch.requests.size());
         packed_ok = true;
       } catch (const std::exception& e) {
@@ -84,10 +154,20 @@ BatchRunResult RunBatch(vm::VirtualMachine& vm, serve::Batch& batch,
       }
       if (packed_ok) {
         for (size_t i = 0; i < batch.requests.size(); ++i) {
-          auto result = runtime::MakeTensor(std::move(outs[i]));
-          batch.requests[i].promise.set_value(result);
-          if (on_done) on_done(batch.requests[i], /*ok=*/true);
-          NotifyComplete(batch.requests[i], std::move(result), nullptr);
+          serve::Request& request = batch.requests[i];
+          if (request.trace.enabled) {
+            request.trace.packed = true;
+            request.trace.pack_start = pack_start;
+            request.trace.pack_end = pack_end;
+            request.trace.exec_end = exec_end;
+            request.trace.unpack_end = unpack_end;
+            FoldProfile(vm, mark, request.trace);
+          }
+          auto result_ref = runtime::MakeTensor(std::move(outs[i]));
+          request.promise.set_value(result_ref);
+          if (on_done) on_done(request, /*ok=*/true);
+          NotifyComplete(request, std::move(result_ref), nullptr);
+          FinishTrace(batch.tracer, request, /*ok=*/true);
         }
         result.packed = true;
         result.padded_elements = plan.padded_elements();

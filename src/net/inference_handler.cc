@@ -1,10 +1,13 @@
 #include "src/net/inference_handler.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 #include <vector>
 
+#include "src/obs/export.h"
 #include "src/runtime/ndarray.h"
 #include "src/runtime/object.h"
 #include "src/support/logging.h"
@@ -214,11 +217,14 @@ DecodedBody DecodeBinaryBody(const HttpRequest& request) {
 /// Serializes a finished inference into full response bytes, recording
 /// exactly one status into `stats` (skipped when null — the front end may
 /// already be gone by the time a slow batch completes). Runs on the pool
-/// worker that completed the request.
+/// worker that completed the request. `trace` (nullable) is the request's
+/// trace context for the X-Nimble-Trace echo — stages through unpack; the
+/// write span is this very serialization, still open.
 std::string SerializeResult(const std::string& model,
                             const runtime::ObjectRef& result,
                             std::exception_ptr error, bool binary,
-                            bool keep_alive, HttpStats* stats) {
+                            bool keep_alive, HttpStats* stats,
+                            const obs::TraceContext* trace) {
   int status = 200;
   std::string body;
   std::string content_type = kJsonType;
@@ -280,6 +286,9 @@ std::string SerializeResult(const std::string& model,
                      tensor->dtype().ToString());
   }
 
+  if (trace != nullptr && trace->enabled) {
+    extra_headers.emplace_back("X-Nimble-Trace", obs::TraceHeaderValue(*trace));
+  }
   if (stats != nullptr) stats->RecordResponse(status);
   return HttpCodec::WriteResponse(status, body, content_type, keep_alive,
                                   extra_headers);
@@ -322,28 +331,54 @@ Json SnapshotJson(const serve::StatsSnapshot& snap) {
 
 }  // namespace
 
+HttpStats::HttpStats(std::shared_ptr<obs::MetricRegistry> registry)
+    : registry_(std::move(registry)) {
+  NIMBLE_CHECK(registry_ != nullptr);
+  const std::string kRequestsHelp = "HTTP requests routed, by endpoint.";
+  const std::string kResponsesHelp = "HTTP responses written, by status code.";
+  for (const char* endpoint : {"predict", "stats", "metrics", "trace",
+                               "models", "healthz", "other"}) {
+    by_endpoint_[endpoint] = registry_->GetCounter(
+        "nimble_http_requests_total", {{"endpoint", endpoint}}, kRequestsHelp);
+  }
+  // Every status the codec or handler can emit; anything else (a future
+  // code this table missed) folds into code="other" rather than growing
+  // the label set at runtime.
+  for (int status : {200, 400, 404, 405, 408, 413, 429, 431, 500, 501, 503}) {
+    by_status_[status] =
+        registry_->GetCounter("nimble_http_responses_total",
+                              {{"code", std::to_string(status)}},
+                              kResponsesHelp);
+  }
+  other_endpoint_ = by_endpoint_.at("other");
+  other_status_ = registry_->GetCounter("nimble_http_responses_total",
+                                        {{"code", "other"}}, kResponsesHelp);
+}
+
 void HttpStats::RecordRequest(const std::string& endpoint) {
-  std::lock_guard<std::mutex> lock(mu_);
-  by_endpoint_[endpoint]++;
+  auto it = by_endpoint_.find(endpoint);
+  (it != by_endpoint_.end() ? it->second : other_endpoint_)->Increment();
 }
 
 void HttpStats::RecordResponse(int status) {
-  std::lock_guard<std::mutex> lock(mu_);
-  by_status_[status]++;
+  auto it = by_status_.find(status);
+  (it != by_status_.end() ? it->second : other_status_)->Increment();
 }
 
 Json HttpStats::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
   Json endpoints = Json::Object();
   int64_t total = 0;
-  for (const auto& [endpoint, count] : by_endpoint_) {
-    endpoints.Set(endpoint, count);
+  for (const auto& [endpoint, counter] : by_endpoint_) {
+    int64_t count = counter->Value();
+    if (count != 0) endpoints.Set(endpoint, count);
     total += count;
   }
   Json statuses = Json::Object();
-  for (const auto& [status, count] : by_status_) {
-    statuses.Set(std::to_string(status), count);
+  for (const auto& [status, counter] : by_status_) {
+    int64_t count = counter->Value();
+    if (count != 0) statuses.Set(std::to_string(status), count);
   }
+  if (int64_t other = other_status_->Value()) statuses.Set("other", other);
   Json j = Json::Object();
   j.Set("requests", total);
   j.Set("by_endpoint", std::move(endpoints));
@@ -355,6 +390,7 @@ InferenceHandler::InferenceHandler(serve::Server* server,
                                    std::string server_label)
     : server_(server), label_(std::move(server_label)) {
   NIMBLE_CHECK(server_ != nullptr);
+  http_stats_ = std::make_shared<HttpStats>(server_->metrics_registry());
 }
 
 InferenceHandler::Outcome InferenceHandler::Respond(int status,
@@ -369,6 +405,11 @@ InferenceHandler::Outcome InferenceHandler::Respond(int status,
 }
 
 Json InferenceHandler::StatsJson() const {
+  // One SnapshotAll pass instead of N+1 per-model stats() calls: each
+  // ServeStats mutex is taken exactly once, and the aggregate view comes
+  // from the same sweep as the per-model ones (consistency contract in
+  // src/serve/stats.h).
+  serve::Server::ServerSnapshot snap = server_->SnapshotAll();
   Json doc = Json::Object();
   Json info = Json::Object();
   info.Set("server", label_);
@@ -376,22 +417,47 @@ Json InferenceHandler::StatsJson() const {
   doc.Set("info", std::move(info));
   doc.Set("http", http_stats_->ToJson());
   Json models = Json::Object();
-  for (const std::string& name : server_->model_names()) {
-    Json m = SnapshotJson(server_->stats(name));
-    m.Set("queue_depth", server_->queue_depth(name));
-    m.Set("queue_capacity", server_->queue_capacity(name));
-    models.Set(name, std::move(m));
+  for (const serve::Server::ModelStatsView& view : snap.models) {
+    Json m = SnapshotJson(view.stats);
+    m.Set("queue_depth", static_cast<int64_t>(view.queue_depth));
+    m.Set("queue_capacity", static_cast<int64_t>(view.queue_capacity));
+    models.Set(view.name, std::move(m));
   }
   doc.Set("models", std::move(models));
-  Json aggregate = SnapshotJson(server_->stats());
-  aggregate.Set("queue_depth", server_->queue_depth());
+  Json aggregate = SnapshotJson(snap.aggregate);
+  aggregate.Set("queue_depth", static_cast<int64_t>(snap.queue_depth));
   doc.Set("aggregate", std::move(aggregate));
   return doc;
+}
+
+std::string InferenceHandler::MetricsText() const {
+  // Gauges report state, not events: sample the live queue depths at
+  // scrape time (exact, free for the hot path) before rendering. Gauge
+  // lookup takes the registry mutex, which is fine here — scrapes are cold
+  // — and resolving per scrape also picks up models added after this
+  // handler was built (the front end is constructed before AddModel runs).
+  obs::MetricRegistry& registry = *server_->metrics_registry();
+  for (const std::string& name : server_->model_names()) {
+    registry
+        .GetGauge("nimble_queue_depth", {{"model", name}},
+                  "Requests buffered in the model's admission queue "
+                  "(sampled at scrape time).")
+        ->Set(static_cast<double>(server_->queue_depth(name)));
+  }
+  return registry.RenderPrometheus();
+}
+
+std::string InferenceHandler::TraceJson(size_t n) const {
+  return obs::ChromeTraceJson(server_->tracer()->Recent(n));
 }
 
 InferenceHandler::Outcome InferenceHandler::Predict(
     const HttpRequest& request, const std::string& model,
     std::function<void(std::string)> respond) {
+  // Admission backdate: the trace's admission span starts here, before
+  // body decode, so decode cost shows up in the trace instead of vanishing
+  // between connection read and queue push.
+  auto received = serve::Clock::now();
   http_stats_->RecordRequest("predict");
   if (request.method != "POST") {
     return Respond(405, ErrorJson("predict requires POST"),
@@ -420,22 +486,29 @@ InferenceHandler::Outcome InferenceHandler::Predict(
       accept != nullptr &&
       accept->compare(0, std::strlen(kBinaryType), kBinaryType) == 0;
   bool keep_alive = request.keep_alive;
+  // `X-Nimble-Trace: 1` asks for the request's own stage timings back as a
+  // response header ("0" or absent: no echo).
+  const std::string* trace_header = request.FindHeader("x-nimble-trace");
+  bool echo_trace = trace_header != nullptr && !trace_header->empty() &&
+                    *trace_header != "0";
   // weak_ptr: this callback fires on a pool worker and may outlive the
   // front end (slow batch, drain timeout expired). Then the stats write is
   // dropped; `respond` (HttpServer's lifeline-gated poster) likewise
   // degrades to a no-op rather than touching freed memory.
   std::weak_ptr<HttpStats> weak_stats = http_stats_;
-  auto on_complete = [model, binary_out, keep_alive, weak_stats,
+  auto on_complete = [model, binary_out, keep_alive, echo_trace, weak_stats,
                       respond = std::move(respond)](
-                         runtime::ObjectRef result, std::exception_ptr error) {
+                         runtime::ObjectRef result, std::exception_ptr error,
+                         const obs::TraceContext& trace) {
     std::shared_ptr<HttpStats> stats = weak_stats.lock();
     respond(SerializeResult(model, result, std::move(error), binary_out,
-                            keep_alive, stats.get()));
+                            keep_alive, stats.get(),
+                            echo_trace ? &trace : nullptr));
   };
 
   serve::Server::AdmitResult admit = server_->TrySubmitCallback(
       model, std::move(decoded.args), decoded.length_hint,
-      std::move(on_complete));
+      std::move(on_complete), received);
   switch (admit.status) {
     case serve::Server::AdmitStatus::kAccepted: {
       Outcome outcome;
@@ -471,11 +544,17 @@ InferenceHandler::Outcome InferenceHandler::Predict(
 
 InferenceHandler::Outcome InferenceHandler::Handle(
     const HttpRequest& request, std::function<void(std::string)> respond) {
+  // Split the target into path and query: routing matches the path, and
+  // only /debug/trace reads the query.
+  const std::string& target = request.target;
+  size_t query_at = target.find('?');
+  std::string path = target.substr(0, query_at);  // npos slices the whole
+  std::string query =
+      query_at == std::string::npos ? "" : target.substr(query_at + 1);
   // POST /v1/models/<name>:predict
   constexpr const char* kModelsPrefix = "/v1/models";
-  const std::string& target = request.target;
-  if (target.compare(0, std::strlen(kModelsPrefix), kModelsPrefix) == 0) {
-    std::string rest = target.substr(std::strlen(kModelsPrefix));
+  if (path.compare(0, std::strlen(kModelsPrefix), kModelsPrefix) == 0) {
+    std::string rest = path.substr(std::strlen(kModelsPrefix));
     if (rest.empty() && request.method == "GET") {
       http_stats_->RecordRequest("models");
       Json body = Json::Object();
@@ -496,11 +575,42 @@ InferenceHandler::Outcome InferenceHandler::Handle(
       }
     }
   }
-  if (target == "/stats" && request.method == "GET") {
+  if (path == "/stats" && request.method == "GET") {
     http_stats_->RecordRequest("stats");
     return Respond(200, StatsJson(), request.keep_alive);
   }
-  if (target == "/healthz") {
+  if (path == "/metrics" && request.method == "GET") {
+    http_stats_->RecordRequest("metrics");
+    http_stats_->RecordResponse(200);
+    Outcome outcome;
+    outcome.close_connection = !request.keep_alive;
+    outcome.response = HttpCodec::WriteResponse(
+        200, MetricsText(), "text/plain; version=0.0.4; charset=utf-8",
+        request.keep_alive);
+    return outcome;
+  }
+  if (path == "/debug/trace" && request.method == "GET") {
+    http_stats_->RecordRequest("trace");
+    // ?n=K caps how many records to export; default a screenful, ceiling
+    // well past any ring capacity.
+    size_t n = 64;
+    size_t at = query.find("n=");
+    if (at != std::string::npos && (at == 0 || query[at - 1] == '&')) {
+      const char* start = query.c_str() + at + 2;
+      char* end = nullptr;
+      long long parsed = std::strtoll(start, &end, 10);
+      if (end != start && parsed > 0) {
+        n = static_cast<size_t>(std::min<long long>(parsed, 65536));
+      }
+    }
+    http_stats_->RecordResponse(200);
+    Outcome outcome;
+    outcome.close_connection = !request.keep_alive;
+    outcome.response = HttpCodec::WriteResponse(200, TraceJson(n), kJsonType,
+                                                request.keep_alive);
+    return outcome;
+  }
+  if (path == "/healthz") {
     http_stats_->RecordRequest("healthz");
     Json body = Json::Object();
     bool draining = server_->draining();

@@ -5,9 +5,18 @@
 //   POST /v1/models/<name>:predict   decode body -> TrySubmitCallback;
 //                                    the response completes asynchronously
 //   GET  /stats                      ServeStats + queue depths + HTTP
-//                                    counters as JSON
+//                                    counters as JSON (one consistent
+//                                    Server::SnapshotAll pass)
+//   GET  /metrics                    Prometheus text exposition of the
+//                                    server's obs::MetricRegistry
+//   GET  /debug/trace?n=K            last K completed request traces as
+//                                    chrome://tracing JSON
 //   GET  /v1/models                  registered model names
 //   GET  /healthz                    200 while serving, 503 once draining
+//
+// Tracing echo: a predict request carrying `X-Nimble-Trace: 1` gets its
+// own stage timings back in an X-Nimble-Trace response header (stages
+// through unpack — the write span is still open when the header is built).
 //
 // Backpressure becomes protocol-visible here, mapping AdmitStatus to
 // status codes: a full queue answers 429 with a Retry-After hint (the
@@ -43,6 +52,7 @@
 
 #include "src/net/http_codec.h"
 #include "src/net/json.h"
+#include "src/obs/metrics.h"
 #include "src/serve/server.h"
 
 namespace nimble {
@@ -51,18 +61,30 @@ namespace net {
 /// Per-endpoint and per-status counters for the HTTP front end (the serving
 /// pipeline's own metrics live in serve::ServeStats; these cover what only
 /// the network layer sees: routing, protocol errors, shed requests).
-/// Thread-safe: recorded from the loop thread and pool workers.
+///
+/// Backed by sharded obs::Counter instruments in the server's registry
+/// (families nimble_http_requests_total{endpoint} and
+/// nimble_http_responses_total{code}), so the hot path is a relaxed atomic
+/// add with no mutex, and GET /metrics exports them for free. The
+/// endpoint and status sets are closed (unknowns fold into "other"), so
+/// every counter pointer is resolved once at construction and the lookup
+/// maps are read-only ever after. Thread-safe: recorded from the loop
+/// thread and pool workers.
 class HttpStats {
  public:
+  explicit HttpStats(std::shared_ptr<obs::MetricRegistry> registry);
+
   void RecordRequest(const std::string& endpoint);
   void RecordResponse(int status);
 
   Json ToJson() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, int64_t> by_endpoint_;
-  std::map<int, int64_t> by_status_;
+  std::shared_ptr<obs::MetricRegistry> registry_;  // keeps counters alive
+  std::map<std::string, obs::Counter*> by_endpoint_;
+  std::map<int, obs::Counter*> by_status_;
+  obs::Counter* other_endpoint_ = nullptr;
+  obs::Counter* other_status_ = nullptr;
 };
 
 class InferenceHandler {
@@ -92,7 +114,18 @@ class InferenceHandler {
   const HttpStats& http_stats() const { return *http_stats_; }
 
   /// Builds the /stats JSON document (also used by tests and the loadgen).
+  /// One Server::SnapshotAll() pass: every per-model snapshot plus the
+  /// aggregate come from the same sweep (see the consistency contract in
+  /// src/serve/stats.h).
   Json StatsJson() const;
+
+  /// Prometheus text exposition (the GET /metrics body). Refreshes the
+  /// per-model queue-depth gauges, then renders the server's registry.
+  std::string MetricsText() const;
+
+  /// Chrome-trace JSON of the newest `n` completed request traces (the
+  /// GET /debug/trace body). Load in chrome://tracing or Perfetto.
+  std::string TraceJson(size_t n) const;
 
  private:
   Outcome Respond(int status, const Json& body, bool keep_alive);
@@ -105,7 +138,7 @@ class InferenceHandler {
   /// this handler (a slow batch finishing after the front end is torn
   /// down): they hold a weak_ptr and drop the stats write instead of
   /// touching freed memory.
-  std::shared_ptr<HttpStats> http_stats_ = std::make_shared<HttpStats>();
+  std::shared_ptr<HttpStats> http_stats_;
 };
 
 }  // namespace net

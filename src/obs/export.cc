@@ -1,0 +1,153 @@
+#include "src/obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nimble {
+namespace obs {
+
+namespace {
+
+int64_t ToMicros(SteadyClock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SpanView> TraceSpans(const TraceContext& ctx) {
+  // Clamp each boundary to be no earlier than the previous one, so a stage
+  // that was never stamped (defaulted epoch) collapses to zero width
+  // instead of producing a span that runs backwards.
+  std::vector<SpanView> spans;
+  spans.reserve(6);
+  SteadyClock::time_point cursor = ctx.admit;
+  auto push = [&](const char* name, SteadyClock::time_point end) {
+    if (end < cursor) end = cursor;
+    spans.push_back(SpanView{name, cursor, end});
+    cursor = end;
+  };
+  push("admission", ctx.enqueue);
+  push("queue", ctx.dispatch);
+  push("pack", ctx.pack_end);
+  push("exec", ctx.exec_end);
+  push("unpack", ctx.unpack_end);
+  push("write", ctx.write_end);
+  return spans;
+}
+
+std::string ChromeTraceJson(const std::vector<TraceRecord>& records) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceRecord& record : records) {
+    const TraceContext& ctx = record.ctx;
+    for (const SpanView& span : TraceSpans(ctx)) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"";
+      out += span.name;
+      out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+      out += std::to_string(ctx.id);
+      out += ",\"ts\":";
+      out += std::to_string(ToMicros(span.begin));
+      out += ",\"dur\":";
+      out += std::to_string(span.duration_us());
+      out += ",\"args\":{\"model\":\"";
+      out += EscapeJson(ctx.model);
+      out += "\",\"ok\":";
+      out += ctx.ok ? "true" : "false";
+      if (span.name == std::string("exec")) {
+        out += ",\"packed\":";
+        out += ctx.packed ? "true" : "false";
+        out += ",\"kernel_us\":";
+        out += std::to_string(ctx.vm.kernel_nanos / 1000);
+        out += ",\"shape_func_us\":";
+        out += std::to_string(ctx.vm.shape_func_nanos / 1000);
+        out += ",\"other_us\":";
+        out += std::to_string(ctx.vm.other_nanos / 1000);
+        out += ",\"instructions\":";
+        out += std::to_string(ctx.vm.instructions);
+      }
+      out += "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceHeaderValue(const TraceContext& ctx) {
+  std::string out = "id=" + std::to_string(ctx.id);
+  for (const SpanView& span : TraceSpans(ctx)) {
+    // The write span is still in flight while the header is built; skip it
+    // rather than echo a half-measured number.
+    if (span.name == std::string("write")) continue;
+    out += ";";
+    out += span.name;
+    out += "_us=";
+    out += std::to_string(span.duration_us());
+  }
+  out += ";kernel_us=" + std::to_string(ctx.vm.kernel_nanos / 1000);
+  out += ";shape_func_us=" + std::to_string(ctx.vm.shape_func_nanos / 1000);
+  out += ";other_us=" + std::to_string(ctx.vm.other_nanos / 1000);
+  return out;
+}
+
+std::string TraceSummary(const TraceContext& ctx) {
+  std::string out = "request " + std::to_string(ctx.id) + " model=" +
+                    ctx.model + (ctx.ok ? "" : " FAILED") +
+                    " e2e=" + std::to_string(ctx.e2e_us()) + "us [";
+  bool first = true;
+  for (const SpanView& span : TraceSpans(ctx)) {
+    if (!first) out += " ";
+    first = false;
+    out += span.name;
+    out += "=";
+    out += std::to_string(span.duration_us());
+    out += "us";
+  }
+  out += "]";
+  if (ctx.vm.instructions > 0) {
+    out += " vm{kernel=" + std::to_string(ctx.vm.kernel_nanos / 1000) +
+           "us shape=" + std::to_string(ctx.vm.shape_func_nanos / 1000) +
+           "us other=" + std::to_string(ctx.vm.other_nanos / 1000) +
+           "us insts=" + std::to_string(ctx.vm.instructions) + "}";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace nimble

@@ -1,0 +1,60 @@
+// Trace export: chrome://tracing JSON, response-header echo, log summary.
+//
+// One span taxonomy, three renderings of it:
+//   - ChromeTraceJson: the catapult trace-event format. Load the output of
+//     GET /debug/trace?n=K straight into chrome://tracing or
+//     https://ui.perfetto.dev — each request renders as its own track
+//     (tid = request id) of six complete ("ph":"X") events: admission,
+//     queue, pack, exec, unpack, write; the exec event's args carry the
+//     folded VMProfile categories (kernel/shape/other time).
+//   - TraceHeaderValue: the compact `k=v;...` form echoed in the
+//     X-Nimble-Trace response header (stages known at serialization time —
+//     the write span cannot be in its own header).
+//   - TraceSummary: the human-readable breakdown slow-request WARN logs
+//     print.
+//
+// Kept free of src/net/ dependencies (hand-rolled JSON) so obs stays the
+// bottom layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace nimble {
+namespace obs {
+
+/// One named stage of a trace, derived from consecutive stamps. `begin` and
+/// `end` never invert (clamped); zero-width spans are legal (e.g. pack on
+/// the per-request fallback path).
+struct SpanView {
+  const char* name;
+  SteadyClock::time_point begin{};
+  SteadyClock::time_point end{};
+
+  int64_t duration_us() const {
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(end -
+                                                                    begin)
+                  .count();
+    return us > 0 ? us : 0;
+  }
+};
+
+/// The six pipeline spans of a completed trace, in stage order:
+/// admission, queue, pack, exec, unpack, write.
+std::vector<SpanView> TraceSpans(const TraceContext& ctx);
+
+/// chrome://tracing "traceEvents" JSON document for a set of committed
+/// traces (valid with zero records: an empty traceEvents array).
+std::string ChromeTraceJson(const std::vector<TraceRecord>& records);
+
+/// Compact stage timings for the X-Nimble-Trace response header, e.g.
+/// "id=7;admission_us=12;queue_us=830;pack_us=4;exec_us=1210;kernel_us=...".
+std::string TraceHeaderValue(const TraceContext& ctx);
+
+/// Readable one-line span breakdown for slow-request logging.
+std::string TraceSummary(const TraceContext& ctx);
+
+}  // namespace obs
+}  // namespace nimble

@@ -1,0 +1,276 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace obs {
+
+size_t ThreadShardIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  NIMBLE_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  NIMBLE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must ascend";
+  for (Cell& cell : cells_) {
+    cell.counts =
+        std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      cell.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(double v) {
+  Cell& cell = cells_[ThreadShardIndex()];
+  // First bound >= v; everything above the last bound lands in +Inf.
+  size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+                          bounds_.begin());
+  cell.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  // C++17 has no atomic<double>::fetch_add; the CAS loop below is
+  // effectively free because each thread owns its cell.
+  double sum = cell.sum.load(std::memory_order_relaxed);
+  while (!cell.sum.compare_exchange_weak(sum, sum + v,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Cell& cell : cells_) {
+    total += cell.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<int64_t> Histogram::CumulativeBuckets() const {
+  std::vector<int64_t> merged(bounds_.size() + 1, 0);
+  for (const Cell& cell : cells_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      merged[i] += cell.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  for (size_t i = 1; i < merged.size(); ++i) merged[i] += merged[i - 1];
+  return merged;
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 size_t count) {
+  NIMBLE_CHECK(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::LatencyBoundsUs() {
+  return ExponentialBounds(1.0, 2.0, 27);  // 1us .. ~67s
+}
+
+std::vector<double> Histogram::BatchSizeBounds() {
+  return ExponentialBounds(1.0, 2.0, 7);  // 1 .. 64
+}
+
+std::string MetricRegistry::EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Canonical `{k="v",...}` label block (keys sorted, values escaped);
+/// empty labels render as the empty string.
+std::string RenderLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sorted[i].first;
+    out += "=\"";
+    out += MetricRegistry::EscapeLabelValue(sorted[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Inserts `extra` (e.g. `le="4"`) into a rendered label block.
+std::string WithExtraLabel(const std::string& rendered,
+                           const std::string& extra) {
+  if (rendered.empty()) return "{" + extra + "}";
+  std::string out = rendered;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+/// Prometheus value formatting: integers print exactly, everything else
+/// with enough digits to round-trip.
+std::string FormatValue(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+MetricRegistry::Family& MetricRegistry::FindFamily(const std::string& name,
+                                                   Kind kind,
+                                                   const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.kind = kind;
+    family.help = help;
+  } else {
+    NIMBLE_CHECK(family.kind == kind)
+        << "metric family '" << name << "' registered with two kinds";
+    if (family.help.empty()) family.help = help;
+  }
+  return family;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const LabelSet& labels,
+                                    const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FindFamily(name, Kind::kCounter, help);
+  Series& series = family.series[RenderLabels(labels)];
+  if (series.counter == nullptr) series.counter = std::make_unique<Counter>();
+  return series.counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const LabelSet& labels,
+                                const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FindFamily(name, Kind::kGauge, help);
+  Series& series = family.series[RenderLabels(labels)];
+  if (series.gauge == nullptr) series.gauge = std::make_unique<Gauge>();
+  return series.gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const LabelSet& labels,
+                                        std::vector<double> bounds,
+                                        const std::string& help) {
+  for (const auto& [key, value] : labels) {
+    NIMBLE_CHECK(key != "le") << "'le' is reserved for histogram buckets";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FindFamily(name, Kind::kHistogram, help);
+  if (family.bounds.empty()) {
+    family.bounds = bounds;
+  } else {
+    NIMBLE_CHECK(family.bounds == bounds)
+        << "metric family '" << name << "' registered with two bucket layouts";
+  }
+  Series& series = family.series[RenderLabels(labels)];
+  if (series.histogram == nullptr) {
+    series.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return series.histogram.get();
+}
+
+std::string MetricRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "counter\n";
+        break;
+      case Kind::kGauge:
+        out += "gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& [labels, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += name + labels + " " +
+                 std::to_string(series.counter->Value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += name + labels + " " + FormatValue(series.gauge->Value()) +
+                 "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          std::vector<int64_t> buckets = h.CumulativeBuckets();
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            out += name + "_bucket" +
+                   WithExtraLabel(labels,
+                                  "le=\"" + FormatValue(h.bounds()[i]) +
+                                      "\"") +
+                   " " + std::to_string(buckets[i]) + "\n";
+          }
+          out += name + "_bucket" + WithExtraLabel(labels, "le=\"+Inf\"") +
+                 " " + std::to_string(buckets.back()) + "\n";
+          out += name + "_sum" + labels + " " + FormatValue(h.Sum()) + "\n";
+          // _count from the same merge as the +Inf bucket would need a
+          // single pass; rendering the +Inf value keeps the exposition
+          // self-consistent (count == cumulative +Inf) under concurrent
+          // recording.
+          out += name + "_count" + labels + " " +
+                 std::to_string(buckets.back()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace nimble

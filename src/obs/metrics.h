@@ -1,0 +1,176 @@
+// Low-overhead metrics plane: sharded counters, gauges, and log-bucketed
+// histograms behind a Prometheus-rendering registry.
+//
+// The serving hot path (admission, scheduler, pool workers) records into
+// instruments that shard their state across cache-line-padded per-thread
+// cells: an increment is one relaxed atomic add on the calling thread's
+// cell, so recording never takes a mutex and concurrent recorders never
+// bounce a shared cache line (the ROADMAP's "shard counters per worker
+// with merge-on-read" item). Reads — the /metrics scrape — merge the cells
+// on demand; they are monotone but may miss increments that land while the
+// merge is in flight, which is exactly the consistency Prometheus expects
+// of a scrape.
+//
+// Layering: obs sits below serve/ and net/ (it depends only on support/),
+// so every subsystem can record without cycles. A MetricRegistry owns its
+// instruments; Get* returns a stable pointer that lives as long as the
+// registry, and returns the SAME instrument for the same (name, labels)
+// pair — callers cache the pointer at setup time and record through it
+// lock-free ever after. Registration takes the registry mutex and is meant
+// for startup, not the hot path.
+//
+// Naming scheme (rendered at GET /metrics): families are prefixed
+// `nimble_`, counters end in `_total`, and latency histograms carry a
+// `_us` unit suffix because their buckets are exact powers of two in
+// microseconds (log2 buckets make the exposition's `le` labels integers
+// and the merge trivially exact). See docs/ARCHITECTURE.md §Observability.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nimble {
+namespace obs {
+
+/// Number of per-thread cells each instrument shards across. Threads are
+/// assigned cells round-robin at first use; more threads than cells simply
+/// share (the atomics stay correct, only the anti-contention property
+/// degrades gracefully).
+constexpr size_t kMetricShards = 16;
+
+/// Stable per-thread shard index in [0, kMetricShards).
+size_t ThreadShardIndex();
+
+/// Monotone counter. Increment is one relaxed fetch_add on the calling
+/// thread's cell; Value() merges all cells (monotone snapshot).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    cells_[ThreadShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<int64_t> v{0};
+  };
+  std::array<Cell, kMetricShards> cells_{};
+};
+
+/// Last-writer-wins gauge (queue depth, adaptive wait). Not sharded: gauges
+/// are set, not accumulated, and the writers are cold paths.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with sharded cells. Observe() is a relaxed add
+/// into the calling thread's cell (bucket count, total count, sum); reads
+/// merge on demand. Bucket upper bounds are fixed at construction and
+/// shared by every cell; the merged per-bucket counts render as the
+/// cumulative `le` series Prometheus expects.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t Count() const;
+  double Sum() const;
+  /// Merged per-bucket counts, cumulative, size bounds().size() + 1 (the
+  /// last entry is the +Inf bucket and equals Count() up to concurrent
+  /// recording skew — render reads count from the same merge, so the
+  /// exposition itself is always internally consistent).
+  std::vector<int64_t> CumulativeBuckets() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// `count` bounds start, start*factor, start*factor^2, ... — the log
+  /// bucket layout every latency histogram here uses (start=1, factor=2).
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               size_t count);
+  /// Default latency layout: 1us..~67s in 27 power-of-two buckets.
+  static std::vector<double> LatencyBoundsUs();
+  /// Batch-occupancy layout: 1..64 in power-of-two buckets.
+  static std::vector<double> BatchSizeBounds();
+
+ private:
+  struct alignas(64) Cell {
+    /// One count per bound plus the +Inf overflow bucket.
+    std::unique_ptr<std::atomic<int64_t>[]> counts;
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::array<Cell, kMetricShards> cells_;
+};
+
+/// Label set of one series, e.g. {{"model", "lstm"}}. Keys are sorted at
+/// registration so label order never splits a series.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+class MetricRegistry {
+ public:
+  /// Returns the counter registered under (name, labels), creating it on
+  /// first use. The pointer is stable for the registry's lifetime. `help`
+  /// is kept from the first registration of the family. Thread-safe (takes
+  /// the registry mutex — cache the pointer, don't call per event).
+  Counter* GetCounter(const std::string& name, const LabelSet& labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const LabelSet& labels = {},
+                  const std::string& help = "");
+  /// `bounds` must match the family's on every call (checked).
+  Histogram* GetHistogram(const std::string& name, const LabelSet& labels,
+                          std::vector<double> bounds,
+                          const std::string& help = "");
+
+  /// Prometheus text exposition (version 0.0.4) of every registered
+  /// instrument: # HELP / # TYPE per family, merged values per series,
+  /// cumulative `le` buckets plus _sum/_count for histograms.
+  std::string RenderPrometheus() const;
+
+  /// Escapes `\`, `"`, and newline for use inside a quoted label value.
+  static std::string EscapeLabelValue(const std::string& value);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::vector<double> bounds;  // histograms only
+    /// Keyed by the rendered `{k="v",...}` label block (canonical: keys
+    /// sorted), which doubles as the exposition output.
+    std::map<std::string, Series> series;
+  };
+
+  Family& FindFamily(const std::string& name, Kind kind,
+                     const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace obs
+}  // namespace nimble

@@ -1,0 +1,76 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace obs {
+
+Tracer::Tracer(TraceConfig config) : config_(config) {
+  NIMBLE_CHECK(config_.ring_capacity > 0) << "trace ring needs capacity";
+  per_shard_capacity_ = std::max<size_t>(1, config_.ring_capacity / kShards);
+  for (Shard& shard : shards_) {
+    shard.ring.resize(per_shard_capacity_);
+  }
+}
+
+bool Tracer::ShouldLogSlow(int64_t e2e_us, SteadyClock::time_point now) {
+  if (config_.slow_request_us <= 0 || e2e_us < config_.slow_request_us) {
+    return false;
+  }
+  int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       now.time_since_epoch())
+                       .count();
+  int64_t interval_ns = config_.slow_log_interval_ms * 1000000;
+  int64_t last = last_slow_log_ns_.load(std::memory_order_relaxed);
+  // CAS so concurrent slow completions elect exactly one logger per
+  // interval; losers drop their log, which is the point of the limiter.
+  while (last == 0 || now_ns - last >= interval_ns) {
+    if (last_slow_log_ns_.compare_exchange_weak(last, now_ns,
+                                                std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Tracer::Commit(const TraceContext& ctx) {
+  if (!config_.enabled) return;
+  uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Shard& shard = shards_[ThreadShardIndex() % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    TraceRecord& slot = shard.ring[shard.next];
+    slot.seq = seq;
+    slot.ctx = ctx;
+    shard.next = (shard.next + 1) % shard.ring.size();
+  }
+  if (ShouldLogSlow(ctx.e2e_us(), ctx.write_end)) {
+    NIMBLE_LOG(WARNING) << "slow request: " << TraceSummary(ctx);
+  }
+}
+
+std::vector<TraceRecord> Tracer::Recent(size_t n) const {
+  std::vector<TraceRecord> all;
+  all.reserve(kShards * per_shard_capacity_);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const TraceRecord& record : shard.ring) {
+      if (record.seq > 0) all.push_back(record);
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.seq < b.seq;
+            });
+  if (all.size() > n) {
+    all.erase(all.begin(), all.end() - static_cast<ptrdiff_t>(n));
+  }
+  return all;
+}
+
+}  // namespace obs
+}  // namespace nimble

@@ -148,6 +148,7 @@ int64_t BatchScheduler::Flush(PerModel& m, int bucket) {
   batch.exec = m.state->exec;
   batch.stats = &m.state->stats;
   batch.tensor_batching = m.state->policy.tensor_batching;
+  batch.tracer = m.state->tracer;
   size_t cap = static_cast<size_t>(m.state->policy.max_batch_size);
   ExecCache* cache = m.state->cache.get();
 
@@ -212,6 +213,17 @@ int64_t BatchScheduler::Flush(PerModel& m, int bucket) {
       auto variant =
           cache->Lookup(length, static_cast<int64_t>(batch.requests.size()));
       if (variant != nullptr) batch.exec = std::move(variant);
+    }
+  }
+
+  // Scheduler-dispatch stamp: splits each trace's queue span into
+  // admission-queue time (enqueue -> sched) and pool-queue time (sched ->
+  // worker pickup) for anyone reading raw records; one clock read covers
+  // the whole batch.
+  if (batch.tracer != nullptr && batch.tracer->enabled()) {
+    auto now = Clock::now();
+    for (Request& request : batch.requests) {
+      if (request.trace.enabled) request.trace.sched = now;
     }
   }
 

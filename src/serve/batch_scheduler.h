@@ -126,6 +126,9 @@ struct ModelState {
   std::shared_ptr<ExecCache> cache;
   std::unique_ptr<RequestQueue> queue;
   ServeStats stats;
+  /// Trace sink for this model's requests (stamped onto every dispatched
+  /// Batch); null when the owning server has no tracer (standalone tests).
+  obs::Tracer* tracer = nullptr;
 };
 
 class BatchScheduler {

@@ -24,10 +24,15 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/runtime/object.h"
 #include "src/vm/executable.h"
 
 namespace nimble {
+namespace obs {
+class Tracer;  // src/obs/trace.h
+}
+
 namespace serve {
 
 class ServeStats;  // src/serve/stats.h (which includes this header)
@@ -39,9 +44,12 @@ using Clock = std::chrono::steady_clock;
 /// request's promise has been fulfilled, exactly once per request. Must not
 /// block (workers never wait on downstream consumers — the HTTP handler,
 /// for example, just posts the response to its event loop) and must not
-/// throw.
+/// throw. `trace` is the request's span record with every stage up to
+/// unpack stamped (the write span is still open — the callback IS the
+/// write); it is only valid for the duration of the call.
 using CompletionFn =
-    std::function<void(runtime::ObjectRef result, std::exception_ptr error)>;
+    std::function<void(runtime::ObjectRef result, std::exception_ptr error,
+                       const obs::TraceContext& trace)>;
 
 struct Request {
   int64_t id = -1;
@@ -61,6 +69,11 @@ struct Request {
   /// Optional asynchronous completion hook (see CompletionFn). Null for the
   /// plain future path.
   CompletionFn on_complete;
+  /// Per-stage span record (src/obs/trace.h), stamped as the request moves
+  /// down the pipeline and committed to the server's Tracer after the
+  /// completion hook returns. Dormant (no stamps, no commit) when tracing
+  /// is disabled.
+  obs::TraceContext trace;
 };
 
 /// A group of similar-length requests for one model, dispatched to one pool
@@ -82,6 +95,9 @@ struct Batch {
   /// as one packed tensor invocation (src/batch/) when the executable
   /// supports it; the worker falls back to the per-request loop otherwise.
   bool tensor_batching = false;
+  /// Trace sink completed requests commit their spans to; may be null
+  /// (standalone pool use, tracing disabled).
+  obs::Tracer* tracer = nullptr;
   std::vector<Request> requests;
 };
 

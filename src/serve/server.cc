@@ -7,7 +7,73 @@ namespace serve {
 
 Server::Server(ServeConfig config) : config_(std::move(config)) {
   NIMBLE_CHECK_GE(config_.num_workers, 1);
+  metrics_ = config_.metrics != nullptr
+                 ? config_.metrics
+                 : std::make_shared<obs::MetricRegistry>();
+  tracer_ = std::make_shared<obs::Tracer>(config_.trace);
 }
+
+namespace {
+
+/// Builds the per-model metrics-plane instruments ServeStats mirrors its
+/// hot counters into (one series per model via the {model=...} label; the
+/// metric naming scheme is documented in docs/ARCHITECTURE.md).
+StatsMetricBindings MakeModelBindings(obs::MetricRegistry& registry,
+                                      const std::string& model) {
+  obs::LabelSet m = {{"model", model}};
+  auto outcome = [&](const char* outcome) {
+    return obs::LabelSet{{"model", model}, {"outcome", outcome}};
+  };
+  auto cache_event = [&](const char* event) {
+    return obs::LabelSet{{"model", model}, {"event", event}};
+  };
+  StatsMetricBindings b;
+  b.arrivals = registry.GetCounter("nimble_arrivals_total", m,
+                                   "Requests admitted into the queue");
+  const char* req_help = "Finished requests by outcome";
+  b.completed =
+      registry.GetCounter("nimble_requests_total", outcome("completed"),
+                          req_help);
+  b.failed = registry.GetCounter("nimble_requests_total", outcome("failed"),
+                                 req_help);
+  b.rejected = registry.GetCounter("nimble_requests_total",
+                                   outcome("rejected"), req_help);
+  b.packed_batches =
+      registry.GetCounter("nimble_packed_batches_total", m,
+                          "Batches run as one packed tensor invocation");
+  b.padded_elements = registry.GetCounter(
+      "nimble_padded_elements_total", m,
+      "Zero-padding elements in packed batch inputs (padding waste)");
+  b.packed_total_elements = registry.GetCounter(
+      "nimble_packed_elements_total", m, "Total packed batch input elements");
+  const char* cache_help = "Shape-bucket executable cache events";
+  b.cache_hits = registry.GetCounter("nimble_exec_cache_events_total",
+                                     cache_event("hit"), cache_help);
+  b.cache_misses = registry.GetCounter("nimble_exec_cache_events_total",
+                                       cache_event("miss"), cache_help);
+  b.cache_evictions = registry.GetCounter("nimble_exec_cache_events_total",
+                                          cache_event("evict"), cache_help);
+  b.variant_compiles = registry.GetCounter("nimble_exec_cache_events_total",
+                                           cache_event("compile"), cache_help);
+  b.adaptive_wait_us = registry.GetGauge(
+      "nimble_adaptive_wait_us", m,
+      "Effective adaptive max-wait applied by the scheduler");
+  b.e2e_latency_us = registry.GetHistogram(
+      "nimble_e2e_latency_us", m, obs::Histogram::LatencyBoundsUs(),
+      "End-to-end request latency (admission to result), microseconds");
+  b.queue_wait_us = registry.GetHistogram(
+      "nimble_queue_wait_us", m, obs::Histogram::LatencyBoundsUs(),
+      "Queue-wait half of the latency split, microseconds");
+  b.exec_us = registry.GetHistogram(
+      "nimble_exec_us", m, obs::Histogram::LatencyBoundsUs(),
+      "Execution half of the latency split, microseconds");
+  b.batch_size = registry.GetHistogram(
+      "nimble_batch_size", m, obs::Histogram::BatchSizeBounds(),
+      "Requests per dispatched batch (occupancy)");
+  return b;
+}
+
+}  // namespace
 
 Server::Server(std::shared_ptr<vm::Executable> exec, ServeConfig config)
     : Server(std::move(config)) {
@@ -52,6 +118,12 @@ void Server::AddModel(const std::string& name, ModelConfig model) {
     state->cache->set_stats(&state->stats, &stats_);
   }
   state->queue = std::make_unique<RequestQueue>(model.queue_capacity);
+  // Metrics-plane mirror: per-model sharded instruments, bound before any
+  // recording can start (see StatsMetricBindings). Only the per-model
+  // stats bind — binding the aggregate too would double-count every event
+  // in the exposition.
+  state->stats.BindMetrics(MakeModelBindings(*metrics_, name));
+  state->tracer = tracer_.get();
   model_index_[name] = state->index;
   models_.push_back(std::move(state));
 }
@@ -89,6 +161,13 @@ Request Server::MakeRequest(const ModelState& model,
   // end-to-end and includes any time the client spent blocked on
   // backpressure.
   request.enqueue_time = Clock::now();
+  if (tracer_->enabled()) {
+    request.trace.enabled = true;
+    request.trace.id = request.id;
+    request.trace.model = model.name;
+    request.trace.admit = request.enqueue_time;
+    request.trace.enqueue = request.enqueue_time;
+  }
   *future = request.promise.get_future();
   return request;
 }
@@ -128,7 +207,8 @@ std::optional<std::future<runtime::ObjectRef>> Server::TrySubmit(
 
 Server::AdmitResult Server::TrySubmitCallback(
     const std::string& model, std::vector<runtime::ObjectRef> args,
-    int64_t length_hint, CompletionFn on_complete) {
+    int64_t length_hint, CompletionFn on_complete,
+    Clock::time_point received) {
   AdmitResult result;
   if (!started_.load() || shutdown_.load()) {
     result.status = AdmitStatus::kClosed;
@@ -144,6 +224,9 @@ Server::AdmitResult Server::TrySubmitCallback(
   std::future<runtime::ObjectRef> future;  // discarded: callback path
   Request request = MakeRequest(state, std::move(args), length_hint, &future);
   request.on_complete = std::move(on_complete);
+  if (request.trace.enabled && received != Clock::time_point{}) {
+    request.trace.admit = received;  // admission span starts at decode
+  }
   auto enqueue_time = request.enqueue_time;
   if (!state.queue->TryPush(request, &result.queue_depth)) {
     // A queue closed mid-flight (Drain racing this admission) also lands
@@ -187,6 +270,25 @@ bool Server::HasModel(const std::string& model) const {
 
 StatsSnapshot Server::stats(const std::string& model) const {
   return Find(model).stats.Snapshot();
+}
+
+Server::ServerSnapshot Server::SnapshotAll() const {
+  // One pass, each ServeStats mutex taken exactly once (no per-name Find
+  // lookups, no second aggregate lock); see the consistency contract in
+  // stats.h for what this does and does not guarantee.
+  ServerSnapshot all;
+  all.models.reserve(models_.size());
+  for (const auto& model : models_) {
+    ModelStatsView view;
+    view.name = model->name;
+    view.stats = model->stats.Snapshot();
+    view.queue_depth = model->queue->size();
+    view.queue_capacity = model->queue->capacity();
+    all.queue_depth += view.queue_depth;
+    all.models.push_back(std::move(view));
+  }
+  all.aggregate = stats_.Snapshot();
+  return all;
 }
 
 size_t Server::queue_depth() const {

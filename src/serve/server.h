@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/batch_scheduler.h"
 #include "src/serve/request_queue.h"
 #include "src/serve/stats.h"
@@ -73,6 +75,14 @@ struct ServeConfig {
   /// backpressure honest: when workers fall behind, the scheduler blocks,
   /// the per-model queues fill, and admission starts shedding.
   size_t max_pending_batches = 0;
+  /// Request-tracing configuration (src/obs/trace.h). Tracing is on by
+  /// default: per-request span stamping is a handful of steady_clock reads,
+  /// bounded by the --trace-overhead CI gate at <= 3% of peak req/s.
+  obs::TraceConfig trace;
+  /// Metrics registry the server exports through (sharded counters,
+  /// GET /metrics). Null: the server creates its own. Inject a shared one
+  /// to aggregate several servers into a single exposition.
+  std::shared_ptr<obs::MetricRegistry> metrics;
 
   // ---- single-model conveniences, used by the legacy constructor -------
   /// Admission queue capacity for the implicitly registered model.
@@ -144,10 +154,13 @@ class Server {
   /// contract — in particular it must not block or throw). Unknown models
   /// and a draining server are reported in the result, not thrown: this is
   /// the hot path of the HTTP front end, where those outcomes are ordinary
-  /// responses (404/503), not programming errors. Thread-safe.
+  /// responses (404/503), not programming errors. `received` backdates the
+  /// trace's admission span to when the caller first saw the request (body
+  /// decode start); default stamps it at submission. Thread-safe.
   AdmitResult TrySubmitCallback(const std::string& model,
                                 std::vector<runtime::ObjectRef> args,
-                                int64_t length_hint, CompletionFn on_complete);
+                                int64_t length_hint, CompletionFn on_complete,
+                                Clock::time_point received = {});
 
   /// Single-model conveniences: route to the first registered model.
   std::future<runtime::ObjectRef> Submit(std::vector<runtime::ObjectRef> args,
@@ -182,6 +195,34 @@ class Server {
   /// Stats for one model. Throws for an unknown name. Thread-safe.
   StatsSnapshot stats(const std::string& model) const;
 
+  /// One consistent scrape of the whole server: every model's snapshot,
+  /// queue depth, and capacity, plus the aggregate — each ServeStats mutex
+  /// taken exactly once per call (see the consistency contract in
+  /// stats.h). This is what GET /stats serializes; prefer it over per-model
+  /// stats() calls when reading more than one view.
+  struct ModelStatsView {
+    std::string name;
+    StatsSnapshot stats;
+    size_t queue_depth = 0;
+    size_t queue_capacity = 0;
+  };
+  struct ServerSnapshot {
+    StatsSnapshot aggregate;
+    std::vector<ModelStatsView> models;
+    /// Sum of the per-model depths above (same pass, so it always equals
+    /// their total — unlike a separate queue_depth() call).
+    size_t queue_depth = 0;
+  };
+  ServerSnapshot SnapshotAll() const;
+
+  /// The metrics registry this server records into (never null); the HTTP
+  /// front end renders it at GET /metrics. Thread-safe.
+  const std::shared_ptr<obs::MetricRegistry>& metrics_registry() const {
+    return metrics_;
+  }
+  /// The request tracer (never null); serves GET /debug/trace. Thread-safe.
+  const std::shared_ptr<obs::Tracer>& tracer() const { return tracer_; }
+
   /// Total requests currently buffered in admission queues (all models).
   size_t queue_depth() const;
   /// Requests buffered for one model. Throws for an unknown name.
@@ -197,6 +238,8 @@ class Server {
                       std::future<runtime::ObjectRef>* future);
 
   ServeConfig config_;
+  std::shared_ptr<obs::MetricRegistry> metrics_;  // never null
+  std::shared_ptr<obs::Tracer> tracer_;           // never null
   ServeStats stats_;  // aggregate across models
   /// unique_ptr for stable addresses: the scheduler and in-flight batches
   /// hold ModelState pointers. Registration order defines model indices.

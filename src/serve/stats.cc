@@ -40,6 +40,7 @@ std::string StatsSnapshot::ToString() const {
 }
 
 void ServeStats::RecordEnqueue(Clock::time_point when) {
+  if (metrics_.arrivals != nullptr) metrics_.arrivals->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   if (!started_) {
     started_ = true;
@@ -64,11 +65,15 @@ double ServeStats::MeanInterArrivalMicros() const {
 }
 
 void ServeStats::RecordAdaptiveWait(int64_t wait_micros) {
+  if (metrics_.adaptive_wait_us != nullptr) {
+    metrics_.adaptive_wait_us->Set(static_cast<double>(wait_micros));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   adaptive_wait_micros_ = wait_micros;
 }
 
 void ServeStats::RecordRejected() {
+  if (metrics_.rejected != nullptr) metrics_.rejected->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   rejected_++;
 }
@@ -91,6 +96,9 @@ size_t ServeStats::BatchHistBucket(size_t size) {
 }
 
 void ServeStats::RecordBatch(size_t size) {
+  if (metrics_.batch_size != nullptr) {
+    metrics_.batch_size->Observe(static_cast<double>(size));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   batches_++;
   batched_requests_ += static_cast<int64_t>(size);
@@ -99,6 +107,13 @@ void ServeStats::RecordBatch(size_t size) {
 
 void ServeStats::RecordPackedBatch(int64_t padded, int64_t total, int bucket,
                                    bool on_variant) {
+  if (metrics_.packed_batches != nullptr) metrics_.packed_batches->Increment();
+  if (metrics_.padded_elements != nullptr) {
+    metrics_.padded_elements->Increment(padded);
+  }
+  if (metrics_.packed_total_elements != nullptr) {
+    metrics_.packed_total_elements->Increment(total);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   packed_batches_++;
   padded_elements_ += padded;
@@ -116,21 +131,25 @@ void ServeStats::RecordPackedBatch(int64_t padded, int64_t total, int bucket,
 }
 
 void ServeStats::RecordCacheHit() {
+  if (metrics_.cache_hits != nullptr) metrics_.cache_hits->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   cache_hits_++;
 }
 
 void ServeStats::RecordCacheMiss() {
+  if (metrics_.cache_misses != nullptr) metrics_.cache_misses->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   cache_misses_++;
 }
 
 void ServeStats::RecordCacheEviction() {
+  if (metrics_.cache_evictions != nullptr) metrics_.cache_evictions->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   cache_evictions_++;
 }
 
 void ServeStats::RecordVariantCompile() {
+  if (metrics_.variant_compiles != nullptr) metrics_.variant_compiles->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   variant_compiles_++;
 }
@@ -138,6 +157,10 @@ void ServeStats::RecordVariantCompile() {
 void ServeStats::RecordCompletion(double latency_us, double queue_wait_us,
                                   double exec_us, bool ok,
                                   Clock::time_point when) {
+  if (metrics_.queue_wait_us != nullptr) {
+    metrics_.queue_wait_us->Observe(queue_wait_us);
+  }
+  if (metrics_.exec_us != nullptr) metrics_.exec_us->Observe(exec_us);
   {
     std::lock_guard<std::mutex> lock(mu_);
     split_count_++;
@@ -150,6 +173,14 @@ void ServeStats::RecordCompletion(double latency_us, double queue_wait_us,
 
 void ServeStats::RecordCompletion(double latency_us, bool ok,
                                   Clock::time_point when) {
+  if (ok) {
+    if (metrics_.completed != nullptr) metrics_.completed->Increment();
+  } else {
+    if (metrics_.failed != nullptr) metrics_.failed->Increment();
+  }
+  if (metrics_.e2e_latency_us != nullptr) {
+    metrics_.e2e_latency_us->Observe(latency_us);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   latency_count_++;
   latency_sum_us_ += latency_us;

@@ -16,6 +16,21 @@
 // forever without the stats growing; mean/max are exact running values,
 // percentiles are estimates over the reservoir (exact until the reservoir
 // overflows).
+//
+// Consistency contract (the /stats and /metrics scrapes):
+//   - Snapshot() is internally consistent: every field of one snapshot was
+//     read under a single hold of this object's mutex (completed never
+//     exceeds arrivals within one snapshot, histogram sums match their
+//     totals, and so on).
+//   - DIFFERENT ServeStats objects (each model's vs the aggregate) are
+//     never locked together: a scrape that reads several must take each
+//     object's snapshot exactly once per pass — Server::SnapshotAll() does
+//     — and may still observe cross-object skew (a completion recorded
+//     into its model between the two snapshots). Per-object monotonicity
+//     always holds; cross-object equality is only eventual.
+//   - The sharded obs:: instruments mirrored via BindMetrics are updated
+//     OUTSIDE this mutex, so /metrics and /stats agree only eventually,
+//     but each is self-consistent per the rules above.
 #pragma once
 
 #include <array>
@@ -26,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/serve/request.h"
 #include "src/support/rng.h"
 
@@ -103,8 +119,42 @@ struct StatsSnapshot {
   std::string ToString() const;
 };
 
+/// Sharded metrics-plane instruments a ServeStats mirrors its hot counters
+/// into (src/obs/metrics.h). Every pointer may be null (that event is then
+/// not exported); the pointed-to instruments must outlive the ServeStats.
+/// Server::AddModel builds one per model, labeled {model="<name>"}, so the
+/// /metrics exposition gets per-model series without a second recording
+/// path through the pipeline.
+struct StatsMetricBindings {
+  obs::Counter* arrivals = nullptr;
+  obs::Counter* completed = nullptr;
+  obs::Counter* failed = nullptr;
+  obs::Counter* rejected = nullptr;
+  obs::Counter* packed_batches = nullptr;
+  obs::Counter* padded_elements = nullptr;
+  obs::Counter* packed_total_elements = nullptr;
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* cache_misses = nullptr;
+  obs::Counter* cache_evictions = nullptr;
+  obs::Counter* variant_compiles = nullptr;
+  obs::Gauge* adaptive_wait_us = nullptr;
+  obs::Histogram* e2e_latency_us = nullptr;
+  obs::Histogram* queue_wait_us = nullptr;
+  obs::Histogram* exec_us = nullptr;
+  obs::Histogram* batch_size = nullptr;
+};
+
 class ServeStats {
  public:
+  /// Attaches metrics-plane instruments; each Record* below then also
+  /// updates the matching instrument, outside this object's mutex (the
+  /// instruments shard internally — see the consistency contract above).
+  /// Must be called before any recording starts (AddModel time): the
+  /// bindings are read unsynchronized on the hot path.
+  void BindMetrics(const StatsMetricBindings& bindings) {
+    metrics_ = bindings;
+  }
+
   /// Called by the queue producer side; pins the start of the measurement
   /// window at the first enqueue and feeds the arrival-rate EWMA the
   /// adaptive batch policy reads.
@@ -169,6 +219,10 @@ class ServeStats {
   static size_t BatchHistBucket(size_t size);
 
  private:
+  /// Metrics-plane mirror; written once before recording starts, read
+  /// lock-free by every recorder.
+  StatsMetricBindings metrics_;
+
   mutable std::mutex mu_;
   std::map<int, std::pair<int64_t, int64_t>> padding_by_bucket_;
   std::vector<double> latency_reservoir_;

@@ -116,12 +116,20 @@ void VMPool::WorkerLoop(Worker& worker) {
     if (worker.vm->executable_ptr() != batch->exec) {
       worker.vm->Rebind(batch->exec);
     }
+    // Per-batch VM profiling rides the tracing switch: when traces are
+    // being collected, the batch runner folds the per-instruction-category
+    // times into each request's exec span; otherwise the VM runs with the
+    // profiling branches off. Reset() below clears the profile between
+    // batches either way, so a batch never sees its predecessor's nanos.
+    bool trace_on = batch->tracer != nullptr && batch->tracer->enabled();
+    worker.vm->EnableProfiling(trace_on);
     // Pickup timestamp: everything before this instant is queue wait
     // (admission queue + scheduler bucket + pool batch queue), everything
     // after is execution — the split ServeStats reports.
     auto dispatch_time = Clock::now();
     for (Request& request : batch->requests) {
       request.dispatch_time = dispatch_time;
+      if (request.trace.enabled) request.trace.dispatch = dispatch_time;
     }
     // Per-model stats first, then the pool-wide aggregate (they are
     // distinct objects; a Server wires the batch to its model's stats and

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -567,6 +568,130 @@ TEST(HttpServe, StatsEndpointReportsPipelineAndHttpCounters) {
   auto snap = rig.server.stats("lstm");
   EXPECT_NEAR(snap.mean_queue_wait_us + snap.mean_exec_us,
               snap.mean_latency_us, snap.mean_latency_us * 0.01 + 1.0);
+}
+
+TEST(HttpServe, MetricsEndpointExposesCountersMatchingTraffic) {
+  HttpFixture fixture({5, 9, 7, 3});
+  serve::ModelConfig model;
+  model.batch.max_batch_size = 2;
+  model.batch.max_wait_micros = 500;
+  model.batch.tensor_batching = true;
+  RunningServer rig(fixture, std::move(model));
+
+  net::BlockingHttpClient client("127.0.0.1", rig.http.port());
+  for (size_t i = 0; i < fixture.lengths.size(); ++i) {
+    ASSERT_EQ(client.Post("/v1/models/lstm:predict", fixture.JsonBody(i))
+                  .status,
+              200);
+  }
+  ASSERT_EQ(client.Post("/v1/models/nope:predict", "{}").status, 404);
+
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok) << metrics.error;
+  ASSERT_EQ(metrics.status, 200);
+  const std::string* content_type = metrics.FindHeader("content-type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_NE(content_type->find("text/plain"), std::string::npos);
+  EXPECT_NE(content_type->find("version=0.0.4"), std::string::npos);
+
+  const std::string& text = metrics.body;
+  // Pipeline counters match the traffic exactly.
+  EXPECT_NE(text.find("nimble_requests_total{model=\"lstm\","
+                      "outcome=\"completed\"} 4"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nimble_arrivals_total{model=\"lstm\"} 4"),
+            std::string::npos)
+      << text;
+  // HTTP plane counters: 5 predicts routed (4 ok + 1 unknown model).
+  EXPECT_NE(text.find("nimble_http_requests_total{endpoint=\"predict\"} 5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nimble_http_responses_total{code=\"404\"} 1"),
+            std::string::npos)
+      << text;
+  // Histogram families render with their unit suffix and TYPE headers.
+  EXPECT_NE(text.find("# TYPE nimble_e2e_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE nimble_batch_size histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("nimble_queue_depth{model=\"lstm\"}"),
+            std::string::npos)
+      << "queue-depth gauge sampled at scrape time";
+  EXPECT_NE(text.find("nimble_e2e_latency_us_count{model=\"lstm\"} 4"),
+            std::string::npos)
+      << text;
+  // The scrape records itself before rendering, so its own body counts it.
+  EXPECT_NE(text.find("nimble_http_requests_total{endpoint=\"metrics\"} 1"),
+            std::string::npos)
+      << text;
+  auto again = client.Get("/metrics");
+  ASSERT_EQ(again.status, 200);
+  EXPECT_NE(
+      again.body.find("nimble_http_requests_total{endpoint=\"metrics\"} 2"),
+      std::string::npos)
+      << again.body;
+}
+
+TEST(HttpServe, TraceHeaderEchoAndDebugTraceExport) {
+  HttpFixture fixture({6, 11, 4});
+  serve::ModelConfig model;
+  model.batch.max_batch_size = 2;
+  model.batch.max_wait_micros = 500;
+  model.batch.tensor_batching = true;
+  RunningServer rig(fixture, std::move(model));
+
+  net::BlockingHttpClient client("127.0.0.1", rig.http.port());
+  // X-Nimble-Trace: 1 gets the request's own stage timings echoed back.
+  auto traced = client.Request("POST", "/v1/models/lstm:predict",
+                               fixture.JsonBody(0),
+                               {{"Content-Type", "application/json"},
+                                {"X-Nimble-Trace", "1"}});
+  fixture.ExpectResponseBitIdentical(traced, 0);
+  const std::string* echo = traced.FindHeader("x-nimble-trace");
+  ASSERT_NE(echo, nullptr) << "traced request must echo its spans";
+  EXPECT_NE(echo->find("queue_us="), std::string::npos) << *echo;
+  EXPECT_NE(echo->find("exec_us="), std::string::npos) << *echo;
+  EXPECT_NE(echo->find("kernel_us="), std::string::npos) << *echo;
+
+  // Without the header (or with "0"): no echo.
+  auto untraced = client.Post("/v1/models/lstm:predict", fixture.JsonBody(1));
+  fixture.ExpectResponseBitIdentical(untraced, 1);
+  EXPECT_EQ(untraced.FindHeader("x-nimble-trace"), nullptr);
+  auto opted_out = client.Request("POST", "/v1/models/lstm:predict",
+                                  fixture.JsonBody(2),
+                                  {{"Content-Type", "application/json"},
+                                   {"X-Nimble-Trace", "0"}});
+  fixture.ExpectResponseBitIdentical(opted_out, 2);
+  EXPECT_EQ(opted_out.FindHeader("x-nimble-trace"), nullptr);
+
+  // Every request committed a trace regardless of echo. The commit runs on
+  // the pool worker AFTER the response bytes are handed off, so the client
+  // can observe its response before the trace lands — wait for all three.
+  for (int i = 0; i < 2000 && rig.server.tracer()->committed() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The export is valid chrome-trace JSON with six spans per request.
+  auto trace = client.Get("/debug/trace?n=2");
+  ASSERT_EQ(trace.status, 200);
+  Json doc = Json::Parse(trace.body);
+  ASSERT_TRUE(doc.is_object()) << trace.body;
+  const Json* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(events->items().size(), 12u) << "?n=2 caps at 2 traces x 6 spans";
+  std::set<std::string> names;
+  for (const Json& event : events->items()) {
+    names.insert(event.Find("name")->str());
+    EXPECT_EQ(event.Find("ph")->str(), "X");
+  }
+  EXPECT_EQ(names.size(), 6u) << "admission/queue/pack/exec/unpack/write";
+  EXPECT_EQ(rig.server.tracer()->committed(), 3);
+
+  // Unbounded n: all three traces.
+  auto all = client.Get("/debug/trace");
+  Json all_doc = Json::Parse(all.body);
+  EXPECT_EQ(all_doc.Find("traceEvents")->items().size(), 18u);
 }
 
 TEST(HttpServe, GracefulStopFlushesInFlightAndHealthzGoes503) {

@@ -1,0 +1,507 @@
+// Observability tests: sharded metric instruments (merge-on-read equals
+// the sum of every shard), Prometheus exposition (label escaping,
+// cumulative histogram buckets), the trace ring (wraparound, concurrent
+// committers), span derivation, chrome-trace export validity, and the
+// end-to-end lifecycle — one served request yields one committed trace
+// with six ordered spans and a folded VM profile.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/models/lstm.h"
+#include "src/models/workloads.h"
+#include "src/net/json.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/serve/server.h"
+#include "src/vm/vm.h"
+
+namespace nimble {
+namespace {
+
+using runtime::MakeTensor;
+using runtime::NDArray;
+
+// ---- sharded instruments ------------------------------------------------------
+
+TEST(Metrics, CounterMergeEqualsSumOfAllWriters) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kPerThread)
+      << "merge-on-read must equal the sum of every thread's shard";
+}
+
+TEST(Metrics, GaugeIsLastWriterWins) {
+  obs::Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(17.5);
+  gauge.Set(3.0);
+  EXPECT_EQ(gauge.Value(), 3.0);
+}
+
+TEST(Metrics, HistogramCumulativeBucketsMonotoneAndConsistent) {
+  obs::Histogram hist(obs::Histogram::ExponentialBounds(1.0, 2.0, 8));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Observe(static_cast<double>((t * kPerThread + i) % 300));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<int64_t> buckets = hist.CumulativeBuckets();
+  ASSERT_EQ(buckets.size(), hist.bounds().size() + 1) << "+Inf bucket";
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i], buckets[i - 1]) << "cumulative must be monotone";
+  }
+  EXPECT_EQ(buckets.back(), int64_t{kThreads} * kPerThread)
+      << "+Inf bucket holds every observation";
+  EXPECT_EQ(hist.Count(), int64_t{kThreads} * kPerThread);
+  EXPECT_GT(hist.Sum(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketBoundsAreInclusive) {
+  obs::Histogram hist({1.0, 2.0, 4.0});
+  hist.Observe(1.0);  // lands in le="1"
+  hist.Observe(1.5);  // le="2"
+  hist.Observe(100);  // +Inf
+  std::vector<int64_t> buckets = hist.CumulativeBuckets();
+  EXPECT_EQ(buckets[0], 1);
+  EXPECT_EQ(buckets[1], 2);
+  EXPECT_EQ(buckets[2], 2);
+  EXPECT_EQ(buckets[3], 3);
+}
+
+// ---- registry -----------------------------------------------------------------
+
+TEST(Metrics, RegistryReturnsSameInstrumentForSameSeries) {
+  obs::MetricRegistry registry;
+  obs::Counter* a = registry.GetCounter("nimble_test_total",
+                                        {{"model", "m"}, {"path", "p"}});
+  obs::Counter* b = registry.GetCounter("nimble_test_total",
+                                        {{"path", "p"}, {"model", "m"}});
+  EXPECT_EQ(a, b) << "label order must not split a series";
+  obs::Counter* c = registry.GetCounter("nimble_test_total",
+                                        {{"model", "other"}, {"path", "p"}});
+  EXPECT_NE(a, c);
+  a->Increment(5);
+  EXPECT_EQ(b->Value(), 5);
+  EXPECT_EQ(c->Value(), 0);
+}
+
+TEST(Metrics, PrometheusEscapesLabelValues) {
+  EXPECT_EQ(obs::MetricRegistry::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::MetricRegistry::EscapeLabelValue("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd");
+
+  obs::MetricRegistry registry;
+  registry.GetCounter("nimble_escape_total", {{"model", "we\"ird\\name\n"}})
+      ->Increment();
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("model=\"we\\\"ird\\\\name\\n\""), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find('\n', text.find("model=")),
+            text.find("} 1", text.find("model=")) + 3)
+      << "raw newline inside a label value would split the sample line";
+}
+
+TEST(Metrics, PrometheusRenderHasFamiliesAndHistogramSeries) {
+  obs::MetricRegistry registry;
+  registry.GetCounter("nimble_reqs_total", {{"model", "m"}}, "Requests.")
+      ->Increment(3);
+  registry.GetGauge("nimble_depth", {{"model", "m"}}, "Depth.")->Set(2);
+  obs::Histogram* hist = registry.GetHistogram(
+      "nimble_lat_us", {{"model", "m"}}, {1.0, 2.0}, "Latency.");
+  hist->Observe(1.0);
+  hist->Observe(5.0);
+
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP nimble_reqs_total Requests."),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE nimble_reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("nimble_reqs_total{model=\"m\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE nimble_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("nimble_depth{model=\"m\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE nimble_lat_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("nimble_lat_us_bucket{model=\"m\",le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nimble_lat_us_bucket{model=\"m\",le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nimble_lat_us_count{model=\"m\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("nimble_lat_us_sum{model=\"m\"} 6"), std::string::npos);
+}
+
+// ---- tracer rings -------------------------------------------------------------
+
+obs::TraceContext MakeTrace(int64_t id) {
+  obs::TraceContext ctx;
+  ctx.enabled = true;
+  ctx.id = id;
+  ctx.model = "m";
+  auto t = obs::SteadyClock::now();
+  ctx.admit = t;
+  ctx.enqueue = t + std::chrono::microseconds(10);
+  ctx.sched = t + std::chrono::microseconds(20);
+  ctx.dispatch = t + std::chrono::microseconds(30);
+  ctx.pack_start = t + std::chrono::microseconds(30);
+  ctx.pack_end = t + std::chrono::microseconds(40);
+  ctx.exec_end = t + std::chrono::microseconds(140);
+  ctx.unpack_end = t + std::chrono::microseconds(150);
+  ctx.write_end = t + std::chrono::microseconds(160);
+  return ctx;
+}
+
+TEST(Trace, RingWraparoundKeepsNewestBoundedByCapacity) {
+  obs::TraceConfig config;
+  config.ring_capacity = 16;
+  obs::Tracer tracer(config);
+  for (int64_t i = 0; i < 100; ++i) tracer.Commit(MakeTrace(i));
+  EXPECT_EQ(tracer.committed(), 100);
+
+  std::vector<obs::TraceRecord> recent = tracer.Recent(1000);
+  ASSERT_FALSE(recent.empty());
+  EXPECT_LE(recent.size(), 16u) << "ring memory is bounded";
+  for (size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_GT(recent[i].seq, recent[i - 1].seq) << "commit order";
+  }
+  EXPECT_EQ(recent.back().seq, 100u) << "the newest trace survives wraparound";
+  // Recent(n) trims from the old end.
+  std::vector<obs::TraceRecord> one = tracer.Recent(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.back().seq, 100u);
+}
+
+TEST(Trace, DisabledTracerCommitsNothing) {
+  obs::TraceConfig config;
+  config.enabled = false;
+  obs::Tracer tracer(config);
+  tracer.Commit(MakeTrace(1));
+  EXPECT_EQ(tracer.committed(), 0);
+  EXPECT_TRUE(tracer.Recent(10).empty());
+}
+
+TEST(Trace, ConcurrentCommittersAndScrapers) {
+  obs::TraceConfig config;
+  config.ring_capacity = 64;
+  obs::Tracer tracer(config);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<bool> stop{false};
+  // A scraper walking the rings while every writer hammers them: the TSan
+  // job proves the shard locking sound.
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      auto records = tracer.Recent(64);
+      for (size_t i = 1; i < records.size(); ++i) {
+        if (records[i].seq <= records[i - 1].seq) {
+          ADD_FAILURE() << "scrape saw out-of-order seqs";
+          return;
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.Commit(MakeTrace(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop = true;
+  scraper.join();
+  EXPECT_EQ(tracer.committed(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(Trace, SlowLogRespectsThresholdAndRateLimit) {
+  obs::TraceConfig config;
+  config.slow_request_us = 1000;
+  config.slow_log_interval_ms = 1000;
+  obs::Tracer tracer(config);
+  auto now = obs::SteadyClock::now();
+  EXPECT_FALSE(tracer.ShouldLogSlow(500, now)) << "under threshold";
+  EXPECT_TRUE(tracer.ShouldLogSlow(2000, now)) << "first slow request logs";
+  EXPECT_FALSE(tracer.ShouldLogSlow(2000, now)) << "rate-limited";
+  EXPECT_FALSE(tracer.ShouldLogSlow(
+      2000, now + std::chrono::milliseconds(500)));
+  EXPECT_TRUE(tracer.ShouldLogSlow(2000, now + std::chrono::seconds(2)))
+      << "limiter window elapsed";
+}
+
+TEST(Trace, SlowLogDisabledByZeroThreshold) {
+  obs::Tracer tracer;  // slow_request_us = 0
+  EXPECT_FALSE(tracer.ShouldLogSlow(int64_t{1} << 40,
+                                    obs::SteadyClock::now()));
+}
+
+// ---- span derivation and export -----------------------------------------------
+
+TEST(Trace, SpansAreOrderedAndContiguous) {
+  obs::TraceContext ctx = MakeTrace(7);
+  std::vector<obs::SpanView> spans = obs::TraceSpans(ctx);
+  ASSERT_EQ(spans.size(), 6u);
+  const char* expected_names[] = {"admission", "queue",  "pack",
+                                  "exec",      "unpack", "write"};
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_STREQ(spans[i].name, expected_names[i]);
+    EXPECT_LE(spans[i].begin, spans[i].end) << spans[i].name;
+    if (i > 0) {
+      EXPECT_EQ(spans[i].begin, spans[i - 1].end)
+          << "spans tile the request end to end";
+    }
+  }
+  EXPECT_EQ(spans[1].duration_us(), 20) << "queue = enqueue..dispatch";
+  EXPECT_EQ(spans[3].duration_us(), 100) << "exec = pack_end..exec_end";
+}
+
+TEST(Trace, SpansClampUnstampedStagesToZeroWidth) {
+  // Only admit and write_end stamped (a request that died early): no span
+  // may invert, and the middle ones collapse to zero width.
+  obs::TraceContext ctx;
+  ctx.enabled = true;
+  ctx.admit = obs::SteadyClock::now();
+  ctx.enqueue = ctx.admit + std::chrono::microseconds(5);
+  ctx.write_end = ctx.admit + std::chrono::microseconds(50);
+  std::vector<obs::SpanView> spans = obs::TraceSpans(ctx);
+  ASSERT_EQ(spans.size(), 6u);
+  for (const obs::SpanView& span : spans) {
+    EXPECT_LE(span.begin, span.end) << span.name << " inverted";
+  }
+  EXPECT_EQ(spans[2].duration_us(), 0);
+  EXPECT_EQ(spans[3].duration_us(), 0);
+  EXPECT_GT(spans[5].duration_us(), 0) << "write span absorbs the tail";
+}
+
+TEST(Trace, ChromeTraceJsonIsValidAndCarriesExecArgs) {
+  obs::TraceConfig config;
+  obs::Tracer tracer(config);
+  obs::TraceContext ctx = MakeTrace(3);
+  ctx.model = "lstm\"quoted";  // exercises the JSON escaping
+  ctx.packed = true;
+  ctx.vm.kernel_nanos = 123000;
+  ctx.vm.shape_func_nanos = 45000;
+  ctx.vm.other_nanos = 6000;
+  ctx.vm.instructions = 42;
+  tracer.Commit(ctx);
+  tracer.Commit(MakeTrace(4));
+
+  std::string json = obs::ChromeTraceJson(tracer.Recent(10));
+  std::string parse_error;
+  net::Json doc = net::Json::Parse(json, &parse_error);
+  ASSERT_TRUE(doc.is_object()) << parse_error << "\n" << json;
+  const net::Json* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items().size(), 12u) << "6 spans per trace";
+
+  size_t exec_events = 0;
+  for (const net::Json& event : events->items()) {
+    ASSERT_TRUE(event.is_object());
+    const net::Json* name = event.Find("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(event.Find("ph")->str(), "X") << "complete events";
+    EXPECT_GE(event.Find("dur")->number(), 0.0);
+    EXPECT_GE(event.Find("ts")->number(), 0.0);
+    ASSERT_NE(event.Find("tid"), nullptr) << "tid = request id = track";
+    if (name->str() == "exec") {
+      exec_events++;
+      const net::Json* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      if (event.Find("tid")->integer() == 3) {
+        EXPECT_EQ(args->Find("kernel_us")->integer(), 123);
+        EXPECT_EQ(args->Find("shape_func_us")->integer(), 45);
+        EXPECT_EQ(args->Find("instructions")->integer(), 42);
+        EXPECT_EQ(args->Find("model")->str(), "lstm\"quoted");
+      }
+    }
+  }
+  EXPECT_EQ(exec_events, 2u);
+
+  EXPECT_NE(obs::ChromeTraceJson({}).find("\"traceEvents\":[]"),
+            std::string::npos)
+      << "zero records still render a valid document";
+}
+
+TEST(Trace, HeaderValueCarriesStageTimings) {
+  obs::TraceContext ctx = MakeTrace(9);
+  ctx.vm.kernel_nanos = 88000;
+  std::string header = obs::TraceHeaderValue(ctx);
+  EXPECT_NE(header.find("id=9"), std::string::npos) << header;
+  EXPECT_NE(header.find("queue_us="), std::string::npos) << header;
+  EXPECT_NE(header.find("exec_us="), std::string::npos) << header;
+  EXPECT_NE(header.find("kernel_us=88"), std::string::npos) << header;
+  EXPECT_EQ(header.find("write_us="), std::string::npos)
+      << "the write span cannot be inside its own header";
+  EXPECT_EQ(header.find('\n'), std::string::npos)
+      << "header values must be single-line";
+}
+
+// ---- VM profiling (the EnableProfiling wiring) --------------------------------
+
+std::shared_ptr<vm::Executable> BuildSmallLSTM(bool batched = false) {
+  models::LSTMConfig config;
+  config.input_size = 8;
+  config.hidden_size = 12;
+  config.emit_batched = batched;
+  models::LSTMModel model = models::BuildLSTM(config);
+  core::CompileOptions opts;
+  if (batched) opts.batched_entries = {model.batched_spec};
+  return core::Compile(model.module, opts).executable;
+}
+
+TEST(Obs, VMProfileAccumulatesWhenEnabledAndResetClears) {
+  auto exec = BuildSmallLSTM();
+  vm::VirtualMachine vm(exec);
+  support::Rng rng(11);
+  NDArray x = models::RandomSequence(6, 8, rng);
+
+  vm.EnableProfiling(true);
+  vm.Invoke("main", {MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(6))});
+  EXPECT_GT(vm.profile().instructions, 0);
+  EXPECT_GT(vm.profile().total_nanos, 0);
+  EXPECT_GT(vm.profile().kernel_nanos, 0);
+
+  // Reset() must clear the profile, so one batch never inherits its
+  // predecessor's nanos (the pool calls Reset between batches).
+  vm.Reset();
+  EXPECT_EQ(vm.profile().instructions, 0);
+  EXPECT_EQ(vm.profile().total_nanos, 0);
+  EXPECT_EQ(vm.profile().kernel_nanos, 0);
+
+  // Profiling off: instructions still run, nothing accumulates.
+  vm.EnableProfiling(false);
+  vm.Invoke("main", {MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(6))});
+  EXPECT_EQ(vm.profile().instructions, 0);
+}
+
+// ---- end-to-end lifecycle -----------------------------------------------------
+
+TEST(Obs, ServedRequestYieldsOrderedTraceWithExecProfile) {
+  auto exec = BuildSmallLSTM(/*batched=*/true);
+  serve::ServeConfig config;
+  config.num_workers = 2;
+  config.batch.max_batch_size = 4;
+  config.batch.max_wait_micros = 500;
+  config.batch.tensor_batching = true;
+  serve::Server server(exec, config);
+
+  support::Rng rng(5);
+  constexpr int kRequests = 8;
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    int64_t len = 3 + (i * 7) % 11;
+    NDArray x = models::RandomSequence(len, 8, rng);
+    futures.push_back(server.Submit(
+        {MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(len))}, len));
+  }
+  for (auto& future : futures) future.get();
+  server.Drain();
+
+  obs::Tracer& tracer = *server.tracer();
+  EXPECT_EQ(tracer.committed(), kRequests)
+      << "every completed request commits exactly one trace";
+  std::vector<obs::TraceRecord> records = tracer.Recent(kRequests);
+  ASSERT_EQ(records.size(), static_cast<size_t>(kRequests));
+  std::set<int64_t> ids;
+  for (const obs::TraceRecord& record : records) {
+    const obs::TraceContext& ctx = record.ctx;
+    EXPECT_TRUE(ctx.ok);
+    EXPECT_EQ(ctx.model, "default");
+    ids.insert(ctx.id);
+    std::vector<obs::SpanView> spans = obs::TraceSpans(ctx);
+    ASSERT_EQ(spans.size(), 6u);
+    for (size_t i = 0; i < spans.size(); ++i) {
+      EXPECT_LE(spans[i].begin, spans[i].end) << spans[i].name;
+      if (i > 0) EXPECT_EQ(spans[i].begin, spans[i - 1].end);
+    }
+    EXPECT_GT(ctx.e2e_us(), 0);
+    EXPECT_GT(spans[3].duration_us() + spans[1].duration_us(), 0)
+        << "queue + exec dominate a real request";
+    EXPECT_GT(ctx.vm.instructions, 0)
+        << "tracing must enable VM profiling on the worker";
+    EXPECT_GE(ctx.vm.kernel_nanos, 0);
+  }
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kRequests))
+      << "distinct requests, distinct trace ids";
+}
+
+TEST(Obs, TracingOffServesWithoutCommittingTraces) {
+  auto exec = BuildSmallLSTM();
+  serve::ServeConfig config;
+  config.num_workers = 1;
+  config.trace.enabled = false;
+  serve::Server server(exec, config);
+
+  support::Rng rng(6);
+  NDArray x = models::RandomSequence(5, 8, rng);
+  server.Submit({MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(5))}, 5)
+      .get();
+  server.Drain();
+  EXPECT_EQ(server.tracer()->committed(), 0);
+  EXPECT_EQ(server.stats().completed, 1);
+}
+
+// ---- metrics through the server -----------------------------------------------
+
+TEST(Obs, ServerMetricsCountersMatchServeStats) {
+  auto exec = BuildSmallLSTM();
+  serve::ServeConfig config;
+  config.num_workers = 1;
+  serve::Server server(exec, config);
+
+  support::Rng rng(8);
+  constexpr int kRequests = 5;
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    NDArray x = models::RandomSequence(4, 8, rng);
+    futures.push_back(server.Submit(
+        {MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(4))}, 4));
+  }
+  for (auto& future : futures) future.get();
+  server.Drain();
+
+  obs::MetricRegistry& registry = *server.metrics_registry();
+  EXPECT_EQ(registry
+                .GetCounter("nimble_requests_total",
+                            {{"model", "default"}, {"outcome", "completed"}})
+                ->Value(),
+            kRequests);
+  EXPECT_EQ(registry
+                .GetCounter("nimble_arrivals_total", {{"model", "default"}})
+                ->Value(),
+            kRequests);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("nimble_requests_total{model=\"default\","
+                      "outcome=\"completed\"} 5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE nimble_e2e_latency_us histogram"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nimble

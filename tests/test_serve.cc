@@ -1454,7 +1454,8 @@ TEST(Serve, CallbackPathDeliversResultsBitIdentical) {
   for (size_t i = 0; i < fixture.lengths.size(); ++i) {
     auto admit = server.TrySubmitCallback(
         "m", fixture.ArgsFor(i), fixture.lengths[i],
-        [&, i](runtime::ObjectRef result, std::exception_ptr error) {
+        [&, i](runtime::ObjectRef result, std::exception_ptr error,
+               const obs::TraceContext&) {
           if (error != nullptr) {
             errors.fetch_add(1);
             return;
@@ -1483,14 +1484,18 @@ TEST(Serve, TrySubmitCallbackReportsUnknownModelAndDraining) {
 
   auto unknown = server.TrySubmitCallback(
       "nope", fixture.ArgsFor(0), fixture.lengths[0],
-      [](runtime::ObjectRef, std::exception_ptr) { FAIL(); });
+      [](runtime::ObjectRef, std::exception_ptr, const obs::TraceContext&) {
+        FAIL();
+      });
   EXPECT_EQ(unknown.status, serve::Server::AdmitStatus::kUnknownModel);
 
   server.Drain();
   EXPECT_TRUE(server.draining());
   auto closed = server.TrySubmitCallback(
       "default", fixture.ArgsFor(0), fixture.lengths[0],
-      [](runtime::ObjectRef, std::exception_ptr) { FAIL(); });
+      [](runtime::ObjectRef, std::exception_ptr, const obs::TraceContext&) {
+        FAIL();
+      });
   EXPECT_EQ(closed.status, serve::Server::AdmitStatus::kClosed);
 }
 
@@ -1518,9 +1523,8 @@ TEST(Serve, DrainFulfillsEveryQueuedRequestDeterministically) {
       } else {
         auto admit = server.TrySubmitCallback(
             "m", fixture.ArgsFor(i), fixture.lengths[i],
-            [&](runtime::ObjectRef, std::exception_ptr) {
-              callbacks.fetch_add(1);
-            });
+            [&](runtime::ObjectRef, std::exception_ptr,
+                const obs::TraceContext&) { callbacks.fetch_add(1); });
         ASSERT_EQ(admit.status, serve::Server::AdmitStatus::kAccepted);
       }
     }
