@@ -10,14 +10,8 @@
 namespace nimble {
 namespace batch {
 
-namespace {
-
-/// Invokes the request's asynchronous completion hook, if any. Runs after
-/// the promise is fulfilled, on the worker thread. The hook's contract says
-/// it must not throw; a violation is contained here (logged, swallowed) so
-/// a broken callback cannot take the worker thread down with it. The
-/// request's trace (stages through unpack stamped) rides along for the
-/// X-Nimble-Trace echo.
+// The request's trace (stages through unpack stamped) rides along for the
+// X-Nimble-Trace echo.
 void NotifyComplete(serve::Request& request, runtime::ObjectRef result,
                     std::exception_ptr error) {
   if (!request.on_complete) return;
@@ -30,15 +24,14 @@ void NotifyComplete(serve::Request& request, runtime::ObjectRef result,
   }
 }
 
-/// Closes the trace (the write span covers serialization inside the
-/// completion hook plus the handoff to the event loop) and commits it.
-/// Must run AFTER NotifyComplete, last thing per request.
 void FinishTrace(obs::Tracer* tracer, serve::Request& request, bool ok) {
   if (!request.trace.enabled) return;
   request.trace.ok = ok;
   request.trace.write_end = obs::SteadyClock::now();
   if (tracer != nullptr) tracer->Commit(request.trace);
 }
+
+namespace {
 
 /// VMProfile counters before an invocation, so the per-category times of
 /// exactly this invocation can be folded into a trace's exec span (the

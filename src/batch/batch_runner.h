@@ -16,9 +16,11 @@
 // is what makes the fall-through after a packed failure safe.
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <string>
 
+#include "src/obs/trace.h"
 #include "src/serve/request.h"
 #include "src/vm/vm.h"
 
@@ -39,6 +41,21 @@ struct BatchRunResult {
 
 using RequestDoneFn =
     std::function<void(const serve::Request& request, bool ok)>;
+
+/// Invokes the request's asynchronous completion hook, if any. Runs after
+/// the promise is fulfilled, on the worker thread. The hook's contract says
+/// it must not throw; a violation is contained here (logged, swallowed) so
+/// a broken callback cannot take the worker thread down with it. Shared by
+/// the batch path here and the continuous slot-map runner
+/// (step_runner.cc) — both must finish requests with the same discipline.
+void NotifyComplete(serve::Request& request, runtime::ObjectRef result,
+                    std::exception_ptr error);
+
+/// Closes the trace (the write span covers serialization inside the
+/// completion hook plus the handoff to the event loop) and commits it.
+/// Must run AFTER NotifyComplete, last thing per request. `tracer` may be
+/// null (trace still closed, just not committed).
+void FinishTrace(obs::Tracer* tracer, serve::Request& request, bool ok);
 
 /// Runs every request of `batch` on `vm` (which must already be bound to
 /// `batch.exec`), fulfilling all promises. `tensor_batching` requests the

@@ -25,8 +25,16 @@ std::string Why(const serve::Request& request, const Parts&... parts) {
   return why.str();
 }
 
-/// The request's sequence tensor, or nullptr (with `reason` set) when the
-/// argument does not match the spec.
+NDArray ZeroTensor(runtime::ShapeVec shape, DataType dtype,
+                   runtime::Allocator* alloc) {
+  NDArray arr =
+      NDArray::Empty(std::move(shape), dtype, runtime::Device::CPU(), alloc);
+  std::memset(arr.raw_data(), 0, arr.nbytes());
+  return arr;
+}
+
+}  // namespace
+
 const NDArray* SeqTensor(const vm::BatchedEntrySpec& spec,
                          const serve::Request& request, std::string* reason) {
   if (static_cast<size_t>(spec.seq_arg) >= request.args.size()) {
@@ -50,8 +58,6 @@ const NDArray* SeqTensor(const vm::BatchedEntrySpec& spec,
   return &seq;
 }
 
-/// The request's true sequence length (from len_arg, else the row count),
-/// or -1 with `reason` set.
 int64_t SeqLength(const vm::BatchedEntrySpec& spec,
                   const serve::Request& request, const NDArray& seq,
                   std::string* reason) {
@@ -78,16 +84,6 @@ int64_t SeqLength(const vm::BatchedEntrySpec& spec,
   }
   return len;
 }
-
-NDArray ZeroTensor(runtime::ShapeVec shape, DataType dtype,
-                   runtime::Allocator* alloc) {
-  NDArray arr =
-      NDArray::Empty(std::move(shape), dtype, runtime::Device::CPU(), alloc);
-  std::memset(arr.raw_data(), 0, arr.nbytes());
-  return arr;
-}
-
-}  // namespace
 
 PackCheck AnalyzeBatch(const vm::Executable& exec,
                        const std::vector<serve::Request>& requests) {

@@ -78,6 +78,20 @@ struct PackCheck {
 PackCheck AnalyzeBatch(const vm::Executable& exec,
                        const std::vector<serve::Request>& requests);
 
+/// The request's sequence tensor per the spec ([len, feature_width]
+/// float32 at seq_arg), or nullptr with `reason` set when the argument does
+/// not match. Shared with the continuous slot-map runner (step_runner.cc),
+/// which validates requests one at a time as it splices them.
+const runtime::NDArray* SeqTensor(const vm::BatchedEntrySpec& spec,
+                                  const serve::Request& request,
+                                  std::string* reason);
+
+/// The request's true sequence length (from len_arg, else the row count of
+/// `seq`), validated to [1, rows]; -1 with `reason` set on a violation.
+int64_t SeqLength(const vm::BatchedEntrySpec& spec,
+                  const serve::Request& request, const runtime::NDArray& seq,
+                  std::string* reason);
+
 class PackPlan {
  public:
   /// Builds the plan for a batch AnalyzeBatch accepted. `spec` must outlive

@@ -1,0 +1,74 @@
+#include "src/batch/slot_map.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace batch {
+
+SlotMap::SlotMap(int64_t num_slots) {
+  NIMBLE_CHECK_GE(num_slots, 1) << "SlotMap needs at least one slot";
+  slots_.resize(static_cast<size_t>(num_slots));
+}
+
+SlotMap::~SlotMap() {
+  // Not NIMBLE_CHECK: a destructor must not throw during unwinding. The
+  // runner CHECKs the same condition on its clean exit path; this log only
+  // fires when teardown is already abnormal.
+  if (occupied_ != 0) {
+    NIMBLE_LOG(ERROR) << "SlotMap destroyed with " << occupied_
+                      << " live slot(s); their requests never resolved";
+  }
+}
+
+int64_t SlotMap::Splice(serve::Request request, int64_t length) {
+  NIMBLE_CHECK(!Full()) << "Splice into a full slot map";
+  NIMBLE_CHECK_GE(length, 1) << "spliced request must have length >= 1";
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.occupied) continue;
+    slot.request = std::move(request);
+    slot.length = length;
+    slot.pos = 0;
+    slot.admit_seq = next_admit_seq_++;
+    slot.occupied = true;
+    ++occupied_;
+    ++counters_.splices;
+    counters_.max_occupancy = std::max(counters_.max_occupancy, occupied_);
+    return static_cast<int64_t>(i);
+  }
+  NIMBLE_FATAL() << "SlotMap occupancy count out of sync with slots";
+  return -1;  // unreachable
+}
+
+serve::Request SlotMap::Retire(int64_t slot) {
+  Slot& s = At(slot);  // CHECKs occupancy: a second retire dies here
+  serve::Request request = std::move(s.request);
+  s = Slot{};  // reset length/pos/admit_seq so stale state cannot leak
+  --occupied_;
+  ++counters_.retires;
+  return request;
+}
+
+SlotMap::Slot& SlotMap::At(int64_t slot) {
+  NIMBLE_CHECK(slot >= 0 && slot < num_slots())
+      << "slot " << slot << " outside [0, " << num_slots() << ")";
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  NIMBLE_CHECK(s.occupied) << "slot " << slot << " is not occupied";
+  return s;
+}
+
+const SlotMap::Slot& SlotMap::At(int64_t slot) const {
+  return const_cast<SlotMap*>(this)->At(slot);
+}
+
+bool SlotMap::IsOccupied(int64_t slot) const {
+  NIMBLE_CHECK(slot >= 0 && slot < num_slots())
+      << "slot " << slot << " outside [0, " << num_slots() << ")";
+  return slots_[static_cast<size_t>(slot)].occupied;
+}
+
+}  // namespace batch
+}  // namespace nimble

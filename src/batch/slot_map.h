@@ -1,0 +1,93 @@
+// SlotMap: the persistent batch of continuous (iteration-level) batching.
+//
+// Classic packed batching (pack_plan.h) admits a group of requests, runs
+// them to the longest member's length, and only then admits the next group:
+// short requests wait for long ones, and the padded rows beyond each
+// request's true length are pure waste. Continuous batching replaces the
+// group with a persistent map of B slots over which the step runner
+// (step_runner.h) executes ONE recurrence step at a time. Each slot holds
+// one in-flight request; a slot RETIRES the step its request's row reaches
+// its own length (the result row is emitted immediately), and a queued
+// request SPLICES into a free slot at the next step boundary. No slot ever
+// waits for another, so structural padding is zero by construction — the
+// only waste is idle slots when fewer than B requests are in flight, which
+// is accounted separately (ServeStats::RecordStep).
+//
+// The SlotMap itself is the bookkeeping state machine: which slot holds
+// which request, how far along each row is, and the admission order. It
+// enforces the lifecycle invariants with NIMBLE_CHECK — splicing into an
+// occupied slot, retiring a free slot (double-retire), or destroying a map
+// with live slots is a serving-layer bug, never a recoverable condition.
+// Admission order is recorded per splice (`admit_seq`, a monotonic counter)
+// so tests can assert FIFO admission against arrival order.
+//
+// Thread-safety: none. A SlotMap belongs to exactly one StepRunner thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/serve/request.h"
+
+namespace nimble {
+namespace batch {
+
+class SlotMap {
+ public:
+  struct Slot {
+    /// The in-flight request (moved in at splice, moved out at retire).
+    serve::Request request;
+    /// True sequence length of the request's row (validated at splice).
+    int64_t length = 0;
+    /// Next timestep to feed, in [0, length]. The runner advances this
+    /// after each step; the slot is finished when pos == length.
+    int64_t pos = 0;
+    /// Monotonic admission number stamped at splice (FIFO evidence);
+    /// starts at 1, so 0 always means "never admitted".
+    uint64_t admit_seq = 0;
+    bool occupied = false;
+  };
+
+  /// Lifetime counters, exposed for stats and the test harness.
+  struct Counters {
+    uint64_t splices = 0;
+    uint64_t retires = 0;
+    int64_t max_occupancy = 0;
+  };
+
+  explicit SlotMap(int64_t num_slots);
+  /// A map must be drained (every splice retired) before it dies; a live
+  /// slot here means a request's promise would silently never resolve.
+  ~SlotMap();
+
+  SlotMap(const SlotMap&) = delete;
+  SlotMap& operator=(const SlotMap&) = delete;
+
+  /// Moves `request` into the lowest-numbered free slot and returns its
+  /// index. CHECK-fails when Full() — callers gate on Full() first.
+  int64_t Splice(serve::Request request, int64_t length);
+
+  /// Empties `slot` and returns its request. CHECK-fails when the slot is
+  /// free (double-retire) — a slot retires exactly once per splice.
+  serve::Request Retire(int64_t slot);
+
+  /// The slot's live state; CHECK-fails when the slot is free.
+  Slot& At(int64_t slot);
+  const Slot& At(int64_t slot) const;
+
+  int64_t num_slots() const { return static_cast<int64_t>(slots_.size()); }
+  int64_t occupied() const { return occupied_; }
+  bool Full() const { return occupied_ == num_slots(); }
+  bool Empty() const { return occupied_ == 0; }
+  bool IsOccupied(int64_t slot) const;
+  const Counters& counters() const { return counters_; }
+
+ private:
+  std::vector<Slot> slots_;
+  int64_t occupied_ = 0;
+  uint64_t next_admit_seq_ = 1;  // 0 is the "never admitted" sentinel
+  Counters counters_;
+};
+
+}  // namespace batch
+}  // namespace nimble

@@ -1,0 +1,327 @@
+#include "src/batch/step_runner.h"
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "src/batch/batch_runner.h"
+#include "src/batch/pack_plan.h"
+#include "src/serve/vm_pool.h"
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace batch {
+
+using runtime::DataType;
+using runtime::NDArray;
+using runtime::ObjectRef;
+
+ContinuousCheck AnalyzeContinuous(const vm::Executable& exec,
+                                  const std::string& function,
+                                  int64_t num_slots) {
+  ContinuousCheck check;
+  if (num_slots < 1) {
+    check.reason = "continuous serving needs at least one slot";
+    return check;
+  }
+  const vm::BatchedEntrySpec* spec = exec.FindBatched(function);
+  if (spec == nullptr) {
+    check.reason = "no batched entry for '" + function + "'";
+    return check;
+  }
+  if (spec->layout != vm::BatchedEntrySpec::Layout::kTimeMajor) {
+    check.reason = "continuous serving requires the time-major layout";
+    return check;
+  }
+  if (spec->step_function.empty()) {
+    check.reason = "model emits no step twin (BatchedEntrySpec::step_function)";
+    return check;
+  }
+  if (spec->num_state_args < 1 || spec->state_width < 1 ||
+      spec->feature_width < 1) {
+    check.reason = "step twin needs recurrent state and a feature width";
+    return check;
+  }
+  if (spec->result_state < 0 || spec->result_state >= spec->num_state_args) {
+    std::ostringstream why;
+    why << "result_state " << spec->result_state << " outside [0, "
+        << spec->num_state_args << ")";
+    check.reason = why.str();
+    return check;
+  }
+  if (exec.variant.is_variant()) {
+    // A variant bakes one (Lmax, B) shape; the persistent batch has no
+    // Lmax at all. Continuous models run the generic executable only.
+    check.reason = "continuous serving requires the generic executable, "
+                   "not a length-specialized variant";
+    return check;
+  }
+  // Bit-identity gate, mirroring AnalyzeBatch: every dense call of the step
+  // twin runs on [num_slots, *] activations and the sequential reference
+  // runs on [1, *]; both row counts must route to one kernel family.
+  int variants = exec.dispatch_table.num_variants();
+  bool full_or_empty = variants == codegen::kTileRows || variants == 1;
+  int step_residue =
+      static_cast<int>(num_slots % static_cast<int64_t>(codegen::kTileRows));
+  if (!full_or_empty && !(exec.dispatch_table.Covers(step_residue) &&
+                          exec.dispatch_table.Covers(1 % codegen::kTileRows))) {
+    std::ostringstream why;
+    why << "dense dispatch coverage (mask=0x" << std::hex
+        << exec.dispatch_table.residue_mask() << std::dec
+        << ") does not cover " << num_slots
+        << "-slot steps; mixing kernel families breaks per-row bit-identity";
+    check.reason = why.str();
+    return check;
+  }
+  check.spec = spec;
+  return check;
+}
+
+StepRunner::StepRunner(std::shared_ptr<vm::Executable> exec,
+                       std::string function, int64_t num_slots,
+                       serve::Channel<serve::Request>* queue,
+                       serve::ServeStats* model_stats,
+                       serve::ServeStats* aggregate_stats, obs::Tracer* tracer)
+    : exec_(std::move(exec)),
+      function_(std::move(function)),
+      num_slots_(num_slots),
+      queue_(queue),
+      model_stats_(model_stats),
+      aggregate_stats_(aggregate_stats),
+      tracer_(tracer) {
+  NIMBLE_CHECK(exec_ != nullptr);
+  NIMBLE_CHECK(queue_ != nullptr);
+  ContinuousCheck check = AnalyzeContinuous(*exec_, function_, num_slots_);
+  NIMBLE_CHECK(check.ok()) << "StepRunner on an ineligible executable: "
+                           << check.reason;
+  spec_ = check.spec;
+  allocator_ = serve::LeaseWorkerAllocator();
+  vm_ = std::make_unique<vm::VirtualMachine>(exec_, allocator_);
+  // Persistent step arguments. Zero-filled: idle rows stay all-zero until a
+  // splice claims them, so the very first step reads defined memory.
+  auto zeros = [this](runtime::ShapeVec shape, DataType dtype) {
+    NDArray arr = NDArray::Empty(std::move(shape), dtype,
+                                 runtime::Device::CPU(), allocator_);
+    std::memset(arr.raw_data(), 0, arr.nbytes());
+    return arr;
+  };
+  x_t_ = zeros({num_slots_, spec_->feature_width}, DataType::Float32());
+  active_ = zeros({num_slots_, 1}, DataType::Int64());
+  states_.reserve(static_cast<size_t>(spec_->num_state_args));
+  for (int32_t s = 0; s < spec_->num_state_args; ++s) {
+    states_.push_back(zeros({num_slots_, spec_->state_width},
+                            DataType::Float32()));
+  }
+}
+
+StepRunner::~StepRunner() {
+  Join();
+  // Step arguments hold this allocator's buffers; drop them before the
+  // allocator goes back to the registry. Retired result rows handed to
+  // clients keep it alive on their own (see vm_pool.h).
+  x_t_ = NDArray();
+  active_ = NDArray();
+  states_.clear();
+  vm_.reset();
+  serve::ReleaseWorkerAllocator(allocator_);
+}
+
+void StepRunner::Start() {
+  NIMBLE_CHECK(!thread_.joinable()) << "StepRunner started twice";
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StepRunner::Join() {
+  if (joined_) return;
+  if (thread_.joinable()) thread_.join();
+  joined_ = true;
+}
+
+void StepRunner::Loop() {
+  SlotMap slots(num_slots_);
+  while (true) {
+    // Admission, at step boundaries only. An empty slot map blocks on the
+    // queue (no requests -> no spinning); otherwise drain without waiting —
+    // in-flight rows must keep stepping while the queue is quiet.
+    if (slots.Empty()) {
+      std::optional<serve::Request> request = queue_->Pop();
+      if (!request.has_value()) break;  // queue closed and fully drained
+      Admit(slots, std::move(*request));
+    }
+    while (!slots.Full()) {
+      std::optional<serve::Request> request = queue_->TryPop();
+      if (!request.has_value()) break;
+      Admit(slots, std::move(*request));
+    }
+    if (slots.Empty()) continue;  // every admitted request was rejected
+    RunStep(slots);
+  }
+  // The loop only falls out when the queue is closed+drained AND the map is
+  // empty; a live slot here would be a leaked request.
+  NIMBLE_CHECK(slots.Empty()) << "StepRunner exiting with live slots";
+}
+
+void StepRunner::Admit(SlotMap& slots, serve::Request request) {
+  std::string reason;
+  const NDArray* seq = SeqTensor(*spec_, request, &reason);
+  int64_t length =
+      seq != nullptr ? SeqLength(*spec_, request, *seq, &reason) : -1;
+  // Splice time is this request's dispatch: queue wait ends here, exec
+  // starts here — even though it shares every following step invocation
+  // with its slot-mates.
+  auto now = serve::Clock::now();
+  request.dispatch_time = now;
+  if (request.trace.enabled) {
+    request.trace.sched = now;
+    request.trace.dispatch = now;
+    // No packed tensor is built on this path; the pack span collapses to
+    // zero width at the splice boundary, mirroring the per-request loop.
+    request.trace.pack_start = now;
+    request.trace.pack_end = now;
+    request.trace.packed = true;
+  }
+  if (length < 0) {
+    Complete(std::move(request), nullptr,
+             std::make_exception_ptr(
+                 Error("continuous admission rejected: " + reason)));
+    return;
+  }
+  int64_t slot = slots.Splice(std::move(request), length);
+  // Zero the slot's state rows: a spliced row starts from exactly the solo
+  // initial state (the previous tenant's final values must not leak into
+  // the new request's arithmetic). The returned state tensors are the VM's
+  // freshly-allocated outputs that only this runner still reads, so the
+  // in-place row write aliases nothing.
+  for (NDArray& state : states_) {
+    std::memset(state.data<float>() + slot * spec_->state_width, 0,
+                static_cast<size_t>(spec_->state_width) * sizeof(float));
+  }
+  if (model_stats_ != nullptr) model_stats_->RecordSplice();
+  if (aggregate_stats_ != nullptr) aggregate_stats_->RecordSplice();
+}
+
+void StepRunner::RunStep(SlotMap& slots) {
+  const int64_t B = num_slots_;
+  const int64_t D = spec_->feature_width;
+  const int64_t W = spec_->state_width;
+  float* xp = x_t_.data<float>();
+  int64_t* ap = active_.data<int64_t>();
+  for (int64_t i = 0; i < B; ++i) {
+    if (slots.IsOccupied(i)) {
+      const SlotMap::Slot& slot = slots.At(i);
+      const NDArray& seq = runtime::AsTensor(
+          slot.request.args[static_cast<size_t>(spec_->seq_arg)]);
+      std::memcpy(xp + i * D, seq.data<float>() + slot.pos * D,
+                  static_cast<size_t>(D) * sizeof(float));
+      ap[i] = 1;
+    } else {
+      // Idle rows compute on zeros: deterministic garbage the `where`
+      // freeze discards, and no stale tenant data survives a retire.
+      std::memset(xp + i * D, 0, static_cast<size_t>(D) * sizeof(float));
+      ap[i] = 0;
+    }
+  }
+  int64_t occupied = slots.occupied();
+
+  std::vector<ObjectRef> args;
+  args.reserve(2 + states_.size());
+  args.push_back(runtime::MakeTensor(x_t_));
+  args.push_back(runtime::MakeTensor(active_));
+  for (const NDArray& state : states_) {
+    args.push_back(runtime::MakeTensor(state));
+  }
+  ObjectRef result;
+  try {
+    result = vm_->Invoke(spec_->step_function, std::move(args));
+  } catch (...) {
+    // The step poisoned every in-flight row's state at once; fail them all
+    // and keep serving — the next splice zeroes its rows regardless.
+    FailAll(slots, std::current_exception());
+    return;
+  }
+  if (model_stats_ != nullptr) model_stats_->RecordStep(occupied, B);
+  if (aggregate_stats_ != nullptr) aggregate_stats_->RecordStep(occupied, B);
+
+  // Adopt the returned states as next step's inputs.
+  runtime::ADTObj* tuple = runtime::AsADT(result);
+  NIMBLE_CHECK_EQ(tuple->fields.size(), states_.size())
+      << "step twin returned the wrong number of states";
+  for (size_t s = 0; s < states_.size(); ++s) {
+    states_[s] = runtime::AsTensor(tuple->fields[s]);
+  }
+
+  // Retire every slot whose row just took its final step.
+  const NDArray& result_state =
+      states_[static_cast<size_t>(spec_->result_state)];
+  for (int64_t i = 0; i < B; ++i) {
+    if (!slots.IsOccupied(i)) continue;
+    SlotMap::Slot& slot = slots.At(i);
+    slot.pos++;
+    if (slot.pos < slot.length) continue;
+    auto exec_end = obs::SteadyClock::now();
+    // Copy, not slice: the request's result must not pin the whole
+    // persistent state tensor (same rule as PackPlan::Unpack).
+    NDArray out = NDArray::Empty({1, W}, DataType::Float32(),
+                                 runtime::Device::CPU(), allocator_);
+    std::memcpy(out.data<float>(), result_state.data<float>() + i * W,
+                static_cast<size_t>(W) * sizeof(float));
+    serve::Request request = slots.Retire(i);
+    if (request.trace.enabled) {
+      request.trace.exec_end = exec_end;
+      request.trace.unpack_end = obs::SteadyClock::now();
+    }
+    Complete(std::move(request), runtime::MakeTensor(std::move(out)),
+             nullptr);
+  }
+}
+
+void StepRunner::FailAll(SlotMap& slots, std::exception_ptr error) {
+  for (int64_t i = 0; i < num_slots_; ++i) {
+    if (!slots.IsOccupied(i)) continue;
+    serve::Request request = slots.Retire(i);
+    if (request.trace.enabled) {
+      auto now = obs::SteadyClock::now();
+      request.trace.exec_end = now;
+      request.trace.unpack_end = now;
+    }
+    Complete(std::move(request), nullptr, error);
+  }
+}
+
+void StepRunner::Complete(serve::Request request, ObjectRef result,
+                          std::exception_ptr error) {
+  bool ok = error == nullptr;
+  if (ok) {
+    request.promise.set_value(result);
+  } else {
+    request.promise.set_exception(error);
+  }
+  // Stats before the completion hook, same as the pool workers: a client
+  // that receives its response and immediately scrapes /stats must find
+  // its own request counted.
+  auto now = serve::Clock::now();
+  double latency_us = std::chrono::duration<double, std::micro>(
+                          now - request.enqueue_time)
+                          .count();
+  double queue_wait_us =
+      request.dispatch_time > request.enqueue_time
+          ? std::chrono::duration<double, std::micro>(request.dispatch_time -
+                                                      request.enqueue_time)
+                .count()
+          : 0.0;
+  double exec_us = latency_us - queue_wait_us;
+  if (model_stats_ != nullptr) {
+    model_stats_->RecordCompletion(latency_us, queue_wait_us, exec_us, ok,
+                                   now);
+  }
+  if (aggregate_stats_ != nullptr) {
+    aggregate_stats_->RecordCompletion(latency_us, queue_wait_us, exec_us, ok,
+                                       now);
+  }
+  requests_completed_.fetch_add(1, std::memory_order_relaxed);
+  NotifyComplete(request, std::move(result), std::move(error));
+  FinishTrace(tracer_, request, ok);
+}
+
+}  // namespace batch
+}  // namespace nimble

@@ -1,0 +1,154 @@
+// StepRunner: the continuous (iteration-level) batching execution loop.
+//
+// Classic serving (BatchScheduler + VMPool) batches whole requests: a group
+// is admitted together, padded to its longest member, and the batch holds
+// its workers until every row finishes. This runner replaces that with a
+// persistent batch — a SlotMap of B rows over which it drives the model's
+// single-step twin (vm::BatchedEntrySpec::step_function) one recurrence
+// step per iteration:
+//
+//   loop:
+//     splice   queued requests into free slots (FIFO, at this step
+//              boundary only; the slot's state rows are zeroed — a spliced
+//              row starts from exactly the solo initial state)
+//     step     gather each live slot's next input row into x_t, invoke
+//              step_function once over all B rows, adopt the returned
+//              states as next step's inputs
+//     retire   every slot whose row just reached its own length: slice its
+//              result row out of the result state, fulfil the promise,
+//              run the completion hook, commit the trace — immediately,
+//              not when the rest of the batch finishes
+//
+// Bit-identity: the step twin freezes inactive rows exactly (`where` on the
+// active mask) and the repo's kernels compute rows independently in the
+// same per-row order for any row count, so by induction over steps a
+// request's row goes through the identical arithmetic sequence whether it
+// ran solo, in a batch that opened and closed together, or spliced into
+// the middle of a long-running batch. tests/sched_harness.cc drives
+// thousands of randomized arrival/length schedules asserting exactly this
+// (bitwise, against the sequential path) plus the slot-map invariants.
+//
+// Padding: zero by construction — no slot is ever padded to another slot's
+// length. Every step still computes all B rows, so an idle slot (fewer
+// live requests than slots) wastes its row's compute; that is reported
+// honestly as its own metric (ServeStats::RecordStep ->
+// continuous_idle_row_steps), never folded into the padding counters.
+//
+// Threading: one runner owns one thread, one VM, one SlotMap. It pops its
+// model's RequestQueue directly (the queue stays the admission/backpressure
+// boundary: TrySubmit still sheds with 429 upstream); a Server with
+// continuous models never routes them through the BatchScheduler.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/batch/slot_map.h"
+#include "src/obs/trace.h"
+#include "src/runtime/allocator.h"
+#include "src/runtime/ndarray.h"
+#include "src/serve/channel.h"
+#include "src/serve/request.h"
+#include "src/serve/stats.h"
+#include "src/vm/executable.h"
+#include "src/vm/vm.h"
+
+namespace nimble {
+namespace batch {
+
+/// Outcome of AnalyzeContinuous: `spec != nullptr` means the executable can
+/// serve `function` continuously; otherwise `reason` names the first
+/// registration rule that fired.
+struct ContinuousCheck {
+  const vm::BatchedEntrySpec* spec = nullptr;
+  std::string reason;
+  bool ok() const { return spec != nullptr; }
+};
+
+/// Decides whether `exec` can serve entry `function` with a persistent
+/// batch of `num_slots` rows. Requires a time-major batched spec carrying a
+/// step twin, a generic (non-variant) executable, recurrent state to carry
+/// (num_state_args >= 1, result_state in range), and — the bit-identity
+/// gate mirroring AnalyzeBatch — dense dispatch coverage that routes both
+/// row counts this path sees (num_slots on every step, 1 on the sequential
+/// reference) to one kernel family: full, empty, or covering exactly those
+/// two residues.
+ContinuousCheck AnalyzeContinuous(const vm::Executable& exec,
+                                  const std::string& function,
+                                  int64_t num_slots);
+
+class StepRunner {
+ public:
+  /// `exec` must pass AnalyzeContinuous for `function` and `num_slots`
+  /// (CHECKed). `queue` is the model's request queue; the runner drains it
+  /// until Close()d and empty. `model_stats`/`aggregate_stats`/`tracer` may
+  /// be null. Constructs the VM on the caller's thread (the VM constructor
+  /// populates the process kernel registries, which must happen before
+  /// worker threads run); call Start() to begin serving.
+  StepRunner(std::shared_ptr<vm::Executable> exec, std::string function,
+             int64_t num_slots, serve::Channel<serve::Request>* queue,
+             serve::ServeStats* model_stats,
+             serve::ServeStats* aggregate_stats, obs::Tracer* tracer);
+
+  /// Joins (the queue must already be closed) and releases the leased
+  /// allocator.
+  ~StepRunner();
+
+  StepRunner(const StepRunner&) = delete;
+  StepRunner& operator=(const StepRunner&) = delete;
+
+  /// Starts the runner thread. Call exactly once.
+  void Start();
+
+  /// Waits for the runner to exit: every admitted request retired, queue
+  /// closed and drained. Idempotent.
+  void Join();
+
+  int64_t num_slots() const { return num_slots_; }
+  /// Requests retired (completed or failed) so far. Thread-safe, relaxed.
+  int64_t requests_completed() const {
+    return requests_completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  /// Validates and splices one request, or fails it in place (malformed
+  /// arguments reject with an exception through the normal completion
+  /// sequence — never into a slot).
+  void Admit(SlotMap& slots, serve::Request request);
+  /// One step over all slots: gather, invoke, adopt states, retire
+  /// finished rows.
+  void RunStep(SlotMap& slots);
+  /// Fails every live slot with `error` (a thrown step poisons all
+  /// in-flight states; fresh requests are unaffected).
+  void FailAll(SlotMap& slots, std::exception_ptr error);
+  void Complete(serve::Request request, runtime::ObjectRef result,
+                std::exception_ptr error);
+
+  std::shared_ptr<vm::Executable> exec_;
+  const vm::BatchedEntrySpec* spec_;  // points into *exec_
+  std::string function_;
+  int64_t num_slots_;
+  serve::Channel<serve::Request>* queue_;
+  serve::ServeStats* model_stats_;
+  serve::ServeStats* aggregate_stats_;
+  obs::Tracer* tracer_;
+  runtime::PoolingAllocator* allocator_;  // leased, never null
+  std::unique_ptr<vm::VirtualMachine> vm_;
+  /// Persistent step arguments, reused across invocations: x_t [B, D],
+  /// active [B, 1] i64, then num_state_args states [B, W]. States are
+  /// replaced by each invocation's returned tensors (freshly allocated by
+  /// the VM, so mutating rows between invocations aliases nothing).
+  runtime::NDArray x_t_;
+  runtime::NDArray active_;
+  std::vector<runtime::NDArray> states_;
+  std::atomic<int64_t> requests_completed_{0};
+  std::thread thread_;
+  bool joined_ = false;
+};
+
+}  // namespace batch
+}  // namespace nimble

@@ -81,6 +81,9 @@ CompileResult Compile(ir::Module& mod, const CompileOptions& options) {
     if (!stamped.exact_batched_function.empty()) {
       result.executable->FunctionIndex(stamped.exact_batched_function);
     }
+    if (!stamped.step_function.empty()) {
+      result.executable->FunctionIndex(stamped.step_function);  // must exist
+    }
     result.executable->batched.push_back(std::move(stamped));
   }
   if (options.specialize_length > 0) {

@@ -234,9 +234,78 @@ LSTMModel BuildLSTM(const LSTMConfig& config) {
                                     bstate_type));
     }
 
+    // ---- step twin (@main_step): continuous batching's unit of work ------
+    //
+    // One recurrence step over a persistent [Bs, *] slot map: the host
+    // (src/batch/step_runner.cc) gathers each live slot's next input row
+    // into x_t, passes the previous step's states back in, and retires a
+    // slot's row the step its request reaches its own length. `active`
+    // marks live slots; `where(0 < active, new, old)` freezes the rest
+    // exactly — combined with host-zeroed state rows at splice time, a
+    // spliced row's arithmetic sequence is identical to @main's, so the
+    // result is bit-identical whether a request ran solo, in a closed
+    // batch, or spliced mid-flight. The cell is the canonical UnfusedCell,
+    // so FuseLSTMCell fires here exactly as in both loops above.
+    {
+      Dim Bs = Dim::FreshSym("Bs");
+      Type xt_type = TensorType({Bs, Dim::Static(config.input_size)});
+      Type active_type =
+          TensorType(Shape{Bs, Dim::Static(1)}, DataType::Int64());
+      Type sstate_type = TensorType(Shape{Bs, Dim::Static(H)});
+
+      Var sx = MakeVar("x_t", xt_type);
+      Var sactive = MakeVar("active", active_type);
+      std::vector<Var> sparams{sx, sactive};
+      std::vector<Var> shs, scs;
+      for (int l = 0; l < config.num_layers; ++l) {
+        shs.push_back(MakeVar("h" + std::to_string(l), sstate_type));
+        scs.push_back(MakeVar("c" + std::to_string(l), sstate_type));
+        sparams.push_back(shs.back());
+        sparams.push_back(scs.back());
+      }
+      Var live = MakeVar("live");
+      std::vector<std::pair<Var, Expr>> sbindings;
+      sbindings.emplace_back(live, Call2("less", IntConst(0), sactive));
+      std::vector<Expr> next_states;
+      Expr slayer_in = sx;
+      for (int l = 0; l < config.num_layers; ++l) {
+        Expr wx = MakeConstant(model.weights.layers[l].wx);
+        Expr wh = MakeConstant(model.weights.layers[l].wh);
+        Expr b = MakeConstant(model.weights.layers[l].b);
+        Expr gates = Call2(
+            "nn.bias_add",
+            Call2("add", Call2("nn.dense", slayer_in, wx),
+                  Call2("nn.dense", shs[l], wh)),
+            b);
+        Var cv = MakeVar("cell" + std::to_string(l));
+        sbindings.emplace_back(cv, UnfusedCell(gates, scs[l]));
+        Var h_next = MakeVar("h_next" + std::to_string(l));
+        Var c_next = MakeVar("c_next" + std::to_string(l));
+        sbindings.emplace_back(
+            h_next, Call3("where", live, MakeTupleGetItem(cv, 0), shs[l]));
+        sbindings.emplace_back(
+            c_next, Call3("where", live, MakeTupleGetItem(cv, 1), scs[l]));
+        next_states.push_back(h_next);
+        next_states.push_back(c_next);
+        slayer_in = h_next;
+      }
+      Expr sbody = MakeTuple(next_states);
+      for (auto it = sbindings.rbegin(); it != sbindings.rend(); ++it) {
+        sbody = MakeLet(it->first, it->second, sbody);
+      }
+      std::vector<Type> state_types(static_cast<size_t>(2 * config.num_layers),
+                                    sstate_type);
+      model.module.Add("main_step",
+                       MakeFunction(sparams, sbody, TupleType(state_types)));
+    }
+
     model.batched_spec.function = "main";
     model.batched_spec.batched_function = "main_batched";
     model.batched_spec.exact_batched_function = "main_batched_exact";
+    model.batched_spec.step_function = "main_step";
+    // @main returns the last layer's h; in main_step's interleaved
+    // (h_l, c_l) state order that is state 2*(num_layers-1).
+    model.batched_spec.result_state = 2 * (config.num_layers - 1);
     model.batched_spec.seq_arg = 0;
     model.batched_spec.len_arg = 1;
     model.batched_spec.feature_width = static_cast<int32_t>(config.input_size);

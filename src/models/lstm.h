@@ -28,7 +28,12 @@ struct LSTMConfig {
   /// LSTMModel::batched_spec. An unmasked @main_batched_exact twin rides
   /// along for length-specialized executable variants
   /// (CompileOptions::specialize_length), whose batches always run every
-  /// row for the full max_len steps. Off by default: non-serving callers
+  /// row for the full max_len steps. A single-step @main_step twin
+  /// (one recurrence step over a persistent [B, *] slot map, inactive rows
+  /// frozen by `where` on an `active` mask) also rides along for the
+  /// continuous-batching runner (src/batch/step_runner.h), which splices
+  /// and retires requests at step granularity while preserving the same
+  /// bit-identity. Off by default: non-serving callers
   /// should not pay the twins' compile time and bytecode; serving sites opt
   /// in here AND pass the spec via CompileOptions::batched_entries.
   bool emit_batched = false;

@@ -134,9 +134,18 @@ HttpCodec::Status HttpCodec::Next(HttpRequest* out) {
       }
     }
     if (const std::string* cl = pending_.FindHeader("content-length")) {
+      // Digits only: strtoull would silently accept "-4" (wrapping to a
+      // huge unsigned and misreporting it as 413) and leading whitespace.
+      bool all_digits = !cl->empty();
+      for (char ch : *cl) {
+        if (ch < '0' || ch > '9') {
+          all_digits = false;
+          break;
+        }
+      }
       char* end = nullptr;
       unsigned long long n = std::strtoull(cl->c_str(), &end, 10);
-      if (end != cl->c_str() + cl->size() || cl->empty()) {
+      if (!all_digits || end != cl->c_str() + cl->size()) {
         return Poison(400, "malformed Content-Length");
       }
       if (n > limits_.max_body_bytes) {

@@ -246,6 +246,14 @@ class Parser {
             else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
             else return Fail("invalid \\u escape");
           }
+          // Surrogate halves are not scalar values: encoding one as UTF-8
+          // would emit the ill-formed CESU-8 bytes every validating
+          // consumer rejects. Pairs are unsupported (json.h documents the
+          // BMP-only contract), so reject the whole range rather than
+          // silently producing invalid UTF-8.
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Fail("unsupported \\u surrogate");
+          }
           // UTF-8 encode (BMP only; surrogate pairs unsupported).
           if (code < 0x80) {
             out->push_back(static_cast<char>(code));

@@ -10,7 +10,9 @@
 // and Parse() is a single pass with no intermediate tokens.
 //
 // Not a general-purpose JSON library: no \uXXXX surrogate pairs beyond the
-// BMP, numbers outside double's exact-integer range lose precision, and
+// BMP (any \uXXXX in the surrogate range D800-DFFF is a parse error, never
+// silently encoded), numbers outside double's exact-integer range lose
+// precision, and
 // nesting is capped (kMaxDepth) so a hostile body cannot blow the stack.
 #pragma once
 

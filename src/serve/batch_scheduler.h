@@ -79,6 +79,23 @@ struct BatchPolicy {
   /// CompileOptions::batched_entries); batches the executable cannot pack
   /// fall back to the per-request loop automatically. Off by default.
   bool tensor_batching = false;
+  /// Serve this model with continuous (iteration-level) batching instead of
+  /// whole-batch scheduling: a dedicated slot-map runner
+  /// (src/batch/step_runner.h) drives the model's single-step twin over a
+  /// persistent `continuous_slots`-row batch, splicing queued requests into
+  /// free slots and retiring each row the step it reaches its own length.
+  /// The model bypasses the BatchScheduler and VMPool entirely (its
+  /// RequestQueue stays the admission/backpressure boundary); the knobs
+  /// above — batch size, waits, buckets, tensor_batching — do not apply.
+  /// Requires the executable to carry a step twin
+  /// (vm::BatchedEntrySpec::step_function) and forbids an exec_cache
+  /// (variants bake an Lmax the persistent batch does not have); both are
+  /// enforced at AddModel.
+  bool continuous = false;
+  /// Rows of the persistent batch when `continuous` is set (the fixed B of
+  /// every step invocation — more slots ride out bursts, fewer waste less
+  /// idle-row compute under light load).
+  int64_t continuous_slots = 8;
   /// Upper bounds (inclusive) of the length buckets; lengths above the last
   /// edge fall into an implicit overflow bucket. Defaults cover the MRPC
   /// length distribution (mean ~40, clipped to 128).

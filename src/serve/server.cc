@@ -58,6 +58,15 @@ StatsMetricBindings MakeModelBindings(obs::MetricRegistry& registry,
   b.adaptive_wait_us = registry.GetGauge(
       "nimble_adaptive_wait_us", m,
       "Effective adaptive max-wait applied by the scheduler");
+  b.splices = registry.GetCounter(
+      "nimble_splices_total", m,
+      "Requests spliced into the persistent batch (continuous batching)");
+  b.continuous_steps = registry.GetCounter(
+      "nimble_continuous_steps_total", m,
+      "Step-twin invocations over the persistent batch");
+  b.slot_occupancy = registry.GetGauge(
+      "nimble_slot_occupancy", m,
+      "Live slots of the persistent batch as of the latest step");
   b.e2e_latency_us = registry.GetHistogram(
       "nimble_e2e_latency_us", m, obs::Histogram::LatencyBoundsUs(),
       "End-to-end request latency (admission to result), microseconds");
@@ -101,6 +110,19 @@ void Server::AddModel(const std::string& name, ModelConfig model) {
   state->function = std::move(model.function);
   state->weight = model.weight;
   state->policy = std::move(model.batch);
+  if (state->policy.continuous) {
+    // Fail at registration, not at first request: a model that cannot serve
+    // continuously (no step twin, variant executable, uncovered dispatch)
+    // is a configuration error.
+    batch::ContinuousCheck check = batch::AnalyzeContinuous(
+        *state->exec, state->function, state->policy.continuous_slots);
+    NIMBLE_CHECK(check.ok())
+        << "model '" << name << "' cannot serve continuously: " << check.reason;
+    NIMBLE_CHECK(model.exec_cache == nullptr)
+        << "model '" << name
+        << "': an executable cache cannot serve a continuous model (variants "
+           "bake an Lmax; the persistent batch has none)";
+  }
   if (model.exec_cache != nullptr) {
     NIMBLE_CHECK(state->policy.tensor_batching)
         << "model '" << name
@@ -131,14 +153,29 @@ void Server::AddModel(const std::string& name, ModelConfig model) {
 void Server::Start() {
   NIMBLE_CHECK(!started_.load()) << "Start called twice";
   NIMBLE_CHECK(!models_.empty()) << "Start with no models registered";
-  pool_ = std::make_unique<VMPool>(config_.num_workers, &stats_,
-                                   config_.max_pending_batches);
-  std::vector<ModelState*> states;
-  states.reserve(models_.size());
-  for (auto& model : models_) states.push_back(model.get());
-  scheduler_ = std::make_unique<BatchScheduler>(std::move(states), pool_.get(),
-                                                &stats_);
-  scheduler_->Start();
+  // Continuous models get a dedicated slot-map runner each and never enter
+  // the scheduler's model list; everything else shares the scheduler+pool
+  // pipeline as before. Runner VMs are constructed here, on the owning
+  // thread, for the same registry-population reason as the pool's.
+  std::vector<ModelState*> bucketed;
+  bucketed.reserve(models_.size());
+  for (auto& model : models_) {
+    if (model->policy.continuous) {
+      runners_.push_back(std::make_unique<batch::StepRunner>(
+          model->exec, model->function, model->policy.continuous_slots,
+          model->queue.get(), &model->stats, &stats_, tracer_.get()));
+    } else {
+      bucketed.push_back(model.get());
+    }
+  }
+  if (!bucketed.empty()) {
+    pool_ = std::make_unique<VMPool>(config_.num_workers, &stats_,
+                                     config_.max_pending_batches);
+    scheduler_ = std::make_unique<BatchScheduler>(std::move(bucketed),
+                                                  pool_.get(), &stats_);
+    scheduler_->Start();
+  }
+  for (auto& runner : runners_) runner->Start();
   started_.store(true);
 }
 
@@ -317,9 +354,14 @@ void Server::Drain() {
     // promise/callback is therefore fulfilled before Join returns —
     // teardown never drops queued work.
     for (auto& model : models_) model->queue->Close();
-    scheduler_->Join();
-    pool_->Close();
-    pool_->Join();
+    // Step runners exit on their own once their queue is closed+drained and
+    // every live slot has retired — same no-dropped-work guarantee.
+    for (auto& runner : runners_) runner->Join();
+    if (scheduler_ != nullptr) scheduler_->Join();
+    if (pool_ != nullptr) {
+      pool_->Close();
+      pool_->Join();
+    }
   }
 }
 

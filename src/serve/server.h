@@ -18,6 +18,12 @@
 //   (or a completion callback: the HTTP front end in src/net/ admits via
 //    TrySubmitCallback and finishes responses asynchronously)
 //
+// A model registered with BatchPolicy::continuous skips the scheduler and
+// pool: its RequestQueue feeds a dedicated batch::StepRunner that splices
+// requests into a persistent slot-map batch and retires each one the step
+// its row finishes (continuous / iteration-level batching). Admission,
+// backpressure, stats, and tracing are identical either way.
+//
 // Lifecycle: construct, AddModel() for each executable, Start(), then
 // Submit from any thread. The single-model convenience constructor does all
 // of that in one call and keeps the original PR-1 API working.
@@ -37,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "src/batch/step_runner.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/serve/batch_scheduler.h"
@@ -245,8 +252,14 @@ class Server {
   /// hold ModelState pointers. Registration order defines model indices.
   std::vector<std::unique_ptr<ModelState>> models_;
   std::map<std::string, int> model_index_;
+  /// Null when every registered model is continuous (no scheduler/pool to
+  /// run); Drain() handles either shape.
   std::unique_ptr<VMPool> pool_;
   std::unique_ptr<BatchScheduler> scheduler_;
+  /// One slot-map runner per continuous model (BatchPolicy::continuous);
+  /// such models never appear in the scheduler's model list — their queues
+  /// are drained by their runner's thread directly.
+  std::vector<std::unique_ptr<batch::StepRunner>> runners_;
   std::atomic<int64_t> next_id_{0};
   std::atomic<bool> started_{false};
   std::atomic<bool> shutdown_{false};

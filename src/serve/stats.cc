@@ -36,6 +36,11 @@ std::string StatsSnapshot::ToString() const {
        << " hits, " << cache_evictions << " evictions, " << variant_compiles
        << " compiles";
   }
+  if (continuous_steps > 0) {
+    os << "; continuous " << splices << " splices over " << continuous_steps
+       << " steps, mean occupancy " << mean_slot_occupancy << "/"
+       << slot_count << " (idle " << idle_slot_fraction * 100.0 << "%)";
+  }
   return os.str();
 }
 
@@ -152,6 +157,27 @@ void ServeStats::RecordVariantCompile() {
   if (metrics_.variant_compiles != nullptr) metrics_.variant_compiles->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   variant_compiles_++;
+}
+
+void ServeStats::RecordSplice() {
+  if (metrics_.splices != nullptr) metrics_.splices->Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  splices_++;
+}
+
+void ServeStats::RecordStep(int64_t occupied, int64_t num_slots) {
+  if (metrics_.continuous_steps != nullptr) {
+    metrics_.continuous_steps->Increment();
+  }
+  if (metrics_.slot_occupancy != nullptr) {
+    metrics_.slot_occupancy->Set(static_cast<double>(occupied));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  continuous_steps_++;
+  continuous_row_steps_ += num_slots;
+  continuous_idle_row_steps_ += num_slots - occupied;
+  slot_count_ = num_slots;
+  slot_occupancy_ = occupied;
 }
 
 void ServeStats::RecordCompletion(double latency_us, double queue_wait_us,
@@ -272,6 +298,23 @@ StatsSnapshot ServeStats::Snapshot() const {
   snap.cache_misses = cache_misses_;
   snap.cache_evictions = cache_evictions_;
   snap.variant_compiles = variant_compiles_;
+  snap.splices = splices_;
+  snap.continuous_steps = continuous_steps_;
+  snap.continuous_row_steps = continuous_row_steps_;
+  snap.continuous_idle_row_steps = continuous_idle_row_steps_;
+  snap.slot_count = slot_count_;
+  snap.slot_occupancy = slot_occupancy_;
+  if (continuous_steps_ > 0) {
+    snap.mean_slot_occupancy =
+        static_cast<double>(continuous_row_steps_ -
+                            continuous_idle_row_steps_) /
+        static_cast<double>(continuous_steps_);
+  }
+  if (continuous_row_steps_ > 0) {
+    snap.idle_slot_fraction =
+        static_cast<double>(continuous_idle_row_steps_) /
+        static_cast<double>(continuous_row_steps_);
+  }
   if (cache_hits_ + cache_misses_ > 0) {
     snap.cache_hit_rate = static_cast<double>(cache_hits_) /
                           static_cast<double>(cache_hits_ + cache_misses_);
@@ -318,6 +361,8 @@ void ServeStats::Reset() {
   padding_by_bucket_.clear();
   variant_batches_ = variant_padded_elements_ = variant_total_elements_ = 0;
   cache_hits_ = cache_misses_ = cache_evictions_ = variant_compiles_ = 0;
+  splices_ = continuous_steps_ = continuous_row_steps_ = 0;
+  continuous_idle_row_steps_ = slot_count_ = slot_occupancy_ = 0;
   started_ = false;
   first_enqueue_ = Clock::time_point{};
   last_completion_ = Clock::time_point{};

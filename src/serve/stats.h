@@ -101,6 +101,20 @@ struct StatsSnapshot {
   int64_t cache_evictions = 0;
   int64_t variant_compiles = 0;
   double cache_hit_rate = 0.0;  // hits / (hits + misses)
+  /// Continuous (iteration-level) batching accounting (src/batch/
+  /// step_runner.h). A "row step" is one slot for one step of the
+  /// persistent batch; idle row steps are slots that computed while holding
+  /// no request — the ONLY waste on this path, reported separately from
+  /// padding_waste because structural packing padding is zero by
+  /// construction (no slot ever pads to another slot's length).
+  int64_t splices = 0;            // requests spliced into a slot
+  int64_t continuous_steps = 0;   // step-function invocations
+  int64_t continuous_row_steps = 0;       // steps * slots
+  int64_t continuous_idle_row_steps = 0;  // row steps with no live request
+  int64_t slot_count = 0;      // configured slots (0 = model not continuous)
+  int64_t slot_occupancy = 0;  // live slots as of the latest step
+  double mean_slot_occupancy = 0.0;  // live row steps / steps
+  double idle_slot_fraction = 0.0;   // idle row steps / row steps
   double elapsed_seconds = 0.0;   // first enqueue -> last completion
   double throughput_rps = 0.0;    // completed / elapsed_seconds
   double mean_latency_us = 0.0;
@@ -137,7 +151,10 @@ struct StatsMetricBindings {
   obs::Counter* cache_misses = nullptr;
   obs::Counter* cache_evictions = nullptr;
   obs::Counter* variant_compiles = nullptr;
+  obs::Counter* splices = nullptr;
+  obs::Counter* continuous_steps = nullptr;
   obs::Gauge* adaptive_wait_us = nullptr;
+  obs::Gauge* slot_occupancy = nullptr;
   obs::Histogram* e2e_latency_us = nullptr;
   obs::Histogram* queue_wait_us = nullptr;
   obs::Histogram* exec_us = nullptr;
@@ -186,6 +203,13 @@ class ServeStats {
   void RecordCacheMiss();
   void RecordCacheEviction();
   void RecordVariantCompile();
+
+  // Continuous-batching events (recorded by batch::StepRunner).
+  /// One request spliced into a slot of the persistent batch.
+  void RecordSplice();
+  /// One step-function invocation over `num_slots` slots of which
+  /// `occupied` held live requests. Also refreshes the occupancy gauge.
+  void RecordStep(int64_t occupied, int64_t num_slots);
 
   /// One request finished (promise fulfilled). `latency_us` is end-to-end:
   /// enqueue to result ready. `ok` is false when the VM threw.
@@ -254,6 +278,12 @@ class ServeStats {
   int64_t cache_misses_ = 0;
   int64_t cache_evictions_ = 0;
   int64_t variant_compiles_ = 0;
+  int64_t splices_ = 0;
+  int64_t continuous_steps_ = 0;
+  int64_t continuous_row_steps_ = 0;
+  int64_t continuous_idle_row_steps_ = 0;
+  int64_t slot_count_ = 0;
+  int64_t slot_occupancy_ = 0;
   bool started_ = false;
   Clock::time_point first_enqueue_{};
   Clock::time_point last_completion_{};

@@ -52,6 +52,14 @@ size_t PendingBatchCap(int num_workers, size_t max_pending_batches) {
 
 }  // namespace
 
+runtime::PoolingAllocator* LeaseWorkerAllocator() {
+  return WorkerAllocatorRegistry::Global().Lease();
+}
+
+void ReleaseWorkerAllocator(runtime::PoolingAllocator* allocator) {
+  WorkerAllocatorRegistry::Global().Release(allocator);
+}
+
 VMPool::VMPool(int num_workers, ServeStats* stats, size_t max_pending_batches)
     : stats_(stats),
       batches_(PendingBatchCap(num_workers, max_pending_batches)) {

@@ -42,6 +42,19 @@
 namespace nimble {
 namespace serve {
 
+/// Leases a worker allocator from the process-lifetime registry described
+/// above (created on first lease, recycled thereafter, never destroyed).
+/// Besides the pool's own workers, the continuous-batching step runners
+/// (src/batch/step_runner.h) lease theirs here too — their retired result
+/// rows have exactly the same outlive-the-server property.
+runtime::PoolingAllocator* LeaseWorkerAllocator();
+
+/// Returns a leased allocator to the registry (trimmed, then recycled by
+/// the next lease). The caller must have dropped every NDArray it still
+/// holds from this allocator's VM first — results handed to clients are
+/// fine, they keep the allocator alive via their Buffers.
+void ReleaseWorkerAllocator(runtime::PoolingAllocator* allocator);
+
 class VMPool {
  public:
   /// Builds `num_workers` unbound VMs and starts their threads. `stats` may

@@ -65,6 +65,30 @@ struct BatchedEntrySpec {
   /// per step. Empty when the builder emits no such twin; generic
   /// executables never run it.
   std::string exact_batched_function;
+  /// Optional single-step twin for continuous (iteration-level) batching:
+  /// ONE recurrence step over a persistent slot-map of rows instead of a
+  /// whole padded flight. Time-major only. Calling convention:
+  ///
+  ///   step_function(x_t:    [B, D] float32,   // this step's row per slot
+  ///                 active: [B, 1] int64,     // 1 = slot holds a live row
+  ///                 state_0: [B, state_width],
+  ///                 ...,                      // num_state_args states
+  ///                 ) -> Tuple(state_0', ..., state_{n-1}')
+  ///
+  /// The function must freeze inactive rows exactly (`where` on
+  /// `0 < active`), so a host-side step loop that zeroes a slot's state
+  /// rows when a request is spliced in and reads its result row when it
+  /// retires reproduces the per-request entry bit for bit (the slot-map
+  /// runner in src/batch/step_runner.h is that loop). Empty when the
+  /// builder emits no step twin; the continuous serving path then rejects
+  /// the model at registration.
+  std::string step_function;
+  /// Which of step_function's returned states holds the per-request result:
+  /// after a row's final step, row r of state `result_state` is the same
+  /// [1, state_width] value the per-request entry would have returned (for
+  /// an LSTM, the last layer's h). Only meaningful when step_function is
+  /// set.
+  int32_t result_state = 0;
   /// Packing layout; selects the calling convention above.
   Layout layout = Layout::kTimeMajor;
   /// Index of the per-request argument holding the [len, D] float32 sequence.

@@ -20,7 +20,13 @@ constexpr uint32_t kMagic = 0x4e4d424cu;  // "NMBL"
 //     files still load: their stride configuration maps onto a mask, they
 //     use the time-major layout, and they are generic (non-variant)
 //     executables.
-constexpr uint32_t kVersion = 4;
+// v5: batched specs gain the optional continuous-batching step twin
+//     (BatchedEntrySpec::step_function + result_state). v2-v4 files still
+//     load: their
+//     specs simply carry no step function, so the continuous serving path
+//     rejects them at registration exactly like a builder that never
+//     emitted one.
+constexpr uint32_t kVersion = 5;
 
 // ---- primitive writers/readers ---------------------------------------------
 
@@ -218,6 +224,8 @@ void Executable::Save(std::ostream& os) const {
     WriteString(os, spec.function);
     WriteString(os, spec.batched_function);
     WriteString(os, spec.exact_batched_function);
+    WriteString(os, spec.step_function);
+    WritePod<int32_t>(os, spec.result_state);
     WritePod<int32_t>(os, static_cast<int32_t>(spec.layout));
     WritePod<int32_t>(os, spec.seq_arg);
     WritePod<int32_t>(os, spec.len_arg);
@@ -276,6 +284,10 @@ std::shared_ptr<Executable> Executable::Load(std::istream& is) {
       spec.batched_function = ReadString(is);
       if (version >= 4) {
         spec.exact_batched_function = ReadString(is);
+        if (version >= 5) {
+          spec.step_function = ReadString(is);
+          spec.result_state = ReadPod<int32_t>(is);
+        }
         spec.layout =
             static_cast<BatchedEntrySpec::Layout>(ReadPod<int32_t>(is));
       }

@@ -1,0 +1,233 @@
+// Shared driver for the continuous-batching randomized test harness.
+//
+// One ContinuousHarness owns a compiled LSTM (batched + step twins stamped)
+// and can replay any schedfuzz::FuzzSchedule against it end to end:
+//
+//   1. generate each request's input from the schedule's seed and compute
+//      the sequential single-VM reference result;
+//   2. serve the same requests through a Server in continuous mode
+//      (BatchPolicy::continuous -> batch::StepRunner slot map), honouring
+//      the schedule's inter-arrival gaps;
+//   3. assert bitwise equality against the reference for every request,
+//      FIFO admission (splice timestamps non-decreasing in submission
+//      order), and the slot-map accounting invariants:
+//        - every request spliced exactly once and completed exactly once
+//          (splices == completed == n, failed == 0 — no leak, no double
+//          retire at the stats level; SlotMap CHECKs the same per-slot);
+//        - live row steps == sum of request lengths (each request holds a
+//          slot for exactly its own length — step-granular retire);
+//        - row steps == steps * slots (the fixed-B step loop);
+//        - zero packed batches (nothing on this path ever pads).
+//
+// RunSchedule returns "" on success or a failure message that embeds the
+// schedule's replay line (seed + flavor), so both consumers — the gtest
+// smoke tests in tests/test_continuous.cc (fixed seeds, part of ctest) and
+// the standalone sweeper tests/sched_harness.cc (--runs/--seed, thousands
+// of schedules, nightly CI) — report replayable failures. This header is
+// deliberately gtest-free so the harness binary stays assertion-framework
+// independent.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/models/lstm.h"
+#include "src/models/workloads.h"
+#include "src/runtime/ndarray.h"
+#include "src/runtime/object.h"
+#include "src/serve/server.h"
+#include "src/vm/vm.h"
+#include "tests/sched_fuzz.h"
+
+namespace nimble {
+namespace schedfuzz {
+
+/// "" when bit-identical, else a description of the first divergence.
+inline std::string CompareBits(const runtime::NDArray& got,
+                               const runtime::NDArray& want, size_t index) {
+  std::ostringstream os;
+  if (got.shape() != want.shape()) {
+    os << "request " << index << ": shape mismatch";
+    return os.str();
+  }
+  const float* pg = got.data<float>();
+  const float* pw = want.data<float>();
+  for (int64_t j = 0; j < got.num_elements(); ++j) {
+    if (pg[j] != pw[j]) {
+      os << "request " << index << ": bit divergence at flat index " << j
+         << " (got " << pg[j] << ", want " << pw[j] << ")";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+struct ContinuousHarness {
+  models::LSTMModel model;
+  std::shared_ptr<vm::Executable> exec;
+  int64_t input_size = 8;
+
+  explicit ContinuousHarness(int hidden_size = 12, int num_layers = 1,
+                             uint64_t weight_seed = 7) {
+    models::LSTMConfig config;
+    config.input_size = input_size;
+    config.hidden_size = hidden_size;
+    config.num_layers = num_layers;
+    config.seed = weight_seed;
+    config.emit_batched = true;
+    model = models::BuildLSTM(config);
+    ir::Module mod = model.module;
+    core::CompileOptions opts;
+    opts.batched_entries = {model.batched_spec};
+    exec = core::Compile(mod, opts).executable;
+  }
+
+  /// Replays `schedule` against a `num_slots`-slot continuous server.
+  /// Returns "" on success, else the first failure (with the replay line).
+  std::string RunSchedule(const FuzzSchedule& schedule, int64_t num_slots) {
+    using runtime::MakeTensor;
+    using runtime::NDArray;
+    const size_t n = schedule.requests.size();
+
+    // Inputs and the sequential reference, from the schedule's own seed
+    // (offset so the input stream is independent of the arrival stream).
+    support::Rng rng(schedule.seed ^ 0xc0ffee);
+    std::vector<NDArray> inputs;
+    std::vector<NDArray> expected;
+    inputs.reserve(n);
+    expected.reserve(n);
+    {
+      vm::VirtualMachine sequential(exec);
+      for (const FuzzRequest& r : schedule.requests) {
+        NDArray x = models::RandomSequence(r.length, input_size, rng);
+        inputs.push_back(x);
+        expected.push_back(runtime::AsTensor(sequential.Invoke(
+            "main",
+            {MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(r.length))})));
+      }
+    }
+
+    serve::ServeConfig config;
+    config.num_workers = 1;  // unused: a pure-continuous server has no pool
+    serve::Server server(config);
+    serve::ModelConfig mc;
+    mc.exec = exec;
+    // Roomy queue: this driver asserts serving invariants, not shedding
+    // (admission-overflow behaviour has its own tests).
+    mc.queue_capacity = n + 1;
+    mc.batch.continuous = true;
+    mc.batch.continuous_slots = num_slots;
+    server.AddModel("lstm", std::move(mc));
+    server.Start();
+
+    struct Completion {
+      std::atomic<bool> done{false};
+      runtime::ObjectRef result;
+      std::exception_ptr error;
+      obs::SteadyClock::time_point dispatch{};
+    };
+    std::vector<Completion> completions(n);
+
+    for (size_t i = 0; i < n; ++i) {
+      const FuzzRequest& r = schedule.requests[i];
+      if (r.arrival_gap_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(r.arrival_gap_us));
+      }
+      Completion* c = &completions[i];
+      auto admit = server.TrySubmitCallback(
+          "lstm",
+          {MakeTensor(inputs[i]), MakeTensor(NDArray::Scalar<int64_t>(
+                                      schedule.requests[i].length))},
+          r.length,
+          [c](runtime::ObjectRef result, std::exception_ptr error,
+              const obs::TraceContext& trace) {
+            c->result = std::move(result);
+            c->error = error;
+            c->dispatch = trace.dispatch;
+            c->done.store(true, std::memory_order_release);
+          });
+      if (!admit.accepted()) {
+        std::ostringstream os;
+        os << "request " << i << " not admitted " << schedule.Describe();
+        return os.str();
+      }
+    }
+
+    // Drain joins the runner, which exits only after retiring every slot;
+    // every callback has therefore fired by the time this returns.
+    server.Drain();
+
+    for (size_t i = 0; i < n; ++i) {
+      if (!completions[i].done.load(std::memory_order_acquire)) {
+        std::ostringstream os;
+        os << "request " << i << " never completed " << schedule.Describe();
+        return os.str();
+      }
+      if (completions[i].error != nullptr) {
+        std::string what = "unknown error";
+        try {
+          std::rethrow_exception(completions[i].error);
+        } catch (const std::exception& e) {
+          what = e.what();
+        } catch (...) {
+        }
+        std::ostringstream os;
+        os << "request " << i << " failed: " << what << " "
+           << schedule.Describe();
+        return os.str();
+      }
+      std::string diff = CompareBits(runtime::AsTensor(completions[i].result),
+                                     expected[i], i);
+      if (!diff.empty()) return diff + " " + schedule.Describe();
+    }
+
+    // FIFO admission: the runner splices in queue order on one thread, so
+    // splice (dispatch) timestamps must be non-decreasing in submission
+    // order.
+    for (size_t i = 1; i < n; ++i) {
+      if (completions[i].dispatch < completions[i - 1].dispatch) {
+        std::ostringstream os;
+        os << "FIFO violation: request " << i << " spliced before request "
+           << (i - 1) << " " << schedule.Describe();
+        return os.str();
+      }
+    }
+
+    // Slot-map accounting invariants over the whole run.
+    auto snap = server.stats("lstm");
+    int64_t total_len = 0;
+    for (const FuzzRequest& r : schedule.requests) total_len += r.length;
+    std::ostringstream os;
+    if (snap.splices != static_cast<int64_t>(n)) {
+      os << "splices " << snap.splices << " != requests " << n;
+    } else if (snap.completed != static_cast<int64_t>(n) || snap.failed != 0) {
+      os << "completed " << snap.completed << " failed " << snap.failed
+         << " != requests " << n;
+    } else if (snap.continuous_row_steps - snap.continuous_idle_row_steps !=
+               total_len) {
+      os << "live row steps "
+         << (snap.continuous_row_steps - snap.continuous_idle_row_steps)
+         << " != total request length " << total_len
+         << " (a slot held a request for the wrong number of steps)";
+    } else if (snap.continuous_row_steps !=
+               snap.continuous_steps * num_slots) {
+      os << "row steps " << snap.continuous_row_steps << " != steps "
+         << snap.continuous_steps << " * slots " << num_slots;
+    } else if (snap.packed_batches != 0 || snap.padded_elements != 0) {
+      os << "continuous path reported packed/padded batches";
+    }
+    std::string failure = os.str();
+    if (!failure.empty()) return failure + " " + schedule.Describe();
+    return "";
+  }
+};
+
+}  // namespace schedfuzz
+}  // namespace nimble

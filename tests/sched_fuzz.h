@@ -1,0 +1,164 @@
+// Property-style randomized scheduler testing utilities.
+//
+// Serving schedulers fail on *schedules*, not on single requests: a retire
+// and a splice landing on the same step boundary, a burst overflowing the
+// slot map while a straggler drains, a length-1 request arriving behind a
+// maximal one. Hand-written tests enumerate the schedules someone thought
+// of; this header generates the rest. A FuzzSchedule is a deterministic
+// function of its seed — lengths and inter-arrival gaps drawn from one of
+// three generator flavors — so every failure is replayable:
+//
+//   FuzzSchedule s = schedfuzz::MakeSchedule(seed, n, max_len);
+//   ... drive the scheduler under test, assert its invariants ...
+//   ASSERT_...(...) << s.Describe();   // prints "seed=... flavor=..."
+//
+// On failure the assertion message carries the seed; rerun the same build
+// with that seed (tests/sched_harness.cc takes --seed, the gtest smoke
+// tests hardcode theirs) and the identical schedule replays. Flavors:
+//
+//   kPoisson     independent exponential gaps — the "nothing special"
+//                steady-state traffic every scheduler must get right;
+//   kBursty      tight bursts separated by idle gaps — overflows admission
+//                into queue backpressure, then drains to an empty batch
+//                (exercises the blocking-admit path and occupancy swings);
+//   kAdversarial boundary lengths (1, 2, max) in hostile orders, near-zero
+//                gaps — maximizes same-boundary retire+splice collisions
+//                and length-extremes sharing one batch.
+//
+// Used by tests/test_continuous.cc and tests/sched_harness.cc (continuous
+// batching), and retrofitted onto the bucketed-scheduler tests in
+// tests/test_serve.cc — the generators are scheduler-agnostic: they
+// produce (length, gap) pairs, not slot-map specifics.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace nimble {
+namespace schedfuzz {
+
+/// One generated request: a sequence length and the delay between the
+/// previous submission and this one (the first request's gap is the delay
+/// from test start).
+struct FuzzRequest {
+  int64_t length = 1;
+  int64_t arrival_gap_us = 0;
+};
+
+enum class ArrivalFlavor { kPoisson, kBursty, kAdversarial };
+
+inline const char* FlavorName(ArrivalFlavor flavor) {
+  switch (flavor) {
+    case ArrivalFlavor::kPoisson: return "poisson";
+    case ArrivalFlavor::kBursty: return "bursty";
+    case ArrivalFlavor::kAdversarial: return "adversarial";
+  }
+  return "?";
+}
+
+struct FuzzSchedule {
+  uint64_t seed = 0;
+  ArrivalFlavor flavor = ArrivalFlavor::kPoisson;
+  std::vector<FuzzRequest> requests;
+
+  /// Replay line for failure messages: everything needed to regenerate
+  /// this exact schedule.
+  std::string Describe() const {
+    std::ostringstream os;
+    os << "[sched_fuzz replay: seed=" << seed << " flavor="
+       << FlavorName(flavor) << " n=" << requests.size()
+       << " — rerun sched_harness with --seed " << seed << "]";
+    return os.str();
+  }
+};
+
+/// Deterministically generates `num_requests` (length, gap) pairs from
+/// `seed` with the given flavor. Lengths are always in [1, max_len] with
+/// the boundary values reachable from every flavor.
+inline FuzzSchedule MakeSchedule(uint64_t seed, int num_requests,
+                                 int64_t max_len, ArrivalFlavor flavor) {
+  FuzzSchedule schedule;
+  schedule.seed = seed;
+  schedule.flavor = flavor;
+  schedule.requests.reserve(static_cast<size_t>(num_requests));
+  // Derive the stream from both seed and flavor so the same seed yields
+  // different (but individually deterministic) schedules per flavor.
+  support::Rng rng(seed ^ (0x9e3779b97f4a7c15ull *
+                           (static_cast<uint64_t>(flavor) + 1)));
+  switch (flavor) {
+    case ArrivalFlavor::kPoisson: {
+      // Exponential inter-arrival gaps around a per-schedule mean; length
+      // uniform. The mean spans "faster than a step" to "slower than a
+      // whole short request" so occupancy drifts across the schedule.
+      double mean_gap_us = rng.Uniform(20.0, 800.0);
+      for (int i = 0; i < num_requests; ++i) {
+        FuzzRequest r;
+        r.length = rng.UniformInt(1, max_len);
+        double u = rng.Uniform();
+        if (u < 1e-12) u = 1e-12;
+        r.arrival_gap_us =
+            static_cast<int64_t>(-mean_gap_us * __builtin_log(u));
+        schedule.requests.push_back(r);
+      }
+      break;
+    }
+    case ArrivalFlavor::kBursty: {
+      // Bursts of back-to-back arrivals separated by idle gaps long enough
+      // for the batch to fully drain — admission oscillates between
+      // overflow (queue backpressure) and empty (blocking pop).
+      int remaining_in_burst = 0;
+      for (int i = 0; i < num_requests; ++i) {
+        FuzzRequest r;
+        r.length = rng.UniformInt(1, max_len);
+        if (remaining_in_burst == 0) {
+          remaining_in_burst = static_cast<int>(rng.UniformInt(2, 12));
+          r.arrival_gap_us = rng.UniformInt(500, 5000);  // idle gap
+        } else {
+          r.arrival_gap_us = 0;  // inside the burst
+        }
+        --remaining_in_burst;
+        schedule.requests.push_back(r);
+      }
+      break;
+    }
+    case ArrivalFlavor::kAdversarial: {
+      // Boundary lengths in hostile orders with near-zero gaps: floods of
+      // length-1 requests (every step retires AND splices), a wall of
+      // maximal requests (slots pinned while the queue backs up), and
+      // strict alternation (maximal churn at one boundary).
+      for (int i = 0; i < num_requests; ++i) {
+        FuzzRequest r;
+        switch (rng.UniformInt(0, 3)) {
+          case 0: r.length = 1; break;
+          case 1: r.length = max_len; break;
+          case 2: r.length = rng.UniformInt(1, max_len > 1 ? 2 : 1); break;
+          default:
+            r.length = rng.UniformInt(max_len > 1 ? max_len - 1 : 1, max_len);
+            break;
+        }
+        // Mostly immediate; an occasional pause lets the batch drain so
+        // the next flood hits an empty slot map.
+        r.arrival_gap_us =
+            rng.Uniform() < 0.05 ? rng.UniformInt(500, 2000) : 0;
+        schedule.requests.push_back(r);
+      }
+      break;
+    }
+  }
+  return schedule;
+}
+
+/// Flavor picked from the seed as well: the harness just iterates seeds
+/// and sweeps all three generator families.
+inline FuzzSchedule MakeSchedule(uint64_t seed, int num_requests,
+                                 int64_t max_len) {
+  auto flavor = static_cast<ArrivalFlavor>(seed % 3);
+  return MakeSchedule(seed, num_requests, max_len, flavor);
+}
+
+}  // namespace schedfuzz
+}  // namespace nimble

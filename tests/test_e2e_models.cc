@@ -251,12 +251,13 @@ TEST(E2E, CompileReportsOptimizationStats) {
   EXPECT_EQ(compiled.lstm_cells_fused, 2);
 
   // With the batched twins emitted, FuseLSTMCell fires in
-  // @lstm_loop_batched and @lstm_loop_batched_exact as well — both batched
-  // recurrences keep the canonical cell dataflow (2 layers x 3 loops).
+  // @lstm_loop_batched, @lstm_loop_batched_exact, and the continuous
+  // single-step twin @main_step as well — every batched recurrence keeps
+  // the canonical cell dataflow (2 layers x 4 bodies).
   config.emit_batched = true;
   auto batched_model = models::BuildLSTM(config);
   auto batched_compiled = core::Compile(batched_model.module);
-  EXPECT_EQ(batched_compiled.lstm_cells_fused, 6);
+  EXPECT_EQ(batched_compiled.lstm_cells_fused, 8);
   EXPECT_GT(compiled.fusion.groups_created, 0);
   EXPECT_GT(compiled.memory.kills_inserted, 0);
   EXPECT_GT(compiled.executable->NumInstructions(), 0u);

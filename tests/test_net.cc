@@ -5,6 +5,7 @@
 // model, 400 malformed body, graceful drain without dropped requests).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <set>
@@ -97,6 +98,30 @@ TEST(Json, DumpEscapesAndOrdersMembers) {
   EXPECT_EQ(doc.Dump(),
             "{\"b\":\"quote\\\" backslash\\\\ newline\\n\",\"a\":3}")
       << "insertion order preserved, specials escaped";
+}
+
+TEST(Json, RejectsSurrogateEscapesLoneAndPaired) {
+  // json.h promises BMP-only \uXXXX with NO surrogate handling: encoding a
+  // surrogate half as UTF-8 would emit ill-formed (CESU-8) bytes, so the
+  // whole D800-DFFF range must be a parse error — including a well-formed
+  // high/low pair, which this codec deliberately does not decode.
+  for (const char* bad : {
+           R"("\ud800")",        // lone high surrogate
+           R"("\udc00")",        // lone low surrogate
+           R"("\udfff")",        // top of the range
+           "\"\\ud83d\\ude00\"",    // valid pair (astral emoji) — unsupported
+           R"({"k": "a\ud800b"})",  // embedded mid-string
+       }) {
+    std::string error;
+    Json doc = Json::Parse(bad, &error);
+    EXPECT_TRUE(doc.is_null()) << bad;
+    EXPECT_NE(error.find("surrogate"), std::string::npos) << bad << ": "
+                                                          << error;
+  }
+  // Non-surrogate BMP escapes still decode to UTF-8.
+  Json ok = Json::Parse("\"caf\\u00e9 \\u4e2d\"");
+  ASSERT_TRUE(ok.is_string());
+  EXPECT_EQ(ok.str(), "caf\xc3\xa9 \xe4\xb8\xad");
 }
 
 // ---- HTTP codec -------------------------------------------------------------
@@ -212,6 +237,140 @@ TEST(HttpCodec, WritesResponsesWithFraming) {
   EXPECT_NE(response.find("Connection: keep-alive\r\n"), std::string::npos);
   EXPECT_NE(response.find("\r\n\r\n{\"error\":\"queue full\"}"),
             std::string::npos);
+}
+
+// Byte-split fuzz: the same wire bytes must produce the same outcome no
+// matter how the kernel fragments them across reads. Each corpus entry has
+// one expected terminal outcome (N parsed requests, an error status, or
+// still-waiting); fixed seeds drive random split points so failures
+// reproduce exactly.
+TEST(HttpCodec, ByteSplitFuzzOutcomeInvariantAcrossFragmentation) {
+  struct Case {
+    std::string wire;
+    int requests;      // complete requests the bytes contain
+    int error_status;  // 0 = no error
+    bool need_more;    // true when the bytes end mid-request
+  };
+  const std::string valid_post =
+      "POST /v1/models/m:predict HTTP/1.1\r\nContent-Length: 7\r\n\r\n"
+      "{\"x\":1}";
+  std::vector<Case> corpus = {
+      {valid_post, 1, 0, false},
+      {valid_post + valid_post + "GET /stats HTTP/1.1\r\n\r\n", 3, 0, false},
+      // Truncations at every interesting boundary: request line, header,
+      // blank line, mid-body.
+      {"POST /x HT", 0, 0, true},
+      {"POST /x HTTP/1.1\r\nContent-Le", 0, 0, true},
+      {"POST /x HTTP/1.1\r\nContent-Length: 7\r\n", 0, 0, true},
+      {"POST /x HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"x\"", 0, 0, true},
+      // Malformed: framing garbage, bad length, unimplemented transfer
+      // coding — and a valid request pipelined BEHIND the poison pill must
+      // never be parsed.
+      {"garbage\r\n\r\n" + valid_post, 0, 400, false},
+      {"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 0, 400, false},
+      {"POST /x HTTP/1.1\r\nContent-Length: -4\r\n\r\n", 0, 400, false},
+      {"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nx", 0, 501,
+       false},
+      {valid_post + "garbage\r\n\r\n", 1, 400, false},
+  };
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    support::Rng rng(seed);
+    for (const Case& c : corpus) {
+      HttpCodec codec;
+      int requests = 0;
+      int error_status = 0;
+      bool need_more = false;
+      size_t pos = 0;
+      while (pos < c.wire.size() && error_status == 0) {
+        size_t chunk = static_cast<size_t>(rng.UniformInt(
+            1, static_cast<int64_t>(
+                   std::min<size_t>(7, c.wire.size() - pos))));
+        codec.Feed(c.wire.data() + pos, chunk);
+        pos += chunk;
+        while (true) {
+          HttpRequest request;
+          HttpCodec::Status status = codec.Next(&request);
+          if (status == HttpCodec::Status::kRequest) {
+            ++requests;
+            continue;
+          }
+          if (status == HttpCodec::Status::kError) {
+            error_status = codec.error_status();
+          } else {
+            need_more = true;
+          }
+          break;
+        }
+      }
+      EXPECT_EQ(requests, c.requests) << c.wire << " seed " << seed;
+      EXPECT_EQ(error_status, c.error_status) << c.wire << " seed " << seed;
+      if (c.need_more) {
+        EXPECT_TRUE(need_more) << c.wire << " seed " << seed;
+      }
+    }
+  }
+  // Size limits are fragmentation-invariant too: an oversized declared
+  // body must map to 413 whether the head arrives whole or byte by byte.
+  HttpCodec::Limits limits;
+  limits.max_body_bytes = 64;
+  const std::string big =
+      "POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    support::Rng rng(seed * 31);
+    HttpCodec codec(limits);
+    int error_status = 0;
+    size_t pos = 0;
+    while (pos < big.size() && error_status == 0) {
+      size_t chunk = static_cast<size_t>(rng.UniformInt(
+          1, static_cast<int64_t>(std::min<size_t>(5, big.size() - pos))));
+      codec.Feed(big.data() + pos, chunk);
+      pos += chunk;
+      HttpRequest request;
+      if (codec.Next(&request) == HttpCodec::Status::kError) {
+        error_status = codec.error_status();
+      }
+    }
+    EXPECT_EQ(error_status, 413) << "seed " << seed;
+  }
+}
+
+// Mutation fuzz: random single-byte corruptions of a valid request head
+// must never crash the codec (ASan job) and every error must map to one of
+// the statuses the front end actually speaks: 400, 413, 501.
+TEST(HttpCodec, MutationFuzzNeverCrashesAndMapsToKnownStatuses) {
+  const std::string base =
+      "POST /v1/models/m:predict HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 7\r\n"
+      "\r\n"
+      "{\"x\":1}";
+  const size_t head_len = base.find("\r\n\r\n") + 4;
+  int errors = 0;
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    support::Rng rng(seed * 7919);
+    std::string wire = base;
+    int flips = static_cast<int>(rng.UniformInt(1, 3));
+    for (int f = 0; f < flips; ++f) {
+      size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(head_len) - 1));
+      wire[at] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    HttpCodec codec;
+    codec.Feed(wire.data(), wire.size());
+    while (true) {
+      HttpRequest request;
+      HttpCodec::Status status = codec.Next(&request);
+      if (status == HttpCodec::Status::kRequest) continue;
+      if (status == HttpCodec::Status::kError) {
+        ++errors;
+        int s = codec.error_status();
+        EXPECT_TRUE(s == 400 || s == 413 || s == 501)
+            << "unmapped status " << s << " for seed " << seed;
+      }
+      break;  // kNeedMore (mutated Content-Length may want more bytes)
+    }
+  }
+  EXPECT_GT(errors, 0) << "corpus never hit the error path — fuzz is inert";
 }
 
 // ---- loopback end-to-end ----------------------------------------------------

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <sstream>
 #include <thread>
@@ -23,6 +24,7 @@
 #include "src/serve/stats.h"
 #include "src/serve/vm_pool.h"
 #include "src/vm/vm.h"
+#include "tests/sched_fuzz.h"
 
 namespace nimble {
 namespace {
@@ -231,8 +233,17 @@ TEST(Serve, ConcurrentClientsMatchSequentialBitIdentical) {
 }
 
 TEST(Serve, BucketedBatchingPreservesPerRequestOutputs) {
-  const int kRequests = 32;
-  LSTMFixture fixture(kRequests);
+  // Lengths and arrival gaps come from the property-style schedule
+  // generator (tests/sched_fuzz.h) instead of a hand-picked list: a fixed
+  // seed keeps the test deterministic, and every assertion carries the
+  // schedule's replay line. Bursty arrivals still let batches fill.
+  auto schedule = schedfuzz::MakeSchedule(
+      /*seed=*/17, /*num_requests=*/32, /*max_len=*/32,
+      schedfuzz::ArrivalFlavor::kBursty);
+  std::vector<int64_t> lengths;
+  for (const auto& r : schedule.requests) lengths.push_back(r.length);
+  LSTMFixture fixture(lengths, /*hidden_size=*/12, /*seed=*/7,
+                      /*with_batched_entry=*/false);
 
   serve::ServeConfig config;
   config.num_workers = 2;
@@ -243,20 +254,29 @@ TEST(Serve, BucketedBatchingPreservesPerRequestOutputs) {
   serve::Server server(fixture.exec, config);
 
   std::vector<std::future<runtime::ObjectRef>> futures;
-  futures.reserve(kRequests);
-  for (size_t i = 0; i < kRequests; ++i) {
+  futures.reserve(lengths.size());
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    const auto& r = schedule.requests[i];
+    if (r.arrival_gap_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(r.arrival_gap_us));
+    }
     futures.push_back(server.Submit(fixture.ArgsFor(i), fixture.lengths[i]));
   }
   for (size_t i = 0; i < futures.size(); ++i) {
-    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+    ASSERT_NO_FATAL_FAILURE(ExpectBitIdentical(AsTensor(futures[i].get()),
+                                               fixture.expected[i], i))
+        << schedule.Describe();
   }
   server.Shutdown();
 
   auto snap = server.stats();
-  EXPECT_EQ(snap.completed, kRequests);
+  EXPECT_EQ(snap.completed, static_cast<int64_t>(lengths.size()))
+      << schedule.Describe();
   EXPECT_GT(snap.mean_batch_size, 1.0)
-      << "with a long max_wait, multi-request batches must form";
-  EXPECT_LT(snap.batches, kRequests);
+      << "with a long max_wait, multi-request batches must form "
+      << schedule.Describe();
+  EXPECT_LT(snap.batches, static_cast<int64_t>(lengths.size()))
+      << schedule.Describe();
 }
 
 TEST(Serve, ShutdownFulfillsEveryOutstandingFuture) {
@@ -805,15 +825,21 @@ TEST(ExecCache, VariantPackedBitIdenticalToGenericPackedAndSequential) {
   EXPECT_EQ(variant->variant.specialized_len, 11);
   EXPECT_EQ(variant->variant.specialized_batch, 8);
   // Baking the shape rewires the spec onto the unmasked exact twin and
-  // unrolls it: the entry is straight-line (bigger than one loop body, no
-  // recursion left), not just a relabeled generic executable.
+  // unrolls it: the entry is straight-line, clearly bigger than one loop
+  // body with no recursion left. (Compare against the generic loop body,
+  // not the generic executable's total: the generic program also carries
+  // the continuous step twin, and the unrolled exact steps are leaner
+  // per step than the masked generic body.)
   ASSERT_NE(variant->FindBatched("main"), nullptr);
   EXPECT_EQ(variant->FindBatched("main")->batched_function,
             "main_batched_exact");
   int32_t entry_index = variant->FunctionIndex("main_batched_exact");
+  int32_t body_index = fixture.exec->FunctionIndex("lstm_loop_batched");
+  ASSERT_GE(body_index, 0);
   EXPECT_GT(
       variant->functions[static_cast<size_t>(entry_index)].instructions.size(),
-      fixture.exec->NumInstructions())
+      2 * fixture.exec->functions[static_cast<size_t>(body_index)]
+              .instructions.size())
       << "specialized entry should be unrolled into straight-line bytecode";
   // The tuned table covers exactly the batch residue (8 % 8 = 0) and the
   // per-request fallback row (1).
