@@ -12,16 +12,23 @@
 //      serve::Server, packed tensor batching at batch 8;
 //   2. HTTP closed-loop: N keep-alive client threads over loopback, each
 //      sending the binary protocol (raw float32 + X-Nimble-Shape) by
-//      default, --json-body for the JSON protocol;
+//      default, --json-body for the JSON protocol. The phase-2 server also
+//      registers the same executable as a continuous model "c" (4 slots)
+//      and every 8th request routes there, so the step-level observability
+//      plane is exercised by real wire traffic;
 //   3. overload: a deliberately tiny pipeline (queue 4, 1 worker, 1
 //      pending batch) hammered by extra clients — backpressure must be
 //      429s on the wire, never 5xx, hangs, or drops.
 //
 // --json writes BENCH_http.json with all three phases' numbers for CI,
-// plus two observability artifacts scraped from the live phase-2 server:
+// plus three observability artifacts scraped from the phase-2 server
+// after it drains (so every counter and step record has settled):
 // METRICS.txt (the GET /metrics Prometheus exposition — counters must
-// match the loadgen's own counts, checked by scripts/check_metrics.sh)
-// and TRACE.json (GET /debug/trace chrome-trace export, must be nonempty).
+// match the loadgen's own counts, checked by scripts/check_metrics.sh),
+// TRACE.json (GET /debug/trace chrome-trace export, must be nonempty),
+// and STEPS.json (GET /debug/steps?model=c step-journal tail — splices,
+// retires, and active-row counts are cross-checked against the loadgen's
+// own continuous tallies).
 //
 // --trace-overhead additionally A/B-measures the cost of always-on
 // tracing: alternating closed-loop runs with tracing enabled and disabled
@@ -205,13 +212,24 @@ struct HttpResult {
   int64_t server_5xx = 0;
   int64_t transport_errors = 0;
   int64_t mismatched = 0;
+  /// The subset of ok200/shed429 that went to the continuous model "c",
+  /// plus the total sequence length it served (== the live row steps its
+  /// slot map must account for — cross-checked against /metrics and
+  /// STEPS.json by scripts/check_metrics.sh).
+  int64_t ok200_c = 0;
+  int64_t shed429_c = 0;
+  int64_t rows_c = 0;
   double elapsed_seconds = 0.0;
   double rps = 0.0;  // completed (200) per second
   double p50_us = 0.0, p99_us = 0.0;
 };
 
+/// `continuous_every` > 0 routes every Nth request of each client to the
+/// continuous model "c" (same executable, same expected bytes); 0 sends
+/// everything to the packed model "m".
 HttpResult RunHttpClosedLoop(const Workload& w, uint16_t port, int clients,
-                             double seconds, bool json_body) {
+                             double seconds, bool json_body,
+                             int continuous_every = 0) {
   std::vector<std::vector<double>> latencies(clients);
   std::vector<HttpResult> per_thread(clients);
   auto t0 = Clock::now();
@@ -223,17 +241,22 @@ HttpResult RunHttpClosedLoop(const Workload& w, uint16_t port, int clients,
       net::BlockingHttpClient client("127.0.0.1", port);
       HttpResult& r = per_thread[c];
       size_t i = static_cast<size_t>(c) % w.inputs.size();
+      int64_t iteration = 0;
       while (Clock::now() < deadline) {
+        bool to_c =
+            continuous_every > 0 && iteration % continuous_every == 0;
+        iteration++;
+        const char* target =
+            to_c ? "/v1/models/c:predict" : "/v1/models/m:predict";
         auto sent = Clock::now();
         net::BlockingHttpClient::Response response;
         if (json_body) {
-          response =
-              client.Post("/v1/models/m:predict", w.json_bodies[i]);
+          response = client.Post(target, w.json_bodies[i]);
         } else {
           std::string shape = std::to_string(w.lengths[i]) + "," +
                               std::to_string(w.input_size);
           response = client.Request(
-              "POST", "/v1/models/m:predict", w.binary_bodies[i],
+              "POST", target, w.binary_bodies[i],
               {{"Content-Type", "application/octet-stream"},
                {"Accept", "application/octet-stream"},
                {"X-Nimble-Shape", shape},
@@ -246,6 +269,10 @@ HttpResult RunHttpClosedLoop(const Workload& w, uint16_t port, int clients,
           r.transport_errors++;
         } else if (response.status == 200) {
           r.ok200++;
+          if (to_c) {
+            r.ok200_c++;
+            r.rows_c += w.lengths[i];
+          }
           latencies[c].push_back(us);
           // Validate the payload (binary: exact bytes; JSON: exact floats
           // after the 9-digit round-trip).
@@ -275,6 +302,7 @@ HttpResult RunHttpClosedLoop(const Workload& w, uint16_t port, int clients,
           }
         } else if (response.status == 429) {
           r.shed429++;
+          if (to_c) r.shed429_c++;
           // A shed client backs off briefly (far shorter than the server's
           // conservative Retry-After hint, so overload pressure persists
           // and the phase still measures shedding, not sleeping).
@@ -298,6 +326,9 @@ HttpResult RunHttpClosedLoop(const Workload& w, uint16_t port, int clients,
     total.server_5xx += per_thread[c].server_5xx;
     total.transport_errors += per_thread[c].transport_errors;
     total.mismatched += per_thread[c].mismatched;
+    total.ok200_c += per_thread[c].ok200_c;
+    total.shed429_c += per_thread[c].shed429_c;
+    total.rows_c += per_thread[c].rows_c;
     all_latencies.insert(all_latencies.end(), latencies[c].begin(),
                          latencies[c].end());
   }
@@ -423,28 +454,46 @@ int main(int argc, char** argv) {
               inproc.rps, inproc.p99_us,
               inproc.correct ? "bit-identical" : "WRONG RESULTS");
 
-  // Phase 2: the same pipeline behind the HTTP front end.
+  // Phase 2: the same pipeline behind the HTTP front end, plus the same
+  // executable as a continuous model — every 8th request exercises the
+  // slot map, the step journal, and the splice/retire metrics over the
+  // wire.
+  const int kContinuousSlots = 4;
+  const int kContinuousEvery = 8;
   HttpResult http;
+  serve::StatsSnapshot snap_c;
   {
     serve::ServeConfig config;
     config.num_workers = workers;
     serve::Server server(config);
     server.AddModel("m", MakeModelConfig(w, 256, kBatch));
+    serve::ModelConfig continuous;
+    continuous.exec = w.exec;
+    continuous.queue_capacity = 256;
+    continuous.batch.continuous = true;
+    continuous.batch.continuous_slots = kContinuousSlots;
+    server.AddModel("c", std::move(continuous));
     server.Start();
     net::HttpServer front(&server);
     front.Start();
-    http = RunHttpClosedLoop(w, front.port(), clients, seconds, json_body);
-    // Scrape the observability plane off the still-running front end:
-    // every completion was recorded before its response left the worker,
-    // so the counters here must equal the client-side tallies exactly
-    // (scripts/check_metrics.sh holds CI to that).
+    http = RunHttpClosedLoop(w, front.port(), clients, seconds, json_body,
+                             kContinuousEvery);
+    // Drain BEFORE scraping: the packed path records every completion
+    // before its response leaves the worker, but the continuous runner
+    // pushes a step's journal record (and its retire tallies) after the
+    // completion callbacks, so the last response can beat the last record.
+    // After Drain the runners have joined and every counter has settled,
+    // making the client-tally cross-checks in scripts/check_metrics.sh
+    // exact. The GET endpoints stay up — only admission is closed.
+    server.Drain();
     if (write_json) {
       DumpEndpoint(front.port(), "/metrics", "METRICS.txt");
       DumpEndpoint(front.port(), "/debug/trace?n=64", "TRACE.json");
+      DumpEndpoint(front.port(), "/debug/steps?model=c", "STEPS.json");
     }
     front.Stop();
-    server.Drain();
     auto snap = server.stats();
+    snap_c = server.stats("c");
     std::printf("http closed-loop:  %9.1f req/s   p50 %7.0f us   p99 %7.0f "
                 "us\n",
                 http.rps, http.p50_us, http.p99_us);
@@ -454,6 +503,16 @@ int main(int argc, char** argv) {
         snap.mean_queue_wait_us, snap.mean_exec_us,
         static_cast<long long>(snap.batches), snap.mean_batch_size,
         snap.padding_waste * 100.0);
+    std::printf(
+        "continuous \"c\":   %lld of the 200s (every %dth request), %lld "
+        "rows over %lld steps (%lld splices), mean step %.0f us, mean "
+        "occupancy %.2f/%d\n",
+        static_cast<long long>(http.ok200_c), kContinuousEvery,
+        static_cast<long long>(http.rows_c),
+        static_cast<long long>(snap_c.continuous_steps),
+        static_cast<long long>(snap_c.splices),
+        snap_c.mean_step_duration_us, snap_c.mean_slot_occupancy,
+        kContinuousSlots);
   }
   double ratio = inproc.rps > 0.0 ? http.rps / inproc.rps : 0.0;
   bench::PrintRule();
@@ -535,6 +594,10 @@ int main(int argc, char** argv) {
         "           \"completed\": %lld, \"rejected_429\": %lld,\n"
         "           \"server_5xx\": %lld, \"transport_errors\": %lld},\n"
         "  \"http_vs_inprocess_ratio\": %.3f,\n"
+        "  \"continuous\": {\"slots\": %d, \"every\": %d,\n"
+        "                 \"completed\": %lld, \"rejected_429\": %lld,\n"
+        "                 \"rows\": %lld, \"splices\": %lld, "
+        "\"steps\": %lld},\n"
         "  \"overload\": {\"completed\": %lld, \"rejected_429\": %lld,\n"
         "               \"server_5xx\": %lld, \"transport_errors\": %lld,\n"
         "               \"clean\": %s}",
@@ -544,6 +607,12 @@ int main(int argc, char** argv) {
         static_cast<long long>(http.shed429),
         static_cast<long long>(http.server_5xx),
         static_cast<long long>(http.transport_errors), ratio,
+        kContinuousSlots, kContinuousEvery,
+        static_cast<long long>(http.ok200_c),
+        static_cast<long long>(http.shed429_c),
+        static_cast<long long>(http.rows_c),
+        static_cast<long long>(snap_c.splices),
+        static_cast<long long>(snap_c.continuous_steps),
         static_cast<long long>(overload.ok200),
         static_cast<long long>(overload.shed429),
         static_cast<long long>(overload.server_5xx),

@@ -18,6 +18,12 @@
 // --json additionally writes BENCH_serve.json (req/s, p99, padding waste,
 // cache hit rate) so the perf trajectory is machine-readable across PRs; CI
 // fails the bench-smoke job when cached buckets report nonzero padding.
+//
+// --trace-overhead A/B-measures what the step-level observability plane
+// (request tracing + the per-step journal) costs the continuous hot loop:
+// alternating unpaced bursts with both enabled vs both disabled, best-of-2
+// per configuration, reported as step_journal_overhead in BENCH_serve.json.
+// CI holds the result to <= 3% of burst req/s.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -233,9 +239,12 @@ void Sweep(const ServingWorkload& w) {
 int main(int argc, char** argv) {
   int requests = 64;
   bool write_json = false;
+  bool trace_overhead = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json") {
       write_json = true;
+    } else if (std::string(argv[i]) == "--trace-overhead") {
+      trace_overhead = true;
     } else {
       requests = std::atoi(argv[i]);
     }
@@ -592,6 +601,78 @@ int main(int argc, char** argv) {
           ? "bit-identical to sequential"
           : "WRONG");
 
+  // Optional: what does the per-step observability plane (request tracing
+  // + the step journal) cost on the continuous hot loop? Unpaced burst so
+  // the runner is step-bound, not arrival-bound — the worst case for a
+  // per-step Push. Alternating best-of-2 per configuration so one noisy
+  // run can't fake (or hide) an overhead; CI holds the result to <= 3%.
+  struct ObsOverhead {
+    double rps_on = 0.0;
+    double rps_off = 0.0;
+    double overhead_pct = 0.0;
+  };
+  ObsOverhead journal_overhead;
+  if (trace_overhead) {
+    bench::PrintHeader(
+        "step-journal overhead: continuous burst, obs on vs off, best of 2");
+    auto run_burst = [&](bool obs_on) {
+      serve::ServeConfig sc;
+      sc.num_workers = 2;
+      sc.trace.enabled = obs_on;
+      sc.step_journal.enabled = obs_on;
+      serve::Server server(sc);
+      serve::ModelConfig m;
+      m.exec = ct.exec;
+      m.queue_capacity = ct.args.size() + 1;
+      m.batch.continuous = true;
+      m.batch.continuous_slots = 8;
+      server.AddModel("m", std::move(m));
+      server.Start();
+      const size_t n = ct.args.size();
+      std::vector<std::future<runtime::ObjectRef>> futures;
+      futures.reserve(n);
+      auto t0 = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < n; ++i) {
+        futures.push_back(
+            server.Submit("m", CopyArgs(ct.args[i]), ct.lengths[i]));
+      }
+      bool ok = true;
+      for (size_t i = 0; i < n; ++i) {
+        if (!BitIdentical(runtime::AsTensor(futures[i].get()),
+                          ct.expected[i])) {
+          ok = false;
+        }
+      }
+      double elapsed_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+      server.Drain();
+      if (!ok) {
+        std::fprintf(stderr, "step-journal A/B produced wrong results\n");
+        std::exit(1);
+      }
+      return elapsed_s > 0.0 ? static_cast<double>(n) / elapsed_s : 0.0;
+    };
+    for (int round = 0; round < 2; ++round) {
+      for (bool obs_on : {true, false}) {
+        double rps = run_burst(obs_on);
+        double& best =
+            obs_on ? journal_overhead.rps_on : journal_overhead.rps_off;
+        best = std::max(best, rps);
+      }
+    }
+    if (journal_overhead.rps_off > 0.0) {
+      journal_overhead.overhead_pct = std::max(
+          0.0, (journal_overhead.rps_off - journal_overhead.rps_on) /
+                   journal_overhead.rps_off * 100.0);
+    }
+    std::printf(
+        "obs on %.1f req/s, off %.1f req/s -> overhead %.2f%% (budget "
+        "3%%)\n",
+        journal_overhead.rps_on, journal_overhead.rps_off,
+        journal_overhead.overhead_pct);
+  }
+
   if (write_json) {
     FILE* f = std::fopen("BENCH_serve.json", "w");
     if (f == nullptr) {
@@ -618,8 +699,7 @@ int main(int argc, char** argv) {
                  "\"short_p50_us\": %.0f, \"short_p99_us\": %.0f, "
                  "\"padding_waste_pct\": %.4f, \"splices\": %lld, "
                  "\"steps\": %lld, \"mean_slot_occupancy\": %.2f, "
-                 "\"idle_slot_pct\": %.2f, \"correct\": %s}\n"
-                 "}\n",
+                 "\"idle_slot_pct\": %.2f, \"correct\": %s}",
                  cm_requests, (cm_correct && tb_correct) ? "true" : "false",
                  headline_ratio, packed_stats.throughput_rps,
                  packed_stats.p99_latency_us,
@@ -643,6 +723,14 @@ int main(int argc, char** argv) {
                  continuous_run.stats.idle_slot_fraction * 100.0,
                  (bucketed_run.correct && continuous_run.correct) ? "true"
                                                                   : "false");
+    if (trace_overhead) {
+      std::fprintf(f,
+                   ",\n  \"step_journal_overhead\": {\"rps_on\": %.1f, "
+                   "\"rps_off\": %.1f, \"overhead_pct\": %.2f}",
+                   journal_overhead.rps_on, journal_overhead.rps_off,
+                   journal_overhead.overhead_pct);
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote BENCH_serve.json\n");
   }

@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
 # Holds the observability plane to its contract after an http_loadgen run
 # (bench_http_loadgen ... --json [--trace-overhead] must have run in the
-# current directory first, leaving BENCH_http.json, METRICS.txt, and
-# TRACE.json behind):
+# current directory first, leaving BENCH_http.json, METRICS.txt,
+# TRACE.json, and STEPS.json behind):
 #
 #   - every expected metric family is present in the /metrics exposition;
 #   - the server-side request counters equal the loadgen's own client-side
 #     tallies exactly (completed == 200s, rejected == 429s — the metrics
-#     plane may not lose or invent a single request);
-#   - zero 5xx responses were ever counted;
+#     plane may not lose or invent a single request), per model: the
+#     packed "m" and the continuous "c" are checked separately;
+#   - the continuous step accounting balances: splices == completed "c"
+#     requests, the active-row histogram sum == the total sequence length
+#     the loadgen sent to "c", and steps * slots == active + idle row
+#     steps (no row-step invented or lost);
+#   - zero 5xx responses were ever counted, and no runner ever stalled;
 #   - the /debug/trace export is valid chrome-trace JSON with at least one
-#     complete trace (6 spans);
+#     complete trace (6 spans) and the continuous model's slot timelines;
+#   - the /debug/steps export (STEPS.json) is structurally sound and its
+#     steps_recorded agrees with nimble_steps_total exactly;
 #   - when --trace-overhead ran: tracing costs <= 3% of peak req/s.
 set -eu
-for artifact in BENCH_http.json METRICS.txt TRACE.json; do
+for artifact in BENCH_http.json METRICS.txt TRACE.json STEPS.json; do
   if [ ! -s "$artifact" ]; then
     echo "missing or empty artifact: $artifact (run bench_http_loadgen --json first)" >&2
     exit 1
@@ -31,6 +38,8 @@ with open("METRICS.txt") as f:
     metrics = f.read()
 with open("TRACE.json") as f:
     trace = json.load(f)
+with open("STEPS.json") as f:
+    steps_doc = json.load(f)
 
 failures = []
 
@@ -45,6 +54,13 @@ families = [
     "nimble_exec_us",
     "nimble_batch_size",
     "nimble_queue_depth",
+    "nimble_splices_total",
+    "nimble_steps_total",
+    "nimble_idle_row_steps_total",
+    "nimble_step_duration_us",
+    "nimble_splice_wait_us",
+    "nimble_active_rows",
+    "nimble_runner_stalled",
 ]
 for family in families:
     if f"# TYPE {family}" not in metrics:
@@ -55,23 +71,64 @@ def series_value(name, labels):
     match = re.search(pattern, metrics)
     return float(match.group(1)) if match else None
 
-# Server-side counters must equal the loadgen's client-side tallies.
+# Server-side counters must equal the loadgen's client-side tallies,
+# per model ("m" is the packed path, "c" the continuous path).
 http = bench["http"]
-completed = series_value("nimble_requests_total",
-                         'model="m",outcome="completed"')
-rejected = series_value("nimble_requests_total",
-                        'model="m",outcome="rejected"')
-if completed != http["completed"]:
-    failures.append(f"completed counter {completed} != loadgen 200s "
-                    f"{http['completed']}")
-if rejected != http["rejected_429"]:
-    failures.append(f"rejected counter {rejected} != loadgen 429s "
-                    f"{http['rejected_429']}")
+cont = bench["continuous"]
+completed_m = series_value("nimble_requests_total",
+                           'model="m",outcome="completed"')
+rejected_m = series_value("nimble_requests_total",
+                          'model="m",outcome="rejected"')
+completed_c = series_value("nimble_requests_total",
+                           'model="c",outcome="completed"')
+rejected_c = series_value("nimble_requests_total",
+                          'model="c",outcome="rejected"')
+if completed_m != http["completed"] - cont["completed"]:
+    failures.append(f"packed completed counter {completed_m} != loadgen "
+                    f"m-only 200s {http['completed'] - cont['completed']}")
+if rejected_m != http["rejected_429"] - cont["rejected_429"]:
+    failures.append(f"packed rejected counter {rejected_m} != loadgen "
+                    f"m-only 429s "
+                    f"{http['rejected_429'] - cont['rejected_429']}")
+if completed_c != cont["completed"]:
+    failures.append(f"continuous completed counter {completed_c} != "
+                    f"loadgen \"c\" 200s {cont['completed']}")
+if rejected_c != cont["rejected_429"]:
+    failures.append(f"continuous rejected counter {rejected_c} != "
+                    f"loadgen \"c\" 429s {cont['rejected_429']}")
 predict = series_value("nimble_http_requests_total", 'endpoint="predict"')
 expected_predicts = http["completed"] + http["rejected_429"]
 if predict != expected_predicts:
     failures.append(f"predict endpoint counter {predict} != "
                     f"completed+shed {expected_predicts}")
+
+# Continuous step accounting. The loadgen scrapes after Drain, so every
+# counter has settled and these identities must hold EXACTLY:
+#   splices == completed "c" requests (each spliced exactly once);
+#   Σ active rows over all steps == total sequence length served (each
+#   request holds one row for exactly its own length);
+#   steps * slots == active + idle row steps (the fixed-B step loop).
+splices = series_value("nimble_splices_total", 'model="c"')
+steps_total = series_value("nimble_steps_total", 'model="c"')
+idle_rows = series_value("nimble_idle_row_steps_total", 'model="c"')
+active_sum = series_value("nimble_active_rows_sum", 'model="c"')
+stalled = series_value("nimble_runner_stalled", 'model="c"')
+if splices != cont["completed"]:
+    failures.append(f"splice counter {splices} != completed \"c\" requests "
+                    f"{cont['completed']}")
+if steps_total is None or steps_total <= 0:
+    failures.append(f"nimble_steps_total{{model=c}} is {steps_total}")
+if active_sum != cont["rows"]:
+    failures.append(f"active-row sum {active_sum} != loadgen rows "
+                    f"{cont['rows']}")
+if (steps_total is not None and idle_rows is not None and
+        active_sum is not None and
+        steps_total * cont["slots"] != active_sum + idle_rows):
+    failures.append(f"row-step balance broken: {steps_total} steps * "
+                    f"{cont['slots']} slots != {active_sum} active + "
+                    f"{idle_rows} idle")
+if stalled != 0:
+    failures.append(f"nimble_runner_stalled{{model=c}} is {stalled}")
 
 # No 5xx, ever.
 for code_match in re.finditer(
@@ -80,7 +137,8 @@ for code_match in re.finditer(
         failures.append(f"nonzero {code_match.group(1)} responses: "
                         f"{code_match.group(2)}")
 
-# The trace export holds at least one complete trace.
+# The trace export holds at least one complete trace, plus the continuous
+# model's slot timelines (per-slot tenancy tracks and counter tracks).
 events = trace.get("traceEvents")
 if not isinstance(events, list) or len(events) < 6:
     failures.append(f"/debug/trace export has {0 if not events else len(events)}"
@@ -90,6 +148,47 @@ else:
     expected_spans = {"admission", "queue", "pack", "exec", "unpack", "write"}
     if not expected_spans <= names:
         failures.append(f"trace spans missing: {expected_spans - names}")
+    slot_processes = {event["args"]["name"] for event in events
+                      if event.get("ph") == "M"
+                      and event.get("name") == "process_name"}
+    if "slots:c" not in slot_processes:
+        failures.append("slot-timeline process for model \"c\" missing from "
+                        f"/debug/trace (saw {slot_processes or '{}'})")
+    if "occupancy" not in names or "step_latency_us" not in names:
+        failures.append("slot-timeline counter tracks missing from "
+                        "/debug/trace")
+
+# STEPS.json: structurally sound, internally consistent, and in exact
+# agreement with the metrics plane on the total step count.
+if steps_doc.get("model") != "c" or steps_doc.get("num_slots") != cont["slots"]:
+    failures.append(f"STEPS.json header wrong: model "
+                    f"{steps_doc.get('model')}, num_slots "
+                    f"{steps_doc.get('num_slots')}")
+recorded = steps_doc.get("steps_recorded", 0)
+if steps_total is not None and recorded != steps_total:
+    failures.append(f"STEPS.json steps_recorded {recorded} != "
+                    f"nimble_steps_total {steps_total}")
+tail = steps_doc.get("steps", [])
+if not tail:
+    failures.append("STEPS.json has no step records")
+last_seq = -1
+for record in tail:
+    seq = record.get("step", -1)
+    if seq <= last_seq:
+        failures.append(f"STEPS.json step seqs not increasing at {seq}")
+        break
+    last_seq = seq
+    if not (0 <= record.get("active_rows", -1) <= cont["slots"]):
+        failures.append(f"step {seq}: active_rows {record.get('active_rows')} "
+                        f"out of [0, {cont['slots']}]")
+        break
+    if record.get("duration_us", -1) < 0:
+        failures.append(f"step {seq}: negative duration")
+        break
+    for event in record.get("events", []):
+        if event.get("kind") not in ("splice", "retire"):
+            failures.append(f"step {seq}: unknown event kind "
+                            f"{event.get('kind')}")
 
 # Always-on tracing must stay under its 3% budget when measured.
 if "trace_overhead" in bench:
@@ -107,6 +206,9 @@ if failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     sys.exit(1)
 
-print(f"metrics plane consistent: {int(completed)} completed, "
-      f"{int(rejected)} shed, zero 5xx, {len(events)} trace events")
+print(f"metrics plane consistent: {int(completed_m)} packed + "
+      f"{int(completed_c)} continuous completed, "
+      f"{int(rejected_m + rejected_c)} shed, zero 5xx, "
+      f"{len(events)} trace events, {int(recorded)} steps journaled "
+      f"({int(splices)} splices, row-step balance exact)")
 EOF

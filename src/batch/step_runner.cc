@@ -16,6 +16,26 @@ using runtime::DataType;
 using runtime::NDArray;
 using runtime::ObjectRef;
 
+namespace {
+
+/// VMProfile counters before an invocation, so exactly this step's
+/// per-category times can be folded into the journal record and the
+/// per-slot accumulators (same pattern as batch_runner.cc).
+struct ProfileMark {
+  int64_t kernel_nanos = 0;
+  int64_t shape_func_nanos = 0;
+  int64_t total_nanos = 0;
+  int64_t instructions = 0;
+};
+
+ProfileMark MarkProfile(const vm::VirtualMachine& vm) {
+  const vm::VMProfile& p = vm.profile();
+  return ProfileMark{p.kernel_nanos, p.shape_func_nanos, p.total_nanos,
+                     p.instructions};
+}
+
+}  // namespace
+
 ContinuousCheck AnalyzeContinuous(const vm::Executable& exec,
                                   const std::string& function,
                                   int64_t num_slots) {
@@ -81,14 +101,17 @@ StepRunner::StepRunner(std::shared_ptr<vm::Executable> exec,
                        std::string function, int64_t num_slots,
                        serve::Channel<serve::Request>* queue,
                        serve::ServeStats* model_stats,
-                       serve::ServeStats* aggregate_stats, obs::Tracer* tracer)
+                       serve::ServeStats* aggregate_stats, obs::Tracer* tracer,
+                       obs::StepJournal* journal)
     : exec_(std::move(exec)),
       function_(std::move(function)),
       num_slots_(num_slots),
       queue_(queue),
       model_stats_(model_stats),
       aggregate_stats_(aggregate_stats),
-      tracer_(tracer) {
+      tracer_(tracer),
+      journal_(journal),
+      journal_on_(journal != nullptr && journal->enabled()) {
   NIMBLE_CHECK(exec_ != nullptr);
   NIMBLE_CHECK(queue_ != nullptr);
   ContinuousCheck check = AnalyzeContinuous(*exec_, function_, num_slots_);
@@ -97,6 +120,12 @@ StepRunner::StepRunner(std::shared_ptr<vm::Executable> exec,
   spec_ = check.spec;
   allocator_ = serve::LeaseWorkerAllocator();
   vm_ = std::make_unique<vm::VirtualMachine>(exec_, allocator_);
+  // Per-category VM timing feeds both the per-request exec-span fold and
+  // the journal's per-step profile; off when neither consumer is on (the
+  // obs-off half of the overhead A/B pays for no timers).
+  vm_->EnableProfiling((tracer_ != nullptr && tracer_->enabled()) ||
+                       journal_on_);
+  slot_profiles_.resize(static_cast<size_t>(num_slots_));
   // Persistent step arguments. Zero-filled: idle rows stay all-zero until a
   // splice claims them, so the very first step reads defined memory.
   auto zeros = [this](runtime::ShapeVec shape, DataType dtype) {
@@ -175,10 +204,12 @@ void StepRunner::Admit(SlotMap& slots, serve::Request request) {
     request.trace.sched = now;
     request.trace.dispatch = now;
     // No packed tensor is built on this path; the pack span collapses to
-    // zero width at the splice boundary, mirroring the per-request loop.
+    // zero width at the splice boundary, and `packed` stays false — the
+    // request shares steps via slot residency, not a padded gather (the
+    // stats side agrees: packed_batches is 0 on this path).
     request.trace.pack_start = now;
     request.trace.pack_end = now;
-    request.trace.packed = true;
+    request.trace.packed = false;
   }
   if (length < 0) {
     Complete(std::move(request), nullptr,
@@ -186,6 +217,15 @@ void StepRunner::Admit(SlotMap& slots, serve::Request request) {
                  Error("continuous admission rejected: " + reason)));
     return;
   }
+  // Queued-behind-splice wait: enqueue -> this splice. This is exactly the
+  // trace's queue span (dispatch was stamped above).
+  double wait_us =
+      now > request.enqueue_time
+          ? std::chrono::duration<double, std::micro>(now -
+                                                      request.enqueue_time)
+                .count()
+          : 0.0;
+  int64_t id = request.id;
   int64_t slot = slots.Splice(std::move(request), length);
   // Zero the slot's state rows: a spliced row starts from exactly the solo
   // initial state (the previous tenant's final values must not leak into
@@ -196,11 +236,31 @@ void StepRunner::Admit(SlotMap& slots, serve::Request request) {
     std::memset(state.data<float>() + slot * spec_->state_width, 0,
                 static_cast<size_t>(spec_->state_width) * sizeof(float));
   }
-  if (model_stats_ != nullptr) model_stats_->RecordSplice();
-  if (aggregate_stats_ != nullptr) aggregate_stats_->RecordSplice();
+  // Step-level trace detail: the slot this request occupies and the step
+  // seq its first computed step will carry (the next RunStep).
+  obs::TraceContext& trace = slots.At(slot).request.trace;
+  if (trace.enabled) {
+    trace.continuous = true;
+    trace.slot = slot;
+    trace.splice_step = step_seq_;
+  }
+  slot_profiles_[static_cast<size_t>(slot)] = obs::ExecProfile{};
+  if (journal_on_) {
+    pending_events_.push_back(obs::StepEvent{obs::StepEvent::Kind::kSplice,
+                                             id, slot, length});
+  }
+  live_rows_.store(slots.occupied(), std::memory_order_relaxed);
+  last_progress_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          obs::SteadyClock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+  if (model_stats_ != nullptr) model_stats_->RecordSplice(wait_us);
+  if (aggregate_stats_ != nullptr) aggregate_stats_->RecordSplice(wait_us);
 }
 
 void StepRunner::RunStep(SlotMap& slots) {
+  const auto step_start = obs::SteadyClock::now();
   const int64_t B = num_slots_;
   const int64_t D = spec_->feature_width;
   const int64_t W = spec_->state_width;
@@ -230,17 +290,75 @@ void StepRunner::RunStep(SlotMap& slots) {
   for (const NDArray& state : states_) {
     args.push_back(runtime::MakeTensor(state));
   }
+  const bool profiling = (tracer_ != nullptr && tracer_->enabled()) ||
+                         journal_on_;
+  ProfileMark mark;
+  if (profiling) mark = MarkProfile(*vm_);
+
+  auto progress = [this](obs::SteadyClock::time_point now) {
+    steps_completed_.fetch_add(1, std::memory_order_relaxed);
+    last_progress_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  };
+  auto push_record = [&](obs::SteadyClock::time_point end, bool ok,
+                         const obs::ExecProfile& vm_delta) {
+    if (!journal_on_) return;
+    obs::StepRecord record;
+    record.step = step_seq_;
+    record.start = step_start;
+    record.duration_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             end - step_start)
+                             .count();
+    record.active_rows = occupied;
+    record.num_slots = B;
+    record.ok = ok;
+    record.events = std::move(pending_events_);
+    pending_events_.clear();
+    record.vm = vm_delta;
+    journal_->Push(std::move(record));
+  };
+
   ObjectRef result;
   try {
     result = vm_->Invoke(spec_->step_function, std::move(args));
   } catch (...) {
     // The step poisoned every in-flight row's state at once; fail them all
-    // and keep serving — the next splice zeroes its rows regardless.
+    // and keep serving — the next splice zeroes its rows regardless. A
+    // throwing step is still forward progress for the watchdog (the runner
+    // is serving errors, not wedged), and still a journal record: its
+    // retire events keep splices and retires balanced.
     FailAll(slots, std::current_exception());
+    auto now = obs::SteadyClock::now();
+    push_record(now, /*ok=*/false, obs::ExecProfile{});
+    progress(now);
+    step_seq_++;
     return;
   }
-  if (model_stats_ != nullptr) model_stats_->RecordStep(occupied, B);
-  if (aggregate_stats_ != nullptr) aggregate_stats_->RecordStep(occupied, B);
+
+  // Fold this invocation's VM-profile delta: the journal records it per
+  // step; each live slot accumulates it for the retiring request's trace
+  // (every resident request is attributed the full step, the same
+  // semantics as the packed path).
+  obs::ExecProfile step_vm;
+  if (profiling) {
+    const vm::VMProfile& p = vm_->profile();
+    step_vm.kernel_nanos = p.kernel_nanos - mark.kernel_nanos;
+    step_vm.shape_func_nanos = p.shape_func_nanos - mark.shape_func_nanos;
+    step_vm.other_nanos =
+        (p.total_nanos - mark.total_nanos) - step_vm.kernel_nanos;
+    step_vm.instructions = p.instructions - mark.instructions;
+    for (int64_t i = 0; i < B; ++i) {
+      if (!slots.IsOccupied(i)) continue;
+      obs::ExecProfile& acc = slot_profiles_[static_cast<size_t>(i)];
+      acc.kernel_nanos += step_vm.kernel_nanos;
+      acc.shape_func_nanos += step_vm.shape_func_nanos;
+      acc.other_nanos += step_vm.other_nanos;
+      acc.instructions += step_vm.instructions;
+    }
+  }
 
   // Adopt the returned states as next step's inputs.
   runtime::ADTObj* tuple = runtime::AsADT(result);
@@ -258,6 +376,7 @@ void StepRunner::RunStep(SlotMap& slots) {
     SlotMap::Slot& slot = slots.At(i);
     slot.pos++;
     if (slot.pos < slot.length) continue;
+    int64_t length = slot.length;
     auto exec_end = obs::SteadyClock::now();
     // Copy, not slice: the request's result must not pin the whole
     // persistent state tensor (same rule as PackPlan::Unpack).
@@ -269,23 +388,52 @@ void StepRunner::RunStep(SlotMap& slots) {
     if (request.trace.enabled) {
       request.trace.exec_end = exec_end;
       request.trace.unpack_end = obs::SteadyClock::now();
+      request.trace.retire_step = step_seq_;
+      request.trace.vm = slot_profiles_[static_cast<size_t>(i)];
+    }
+    if (journal_on_) {
+      pending_events_.push_back(obs::StepEvent{obs::StepEvent::Kind::kRetire,
+                                               request.id, i, length});
     }
     Complete(std::move(request), runtime::MakeTensor(std::move(out)),
              nullptr);
   }
+  live_rows_.store(slots.occupied(), std::memory_order_relaxed);
+
+  auto step_end = obs::SteadyClock::now();
+  double duration_us =
+      std::chrono::duration<double, std::micro>(step_end - step_start)
+          .count();
+  if (model_stats_ != nullptr) {
+    model_stats_->RecordStep(occupied, B, duration_us);
+  }
+  if (aggregate_stats_ != nullptr) {
+    aggregate_stats_->RecordStep(occupied, B, duration_us);
+  }
+  push_record(step_end, /*ok=*/true, step_vm);
+  progress(step_end);
+  step_seq_++;
 }
 
 void StepRunner::FailAll(SlotMap& slots, std::exception_ptr error) {
   for (int64_t i = 0; i < num_slots_; ++i) {
     if (!slots.IsOccupied(i)) continue;
+    int64_t length = slots.At(i).length;
     serve::Request request = slots.Retire(i);
     if (request.trace.enabled) {
       auto now = obs::SteadyClock::now();
       request.trace.exec_end = now;
       request.trace.unpack_end = now;
+      request.trace.retire_step = step_seq_;
+      request.trace.vm = slot_profiles_[static_cast<size_t>(i)];
+    }
+    if (journal_on_) {
+      pending_events_.push_back(obs::StepEvent{obs::StepEvent::Kind::kRetire,
+                                               request.id, i, length});
     }
     Complete(std::move(request), nullptr, error);
   }
+  live_rows_.store(0, std::memory_order_relaxed);
 }
 
 void StepRunner::Complete(serve::Request request, ObjectRef result,

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "src/batch/slot_map.h"
+#include "src/obs/step_journal.h"
 #include "src/obs/trace.h"
 #include "src/runtime/allocator.h"
 #include "src/runtime/ndarray.h"
@@ -84,14 +85,15 @@ class StepRunner {
  public:
   /// `exec` must pass AnalyzeContinuous for `function` and `num_slots`
   /// (CHECKed). `queue` is the model's request queue; the runner drains it
-  /// until Close()d and empty. `model_stats`/`aggregate_stats`/`tracer` may
-  /// be null. Constructs the VM on the caller's thread (the VM constructor
-  /// populates the process kernel registries, which must happen before
-  /// worker threads run); call Start() to begin serving.
+  /// until Close()d and empty. `model_stats`/`aggregate_stats`/`tracer`/
+  /// `journal` may be null. Constructs the VM on the caller's thread (the
+  /// VM constructor populates the process kernel registries, which must
+  /// happen before worker threads run); call Start() to begin serving.
   StepRunner(std::shared_ptr<vm::Executable> exec, std::string function,
              int64_t num_slots, serve::Channel<serve::Request>* queue,
              serve::ServeStats* model_stats,
-             serve::ServeStats* aggregate_stats, obs::Tracer* tracer);
+             serve::ServeStats* aggregate_stats, obs::Tracer* tracer,
+             obs::StepJournal* journal = nullptr);
 
   /// Joins (the queue must already be closed) and releases the leased
   /// allocator.
@@ -111,6 +113,24 @@ class StepRunner {
   /// Requests retired (completed or failed) so far. Thread-safe, relaxed.
   int64_t requests_completed() const {
     return requests_completed_.load(std::memory_order_relaxed);
+  }
+
+  // Health published for the stall watchdog (obs::RunnerHealth). All
+  // thread-safe, relaxed: the watchdog tolerates a stale read — it only
+  // declares a stall after a multi-hundred-millisecond deadline.
+  /// Slots currently holding live requests.
+  int64_t live_rows() const {
+    return live_rows_.load(std::memory_order_relaxed);
+  }
+  /// Step-twin invocations completed (including failed steps: a throwing
+  /// step is still forward progress, not a wedge).
+  int64_t steps_completed() const {
+    return steps_completed_.load(std::memory_order_relaxed);
+  }
+  /// Steady-clock nanos of the last completed step or splice; 0 until the
+  /// runner first makes progress.
+  int64_t last_progress_ns() const {
+    return last_progress_ns_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -136,6 +156,10 @@ class StepRunner {
   serve::ServeStats* model_stats_;
   serve::ServeStats* aggregate_stats_;
   obs::Tracer* tracer_;
+  obs::StepJournal* journal_;
+  /// Journal event accumulation is skipped entirely when false (journal
+  /// null or disabled) — the journal-off half of the overhead A/B.
+  bool journal_on_;
   runtime::PoolingAllocator* allocator_;  // leased, never null
   std::unique_ptr<vm::VirtualMachine> vm_;
   /// Persistent step arguments, reused across invocations: x_t [B, D],
@@ -145,7 +169,24 @@ class StepRunner {
   runtime::NDArray x_t_;
   runtime::NDArray active_;
   std::vector<runtime::NDArray> states_;
+  /// Step sequence number, 0-based: splices at the boundary before step s
+  /// carry splice_step = s; a row whose final step is s retires with
+  /// retire_step = s, so retire_step - splice_step + 1 == length.
+  /// Runner-thread only.
+  int64_t step_seq_ = 0;
+  /// Splice/retire events accumulated since the last journal push (splices
+  /// in Admit, retires in RunStep/FailAll); moved into one StepRecord per
+  /// step. Runner-thread only; unused when !journal_on_.
+  std::vector<obs::StepEvent> pending_events_;
+  /// Per-slot VM-profile accumulation across a tenancy: each live slot is
+  /// attributed the full step delta (the same every-request-gets-the-batch
+  /// semantics as the packed path), zeroed at splice, stamped into the
+  /// retiring request's trace. Runner-thread only.
+  std::vector<obs::ExecProfile> slot_profiles_;
   std::atomic<int64_t> requests_completed_{0};
+  std::atomic<int64_t> live_rows_{0};
+  std::atomic<int64_t> steps_completed_{0};
+  std::atomic<int64_t> last_progress_ns_{0};
   std::thread thread_;
   bool joined_ = false;
 };

@@ -326,7 +326,38 @@ Json SnapshotJson(const serve::StatsSnapshot& snap) {
     j.Set("exec_cache_hit_rate", snap.cache_hit_rate);
     j.Set("exec_cache_variant_batches", snap.variant_batches);
   }
+  if (snap.slot_count > 0) {
+    Json c = Json::Object();
+    c.Set("slots", snap.slot_count);
+    c.Set("splices", snap.splices);
+    c.Set("steps", snap.continuous_steps);
+    c.Set("row_steps", snap.continuous_row_steps);
+    c.Set("idle_row_steps", snap.continuous_idle_row_steps);
+    c.Set("slot_occupancy", snap.slot_occupancy);
+    c.Set("mean_slot_occupancy", snap.mean_slot_occupancy);
+    c.Set("idle_slot_fraction", snap.idle_slot_fraction);
+    c.Set("mean_step_duration_us", snap.mean_step_duration_us);
+    c.Set("mean_splice_wait_us", snap.mean_splice_wait_us);
+    j.Set("continuous", std::move(c));
+  }
   return j;
+}
+
+/// Value of `key` in an already-split query string ("a=1&b=2"), or empty.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  std::string needle = key + "=";
+  size_t at = 0;
+  while (at < query.size()) {
+    size_t next = query.find('&', at);
+    size_t len = (next == std::string::npos ? query.size() : next) - at;
+    if (len >= needle.size() &&
+        query.compare(at, needle.size(), needle) == 0) {
+      return query.substr(at + needle.size(), len - needle.size());
+    }
+    if (next == std::string::npos) break;
+    at = next + 1;
+  }
+  return "";
 }
 
 }  // namespace
@@ -337,7 +368,7 @@ HttpStats::HttpStats(std::shared_ptr<obs::MetricRegistry> registry)
   const std::string kRequestsHelp = "HTTP requests routed, by endpoint.";
   const std::string kResponsesHelp = "HTTP responses written, by status code.";
   for (const char* endpoint : {"predict", "stats", "metrics", "trace",
-                               "models", "healthz", "other"}) {
+                               "steps", "models", "healthz", "other"}) {
     by_endpoint_[endpoint] = registry_->GetCounter(
         "nimble_http_requests_total", {{"endpoint", endpoint}}, kRequestsHelp);
   }
@@ -448,7 +479,48 @@ std::string InferenceHandler::MetricsText() const {
 }
 
 std::string InferenceHandler::TraceJson(size_t n) const {
-  return obs::ChromeTraceJson(server_->tracer()->Recent(n));
+  // Merge the continuous models' slot timelines into the request-track
+  // document: one Perfetto process per model, one track per slot, plus
+  // occupancy / step-latency counter tracks (see obs::SlotTimeline).
+  std::vector<obs::SlotTimeline> timelines;
+  for (const serve::Server::ContinuousModelView& view :
+       server_->continuous_models()) {
+    if (view.journal == nullptr || !view.journal->enabled()) continue;
+    obs::SlotTimeline timeline;
+    timeline.model = view.name;
+    timeline.num_slots = view.num_slots;
+    timeline.records = view.journal->Tail(n);
+    timelines.push_back(std::move(timeline));
+  }
+  return obs::ChromeTraceJson(server_->tracer()->Recent(n), timelines);
+}
+
+std::string InferenceHandler::StepsJson(const std::string& model,
+                                        size_t n) const {
+  std::vector<serve::Server::ContinuousModelView> views =
+      server_->continuous_models();
+  if (!model.empty()) {
+    for (const serve::Server::ContinuousModelView& view : views) {
+      if (view.name != model) continue;
+      if (view.journal == nullptr) return "";
+      return obs::StepJournalJson(view.name, view.num_slots,
+                                  view.journal->steps_recorded(),
+                                  view.journal->Tail(n));
+    }
+    return "";
+  }
+  std::string out = "{\"models\":[";
+  bool first = true;
+  for (const serve::Server::ContinuousModelView& view : views) {
+    if (view.journal == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    out += obs::StepJournalJson(view.name, view.num_slots,
+                                view.journal->steps_recorded(),
+                                view.journal->Tail(n));
+  }
+  out += "]}";
+  return out;
 }
 
 InferenceHandler::Outcome InferenceHandler::Predict(
@@ -607,6 +679,31 @@ InferenceHandler::Outcome InferenceHandler::Handle(
     Outcome outcome;
     outcome.close_connection = !request.keep_alive;
     outcome.response = HttpCodec::WriteResponse(200, TraceJson(n), kJsonType,
+                                                request.keep_alive);
+    return outcome;
+  }
+  if (path == "/debug/steps" && request.method == "GET") {
+    http_stats_->RecordRequest("steps");
+    std::string model = QueryParam(query, "model");
+    size_t n = 256;
+    std::string n_str = QueryParam(query, "n");
+    if (!n_str.empty()) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(n_str.c_str(), &end, 10);
+      if (end != n_str.c_str() && parsed > 0) {
+        n = static_cast<size_t>(std::min<long long>(parsed, 65536));
+      }
+    }
+    std::string body = StepsJson(model, n);
+    if (body.empty()) {
+      return Respond(404,
+                     ErrorJson("no continuous model named '" + model + "'"),
+                     request.keep_alive);
+    }
+    http_stats_->RecordResponse(200);
+    Outcome outcome;
+    outcome.close_connection = !request.keep_alive;
+    outcome.response = HttpCodec::WriteResponse(200, body, kJsonType,
                                                 request.keep_alive);
     return outcome;
   }

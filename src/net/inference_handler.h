@@ -10,7 +10,16 @@
 //   GET  /metrics                    Prometheus text exposition of the
 //                                    server's obs::MetricRegistry
 //   GET  /debug/trace?n=K            last K completed request traces as
-//                                    chrome://tracing JSON
+//                                    chrome://tracing JSON; continuous
+//                                    models add one Perfetto track per slot
+//                                    (occupancy intervals named after the
+//                                    resident request) plus occupancy and
+//                                    step-latency counter tracks
+//   GET  /debug/steps?model=&n=      step-journal tail of a continuous
+//                                    model (all continuous models when
+//                                    `model` is omitted): per-step seq,
+//                                    duration, active rows, splice/retire
+//                                    events, VM profile
 //   GET  /v1/models                  registered model names
 //   GET  /healthz                    200 while serving, 503 once draining
 //
@@ -123,9 +132,16 @@ class InferenceHandler {
   /// per-model queue-depth gauges, then renders the server's registry.
   std::string MetricsText() const;
 
-  /// Chrome-trace JSON of the newest `n` completed request traces (the
-  /// GET /debug/trace body). Load in chrome://tracing or Perfetto.
+  /// Chrome-trace JSON of the newest `n` completed request traces plus the
+  /// continuous models' slot timelines (the GET /debug/trace body). Load in
+  /// chrome://tracing or Perfetto.
   std::string TraceJson(size_t n) const;
+
+  /// Step-journal tail JSON (the GET /debug/steps body). `model` empty:
+  /// every continuous model under a "models" array. Returns an empty
+  /// string when `model` names no continuous model (the route answers
+  /// 404).
+  std::string StepsJson(const std::string& model, size_t n) const;
 
  private:
   Outcome Respond(int status, const Json& body, bool keep_alive);

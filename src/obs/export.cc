@@ -101,9 +101,179 @@ std::string ChromeTraceJson(const std::vector<TraceRecord>& records) {
         out += std::to_string(ctx.vm.other_nanos / 1000);
         out += ",\"instructions\":";
         out += std::to_string(ctx.vm.instructions);
+        if (ctx.continuous) {
+          out += ",\"continuous\":true,\"slot\":";
+          out += std::to_string(ctx.slot);
+          out += ",\"splice_step\":";
+          out += std::to_string(ctx.splice_step);
+          out += ",\"retire_step\":";
+          out += std::to_string(ctx.retire_step);
+          out += ",\"steps_resident\":";
+          out += std::to_string(ctx.steps_resident());
+        }
       }
       out += "}}";
     }
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+/// Appends one chrome-trace event object to `out`, comma-separated.
+void AppendEvent(std::string& out, bool& first, const std::string& event) {
+  if (!first) out += ",";
+  first = false;
+  out += event;
+}
+
+/// The slot-track events of one model's journal tail (see SlotTimeline in
+/// export.h). `pid` identifies the model's slot process in the document.
+void AppendSlotTimeline(std::string& out, bool& first,
+                        const SlotTimeline& timeline, int64_t pid) {
+  if (timeline.records.empty()) return;
+  AppendEvent(out, first,
+              "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+                  std::to_string(pid) + ",\"args\":{\"name\":\"slots:" +
+                  EscapeJson(timeline.model) + "\"}}");
+  for (int64_t s = 0; s < timeline.num_slots; ++s) {
+    AppendEvent(out, first,
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+                    std::to_string(pid) + ",\"tid\":" + std::to_string(s) +
+                    ",\"args\":{\"name\":\"slot " + std::to_string(s) +
+                    "\"}}");
+  }
+
+  struct OpenTenancy {
+    bool open = false;
+    int64_t request_id = -1;
+    int64_t length = 0;
+    int64_t begin_us = 0;
+  };
+  std::vector<OpenTenancy> slots(
+      static_cast<size_t>(timeline.num_slots > 0 ? timeline.num_slots : 0));
+  const int64_t window_start_us = ToMicros(timeline.records.front().start);
+  int64_t window_end_us = window_start_us;
+
+  auto close = [&](OpenTenancy& t, int64_t slot, int64_t end_us) {
+    int64_t dur = end_us - t.begin_us;
+    AppendEvent(out, first,
+                "{\"name\":\"req " + std::to_string(t.request_id) + " (len " +
+                    std::to_string(t.length) + ")\",\"ph\":\"X\",\"pid\":" +
+                    std::to_string(pid) + ",\"tid\":" + std::to_string(slot) +
+                    ",\"ts\":" + std::to_string(t.begin_us) + ",\"dur\":" +
+                    std::to_string(dur > 0 ? dur : 0) +
+                    ",\"args\":{\"request\":" + std::to_string(t.request_id) +
+                    ",\"length\":" + std::to_string(t.length) + "}}");
+    t.open = false;
+  };
+
+  for (const StepRecord& record : timeline.records) {
+    int64_t start_us = ToMicros(record.start);
+    int64_t end_us = start_us + record.duration_us;
+    if (end_us > window_end_us) window_end_us = end_us;
+    for (const StepEvent& event : record.events) {
+      if (event.slot < 0 ||
+          event.slot >= static_cast<int64_t>(slots.size())) {
+        continue;
+      }
+      OpenTenancy& t = slots[static_cast<size_t>(event.slot)];
+      if (event.kind == StepEvent::Kind::kSplice) {
+        t.open = true;
+        t.request_id = event.request_id;
+        t.length = event.length;
+        t.begin_us = start_us;
+      } else {
+        // A retire whose splice fell off the ring clamps to the window
+        // start: the interval is honest about what the tail can see.
+        if (!t.open) {
+          t.open = true;
+          t.request_id = event.request_id;
+          t.length = event.length;
+          t.begin_us = window_start_us;
+        }
+        close(t, event.slot, end_us);
+      }
+    }
+    // Counter tracks, one sample per step: live-row occupancy and the
+    // step's latency. Perfetto renders these as filled line charts.
+    AppendEvent(out, first,
+                "{\"name\":\"occupancy\",\"ph\":\"C\",\"pid\":" +
+                    std::to_string(pid) + ",\"ts\":" +
+                    std::to_string(start_us) + ",\"args\":{\"active_rows\":" +
+                    std::to_string(record.active_rows) + "}}");
+    AppendEvent(out, first,
+                "{\"name\":\"step_latency_us\",\"ph\":\"C\",\"pid\":" +
+                    std::to_string(pid) + ",\"ts\":" +
+                    std::to_string(start_us) + ",\"args\":{\"us\":" +
+                    std::to_string(record.duration_us) + "}}");
+  }
+  // Tenancies still live at the end of the tail clamp to the window edge.
+  for (size_t s = 0; s < slots.size(); ++s) {
+    if (slots[s].open) {
+      close(slots[s], static_cast<int64_t>(s), window_end_us);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceRecord>& records,
+                            const std::vector<SlotTimeline>& timelines) {
+  std::string out = ChromeTraceJson(records);
+  // Splice the slot-track events into the existing document rather than
+  // re-rendering the request tracks: drop the trailing "]}" and append.
+  out.resize(out.size() - 2);
+  bool first = records.empty();
+  // pid 1 is the request-track process; slot processes follow.
+  int64_t pid = 2;
+  for (const SlotTimeline& timeline : timelines) {
+    AppendSlotTimeline(out, first, timeline, pid++);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string StepJournalJson(const std::string& model, int64_t num_slots,
+                            int64_t steps_recorded,
+                            const std::vector<StepRecord>& tail) {
+  std::string out = "{\"model\":\"" + EscapeJson(model) + "\"";
+  out += ",\"num_slots\":" + std::to_string(num_slots);
+  out += ",\"steps_recorded\":" + std::to_string(steps_recorded);
+  out += ",\"steps\":[";
+  bool first_record = true;
+  for (const StepRecord& record : tail) {
+    if (!first_record) out += ",";
+    first_record = false;
+    out += "{\"step\":" + std::to_string(record.step);
+    out += ",\"ts_us\":" + std::to_string(ToMicros(record.start));
+    out += ",\"duration_us\":" + std::to_string(record.duration_us);
+    out += ",\"active_rows\":" + std::to_string(record.active_rows);
+    out += ",\"num_slots\":" + std::to_string(record.num_slots);
+    if (!record.ok) out += ",\"ok\":false";
+    out += ",\"events\":[";
+    bool first_event = true;
+    for (const StepEvent& event : record.events) {
+      if (!first_event) out += ",";
+      first_event = false;
+      out += "{\"kind\":\"";
+      out += event.kind == StepEvent::Kind::kSplice ? "splice" : "retire";
+      out += "\",\"request\":" + std::to_string(event.request_id);
+      out += ",\"slot\":" + std::to_string(event.slot);
+      out += ",\"length\":" + std::to_string(event.length) + "}";
+    }
+    out += "]";
+    if (record.vm.instructions > 0) {
+      out += ",\"vm\":{\"kernel_us\":" +
+             std::to_string(record.vm.kernel_nanos / 1000) +
+             ",\"shape_func_us\":" +
+             std::to_string(record.vm.shape_func_nanos / 1000) +
+             ",\"other_us\":" + std::to_string(record.vm.other_nanos / 1000) +
+             ",\"instructions\":" + std::to_string(record.vm.instructions) +
+             "}";
+    }
+    out += "}";
   }
   out += "]}";
   return out;
@@ -123,6 +293,11 @@ std::string TraceHeaderValue(const TraceContext& ctx) {
   out += ";kernel_us=" + std::to_string(ctx.vm.kernel_nanos / 1000);
   out += ";shape_func_us=" + std::to_string(ctx.vm.shape_func_nanos / 1000);
   out += ";other_us=" + std::to_string(ctx.vm.other_nanos / 1000);
+  if (ctx.continuous) {
+    out += ";slot=" + std::to_string(ctx.slot);
+    out += ";splice_step=" + std::to_string(ctx.splice_step);
+    out += ";steps_resident=" + std::to_string(ctx.steps_resident());
+  }
   return out;
 }
 

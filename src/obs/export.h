@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/step_journal.h"
 #include "src/obs/trace.h"
 
 namespace nimble {
@@ -45,9 +46,37 @@ struct SpanView {
 /// admission, queue, pack, exec, unpack, write.
 std::vector<SpanView> TraceSpans(const TraceContext& ctx);
 
+/// One continuous model's step-journal tail, for the slot-timeline export:
+/// rendered as one Perfetto process ("slots:<model>") with one track per
+/// slot — each occupancy interval named after its resident request — plus
+/// `occupancy` and `step_latency_us` counter tracks sampled per step.
+struct SlotTimeline {
+  std::string model;
+  int64_t num_slots = 0;
+  /// Journal tail in step order (StepJournal::Tail output).
+  std::vector<StepRecord> records;
+};
+
 /// chrome://tracing "traceEvents" JSON document for a set of committed
 /// traces (valid with zero records: an empty traceEvents array).
 std::string ChromeTraceJson(const std::vector<TraceRecord>& records);
+
+/// Same document with continuous slot timelines merged in: request tracks
+/// (pid 1, tid = request id) as above, plus per-model slot-track processes
+/// reconstructed from each journal tail. Tenancies that began before the
+/// tail window (or are still live at its end) are clamped to the window
+/// edges. This is what GET /debug/trace serves for a continuous server.
+std::string ChromeTraceJson(const std::vector<TraceRecord>& records,
+                            const std::vector<SlotTimeline>& timelines);
+
+/// JSON journal tail for one model (the GET /debug/steps body is one of
+/// these per continuous model): step seq, start timestamp, duration,
+/// active rows, splice/retire events, and the per-step VM profile.
+/// `steps_recorded` is the journal's monotone push count (so a consumer
+/// can tell a short run from a wrapped ring).
+std::string StepJournalJson(const std::string& model, int64_t num_slots,
+                            int64_t steps_recorded,
+                            const std::vector<StepRecord>& tail);
 
 /// Compact stage timings for the X-Nimble-Trace response header, e.g.
 /// "id=7;admission_us=12;queue_us=830;pack_us=4;exec_us=1210;kernel_us=...".

@@ -62,7 +62,28 @@ struct TraceContext {
   /// Whether the request ran on the packed tensor-batching path (pack and
   /// unpack spans are zero-width otherwise).
   bool packed = false;
+  /// Whether the request was served by the continuous slot-map runner. The
+  /// span taxonomy is unchanged (dispatch is stamped at splice, so the
+  /// queue span is exactly the queued-behind-splice wait and exec covers
+  /// the resident steps); the step-level detail below rides as extra
+  /// fields, exported via chrome-trace args and the X-Nimble-Trace echo.
+  bool continuous = false;
+  /// Slot index of the persistent batch this request occupied (-1 off the
+  /// continuous path).
+  int64_t slot = -1;
+  /// Step sequence numbers of the request's first and last computed steps
+  /// (-1 off the continuous path). retire_step - splice_step + 1 is the
+  /// number of steps the request was resident, which equals its sequence
+  /// length (asserted by the sched harness).
+  int64_t splice_step = -1;
+  int64_t retire_step = -1;
   std::string model;
+
+  int64_t steps_resident() const {
+    return (splice_step >= 0 && retire_step >= splice_step)
+               ? retire_step - splice_step + 1
+               : 0;
+  }
   SteadyClock::time_point admit{};
   SteadyClock::time_point enqueue{};
   SteadyClock::time_point sched{};

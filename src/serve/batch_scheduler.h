@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/step_journal.h"
 #include "src/serve/channel.h"
 #include "src/serve/exec_cache.h"
 #include "src/serve/request.h"
@@ -146,6 +147,10 @@ struct ModelState {
   /// Trace sink for this model's requests (stamped onto every dispatched
   /// Batch); null when the owning server has no tracer (standalone tests).
   obs::Tracer* tracer = nullptr;
+  /// Step journal of this model's continuous runner (src/obs/
+  /// step_journal.h); created by AddModel for continuous models only, null
+  /// otherwise. Written by the runner thread, read by /debug/steps scrapes.
+  std::unique_ptr<obs::StepJournal> journal;
 };
 
 class BatchScheduler {

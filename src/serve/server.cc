@@ -62,11 +62,23 @@ StatsMetricBindings MakeModelBindings(obs::MetricRegistry& registry,
       "nimble_splices_total", m,
       "Requests spliced into the persistent batch (continuous batching)");
   b.continuous_steps = registry.GetCounter(
-      "nimble_continuous_steps_total", m,
+      "nimble_steps_total", m,
       "Step-twin invocations over the persistent batch");
+  b.idle_row_steps = registry.GetCounter(
+      "nimble_idle_row_steps_total", m,
+      "Row-steps computed by slots holding no request (continuous waste)");
   b.slot_occupancy = registry.GetGauge(
       "nimble_slot_occupancy", m,
       "Live slots of the persistent batch as of the latest step");
+  b.step_duration_us = registry.GetHistogram(
+      "nimble_step_duration_us", m, obs::Histogram::LatencyBoundsUs(),
+      "Wall-clock duration of one step-twin invocation, microseconds");
+  b.splice_wait_us = registry.GetHistogram(
+      "nimble_splice_wait_us", m, obs::Histogram::LatencyBoundsUs(),
+      "Queued-behind-splice wait (enqueue to splice), microseconds");
+  b.active_rows = registry.GetHistogram(
+      "nimble_active_rows", m, obs::Histogram::BatchSizeBounds(),
+      "Live rows per step of the persistent batch (occupancy)");
   b.e2e_latency_us = registry.GetHistogram(
       "nimble_e2e_latency_us", m, obs::Histogram::LatencyBoundsUs(),
       "End-to-end request latency (admission to result), microseconds");
@@ -122,6 +134,10 @@ void Server::AddModel(const std::string& name, ModelConfig model) {
         << "model '" << name
         << "': an executable cache cannot serve a continuous model (variants "
            "bake an Lmax; the persistent batch has none)";
+    // One step journal per continuous model, written by its runner thread
+    // only (per-model journals are this plane's shards — see
+    // src/obs/step_journal.h).
+    state->journal = std::make_unique<obs::StepJournal>(config_.step_journal);
   }
   if (model.exec_cache != nullptr) {
     NIMBLE_CHECK(state->policy.tensor_batching)
@@ -159,11 +175,24 @@ void Server::Start() {
   // thread, for the same registry-population reason as the pool's.
   std::vector<ModelState*> bucketed;
   bucketed.reserve(models_.size());
+  struct WatchEntry {
+    batch::StepRunner* runner;
+    std::string model;
+    obs::Gauge* gauge;
+  };
+  std::vector<WatchEntry> watched;
   for (auto& model : models_) {
     if (model->policy.continuous) {
       runners_.push_back(std::make_unique<batch::StepRunner>(
           model->exec, model->function, model->policy.continuous_slots,
-          model->queue.get(), &model->stats, &stats_, tracer_.get()));
+          model->queue.get(), &model->stats, &stats_, tracer_.get(),
+          model->journal.get()));
+      watched.push_back(WatchEntry{
+          runners_.back().get(), model->name,
+          metrics_->GetGauge(
+              "nimble_runner_stalled", {{"model", model->name}},
+              "1 while the continuous runner holds live rows but has "
+              "completed no step within the watchdog deadline")});
     } else {
       bucketed.push_back(model.get());
     }
@@ -176,6 +205,26 @@ void Server::Start() {
     scheduler_->Start();
   }
   for (auto& runner : runners_) runner->Start();
+  if (!watched.empty() && config_.watchdog.enabled) {
+    // The health source copies the watch list; runner pointers stay valid
+    // until ~Server, and the watchdog is stopped first in Drain anyway.
+    watchdog_ = std::make_unique<obs::StallWatchdog>(
+        config_.watchdog, [watched]() {
+          std::vector<obs::RunnerHealth> health;
+          health.reserve(watched.size());
+          for (const WatchEntry& entry : watched) {
+            obs::RunnerHealth h;
+            h.model = entry.model;
+            h.live_rows = entry.runner->live_rows();
+            h.steps = entry.runner->steps_completed();
+            h.last_progress_ns = entry.runner->last_progress_ns();
+            h.stalled_gauge = entry.gauge;
+            health.push_back(std::move(h));
+          }
+          return health;
+        });
+    watchdog_->Start();
+  }
   started_.store(true);
 }
 
@@ -328,6 +377,19 @@ Server::ServerSnapshot Server::SnapshotAll() const {
   return all;
 }
 
+std::vector<Server::ContinuousModelView> Server::continuous_models() const {
+  std::vector<ContinuousModelView> views;
+  for (const auto& model : models_) {
+    if (!model->policy.continuous) continue;
+    ContinuousModelView view;
+    view.name = model->name;
+    view.num_slots = model->policy.continuous_slots;
+    view.journal = model->journal.get();
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
 size_t Server::queue_depth() const {
   size_t depth = 0;
   for (const auto& model : models_) depth += model->queue->size();
@@ -354,6 +416,9 @@ void Server::Drain() {
     // promise/callback is therefore fulfilled before Join returns —
     // teardown never drops queued work.
     for (auto& model : models_) model->queue->Close();
+    // Watchdog first: a runner draining its last rows is making progress,
+    // not stalling, and the poll loop must not outlive the runners it reads.
+    if (watchdog_ != nullptr) watchdog_->Stop();
     // Step runners exit on their own once their queue is closed+drained and
     // every live slot has retired — same no-dropped-work guarantee.
     for (auto& runner : runners_) runner->Join();

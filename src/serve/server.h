@@ -45,6 +45,7 @@
 
 #include "src/batch/step_runner.h"
 #include "src/obs/metrics.h"
+#include "src/obs/step_journal.h"
 #include "src/obs/trace.h"
 #include "src/serve/batch_scheduler.h"
 #include "src/serve/request_queue.h"
@@ -90,6 +91,17 @@ struct ServeConfig {
   /// GET /metrics). Null: the server creates its own. Inject a shared one
   /// to aggregate several servers into a single exposition.
   std::shared_ptr<obs::MetricRegistry> metrics;
+  /// Step-journal configuration for continuous models (src/obs/
+  /// step_journal.h): one bounded StepRecord ring per continuous model,
+  /// written by its runner, served at GET /debug/steps and merged into
+  /// GET /debug/trace as slot timelines. On by default, same ≤3% overhead
+  /// budget as tracing (the step_journal_overhead CI gate).
+  obs::StepJournalConfig step_journal;
+  /// Stall-watchdog configuration: one polling thread watching every
+  /// continuous runner's health, flipping the per-model
+  /// nimble_runner_stalled gauge and WARN-logging (rate-limited) when a
+  /// runner holds live rows but completes no step within the deadline.
+  obs::StallWatchdogConfig watchdog;
 
   // ---- single-model conveniences, used by the legacy constructor -------
   /// Admission queue capacity for the implicitly registered model.
@@ -230,6 +242,22 @@ class Server {
   /// The request tracer (never null); serves GET /debug/trace. Thread-safe.
   const std::shared_ptr<obs::Tracer>& tracer() const { return tracer_; }
 
+  /// The continuous models' step journals (empty when no model is
+  /// continuous). Journals live as long as the server, so the views stay
+  /// valid across Drain; the HTTP front end serves them at GET /debug/steps
+  /// and folds them into GET /debug/trace as slot timelines. Thread-safe
+  /// after Start (the list is fixed at registration time).
+  struct ContinuousModelView {
+    std::string name;
+    int64_t num_slots = 0;
+    const obs::StepJournal* journal = nullptr;  // may be null when disabled
+  };
+  std::vector<ContinuousModelView> continuous_models() const;
+
+  /// The stall watchdog (null when no model is continuous or the watchdog
+  /// is disabled); exposed for tests and health probes.
+  const obs::StallWatchdog* watchdog() const { return watchdog_.get(); }
+
   /// Total requests currently buffered in admission queues (all models).
   size_t queue_depth() const;
   /// Requests buffered for one model. Throws for an unknown name.
@@ -260,6 +288,9 @@ class Server {
   /// such models never appear in the scheduler's model list — their queues
   /// are drained by their runner's thread directly.
   std::vector<std::unique_ptr<batch::StepRunner>> runners_;
+  /// Polls every continuous runner's health atomics; started after the
+  /// runners, stopped first in Drain. Null when there is nothing to watch.
+  std::unique_ptr<obs::StallWatchdog> watchdog_;
   std::atomic<int64_t> next_id_{0};
   std::atomic<bool> started_{false};
   std::atomic<bool> shutdown_{false};

@@ -159,18 +159,32 @@ void ServeStats::RecordVariantCompile() {
   variant_compiles_++;
 }
 
-void ServeStats::RecordSplice() {
+void ServeStats::RecordSplice(double wait_us) {
   if (metrics_.splices != nullptr) metrics_.splices->Increment();
+  if (metrics_.splice_wait_us != nullptr) {
+    metrics_.splice_wait_us->Observe(wait_us);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   splices_++;
+  splice_wait_sum_us_ += wait_us;
 }
 
-void ServeStats::RecordStep(int64_t occupied, int64_t num_slots) {
+void ServeStats::RecordStep(int64_t occupied, int64_t num_slots,
+                            double duration_us) {
   if (metrics_.continuous_steps != nullptr) {
     metrics_.continuous_steps->Increment();
   }
+  if (metrics_.idle_row_steps != nullptr && num_slots > occupied) {
+    metrics_.idle_row_steps->Increment(num_slots - occupied);
+  }
   if (metrics_.slot_occupancy != nullptr) {
     metrics_.slot_occupancy->Set(static_cast<double>(occupied));
+  }
+  if (metrics_.step_duration_us != nullptr) {
+    metrics_.step_duration_us->Observe(duration_us);
+  }
+  if (metrics_.active_rows != nullptr) {
+    metrics_.active_rows->Observe(static_cast<double>(occupied));
   }
   std::lock_guard<std::mutex> lock(mu_);
   continuous_steps_++;
@@ -178,6 +192,7 @@ void ServeStats::RecordStep(int64_t occupied, int64_t num_slots) {
   continuous_idle_row_steps_ += num_slots - occupied;
   slot_count_ = num_slots;
   slot_occupancy_ = occupied;
+  step_duration_sum_us_ += duration_us;
 }
 
 void ServeStats::RecordCompletion(double latency_us, double queue_wait_us,
@@ -315,6 +330,14 @@ StatsSnapshot ServeStats::Snapshot() const {
         static_cast<double>(continuous_idle_row_steps_) /
         static_cast<double>(continuous_row_steps_);
   }
+  if (continuous_steps_ > 0) {
+    snap.mean_step_duration_us =
+        step_duration_sum_us_ / static_cast<double>(continuous_steps_);
+  }
+  if (splices_ > 0) {
+    snap.mean_splice_wait_us =
+        splice_wait_sum_us_ / static_cast<double>(splices_);
+  }
   if (cache_hits_ + cache_misses_ > 0) {
     snap.cache_hit_rate = static_cast<double>(cache_hits_) /
                           static_cast<double>(cache_hits_ + cache_misses_);
@@ -363,6 +386,7 @@ void ServeStats::Reset() {
   cache_hits_ = cache_misses_ = cache_evictions_ = variant_compiles_ = 0;
   splices_ = continuous_steps_ = continuous_row_steps_ = 0;
   continuous_idle_row_steps_ = slot_count_ = slot_occupancy_ = 0;
+  step_duration_sum_us_ = splice_wait_sum_us_ = 0.0;
   started_ = false;
   first_enqueue_ = Clock::time_point{};
   last_completion_ = Clock::time_point{};

@@ -115,6 +115,11 @@ struct StatsSnapshot {
   int64_t slot_occupancy = 0;  // live slots as of the latest step
   double mean_slot_occupancy = 0.0;  // live row steps / steps
   double idle_slot_fraction = 0.0;   // idle row steps / row steps
+  /// Step-level timing (recorded by the runner per step / per splice):
+  /// mean wall-clock duration of a step-twin invocation, and the mean
+  /// queued-behind-splice wait (enqueue -> splice) of spliced requests.
+  double mean_step_duration_us = 0.0;
+  double mean_splice_wait_us = 0.0;
   double elapsed_seconds = 0.0;   // first enqueue -> last completion
   double throughput_rps = 0.0;    // completed / elapsed_seconds
   double mean_latency_us = 0.0;
@@ -153,12 +158,16 @@ struct StatsMetricBindings {
   obs::Counter* variant_compiles = nullptr;
   obs::Counter* splices = nullptr;
   obs::Counter* continuous_steps = nullptr;
+  obs::Counter* idle_row_steps = nullptr;
   obs::Gauge* adaptive_wait_us = nullptr;
   obs::Gauge* slot_occupancy = nullptr;
   obs::Histogram* e2e_latency_us = nullptr;
   obs::Histogram* queue_wait_us = nullptr;
   obs::Histogram* exec_us = nullptr;
   obs::Histogram* batch_size = nullptr;
+  obs::Histogram* step_duration_us = nullptr;
+  obs::Histogram* splice_wait_us = nullptr;
+  obs::Histogram* active_rows = nullptr;
 };
 
 class ServeStats {
@@ -205,11 +214,15 @@ class ServeStats {
   void RecordVariantCompile();
 
   // Continuous-batching events (recorded by batch::StepRunner).
-  /// One request spliced into a slot of the persistent batch.
-  void RecordSplice();
+  /// One request spliced into a slot of the persistent batch. `wait_us` is
+  /// the queued-behind-splice wait (enqueue -> splice); 0 when unknown.
+  void RecordSplice(double wait_us = 0.0);
   /// One step-function invocation over `num_slots` slots of which
-  /// `occupied` held live requests. Also refreshes the occupancy gauge.
-  void RecordStep(int64_t occupied, int64_t num_slots);
+  /// `occupied` held live requests, taking `duration_us` wall-clock
+  /// (gather + invoke + retire scan; 0 when unmeasured). Also refreshes
+  /// the occupancy gauge and the step-level histograms.
+  void RecordStep(int64_t occupied, int64_t num_slots,
+                  double duration_us = 0.0);
 
   /// One request finished (promise fulfilled). `latency_us` is end-to-end:
   /// enqueue to result ready. `ok` is false when the VM threw.
@@ -284,6 +297,8 @@ class ServeStats {
   int64_t continuous_idle_row_steps_ = 0;
   int64_t slot_count_ = 0;
   int64_t slot_occupancy_ = 0;
+  double step_duration_sum_us_ = 0.0;
+  double splice_wait_sum_us_ = 0.0;
   bool started_ = false;
   Clock::time_point first_enqueue_{};
   Clock::time_point last_completion_{};

@@ -17,7 +17,13 @@
 //        - live row steps == sum of request lengths (each request holds a
 //          slot for exactly its own length — step-granular retire);
 //        - row steps == steps * slots (the fixed-B step loop);
-//        - zero packed batches (nothing on this path ever pads).
+//        - zero packed batches (nothing on this path ever pads);
+//   4. cross-check the step journal against the same ground truth: one
+//      record per step with strictly increasing seqs, exactly one splice
+//      and one retire event per request, per-request slot residency
+//      (retire_step - splice_step + 1 == length), and the per-step
+//      active-row counts summing to the live row steps. The harness sizes
+//      the ring (65536) so no record is overwritten mid-run.
 //
 // RunSchedule returns "" on success or a failure message that embeds the
 // schedule's replay line (seed + flavor), so both consumers — the gtest
@@ -30,6 +36,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -115,6 +122,9 @@ struct ContinuousHarness {
 
     serve::ServeConfig config;
     config.num_workers = 1;  // unused: a pure-continuous server has no pool
+    // Big enough that a sweep's longest schedule never wraps the ring: the
+    // journal invariants below need every step of the run on record.
+    config.step_journal.ring_capacity = 65536;
     serve::Server server(config);
     serve::ModelConfig mc;
     mc.exec = exec;
@@ -130,7 +140,7 @@ struct ContinuousHarness {
       std::atomic<bool> done{false};
       runtime::ObjectRef result;
       std::exception_ptr error;
-      obs::SteadyClock::time_point dispatch{};
+      obs::TraceContext trace{};
     };
     std::vector<Completion> completions(n);
 
@@ -150,7 +160,7 @@ struct ContinuousHarness {
               const obs::TraceContext& trace) {
             c->result = std::move(result);
             c->error = error;
-            c->dispatch = trace.dispatch;
+            c->trace = trace;
             c->done.store(true, std::memory_order_release);
           });
       if (!admit.accepted()) {
@@ -192,7 +202,7 @@ struct ContinuousHarness {
     // splice (dispatch) timestamps must be non-decreasing in submission
     // order.
     for (size_t i = 1; i < n; ++i) {
-      if (completions[i].dispatch < completions[i - 1].dispatch) {
+      if (completions[i].trace.dispatch < completions[i - 1].trace.dispatch) {
         std::ostringstream os;
         os << "FIFO violation: request " << i << " spliced before request "
            << (i - 1) << " " << schedule.Describe();
@@ -225,6 +235,116 @@ struct ContinuousHarness {
     }
     std::string failure = os.str();
     if (!failure.empty()) return failure + " " + schedule.Describe();
+
+    // Step-journal cross-check against the same ground truth. The journal
+    // is written by the runner thread only; after Drain() the runner has
+    // joined, so this read races with nothing.
+    failure = CheckJournal(server, schedule, snap.continuous_steps, num_slots,
+                           completions.data(), n);
+    if (!failure.empty()) return failure + " " + schedule.Describe();
+    return "";
+  }
+
+ private:
+  template <typename Completion>
+  std::string CheckJournal(const serve::Server& server,
+                           const FuzzSchedule& schedule, int64_t steps,
+                           int64_t num_slots, const Completion* completions,
+                           size_t n) {
+    std::ostringstream os;
+    auto views = server.continuous_models();
+    if (views.size() != 1 || views[0].journal == nullptr) {
+      return "expected one continuous model with a journal";
+    }
+    const obs::StepJournal& journal = *views[0].journal;
+    std::vector<obs::StepRecord> records = journal.Tail(journal.config().ring_capacity);
+    if (journal.steps_recorded() != steps ||
+        records.size() != static_cast<size_t>(steps)) {
+      os << "journal recorded " << journal.steps_recorded() << " steps ("
+         << records.size() << " retained) != stats steps " << steps;
+      return os.str();
+    }
+
+    // Per-request splice/retire record steps, keyed by trace id.
+    struct Residency {
+      int64_t splice_step = -1;
+      int64_t retire_step = -1;
+      int64_t slot = -1;
+      int64_t length = 0;
+    };
+    std::map<int64_t, Residency> residency;
+    int64_t active_sum = 0;
+    for (size_t i = 0; i < records.size(); ++i) {
+      const obs::StepRecord& record = records[i];
+      if (record.step != static_cast<int64_t>(i) || !record.ok ||
+          record.num_slots != num_slots) {
+        os << "journal step " << i << " malformed (seq " << record.step
+           << ", ok " << record.ok << ", slots " << record.num_slots << ")";
+        return os.str();
+      }
+      active_sum += record.active_rows;
+      for (const obs::StepEvent& event : record.events) {
+        Residency& r = residency[event.request_id];
+        if (event.kind == obs::StepEvent::Kind::kSplice) {
+          if (r.splice_step != -1) {
+            os << "request " << event.request_id << " spliced twice";
+            return os.str();
+          }
+          r.splice_step = record.step;
+          r.slot = event.slot;
+          r.length = event.length;
+        } else {
+          if (r.splice_step == -1 || r.retire_step != -1) {
+            os << "request " << event.request_id
+               << " retired without a matching splice";
+            return os.str();
+          }
+          r.retire_step = record.step;
+        }
+      }
+    }
+
+    // Σ active rows over all steps is exactly the live row steps: each
+    // request contributes one active row per step of its residency.
+    int64_t total_len = 0;
+    for (const FuzzRequest& r : schedule.requests) total_len += r.length;
+    if (active_sum != total_len) {
+      os << "journal active-row sum " << active_sum
+         << " != total request length " << total_len;
+      return os.str();
+    }
+
+    if (residency.size() != n) {
+      os << "journal saw " << residency.size() << " requests != " << n;
+      return os.str();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const obs::TraceContext& trace = completions[i].trace;
+      auto it = residency.find(trace.id);
+      if (it == residency.end()) {
+        os << "request " << i << " (id " << trace.id << ") not in journal";
+        return os.str();
+      }
+      const Residency& r = it->second;
+      const int64_t length = schedule.requests[i].length;
+      if (r.retire_step == -1 ||
+          r.retire_step - r.splice_step + 1 != length || r.length != length) {
+        os << "request " << i << " resident steps "
+           << (r.retire_step - r.splice_step + 1) << " != length " << length;
+        return os.str();
+      }
+      // The journal and the request's own trace must tell the same story.
+      if (trace.slot != r.slot || trace.splice_step != r.splice_step ||
+          trace.retire_step != r.retire_step ||
+          trace.steps_resident() != length || !trace.continuous) {
+        os << "request " << i << " trace (slot " << trace.slot
+           << ", splice " << trace.splice_step << ", retire "
+           << trace.retire_step << ") disagrees with journal (slot " << r.slot
+           << ", splice " << r.splice_step << ", retire " << r.retire_step
+           << ")";
+        return os.str();
+      }
+    }
     return "";
   }
 };

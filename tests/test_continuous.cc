@@ -351,6 +351,54 @@ TEST(Continuous, StatsReportSlotOccupancyAndZeroPadding) {
   EXPECT_EQ(server.stats().completed, static_cast<int64_t>(lengths.size()));
 }
 
+TEST(Continuous, TraceCarriesSlotAndStepSpanOfTheResidency) {
+  schedfuzz::ContinuousHarness harness;
+  serve::ServeConfig config;
+  serve::Server server(config);
+  serve::ModelConfig mc;
+  mc.exec = harness.exec;
+  mc.batch.continuous = true;
+  mc.batch.continuous_slots = 2;
+  server.AddModel("lstm", std::move(mc));
+  server.Start();
+
+  support::Rng rng(99);
+  const int64_t length = 6;
+  NDArray x = models::RandomSequence(length, harness.input_size, rng);
+  std::promise<obs::TraceContext> traced;
+  auto admit = server.TrySubmitCallback(
+      "lstm", {MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(length))},
+      length,
+      [&traced](runtime::ObjectRef, std::exception_ptr,
+                const obs::TraceContext& trace) {
+        traced.set_value(trace);
+      });
+  ASSERT_TRUE(admit.accepted());
+  obs::TraceContext trace = traced.get_future().get();
+  server.Drain();
+
+  // The continuous detail rides on the trace as extra fields, not new span
+  // names: slot index, splice/retire step seqs, and the derived residency.
+  EXPECT_TRUE(trace.continuous);
+  EXPECT_GE(trace.slot, 0);
+  EXPECT_LT(trace.slot, 2);
+  EXPECT_GE(trace.splice_step, 0);
+  EXPECT_EQ(trace.retire_step - trace.splice_step + 1, length);
+  EXPECT_EQ(trace.steps_resident(), length);
+  EXPECT_FALSE(trace.packed) << "the continuous path never packs";
+
+  // The step means and the journal surface the same run.
+  auto snap = server.stats("lstm");
+  EXPECT_GT(snap.mean_step_duration_us, 0.0);
+  EXPECT_GE(snap.mean_splice_wait_us, 0.0);
+  auto views = server.continuous_models();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].name, "lstm");
+  EXPECT_EQ(views[0].num_slots, 2);
+  ASSERT_NE(views[0].journal, nullptr);
+  EXPECT_EQ(views[0].journal->steps_recorded(), snap.continuous_steps);
+}
+
 // ---- registration-time rejection -------------------------------------------
 
 TEST(Continuous, AddModelRejectsExecutableWithoutStepTwin) {

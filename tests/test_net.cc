@@ -20,6 +20,7 @@
 #include "src/net/http_codec.h"
 #include "src/net/http_server.h"
 #include "src/net/json.h"
+#include "src/obs/step_journal.h"
 #include "src/serve/server.h"
 #include "src/vm/vm.h"
 
@@ -851,6 +852,136 @@ TEST(HttpServe, TraceHeaderEchoAndDebugTraceExport) {
   auto all = client.Get("/debug/trace");
   Json all_doc = Json::Parse(all.body);
   EXPECT_EQ(all_doc.Find("traceEvents")->items().size(), 18u);
+}
+
+TEST(HttpServe, DebugStepsEndpointAndSlotTimelinesOverTheWire) {
+  HttpFixture fixture({6, 3, 9, 4});
+  serve::ModelConfig model;
+  model.batch.continuous = true;
+  model.batch.continuous_slots = 2;
+  RunningServer rig(fixture, std::move(model));
+
+  net::BlockingHttpClient client("127.0.0.1", rig.http.port());
+  // First request traced: the echo must carry the continuous detail.
+  auto traced = client.Request("POST", "/v1/models/lstm:predict",
+                               fixture.JsonBody(0),
+                               {{"Content-Type", "application/json"},
+                                {"X-Nimble-Trace", "1"}});
+  fixture.ExpectResponseBitIdentical(traced, 0);
+  const std::string* echo = traced.FindHeader("x-nimble-trace");
+  ASSERT_NE(echo, nullptr);
+  EXPECT_NE(echo->find("slot="), std::string::npos) << *echo;
+  EXPECT_NE(echo->find("splice_step="), std::string::npos) << *echo;
+  EXPECT_NE(echo->find("steps_resident=6"), std::string::npos) << *echo;
+  for (size_t i = 1; i < fixture.lengths.size(); ++i) {
+    auto response =
+        client.Post("/v1/models/lstm:predict", fixture.JsonBody(i));
+    fixture.ExpectResponseBitIdentical(response, i);
+  }
+  // The final retire's step record is pushed at the END of that RunStep,
+  // after the completion callback has already handed the response bytes
+  // off — so the last response can race the last journal push. Settle.
+  auto view = [&] {
+    auto views = rig.server.continuous_models();
+    return views.empty() ? nullptr : views[0].journal;
+  }();
+  ASSERT_NE(view, nullptr);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<obs::StepRecord> tail =
+        view->Tail(view->config().ring_capacity);
+    size_t seen = 0;
+    for (const obs::StepRecord& r : tail) {
+      for (const obs::StepEvent& e : r.events) {
+        if (e.kind == obs::StepEvent::Kind::kRetire) seen++;
+      }
+    }
+    if (seen == fixture.lengths.size()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // /debug/steps?model=: the journal tail with one splice and one retire
+  // per request.
+  auto steps = client.Get("/debug/steps?model=lstm");
+  ASSERT_EQ(steps.status, 200) << steps.body;
+  Json journal = Json::Parse(steps.body);
+  ASSERT_TRUE(journal.is_object()) << steps.body;
+  EXPECT_EQ(journal.Find("model")->str(), "lstm");
+  EXPECT_EQ(journal.Find("num_slots")->integer(), 2);
+  const Json* records = journal.Find("steps");
+  ASSERT_NE(records, nullptr);
+  EXPECT_GT(records->items().size(), 0u);
+  size_t splices = 0, retires = 0;
+  int64_t last_step = -1;
+  for (const Json& record : records->items()) {
+    EXPECT_GT(record.Find("step")->integer(), last_step);
+    last_step = record.Find("step")->integer();
+    EXPECT_GE(record.Find("duration_us")->integer(), 0);
+    EXPECT_EQ(record.Find("num_slots")->integer(), 2);
+    for (const Json& event : record.Find("events")->items()) {
+      const std::string& kind = event.Find("kind")->str();
+      if (kind == "splice") splices++;
+      if (kind == "retire") retires++;
+    }
+  }
+  EXPECT_EQ(splices, fixture.lengths.size());
+  EXPECT_EQ(retires, fixture.lengths.size());
+
+  // ?n= caps the tail; omitted model lists every continuous journal;
+  // an unknown model is a 404.
+  auto one = client.Get("/debug/steps?model=lstm&n=1");
+  ASSERT_EQ(one.status, 200);
+  EXPECT_EQ(Json::Parse(one.body).Find("steps")->items().size(), 1u);
+  auto all_models = client.Get("/debug/steps");
+  ASSERT_EQ(all_models.status, 200);
+  Json listing = Json::Parse(all_models.body);
+  ASSERT_NE(listing.Find("models"), nullptr);
+  EXPECT_EQ(listing.Find("models")->items().size(), 1u);
+  EXPECT_EQ(client.Get("/debug/steps?model=nope").status, 404);
+
+  // /debug/trace now interleaves slot-timeline tracks with request tracks.
+  auto trace = client.Get("/debug/trace");
+  ASSERT_EQ(trace.status, 200);
+  Json doc = Json::Parse(trace.body);
+  ASSERT_TRUE(doc.is_object()) << trace.body;
+  bool saw_slot_process = false, saw_occupancy = false, saw_tenancy = false;
+  for (const Json& event : doc.Find("traceEvents")->items()) {
+    const std::string& name = event.Find("name")->str();
+    const std::string& ph = event.Find("ph")->str();
+    if (ph == "M" && name == "process_name" &&
+        event.Find("args")->Find("name")->str() == "slots:lstm") {
+      saw_slot_process = true;
+    }
+    if (ph == "C" && name == "occupancy") saw_occupancy = true;
+    if (ph == "X" && name.rfind("req ", 0) == 0) saw_tenancy = true;
+  }
+  EXPECT_TRUE(saw_slot_process);
+  EXPECT_TRUE(saw_occupancy);
+  EXPECT_TRUE(saw_tenancy);
+
+  // /stats surfaces the continuous occupancy block for this model.
+  auto stats = client.Get("/stats");
+  ASSERT_EQ(stats.status, 200);
+  Json stats_doc = Json::Parse(stats.body);
+  const Json* lstm = stats_doc.Find("models")->Find("lstm");
+  ASSERT_NE(lstm, nullptr);
+  const Json* continuous = lstm->Find("continuous");
+  ASSERT_NE(continuous, nullptr) << stats.body;
+  EXPECT_EQ(continuous->Find("slots")->integer(), 2);
+  EXPECT_EQ(continuous->Find("splices")->integer(),
+            static_cast<int64_t>(fixture.lengths.size()));
+  EXPECT_GT(continuous->Find("steps")->integer(), 0);
+  EXPECT_GT(continuous->Find("mean_step_duration_us")->number(), 0.0);
+
+  // /metrics exports the renamed and the new step families.
+  auto metrics = client.Get("/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("nimble_steps_total"), std::string::npos);
+  EXPECT_NE(metrics.body.find("nimble_step_duration_us"), std::string::npos);
+  EXPECT_NE(metrics.body.find("nimble_active_rows"), std::string::npos);
+  EXPECT_NE(metrics.body.find("nimble_runner_stalled"), std::string::npos);
+
+  rig.http.Stop();
+  rig.server.Drain();
 }
 
 TEST(HttpServe, GracefulStopFlushesInFlightAndHealthzGoes503) {

@@ -20,6 +20,7 @@
 #include "src/net/json.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
+#include "src/obs/step_journal.h"
 #include "src/obs/trace.h"
 #include "src/serve/server.h"
 #include "src/vm/vm.h"
@@ -358,6 +359,250 @@ TEST(Trace, HeaderValueCarriesStageTimings) {
       << "the write span cannot be inside its own header";
   EXPECT_EQ(header.find('\n'), std::string::npos)
       << "header values must be single-line";
+}
+
+// ---- step journal -------------------------------------------------------------
+
+obs::StepRecord MakeStep(int64_t step, int64_t active = 2,
+                         int64_t slots = 4) {
+  obs::StepRecord record;
+  record.step = step;
+  record.start = obs::SteadyClock::now();
+  record.duration_us = 100 + step;
+  record.active_rows = active;
+  record.num_slots = slots;
+  return record;
+}
+
+TEST(StepJournal, TailIsNewestRecordsOldestFirstBoundedByCapacity) {
+  obs::StepJournalConfig config;
+  config.ring_capacity = 16;
+  obs::StepJournal journal(config);
+  for (int64_t i = 0; i < 100; ++i) journal.Push(MakeStep(i));
+  EXPECT_EQ(journal.steps_recorded(), 100)
+      << "the push count is monotone, not capped by the ring";
+
+  std::vector<obs::StepRecord> tail = journal.Tail(1000);
+  ASSERT_EQ(tail.size(), 16u) << "ring memory is bounded";
+  for (size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].step, 84 + static_cast<int64_t>(i))
+        << "oldest-first, newest 16 survive wraparound";
+  }
+  std::vector<obs::StepRecord> four = journal.Tail(4);
+  ASSERT_EQ(four.size(), 4u);
+  EXPECT_EQ(four.front().step, 96) << "Tail(n) trims from the old end";
+  EXPECT_EQ(four.back().step, 99);
+}
+
+TEST(StepJournal, ShortRunReturnsExactlyWhatWasPushed) {
+  obs::StepJournal journal;  // default capacity far above 3
+  obs::StepRecord r = MakeStep(0);
+  r.events.push_back(obs::StepEvent{obs::StepEvent::Kind::kSplice, 7, 2, 5});
+  journal.Push(std::move(r));
+  journal.Push(MakeStep(1));
+  std::vector<obs::StepRecord> tail = journal.Tail(10);
+  ASSERT_EQ(tail.size(), 2u);
+  ASSERT_EQ(tail[0].events.size(), 1u);
+  EXPECT_EQ(tail[0].events[0].request_id, 7);
+  EXPECT_EQ(tail[0].events[0].slot, 2);
+  EXPECT_EQ(tail[0].events[0].length, 5);
+  EXPECT_TRUE(tail[1].events.empty());
+}
+
+TEST(StepJournal, DisabledJournalRecordsNothing) {
+  obs::StepJournalConfig config;
+  config.enabled = false;
+  obs::StepJournal journal(config);
+  journal.Push(MakeStep(0));
+  EXPECT_EQ(journal.steps_recorded(), 0);
+  EXPECT_TRUE(journal.Tail(10).empty());
+}
+
+TEST(StepJournal, ScrapesWhileTheWriterPushes) {
+  // The journal's contract is ONE writer (the runner thread) and any
+  // number of concurrent readers; the TSan job proves the locking sound.
+  obs::StepJournalConfig config;
+  config.ring_capacity = 32;
+  obs::StepJournal journal(config);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 3; ++s) {
+    scrapers.emplace_back([&] {
+      while (!stop.load()) {
+        std::vector<obs::StepRecord> tail = journal.Tail(32);
+        for (size_t i = 1; i < tail.size(); ++i) {
+          if (tail[i].step != tail[i - 1].step + 1) {
+            ADD_FAILURE() << "scrape saw a torn tail";
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (int64_t i = 0; i < 5000; ++i) journal.Push(MakeStep(i));
+  stop = true;
+  for (auto& t : scrapers) t.join();
+  EXPECT_EQ(journal.steps_recorded(), 5000);
+}
+
+// ---- stall watchdog -----------------------------------------------------------
+
+TEST(StallWatchdog, CheckOnceProvokesAndClearsStall) {
+  obs::Gauge gauge;
+  // Mutable health the test steers: the same shape the server's source
+  // builds from runner atomics.
+  obs::RunnerHealth health;
+  health.model = "m";
+  health.stalled_gauge = &gauge;
+  obs::StallWatchdogConfig config;
+  config.enabled = false;  // no thread: CheckOnce drives the clock by hand
+  config.stall_deadline_ms = 100;
+  obs::StallWatchdog watchdog(
+      config, [&health] { return std::vector<obs::RunnerHealth>{health}; });
+
+  auto t0 = obs::SteadyClock::now();
+  auto ns = [&](obs::SteadyClock::time_point t) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               t.time_since_epoch())
+        .count();
+  };
+
+  // Idle runner (no live rows): stale progress is legitimate, never a stall.
+  health.live_rows = 0;
+  health.last_progress_ns = ns(t0);
+  EXPECT_EQ(watchdog.CheckOnce(t0 + std::chrono::seconds(10)), 0);
+  EXPECT_EQ(gauge.Value(), 0.0);
+
+  // Not yet started (no progress stamp): not a stall either.
+  health.live_rows = 3;
+  health.last_progress_ns = 0;
+  EXPECT_EQ(watchdog.CheckOnce(t0 + std::chrono::seconds(10)), 0);
+
+  // Live rows within the deadline: healthy.
+  health.last_progress_ns = ns(t0);
+  EXPECT_EQ(watchdog.CheckOnce(t0 + std::chrono::milliseconds(50)), 0);
+  EXPECT_EQ(gauge.Value(), 0.0);
+
+  // Deadline blown: stalled, gauge flips.
+  EXPECT_EQ(watchdog.CheckOnce(t0 + std::chrono::milliseconds(500)), 1);
+  EXPECT_EQ(gauge.Value(), 1.0);
+  EXPECT_EQ(watchdog.stalled_count(), 1);
+
+  // Progress resumes: the stall clears and the gauge drops back.
+  health.last_progress_ns = ns(t0 + std::chrono::milliseconds(490));
+  EXPECT_EQ(watchdog.CheckOnce(t0 + std::chrono::milliseconds(500)), 0);
+  EXPECT_EQ(gauge.Value(), 0.0);
+  EXPECT_EQ(watchdog.stalled_count(), 0);
+}
+
+TEST(StallWatchdog, PollingThreadStartsAndStopsCleanly) {
+  obs::StallWatchdogConfig config;
+  config.poll_interval_ms = 5;
+  config.stall_deadline_ms = 1;
+  obs::Gauge gauge;
+  std::atomic<int64_t> progress_ns{1};  // ancient progress, rows live
+  obs::StallWatchdog watchdog(config, [&] {
+    obs::RunnerHealth h;
+    h.model = "m";
+    h.live_rows = 1;
+    h.last_progress_ns = progress_ns.load();
+    h.stalled_gauge = &gauge;
+    return std::vector<obs::RunnerHealth>{h};
+  });
+  watchdog.Start();
+  // The poll loop must notice the wedge on its own within a few intervals.
+  for (int i = 0; i < 200 && gauge.Value() != 1.0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(gauge.Value(), 1.0) << "polling thread never flagged the stall";
+  watchdog.Stop();
+  watchdog.Stop();  // idempotent
+}
+
+// ---- step-journal export ------------------------------------------------------
+
+TEST(StepJournal, JournalJsonIsValidAndCarriesEvents) {
+  obs::StepRecord r0 = MakeStep(0, /*active=*/1, /*slots=*/2);
+  r0.events.push_back(obs::StepEvent{obs::StepEvent::Kind::kSplice, 5, 0, 3});
+  r0.vm.kernel_nanos = 9000;
+  r0.vm.instructions = 4;
+  obs::StepRecord r1 = MakeStep(1, 1, 2);
+  r1.ok = false;
+  r1.events.push_back(obs::StepEvent{obs::StepEvent::Kind::kRetire, 5, 0, 3});
+
+  std::string json = obs::StepJournalJson("m\"q", 2, 17, {r0, r1});
+  std::string parse_error;
+  net::Json doc = net::Json::Parse(json, &parse_error);
+  ASSERT_TRUE(doc.is_object()) << parse_error << "\n" << json;
+  EXPECT_EQ(doc.Find("model")->str(), "m\"q");
+  EXPECT_EQ(doc.Find("num_slots")->integer(), 2);
+  EXPECT_EQ(doc.Find("steps_recorded")->integer(), 17);
+  const net::Json* steps = doc.Find("steps");
+  ASSERT_NE(steps, nullptr);
+  ASSERT_EQ(steps->items().size(), 2u);
+  const net::Json& s0 = steps->items()[0];
+  EXPECT_EQ(s0.Find("step")->integer(), 0);
+  EXPECT_EQ(s0.Find("active_rows")->integer(), 1);
+  EXPECT_EQ(s0.Find("ok"), nullptr) << "ok elided when true";
+  ASSERT_EQ(s0.Find("events")->items().size(), 1u);
+  EXPECT_EQ(s0.Find("events")->items()[0].Find("kind")->str(), "splice");
+  EXPECT_EQ(s0.Find("events")->items()[0].Find("request")->integer(), 5);
+  EXPECT_EQ(s0.Find("vm")->Find("kernel_us")->integer(), 9);
+  const net::Json& s1 = steps->items()[1];
+  ASSERT_NE(s1.Find("ok"), nullptr);
+  EXPECT_FALSE(s1.Find("ok")->boolean());
+  EXPECT_EQ(s1.Find("events")->items()[0].Find("kind")->str(), "retire");
+}
+
+TEST(StepJournal, SlotTimelinesRenderPerSlotTracksAndCounters) {
+  // Two slots: request 1 occupies slot 0 for steps 0..1, request 2 slot 1
+  // for step 1 only and is still live at the window's end (clamped).
+  obs::SlotTimeline timeline;
+  timeline.model = "m";
+  timeline.num_slots = 2;
+  obs::StepRecord r0 = MakeStep(0, 1, 2);
+  r0.events.push_back(obs::StepEvent{obs::StepEvent::Kind::kSplice, 1, 0, 2});
+  obs::StepRecord r1 = MakeStep(1, 2, 2);
+  r1.events.push_back(obs::StepEvent{obs::StepEvent::Kind::kSplice, 2, 1, 9});
+  r1.events.push_back(obs::StepEvent{obs::StepEvent::Kind::kRetire, 1, 0, 2});
+  timeline.records = {r0, r1};
+
+  std::string json = obs::ChromeTraceJson({}, {timeline});
+  std::string parse_error;
+  net::Json doc = net::Json::Parse(json, &parse_error);
+  ASSERT_TRUE(doc.is_object()) << parse_error << "\n" << json;
+  const net::Json* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  bool saw_process_name = false, saw_slot0_thread = false;
+  size_t tenancies = 0, occupancy_samples = 0, latency_samples = 0;
+  for (const net::Json& event : events->items()) {
+    const std::string& name = event.Find("name")->str();
+    const std::string& ph = event.Find("ph")->str();
+    if (ph == "M" && name == "process_name") {
+      saw_process_name = true;
+      EXPECT_EQ(event.Find("args")->Find("name")->str(), "slots:m");
+      EXPECT_GE(event.Find("pid")->integer(), 2) << "pid 1 is requests";
+    }
+    if (ph == "M" && name == "thread_name" &&
+        event.Find("tid")->integer() == 0) {
+      saw_slot0_thread = true;
+      EXPECT_EQ(event.Find("args")->Find("name")->str(), "slot 0");
+    }
+    if (ph == "X") {
+      tenancies++;
+      EXPECT_EQ(name.compare(0, 4, "req "), 0) << name;
+      EXPECT_GE(event.Find("dur")->number(), 0.0);
+    }
+    if (ph == "C" && name == "occupancy") occupancy_samples++;
+    if (ph == "C" && name == "step_latency_us") latency_samples++;
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_slot0_thread);
+  EXPECT_EQ(tenancies, 2u)
+      << "one closed tenancy plus one clamped to the window end";
+  EXPECT_EQ(occupancy_samples, 2u) << "one occupancy sample per step";
+  EXPECT_EQ(latency_samples, 2u);
 }
 
 // ---- VM profiling (the EnableProfiling wiring) --------------------------------
