@@ -132,13 +132,15 @@ std::vector<int64_t> SampleProductionMixLengths(int count, support::Rng& rng) {
 /// Variant compiler for the cache runs: rebuilds the identical model (same
 /// deterministic seed) with the bucket shape baked in.
 serve::CompileVariantFn MakeVariantCompiler(models::LSTMConfig config) {
-  return [config](int64_t max_len,
-                  int64_t batch) -> std::shared_ptr<vm::Executable> {
+  return [config](int64_t max_len, int64_t batch,
+                  const codegen::DenseConfig& dense_config)
+             -> std::shared_ptr<vm::Executable> {
     auto model = models::BuildLSTM(config);
     core::CompileOptions opts;
     opts.batched_entries = {model.batched_spec};
     opts.specialize_length = max_len;
     opts.specialize_batch = batch;
+    opts.dense_config = dense_config;
     return core::Compile(model.module, opts).executable;
   };
 }

@@ -54,6 +54,8 @@ families = [
     "nimble_exec_us",
     "nimble_batch_size",
     "nimble_queue_depth",
+    "nimble_tune_events_total",
+    "nimble_kernel_threads_busy",
     "nimble_splices_total",
     "nimble_steps_total",
     "nimble_idle_row_steps_total",

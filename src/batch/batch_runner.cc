@@ -150,6 +150,12 @@ BatchRunResult RunBatch(vm::VirtualMachine& vm, serve::Batch& batch,
           serve::Request& request = batch.requests[i];
           if (request.trace.enabled) {
             request.trace.packed = true;
+            // Which (possibly tuner-measured) dense config served this
+            // batch — the variant's baked config when the scheduler stamped
+            // a cache variant, the generic executable's otherwise.
+            request.trace.dense_config =
+                batch.exec->dense_config.ToString() +
+                (batch.exec->dense_config_tuned ? "*" : "");
             request.trace.pack_start = pack_start;
             request.trace.pack_end = pack_end;
             request.trace.exec_end = exec_end;

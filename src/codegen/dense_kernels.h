@@ -65,6 +65,26 @@ inline void MicroRow1F32(const float* xrow, const float* w, float* outrow,
 void MicroTile8F32(const float* x, const float* w, float* out, int64_t n_cols,
                    int64_t k_depth, int64_t out_stride);
 
+/// Deepest contraction the rows-in-lanes tile holds in its stack-resident
+/// transpose buffer (32 KiB). MicroTile8F32 falls back to row-at-a-time
+/// beyond it; MicroTile8BlockedF32 instead chunks K at this bound and
+/// keeps the lanes path for any depth.
+inline constexpr int64_t kMicroTileDepthLimit = 1024;
+
+/// K-chunked variant of the full tile for the cache-blocked dense path
+/// (DenseBlocked): streams K in block_k-sized chunks (rounded to a
+/// multiple of 4, capped at kMicroTileDepthLimit) while keeping every
+/// (row, column) accumulator chain live across chunks, so the per-element
+/// arithmetic order is EXACTLY MicroRow1F32's — chunk boundaries at
+/// multiples of 4 only split each chain's += sequence, they never reorder
+/// or re-associate it. When one chunk covers the whole contraction it
+/// delegates to MicroTile8F32 outright (one micro-kernel, one contract);
+/// past the old depth limit it is also what keeps the blocked path
+/// vectorized where MicroTile8F32 would drop to scalar rows.
+void MicroTile8BlockedF32(const float* x, const float* w, float* out,
+                          int64_t n_cols, int64_t k_depth, int64_t out_stride,
+                          int64_t block_k);
+
 /// Computes a ROWS x N block of the output, one row at a time. Interleaving
 /// rows inside the k-loop looks tempting but defeats vectorization of the
 /// four chains once ROWS > 1 (measured ~3x worse per row); row-at-a-time

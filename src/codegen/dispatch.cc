@@ -1,5 +1,7 @@
 #include "src/codegen/dispatch.h"
 
+#include "src/codegen/parallel.h"
+#include "src/codegen/tuner.h"
 #include "src/support/logging.h"
 
 namespace nimble {
@@ -26,8 +28,15 @@ namespace {
 typedef float v8sf __attribute__((vector_size(32)));
 
 /// Largest contraction depth the stack-resident transpose buffer covers
-/// (32 KiB); deeper contractions use the scalar tile.
-constexpr int64_t kMaxLaneDepth = 1024;
+/// (32 KiB); deeper contractions use the scalar tile — or, on the blocked
+/// path, K-chunking (MicroTile8LanesChunkedF32 below).
+constexpr int64_t kMaxLaneDepth = kMicroTileDepthLimit;
+
+/// Widest column block whose accumulator chains the chunked tile keeps
+/// resident (4 chains x 8 lanes x 4 bytes = 128 B per column -> 16 KiB).
+/// DenseConfigSpace tops out at block_n = 128, so a tuned cell never
+/// splits; wider ad-hoc calls are chunked internally.
+constexpr int64_t kMaxChunkCols = 128;
 
 __attribute__((target("avx2"))) void MicroTile8LanesF32(
     const float* x, const float* w, float* out, int64_t n_cols,
@@ -88,6 +97,85 @@ __attribute__((target("avx2"))) void MicroTile8LanesF32(
   }
 }
 
+/// The K-chunked tile (<= kMaxChunkCols columns): per-column accumulator
+/// chains persist across chunks in `acc`, so splitting K at multiples of 4
+/// leaves every chain's += sequence — and therefore every output bit —
+/// exactly MicroRow1F32's. Chunking restores the transpose-buffer locality
+/// for any depth: each 8 x bk slab of x is transposed once and reused by
+/// every column of the block while it is still L1-resident.
+__attribute__((target("avx2"))) void MicroTile8LanesChunkedF32(
+    const float* x, const float* w, float* out, int64_t n_cols,
+    int64_t k_depth, int64_t out_stride, int64_t bk) {
+  alignas(32) v8sf acc[4 * kMaxChunkCols];
+  for (int64_t i = 0; i < 4 * n_cols; ++i) acc[i] = v8sf{};
+  alignas(32) v8sf xT[kMaxLaneDepth];
+  int64_t k4 = (k_depth / 4) * 4;
+  for (int64_t c0 = 0; c0 < k4; c0 += bk) {
+    int64_t c1 = std::min(c0 + bk, k4);
+    for (int64_t kk = c0; kk < c1; ++kk) {
+      for (int r = 0; r < 8; ++r) xT[kk - c0][r] = x[r * k_depth + kk];
+    }
+    // Column pairs, like the unchunked tile: two independent accumulator
+    // sets hide the vector-add latency, and each xT load is shared.
+    int64_t n = 0;
+    for (; n + 2 <= n_cols; n += 2) {
+      const float* wrow0 = w + n * k_depth;
+      const float* wrow1 = wrow0 + k_depth;
+      v8sf a0 = acc[4 * n + 0], a1 = acc[4 * n + 1];
+      v8sf a2 = acc[4 * n + 2], a3 = acc[4 * n + 3];
+      v8sf b0 = acc[4 * n + 4], b1 = acc[4 * n + 5];
+      v8sf b2 = acc[4 * n + 6], b3 = acc[4 * n + 7];
+      for (int64_t kk = c0; kk + 4 <= c1; kk += 4) {
+        const v8sf* xt = xT + (kk - c0);
+        v8sf x0 = xt[0], x1 = xt[1], x2 = xt[2], x3 = xt[3];
+        a0 += x0 * wrow0[kk + 0];
+        a1 += x1 * wrow0[kk + 1];
+        a2 += x2 * wrow0[kk + 2];
+        a3 += x3 * wrow0[kk + 3];
+        b0 += x0 * wrow1[kk + 0];
+        b1 += x1 * wrow1[kk + 1];
+        b2 += x2 * wrow1[kk + 2];
+        b3 += x3 * wrow1[kk + 3];
+      }
+      acc[4 * n + 0] = a0;
+      acc[4 * n + 1] = a1;
+      acc[4 * n + 2] = a2;
+      acc[4 * n + 3] = a3;
+      acc[4 * n + 4] = b0;
+      acc[4 * n + 5] = b1;
+      acc[4 * n + 6] = b2;
+      acc[4 * n + 7] = b3;
+    }
+    for (; n < n_cols; ++n) {
+      const float* wrow = w + n * k_depth;
+      v8sf a0 = acc[4 * n + 0], a1 = acc[4 * n + 1];
+      v8sf a2 = acc[4 * n + 2], a3 = acc[4 * n + 3];
+      for (int64_t kk = c0; kk + 4 <= c1; kk += 4) {
+        const v8sf* xt = xT + (kk - c0);
+        a0 += xt[0] * wrow[kk + 0];
+        a1 += xt[1] * wrow[kk + 1];
+        a2 += xt[2] * wrow[kk + 2];
+        a3 += xt[3] * wrow[kk + 3];
+      }
+      acc[4 * n + 0] = a0;
+      acc[4 * n + 1] = a1;
+      acc[4 * n + 2] = a2;
+      acc[4 * n + 3] = a3;
+    }
+  }
+  for (int64_t n = 0; n < n_cols; ++n) {
+    const float* wrow = w + n * k_depth;
+    for (int r = 0; r < 8; ++r) {
+      float fin = (acc[4 * n + 0][r] + acc[4 * n + 1][r]) +
+                  (acc[4 * n + 2][r] + acc[4 * n + 3][r]);
+      for (int64_t kk = k4; kk < k_depth; ++kk) {
+        fin += x[r * k_depth + kk] * wrow[kk];
+      }
+      out[r * out_stride + n] = fin;
+    }
+  }
+}
+
 bool LanesSupported() {
   static const bool supported = __builtin_cpu_supports("avx2");
   return supported;
@@ -104,6 +192,30 @@ void MicroTile8F32(const float* x, const float* w, float* out, int64_t n_cols,
     return;
   }
 #endif
+  MicroRowsF32<kTileRows>(x, w, out, n_cols, k_depth, out_stride);
+}
+
+void MicroTile8BlockedF32(const float* x, const float* w, float* out,
+                          int64_t n_cols, int64_t k_depth, int64_t out_stride,
+                          int64_t block_k) {
+#ifdef NIMBLE_DENSE_LANES
+  if (LanesSupported()) {
+    if (k_depth <= kMaxLaneDepth && k_depth <= block_k) {
+      MicroTile8LanesF32(x, w, out, n_cols, k_depth, out_stride);
+      return;
+    }
+    int64_t bk = std::min<int64_t>(block_k, kMaxLaneDepth);
+    bk = (bk / 4) * 4;  // chunk at a chain-phase boundary (see dense_kernels.h)
+    if (bk < 4) bk = 4;
+    for (int64_t n0 = 0; n0 < n_cols; n0 += kMaxChunkCols) {
+      int64_t nb = std::min<int64_t>(kMaxChunkCols, n_cols - n0);
+      MicroTile8LanesChunkedF32(x, w + n0 * k_depth, out + n0, nb, k_depth,
+                                out_stride, bk);
+    }
+    return;
+  }
+#endif
+  (void)block_k;
   MicroRowsF32<kTileRows>(x, w, out, n_cols, k_depth, out_stride);
 }
 
@@ -187,15 +299,51 @@ void DenseDispatchTable::Run(const float* x, const float* w, float* out,
   }
 }
 
+void DenseDispatchTable::Run(const float* x, const float* w, float* out,
+                             int64_t m, int64_t n, int64_t k,
+                             const DenseConfig* config, KernelPool* pool) const {
+  // Routing keeps the serving hot path (small tiles, shallow contractions)
+  // on exactly the pre-blocked code path; the blocked kernel only enters
+  // where it wins: contractions past the lane-depth cliff, shapes big
+  // enough to amortize the pool wake-up, or many-tile calls where cache
+  // blocking pays on its own.
+  int64_t macs = m * n * k;
+  bool pool_eligible = pool != nullptr && pool->num_threads() > 1 &&
+                       macs >= DenseParallelThreshold();
+  bool use_blocked =
+      m >= kTileRows &&
+      (k > kMicroTileDepthLimit || pool_eligible ||
+       (m >= 2 * kTileRows && macs >= kDenseBlockedMinMacs));
+  if (!use_blocked) {
+    Run(x, w, out, m, n, k);
+    return;
+  }
+  int r = static_cast<int>(m % kTileRows);
+  stats_.per_residue[r].fetch_add(1, std::memory_order_relaxed);
+  stats_.blocked_calls.fetch_add(1, std::memory_order_relaxed);
+  DenseConfig cfg = config != nullptr ? *config : DenseConfig{};
+  if (DenseBlockedParallel(x, w, out, m, n, k, cfg,
+                           pool_eligible ? pool : nullptr)) {
+    stats_.parallel_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void DenseDispatchTable::Run(const runtime::NDArray& x, const runtime::NDArray& w,
                              const runtime::NDArray& out) const {
+  Run(x, w, out, nullptr, nullptr);
+}
+
+void DenseDispatchTable::Run(const runtime::NDArray& x, const runtime::NDArray& w,
+                             const runtime::NDArray& out,
+                             const DenseConfig* config, KernelPool* pool) const {
   NIMBLE_CHECK_EQ(x.ndim(), 2);
   NIMBLE_CHECK_EQ(w.ndim(), 2);
   int64_t m = x.shape()[0], k = x.shape()[1], n = w.shape()[0];
   NIMBLE_CHECK_EQ(w.shape()[1], k) << "dense: contraction mismatch";
   NIMBLE_CHECK_EQ(out.shape()[0], m);
   NIMBLE_CHECK_EQ(out.shape()[1], n);
-  Run(x.data<float>(), w.data<float>(), out.data<float>(), m, n, k);
+  Run(x.data<float>(), w.data<float>(), out.data<float>(), m, n, k, config,
+      pool);
 }
 
 }  // namespace codegen

@@ -30,8 +30,17 @@
 namespace nimble {
 namespace codegen {
 
+struct DenseConfig;
+class KernelPool;
+
 using DenseKernelFn = void (*)(const float* x, const float* w, float* out,
                                int64_t m, int64_t n, int64_t k);
+
+/// Minimum multiply-accumulate count (M*N*K) before the cache-blocked path
+/// is worth taking on its own (no pool, contraction within the lane-depth
+/// limit): below it the residue-dispatch tile kernels already run at cache
+/// speed and blocking only adds loop overhead.
+inline constexpr int64_t kDenseBlockedMinMacs = int64_t{1} << 20;
 
 /// Counters are atomic so concurrent VM workers (src/serve/) can share the
 /// global table; increments use relaxed ordering — they are observability,
@@ -39,10 +48,16 @@ using DenseKernelFn = void (*)(const float* x, const float* w, float* out,
 struct DispatchStats {
   std::atomic<int64_t> specialized_calls{0};
   std::atomic<int64_t> fallback_calls{0};
+  /// Calls routed to the cache-blocked (tiled) dense path, and the subset
+  /// of those that actually ran partitioned across the kernel pool.
+  std::atomic<int64_t> blocked_calls{0};
+  std::atomic<int64_t> parallel_calls{0};
   std::array<std::atomic<int64_t>, kTileRows> per_residue{};
   void Reset() {
     specialized_calls = 0;
     fallback_calls = 0;
+    blocked_calls = 0;
+    parallel_calls = 0;
     for (auto& r : per_residue) r = 0;
   }
 };
@@ -79,6 +94,19 @@ class DenseDispatchTable {
 
   void Run(const float* x, const float* w, float* out, int64_t m, int64_t n,
            int64_t k) const;
+
+  /// Tuned/parallel-aware entry point: shapes past the blocked-path
+  /// thresholds run the cache-blocked kernel with `config`'s tile factors
+  /// (nullptr -> the default DenseConfig), partitioned across `pool` when
+  /// the work is large enough (nullptr -> single-threaded). Everything else
+  /// takes exactly the plain Run path above. All routes are bitwise
+  /// identical to MicroRow1F32 per output element.
+  void Run(const float* x, const float* w, float* out, int64_t m, int64_t n,
+           int64_t k, const DenseConfig* config, KernelPool* pool) const;
+
+  void Run(const runtime::NDArray& x, const runtime::NDArray& w,
+           const runtime::NDArray& out, const DenseConfig* config,
+           KernelPool* pool) const;
 
   int num_variants() const { return num_variants_; }
   DispatchStats& stats() const { return stats_; }

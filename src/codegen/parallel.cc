@@ -1,0 +1,164 @@
+#include "src/codegen/parallel.h"
+
+#include <cstdlib>
+
+#include "src/codegen/tuner.h"
+#include "src/support/logging.h"
+
+namespace nimble {
+namespace codegen {
+
+namespace {
+
+/// Set while a thread is executing pool tasks; a ParallelFor issued from
+/// inside a task runs inline instead of deadlocking on the submit lock.
+thread_local bool t_in_pool_task = false;
+
+std::atomic<int64_t> g_parallel_threshold{int64_t{1} << 22};
+
+std::atomic<int> g_configured_threads{0};
+
+int ResolveGlobalThreads() {
+  int configured = g_configured_threads.load(std::memory_order_relaxed);
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("NIMBLE_KERNEL_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return static_cast<int>(hw > 8 ? 8 : hw);
+}
+
+}  // namespace
+
+KernelPool::KernelPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+KernelPool::~KernelPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+KernelPool* KernelPool::Global() {
+  // Leaked on purpose: kernels may run until process exit, and static
+  // destruction order vs the serving threads is otherwise a hazard.
+  static KernelPool* pool = [] {
+    int n = ResolveGlobalThreads();
+    return n > 1 ? new KernelPool(n) : nullptr;
+  }();
+  return pool;
+}
+
+void KernelPool::ConfigureGlobal(int num_threads) {
+  g_configured_threads.store(num_threads, std::memory_order_relaxed);
+}
+
+void KernelPool::RunTasks(Job* job) {
+  busy_.fetch_add(1, std::memory_order_relaxed);
+  t_in_pool_task = true;
+  int64_t ran = 0;
+  std::exception_ptr error;
+  int64_t i;
+  while ((i = job->next.fetch_add(1, std::memory_order_relaxed)) <
+         job->num_tasks) {
+    try {
+      (*job->fn)(i);
+    } catch (...) {
+      if (error == nullptr) error = std::current_exception();
+    }
+    ++ran;
+  }
+  t_in_pool_task = false;
+  busy_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  job->completed += ran;
+  if (error != nullptr && job->error == nullptr) job->error = error;
+  if (job->completed == job->num_tasks) done_cv_.notify_all();
+}
+
+void KernelPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    Job* job = job_;
+    // A worker that wakes after the submitter already retired the job sees
+    // job_ == nullptr and goes back to sleep; one that wakes in time pins
+    // the job with a ref BEFORE dropping the lock, so the submitter cannot
+    // pop its stack frame while this worker still dereferences it.
+    if (job == nullptr) continue;
+    job->refs++;
+    lock.unlock();
+    RunTasks(job);
+    lock.lock();
+    job->refs--;
+    if (job->refs == 0 && job->completed == job->num_tasks) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+bool KernelPool::TryParallelFor(int64_t num_tasks,
+                                const std::function<void(int64_t)>& fn) {
+  if (num_tasks <= 0) return true;
+  if (num_threads_ <= 1 || t_in_pool_task) return false;
+  std::unique_lock<std::mutex> submit(submit_mu_, std::try_to_lock);
+  if (!submit.owns_lock()) return false;  // occupied: caller goes serial
+
+  Job job;
+  job.fn = &fn;
+  job.num_tasks = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunTasks(&job);  // the caller claims tasks alongside the workers
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job.completed == job.num_tasks && job.refs == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error != nullptr) std::rethrow_exception(job.error);
+  return true;
+}
+
+int64_t DenseParallelThreshold() {
+  return g_parallel_threshold.load(std::memory_order_relaxed);
+}
+
+void SetDenseParallelThreshold(int64_t macs) {
+  g_parallel_threshold.store(macs < 1 ? 1 : macs, std::memory_order_relaxed);
+}
+
+bool DenseBlockedParallel(const float* x, const float* w, float* out,
+                          int64_t m, int64_t n, int64_t k,
+                          const DenseConfig& config, KernelPool* pool) {
+  int64_t cells = DenseCellCount(m, n, config);
+  if (pool != nullptr && cells > 1) {
+    bool ran = pool->TryParallelFor(cells, [&](int64_t cell) {
+      DenseBlockedCell(x, w, out, m, n, k, config, cell);
+    });
+    if (ran) return true;
+  }
+  DenseBlocked(x, w, out, m, n, k, config);
+  return false;
+}
+
+}  // namespace codegen
+}  // namespace nimble

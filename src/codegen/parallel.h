@@ -1,0 +1,127 @@
+// Intra-op kernel parallelism: a small persistent thread pool plus the
+// (row-tile × neuron-block) partitioner for the blocked dense kernel.
+//
+// Design constraints, in order:
+//   1. Bit-identity. Work is split ONLY across the M (row-tile) and N
+//      (neuron-block) dimensions — never across K — so every output element
+//      is produced by exactly one task running the exact per-element
+//      accumulation order of MicroRow1F32 (src/codegen/dense_kernels.h).
+//      Cells write disjoint output ranges, so results are bitwise identical
+//      for any thread count, including 1.
+//   2. No blocking on the hot path. TryParallelFor never waits for the pool
+//      to free up: when another caller holds it (several VM workers can hit
+//      large denses at once), the caller simply runs its loop serially.
+//      Small shapes never reach the pool at all (the sized-work threshold
+//      in DenseDispatchTable::Run).
+//   3. TSan-clean. Job hand-off is mutex+condvar, task claiming is one
+//      atomic counter, and completion is signalled back under the same
+//      mutex, so every task's writes happen-before the caller's return.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nimble {
+namespace codegen {
+
+struct DenseConfig;
+
+class KernelPool {
+ public:
+  /// A pool that executes tasks on `num_threads` threads total, the caller
+  /// included: the pool spawns num_threads - 1 persistent workers, and the
+  /// caller claims tasks alongside them. num_threads <= 1 spawns nothing
+  /// (ParallelFor then runs inline).
+  explicit KernelPool(int num_threads);
+  ~KernelPool();
+
+  KernelPool(const KernelPool&) = delete;
+  KernelPool& operator=(const KernelPool&) = delete;
+
+  /// Process-wide pool shared by every VM (src/vm/vm.cc threads it to
+  /// kernels through KernelContext). Sized on first use from
+  /// ConfigureGlobal if called, else NIMBLE_KERNEL_THREADS, else
+  /// hardware_concurrency clamped to [1, 8]. Returns nullptr when the
+  /// resolved size is <= 1 (a pool of one is just overhead).
+  static KernelPool* Global();
+
+  /// Overrides the global pool's size; must be called before the first
+  /// Global() (harness/bench startup). 0 restores the default resolution.
+  static void ConfigureGlobal(int num_threads);
+
+  int num_threads() const { return num_threads_; }
+
+  /// Threads currently executing partitioned work (the caller counts while
+  /// it claims tasks). Exported as the nimble_kernel_threads_busy gauge.
+  int64_t busy() const { return busy_.load(std::memory_order_relaxed); }
+
+  /// Runs fn(i) for every i in [0, num_tasks) across the pool and returns
+  /// once ALL tasks completed. Returns false without running anything when
+  /// the pool is occupied by another caller or this thread is already
+  /// inside a pool task (no nested parallelism) — the caller then runs its
+  /// serial loop instead. fn must be safe to call concurrently on distinct
+  /// task indices; a throwing task is rethrown on the calling thread after
+  /// the remaining tasks drain.
+  bool TryParallelFor(int64_t num_tasks, const std::function<void(int64_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t num_tasks = 0;
+    std::atomic<int64_t> next{0};
+    // Guarded by mu_. The job lives on the submitter's stack: a worker
+    // holds a ref (taken under mu_ before it first touches the job) for as
+    // long as it may dereference it, and the submitter only returns once
+    // completed == num_tasks and refs == 0 — no late worker can touch a
+    // dead job, and workers that wake after job_ is cleared never enter.
+    int64_t completed = 0;
+    int64_t refs = 0;
+    std::exception_ptr error;  // first failure
+  };
+
+  void WorkerLoop();
+  /// Claims and runs tasks until the job is exhausted (caller side; the
+  /// ref/epoch bookkeeping around worker entry lives in WorkerLoop).
+  void RunTasks(Job* job);
+
+  int num_threads_;
+  std::atomic<int64_t> busy_{0};
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a new job epoch
+  std::condition_variable done_cv_;  // the submitting caller waits here
+  uint64_t epoch_ = 0;
+  Job* job_ = nullptr;  // valid for the current epoch only
+  bool stop_ = false;
+  /// Serializes submitters without blocking them (try_lock in
+  /// TryParallelFor): one job in flight at a time.
+  std::mutex submit_mu_;
+
+  std::vector<std::thread> workers_;
+};
+
+/// Minimum multiply-accumulate count (M*N*K) before a dense call is worth
+/// handing to the pool; below it the wake-up cost dwarfs the win and the
+/// call stays single-threaded. Runtime-settable so the randomized harness
+/// can force tiny shapes through the parallel path (--pool).
+int64_t DenseParallelThreshold();
+void SetDenseParallelThreshold(int64_t macs);
+
+/// Cache-blocked dense over the pool: DenseBlocked's (row-tile ×
+/// neuron-block) cells distributed across pool threads. Falls back to the
+/// serial loop when the pool is null, single-threaded, busy, or the
+/// decomposition yields a single cell. Bitwise identical to DenseBlocked —
+/// and to the residue-dispatch kernels — for every thread count. Returns
+/// true iff the pool actually partitioned the work (the output is complete
+/// either way).
+bool DenseBlockedParallel(const float* x, const float* w, float* out,
+                          int64_t m, int64_t n, int64_t k,
+                          const DenseConfig& config, KernelPool* pool);
+
+}  // namespace codegen
+}  // namespace nimble

@@ -2,34 +2,51 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstring>
+#include <limits>
 #include <vector>
 
+#include "src/codegen/dense_kernels.h"
 #include "src/support/logging.h"
 #include "src/support/rng.h"
 
 namespace nimble {
 namespace codegen {
 
+int64_t DenseCellCount(int64_t m, int64_t n, const DenseConfig& config) {
+  int64_t bn = config.block_n < 1 ? 1 : config.block_n;
+  int64_t row_tiles = (m + kTileRows - 1) / kTileRows;
+  int64_t col_blocks = (n + bn - 1) / bn;
+  return row_tiles * col_blocks;
+}
+
+void DenseBlockedCell(const float* x, const float* w, float* out, int64_t m,
+                      int64_t n, int64_t k, const DenseConfig& config,
+                      int64_t cell) {
+  int64_t bn = config.block_n < 1 ? 1 : config.block_n;
+  int64_t col_blocks = (n + bn - 1) / bn;
+  int64_t i0 = (cell / col_blocks) * kTileRows;
+  int64_t n0 = (cell % col_blocks) * bn;
+  int64_t n1 = std::min(n0 + bn, n);
+  int64_t rows = std::min<int64_t>(kTileRows, m - i0);
+  const float* xr = x + i0 * k;
+  const float* wb = w + n0 * k;
+  float* outr = out + i0 * n + n0;
+  if (rows == kTileRows) {
+    MicroTile8BlockedF32(xr, wb, outr, n1 - n0, k, n, config.block_k);
+  } else {
+    // Residue tail: the same single-row kernel the residue-dispatch path
+    // ends in, so a partial tile's bits match it exactly.
+    for (int64_t r = 0; r < rows; ++r) {
+      MicroRow1F32(xr + r * k, wb, outr + r * n, n1 - n0, k);
+    }
+  }
+}
+
 void DenseBlocked(const float* x, const float* w, float* out, int64_t m,
                   int64_t n, int64_t k, const DenseConfig& config) {
-  std::memset(out, 0, static_cast<size_t>(m * n) * sizeof(float));
-  int64_t bn = config.block_n, bk = config.block_k;
-  for (int64_t k0 = 0; k0 < k; k0 += bk) {
-    int64_t k1 = std::min(k0 + bk, k);
-    for (int64_t n0 = 0; n0 < n; n0 += bn) {
-      int64_t n1 = std::min(n0 + bn, n);
-      for (int64_t i = 0; i < m; ++i) {
-        const float* xrow = x + i * k;
-        float* orow = out + i * n;
-        for (int64_t j = n0; j < n1; ++j) {
-          const float* wrow = w + j * k;
-          float acc = 0.0f;
-          for (int64_t kk = k0; kk < k1; ++kk) acc += xrow[kk] * wrow[kk];
-          orow[j] += acc;
-        }
-      }
-    }
+  int64_t cells = DenseCellCount(m, n, config);
+  for (int64_t cell = 0; cell < cells; ++cell) {
+    DenseBlockedCell(x, w, out, m, n, k, config, cell);
   }
 }
 
@@ -50,15 +67,14 @@ double MeasureDenseConfig(const DenseConfig& config, int64_t m, int64_t n,
   for (auto& v : x) v = static_cast<float>(rng.Uniform(-1, 1));
   for (auto& v : w) v = static_cast<float>(rng.Uniform(-1, 1));
   DenseBlocked(x.data(), w.data(), out.data(), m, n, k, config);  // warm-up
-  std::vector<double> times;
+  double best = std::numeric_limits<double>::infinity();
   for (int r = 0; r < repeats; ++r) {
     auto t0 = std::chrono::steady_clock::now();
     DenseBlocked(x.data(), w.data(), out.data(), m, n, k, config);
     auto t1 = std::chrono::steady_clock::now();
-    times.push_back(std::chrono::duration<double>(t1 - t0).count());
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
   }
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
+  return best;
 }
 
 std::vector<MeasuredConfig> TuneDenseStatic(int64_t m, int64_t n, int64_t k,
@@ -102,6 +118,35 @@ SymbolicTuneResult TuneDenseSymbolic(int64_t n, int64_t k, int top_k,
   }
   result.chosen_avg_seconds = best_avg;
   return result;
+}
+
+TunedDense TuneCache::GetOrTune(int64_t m, int64_t n, int64_t k, int repeats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_tuple(m, n, k);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    TunedDense hit = it->second;
+    hit.fresh = false;
+    return hit;
+  }
+  std::vector<MeasuredConfig> ranking = TuneDenseStatic(m, n, k, repeats);
+  NIMBLE_CHECK(!ranking.empty());
+  TunedDense tuned;
+  tuned.config = ranking.front().config;
+  tuned.seconds = ranking.front().seconds;
+  tuned.fresh = true;
+  cache_[key] = tuned;
+  return tuned;
+}
+
+int64_t TuneCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(cache_.size());
+}
+
+TuneCache* TuneCache::Global() {
+  static TuneCache* cache = new TuneCache();
+  return cache;
 }
 
 }  // namespace codegen

@@ -11,7 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace nimble {
@@ -26,12 +29,28 @@ struct DenseConfig {
   bool operator==(const DenseConfig& o) const {
     return block_n == o.block_n && block_k == o.block_k;
   }
+  bool operator!=(const DenseConfig& o) const { return !(*this == o); }
 };
 
-/// Cache-blocked dense kernel: x[M,K] · w[N,K]ᵀ -> out[M,N], with the N and
-/// K loops tiled by the config's blocking factors.
+/// Cache-blocked dense kernel: x[M,K] · w[N,K]ᵀ -> out[M,N], decomposed
+/// into (row-tile × neuron-block) cells. Full kTileRows-row tiles run the
+/// rows-in-lanes micro-kernel (MicroTile8BlockedF32, K-chunked by block_k);
+/// residue rows run MicroRow1F32 — so every output element carries the
+/// canonical accumulation order and the result is bitwise identical to the
+/// residue-dispatch kernels for any config.
 void DenseBlocked(const float* x, const float* w, float* out, int64_t m,
                   int64_t n, int64_t k, const DenseConfig& config);
+
+/// Number of (row-tile × neuron-block) cells DenseBlocked decomposes an
+/// [M,N] output into under `config` — the parallel partitioner's task count.
+int64_t DenseCellCount(int64_t m, int64_t n, const DenseConfig& config);
+
+/// Computes one cell of the decomposition (cell in [0, DenseCellCount)).
+/// Cells write disjoint output ranges and never split K, so any execution
+/// order — or concurrent execution across threads — produces identical bits.
+void DenseBlockedCell(const float* x, const float* w, float* out, int64_t m,
+                      int64_t n, int64_t k, const DenseConfig& config,
+                      int64_t cell);
 
 /// The tuning search space (block_n × block_k grid).
 std::vector<DenseConfig> DenseConfigSpace();
@@ -41,7 +60,12 @@ struct MeasuredConfig {
   double seconds = 0.0;  // per-run latency
 };
 
-/// Measures one config on a static shape (median of `repeats` runs).
+/// Measures one config on a static shape: a warm-up pass (faults the
+/// buffers in, warms the caches) followed by min-of-`repeats` timed runs.
+/// Min, not median: when tuning runs on the background compile thread under
+/// serving load, interference only ever ADDS time, so the minimum is the
+/// estimator that converges on the config's true cost and keeps the choice
+/// deterministic.
 double MeasureDenseConfig(const DenseConfig& config, int64_t m, int64_t n,
                           int64_t k, int repeats = 3);
 
@@ -60,6 +84,37 @@ struct SymbolicTuneResult {
 SymbolicTuneResult TuneDenseSymbolic(int64_t n, int64_t k, int top_k = 4,
                                      int64_t tuning_m = 64,
                                      int64_t max_eval_m = 256);
+
+/// A tune result handed back by TuneCache: the measured-best config for a
+/// static shape, and whether THIS call paid for the measurement (false =>
+/// served from the memo).
+struct TunedDense {
+  DenseConfig config;
+  double seconds = 0.0;  // best measured per-run latency
+  bool fresh = false;
+};
+
+/// Tune-once-per-shape memo for exact static dense shapes. ExecCache's
+/// background compile thread asks it for every variant it bakes; the first
+/// request for a (m, n, k) runs TuneDenseStatic, every later request —
+/// including from other models' caches sharing the process — returns the
+/// memoized choice. Measurement runs under the lock: callers are background
+/// compile threads, and serializing them keeps concurrent tunes from
+/// perturbing each other's timings.
+class TuneCache {
+ public:
+  TunedDense GetOrTune(int64_t m, int64_t n, int64_t k, int repeats = 3);
+
+  /// Number of distinct shapes tuned so far.
+  int64_t size() const;
+
+  /// Process-wide instance (leaked singleton).
+  static TuneCache* Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::tuple<int64_t, int64_t, int64_t>, TunedDense> cache_;
+};
 
 }  // namespace codegen
 }  // namespace nimble

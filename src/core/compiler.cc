@@ -90,6 +90,8 @@ CompileResult Compile(ir::Module& mod, const CompileOptions& options) {
     result.executable->variant.specialized_len = options.specialize_length;
     result.executable->variant.specialized_batch = options.specialize_batch;
   }
+  result.executable->dense_config = options.dense_config;
+  result.executable->dense_config_tuned = options.dense_config_tuned;
   return result;
 }
 

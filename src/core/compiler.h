@@ -37,6 +37,14 @@ struct CompileOptions {
   /// never touches global dispatch state, so it is safe while other
   /// executables are serving (see docs/ARCHITECTURE.md).
   int dense_dispatch_variants = 8;
+  /// Cache-blocking config stamped on the executable for its dense kernels
+  /// (src/codegen/tuner.h). Defaults to the generic DenseConfig; the exec
+  /// cache (src/serve/exec_cache.cc) passes a tuner-measured config when it
+  /// background-compiles a shape-specialized variant. Set
+  /// `dense_config_tuned` when the config came from measurement rather than
+  /// transfer/default — serving surfaces the flag per variant in /stats.
+  codegen::DenseConfig dense_config;
+  bool dense_config_tuned = false;
   /// Batched-entry descriptors supplied by the model builder (e.g.
   /// models::BuildLSTM emits @main_batched and fills LSTMModel::batched_spec).
   /// Copied into the executable — Compile checks that both the per-request

@@ -39,7 +39,8 @@ void RegisterDenseKernels() {
       ContextKernelFn([](const std::vector<NDArray>& in,
                          const std::vector<NDArray>& out, const ir::Attrs&,
                          const KernelContext& ctx) {
-        ctx.dense_dispatch->Run(in[0], in[1], out[0]);
+        ctx.dense_dispatch->Run(in[0], in[1], out[0], ctx.dense_config,
+                                ctx.pool);
       }));
   KernelRegistry::Global()->Register("nn.dense_ref", DenseReference);
 

@@ -97,7 +97,7 @@ void FusedElemwise(const std::vector<NDArray>& in,
 void FusedDense(const std::vector<NDArray>& in, const std::vector<NDArray>& out,
                 const ir::Attrs& attrs, const KernelContext& ctx) {
   auto steps = DecodeSteps(attrs);
-  ctx.dense_dispatch->Run(in[0], in[1], out[0]);
+  ctx.dense_dispatch->Run(in[0], in[1], out[0], ctx.dense_config, ctx.pool);
   ApplyChain(steps, in, out[0]);
 }
 
@@ -115,7 +115,8 @@ void FusedBatchMatmul(const std::vector<NDArray>& in,
   const float* pb = b.data<float>();
   float* py = y.data<float>();
   for (int64_t bi = 0; bi < batch; ++bi) {
-    table.Run(pa + bi * m * k, pb + bi * n * k, py + bi * m * n, m, n, k);
+    table.Run(pa + bi * m * k, pb + bi * n * k, py + bi * m * n, m, n, k,
+              ctx.dense_config, ctx.pool);
   }
   ApplyChain(steps, in, y);
 }

@@ -28,7 +28,8 @@ void RegisterMatmulKernels() {
         float* py = y.data<float>();
         const auto& table = *ctx.dense_dispatch;
         for (int64_t bi = 0; bi < batch; ++bi) {
-          table.Run(pa + bi * m * k, pb + bi * n * k, py + bi * m * n, m, n, k);
+          table.Run(pa + bi * m * k, pb + bi * n * k, py + bi * m * n, m, n, k,
+                    ctx.dense_config, ctx.pool);
         }
       }));
 }

@@ -22,6 +22,8 @@ namespace nimble {
 
 namespace codegen {
 class DenseDispatchTable;
+class KernelPool;
+struct DenseConfig;
 }  // namespace codegen
 
 namespace kernels {
@@ -39,6 +41,13 @@ struct KernelContext {
   /// kernel is invoked through the registry: the VM points it at its
   /// executable's table, RunKernel at its private immutable table.
   const codegen::DenseDispatchTable* dense_dispatch = nullptr;
+  /// Tuner-chosen cache-blocking config for this executable's dense shapes
+  /// (src/codegen/tuner.h). Null => the default DenseConfig; the VM points
+  /// it at its executable's baked (possibly tuned) config.
+  const codegen::DenseConfig* dense_config = nullptr;
+  /// Intra-op kernel pool for large dense calls (src/codegen/parallel.h).
+  /// Null => single-threaded.
+  codegen::KernelPool* pool = nullptr;
 };
 
 using KernelFn = std::function<void(const std::vector<NDArray>& inputs,

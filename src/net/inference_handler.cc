@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/codegen/parallel.h"
 #include "src/obs/export.h"
 #include "src/runtime/ndarray.h"
 #include "src/runtime/object.h"
@@ -452,6 +453,25 @@ Json InferenceHandler::StatsJson() const {
     Json m = SnapshotJson(view.stats);
     m.Set("queue_depth", static_cast<int64_t>(view.queue_depth));
     m.Set("queue_capacity", static_cast<int64_t>(view.queue_capacity));
+    if (view.has_exec_cache) {
+      // Per-variant detail: which lengths are resident and the (possibly
+      // tuner-measured) dense config each one baked — the §4.5 tuning
+      // lifecycle made observable.
+      Json cache = Json::Object();
+      cache.Set("compiles", view.exec_cache.compiles);
+      cache.Set("evictions", view.exec_cache.evictions);
+      cache.Set("tune_events", view.exec_cache.tune_events);
+      Json variants = Json::Array();
+      for (const auto& detail : view.exec_cache.variants) {
+        Json v = Json::Object();
+        v.Set("length", detail.length);
+        v.Set("dense_config", detail.dense_config);
+        v.Set("tuned", detail.tuned);
+        variants.Append(std::move(v));
+      }
+      cache.Set("variants", std::move(variants));
+      m.Set("exec_cache", std::move(cache));
+    }
     models.Set(view.name, std::move(m));
   }
   doc.Set("models", std::move(models));
@@ -475,6 +495,14 @@ std::string InferenceHandler::MetricsText() const {
                   "(sampled at scrape time).")
         ->Set(static_cast<double>(server_->queue_depth(name)));
   }
+  // Same sample-at-scrape treatment for the kernel pool: busy() is a
+  // process-wide instantaneous count, meaningless to mirror per event.
+  codegen::KernelPool* pool = codegen::KernelPool::Global();
+  registry
+      .GetGauge("nimble_kernel_threads_busy", {},
+                "Kernel-pool threads executing partitioned dense work "
+                "(sampled at scrape time; 0 when the pool is disabled).")
+      ->Set(pool != nullptr ? static_cast<double>(pool->busy()) : 0.0);
   return registry.RenderPrometheus();
 }
 

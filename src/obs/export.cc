@@ -101,6 +101,11 @@ std::string ChromeTraceJson(const std::vector<TraceRecord>& records) {
         out += std::to_string(ctx.vm.other_nanos / 1000);
         out += ",\"instructions\":";
         out += std::to_string(ctx.vm.instructions);
+        if (!ctx.dense_config.empty()) {
+          out += ",\"dense_config\":\"";
+          out += EscapeJson(ctx.dense_config);
+          out += "\"";
+        }
         if (ctx.continuous) {
           out += ",\"continuous\":true,\"slot\":";
           out += std::to_string(ctx.slot);

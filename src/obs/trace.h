@@ -78,6 +78,11 @@ struct TraceContext {
   int64_t splice_step = -1;
   int64_t retire_step = -1;
   std::string model;
+  /// Dense cache-blocking config of the executable the batch ran on
+  /// ("bn32_bk64" form, "*" suffix when tuner-measured; empty when the
+  /// runner did not stamp one). Exported as an exec-span arg so a trace
+  /// shows which tuned variant served the request.
+  std::string dense_config;
 
   int64_t steps_resident() const {
     return (splice_step >= 0 && retire_step >= splice_step)

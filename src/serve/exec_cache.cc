@@ -116,15 +116,45 @@ void ExecCache::CompileLoop() {
     int64_t batch = config_.specialize_batch;
     lock.unlock();
 
+    // Tune before compiling, off the serving path like the compile itself.
+    // The variant's dense calls see `rows` rows (the baked batch size on
+    // the packed path; the tile factor stands in when the batch dimension
+    // stays symbolic), so that is the M the tuner measures. TuneCache
+    // memoizes per exact shape: the first variant of a shape pays for the
+    // measurement, every later one — any length, any cache — reuses it.
+    codegen::DenseConfig dense_config = config_.default_dense_config;
+    bool tuned = false;
+    bool fresh_tune = false;
+    if (config_.tune_n > 0 && config_.tune_k > 0) {
+      int64_t rows = batch > 0 ? batch : codegen::kTileRows;
+      codegen::TunedDense result = codegen::TuneCache::Global()->GetOrTune(
+          rows, config_.tune_n, config_.tune_k, config_.tune_repeats);
+      dense_config = result.config;
+      tuned = true;
+      fresh_tune = result.fresh;
+    }
+
     std::shared_ptr<vm::Executable> exec;
     try {
-      exec = compile_(length, batch);
+      exec = compile_(length, batch, dense_config);
     } catch (...) {
       exec = nullptr;
+    }
+    if (exec != nullptr && tuned) {
+      // Stamp pre-publish: the executable is not visible to any VM yet
+      // (CompileVariantFn's freshness contract), so this is the last write
+      // before immutability.
+      exec->dense_config = dense_config;
+      exec->dense_config_tuned = true;
     }
 
     bool ok = exec != nullptr;
     lock.lock();
+    if (fresh_tune) {
+      tune_events_++;
+      if (model_stats_ != nullptr) model_stats_->RecordTuneEvent();
+      if (aggregate_stats_ != nullptr) aggregate_stats_->RecordTuneEvent();
+    }
     if (ok) {
       compiles_++;
       int evicted = PublishLocked(length, std::move(exec));
@@ -165,7 +195,18 @@ ExecCache::Snapshot ExecCache::snapshot() const {
   snap.evictions = evictions_;
   snap.compiles = compiles_;
   snap.failed_compiles = failed_compiles_;
+  snap.tune_events = tune_events_;
   snap.resident.assign(lru_.begin(), lru_.end());
+  for (int64_t length : lru_) {
+    auto it = entries_.find(length);
+    Snapshot::VariantDetail detail;
+    detail.length = length;
+    if (it != entries_.end() && it->second.exec != nullptr) {
+      detail.dense_config = it->second.exec->dense_config.ToString();
+      detail.tuned = it->second.exec->dense_config_tuned;
+    }
+    snap.variants.push_back(std::move(detail));
+  }
   return snap;
 }
 

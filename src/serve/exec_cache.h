@@ -51,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/codegen/tuner.h"
 #include "src/serve/stats.h"
 #include "src/vm/executable.h"
 
@@ -58,15 +59,22 @@ namespace nimble {
 namespace serve {
 
 /// Compiles a variant specialized to `max_len` (exact packed sequence
-/// length) and `batch_size` (0 = leave the batch dimension symbolic).
+/// length) and `batch_size` (0 = leave the batch dimension symbolic), with
+/// `dense_config` as the cache-blocking config to bake into the variant
+/// (forward it to core::CompileOptions::dense_config; when the cache tunes
+/// — ExecCacheConfig::tune_n/tune_k — it is the measured-best config for
+/// the variant's exact dense shape, otherwise the cache's default).
 /// Typically rebuilds the model's module and calls core::Compile with
 /// specialize_length/specialize_batch set; must return a variant whose
 /// weights and kernel policy match the generic executable (same builder
 /// seed, same dense_dispatch_variants family), or null to mark the length
-/// uncompilable (it is then never retried). Runs on the cache's compile
-/// thread.
+/// uncompilable (it is then never retried). With tuning enabled the
+/// returned executable must be freshly built (not shared with serving):
+/// the cache stamps the chosen config on it before publishing. Runs on the
+/// cache's compile thread.
 using CompileVariantFn = std::function<std::shared_ptr<vm::Executable>(
-    int64_t max_len, int64_t batch_size)>;
+    int64_t max_len, int64_t batch_size,
+    const codegen::DenseConfig& dense_config)>;
 
 struct ExecCacheConfig {
   /// Maximum resident variants; beyond it the least recently hit variant is
@@ -85,6 +93,23 @@ struct ExecCacheConfig {
   /// max_batch_size for the full win; Server::AddModel rejects any other
   /// nonzero value.
   int64_t specialize_batch = 0;
+  /// The model's dominant dense shape ([N, K] weight extents, e.g. an LSTM
+  /// cell's stacked gate matmul). When both are > 0 the compile thread
+  /// tunes each variant before compiling it: the measured-best DenseConfig
+  /// for (rows = the baked batch size, or the tile factor when the batch
+  /// dim stays symbolic) x [tune_n, tune_k] — memoized process-wide in
+  /// codegen::TuneCache, so one shape is measured once no matter how many
+  /// variants or caches bake it — is handed to CompileVariantFn and
+  /// stamped on the variant. 0 disables tuning; variants then bake
+  /// `default_dense_config`.
+  int64_t tune_n = 0;
+  int64_t tune_k = 0;
+  /// Config baked when tuning is disabled (or as the pre-tune transfer
+  /// default): typically TuneDenseSymbolic's transferred choice for the
+  /// model family, or the generic DenseConfig default.
+  codegen::DenseConfig default_dense_config;
+  /// Timed repetitions per tuning measurement (min-of-N).
+  int tune_repeats = 3;
 };
 
 class ExecCache {
@@ -130,8 +155,18 @@ class ExecCache {
     int64_t evictions = 0;
     int64_t compiles = 0;
     int64_t failed_compiles = 0;
+    /// Fresh tuning measurements run by this cache's compile thread
+    /// (TuneCache hits served from the memo do not count).
+    int64_t tune_events = 0;
     /// Lengths with a resident variant, most recently used first.
     std::vector<int64_t> resident;
+    /// Per-resident-variant detail, same order as `resident`.
+    struct VariantDetail {
+      int64_t length = 0;
+      std::string dense_config;  // DenseConfig::ToString form
+      bool tuned = false;
+    };
+    std::vector<VariantDetail> variants;
   };
   Snapshot snapshot() const;
 
@@ -167,6 +202,7 @@ class ExecCache {
   int64_t evictions_ = 0;
   int64_t compiles_ = 0;
   int64_t failed_compiles_ = 0;
+  int64_t tune_events_ = 0;
   ServeStats* model_stats_ = nullptr;
   ServeStats* aggregate_stats_ = nullptr;
   std::thread compiler_;

@@ -55,6 +55,9 @@ StatsMetricBindings MakeModelBindings(obs::MetricRegistry& registry,
                                           cache_event("evict"), cache_help);
   b.variant_compiles = registry.GetCounter("nimble_exec_cache_events_total",
                                            cache_event("compile"), cache_help);
+  b.tune_events = registry.GetCounter(
+      "nimble_tune_events_total", m,
+      "Fresh dense-config tuning measurements (tune-once-per-shape)");
   b.adaptive_wait_us = registry.GetGauge(
       "nimble_adaptive_wait_us", m,
       "Effective adaptive max-wait applied by the scheduler");
@@ -370,6 +373,10 @@ Server::ServerSnapshot Server::SnapshotAll() const {
     view.stats = model->stats.Snapshot();
     view.queue_depth = model->queue->size();
     view.queue_capacity = model->queue->capacity();
+    if (model->cache != nullptr) {
+      view.has_exec_cache = true;
+      view.exec_cache = model->cache->snapshot();
+    }
     all.queue_depth += view.queue_depth;
     all.models.push_back(std::move(view));
   }

@@ -224,6 +224,11 @@ class Server {
     StatsSnapshot stats;
     size_t queue_depth = 0;
     size_t queue_capacity = 0;
+    /// Exec-cache snapshot — resident variants with their (possibly tuned)
+    /// dense configs — for models serving with one (has_exec_cache);
+    /// default-initialized otherwise.
+    bool has_exec_cache = false;
+    ExecCache::Snapshot exec_cache;
   };
   struct ServerSnapshot {
     StatsSnapshot aggregate;

@@ -159,6 +159,12 @@ void ServeStats::RecordVariantCompile() {
   variant_compiles_++;
 }
 
+void ServeStats::RecordTuneEvent() {
+  if (metrics_.tune_events != nullptr) metrics_.tune_events->Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  tune_events_++;
+}
+
 void ServeStats::RecordSplice(double wait_us) {
   if (metrics_.splices != nullptr) metrics_.splices->Increment();
   if (metrics_.splice_wait_us != nullptr) {
@@ -313,6 +319,7 @@ StatsSnapshot ServeStats::Snapshot() const {
   snap.cache_misses = cache_misses_;
   snap.cache_evictions = cache_evictions_;
   snap.variant_compiles = variant_compiles_;
+  snap.tune_events = tune_events_;
   snap.splices = splices_;
   snap.continuous_steps = continuous_steps_;
   snap.continuous_row_steps = continuous_row_steps_;
@@ -384,6 +391,7 @@ void ServeStats::Reset() {
   padding_by_bucket_.clear();
   variant_batches_ = variant_padded_elements_ = variant_total_elements_ = 0;
   cache_hits_ = cache_misses_ = cache_evictions_ = variant_compiles_ = 0;
+  tune_events_ = 0;
   splices_ = continuous_steps_ = continuous_row_steps_ = 0;
   continuous_idle_row_steps_ = slot_count_ = slot_occupancy_ = 0;
   step_duration_sum_us_ = splice_wait_sum_us_ = 0.0;

@@ -100,6 +100,9 @@ struct StatsSnapshot {
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
   int64_t variant_compiles = 0;
+  /// Fresh dense-tuning measurements run by the background compile thread
+  /// (memoized TuneCache hits do not count — §4.5 tune-once-per-shape).
+  int64_t tune_events = 0;
   double cache_hit_rate = 0.0;  // hits / (hits + misses)
   /// Continuous (iteration-level) batching accounting (src/batch/
   /// step_runner.h). A "row step" is one slot for one step of the
@@ -156,6 +159,7 @@ struct StatsMetricBindings {
   obs::Counter* cache_misses = nullptr;
   obs::Counter* cache_evictions = nullptr;
   obs::Counter* variant_compiles = nullptr;
+  obs::Counter* tune_events = nullptr;
   obs::Counter* splices = nullptr;
   obs::Counter* continuous_steps = nullptr;
   obs::Counter* idle_row_steps = nullptr;
@@ -212,6 +216,7 @@ class ServeStats {
   void RecordCacheMiss();
   void RecordCacheEviction();
   void RecordVariantCompile();
+  void RecordTuneEvent();
 
   // Continuous-batching events (recorded by batch::StepRunner).
   /// One request spliced into a slot of the persistent batch. `wait_us` is
@@ -291,6 +296,7 @@ class ServeStats {
   int64_t cache_misses_ = 0;
   int64_t cache_evictions_ = 0;
   int64_t variant_compiles_ = 0;
+  int64_t tune_events_ = 0;
   int64_t splices_ = 0;
   int64_t continuous_steps_ = 0;
   int64_t continuous_row_steps_ = 0;

@@ -26,7 +26,9 @@ constexpr uint32_t kMagic = 0x4e4d424cu;  // "NMBL"
 //     specs simply carry no step function, so the continuous serving path
 //     rejects them at registration exactly like a builder that never
 //     emitted one.
-constexpr uint32_t kVersion = 5;
+// v6 appends the dense cache-blocking config (block_n, block_k, tuned flag)
+// after the variant trailer; pre-v6 executables load with the defaults.
+constexpr uint32_t kVersion = 6;
 
 // ---- primitive writers/readers ---------------------------------------------
 
@@ -235,6 +237,9 @@ void Executable::Save(std::ostream& os) const {
   }
   WritePod<int64_t>(os, variant.specialized_len);
   WritePod<int64_t>(os, variant.specialized_batch);
+  WritePod<int64_t>(os, dense_config.block_n);
+  WritePod<int64_t>(os, dense_config.block_k);
+  WritePod<uint8_t>(os, dense_config_tuned ? 1 : 0);
 }
 
 std::shared_ptr<Executable> Executable::Load(std::istream& is) {
@@ -302,6 +307,11 @@ std::shared_ptr<Executable> Executable::Load(std::istream& is) {
   if (version >= 4) {
     exec->variant.specialized_len = ReadPod<int64_t>(is);
     exec->variant.specialized_batch = ReadPod<int64_t>(is);
+  }
+  if (version >= 6) {
+    exec->dense_config.block_n = ReadPod<int64_t>(is);
+    exec->dense_config.block_k = ReadPod<int64_t>(is);
+    exec->dense_config_tuned = ReadPod<uint8_t>(is) != 0;
   }
   return exec;
 }

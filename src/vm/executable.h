@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/codegen/dispatch.h"
+#include "src/codegen/tuner.h"
 #include "src/ir/attrs.h"
 #include "src/runtime/ndarray.h"
 #include "src/vm/batch_spec.h"
@@ -93,6 +94,16 @@ class Executable {
     bool is_variant() const { return specialized_len > 0; }
   };
   VariantInfo variant;
+
+  /// Cache-blocking config the dense kernels run with (src/codegen/tuner.h).
+  /// core::Compile stamps it from CompileOptions::dense_config; the exec
+  /// cache's background compile thread tunes a variant's exact baked shape
+  /// and stamps the measured-best config before the variant is published
+  /// (`dense_config_tuned` then flips to true; false = transferred/default
+  /// config). Serialized since format v6; pre-v6 executables load with the
+  /// defaults. Immutable once the executable is visible to any VM.
+  codegen::DenseConfig dense_config;
+  bool dense_config_tuned = false;
 
   int32_t FunctionIndex(const std::string& name) const;
 

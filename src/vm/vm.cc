@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "src/codegen/parallel.h"
 #include "src/kernels/registry.h"
 #include "src/op/registry.h"
 
@@ -329,6 +330,8 @@ void VirtualMachine::RunPacked(const Instruction& inst, Frame& frame) {
     // compile-while-serving safe (docs/ARCHITECTURE.md).
     kernels::KernelContext ctx;
     ctx.dense_dispatch = &exec_->dispatch_table;
+    ctx.dense_config = &exec_->dense_config;
+    ctx.pool = codegen::KernelPool::Global();
     kernels::KernelRegistry::Global()->Get(entry.name)(inputs, outputs,
                                                        entry.attrs, ctx);
     if (profiling_) {

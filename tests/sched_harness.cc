@@ -19,6 +19,10 @@
 //   --requests N    requests per schedule (default 24)
 //   --max-len N     maximum sequence length (default 12)
 //   --slots N       slot count (default: cycles 1,2,4,8 by seed)
+//   --pool N        size the global kernel pool to N threads and drop the
+//                   parallel-dense threshold to 1, so even the harness's
+//                   tiny denses route through the tiled+parallel path —
+//                   the bit-identity assertion then covers it end to end
 //   --fail-file P   append failing seeds to P (one per line)
 #include <cstdint>
 #include <cstdio>
@@ -27,6 +31,7 @@
 #include <fstream>
 #include <string>
 
+#include "src/codegen/parallel.h"
 #include "tests/continuous_harness.h"
 #include "tests/sched_fuzz.h"
 
@@ -97,6 +102,11 @@ int main(int argc, char** argv) {
       max_len = ParseInt("--max-len", next("--max-len"));
     } else if (std::strcmp(argv[i], "--slots") == 0) {
       forced_slots = ParseInt("--slots", next("--slots"));
+    } else if (std::strcmp(argv[i], "--pool") == 0) {
+      int64_t pool_threads = ParseInt("--pool", next("--pool"));
+      nimble::codegen::KernelPool::ConfigureGlobal(
+          static_cast<int>(pool_threads));
+      nimble::codegen::SetDenseParallelThreshold(1);
     } else if (std::strcmp(argv[i], "--fail-file") == 0) {
       fail_file = next("--fail-file");
     } else {

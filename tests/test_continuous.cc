@@ -451,7 +451,8 @@ TEST(Continuous, AddModelRejectsContinuousWithExecCache) {
   auto exec = core::Compile(model.module, opts).executable;
 
   auto cache = std::make_shared<serve::ExecCache>(
-      [exec](int64_t, int64_t) { return exec; }, serve::ExecCacheConfig{});
+      [exec](int64_t, int64_t, const codegen::DenseConfig&) { return exec; },
+      serve::ExecCacheConfig{});
   serve::Server server{serve::ServeConfig{}};
   serve::ModelConfig mc;
   mc.exec = exec;
@@ -618,7 +619,7 @@ TEST(Continuous, ExecCacheChurnWhileContinuousModelSplices) {
   cache_config.min_observations = 1;
   cache_config.specialize_batch = 2;
   auto cache = std::make_shared<serve::ExecCache>(
-      [config](int64_t max_len, int64_t batch) {
+      [config](int64_t max_len, int64_t batch, const codegen::DenseConfig&) {
         auto variant_model = models::BuildLSTM(config);
         core::CompileOptions variant_opts;
         variant_opts.batched_entries = {variant_model.batched_spec};

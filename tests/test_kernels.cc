@@ -2,9 +2,15 @@
 // with parameterized shape sweeps (property-style).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
 
 #include "src/codegen/dispatch.h"
+#include "src/codegen/parallel.h"
 #include "src/codegen/tuner.h"
 #include "src/kernels/registry.h"
 #include "src/support/rng.h"
@@ -97,6 +103,229 @@ TEST(DenseBlocked, TunerKernelMatchesReference) {
           << config.ToString();
     }
   }
+}
+
+// ---- tiled + parallel dense: bit-identity, routing, tuning -----------------
+
+// The canonical result every dense path must reproduce bit-for-bit: the
+// per-row accumulation order of MicroRow1F32.
+std::vector<float> RowReference(const NDArray& x, const NDArray& w, int64_t m,
+                                int64_t n, int64_t k) {
+  std::vector<float> ref(static_cast<size_t>(m * n));
+  for (int64_t r = 0; r < m; ++r) {
+    codegen::MicroRow1F32(x.data<float>() + r * k, w.data<float>(),
+                          ref.data() + r * n, n, k);
+  }
+  return ref;
+}
+
+::testing::AssertionResult BitsEqual(const float* got, const float* want,
+                                     int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    uint32_t g, e;
+    std::memcpy(&g, got + i, 4);
+    std::memcpy(&e, want + i, 4);
+    if (g != e) {
+      return ::testing::AssertionFailure()
+             << "bit mismatch at " << i << ": got " << got[i] << " want "
+             << want[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Every config in the search space, across shapes hitting residue tails
+// (m % 8 != 0), sub-block and block-straddling N, and K % 4 tails, must be
+// bitwise identical to the canonical row kernel.
+TEST(DenseBlocked, BitIdenticalToMicroRowAcrossGrid) {
+  uint64_t seed = 100;
+  for (int64_t m : {1, 5, 8, 9, 16, 23}) {
+    for (int64_t n : {1, 7, 32, 33, 130}) {
+      for (int64_t k : {3, 8, 64, 257}) {
+        NDArray x = Rand({m, k}, seed++), w = Rand({n, k}, seed++);
+        std::vector<float> ref = RowReference(x, w, m, n, k);
+        for (const auto& config : codegen::DenseConfigSpace()) {
+          std::vector<float> out(static_cast<size_t>(m * n), -1.0f);
+          codegen::DenseBlocked(x.data<float>(), w.data<float>(), out.data(),
+                                m, n, k, config);
+          ASSERT_TRUE(BitsEqual(out.data(), ref.data(), m * n))
+              << "m=" << m << " n=" << n << " k=" << k << " "
+              << config.ToString();
+        }
+      }
+    }
+  }
+}
+
+// Contractions past kMicroTileDepthLimit take the K-chunked lanes kernel
+// (the old tile kernel drops to scalar rows there) — chunk boundaries must
+// not perturb a single bit, including when block_k is not a multiple of 4.
+TEST(DenseBlocked, BitIdenticalBeyondLaneDepthLimit) {
+  uint64_t seed = 200;
+  for (int64_t k : {codegen::kMicroTileDepthLimit + 1, int64_t{1030},
+                    int64_t{2048}, int64_t{2053}}) {
+    for (int64_t m : {8, 13}) {
+      NDArray x = Rand({m, k}, seed++), w = Rand({40, k}, seed++);
+      std::vector<float> ref = RowReference(x, w, m, 40, k);
+      for (const auto& config :
+           {codegen::DenseConfig{32, 64}, codegen::DenseConfig{128, 1024},
+            codegen::DenseConfig{16, 100}, codegen::DenseConfig{64, 4096}}) {
+        std::vector<float> out(static_cast<size_t>(m * 40), -1.0f);
+        codegen::DenseBlocked(x.data<float>(), w.data<float>(), out.data(),
+                              m, 40, k, config);
+        ASSERT_TRUE(BitsEqual(out.data(), ref.data(), m * 40))
+            << "m=" << m << " k=" << k << " " << config.ToString();
+      }
+    }
+  }
+}
+
+TEST(DenseBlocked, CellCountMatchesDecomposition) {
+  codegen::DenseConfig cfg{32, 64};
+  EXPECT_EQ(codegen::DenseCellCount(16, 64, cfg), 4);   // 2 row tiles x 2 blocks
+  EXPECT_EQ(codegen::DenseCellCount(17, 65, cfg), 9);   // ceil both ways
+  EXPECT_EQ(codegen::DenseCellCount(1, 1, cfg), 1);
+}
+
+// The partitioned path must be bitwise identical for every thread count —
+// including 1 (where the pool declines and the serial loop runs) and more
+// threads than cells.
+TEST(KernelPool, ParallelDenseBitIdenticalAcrossThreadCounts) {
+  const int64_t m = 23, n = 130, k = 1030;  // residue rows + chunked K
+  NDArray x = Rand({m, k}, 300), w = Rand({n, k}, 301);
+  std::vector<float> ref = RowReference(x, w, m, n, k);
+  codegen::DenseConfig config{32, 64};
+  for (int threads : {1, 2, 8}) {
+    codegen::KernelPool pool(threads);
+    std::vector<float> out(static_cast<size_t>(m * n), -1.0f);
+    bool partitioned = codegen::DenseBlockedParallel(
+        x.data<float>(), w.data<float>(), out.data(), m, n, k, config, &pool);
+    EXPECT_EQ(partitioned, threads > 1) << threads;
+    ASSERT_TRUE(BitsEqual(out.data(), ref.data(), m * n))
+        << "threads=" << threads;
+    EXPECT_EQ(pool.busy(), 0);
+  }
+  // Null pool: same bits through the serial fallback.
+  std::vector<float> out(static_cast<size_t>(m * n), -1.0f);
+  EXPECT_FALSE(codegen::DenseBlockedParallel(x.data<float>(), w.data<float>(),
+                                             out.data(), m, n, k, config,
+                                             nullptr));
+  ASSERT_TRUE(BitsEqual(out.data(), ref.data(), m * n));
+}
+
+TEST(KernelPool, TryParallelForRunsEveryTaskExactlyOnce) {
+  codegen::KernelPool pool(4);
+  constexpr int64_t kTasks = 1000;
+  std::unique_ptr<std::atomic<int>[]> counts(new std::atomic<int>[kTasks]());
+  bool ran = pool.TryParallelFor(
+      kTasks, [&](int64_t i) { counts[i].fetch_add(1); });
+  ASSERT_TRUE(ran);
+  for (int64_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(pool.busy(), 0);
+}
+
+TEST(KernelPool, RejectsNestedParallelism) {
+  codegen::KernelPool pool(2);
+  std::atomic<int> inner_ran{0}, inner_accepted{0};
+  bool outer = pool.TryParallelFor(4, [&](int64_t) {
+    if (pool.TryParallelFor(2, [&](int64_t) { inner_ran.fetch_add(1); })) {
+      inner_accepted.fetch_add(1);
+    }
+  });
+  EXPECT_TRUE(outer);
+  EXPECT_EQ(inner_accepted.load(), 0);
+  EXPECT_EQ(inner_ran.load(), 0);
+}
+
+TEST(KernelPool, PropagatesTaskExceptionAndStaysUsable) {
+  codegen::KernelPool pool(2);
+  EXPECT_THROW(pool.TryParallelFor(8,
+                                   [](int64_t i) {
+                                     if (i == 3) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+               std::runtime_error);
+  std::atomic<int64_t> sum{0};
+  EXPECT_TRUE(pool.TryParallelFor(4, [&](int64_t i) { sum.fetch_add(i); }));
+  EXPECT_EQ(sum.load(), 6);
+  EXPECT_EQ(pool.busy(), 0);
+}
+
+// The tuned/parallel-aware dispatch entry point: large-K shapes route to the
+// blocked kernel, small shapes keep the exact residue-dispatch path, and
+// pool-eligible calls run partitioned — all bit-identical.
+TEST(DenseDispatch, TunedRunRoutesBlockedAndStaysBitIdentical) {
+  codegen::DenseDispatchTable table(8);
+  const int64_t m = 17, n = 64, k = 1030;  // k past the lane-depth limit
+  NDArray x = Rand({m, k}, 400), w = Rand({n, k}, 401);
+  std::vector<float> ref = RowReference(x, w, m, n, k);
+  std::vector<float> out(static_cast<size_t>(m * n), -1.0f);
+  codegen::DenseConfig config{32, 64};
+  table.Run(x.data<float>(), w.data<float>(), out.data(), m, n, k, &config,
+            nullptr);
+  EXPECT_EQ(table.stats().blocked_calls, 1);
+  EXPECT_EQ(table.stats().parallel_calls, 0);
+  ASSERT_TRUE(BitsEqual(out.data(), ref.data(), m * n));
+  // A small serving-sized call keeps the plain residue-dispatch path.
+  NDArray xs = Rand({8, 16}, 402), ws = Rand({4, 16}, 403);
+  std::vector<float> small(32, -1.0f);
+  table.Run(xs.data<float>(), ws.data<float>(), small.data(), 8, 4, 16,
+            &config, nullptr);
+  EXPECT_EQ(table.stats().blocked_calls, 1);  // unchanged
+  std::vector<float> small_ref = RowReference(xs, ws, 8, 4, 16);
+  ASSERT_TRUE(BitsEqual(small.data(), small_ref.data(), 32));
+}
+
+TEST(DenseDispatch, PoolEligibleRunsPartitioned) {
+  int64_t saved = codegen::DenseParallelThreshold();
+  codegen::SetDenseParallelThreshold(1);  // force tiny shapes to the pool
+  {
+    codegen::KernelPool pool(2);
+    codegen::DenseDispatchTable table(8);
+    const int64_t m = 16, n = 48, k = 32;
+    NDArray x = Rand({m, k}, 500), w = Rand({n, k}, 501);
+    std::vector<float> ref = RowReference(x, w, m, n, k);
+    std::vector<float> out(static_cast<size_t>(m * n), -1.0f);
+    codegen::DenseConfig config{16, 32};
+    table.Run(x.data<float>(), w.data<float>(), out.data(), m, n, k, &config,
+              &pool);
+    EXPECT_EQ(table.stats().blocked_calls, 1);
+    EXPECT_EQ(table.stats().parallel_calls, 1);
+    ASSERT_TRUE(BitsEqual(out.data(), ref.data(), m * n));
+  }
+  codegen::SetDenseParallelThreshold(saved);
+}
+
+TEST(Tuner, MeasureDenseConfigReturnsPositiveTime) {
+  double t = codegen::MeasureDenseConfig({32, 64}, 8, 64, 64, /*repeats=*/2);
+  EXPECT_GT(t, 0.0);
+}
+
+// Tune-once-per-shape: the first request measures, every later request for
+// the same shape returns the memoized choice unchanged — the determinism
+// the exec cache relies on when stamping variants.
+TEST(TuneCache, MemoizesAndKeepsChoiceDeterministic) {
+  codegen::TuneCache cache;
+  auto first = cache.GetOrTune(8, 32, 32, /*repeats=*/1);
+  EXPECT_TRUE(first.fresh);
+  EXPECT_GT(first.seconds, 0.0);
+  EXPECT_EQ(cache.size(), 1);
+  auto second = cache.GetOrTune(8, 32, 32, /*repeats=*/1);
+  EXPECT_FALSE(second.fresh);
+  EXPECT_EQ(second.config, first.config);
+  EXPECT_EQ(second.seconds, first.seconds);
+  EXPECT_EQ(cache.size(), 1);
+  auto third = cache.GetOrTune(8, 48, 32, /*repeats=*/1);
+  EXPECT_TRUE(third.fresh);
+  EXPECT_EQ(cache.size(), 2);
+  bool in_space = false;
+  for (const auto& c : codegen::DenseConfigSpace()) {
+    if (c == first.config) in_space = true;
+  }
+  EXPECT_TRUE(in_space);
 }
 
 // ---- elementwise / broadcast -------------------------------------------------

@@ -13,6 +13,7 @@
 
 #include "src/batch/batch_runner.h"
 #include "src/batch/pack_plan.h"
+#include "src/codegen/tuner.h"
 #include "src/core/compiler.h"
 #include "src/models/lstm.h"
 #include "src/models/workloads.h"
@@ -804,13 +805,15 @@ TEST(ServeStats, BatchHistogramAndPaddingWaste) {
 /// Variant compiler for LSTM fixtures: rebuilds the module with the same
 /// (deterministic) weights and bakes the bucket shape in.
 serve::CompileVariantFn LSTMVariantCompiler(models::LSTMConfig config) {
-  return [config](int64_t max_len,
-                  int64_t batch) -> std::shared_ptr<vm::Executable> {
+  return [config](int64_t max_len, int64_t batch,
+                  const codegen::DenseConfig& dense_config)
+             -> std::shared_ptr<vm::Executable> {
     auto model = models::BuildLSTM(config);
     core::CompileOptions opts;
     opts.batched_entries = {model.batched_spec};
     opts.specialize_length = max_len;
     opts.specialize_batch = batch;
+    opts.dense_config = dense_config;
     return core::Compile(model.module, opts).executable;
   };
 }
@@ -820,7 +823,7 @@ TEST(ExecCache, VariantPackedBitIdenticalToGenericPackedAndSequential) {
   std::vector<int64_t> lengths(8, 11);
   LSTMFixture fixture(lengths, /*hidden_size=*/12, /*seed=*/31,
                       /*with_batched_entry=*/true);
-  auto variant = LSTMVariantCompiler(fixture.model.config)(11, 8);
+  auto variant = LSTMVariantCompiler(fixture.model.config)(11, 8, codegen::DenseConfig{});
   ASSERT_TRUE(variant->variant.is_variant());
   EXPECT_EQ(variant->variant.specialized_len, 11);
   EXPECT_EQ(variant->variant.specialized_batch, 8);
@@ -874,7 +877,7 @@ TEST(ExecCache, VariantRejectsMismatchedBatches) {
   std::vector<int64_t> lengths = {9, 9, 9, 10};
   LSTMFixture fixture(lengths, /*hidden_size=*/10, /*seed=*/17,
                       /*with_batched_entry=*/true);
-  auto variant = LSTMVariantCompiler(fixture.model.config)(9, 2);
+  auto variant = LSTMVariantCompiler(fixture.model.config)(9, 2, codegen::DenseConfig{});
 
   // Wrong batch size (variant bakes 2, batch has 3).
   {
@@ -913,7 +916,7 @@ TEST(ExecCache, VariantSurvivesSaveLoad) {
   std::vector<int64_t> lengths(4, 6);
   LSTMFixture fixture(lengths, /*hidden_size=*/10, /*seed=*/23,
                       /*with_batched_entry=*/true);
-  auto variant = LSTMVariantCompiler(fixture.model.config)(6, 4);
+  auto variant = LSTMVariantCompiler(fixture.model.config)(6, 4, codegen::DenseConfig{});
 
   std::stringstream buffer;
   variant->Save(buffer);
@@ -973,6 +976,54 @@ TEST(ExecCache, LookupObservesCompilesAndHits) {
   EXPECT_EQ(snap.misses, 6);  // 3 unservable + 2 observing + 1 partial
   ASSERT_EQ(snap.resident.size(), 1u);
   EXPECT_EQ(snap.resident[0], 7);
+}
+
+TEST(ExecCache, VariantsCarryTunedDenseConfig) {
+  models::LSTMConfig config;
+  config.input_size = 8;
+  config.hidden_size = 10;
+  config.emit_batched = true;
+  serve::ExecCacheConfig cache_config;
+  cache_config.capacity = 4;
+  cache_config.min_observations = 1;
+  cache_config.specialize_batch = 2;
+  // Tuning proxy shape (distinct from every other test so the process-wide
+  // memo is cold here): the compile thread measures (batch, tune_n, tune_k)
+  // once and stamps the choice on every variant it bakes.
+  cache_config.tune_n = 24;
+  cache_config.tune_k = 40;
+  cache_config.tune_repeats = 1;
+  serve::ServeStats stats;
+  serve::ExecCache cache(LSTMVariantCompiler(config), cache_config, &stats);
+
+  EXPECT_EQ(cache.Lookup(5, 2), nullptr);
+  cache.WaitIdle();
+  auto variant = cache.Lookup(5, 2);
+  ASSERT_NE(variant, nullptr);
+  EXPECT_TRUE(variant->dense_config_tuned);
+  // The baked choice is exactly the memoized tuner pick for the shape.
+  auto tuned = codegen::TuneCache::Global()->GetOrTune(2, 24, 40, 1);
+  EXPECT_FALSE(tuned.fresh) << "the compile thread already paid for this";
+  EXPECT_EQ(variant->dense_config, tuned.config);
+
+  auto snap = cache.snapshot();
+  EXPECT_EQ(snap.compiles, 1);
+  EXPECT_EQ(snap.tune_events, 1);
+  ASSERT_EQ(snap.variants.size(), 1u);
+  EXPECT_EQ(snap.variants[0].length, 5);
+  EXPECT_TRUE(snap.variants[0].tuned);
+  EXPECT_EQ(snap.variants[0].dense_config, tuned.config.ToString());
+
+  // A second length reuses the memoized measurement: compiles advance,
+  // tune events do not (tune-once-per-shape).
+  EXPECT_EQ(cache.Lookup(6, 2), nullptr);
+  cache.WaitIdle();
+  ASSERT_NE(cache.Lookup(6, 2), nullptr);
+  snap = cache.snapshot();
+  EXPECT_EQ(snap.compiles, 2);
+  EXPECT_EQ(snap.tune_events, 1);
+  EXPECT_EQ(snap.variants.size(), 2u);
+  EXPECT_EQ(stats.Snapshot().tune_events, 1);
 }
 
 TEST(ExecCache, LRUEvictionUnderBucketChurn) {
@@ -1081,9 +1132,10 @@ TEST(ExecCache, GenericServesWhileVariantCompiles) {
   LSTMFixture fixture(lengths, /*hidden_size=*/12, /*seed=*/43,
                       /*with_batched_entry=*/true);
   auto slow_compile = [inner = LSTMVariantCompiler(fixture.model.config)](
-                          int64_t len, int64_t batch) {
+                          int64_t len, int64_t batch,
+                          const codegen::DenseConfig& dense_config) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    return inner(len, batch);
+    return inner(len, batch, dense_config);
   };
   serve::ExecCacheConfig cache_config;
   cache_config.capacity = 2;

@@ -333,6 +333,28 @@ TEST(Serialization, DispatchConfigSurvivesRoundtrip) {
       << "a loaded executable serves with the policy it was compiled with";
 }
 
+TEST(Serialization, DenseConfigSurvivesRoundtrip) {
+  Var x = MakeVar("x", ScalarType(DataType::Float32()));
+  auto exec = CompileMain(
+      MakeFunction({x}, op::Call2("add", x, FloatConst(1.0f))));
+  exec->dense_config = codegen::DenseConfig{64, 128};
+  exec->dense_config_tuned = true;
+  std::stringstream buffer;
+  exec->Save(buffer);
+  auto reloaded = vm::Executable::Load(buffer);
+  EXPECT_EQ(reloaded->dense_config, (codegen::DenseConfig{64, 128}))
+      << "a v6 executable carries its tuner-chosen blocking factors";
+  EXPECT_TRUE(reloaded->dense_config_tuned);
+  // Default (untuned) executables roundtrip the default config too.
+  auto plain = CompileMain(
+      MakeFunction({x}, op::Call2("add", x, FloatConst(1.0f))));
+  std::stringstream buffer2;
+  plain->Save(buffer2);
+  auto reloaded2 = vm::Executable::Load(buffer2);
+  EXPECT_EQ(reloaded2->dense_config, codegen::DenseConfig{});
+  EXPECT_FALSE(reloaded2->dense_config_tuned);
+}
+
 TEST(Serialization, ReloadedExecutableRuns) {
   Var x = MakeVar("x", ScalarType(DataType::Float32()));
   auto exec = CompileMain(
