@@ -21,19 +21,24 @@
 //      429s on the wire, never 5xx, hangs, or drops.
 //
 // --json writes BENCH_http.json with all three phases' numbers for CI,
-// plus three observability artifacts scraped from the phase-2 server
+// plus four observability artifacts scraped from the phase-2 server
 // after it drains (so every counter and step record has settled):
 // METRICS.txt (the GET /metrics Prometheus exposition — counters must
 // match the loadgen's own counts, checked by scripts/check_metrics.sh),
 // TRACE.json (GET /debug/trace chrome-trace export, must be nonempty),
-// and STEPS.json (GET /debug/steps?model=c step-journal tail — splices,
+// STEPS.json (GET /debug/steps?model=c step-journal tail — splices,
 // retires, and active-row counts are cross-checked against the loadgen's
-// own continuous tallies).
+// own continuous tallies), and MEMORY.json (GET /debug/memory allocator
+// telemetry — post-drain live bytes, pool counters, and the per-site copy
+// ledger, cross-checked against METRICS.txt). The phase-2 server also
+// configures a generous memory soft limit (1 GiB — never trips at this
+// scale) so the pressure plane polls and exports for real.
 //
 // --trace-overhead additionally A/B-measures the cost of always-on
-// tracing: alternating closed-loop runs with tracing enabled and disabled
-// (best-of per configuration, so scheduler noise can't masquerade as
-// overhead); CI fails when tracing costs more than 3% of peak req/s.
+// telemetry: alternating closed-loop runs with tracing AND the memory
+// ledgers enabled vs both disabled (best-of per configuration, so
+// scheduler noise can't masquerade as overhead); CI fails when telemetry
+// costs more than 3% of peak req/s.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -52,6 +57,7 @@
 #include "src/net/http_client.h"
 #include "src/net/http_server.h"
 #include "src/net/json.h"
+#include "src/obs/memory.h"
 #include "src/serve/server.h"
 #include "src/vm/vm.h"
 
@@ -381,6 +387,9 @@ TraceOverheadResult MeasureTraceOverhead(const Workload& w, int workers,
       serve::ServeConfig config;
       config.num_workers = workers;
       config.trace.enabled = tracing;
+      // The memory ledgers toggle with tracing, so the A/B prices the whole
+      // telemetry plane (copy ledger + pool events), not tracing alone.
+      obs::SetMemoryTelemetryEnabled(tracing);
       serve::Server server(config);
       server.AddModel("m", MakeModelConfig(w, 256, max_batch));
       server.Start();
@@ -394,6 +403,7 @@ TraceOverheadResult MeasureTraceOverhead(const Workload& w, int workers,
       best = std::max(best, run.rps);
     }
   }
+  obs::SetMemoryTelemetryEnabled(true);
   if (result.rps_off > 0.0) {
     result.overhead_pct = std::max(
         0.0, (result.rps_off - result.rps_on) / result.rps_off * 100.0);
@@ -462,9 +472,15 @@ int main(int argc, char** argv) {
   const int kContinuousEvery = 8;
   HttpResult http;
   serve::StatsSnapshot snap_c;
+  int64_t mem_peak_bytes = 0;
+  int64_t mem_copied_bytes = 0;
   {
     serve::ServeConfig config;
     config.num_workers = workers;
+    // A soft limit far above what this workload can reach: the pressure
+    // plane polls, gauges, and exports for real without ever shedding
+    // (scripts/check_metrics.sh asserts pressure == 0 after the run).
+    config.memory.soft_limit_bytes = int64_t{1} << 30;
     serve::Server server(config);
     server.AddModel("m", MakeModelConfig(w, 256, kBatch));
     serve::ModelConfig continuous;
@@ -490,10 +506,17 @@ int main(int argc, char** argv) {
       DumpEndpoint(front.port(), "/metrics", "METRICS.txt");
       DumpEndpoint(front.port(), "/debug/trace?n=64", "TRACE.json");
       DumpEndpoint(front.port(), "/debug/steps?model=c", "STEPS.json");
+      DumpEndpoint(front.port(), "/debug/memory", "MEMORY.json");
     }
     front.Stop();
     auto snap = server.stats();
     snap_c = server.stats("c");
+    for (const obs::AllocScopeSample& scope : server.MemoryScopes()) {
+      mem_peak_bytes += scope.peak_bytes;
+    }
+    for (const obs::CopySiteSnapshot& site : obs::CopyLedgerSnapshot()) {
+      mem_copied_bytes += site.bytes;
+    }
     std::printf("http closed-loop:  %9.1f req/s   p50 %7.0f us   p99 %7.0f "
                 "us\n",
                 http.rps, http.p50_us, http.p99_us);
@@ -563,12 +586,12 @@ int main(int argc, char** argv) {
   // Optional phase 4: what does always-on tracing cost?
   TraceOverheadResult overhead;
   if (trace_overhead) {
-    bench::PrintHeader("trace overhead: alternating tracing on/off, best of "
-                       "2 runs each");
+    bench::PrintHeader("telemetry overhead: alternating tracing+memory "
+                       "ledgers on/off, best of 2 runs each");
     overhead = MeasureTraceOverhead(w, workers, kBatch, clients, seconds,
                                     json_body);
     std::printf(
-        "tracing on %.1f req/s, off %.1f req/s -> overhead %.2f%% "
+        "telemetry on %.1f req/s, off %.1f req/s -> overhead %.2f%% "
         "(budget 3%%)\n",
         overhead.rps_on, overhead.rps_off, overhead.overhead_pct);
   }
@@ -600,7 +623,8 @@ int main(int argc, char** argv) {
         "\"steps\": %lld},\n"
         "  \"overload\": {\"completed\": %lld, \"rejected_429\": %lld,\n"
         "               \"server_5xx\": %lld, \"transport_errors\": %lld,\n"
-        "               \"clean\": %s}",
+        "               \"clean\": %s},\n"
+        "  \"memory\": {\"peak_bytes\": %lld, \"copied_bytes\": %lld}",
         requests, clients, workers, json_body ? "json" : "binary",
         correct ? "true" : "false", inproc.rps, inproc.p99_us, http.rps,
         http.p50_us, http.p99_us, static_cast<long long>(http.ok200),
@@ -617,7 +641,9 @@ int main(int argc, char** argv) {
         static_cast<long long>(overload.shed429),
         static_cast<long long>(overload.server_5xx),
         static_cast<long long>(overload.transport_errors),
-        overload_clean ? "true" : "false");
+        overload_clean ? "true" : "false",
+        static_cast<long long>(mem_peak_bytes),
+        static_cast<long long>(mem_copied_bytes));
     if (trace_overhead) {
       std::fprintf(
           f,

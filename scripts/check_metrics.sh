@@ -18,9 +18,15 @@
 #     complete trace (6 spans) and the continuous model's slot timelines;
 #   - the /debug/steps export (STEPS.json) is structurally sound and its
 #     steps_recorded agrees with nimble_steps_total exactly;
-#   - when --trace-overhead ran: tracing costs <= 3% of peak req/s.
+#   - the memory plane holds its post-drain identities: worker live bytes
+#     are exactly zero (the CI-level drain-leak sentinel), every copy site
+#     on the exercised path recorded traffic, pressure reads 0 under the
+#     generous soft limit, and the /debug/memory export (MEMORY.json)
+#     agrees with the /metrics exposition byte for byte;
+#   - when --trace-overhead ran: telemetry costs <= 3% of peak req/s.
 set -eu
-for artifact in BENCH_http.json METRICS.txt TRACE.json STEPS.json; do
+for artifact in BENCH_http.json METRICS.txt TRACE.json STEPS.json \
+                MEMORY.json; do
   if [ ! -s "$artifact" ]; then
     echo "missing or empty artifact: $artifact (run bench_http_loadgen --json first)" >&2
     exit 1
@@ -40,6 +46,8 @@ with open("TRACE.json") as f:
     trace = json.load(f)
 with open("STEPS.json") as f:
     steps_doc = json.load(f)
+with open("MEMORY.json") as f:
+    memory_doc = json.load(f)
 
 failures = []
 
@@ -63,6 +71,11 @@ families = [
     "nimble_splice_wait_us",
     "nimble_active_rows",
     "nimble_runner_stalled",
+    "nimble_mem_live_bytes",
+    "nimble_mem_peak_bytes",
+    "nimble_mem_pressure",
+    "nimble_pool_events_total",
+    "nimble_copied_bytes_total",
 ]
 for family in families:
     if f"# TYPE {family}" not in metrics:
@@ -192,14 +205,68 @@ for record in tail:
             failures.append(f"step {seq}: unknown event kind "
                             f"{event.get('kind')}")
 
-# Always-on tracing must stay under its 3% budget when measured.
+# Memory plane. The loadgen scrapes MEMORY.json after Drain with every
+# result already consumed, so the post-drain identities are exact.
+scopes = {s["scope"]: s for s in memory_doc.get("scopes", [])}
+copy_sites = {s["site"]: s for s in memory_doc.get("copy_sites", [])}
+if not scopes:
+    failures.append("MEMORY.json has no allocator scopes")
+if not any(name.startswith("worker:") for name in scopes):
+    failures.append("MEMORY.json has no worker scope")
+if "model:c" not in scopes:
+    failures.append("MEMORY.json has no scope for continuous model c")
+for name, scope in scopes.items():
+    # Drain-leak sentinel at CI level: workers hold nothing once their
+    # batches retire and the clients dropped every response.
+    if name.startswith("worker:") and scope["live_bytes"] != 0:
+        failures.append(f"{name} live_bytes {scope['live_bytes']} != 0 "
+                        "after drain (data-path leak)")
+    if scope["peak_bytes"] < scope["live_bytes"]:
+        failures.append(f"{name} peak {scope['peak_bytes']} < live "
+                        f"{scope['live_bytes']}")
+    # The gauge exposition and the JSON export sample the same atomics at
+    # quiescence, so they must agree exactly.
+    gauge = series_value("nimble_mem_live_bytes", f'scope="{name}"')
+    if gauge != scope["live_bytes"]:
+        failures.append(f"nimble_mem_live_bytes{{scope={name}}} {gauge} != "
+                        f"MEMORY.json {scope['live_bytes']}")
+# A continuous runner retains only its persistent step arguments (x_t,
+# active mask, state rows — a few KB at these widths): far under 128 KiB.
+c_live = scopes.get("model:c", {}).get("live_bytes", 0)
+if c_live > 131072:
+    failures.append(f"model:c live_bytes {c_live} suspiciously large "
+                    "(> 128 KiB of persistent step state)")
+# Every copy site on the exercised paths must have recorded traffic: the
+# packed model covers http_decode/pack/unpack/serialize, the continuous
+# model step_state.
+for site in ("http_decode", "pack", "unpack", "step_state", "serialize"):
+    bytes_ = copy_sites.get(site, {}).get("bytes", 0)
+    if bytes_ <= 0:
+        failures.append(f"copy site {site} recorded no bytes")
+    exposed = series_value("nimble_copied_bytes_total", f'site="{site}"')
+    if exposed != bytes_:
+        failures.append(f"nimble_copied_bytes_total{{site={site}}} {exposed} "
+                        f"!= MEMORY.json {bytes_}")
+# The soft limit is configured generously: the pressure plane must be live
+# (polling, exporting) yet never have tripped.
+pressure = memory_doc.get("pressure", {})
+if not pressure.get("configured"):
+    failures.append("memory pressure not configured in the loadgen run")
+# The gauge carries no labels, so it renders bare (no {} block).
+m = re.search(r"^nimble_mem_pressure (\S+)$", metrics, re.M)
+mem_pressure = float(m.group(1)) if m else None
+if mem_pressure is None or mem_pressure >= 1.0:
+    failures.append(f"nimble_mem_pressure is {mem_pressure} (expected a "
+                    "settled value < 1 under the 1 GiB soft limit)")
+
+# Always-on telemetry must stay under its 3% budget when measured.
 if "trace_overhead" in bench:
     overhead = bench["trace_overhead"]["overhead_pct"]
     if overhead > 3.0:
-        failures.append(f"tracing overhead {overhead:.2f}% exceeds the 3% "
+        failures.append(f"telemetry overhead {overhead:.2f}% exceeds the 3% "
                         "budget")
     else:
-        print(f"trace overhead {overhead:.2f}% "
+        print(f"telemetry overhead {overhead:.2f}% "
               f"(on {bench['trace_overhead']['rps_on']:.1f} vs off "
               f"{bench['trace_overhead']['rps_off']:.1f} req/s)")
 
@@ -208,9 +275,12 @@ if failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     sys.exit(1)
 
+copied_total = sum(s["bytes"] for s in copy_sites.values())
 print(f"metrics plane consistent: {int(completed_m)} packed + "
       f"{int(completed_c)} continuous completed, "
       f"{int(rejected_m + rejected_c)} shed, zero 5xx, "
       f"{len(events)} trace events, {int(recorded)} steps journaled "
-      f"({int(splices)} splices, row-step balance exact)")
+      f"({int(splices)} splices, row-step balance exact), "
+      f"{copied_total} bytes copied across {len(copy_sites)} sites, "
+      f"workers leak-free after drain")
 EOF

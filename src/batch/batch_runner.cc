@@ -69,6 +69,7 @@ void RunPerRequest(vm::VirtualMachine& vm, serve::Batch& batch,
   for (serve::Request& request : batch.requests) {
     bool traced = request.trace.enabled;
     ProfileMark mark;
+    int64_t alloc_mark = 0;
     if (traced) {
       // No pack/unpack on this path: both spans collapse to zero width at
       // the invocation boundaries.
@@ -76,6 +77,7 @@ void RunPerRequest(vm::VirtualMachine& vm, serve::Batch& batch,
       request.trace.pack_start = now;
       request.trace.pack_end = now;
       mark = MarkProfile(vm);
+      alloc_mark = vm.allocator()->stats().bytes_allocated;
     }
     bool ok = true;
     runtime::ObjectRef result;
@@ -93,6 +95,10 @@ void RunPerRequest(vm::VirtualMachine& vm, serve::Batch& batch,
       request.trace.exec_end = now;
       request.trace.unpack_end = now;
       FoldProfile(vm, mark, request.trace);
+      // No pack/unpack copies on this path; the exec span still reports
+      // the invocation's allocator traffic.
+      request.trace.alloc_bytes =
+          vm.allocator()->stats().bytes_allocated - alloc_mark;
     }
     if (on_done) on_done(request, ok);
     NotifyComplete(request, std::move(result), std::move(error));
@@ -123,12 +129,15 @@ BatchRunResult RunBatch(vm::VirtualMachine& vm, serve::Batch& batch,
       obs::SteadyClock::time_point pack_start{}, pack_end{}, exec_end{},
           unpack_end{};
       ProfileMark mark;
+      int64_t alloc_mark = 0;
+      int64_t alloc_delta = 0;
       std::vector<runtime::NDArray> outs;
       bool packed_ok = false;
       try {
         if (traced) {
           pack_start = obs::SteadyClock::now();
           mark = MarkProfile(vm);
+          alloc_mark = vm.allocator()->stats().bytes_allocated;
         }
         auto args = plan.PackArgs(batch.requests, vm.allocator());
         if (traced) pack_end = obs::SteadyClock::now();
@@ -136,7 +145,10 @@ BatchRunResult RunBatch(vm::VirtualMachine& vm, serve::Batch& batch,
             vm.Invoke(check.spec->batched_function, std::move(args));
         if (traced) exec_end = obs::SteadyClock::now();
         outs = plan.Unpack(batched, vm.allocator());
-        if (traced) unpack_end = obs::SteadyClock::now();
+        if (traced) {
+          unpack_end = obs::SteadyClock::now();
+          alloc_delta = vm.allocator()->stats().bytes_allocated - alloc_mark;
+        }
         NIMBLE_CHECK_EQ(outs.size(), batch.requests.size());
         packed_ok = true;
       } catch (const std::exception& e) {
@@ -161,6 +173,14 @@ BatchRunResult RunBatch(vm::VirtualMachine& vm, serve::Batch& batch,
             request.trace.exec_end = exec_end;
             request.trace.unpack_end = unpack_end;
             FoldProfile(vm, mark, request.trace);
+            // The batch's allocator traffic is shared (one invocation);
+            // the copied bytes are this request's own pack share plus its
+            // unpacked output slice.
+            request.trace.alloc_bytes = alloc_delta;
+            request.trace.copied_bytes =
+                plan.lengths()[i] * check.spec->feature_width *
+                    static_cast<int64_t>(sizeof(float)) +
+                static_cast<int64_t>(outs[i].nbytes());
           }
           auto result_ref = runtime::MakeTensor(std::move(outs[i]));
           request.promise.set_value(result_ref);

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/obs/memory.h"
 #include "src/support/logging.h"
 
 namespace nimble {
@@ -209,6 +210,10 @@ std::vector<ObjectRef> PackPlan::PackArgs(
                   static_cast<size_t>(len * D) * sizeof(float));
       pp += len * D;
     }
+    // One ledger add for the whole gather, not one per row (see
+    // src/obs/memory.h on RecordCopy granularity).
+    obs::RecordCopy(obs::CopySite::kPack,
+                    R * D * static_cast<int64_t>(sizeof(float)));
     return {runtime::MakeTensor(std::move(packed))};
   }
 
@@ -232,6 +237,9 @@ std::vector<ObjectRef> PackPlan::PackArgs(
                   static_cast<size_t>(D) * sizeof(float));
     }
   }
+  obs::RecordCopy(obs::CopySite::kPack,
+                  (total_elements() - padded_elements()) *
+                      static_cast<int64_t>(sizeof(float)));
 
   NDArray max_len = NDArray::Empty({}, DataType::Int64(),
                                    runtime::Device::CPU(), alloc);
@@ -282,6 +290,8 @@ std::vector<NDArray> PackPlan::Unpack(const ObjectRef& result,
       src += static_cast<size_t>(len) * row_bytes;
       outs.push_back(std::move(out));
     }
+    obs::RecordCopy(obs::CopySite::kUnpack,
+                    R * static_cast<int64_t>(row_bytes));
     return outs;
   }
 
@@ -301,6 +311,7 @@ std::vector<NDArray> PackPlan::Unpack(const ObjectRef& result,
     std::memcpy(out.raw_data(), src + r * row_bytes, row_bytes);
     outs.push_back(std::move(out));
   }
+  obs::RecordCopy(obs::CopySite::kUnpack, B * static_cast<int64_t>(row_bytes));
   return outs;
 }
 

@@ -6,6 +6,7 @@
 
 #include "src/batch/batch_runner.h"
 #include "src/batch/pack_plan.h"
+#include "src/obs/memory.h"
 #include "src/serve/vm_pool.h"
 #include "src/support/logging.h"
 
@@ -126,6 +127,8 @@ StepRunner::StepRunner(std::shared_ptr<vm::Executable> exec,
   vm_->EnableProfiling((tracer_ != nullptr && tracer_->enabled()) ||
                        journal_on_);
   slot_profiles_.resize(static_cast<size_t>(num_slots_));
+  slot_copied_bytes_.resize(static_cast<size_t>(num_slots_), 0);
+  slot_alloc_bytes_.resize(static_cast<size_t>(num_slots_), 0);
   // Persistent step arguments. Zero-filled: idle rows stay all-zero until a
   // splice claims them, so the very first step reads defined memory.
   auto zeros = [this](runtime::ShapeVec shape, DataType dtype) {
@@ -245,6 +248,8 @@ void StepRunner::Admit(SlotMap& slots, serve::Request request) {
     trace.splice_step = step_seq_;
   }
   slot_profiles_[static_cast<size_t>(slot)] = obs::ExecProfile{};
+  slot_copied_bytes_[static_cast<size_t>(slot)] = 0;
+  slot_alloc_bytes_[static_cast<size_t>(slot)] = 0;
   if (journal_on_) {
     pending_events_.push_back(obs::StepEvent{obs::StepEvent::Kind::kSplice,
                                              id, slot, length});
@@ -273,6 +278,8 @@ void StepRunner::RunStep(SlotMap& slots) {
           slot.request.args[static_cast<size_t>(spec_->seq_arg)]);
       std::memcpy(xp + i * D, seq.data<float>() + slot.pos * D,
                   static_cast<size_t>(D) * sizeof(float));
+      slot_copied_bytes_[static_cast<size_t>(i)] +=
+          D * static_cast<int64_t>(sizeof(float));
       ap[i] = 1;
     } else {
       // Idle rows compute on zeros: deterministic garbage the `where`
@@ -282,6 +289,12 @@ void StepRunner::RunStep(SlotMap& slots) {
     }
   }
   int64_t occupied = slots.occupied();
+  if (occupied > 0) {
+    // One ledger add per gather pass (not per row): the step-state copy
+    // site must stay inside the hot loop's overhead budget.
+    obs::RecordCopy(obs::CopySite::kStepState,
+                    occupied * D * static_cast<int64_t>(sizeof(float)));
+  }
 
   std::vector<ObjectRef> args;
   args.reserve(2 + states_.size());
@@ -293,7 +306,11 @@ void StepRunner::RunStep(SlotMap& slots) {
   const bool profiling = (tracer_ != nullptr && tracer_->enabled()) ||
                          journal_on_;
   ProfileMark mark;
-  if (profiling) mark = MarkProfile(*vm_);
+  int64_t alloc_mark = 0;
+  if (profiling) {
+    mark = MarkProfile(*vm_);
+    alloc_mark = allocator_->stats().bytes_allocated;
+  }
 
   auto progress = [this](obs::SteadyClock::time_point now) {
     steps_completed_.fetch_add(1, std::memory_order_relaxed);
@@ -350,6 +367,7 @@ void StepRunner::RunStep(SlotMap& slots) {
     step_vm.other_nanos =
         (p.total_nanos - mark.total_nanos) - step_vm.kernel_nanos;
     step_vm.instructions = p.instructions - mark.instructions;
+    int64_t step_alloc = allocator_->stats().bytes_allocated - alloc_mark;
     for (int64_t i = 0; i < B; ++i) {
       if (!slots.IsOccupied(i)) continue;
       obs::ExecProfile& acc = slot_profiles_[static_cast<size_t>(i)];
@@ -357,6 +375,9 @@ void StepRunner::RunStep(SlotMap& slots) {
       acc.shape_func_nanos += step_vm.shape_func_nanos;
       acc.other_nanos += step_vm.other_nanos;
       acc.instructions += step_vm.instructions;
+      // Allocator traffic is shared per step, like the VM profile: every
+      // resident row is attributed the full invocation's delta.
+      slot_alloc_bytes_[static_cast<size_t>(i)] += step_alloc;
     }
   }
 
@@ -384,12 +405,19 @@ void StepRunner::RunStep(SlotMap& slots) {
                                  runtime::Device::CPU(), allocator_);
     std::memcpy(out.data<float>(), result_state.data<float>() + i * W,
                 static_cast<size_t>(W) * sizeof(float));
+    // Retires are rare (one per request), so a per-row ledger add is fine.
+    obs::RecordCopy(obs::CopySite::kStepState,
+                    W * static_cast<int64_t>(sizeof(float)));
+    slot_copied_bytes_[static_cast<size_t>(i)] +=
+        W * static_cast<int64_t>(sizeof(float));
     serve::Request request = slots.Retire(i);
     if (request.trace.enabled) {
       request.trace.exec_end = exec_end;
       request.trace.unpack_end = obs::SteadyClock::now();
       request.trace.retire_step = step_seq_;
       request.trace.vm = slot_profiles_[static_cast<size_t>(i)];
+      request.trace.copied_bytes = slot_copied_bytes_[static_cast<size_t>(i)];
+      request.trace.alloc_bytes = slot_alloc_bytes_[static_cast<size_t>(i)];
     }
     if (journal_on_) {
       pending_events_.push_back(obs::StepEvent{obs::StepEvent::Kind::kRetire,
@@ -426,6 +454,8 @@ void StepRunner::FailAll(SlotMap& slots, std::exception_ptr error) {
       request.trace.unpack_end = now;
       request.trace.retire_step = step_seq_;
       request.trace.vm = slot_profiles_[static_cast<size_t>(i)];
+      request.trace.copied_bytes = slot_copied_bytes_[static_cast<size_t>(i)];
+      request.trace.alloc_bytes = slot_alloc_bytes_[static_cast<size_t>(i)];
     }
     if (journal_on_) {
       pending_events_.push_back(obs::StepEvent{obs::StepEvent::Kind::kRetire,

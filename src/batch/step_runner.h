@@ -133,6 +133,11 @@ class StepRunner {
     return last_progress_ns_.load(std::memory_order_relaxed);
   }
 
+  /// The runner's leased allocator (never null), for per-model memory
+  /// scopes (serve::Server::MemoryScopes / GET /debug/memory). Its stats()
+  /// are safe to sample from any thread.
+  runtime::PoolingAllocator* allocator() const { return allocator_; }
+
  private:
   void Loop();
   /// Validates and splices one request, or fails it in place (malformed
@@ -183,6 +188,13 @@ class StepRunner {
   /// semantics as the packed path), zeroed at splice, stamped into the
   /// retiring request's trace. Runner-thread only.
   std::vector<obs::ExecProfile> slot_profiles_;
+  /// Per-slot memory attribution across a tenancy, same discipline as
+  /// slot_profiles_: copied bytes are the row's own gather/retire traffic,
+  /// alloc bytes the shared per-step allocator delta (profiling on only).
+  /// Zeroed at splice, stamped into the retiring request's trace.
+  /// Runner-thread only.
+  std::vector<int64_t> slot_copied_bytes_;
+  std::vector<int64_t> slot_alloc_bytes_;
   std::atomic<int64_t> requests_completed_{0};
   std::atomic<int64_t> live_rows_{0};
   std::atomic<int64_t> steps_completed_{0};

@@ -9,6 +9,7 @@
 
 #include "src/codegen/parallel.h"
 #include "src/obs/export.h"
+#include "src/obs/memory.h"
 #include "src/runtime/ndarray.h"
 #include "src/runtime/object.h"
 #include "src/support/logging.h"
@@ -151,6 +152,12 @@ DecodedBody DecodeJsonBody(const std::string& body) {
     if (decoded.length_hint == 0 && !shape.empty()) {
       decoded.length_hint = shape[0];  // default hint: first tensor's rows
     }
+    // The element-by-element fill above is still a copy (parsed JSON ->
+    // tensor), charged to the same site as the binary memcpy.
+    obs::RecordCopy(obs::CopySite::kHttpDecode,
+                    expected * static_cast<int64_t>(
+                                   dtype == "int64" ? sizeof(int64_t)
+                                                    : sizeof(float)));
   }
   if (const Json* length = doc.Find("length")) {
     if (!length->is_number() || length->number() < 0) {
@@ -197,6 +204,8 @@ DecodedBody DecodeBinaryBody(const HttpRequest& request) {
   runtime::NDArray arr =
       runtime::NDArray::Empty(shape, runtime::DataType::Float32());
   std::memcpy(arr.raw_data(), request.body.data(), expected_bytes);
+  obs::RecordCopy(obs::CopySite::kHttpDecode,
+                  static_cast<int64_t>(expected_bytes));
   decoded.args.push_back(runtime::MakeTensor(std::move(arr)));
   if (!shape.empty()) decoded.length_hint = shape[0];
   if (const std::string* len = request.FindHeader("x-nimble-length")) {
@@ -290,6 +299,13 @@ std::string SerializeResult(const std::string& model,
   if (trace != nullptr && trace->enabled) {
     extra_headers.emplace_back("X-Nimble-Trace", obs::TraceHeaderValue(*trace));
   }
+  // Result tensor -> response bytes is the pipeline's last copy (binary:
+  // body.assign of the raw tensor; JSON: the Dump of the data array).
+  // Error bodies are not data-path copies and stay unrecorded.
+  if (status == 200) {
+    obs::RecordCopy(obs::CopySite::kSerialize,
+                    static_cast<int64_t>(body.size()));
+  }
   if (stats != nullptr) stats->RecordResponse(status);
   return HttpCodec::WriteResponse(status, body, content_type, keep_alive,
                                   extra_headers);
@@ -369,7 +385,8 @@ HttpStats::HttpStats(std::shared_ptr<obs::MetricRegistry> registry)
   const std::string kRequestsHelp = "HTTP requests routed, by endpoint.";
   const std::string kResponsesHelp = "HTTP responses written, by status code.";
   for (const char* endpoint : {"predict", "stats", "metrics", "trace",
-                               "steps", "models", "healthz", "other"}) {
+                               "steps", "memory", "models", "healthz",
+                               "other"}) {
     by_endpoint_[endpoint] = registry_->GetCounter(
         "nimble_http_requests_total", {{"endpoint", endpoint}}, kRequestsHelp);
   }
@@ -478,6 +495,29 @@ Json InferenceHandler::StatsJson() const {
   Json aggregate = SnapshotJson(snap.aggregate);
   aggregate.Set("queue_depth", static_cast<int64_t>(snap.queue_depth));
   doc.Set("aggregate", std::move(aggregate));
+  // Memory digest: the scope totals and copy-site byte counts, so a /stats
+  // poller sees data-plane memory health without a second request. The
+  // full per-scope / size-class breakdown stays on /debug/memory.
+  int64_t mem_live = 0;
+  int64_t mem_peak = 0;
+  int64_t mem_cached = 0;
+  for (const obs::AllocScopeSample& scope : server_->MemoryScopes()) {
+    mem_live += scope.live_bytes;
+    mem_peak += scope.peak_bytes;
+    mem_cached += scope.cached_bytes;
+  }
+  Json memory = Json::Object();
+  memory.Set("live_bytes", mem_live);
+  memory.Set("peak_bytes", mem_peak);
+  memory.Set("cached_bytes", mem_cached);
+  const obs::MemoryPressure* pressure = server_->memory_pressure();
+  memory.Set("pressure", pressure != nullptr ? pressure->pressure() : 0.0);
+  Json copied = Json::Object();
+  for (const obs::CopySiteSnapshot& site : obs::CopyLedgerSnapshot()) {
+    copied.Set(site.site, site.bytes);
+  }
+  memory.Set("copied_bytes", std::move(copied));
+  doc.Set("memory", std::move(memory));
   return doc;
 }
 
@@ -503,7 +543,40 @@ std::string InferenceHandler::MetricsText() const {
                 "Kernel-pool threads executing partitioned dense work "
                 "(sampled at scrape time; 0 when the pool is disabled).")
       ->Set(pool != nullptr ? static_cast<double>(pool->busy()) : 0.0);
-  return registry.RenderPrometheus();
+  // Memory scopes get the same treatment: live/peak are state, sampled per
+  // scrape from each allocator's exact atomics, with a scope="total" sum so
+  // dashboards need no label arithmetic.
+  const std::string kLiveHelp =
+      "Live (allocated minus freed) bytes per allocator scope, sampled at "
+      "scrape time.";
+  const std::string kPeakHelp =
+      "High-water mark of live bytes per allocator scope.";
+  int64_t total_live = 0;
+  int64_t total_peak = 0;
+  for (const obs::AllocScopeSample& scope : server_->MemoryScopes()) {
+    registry.GetGauge("nimble_mem_live_bytes", {{"scope", scope.scope}},
+                      kLiveHelp)
+        ->Set(static_cast<double>(scope.live_bytes));
+    registry.GetGauge("nimble_mem_peak_bytes", {{"scope", scope.scope}},
+                      kPeakHelp)
+        ->Set(static_cast<double>(scope.peak_bytes));
+    total_live += scope.live_bytes;
+    total_peak += scope.peak_bytes;
+  }
+  registry.GetGauge("nimble_mem_live_bytes", {{"scope", "total"}}, kLiveHelp)
+      ->Set(static_cast<double>(total_live));
+  registry.GetGauge("nimble_mem_peak_bytes", {{"scope", "total"}}, kPeakHelp)
+      ->Set(static_cast<double>(total_peak));
+  const obs::MemoryPressure* pressure = server_->memory_pressure();
+  registry
+      .GetGauge("nimble_mem_pressure", {},
+                "Live bytes across server allocator scopes / soft limit "
+                "(0 when no limit is configured)")
+      ->Set(pressure != nullptr ? pressure->pressure() : 0.0);
+  // The two global counter families (pool events, copied bytes) render as
+  // hand-built text — registry counters cannot be Set to a merged value,
+  // and the family names are distinct so the exposition stays valid.
+  return registry.RenderPrometheus() + obs::MemoryCountersText();
 }
 
 std::string InferenceHandler::TraceJson(size_t n) const {
@@ -549,6 +622,84 @@ std::string InferenceHandler::StepsJson(const std::string& model,
   }
   out += "]}";
   return out;
+}
+
+Json InferenceHandler::MemoryJson(size_t n) const {
+  Json doc = Json::Object();
+  doc.Set("telemetry_enabled", obs::MemoryTelemetryEnabled());
+
+  Json pressure = Json::Object();
+  const obs::MemoryPressure* p = server_->memory_pressure();
+  pressure.Set("configured", p != nullptr);
+  pressure.Set("pressure", p != nullptr ? p->pressure() : 0.0);
+  if (p != nullptr) {
+    pressure.Set("soft_limit_bytes", p->config().soft_limit_bytes);
+    pressure.Set("shed", p->config().shed);
+    pressure.Set("shed_threshold", p->config().shed_threshold);
+  }
+  doc.Set("pressure", std::move(pressure));
+
+  int64_t total_live = 0;
+  int64_t total_peak = 0;
+  int64_t total_allocated = 0;
+  int64_t total_cached = 0;
+  Json scopes = Json::Array();
+  for (const obs::AllocScopeSample& scope : server_->MemoryScopes()) {
+    Json s = Json::Object();
+    s.Set("scope", scope.scope);
+    s.Set("alloc_calls", scope.alloc_calls);
+    s.Set("system_allocs", scope.system_allocs);
+    s.Set("bytes_allocated", scope.bytes_allocated);
+    s.Set("live_bytes", scope.live_bytes);
+    s.Set("peak_bytes", scope.peak_bytes);
+    s.Set("cached_bytes", scope.cached_bytes);
+    s.Set("pool_hits", scope.pool_hits);
+    s.Set("pool_refills", scope.pool_refills);
+    s.Set("pool_frees", scope.pool_frees);
+    // Size-class table, largest classes first as sampled, capped at `n`
+    // like the other /debug endpoints cap their tails.
+    Json classes = Json::Array();
+    size_t limit = std::min(scope.classes.size(), n);
+    for (size_t i = 0; i < limit; ++i) {
+      Json c = Json::Object();
+      c.Set("bucket_bytes", scope.classes[i].bucket_bytes);
+      c.Set("blocks", scope.classes[i].blocks);
+      c.Set("bytes", scope.classes[i].bytes);
+      classes.Append(std::move(c));
+    }
+    s.Set("classes", std::move(classes));
+    s.Set("classes_total", static_cast<int64_t>(scope.classes.size()));
+    scopes.Append(std::move(s));
+    total_live += scope.live_bytes;
+    total_peak += scope.peak_bytes;
+    total_allocated += scope.bytes_allocated;
+    total_cached += scope.cached_bytes;
+  }
+  doc.Set("scopes", std::move(scopes));
+
+  Json total = Json::Object();
+  total.Set("live_bytes", total_live);
+  total.Set("peak_bytes", total_peak);
+  total.Set("bytes_allocated", total_allocated);
+  total.Set("cached_bytes", total_cached);
+  doc.Set("total", std::move(total));
+
+  Json copy_sites = Json::Array();
+  for (const obs::CopySiteSnapshot& site : obs::CopyLedgerSnapshot()) {
+    Json s = Json::Object();
+    s.Set("site", std::string(site.site));
+    s.Set("bytes", site.bytes);
+    s.Set("copies", site.copies);
+    copy_sites.Append(std::move(s));
+  }
+  doc.Set("copy_sites", std::move(copy_sites));
+
+  Json pool_events = Json::Object();
+  for (const obs::PoolEventSnapshot& event : obs::PoolEventsSnapshot()) {
+    pool_events.Set(event.event, event.count);
+  }
+  doc.Set("pool_events", std::move(pool_events));
+  return doc;
 }
 
 InferenceHandler::Outcome InferenceHandler::Predict(
@@ -734,6 +885,21 @@ InferenceHandler::Outcome InferenceHandler::Handle(
     outcome.response = HttpCodec::WriteResponse(200, body, kJsonType,
                                                 request.keep_alive);
     return outcome;
+  }
+  if (path == "/debug/memory" && request.method == "GET") {
+    http_stats_->RecordRequest("memory");
+    // ?n=K caps size-class rows per scope; default covers every class a
+    // realistic bucket ladder produces.
+    size_t n = 256;
+    std::string n_str = QueryParam(query, "n");
+    if (!n_str.empty()) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(n_str.c_str(), &end, 10);
+      if (end != n_str.c_str() && parsed > 0) {
+        n = static_cast<size_t>(std::min<long long>(parsed, 65536));
+      }
+    }
+    return Respond(200, MemoryJson(n), request.keep_alive);
   }
   if (path == "/healthz") {
     http_stats_->RecordRequest("healthz");

@@ -20,6 +20,12 @@
 //                                    `model` is omitted): per-step seq,
 //                                    duration, active rows, splice/retire
 //                                    events, VM profile
+//   GET  /debug/memory?n=K           allocator telemetry as JSON: per-scope
+//                                    (worker/model/global) live, peak and
+//                                    pool counters with size-class occupancy
+//                                    (capped at K classes per scope), the
+//                                    copy-site ledger, and memory-pressure
+//                                    state
 //   GET  /v1/models                  registered model names
 //   GET  /healthz                    200 while serving, 503 once draining
 //
@@ -142,6 +148,12 @@ class InferenceHandler {
   /// string when `model` names no continuous model (the route answers
   /// 404).
   std::string StepsJson(const std::string& model, size_t n) const;
+
+  /// Allocator-telemetry JSON (the GET /debug/memory body): every memory
+  /// scope from Server::MemoryScopes() with its size-class occupancy table
+  /// capped at `n` entries, the process copy-site ledger, and the
+  /// memory-pressure block (pressure 0 / no soft limit when unconfigured).
+  Json MemoryJson(size_t n) const;
 
  private:
   Outcome Respond(int status, const Json& body, bool keep_alive);

@@ -101,6 +101,10 @@ std::string ChromeTraceJson(const std::vector<TraceRecord>& records) {
         out += std::to_string(ctx.vm.other_nanos / 1000);
         out += ",\"instructions\":";
         out += std::to_string(ctx.vm.instructions);
+        out += ",\"alloc_bytes\":";
+        out += std::to_string(ctx.alloc_bytes);
+        out += ",\"copied_bytes\":";
+        out += std::to_string(ctx.copied_bytes);
         if (!ctx.dense_config.empty()) {
           out += ",\"dense_config\":\"";
           out += EscapeJson(ctx.dense_config);

@@ -103,6 +103,7 @@ int StallWatchdog::CheckOnce(SteadyClock::time_point now) {
     }
   }
   stalled_count_.store(stalled, std::memory_order_relaxed);
+  if (aux_check_) aux_check_(now);
   return stalled;
 }
 

@@ -171,9 +171,17 @@ class StallWatchdog {
 
   /// One poll pass at time `now`: samples the health source, updates every
   /// runner's stalled gauge (1 = stalled, 0 = healthy), WARN-logs new
-  /// stalls rate-limited, and returns how many runners are stalled.
-  /// Thread-safe.
+  /// stalls rate-limited, runs the auxiliary check (if set), and returns
+  /// how many runners are stalled. Thread-safe.
   int CheckOnce(SteadyClock::time_point now);
+
+  /// Hangs an extra periodic check off this watchdog's polling thread
+  /// (e.g. the memory-pressure poll — one observability thread, not one
+  /// per concern). Called at the end of every CheckOnce with the same
+  /// `now`. Set before Start(); not synchronized against a running loop.
+  void SetAuxCheck(std::function<void(SteadyClock::time_point)> check) {
+    aux_check_ = std::move(check);
+  }
 
   /// Stalled-runner count of the most recent check. Thread-safe.
   int stalled_count() const {
@@ -187,6 +195,7 @@ class StallWatchdog {
 
   StallWatchdogConfig config_;
   HealthSource source_;
+  std::function<void(SteadyClock::time_point)> aux_check_;
   std::atomic<int> stalled_count_{0};
   /// Steady-clock nanos of the last stall WARN (0 = never). CAS-guarded so
   /// concurrent CheckOnce calls cannot double-log within one interval.

@@ -83,6 +83,15 @@ struct TraceContext {
   /// runner did not stamp one). Exported as an exec-span arg so a trace
   /// shows which tuned variant served the request.
   std::string dense_config;
+  /// Memory-plane detail for the exec span (see src/obs/memory.h):
+  /// alloc_bytes is this request's share of allocator traffic during its
+  /// batch invocation (packed path: the batch's allocator delta, stamped
+  /// once per batch member; continuous path: the per-step deltas
+  /// accumulated while the row was resident), copied_bytes the data-path
+  /// bytes copied for this request inside the runner (pack + unpack share,
+  /// or step-state gather + retire). Exported as exec-span args.
+  int64_t alloc_bytes = 0;
+  int64_t copied_bytes = 0;
 
   int64_t steps_resident() const {
     return (splice_step >= 0 && retire_step >= splice_step)

@@ -1,5 +1,6 @@
 #include "src/runtime/allocator.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "src/support/logging.h"
@@ -21,6 +22,43 @@ Buffer::~Buffer() {
   if (source != nullptr && data != nullptr) source->Free(this);
 }
 
+AllocStats Allocator::stats() const {
+  int64_t raw[kNumCounters];
+  for (int i = 0; i < kNumCounters; ++i) raw[i] = counters_[i].Value();
+  AllocStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.alloc_calls = raw[kAllocCalls] - baseline_[kAllocCalls];
+    s.system_allocs = raw[kSystemAllocs] - baseline_[kSystemAllocs];
+    s.bytes_allocated = raw[kBytesAllocated] - baseline_[kBytesAllocated];
+    s.free_calls = raw[kFreeCalls] - baseline_[kFreeCalls];
+    s.bytes_freed = raw[kBytesFreed] - baseline_[kBytesFreed];
+    s.pool_hits = raw[kPoolHits] - baseline_[kPoolHits];
+    s.pool_refills = raw[kPoolRefills] - baseline_[kPoolRefills];
+    s.pool_frees = raw[kPoolFrees] - baseline_[kPoolFrees];
+  }
+  s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+  s.peak_bytes = peak_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Allocator::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < kNumCounters; ++i) baseline_[i] = counters_[i].Value();
+  live_bytes_.store(0, std::memory_order_relaxed);
+  peak_bytes_.store(0, std::memory_order_relaxed);
+}
+
+void Allocator::AddLive(int64_t bytes) {
+  int64_t live =
+      live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, live,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
 std::shared_ptr<Buffer> Allocator::SystemAlloc(size_t size, size_t alignment,
                                                Device device) {
   if (alignment < alignof(std::max_align_t)) alignment = alignof(std::max_align_t);
@@ -33,7 +71,7 @@ std::shared_ptr<Buffer> Allocator::SystemAlloc(size_t size, size_t alignment,
   buf->size = padded;
   buf->device = device;
   buf->source = this;
-  stats_.system_allocs++;
+  Count(kSystemAllocs);
   return buf;
 }
 
@@ -43,19 +81,22 @@ void Allocator::SystemFree(Buffer* buffer) {
 }
 
 void Allocator::Free(Buffer* buffer) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.live_bytes -= static_cast<int64_t>(buffer->size);
+  Count(kFreeCalls);
+  Count(kBytesFreed, static_cast<int64_t>(buffer->size));
+  SubLive(static_cast<int64_t>(buffer->size));
   SystemFree(buffer);
 }
 
 std::shared_ptr<Buffer> NaiveAllocator::Alloc(size_t size, size_t alignment,
                                               Device device) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.alloc_calls++;
-  stats_.bytes_allocated += static_cast<int64_t>(size);
+  Count(kAllocCalls);
   auto buf = SystemAlloc(size, alignment, device);
-  stats_.live_bytes += static_cast<int64_t>(buf->size);
-  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+  // Count the block actually handed out (alignment-padded), not the bytes
+  // requested: bytes_allocated, bytes_freed, and live_bytes then share one
+  // base, and allocated == freed + live holds exactly at any quiescent
+  // point (the drain-leak sentinel in tests/test_serve.cc).
+  Count(kBytesAllocated, static_cast<int64_t>(buf->size));
+  AddLive(static_cast<int64_t>(buf->size));
   return buf;
 }
 
@@ -63,51 +104,99 @@ PoolingAllocator::~PoolingAllocator() { Trim(); }
 
 std::shared_ptr<Buffer> PoolingAllocator::Alloc(size_t size, size_t alignment,
                                                 Device device) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.alloc_calls++;
-  stats_.bytes_allocated += static_cast<int64_t>(size);
+  Count(kAllocCalls);
   size_t bucket = RoundUpBucket(size);
   Key key{device.type, device.id, bucket};
-  auto it = pool_.find(key);
-  if (it != pool_.end() && !it->second.empty()) {
-    void* ptr = it->second.back();
-    it->second.pop_back();
-    cached_bytes_ -= bucket;
+  void* recycled = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pool_.find(key);
+    if (it != pool_.end() && !it->second.empty()) {
+      recycled = it->second.back();
+      it->second.pop_back();
+      cached_bytes_ -= bucket;
+    }
+  }
+  if (recycled != nullptr) {
+    Count(kPoolHits);
+    obs::RecordPoolEvent(obs::PoolEvent::kHit);
     auto buf = std::make_shared<Buffer>();
-    buf->data = ptr;
+    buf->data = recycled;
     buf->size = bucket;
     buf->device = device;
     buf->source = this;
-    stats_.live_bytes += static_cast<int64_t>(bucket);
-    stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+    // Same single-base rule as NaiveAllocator::Alloc: count the bucket the
+    // caller gets, so allocated == freed + live stays an identity.
+    Count(kBytesAllocated, static_cast<int64_t>(bucket));
+    AddLive(static_cast<int64_t>(bucket));
     return buf;
   }
+  obs::RecordPoolEvent(obs::PoolEvent::kMiss);
   auto buf = SystemAlloc(bucket, alignment, device);
-  stats_.live_bytes += static_cast<int64_t>(buf->size);
-  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+  Count(kBytesAllocated, static_cast<int64_t>(buf->size));
+  AddLive(static_cast<int64_t>(buf->size));
   return buf;
 }
 
 void PoolingAllocator::Free(Buffer* buffer) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.live_bytes -= static_cast<int64_t>(buffer->size);
-  if (cached_bytes_ + buffer->size > max_cached_bytes_) {
-    SystemFree(buffer);
-    return;
+  Count(kFreeCalls);
+  Count(kBytesFreed, static_cast<int64_t>(buffer->size));
+  SubLive(static_cast<int64_t>(buffer->size));
+  bool pooled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cached_bytes_ + buffer->size <= max_cached_bytes_) {
+      Key key{buffer->device.type, buffer->device.id, buffer->size};
+      pool_[key].push_back(buffer->data);
+      cached_bytes_ += buffer->size;
+      buffer->data = nullptr;
+      pooled = true;
+    }
   }
-  Key key{buffer->device.type, buffer->device.id, buffer->size};
-  pool_[key].push_back(buffer->data);
-  cached_bytes_ += buffer->size;
-  buffer->data = nullptr;
+  if (pooled) {
+    Count(kPoolRefills);
+    obs::RecordPoolEvent(obs::PoolEvent::kRefill);
+  } else {
+    Count(kPoolFrees);
+    obs::RecordPoolEvent(obs::PoolEvent::kFree);
+    SystemFree(buffer);
+  }
 }
 
 void PoolingAllocator::Trim() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [key, blocks] : pool_) {
-    for (void* ptr : blocks) std::free(ptr);
-    blocks.clear();
+  int64_t trimmed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, blocks] : pool_) {
+      for (void* ptr : blocks) std::free(ptr);
+      trimmed += static_cast<int64_t>(blocks.size());
+      blocks.clear();
+    }
+    cached_bytes_ = 0;
   }
-  cached_bytes_ = 0;
+  if (trimmed > 0) {
+    Count(kPoolFrees, trimmed);
+    obs::RecordPoolEvent(obs::PoolEvent::kFree, trimmed);
+  }
+}
+
+std::vector<obs::PoolClassOccupancy> PoolingAllocator::PoolClasses() const {
+  std::map<int64_t, int64_t> blocks_by_size;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, blocks] : pool_) {
+      if (!blocks.empty()) {
+        blocks_by_size[static_cast<int64_t>(key.size)] +=
+            static_cast<int64_t>(blocks.size());
+      }
+    }
+  }
+  std::vector<obs::PoolClassOccupancy> out;
+  out.reserve(blocks_by_size.size());
+  for (const auto& [bucket, blocks] : blocks_by_size) {
+    out.push_back({bucket, blocks, bucket * blocks});
+  }
+  return out;
 }
 
 NaiveAllocator* GlobalNaiveAllocator() {

@@ -10,16 +10,26 @@
 //
 // Thread-safety contract (serving subsystem, src/serve/):
 //   All Allocator implementations are safe for concurrent Alloc/Free from
-//   multiple threads — a single internal mutex serializes free-list and
-//   statistics bookkeeping. Buffers may be allocated on one thread and
-//   released on another (the refcounted Buffer calls back into its source
-//   allocator from whichever thread drops the last reference).
-//   The mutex makes correctness unconditional, but the serving VMPool still
-//   gives each worker VM its *own* PoolingAllocator so the hot allocation
-//   path is uncontended and each worker's free lists stay warm with the
-//   bucket sizes of the sequence lengths it serves.
+//   multiple threads. Free-list bookkeeping is serialized by an internal
+//   mutex; statistics are NOT behind it — counters shard across
+//   cache-line-padded per-thread cells (obs::Counter, the same 16-cell
+//   design as the metrics plane) and live/peak are a relaxed atomic pair,
+//   so accounting never adds contention to the allocation hot path and
+//   stats() may be scraped concurrently from any thread. Buffers may be
+//   allocated on one thread and released on another (the refcounted Buffer
+//   calls back into its source allocator from whichever thread drops the
+//   last reference). The serving VMPool still gives each worker VM its
+//   *own* PoolingAllocator so the free-list mutex is uncontended and each
+//   worker's lists stay warm with the bucket sizes it serves.
+//
+// Observability: every PoolingAllocator additionally records its pool
+// events (hit/miss/refill/free) into the process-global ledger exported at
+// /metrics as nimble_pool_events_total{event=...}; per-allocator breakdowns
+// (per worker, per model) are sampled from stats()/PoolClasses() by
+// serve::Server::MemoryScopes for GET /debug/memory. See src/obs/memory.h.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -27,6 +37,8 @@
 #include <mutex>
 #include <vector>
 
+#include "src/obs/memory.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/device.h"
 
 namespace nimble {
@@ -45,13 +57,26 @@ struct Buffer {
   ~Buffer();
 };
 
-/// Statistics used by tests and the memory-planning benchmark.
+/// Statistics used by tests, the memory-planning benchmark, and the
+/// /debug/memory exporter. A stats() snapshot merges the sharded counters;
+/// it is monotone but may miss increments in flight during the merge —
+/// exactly the consistency a scrape expects. live/peak are exact (single
+/// atomic pair, not sharded: peak = max-over-time of live needs the true
+/// running sum, and each serving allocator is effectively single-writer).
 struct AllocStats {
   int64_t alloc_calls = 0;     // requests served
   int64_t system_allocs = 0;   // requests that hit the OS allocator
-  int64_t bytes_allocated = 0; // cumulative bytes requested
+  int64_t bytes_allocated = 0; // cumulative bytes of blocks handed out
+                               // (bucket/alignment-padded — same base as
+                               // bytes_freed and live_bytes, so
+                               // allocated == freed + live exactly)
   int64_t peak_bytes = 0;      // high-water mark of live bytes
   int64_t live_bytes = 0;
+  int64_t free_calls = 0;      // buffers released back to the allocator
+  int64_t bytes_freed = 0;     // cumulative bytes of those buffers
+  int64_t pool_hits = 0;       // allocs served from a free list
+  int64_t pool_refills = 0;    // frees that returned a block to a free list
+  int64_t pool_frees = 0;      // blocks released to the OS (cap or Trim)
 };
 
 class Allocator {
@@ -65,22 +90,55 @@ class Allocator {
   /// Called by ~Buffer. Default releases to the OS.
   virtual void Free(Buffer* buffer);
 
-  /// Snapshot of the counters (copied under the lock).
-  AllocStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_ = AllocStats{};
-  }
+  /// Merged snapshot of the sharded counters (minus the ResetStats
+  /// baseline) plus the exact live/peak pair. Lock-free on the counters;
+  /// takes the mutex only to read the baseline consistently.
+  AllocStats stats() const;
+
+  /// Re-baselines every counter to zero and clears live/peak. Intended for
+  /// benchmarks measuring deltas across phases; counters keep accumulating
+  /// underneath (the sharded cells cannot be zeroed while other threads
+  /// record), stats() simply subtracts the snapshot taken here.
+  void ResetStats();
 
  protected:
-  /// SystemAlloc/SystemFree update stats and must be called with mu_ held.
+  /// Sharded counter slots backing AllocStats (minus live/peak).
+  enum CounterId {
+    kAllocCalls = 0,
+    kSystemAllocs,
+    kBytesAllocated,
+    kFreeCalls,
+    kBytesFreed,
+    kPoolHits,
+    kPoolRefills,
+    kPoolFrees,
+    kNumCounters,
+  };
+  /// One relaxed add on the calling thread's cell.
+  void Count(CounterId id, int64_t delta = 1) {
+    counters_[id].Increment(delta);
+  }
+  /// live += bytes, folding the new value into peak (relaxed CAS loop).
+  void AddLive(int64_t bytes);
+  void SubLive(int64_t bytes) {
+    live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// SystemAlloc/SystemFree hit the OS allocator; they update only the
+  /// sharded counters, so they need no lock.
   std::shared_ptr<Buffer> SystemAlloc(size_t size, size_t alignment, Device device);
   void SystemFree(Buffer* buffer);
+
+  /// Serializes free-list bookkeeping (PoolingAllocator) and the
+  /// ResetStats baseline. No longer guards counters.
   mutable std::mutex mu_;
-  AllocStats stats_;
+
+ private:
+  obs::Counter counters_[kNumCounters];
+  std::atomic<int64_t> live_bytes_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+  /// Raw counter values at the last ResetStats (guarded by mu_).
+  int64_t baseline_[kNumCounters] = {};
 };
 
 /// malloc/free per request.
@@ -110,6 +168,10 @@ class PoolingAllocator : public Allocator {
     std::lock_guard<std::mutex> lock(mu_);
     return cached_bytes_;
   }
+
+  /// Free-list occupancy per bucket size (merged across devices), for the
+  /// /debug/memory per-size-class table. Takes the allocator mutex.
+  std::vector<obs::PoolClassOccupancy> PoolClasses() const;
 
  private:
   struct Key {

@@ -190,6 +190,7 @@ void Server::Start() {
           model->exec, model->function, model->policy.continuous_slots,
           model->queue.get(), &model->stats, &stats_, tracer_.get(),
           model->journal.get()));
+      runner_models_.push_back(model->name);
       watched.push_back(WatchEntry{
           runners_.back().get(), model->name,
           metrics_->GetGauge(
@@ -208,9 +209,28 @@ void Server::Start() {
     scheduler_->Start();
   }
   for (auto& runner : runners_) runner->Start();
-  if (!watched.empty() && config_.watchdog.enabled) {
+  if (config_.memory.soft_limit_bytes > 0) {
+    // Live bytes across every server scope (workers, runners, globals —
+    // request bodies decoded by the HTTP threads land in the global pool,
+    // so queued-request memory counts toward pressure too).
+    pressure_ = std::make_unique<obs::MemoryPressure>(
+        config_.memory,
+        [this]() {
+          int64_t live = 0;
+          for (const obs::AllocScopeSample& scope : MemoryScopes()) {
+            live += scope.live_bytes;
+          }
+          return live;
+        },
+        metrics_->GetGauge("nimble_mem_pressure", {},
+                           "Live bytes across server allocator scopes / "
+                           "soft limit (0 when no limit is configured)"));
+  }
+  if ((!watched.empty() || pressure_ != nullptr) && config_.watchdog.enabled) {
     // The health source copies the watch list; runner pointers stay valid
     // until ~Server, and the watchdog is stopped first in Drain anyway.
+    // The same poll loop carries the memory-pressure check (one
+    // observability thread, not one per concern).
     watchdog_ = std::make_unique<obs::StallWatchdog>(
         config_.watchdog, [watched]() {
           std::vector<obs::RunnerHealth> health;
@@ -226,9 +246,54 @@ void Server::Start() {
           }
           return health;
         });
+    if (pressure_ != nullptr) {
+      watchdog_->SetAuxCheck(
+          [pressure = pressure_.get()](obs::SteadyClock::time_point now) {
+            pressure->CheckOnce(now);
+          });
+    }
     watchdog_->Start();
   }
   started_.store(true);
+}
+
+std::vector<obs::AllocScopeSample> Server::MemoryScopes() const {
+  auto sample = [](std::string scope, const runtime::Allocator* alloc,
+                   const runtime::PoolingAllocator* pool) {
+    obs::AllocScopeSample s;
+    s.scope = std::move(scope);
+    runtime::AllocStats stats = alloc->stats();
+    s.alloc_calls = stats.alloc_calls;
+    s.system_allocs = stats.system_allocs;
+    s.bytes_allocated = stats.bytes_allocated;
+    s.live_bytes = stats.live_bytes;
+    s.peak_bytes = stats.peak_bytes;
+    s.pool_hits = stats.pool_hits;
+    s.pool_refills = stats.pool_refills;
+    s.pool_frees = stats.pool_frees;
+    if (pool != nullptr) {
+      s.cached_bytes = static_cast<int64_t>(pool->cached_bytes());
+      s.classes = pool->PoolClasses();
+    }
+    return s;
+  };
+  std::vector<obs::AllocScopeSample> scopes;
+  if (pool_ != nullptr) {
+    int index = 0;
+    for (runtime::PoolingAllocator* alloc : pool_->worker_allocators()) {
+      scopes.push_back(sample("worker:" + std::to_string(index++), alloc,
+                              alloc));
+    }
+  }
+  for (size_t i = 0; i < runners_.size(); ++i) {
+    runtime::PoolingAllocator* alloc = runners_[i]->allocator();
+    scopes.push_back(sample("model:" + runner_models_[i], alloc, alloc));
+  }
+  scopes.push_back(sample("global:pool", runtime::GlobalPoolingAllocator(),
+                          runtime::GlobalPoolingAllocator()));
+  scopes.push_back(
+      sample("global:naive", runtime::GlobalNaiveAllocator(), nullptr));
+  return scopes;
 }
 
 ModelState& Server::Find(const std::string& model) const {
@@ -281,6 +346,13 @@ std::optional<std::future<runtime::ObjectRef>> Server::TrySubmit(
     int64_t length_hint) {
   NIMBLE_CHECK(started_.load()) << "TrySubmit before Start";
   ModelState& state = Find(model);
+  // Memory pressure sheds before the queue does: admitting more work while
+  // live bytes sit over the soft limit only deepens the overage.
+  if (pressure_ != nullptr && pressure_->should_shed()) {
+    state.stats.RecordRejected();
+    stats_.RecordRejected();
+    return std::nullopt;
+  }
   std::future<runtime::ObjectRef> future;
   Request request = MakeRequest(state, std::move(args), length_hint, &future);
   auto enqueue_time = request.enqueue_time;
@@ -310,6 +382,15 @@ Server::AdmitResult Server::TrySubmitCallback(
   }
   ModelState& state = *models_[static_cast<size_t>(it->second)];
   result.queue_capacity = state.queue->capacity();
+  // Memory pressure sheds ahead of the queue check, with the same
+  // queue-full status (the front end's 429 + Retry-After applies as is).
+  if (pressure_ != nullptr && pressure_->should_shed()) {
+    state.stats.RecordRejected();
+    stats_.RecordRejected();
+    result.status = AdmitStatus::kQueueFull;
+    result.queue_depth = state.queue->size();
+    return result;
+  }
   std::future<runtime::ObjectRef> future;  // discarded: callback path
   Request request = MakeRequest(state, std::move(args), length_hint, &future);
   request.on_complete = std::move(on_complete);

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "src/batch/step_runner.h"
+#include "src/obs/memory.h"
 #include "src/obs/metrics.h"
 #include "src/obs/step_journal.h"
 #include "src/obs/trace.h"
@@ -102,6 +103,13 @@ struct ServeConfig {
   /// nimble_runner_stalled gauge and WARN-logging (rate-limited) when a
   /// runner holds live rows but completes no step within the deadline.
   obs::StallWatchdogConfig watchdog;
+  /// Memory-pressure configuration (src/obs/memory.h). soft_limit_bytes 0
+  /// (the default) disables the pressure plane; set it to poll live bytes
+  /// across every server allocator scope off the watchdog thread, export
+  /// nimble_mem_pressure, and — when `shed` is on — answer queue-full from
+  /// TrySubmit* at pressure >= shed_threshold (the HTTP front end's 429)
+  /// before the allocators OOM.
+  obs::MemoryPressureConfig memory;
 
   // ---- single-model conveniences, used by the legacy constructor -------
   /// Admission queue capacity for the implicitly registered model.
@@ -259,9 +267,25 @@ class Server {
   };
   std::vector<ContinuousModelView> continuous_models() const;
 
-  /// The stall watchdog (null when no model is continuous or the watchdog
-  /// is disabled); exposed for tests and health probes.
+  /// The stall watchdog (null when there is nothing to watch — no
+  /// continuous model and no memory pressure — or the watchdog is
+  /// disabled); exposed for tests and health probes.
   const obs::StallWatchdog* watchdog() const { return watchdog_.get(); }
+
+  /// One memory sample per allocator scope: "worker:<i>" for each VMPool
+  /// worker, "model:<name>" for each continuous runner, plus the process
+  /// "global:pool"/"global:naive" allocators. Sampled fresh on every call
+  /// (lock-free counter merges plus one pool-mutex hop per scope for the
+  /// size-class table); safe from any thread, before Start and after
+  /// Drain. GET /debug/memory and the per-scope /metrics gauges serialize
+  /// this.
+  std::vector<obs::AllocScopeSample> MemoryScopes() const;
+
+  /// The memory-pressure gauge (null unless config.memory.soft_limit_bytes
+  /// > 0 and Start() has run). Thread-safe.
+  const obs::MemoryPressure* memory_pressure() const {
+    return pressure_.get();
+  }
 
   /// Total requests currently buffered in admission queues (all models).
   size_t queue_depth() const;
@@ -293,8 +317,16 @@ class Server {
   /// such models never appear in the scheduler's model list — their queues
   /// are drained by their runner's thread directly.
   std::vector<std::unique_ptr<batch::StepRunner>> runners_;
-  /// Polls every continuous runner's health atomics; started after the
-  /// runners, stopped first in Drain. Null when there is nothing to watch.
+  /// Model name per runner, parallel to runners_ (the "model:<name>"
+  /// memory scopes). Fixed at Start.
+  std::vector<std::string> runner_models_;
+  /// Soft-limit memory pressure (null unless configured); polled by the
+  /// watchdog's aux check. Declared before watchdog_ so the watchdog —
+  /// whose aux check points here — is destroyed first.
+  std::unique_ptr<obs::MemoryPressure> pressure_;
+  /// Polls every continuous runner's health atomics and the memory-pressure
+  /// gauge; started after the runners, stopped first in Drain. Null when
+  /// there is nothing to watch.
   std::unique_ptr<obs::StallWatchdog> watchdog_;
   std::atomic<int64_t> next_id_{0};
   std::atomic<bool> started_{false};

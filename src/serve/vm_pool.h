@@ -90,6 +90,20 @@ class VMPool {
   /// under concurrent execution.
   int64_t requests_executed() const;
 
+  /// Each worker's leased allocator, in worker order, for the per-worker
+  /// memory scopes (serve::Server::MemoryScopes / GET /debug/memory). The
+  /// worker set is fixed at construction and allocators are process-
+  /// lifetime, so the pointers stay valid and their stats() are safe to
+  /// sample from any thread.
+  std::vector<runtime::PoolingAllocator*> worker_allocators() const {
+    std::vector<runtime::PoolingAllocator*> out;
+    out.reserve(workers_.size());
+    for (const std::unique_ptr<Worker>& worker : workers_) {
+      out.push_back(worker->allocator);
+    }
+    return out;
+  }
+
  private:
   struct Worker {
     runtime::PoolingAllocator* allocator = nullptr;  // leased, never null

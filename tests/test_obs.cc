@@ -17,11 +17,14 @@
 #include "src/core/compiler.h"
 #include "src/models/lstm.h"
 #include "src/models/workloads.h"
+#include "src/net/inference_handler.h"
 #include "src/net/json.h"
 #include "src/obs/export.h"
+#include "src/obs/memory.h"
 #include "src/obs/metrics.h"
 #include "src/obs/step_journal.h"
 #include "src/obs/trace.h"
+#include "src/runtime/allocator.h"
 #include "src/serve/server.h"
 #include "src/vm/vm.h"
 
@@ -746,6 +749,234 @@ TEST(Obs, ServerMetricsCountersMatchServeStats) {
       << text;
   EXPECT_NE(text.find("# TYPE nimble_e2e_latency_us histogram"),
             std::string::npos);
+}
+
+// ---- memory observability -----------------------------------------------------
+
+// The global copy ledger is process-lifetime (tests share it), so every
+// assertion here is on before/after deltas, never absolute values.
+int64_t LedgerBytes(obs::CopySite site) {
+  for (const obs::CopySiteSnapshot& s : obs::CopyLedgerSnapshot()) {
+    if (s.site == std::string(obs::CopySiteName(site))) return s.bytes;
+  }
+  ADD_FAILURE() << "site missing from snapshot";
+  return 0;
+}
+
+TEST(Memory, CopyLedgerMergesAcrossThreadsAndTagsSites) {
+  int64_t pack_before = LedgerBytes(obs::CopySite::kPack);
+  int64_t unpack_before = LedgerBytes(obs::CopySite::kUnpack);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::RecordCopy(obs::CopySite::kPack, 3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(LedgerBytes(obs::CopySite::kPack) - pack_before,
+            int64_t{3} * kThreads * kPerThread)
+      << "merged shards must equal the sum of every thread's adds";
+  EXPECT_EQ(LedgerBytes(obs::CopySite::kUnpack), unpack_before)
+      << "records must land on their own site only";
+}
+
+TEST(Memory, KillSwitchStopsLedgerRecording) {
+  int64_t before = LedgerBytes(obs::CopySite::kSerialize);
+  obs::SetMemoryTelemetryEnabled(false);
+  obs::RecordCopy(obs::CopySite::kSerialize, 1 << 20);
+  obs::RecordPoolEvent(obs::PoolEvent::kHit, 1000);
+  obs::SetMemoryTelemetryEnabled(true);
+  EXPECT_EQ(LedgerBytes(obs::CopySite::kSerialize), before);
+  obs::RecordCopy(obs::CopySite::kSerialize, 7);
+  EXPECT_EQ(LedgerBytes(obs::CopySite::kSerialize), before + 7)
+      << "re-enabling must restore recording";
+}
+
+TEST(Memory, AllocatorTracksLivePeakAndPoolCounters) {
+  runtime::PoolingAllocator alloc;
+  auto stats0 = alloc.stats();
+  EXPECT_EQ(stats0.live_bytes, 0);
+
+  auto a = alloc.Alloc(1000, 64, runtime::Device::CPU());
+  auto b = alloc.Alloc(5000, 64, runtime::Device::CPU());
+  auto mid = alloc.stats();
+  EXPECT_EQ(mid.alloc_calls, 2);
+  EXPECT_EQ(mid.system_allocs, 2) << "cold pool: every alloc misses";
+  EXPECT_GE(mid.live_bytes, 6000) << "bucket rounding may only add";
+  EXPECT_EQ(mid.peak_bytes, mid.live_bytes);
+  int64_t peak_at_two = mid.peak_bytes;
+
+  a.reset();  // refills the pool
+  b.reset();
+  auto drained = alloc.stats();
+  EXPECT_EQ(drained.live_bytes, 0) << "every byte freed must leave live";
+  EXPECT_EQ(drained.peak_bytes, peak_at_two) << "peak is a high-water mark";
+  EXPECT_EQ(drained.free_calls, 2);
+  EXPECT_EQ(drained.bytes_freed, drained.bytes_allocated);
+  EXPECT_EQ(drained.pool_refills, 2);
+
+  // Same sizes again: served from the free lists, and the class table
+  // shows the cached blocks while they are free, not while they are out.
+  auto c = alloc.Alloc(1000, 64, runtime::Device::CPU());
+  auto after_hit = alloc.stats();
+  EXPECT_EQ(after_hit.pool_hits, 1);
+  EXPECT_EQ(after_hit.system_allocs, 2) << "no new OS allocation";
+  std::vector<obs::PoolClassOccupancy> classes = alloc.PoolClasses();
+  int64_t cached_blocks = 0;
+  for (const obs::PoolClassOccupancy& cls : classes) {
+    EXPECT_EQ(cls.bytes, cls.bucket_bytes * cls.blocks);
+    cached_blocks += cls.blocks;
+  }
+  EXPECT_EQ(cached_blocks, 1) << "one block cached (the 5000-byte class)";
+
+  // ResetStats zeroes the counter view and the live/peak pair.
+  c.reset();
+  alloc.ResetStats();
+  auto reset = alloc.stats();
+  EXPECT_EQ(reset.alloc_calls, 0);
+  EXPECT_EQ(reset.live_bytes, 0);
+  EXPECT_EQ(reset.peak_bytes, 0);
+}
+
+TEST(Memory, ConcurrentAllocatorsAndScrapersStayConsistent) {
+  runtime::PoolingAllocator alloc;
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&alloc] {
+      for (int i = 0; i < 3000; ++i) {
+        auto buf = alloc.Alloc(256 + 64 * (i % 7), 64,
+                               runtime::Device::CPU());
+        obs::RecordCopy(obs::CopySite::kStepState, 64);
+      }
+    });
+  }
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      auto stats = alloc.stats();
+      EXPECT_GE(stats.live_bytes, 0);
+      EXPECT_GE(stats.peak_bytes, stats.live_bytes);
+      alloc.PoolClasses();
+      obs::CopyLedgerSnapshot();
+      obs::PoolEventsSnapshot();
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop = true;
+  scraper.join();
+  auto end = alloc.stats();
+  EXPECT_EQ(end.alloc_calls, kWriters * 3000);
+  EXPECT_EQ(end.live_bytes, 0);
+  EXPECT_EQ(end.bytes_freed, end.bytes_allocated);
+}
+
+TEST(Memory, PressureCheckOnceTripsAndClears) {
+  obs::Gauge gauge;
+  std::atomic<int64_t> live{0};
+  obs::MemoryPressureConfig config;
+  config.soft_limit_bytes = 1000;
+  config.shed_threshold = 1.0;
+  obs::MemoryPressure pressure(
+      config, [&live] { return live.load(); }, &gauge);
+  EXPECT_EQ(pressure.pressure(), 0.0) << "no poll yet";
+  EXPECT_FALSE(pressure.should_shed());
+
+  auto t0 = obs::SteadyClock::now();
+  live = 500;
+  EXPECT_DOUBLE_EQ(pressure.CheckOnce(t0), 0.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.5);
+  EXPECT_FALSE(pressure.should_shed());
+
+  live = 2000;
+  EXPECT_DOUBLE_EQ(pressure.CheckOnce(t0 + std::chrono::seconds(1)), 2.0);
+  EXPECT_TRUE(pressure.should_shed()) << "over the limit must shed";
+
+  live = 100;
+  EXPECT_DOUBLE_EQ(pressure.CheckOnce(t0 + std::chrono::seconds(2)), 0.1);
+  EXPECT_FALSE(pressure.should_shed()) << "pressure clears when live drops";
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.1);
+}
+
+TEST(Memory, DebugMemoryJsonIsValidAndMetricsCarryFamilies) {
+  auto exec = BuildSmallLSTM();
+  serve::ServeConfig config;
+  config.num_workers = 1;
+  serve::Server server(exec, config);
+  net::InferenceHandler handler(&server);
+
+  support::Rng rng(21);
+  NDArray x = models::RandomSequence(4, 8, rng);
+  server.Submit({MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(4))}, 4)
+      .get();
+  server.Drain();
+
+  std::string body = handler.MemoryJson(/*n=*/256).Dump();
+  std::string error;
+  net::Json doc = net::Json::Parse(body, &error);
+  ASSERT_TRUE(doc.is_object()) << error;
+  ASSERT_NE(doc.Find("scopes"), nullptr);
+  // worker:0 plus the two global scopes (no continuous model here).
+  EXPECT_EQ(doc.Find("scopes")->items().size(), 3u);
+  std::set<std::string> scope_names;
+  for (const net::Json& scope : doc.Find("scopes")->items()) {
+    scope_names.insert(scope.Find("scope")->str());
+    EXPECT_GE(scope.Find("bytes_allocated")->integer(), 0);
+    EXPECT_GE(scope.Find("peak_bytes")->integer(),
+              scope.Find("live_bytes")->integer());
+    EXPECT_TRUE(scope.Find("classes")->is_array());
+  }
+  EXPECT_TRUE(scope_names.count("worker:0"));
+  EXPECT_TRUE(scope_names.count("global:pool"));
+  EXPECT_TRUE(scope_names.count("global:naive"));
+  const net::Json* sites = doc.Find("copy_sites");
+  ASSERT_NE(sites, nullptr);
+  EXPECT_EQ(sites->items().size(), obs::kNumCopySites)
+      << "the full closed taxonomy, zeros included";
+  ASSERT_NE(doc.Find("pressure"), nullptr);
+  EXPECT_FALSE(doc.Find("pressure")->Find("configured")->boolean())
+      << "no soft limit configured in this server";
+
+  // ?n= caps the per-scope class tables.
+  net::Json capped = net::Json::Parse(handler.MemoryJson(/*n=*/1).Dump());
+  for (const net::Json& scope : capped.Find("scopes")->items()) {
+    EXPECT_LE(scope.Find("classes")->items().size(), 1u);
+  }
+
+  // The route itself answers 200 with the same document shape.
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = "/debug/memory?n=8";
+  net::InferenceHandler::Outcome outcome =
+      handler.Handle(request, [](std::string) {});
+  EXPECT_FALSE(outcome.async);
+  EXPECT_NE(outcome.response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(outcome.response.find("\"copy_sites\""), std::string::npos);
+
+  // /metrics exports all five families in one valid exposition.
+  std::string metrics = handler.MetricsText();
+  for (const char* needle :
+       {"# TYPE nimble_mem_live_bytes gauge",
+        "# TYPE nimble_mem_peak_bytes gauge",
+        "# TYPE nimble_mem_pressure gauge",
+        "# TYPE nimble_pool_events_total counter",
+        "# TYPE nimble_copied_bytes_total counter",
+        "nimble_mem_live_bytes{scope=\"total\"}",
+        "nimble_pool_events_total{event=\"hit\"}",
+        "nimble_copied_bytes_total{site=\"serialize\"}"}) {
+    EXPECT_NE(metrics.find(needle), std::string::npos) << needle;
+  }
+  // /stats carries the memory digest.
+  net::Json stats = handler.StatsJson();
+  const net::Json* memory = stats.Find("memory");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_GE(memory->Find("peak_bytes")->integer(), 0);
+  ASSERT_NE(memory->Find("copied_bytes"), nullptr);
+  EXPECT_NE(memory->Find("copied_bytes")->Find("step_state"), nullptr);
 }
 
 }  // namespace

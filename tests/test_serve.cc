@@ -25,6 +25,7 @@
 #include "src/serve/stats.h"
 #include "src/serve/vm_pool.h"
 #include "src/vm/vm.h"
+#include "tests/continuous_harness.h"
 #include "tests/sched_fuzz.h"
 
 namespace nimble {
@@ -1654,6 +1655,111 @@ TEST(ServeStats, ArrivalEwmaTracksGap) {
   auto snap = stats.Snapshot();
   EXPECT_EQ(snap.arrivals, 51);
   EXPECT_NEAR(snap.arrival_rate_rps, 5000.0, 1e-3);
+}
+
+// ---- drain-time leak sentinels ------------------------------------------------
+
+// Every byte a served request allocated from the worker allocators must be
+// freed once its result is dropped: after Drain with no results held, the
+// per-worker live-byte counters read exactly zero. A regression here is a
+// data-path leak (a tensor pinned in a register, a batch temporary kept
+// past unpack), caught by the counters alone — and by ASan in the CI job
+// that runs this binary.
+TEST(Memory, DrainReturnsWorkerLiveBytesToZero) {
+  std::vector<int64_t> lengths = {9, 9, 5, 5, 12, 3, 9, 7};
+  LSTMFixture fixture(lengths, 12, 31, /*with_batched_entry=*/true);
+  serve::ServeConfig config;
+  config.num_workers = 2;
+  config.batch.tensor_batching = true;
+  config.batch.bucket_edges = {8, 16};
+  serve::Server server(fixture.exec, config);
+
+  std::vector<std::future<runtime::ObjectRef>> futures;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    futures.push_back(server.Submit(fixture.ArgsFor(i), lengths[i]));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectBitIdentical(AsTensor(futures[i].get()), fixture.expected[i], i);
+  }
+  futures.clear();  // drop every result before the leak check
+  server.Drain();
+
+  int workers_seen = 0;
+  int64_t peak_across_workers = 0;
+  for (const obs::AllocScopeSample& scope : server.MemoryScopes()) {
+    if (scope.scope.rfind("worker:", 0) != 0) continue;
+    ++workers_seen;
+    EXPECT_EQ(scope.live_bytes, 0)
+        << scope.scope << " leaked after drain with all results dropped";
+    // Batch placement is racy — one worker may have pulled every batch —
+    // so activity is asserted across the pool, not per worker.
+    peak_across_workers += scope.peak_bytes;
+  }
+  EXPECT_EQ(workers_seen, 2);
+  EXPECT_GT(peak_across_workers, 0)
+      << "no worker ever allocated — the sentinel tested nothing";
+}
+
+// Continuous runners keep their persistent step arguments (x_t, the active
+// mask, the state rows) alive across tenancies, so their drain baseline is
+// not zero — it is whatever a warmed-up runner holds. Serving a second,
+// identical workload must return live bytes exactly to that baseline:
+// states are replaced, never accumulated, and every retired row's slice
+// leaves with its request.
+TEST(Memory, ContinuousDrainReturnsRunnerLiveBytesToBaseline) {
+  schedfuzz::ContinuousHarness harness;
+  serve::ServeConfig config;
+  serve::Server server(config);
+  serve::ModelConfig mc;
+  mc.exec = harness.exec;
+  mc.batch.continuous = true;
+  mc.batch.continuous_slots = 4;
+  server.AddModel("lstm", std::move(mc));
+  server.Start();
+
+  std::vector<int64_t> lengths = {5, 2, 8, 3, 6, 4};
+  auto serve_round = [&](uint64_t seed) {
+    support::Rng rng(seed);
+    std::vector<std::future<runtime::ObjectRef>> futures;
+    for (int64_t len : lengths) {
+      NDArray x = models::RandomSequence(len, harness.input_size, rng);
+      futures.push_back(server.Submit(
+          "lstm",
+          {MakeTensor(x), MakeTensor(NDArray::Scalar<int64_t>(len))}, len));
+    }
+    for (auto& f : futures) f.get();  // results dropped as they land
+  };
+
+  auto model_live = [&] {
+    for (const obs::AllocScopeSample& scope : server.MemoryScopes()) {
+      if (scope.scope == "model:lstm") return scope.live_bytes;
+    }
+    ADD_FAILURE() << "model scope missing";
+    return int64_t{-1};
+  };
+
+  // The last future resolves from inside RunStep, a beat before the runner
+  // frees its step temporaries — poll until the scope settles before
+  // taking the baseline (the post-drain sample needs no such wait).
+  auto settled_live = [&] {
+    int64_t prev = model_live();
+    for (int stable = 0; stable < 5;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      int64_t cur = model_live();
+      stable = (cur == prev) ? stable + 1 : 0;
+      prev = cur;
+    }
+    return prev;
+  };
+
+  serve_round(41);  // warmup: persistent args and state rows now resident
+  int64_t baseline = settled_live();
+  EXPECT_GT(baseline, 0) << "a warmed-up runner holds its step arguments";
+
+  serve_round(42);
+  server.Drain();
+  EXPECT_EQ(model_live(), baseline)
+      << "a second workload must not grow the runner's live bytes";
 }
 
 TEST(Serve, VMResetAllowsRecycling) {
